@@ -1,0 +1,87 @@
+"""E12 — Extension bench: stochastic tie-breaking on degenerate instances.
+
+The base algorithm's threshold rule provably cannot split an efficiency
+atom, so on subset-sum-like instances (all small items at one
+efficiency) it returns the trivial large-item-only solution.  The
+tie-breaking extension (``repro.core.tie_breaking``, NOT in the paper)
+uses per-item shared-seed coins to include a budgeted fraction of the
+cut band.  This bench measures what that buys and what it costs:
+
+* solution value recovered on degenerate families (vs. ~0 for base);
+* empirical feasibility rate of the stochastic rule across many runs;
+* no regression on non-degenerate families.
+"""
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.access.oracle import QueryOracle
+from repro.access.weighted_sampler import WeightedSampler
+from repro.core.lca_kp import LCAKP
+from repro.core.mapping_greedy import mapping_greedy
+from repro.core.parameters import LCAParameters
+from repro.knapsack import generators as g
+from repro.knapsack.solvers import fractional_upper_bound
+
+
+def _tie_breaking_experiment(runs: int = 8, n: int = 1000, epsilon: float = 0.1):
+    params = LCAParameters.calibrated(epsilon, max_nrq=30_000, max_m_large=30_000)
+    rows = []
+    for family, kwargs in (
+        ("subset_sum", {}),
+        ("weakly_correlated", {"spread": 0.02}),  # near-degenerate
+        ("planted_lsg", {"epsilon": epsilon}),
+        ("efficiency_tiers", {"tiers": 8}),
+    ):
+        inst = g.generate(family, n, seed=11, **kwargs)
+        ub = fractional_upper_bound(inst)
+        results = {}
+        for mode in (False, True):
+            lca = LCAKP(
+                WeightedSampler(inst),
+                QueryOracle(inst),
+                epsilon,
+                seed=5,
+                params=params,
+                tie_breaking=mode,
+            )
+            values, feasible = [], 0
+            for r in range(runs):
+                solution = mapping_greedy(inst, lca.run_pipeline(nonce=500 + r).rule)
+                values.append(inst.profit_of(solution))
+                feasible += inst.weight_of(solution) <= inst.capacity + 1e-9
+            results[mode] = (float(np.mean(values)), feasible / runs)
+        rows.append(
+            {
+                "family": family,
+                "opt_upper": ub,
+                "base_value": results[False][0],
+                "ext_value": results[True][0],
+                "base_feasible_rate": results[False][1],
+                "ext_feasible_rate": results[True][1],
+                "recovery": results[True][0] - results[False][0],
+            }
+        )
+    return rows
+
+
+def test_tie_breaking_extension(benchmark):
+    rows = run_once(benchmark, _tie_breaking_experiment)
+    emit(
+        "E12_tie_breaking",
+        rows,
+        "E12 (extension): stochastic tie-breaking on degenerate families",
+    )
+    by = {r["family"]: r for r in rows}
+    # The motivating case: degenerate subset-sum recovers real value.
+    assert by["subset_sum"]["base_value"] < 0.05
+    assert by["subset_sum"]["ext_value"] > 0.2
+    # The base rule is always feasible; the extension stays feasible
+    # empirically (stochastic guarantee, measured).
+    for row in rows:
+        assert row["base_feasible_rate"] == 1.0
+        assert row["ext_feasible_rate"] == 1.0, row
+    # Never a regression: the extension only adds items; on families
+    # where the base threshold is active it stands down entirely.
+    for row in rows:
+        assert row["ext_value"] >= row["base_value"] - 1e-9

@@ -1,0 +1,43 @@
+"""E15 — footnote 3: why the per-query failure must scale as O(1/q).
+
+Definition 2.2's footnote: an LCA expected to answer q queries should
+set its per-query failure probability to O(1/q), so a union bound makes
+all answers consistent w.h.p.  This bench measures the union bound in
+action: q queries, each answered by an independent stateless run at
+*fixed* per-answer agreement, succeed together with probability that
+decays geometrically in q — matching the (per-answer)^q prediction.
+The practical consequence is the same as the footnote's: to serve more
+queries from one seed epoch at a given confidence, buy more per-answer
+consistency (samples / coarser domain / tighter rho), proportionally to
+log of the query volume.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.experiments import exp_footnote3_query_scaling
+
+
+def test_footnote3_union_bound(benchmark):
+    rows = run_once(
+        benchmark,
+        exp_footnote3_query_scaling,
+        query_counts=(1, 5, 20, 80),
+        trials=20,
+    )
+    emit(
+        "E15_footnote3",
+        rows,
+        "E15 (footnote 3): all-queries-consistent rate vs. query count",
+    )
+    rates = [r["all_consistent_rate"] for r in rows]
+    # Monotone decay in q (weakly, given 20-trial noise)...
+    assert rates[0] >= rates[-1]
+    assert rates[-1] < rates[0] - 0.3  # and a substantial drop by q = 80
+    # ...tracking the geometric prediction from the per-answer rate.
+    for row in rows:
+        assert row["all_consistent_rate"] == (
+            __import__("pytest").approx(row["geometric_prediction"], abs=0.25)
+        )
+    # The per-answer agreement itself is high — the decay is purely the
+    # union bound, not poor per-answer behaviour.
+    assert rows[0]["per_answer_agreement"] > 0.9

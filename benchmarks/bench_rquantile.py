@@ -1,0 +1,43 @@
+"""E7 — Theorems 2.7/4.5: rMedian/rQuantile reproducibility and accuracy.
+
+Measures, per distribution shape and sample size: the exact-equality
+agreement rate across 10 fresh-sample runs sharing a seed, and the
+achieved quantile position of the modal output.  The shape contrast is
+the point: atomic distributions agree perfectly at tiny sample sizes,
+continuous ones climb toward agreement only as samples grow — the
+practical face of the (3/tau^2)^(log*|X|) sample complexity (and of the
+ILPS22 lower bound that makes some domain-size dependence unavoidable).
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.experiments import exp_rquantile_reproducibility
+
+
+def test_rquantile_reproducibility(benchmark):
+    rows = run_once(
+        benchmark,
+        exp_rquantile_reproducibility,
+        sample_sizes=(2_000, 20_000, 120_000),
+        runs=10,
+    )
+    emit(
+        "E7_rquantile",
+        rows,
+        "E7 (Theorem 4.5): rQuantile agreement rate and accuracy, per engine",
+    )
+    by = {(r["engine"], r["distribution"], r["samples"]): r for r in rows}
+    for engine in ("direct", "dyadic"):
+        # Atomic distributions: perfect agreement already at small m.
+        assert by[(engine, "atomic", 2_000)]["agreement"] == 1.0
+        assert by[(engine, "atomic", 120_000)]["agreement"] == 1.0
+        # Continuous distributions: agreement improves with samples.
+        for dist in ("lognormal", "uniform"):
+            assert (
+                by[(engine, dist, 120_000)]["agreement"]
+                >= by[(engine, dist, 2_000)]["agreement"] - 0.1
+            )
+    # Accuracy: every modal output is a valid approximate median,
+    # regardless of engine — the cross-check the two constructions give.
+    for row in rows:
+        assert row["within_tau"], row

@@ -1,0 +1,107 @@
+"""E11 — Solver baselines: cross-checks and genuine microbenchmarks.
+
+Unlike E1-E10 (statistical sweeps), the solver benches are classic
+pytest-benchmark timings: the classical algorithms the paper's analysis
+leans on (greedy, the 1/2-approximation, fractional relaxation, FPTAS,
+exact search), timed per call on a common workload, with agreement
+assertions as a by-product.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.knapsack import generators as g
+from repro.knapsack.solvers import (
+    branch_and_bound,
+    fptas,
+    fractional_upper_bound,
+    half_approximation,
+    meet_in_middle,
+    prefix_greedy,
+    solve_exact,
+)
+
+
+@pytest.fixture(scope="module")
+def medium_instance():
+    return g.uniform(400, seed=17)
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    return g.uniform(26, seed=17)
+
+
+def test_prefix_greedy_speed(benchmark, medium_instance):
+    result = benchmark(prefix_greedy, medium_instance)
+    assert result.weight <= medium_instance.capacity + 1e-9
+
+
+def test_half_approximation_speed(benchmark, medium_instance):
+    result = benchmark(half_approximation, medium_instance)
+    assert result.value >= 0.5 * fractional_upper_bound(medium_instance) - 0.5
+
+
+def test_fractional_bound_speed(benchmark, medium_instance):
+    bound = benchmark(fractional_upper_bound, medium_instance)
+    assert bound > 0
+
+
+def test_fptas_speed(benchmark, small_instance):
+    result = benchmark(fptas, small_instance, 0.1)
+    assert result.value >= 0.9 * solve_exact(small_instance).value - 1e-9
+
+
+def test_branch_and_bound_speed(benchmark, small_instance):
+    result = benchmark(branch_and_bound, small_instance)
+    assert result.exact
+
+
+def test_meet_in_middle_speed(benchmark, small_instance):
+    result = benchmark(meet_in_middle, small_instance)
+    assert result.exact
+
+
+def test_solver_agreement_table(benchmark, small_instance):
+    """One summary table: every solver's value on the same instance."""
+
+    def run():
+        inst = small_instance
+        opt = solve_exact(inst).value
+        rows = []
+        for name, fn in (
+            ("prefix_greedy", prefix_greedy),
+            ("half_approximation", half_approximation),
+            ("fptas(0.1)", lambda i: fptas(i, 0.1)),
+            ("branch_and_bound", branch_and_bound),
+            ("meet_in_middle", meet_in_middle),
+        ):
+            res = fn(inst)
+            rows.append(
+                {
+                    "solver": name,
+                    "value": res.value,
+                    "ratio_to_opt": res.value / opt,
+                    "items": len(res.indices),
+                    "exact": res.exact,
+                }
+            )
+        rows.append(
+            {
+                "solver": "fractional_bound",
+                "value": fractional_upper_bound(inst),
+                "ratio_to_opt": fractional_upper_bound(inst) / opt,
+                "items": -1,
+                "exact": False,
+            }
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("E11_solvers", rows, "E11: solver agreement on uniform n=26")
+    by = {r["solver"]: r for r in rows}
+    assert by["branch_and_bound"]["value"] == pytest.approx(
+        by["meet_in_middle"]["value"]
+    )
+    assert by["half_approximation"]["ratio_to_opt"] >= 0.5
+    assert by["fractional_bound"]["ratio_to_opt"] >= 1.0

@@ -1,0 +1,41 @@
+"""E2 — Theorem 3.3: no sublinear LCA for any alpha-approximation.
+
+Same reduction skeleton as E1 with the planted profit beta < alpha.
+The table shows (a) the semantic equivalence ("{s_n} is alpha-approx
+iff OR(x)=0") verified per alpha, and (b) the success-vs-budget curve
+being *identical across alphas* — approximation slack buys nothing,
+which is exactly the theorem's point.
+"""
+
+from collections import defaultdict
+
+from conftest import emit, run_once
+
+from repro.analysis.experiments import exp_thm33_approx_lower_bound
+
+
+def test_thm33_lower_bound(benchmark):
+    rows = run_once(
+        benchmark,
+        exp_thm33_approx_lower_bound,
+        alphas=(1.0, 0.5, 0.1, 0.01),
+        m=1024,
+        trials=1200,
+    )
+    emit(
+        "E2_thm33",
+        rows,
+        "E2 (Theorem 3.3): the reduction for a grid of alphas",
+    )
+    # The load-bearing equivalence holds for every alpha.
+    assert all(row["semantics_ok"] for row in rows)
+    # The theoretical curve is alpha-independent: group by budget and
+    # check all alphas share one value.
+    by_budget = defaultdict(set)
+    for row in rows:
+        by_budget[row["budget"]].add(round(row["success_theory"], 12))
+    assert all(len(vals) == 1 for vals in by_budget.values())
+    # Sub-linear budgets stay far below the 2/3 criterion.
+    for row in rows:
+        if row["budget"] <= 1024 // 10:
+            assert row["success_emp"] < 0.62

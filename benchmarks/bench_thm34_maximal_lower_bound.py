@@ -1,0 +1,36 @@
+"""E3 — Theorem 3.4: no sublinear LCA for maximal-feasible Knapsack.
+
+Runs the paper's two-query protocol (ask s_i, then s_j; grade against
+the set of maximal solutions) over the hard distribution, sweeping the
+probing budget.  The theorem's regime is visible directly: at budget
+n/11 the error probability sits near 1/2 — far above the 1/5 the
+theorem allows — and only a *linear* budget (0.6 n for the canonical
+strategy) pushes it below 1/5.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.experiments import exp_thm34_maximal_lower_bound
+from repro.lowerbounds.maximal_hard import budget_for_error
+
+
+def test_thm34_lower_bound(benchmark):
+    rows = run_once(
+        benchmark,
+        exp_thm34_maximal_lower_bound,
+        ns=(64, 256, 1024),
+        trials=1200,
+    )
+    emit(
+        "E3_thm34",
+        rows,
+        "E3 (Theorem 3.4): maximal-feasibility error vs. probe budget",
+    )
+    for row in rows:
+        # Empirical error tracks the closed form.
+        assert abs(row["error_emp"] - row["error_theory"]) < 0.06, row
+        # The theorem's statement: below n/11 queries, error far above 1/5.
+        if row["budget"] <= row["n"] / 11:
+            assert row["error_emp"] > 0.2
+    # The error-1/5 budget scales linearly in n.
+    assert budget_for_error(1024) / budget_for_error(64) > 10

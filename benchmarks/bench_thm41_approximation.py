@@ -1,0 +1,41 @@
+"""E4 — Theorem 4.1 (approximation): p(C) vs. the (1/2, 6 eps) bound.
+
+For each workload family: run the full LCA-KP pipeline, materialize the
+solution C it answers according to (MAPPING-GREEDY), and compare its
+profit against the reference optimum.  The theorem's claim is
+``p(C) >= OPT/2 - 6 eps``; the measured ratios on realistic families
+sit far above it (typically 0.7-0.9 of OPT).
+
+Known measured exception (documented in EXPERIMENTS.md): families whose
+small items share a *single* efficiency atom (subset-sum-like) have no
+equally partitioning sequence at all, and the algorithm degenerates to
+its large-item component — the guarantee stays technically satisfied
+because 6 eps dwarfs OPT/2 at these epsilons, but the solution is
+trivial.  ``default_families`` therefore spans both regimes.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.experiments import exp_thm41_approximation
+
+
+def test_thm41_approximation(benchmark):
+    rows = run_once(
+        benchmark,
+        exp_thm41_approximation,
+        n=1500,
+        epsilon=0.05,
+        runs=3,
+    )
+    emit(
+        "E4_thm41_approx",
+        rows,
+        "E4 (Theorem 4.1): solution value vs. the (1/2, 6 eps) bound, eps=0.05",
+    )
+    for row in rows:
+        assert row["feasible"], f"{row['family']}: C was infeasible"
+        assert row["meets_bound"], f"{row['family']}: bound violated: {row}"
+    # On the designed-for families the ratio beats 1/2 outright.
+    strong = {r["family"]: r for r in rows}
+    for family in ("planted_lsg", "efficiency_tiers", "uniform"):
+        assert strong[family]["ratio"] >= 0.5, strong[family]

@@ -1,0 +1,40 @@
+"""E5 — Theorem 4.1 (consistency): cross-run agreement, per family.
+
+Lemma 4.9's claim in measurable form: stateless runs sharing a seed
+answer according to one solution with probability >= 1 - eps.  The
+table reports per-item unanimity and mean pairwise agreement over 6
+fresh runs, plus how many runs derived bitwise-identical pipelines
+(a stricter diagnostic than answer agreement).
+
+The per-family spread is the paper's log*|X| phenomenon made visible:
+families whose small-item efficiencies cluster into atoms agree
+perfectly; continuous-efficiency families pay for exact-equality
+reproducibility in samples (see also E7 and the E10 ablation).
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.experiments import exp_thm41_consistency
+
+
+def test_thm41_consistency(benchmark):
+    rows = run_once(
+        benchmark,
+        exp_thm41_consistency,
+        n=1500,
+        epsilon=0.05,
+        runs=6,
+        probes=40,
+    )
+    emit(
+        "E5_thm41_consistency",
+        rows,
+        "E5 (Theorem 4.1): cross-run answer agreement, eps=0.05, 6 runs",
+    )
+    for row in rows:
+        # Pairwise agreement meets the 1 - eps target on every family.
+        assert row["pairwise_agreement"] >= row["target_1_minus_eps"] - 0.02, row
+    # The designed-for families are perfectly unanimous.
+    by_family = {r["family"]: r for r in rows}
+    assert by_family["planted_lsg"]["unanimity"] >= 0.95
+    assert by_family["efficiency_tiers"]["unanimity"] >= 0.95

@@ -1,0 +1,39 @@
+"""E14 — Lemma 4.10, the epsilon axis: per-query cost vs. accuracy.
+
+Complements E6 (cost flat in n) with the other variable: cost grows as
+a polynomial in 1/eps.  The table shows three sizing tiers for the same
+structure — the samples actually drawn (capped calibrated defaults),
+the uncapped calibrated formula, and the verbatim Theorem 4.5 bound —
+making explicit how far apart "what theory guarantees" and "what
+practice needs" sit, and that both share the poly(1/eps) shape.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.experiments import exp_thm41_epsilon_scaling
+
+
+def test_thm41_epsilon_scaling(benchmark):
+    rows = run_once(
+        benchmark,
+        exp_thm41_epsilon_scaling,
+        epsilons=(0.2, 0.1, 0.05, 0.025),
+        n=4000,
+    )
+    emit(
+        "E14_epsilon_scaling",
+        rows,
+        "E14 (Lemma 4.10): per-query cost vs. epsilon, three sizing tiers",
+    )
+    # Measured cost grows monotonically as epsilon shrinks...
+    costs = [r["measured_cost_per_query"] for r in rows]
+    assert costs == sorted(costs)
+    # ...driven by the coupon term's ~1/eps^2 growth (until its cap).
+    m_larges = [r["m_large"] for r in rows]
+    assert m_larges == sorted(m_larges)
+    assert m_larges[2] > 30 * m_larges[0]
+    # The uncapped formula dominates the capped one, the Thm 4.5 bound
+    # dominates everything: three ordered tiers of the same structure.
+    for r in rows:
+        assert r["n_rq_capped"] <= r["uncapped_calibrated_nrq"]
+        assert r["uncapped_calibrated_nrq"] <= r["thm45_theoretical_nrq"]

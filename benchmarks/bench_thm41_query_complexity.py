@@ -1,0 +1,36 @@
+"""E6 — Theorem 4.1 / Lemma 4.10: per-query cost is independent of n.
+
+The LCA's cost per answered query is |R| + |Q| weighted samples (plus
+one point query), a function of eps and the domain only; the full-read
+baseline under plain query access pays n queries per answer.  The table
+shows the LCA line flat across a 64x range of n while the baseline
+grows linearly — the crossover where locality starts paying for itself
+is visible directly.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.experiments import exp_thm41_query_scaling
+
+
+def test_thm41_query_scaling(benchmark):
+    rows = run_once(
+        benchmark,
+        exp_thm41_query_scaling,
+        ns=(600, 2400, 9600, 38400, 600_000),
+        epsilon=0.05,
+    )
+    emit(
+        "E6_thm41_scaling",
+        rows,
+        "E6 (Lemma 4.10): per-query cost, LCA-KP vs. full-read baseline",
+    )
+    costs = [row["lca_cost_per_query"] for row in rows]
+    # Flat in n: the extremes differ by under 30% across a 1000x n range.
+    assert max(costs) <= 1.3 * min(costs)
+    # The baseline is exactly linear, so the cost ratio collapses with n.
+    ratios = [row["ratio"] for row in rows]
+    assert ratios[0] / ratios[-1] > 100
+    # Past the crossover (n above the eps-driven budget, here ~290k),
+    # the LCA is sublinear in absolute terms as well.
+    assert rows[-1]["sublinear"]

@@ -1,0 +1,40 @@
+"""Shared plumbing for the benchmark suite.
+
+Each bench runs one DESIGN.md experiment (E1-E11) exactly once under
+pytest-benchmark (the experiments are statistical sweeps, not
+microbenchmarks — wall-clock is reported for orientation, the payload
+is the printed table).  Tables are also written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them
+verbatim without relying on captured stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.tables import format_row_dicts
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(name: str, rows, title: str) -> str:
+    """Render, print and persist an experiment table."""
+    table = format_row_dicts(rows, title=title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    print("\n" + table)
+    return table
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Where the rendered tables land."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: build an instance, query the LCA, verify the answers.
+
+This is the 60-second tour of the library:
+
+1. generate a Knapsack instance (profits normalized to 1, the paper's
+   Definition 2.2 model);
+2. wire up the two access models the paper studies — per-item query
+   access and profit-proportional *weighted sampling* (Section 4);
+3. ask LCA-KP whether individual items belong to its solution;
+4. check the answers against ground truth: materialize the solution C
+   the LCA is answering from, and compare with an exact solver.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LCAKP,
+    LCAParameters,
+    QueryOracle,
+    WeightedSampler,
+    generate,
+    mapping_greedy,
+)
+from repro.knapsack.solvers import fractional_upper_bound
+
+EPSILON = 0.05
+SEED = 2024  # the shared read-only random string r
+
+
+def main() -> None:
+    # A planted instance: a few high-profit items, many small efficient
+    # ones, a sliver of garbage — the partition Section 4 revolves around.
+    instance = generate("planted_lsg", 2000, seed=7, epsilon=EPSILON)
+    print(f"instance: n={instance.n}, capacity K={instance.capacity:.3f}")
+
+    # The LCA sees the instance ONLY through these two oracles.
+    sampler = WeightedSampler(instance)
+    oracle = QueryOracle(instance)
+    lca = LCAKP(sampler, oracle, EPSILON, seed=SEED)
+
+    # Ask about a handful of items.  Each answer is computed by a fully
+    # stateless run: fresh samples, shared seed.
+    print("\nper-item LCA answers:")
+    for item in (0, 1, 17, 100, 1999):
+        before = sampler.samples_used
+        answer = lca.answer(item)
+        print(
+            f"  item {item:5d}: {'IN ' if answer.include else 'out'}"
+            f"  ({answer.reason}; {sampler.samples_used - before} samples)"
+        )
+
+    # Ground truth: materialize the solution C one run answers from
+    # (this reads the whole instance — a verification step, not
+    # something an LCA deployment would ever do).
+    pipeline = lca.run_pipeline(nonce=0)
+    solution = mapping_greedy(instance, pipeline.converted)
+    value = instance.profit_of(solution)
+    weight = instance.weight_of(solution)
+    opt_upper = fractional_upper_bound(instance)
+    print(f"\nmaterialized solution C: {len(solution)} items")
+    print(f"  weight {weight:.4f} <= K={instance.capacity:.4f}  (feasible)")
+    print(
+        f"  profit {value:.4f}  vs OPT <= {opt_upper:.4f}"
+        f"  (ratio >= {value / opt_upper:.2f}; guarantee: 1/2 OPT - 6 eps = "
+        f"{0.5 * opt_upper - 6 * EPSILON:.4f})"
+    )
+
+    # Consistency: a second, completely independent run with the same
+    # seed answers according to the same solution (w.h.p.).
+    rerun = lca.run_pipeline(nonce=1)
+    agree = sum(
+        rerun.converted.decide(instance.profit(i), instance.weight(i), i)
+        == (i in solution)
+        for i in range(instance.n)
+    )
+    print(f"\nindependent rerun agrees on {agree}/{instance.n} items")
+
+
+if __name__ == "__main__":
+    main()

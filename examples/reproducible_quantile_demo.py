@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""rQuantile vs. the naive quantile: why the LCA needs reproducibility.
+
+Section 1.1's key obstacle, demonstrated: the LCA re-samples on every
+query, so any data-dependent threshold must come out *exactly equal*
+across runs or the answers drift between solutions.  We compute the
+same median ten times on fresh samples:
+
+* the naive empirical quantile — never exactly equal on continuous data;
+* the naive quantile snapped to a fixed grid — better, but its failure
+  mode is pinned to the fixed cell boundaries;
+* rQuantile (reproducible, shared-seed randomized rounding) — exact
+  agreement on clustered data, tunable on continuous data.
+
+Run:  python examples/reproducible_quantile_demo.py
+"""
+
+import numpy as np
+
+from repro import SeedChain
+from repro.analysis.tables import format_table
+from repro.reproducible import EfficiencyDomain, ReproducibleQuantileEstimator
+
+RUNS = 10
+SAMPLES = 30_000
+
+
+def agreement(outputs) -> float:
+    pairs = [(i, j) for i in range(len(outputs)) for j in range(i + 1, len(outputs))]
+    return sum(outputs[i] == outputs[j] for i, j in pairs) / len(pairs)
+
+
+def main() -> None:
+    domain = EfficiencyDomain(bits=12)
+    estimator = ReproducibleQuantileEstimator(
+        domain=domain, tau=0.02, rho=0.05, beta=0.025
+    )
+    seed = SeedChain(7).child("demo")
+
+    atoms = np.array([0.1, 0.4, 1.0, 2.5, 6.0])
+    probs = np.array([0.15, 0.25, 0.25, 0.2, 0.15])
+    shapes = {
+        "clustered (atoms)": lambda g: g.choice(atoms, p=probs, size=SAMPLES),
+        "continuous (lognormal)": lambda g: g.lognormal(0.0, 1.0, size=SAMPLES),
+    }
+
+    rows = []
+    for shape, draw in shapes.items():
+        naive, snapped, repro = [], [], []
+        for r in range(RUNS):
+            sample = draw(np.random.default_rng(1000 + r))
+            med = float(np.quantile(sample, 0.5))
+            naive.append(med)
+            snapped.append(domain.decode(domain.encode(med)))
+            repro.append(estimator.quantile(sample, 0.5, seed.child(shape)))
+        rows.append([shape, "naive", f"{agreement(naive):.2f}", f"{naive[0]:.4f}"])
+        rows.append([shape, "snapped", f"{agreement(snapped):.2f}", f"{snapped[0]:.4f}"])
+        rows.append([shape, "rQuantile", f"{agreement(repro):.2f}", f"{repro[0]:.4f}"])
+
+    print(f"{RUNS} runs, fresh samples of {SAMPLES:,} each, shared seed\n")
+    print(format_table(
+        ["distribution", "estimator", "exact agreement", "run-0 output"], rows
+    ))
+    print(
+        "\nTakeaway: per Definition 2.5, two runs must return the SAME element."
+        "\nOn clustered data rQuantile (and even the naive median) lock on; on"
+        "\ncontinuous data only seed-shared randomized rounding recovers exact"
+        "\nagreement — at a sample cost that grows with the accuracy demanded,"
+        "\nwhich is the paper's log*|X| phenomenon in practice."
+    )
+
+
+if __name__ == "__main__":
+    main()

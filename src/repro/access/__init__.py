@@ -1,0 +1,39 @@
+"""Access models: how an LCA is allowed to touch the instance.
+
+The paper's dichotomy is exactly about access power:
+
+* plain **query access** (:class:`QueryOracle`) — Section 3 proves no
+  sublinear LCA exists under it;
+* **weighted sampling** (:class:`WeightedSampler`) — Section 4 shows it
+  suffices for a ``(1/2, 6eps)``-approximate LCA.
+
+:class:`SeedChain` supplies the shared read-only random seed both models
+assume, split into shared-vs-per-run streams per Definition 2.5.
+"""
+
+from .oracle import FunctionInstance, QueryOracle
+from .seeds import SeedChain, fresh_nonce
+from .transcripts import (
+    RecordingOracle,
+    Transcript,
+    TranscriptEntry,
+    oracle_for,
+    transcripts_agree,
+)
+from .weighted_sampler import AliasTable, CustomSampler, Sample, WeightedSampler
+
+__all__ = [
+    "QueryOracle",
+    "FunctionInstance",
+    "SeedChain",
+    "fresh_nonce",
+    "WeightedSampler",
+    "CustomSampler",
+    "Sample",
+    "AliasTable",
+    "Transcript",
+    "TranscriptEntry",
+    "RecordingOracle",
+    "transcripts_agree",
+    "oracle_for",
+]

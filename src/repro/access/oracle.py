@@ -1,0 +1,169 @@
+"""Query-access oracle: the LCA model's window onto the instance.
+
+Definition 2.2 gives the algorithm *query access* to the instance: ask
+for item ``i``, learn ``(p_i, w_i)``.  :class:`QueryOracle` mediates all
+such access, counting queries (the resource every theorem in the paper
+is about) and optionally enforcing a hard budget — which is how the
+lower-bound harness (Section 3) cuts off algorithms that read too much.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import OracleError, QueryBudgetExceededError
+from ..knapsack.instance import InstanceLike
+from ..knapsack.items import Item
+
+__all__ = ["QueryOracle", "FunctionInstance"]
+
+
+class FunctionInstance:
+    """An :class:`~repro.knapsack.InstanceLike` defined by callables.
+
+    Used for implicitly-defined massive instances and for the
+    lower-bound reductions, where item ``i`` of the simulated Knapsack
+    instance is computed on demand from the underlying OR input
+    (Figure 1) instead of being stored.
+    """
+
+    __slots__ = ("_n", "_capacity", "_profit_fn", "_weight_fn")
+
+    def __init__(
+        self,
+        n: int,
+        capacity: float,
+        profit_fn: Callable[[int], float],
+        weight_fn: Callable[[int], float],
+    ) -> None:
+        if n < 1:
+            raise OracleError("FunctionInstance needs n >= 1")
+        self._n = int(n)
+        self._capacity = float(capacity)
+        self._profit_fn = profit_fn
+        self._weight_fn = weight_fn
+
+    @property
+    def n(self) -> int:
+        """Number of items."""
+        return self._n
+
+    @property
+    def capacity(self) -> float:
+        """The weight limit K."""
+        return self._capacity
+
+    def profit(self, i: int) -> float:
+        """Profit of item ``i`` (computed on demand)."""
+        return float(self._profit_fn(i))
+
+    def weight(self, i: int) -> float:
+        """Weight of item ``i`` (computed on demand)."""
+        return float(self._weight_fn(i))
+
+
+class QueryOracle:
+    """Counting (and optionally budgeted) query access to an instance.
+
+    Parameters
+    ----------
+    instance:
+        Anything satisfying :class:`~repro.knapsack.InstanceLike`.
+    budget:
+        Maximum number of queries; ``None`` means unlimited.  Exceeding
+        the budget raises :class:`QueryBudgetExceededError`.
+    count_repeats:
+        If false, repeated queries to the same index are cached and
+        counted once — matching the lower-bound proofs' "without loss of
+        generality, the algorithm does not query an item it already
+        knows" convention (proof of Theorem 3.4).
+    """
+
+    def __init__(
+        self,
+        instance: InstanceLike,
+        *,
+        budget: int | None = None,
+        count_repeats: bool = True,
+    ) -> None:
+        if budget is not None and budget < 0:
+            raise OracleError(f"budget must be >= 0, got {budget}")
+        self._instance = instance
+        self._budget = budget
+        self._count_repeats = count_repeats
+        self._queries = 0
+        self._cache: dict[int, Item] = {}
+        self._log: list[int] = []
+
+    # ------------------------------------------------------------------
+    # The query interface
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Instance size (known to the LCA: it is part of the problem)."""
+        return self._instance.n
+
+    @property
+    def capacity(self) -> float:
+        """The weight limit K (also known up front)."""
+        return self._instance.capacity
+
+    def query(self, i: int) -> Item:
+        """Reveal item ``i``; counts against the budget."""
+        if not 0 <= i < self._instance.n:
+            raise OracleError(f"query index {i} out of range [0, {self._instance.n})")
+        if not self._count_repeats and i in self._cache:
+            return self._cache[i]
+        self._charge()
+        self._log.append(i)
+        item = Item(self._instance.profit(i), self._instance.weight(i))
+        self._cache[i] = item
+        return item
+
+    def profit(self, i: int) -> float:
+        """Convenience: profit component of :meth:`query`."""
+        return self.query(i).profit
+
+    def weight(self, i: int) -> float:
+        """Convenience: weight component of :meth:`query`."""
+        return self.query(i).weight
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def queries_used(self) -> int:
+        """Number of (charged) queries so far."""
+        return self._queries
+
+    @property
+    def budget(self) -> int | None:
+        """The budget, or ``None`` when unlimited."""
+        return self._budget
+
+    @property
+    def remaining(self) -> int | None:
+        """Queries left, or ``None`` when unlimited."""
+        if self._budget is None:
+            return None
+        return self._budget - self._queries
+
+    @property
+    def log(self) -> list[int]:
+        """Chronological list of queried indices (a copy)."""
+        return list(self._log)
+
+    def distinct_queried(self) -> set[int]:
+        """Set of indices revealed so far."""
+        return set(self._cache)
+
+    def reset(self) -> None:
+        """Forget all accounting (a fresh stateless run)."""
+        self._queries = 0
+        self._cache.clear()
+        self._log.clear()
+
+    def _charge(self) -> None:
+        if self._budget is not None and self._queries >= self._budget:
+            raise QueryBudgetExceededError(self._budget, self._queries + 1)
+        self._queries += 1

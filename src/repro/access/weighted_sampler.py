@@ -1,0 +1,254 @@
+"""Weighted (profit-proportional) sampling access.
+
+Section 4's positive result replaces plain query access with the
+*weighted sampling* model of [IKY12]: each sample returns a uniformly
+random item drawn with probability proportional to its profit (profits
+normalized to total 1).  :class:`WeightedSampler` implements this with
+Walker's alias method — O(n) preprocessing once, O(1) per sample — and
+counts samples, which is the "query complexity" currency of
+Theorem 4.1/Lemma 4.10.
+
+Implicit (never-materialized) instances supply their own inverse-CDF via
+:class:`CustomSampler`, keeping per-sample work independent of n.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import OracleError, QueryBudgetExceededError
+from ..knapsack.instance import InstanceLike, KnapsackInstance
+from ..knapsack.items import Item
+
+__all__ = ["Sample", "WeightedSampler", "CustomSampler", "AliasTable"]
+
+
+class Sample:
+    """One weighted sample: the item's index plus its (p, w) pair.
+
+    The IKY12 model reveals the sampled item's identity and attributes
+    in a single sample — the LCA pays one unit per draw.
+    """
+
+    __slots__ = ("index", "item")
+
+    def __init__(self, index: int, item: Item) -> None:
+        self.index = index
+        self.item = item
+
+    @property
+    def profit(self) -> float:
+        """Sampled item's profit."""
+        return self.item.profit
+
+    @property
+    def weight(self) -> float:
+        """Sampled item's weight."""
+        return self.item.weight
+
+    @property
+    def efficiency(self) -> float:
+        """Sampled item's efficiency ratio."""
+        return self.item.efficiency
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sample(index={self.index}, item={self.item})"
+
+
+class AliasTable:
+    """Walker alias table for O(1) categorical sampling.
+
+    Built once from a probability vector; ``draw(rng)`` returns an index
+    distributed exactly according to it.
+    """
+
+    __slots__ = ("_prob", "_alias", "_n")
+
+    def __init__(self, probabilities: Sequence[float] | np.ndarray) -> None:
+        p = np.asarray(probabilities, dtype=float)
+        if p.ndim != 1 or p.size == 0:
+            raise OracleError("probability vector must be non-empty and 1-D")
+        if np.any(p < 0) or not np.all(np.isfinite(p)):
+            raise OracleError("probabilities must be finite and non-negative")
+        total = p.sum()
+        if total <= 0:
+            raise OracleError("probabilities must not all be zero")
+        p = p / total
+        n = p.size
+        scaled = p * n
+        prob = np.zeros(n)
+        alias = np.zeros(n, dtype=np.int64)
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = scaled[l] + scaled[s] - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for i in large:
+            prob[i] = 1.0
+        for i in small:  # numerical leftovers
+            prob[i] = 1.0
+        self._prob = prob
+        self._alias = alias
+        self._n = n
+
+    def draw(self, rng: np.random.Generator) -> int:
+        """One O(1) draw."""
+        i = int(rng.integers(self._n))
+        if rng.random() < self._prob[i]:
+            return i
+        return int(self._alias[i])
+
+    def draw_many(self, m: int, rng: np.random.Generator) -> np.ndarray:
+        """Vectorized batch of ``m`` draws."""
+        idx = rng.integers(self._n, size=m)
+        coin = rng.random(m)
+        take_alias = coin >= self._prob[idx]
+        out = idx.copy()
+        out[take_alias] = self._alias[idx[take_alias]]
+        return out
+
+
+class WeightedSampler:
+    """Profit-proportional sampling access to an explicit instance.
+
+    Parameters
+    ----------
+    instance:
+        An explicit :class:`~repro.knapsack.KnapsackInstance`.  Profits
+        need not be normalized; sampling is proportional regardless.
+    budget:
+        Optional hard cap on the number of samples (the LCA query
+        complexity the benches measure).
+    """
+
+    def __init__(self, instance: KnapsackInstance, *, budget: int | None = None) -> None:
+        if budget is not None and budget < 0:
+            raise OracleError(f"budget must be >= 0, got {budget}")
+        if float(np.sum(instance.profits)) <= 0:
+            raise OracleError("weighted sampling requires positive total profit")
+        self._instance = instance
+        self._table = AliasTable(instance.profits)
+        self._budget = budget
+        self._samples = 0
+
+    @property
+    def n(self) -> int:
+        """Instance size."""
+        return self._instance.n
+
+    @property
+    def capacity(self) -> float:
+        """The weight limit K."""
+        return self._instance.capacity
+
+    def sample(self, rng: np.random.Generator) -> Sample:
+        """Draw one profit-proportional sample."""
+        self._charge(1)
+        idx = self._table.draw(rng)
+        return Sample(idx, self._instance.item(idx))
+
+    def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
+        """Draw ``m`` samples (vectorized; still charged per sample)."""
+        if m < 0:
+            raise OracleError("sample count must be >= 0")
+        self._charge(m)
+        indices = self._table.draw_many(m, rng)
+        profits = self._instance.profits[indices]
+        weights = self._instance.weights[indices]
+        return [
+            Sample(int(i), Item(float(p), float(w)))
+            for i, p, w in zip(indices, profits, weights)
+        ]
+
+    @property
+    def samples_used(self) -> int:
+        """Number of samples drawn so far."""
+        return self._samples
+
+    @property
+    def budget(self) -> int | None:
+        """The sample budget, or ``None``."""
+        return self._budget
+
+    def reset(self) -> None:
+        """Zero the accounting (fresh stateless run)."""
+        self._samples = 0
+
+    def _charge(self, m: int) -> None:
+        if self._budget is not None and self._samples + m > self._budget:
+            raise QueryBudgetExceededError(self._budget, self._samples + m)
+        self._samples += m
+
+
+class CustomSampler:
+    """Weighted sampling for implicit instances.
+
+    The caller supplies ``draw_index(rng) -> int`` implementing the
+    profit-proportional law analytically (e.g. by inverse CDF over a
+    closed-form profit sequence), plus the instance for attribute
+    lookup.  Per-sample cost stays O(1) even for n = 10^9.
+    """
+
+    def __init__(
+        self,
+        instance: InstanceLike,
+        draw_index: Callable[[np.random.Generator], int],
+        *,
+        budget: int | None = None,
+    ) -> None:
+        if budget is not None and budget < 0:
+            raise OracleError(f"budget must be >= 0, got {budget}")
+        self._instance = instance
+        self._draw_index = draw_index
+        self._budget = budget
+        self._samples = 0
+
+    @property
+    def n(self) -> int:
+        """Instance size."""
+        return self._instance.n
+
+    @property
+    def capacity(self) -> float:
+        """The weight limit K."""
+        return self._instance.capacity
+
+    def sample(self, rng: np.random.Generator) -> Sample:
+        """Draw one sample via the user-provided index law."""
+        self._charge(1)
+        idx = int(self._draw_index(rng))
+        if not 0 <= idx < self._instance.n:
+            raise OracleError(f"custom sampler returned out-of-range index {idx}")
+        return Sample(idx, Item(self._instance.profit(idx), self._instance.weight(idx)))
+
+    def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
+        """Draw ``m`` samples one by one."""
+        return [self.sample(rng) for _ in range(m)]
+
+    @property
+    def samples_used(self) -> int:
+        """Number of samples drawn so far."""
+        return self._samples
+
+    @property
+    def budget(self) -> int | None:
+        """The sample budget, or ``None``."""
+        return self._budget
+
+    def reset(self) -> None:
+        """Zero the accounting."""
+        self._samples = 0
+
+    def _charge(self, m: int) -> None:
+        if self._budget is not None and self._samples + m > self._budget:
+            raise QueryBudgetExceededError(self._budget, self._samples + m)
+        self._samples += m

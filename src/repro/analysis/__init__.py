@@ -1,0 +1,29 @@
+"""Analysis utilities: statistics, log*, experiment runners, tables."""
+
+from .logstar import iterated_log_schedule, log_star, log_star_of_pow2, tower
+from .stats import (
+    Summary,
+    binomial_ci,
+    bootstrap_ci,
+    dkw_epsilon,
+    empirical_cdf,
+    hoeffding_sample_size,
+    summarize,
+)
+from .tables import format_row_dicts, format_table
+
+__all__ = [
+    "log_star",
+    "log_star_of_pow2",
+    "iterated_log_schedule",
+    "tower",
+    "Summary",
+    "summarize",
+    "bootstrap_ci",
+    "binomial_ci",
+    "dkw_epsilon",
+    "empirical_cdf",
+    "hoeffding_sample_size",
+    "format_table",
+    "format_row_dicts",
+]

@@ -1,0 +1,155 @@
+"""Automatic parameter calibration for LCA-KP deployments.
+
+The E10 ablation shows the efficiency-domain resolution and the
+rQuantile sample budget jointly set a consistency/quality/cost
+trade-off, and that the right point is *workload-dependent* (atomic
+families tolerate coarse grids; tight-spread families need fine ones).
+:func:`calibrate` turns that ablation into a tool: given an instance
+(or a representative of the workload family), a target cross-run
+consistency and a per-query sample budget, it sweeps candidate
+configurations, measures each the way bench E5 does, and returns the
+cheapest configuration meeting the target.
+
+This is an *empirical* tool: the guarantees are measured on the probe
+instance, not proven.  It exists because a downstream user's first
+question — "what epsilon/bits/samples should I use?" — deserves an
+executable answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..access.oracle import QueryOracle
+from ..access.weighted_sampler import WeightedSampler
+from ..core.lca_kp import LCAKP
+from ..core.mapping_greedy import mapping_greedy
+from ..core.parameters import LCAParameters
+from ..errors import ExperimentError
+from ..knapsack.instance import KnapsackInstance
+from ..knapsack.solvers import fractional_upper_bound
+from ..reproducible.domains import EfficiencyDomain
+
+__all__ = ["CalibrationCandidate", "CalibrationResult", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationCandidate:
+    """One measured configuration."""
+
+    domain_bits: int
+    n_rq: int
+    params: LCAParameters
+    unanimity: float
+    pairwise_agreement: float
+    value_ratio: float  # p(C) / fractional upper bound
+    feasible: bool
+    cost_per_query: int
+
+    def meets(self, target_agreement: float, budget: int) -> bool:
+        """Does this candidate satisfy the caller's constraints?"""
+        return (
+            self.feasible
+            and self.pairwise_agreement >= target_agreement
+            and self.cost_per_query <= budget
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """The sweep's outcome: the pick plus everything measured."""
+
+    chosen: CalibrationCandidate | None
+    candidates: tuple[CalibrationCandidate, ...]
+    target_agreement: float
+    budget_per_query: int
+
+    @property
+    def satisfied(self) -> bool:
+        """True iff some configuration met the target within budget."""
+        return self.chosen is not None
+
+
+def calibrate(
+    instance: KnapsackInstance,
+    epsilon: float,
+    *,
+    target_agreement: float = 0.95,
+    budget_per_query: int = 500_000,
+    bits_grid=(8, 10, 12, 14),
+    nrq_grid=(20_000, 60_000, 120_000),
+    runs: int = 4,
+    probes: int = 30,
+    seed: int = 42,
+) -> CalibrationResult:
+    """Sweep (bits, n_rq); return the cheapest config meeting the target.
+
+    "Cheapest" means smallest measured cost per query; ties break toward
+    higher value ratio.  Candidates are measured exactly the way bench
+    E5 measures consistency: ``runs`` fresh stateless pipelines probed
+    on ``probes`` random items.
+    """
+    if not 0 < target_agreement <= 1:
+        raise ExperimentError("target_agreement must lie in (0, 1]")
+    if budget_per_query < 1:
+        raise ExperimentError("budget_per_query must be >= 1")
+    if runs < 2:
+        raise ExperimentError("need runs >= 2 to measure agreement")
+    rng = np.random.default_rng(0)
+    probe_items = rng.choice(instance.n, size=min(probes, instance.n), replace=False)
+    upper = fractional_upper_bound(instance)
+
+    candidates: list[CalibrationCandidate] = []
+    for bits in bits_grid:
+        for n_rq in nrq_grid:
+            params = LCAParameters.calibrated(
+                epsilon, domain=EfficiencyDomain(bits=bits), max_nrq=n_rq
+            )
+            sampler = WeightedSampler(instance)
+            lca = LCAKP(sampler, QueryOracle(instance), epsilon, seed, params=params)
+            before = sampler.samples_used
+            pipes = [lca.run_pipeline(nonce=9000 + r) for r in range(runs)]
+            cost = (sampler.samples_used - before) // runs
+            table = np.array(
+                [
+                    [
+                        p.rule.decide(instance.profit(int(i)), instance.weight(int(i)), int(i))
+                        for i in probe_items
+                    ]
+                    for p in pipes
+                ]
+            )
+            unanimity = float(np.mean(np.all(table == table[0], axis=0)))
+            pair_scores = [
+                float(np.mean(table[a] == table[b]))
+                for a in range(runs)
+                for b in range(a + 1, runs)
+            ]
+            solution = mapping_greedy(instance, pipes[0].rule)
+            candidates.append(
+                CalibrationCandidate(
+                    domain_bits=bits,
+                    n_rq=params.n_rq,
+                    params=params,
+                    unanimity=unanimity,
+                    pairwise_agreement=float(np.mean(pair_scores)),
+                    value_ratio=instance.profit_of(solution) / upper if upper > 0 else 1.0,
+                    feasible=instance.weight_of(solution) <= instance.capacity + 1e-9,
+                    cost_per_query=int(cost),
+                )
+            )
+
+    eligible = [c for c in candidates if c.meets(target_agreement, budget_per_query)]
+    chosen = (
+        min(eligible, key=lambda c: (c.cost_per_query, -c.value_ratio))
+        if eligible
+        else None
+    )
+    return CalibrationResult(
+        chosen=chosen,
+        candidates=tuple(candidates),
+        target_agreement=target_agreement,
+        budget_per_query=budget_per_query,
+    )

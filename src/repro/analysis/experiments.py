@@ -1,0 +1,639 @@
+"""Experiment runners behind the benchmark suite (E1-E11 in DESIGN.md).
+
+Each ``exp_*`` function runs one experiment and returns a list of row
+dicts; the ``benchmarks/`` scripts time them with pytest-benchmark and
+print the tables, and the CLI (``python -m repro experiment ...``)
+exposes them interactively.  EXPERIMENTS.md quotes their output.
+
+Everything is deterministic given the ``seed`` arguments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..access.oracle import QueryOracle
+from ..access.seeds import SeedChain
+from ..access.weighted_sampler import WeightedSampler
+from ..core.lca_kp import LCAKP
+from ..core.mapping_greedy import mapping_greedy
+from ..core.parameters import LCAParameters, coupon_collector_samples
+from ..iky.value_approx import IKYValueApproximator
+from ..knapsack import generators
+from ..knapsack.instance import KnapsackInstance
+from ..knapsack.solvers import (
+    branch_and_bound,
+    fractional_upper_bound,
+    half_approximation,
+)
+from ..lowerbounds.approx_reduction import ApproxReduction, verify_reduction_semantics
+from ..lowerbounds.query_complexity import sweep_maximal_budgets, sweep_or_budgets
+from ..reproducible.domains import EfficiencyDomain
+from ..reproducible.rquantile import ReproducibleQuantileEstimator
+
+__all__ = [
+    "exp_thm32_or_lower_bound",
+    "exp_thm33_approx_lower_bound",
+    "exp_thm34_maximal_lower_bound",
+    "exp_thm41_approximation",
+    "exp_thm41_consistency",
+    "exp_thm41_query_scaling",
+    "exp_lemma42_coupon",
+    "exp_rquantile_reproducibility",
+    "exp_iky_value",
+    "exp_ablation_domain_bits",
+    "default_families",
+    "reference_optimum",
+]
+
+#: Families used by the Theorem 4.1 experiments, with their kwargs.
+def default_families(epsilon: float) -> dict[str, dict]:
+    """The workload suite for the positive-result benches."""
+    return {
+        "planted_lsg": {"epsilon": epsilon},
+        "efficiency_tiers": {"tiers": 10},
+        "uniform": {},
+        "weakly_correlated": {},
+        "strongly_correlated": {},
+        "greedy_adversarial": {},
+    }
+
+
+def reference_optimum(instance: KnapsackInstance) -> tuple[float, bool]:
+    """(OPT or an upper bound on it, is_exact).
+
+    Exact branch-and-bound when it finishes quickly; otherwise the
+    fractional upper bound (which only makes measured ratios look
+    *worse*, never better — the conservative direction).
+    """
+    if instance.n <= 400:
+        try:
+            return branch_and_bound(instance, node_limit=2_000_000).value, True
+        except Exception:  # noqa: BLE001 - fall through to the bound
+            pass
+    return fractional_upper_bound(instance), False
+
+
+# ----------------------------------------------------------------------
+# E1 / E2 / E3 — the impossibility results
+# ----------------------------------------------------------------------
+def exp_thm32_or_lower_bound(
+    ns=(64, 256, 1024, 4096),
+    budget_fractions=(0.0, 0.1, 1 / 3, 0.5, 0.9),
+    *,
+    trials: int = 1500,
+    seed: int = 0,
+) -> list[dict]:
+    """E1: optimal success vs. query budget on the Figure 1 reduction.
+
+    The "success needed" column marks the paper's 2/3 criterion; the
+    crossing budget grows linearly with n.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for n in ns:
+        m = n - 1  # OR input length for an n-item instance
+        budgets = [int(round(f * m)) for f in budget_fractions]
+        for ev in sweep_or_budgets(m, budgets, rng, trials=trials):
+            lo, hi = ev.confidence_interval()
+            rows.append(
+                {
+                    "n": n,
+                    "budget": ev.budget,
+                    "budget/n": ev.budget / n,
+                    "success_emp": ev.success_rate,
+                    "success_theory": ev.theoretical,
+                    "ci_lo": lo,
+                    "ci_hi": hi,
+                    "meets_2/3": ev.success_rate >= 2 / 3,
+                }
+            )
+    return rows
+
+
+def exp_thm33_approx_lower_bound(
+    alphas=(1.0, 0.5, 0.1, 0.01),
+    *,
+    m: int = 1024,
+    trials: int = 1500,
+    seed: int = 0,
+) -> list[dict]:
+    """E2: the alpha-approximation reduction, for a grid of alphas.
+
+    The semantic check certifies {s_n} is alpha-approximate iff
+    OR(x)=0; the optimal-strategy curve is the *same* for every alpha
+    (the reduction's point: approximation quality does not help).
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    budgets = [0, m // 10, m // 3, (2 * m) // 3]
+    for alpha in alphas:
+        semantics_ok = verify_reduction_semantics(alpha, m, rng, trials=100)
+        red = ApproxReduction(alpha)
+        for ev in sweep_or_budgets(m, budgets, rng, trials=trials):
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "beta": red.beta,
+                    "semantics_ok": semantics_ok,
+                    "budget": ev.budget,
+                    "success_emp": ev.success_rate,
+                    "success_theory": ev.theoretical,
+                }
+            )
+    return rows
+
+
+def exp_thm34_maximal_lower_bound(
+    ns=(64, 256, 1024),
+    budget_fractions=(0.0, 1 / 11, 0.25, 0.5, 0.6, 0.95),
+    *,
+    trials: int = 1500,
+    seed: int = 0,
+) -> list[dict]:
+    """E3: maximal-feasibility hard distribution, error vs. budget.
+
+    The theorem's regime: any algorithm with budget < n/11 has error
+    > 1/5.  The canonical strategy's closed-form error is
+    ``(1 - q/(n-1)) / 2``; both empirical and theory columns show the
+    error staying far above 1/5 until the budget is a constant fraction
+    of n (0.6 n for this strategy).
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for n in ns:
+        budgets = [int(round(f * n)) for f in budget_fractions]
+        for ev in sweep_maximal_budgets(n, budgets, rng, trials=trials):
+            rows.append(
+                {
+                    "n": n,
+                    "budget": ev.budget,
+                    "budget/n": ev.budget / n,
+                    "error_emp": 1.0 - ev.success_rate,
+                    "error_theory": 1.0 - (ev.theoretical or 0.0),
+                    "below_1/5": (1.0 - ev.success_rate) <= 0.2,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E4 / E5 / E6 — the positive result
+# ----------------------------------------------------------------------
+def exp_thm41_approximation(
+    *,
+    n: int = 1500,
+    epsilon: float = 0.05,
+    runs: int = 3,
+    seed: int = 7,
+    params: LCAParameters | None = None,
+) -> list[dict]:
+    """E4: p(C) vs. the (1/2, 6 eps) bound, per workload family."""
+    params = params or LCAParameters.calibrated(epsilon)
+    rows = []
+    for family, kwargs in default_families(epsilon).items():
+        inst = generators.generate(family, n, seed=seed, **kwargs)
+        opt, exact = reference_optimum(inst)
+        half = half_approximation(inst)
+        lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), epsilon, seed=42, params=params)
+        values, feasible = [], True
+        for r in range(runs):
+            pipe = lca.run_pipeline(nonce=1000 + r)
+            solution = mapping_greedy(inst, pipe.converted)
+            values.append(inst.profit_of(solution))
+            feasible &= inst.weight_of(solution) <= inst.capacity + 1e-9
+        worst = min(values)
+        rows.append(
+            {
+                "family": family,
+                "opt_ref": opt,
+                "opt_exact": exact,
+                "p(C)_min": worst,
+                "ratio": worst / opt if opt > 0 else 1.0,
+                "bound_half_minus_6eps": 0.5 * opt - 6 * epsilon,
+                "meets_bound": worst >= 0.5 * opt - 6 * epsilon - 1e-9,
+                "classic_half_value": half.value,
+                "feasible": feasible,
+            }
+        )
+    return rows
+
+
+def exp_thm41_consistency(
+    *,
+    n: int = 1500,
+    epsilon: float = 0.05,
+    runs: int = 6,
+    probes: int = 40,
+    seed: int = 7,
+    params: LCAParameters | None = None,
+) -> list[dict]:
+    """E5: cross-run answer agreement per family (Lemma 4.9's claim)."""
+    params = params or LCAParameters.calibrated(epsilon)
+    rng = np.random.default_rng(0)
+    rows = []
+    for family, kwargs in default_families(epsilon).items():
+        inst = generators.generate(family, n, seed=seed, **kwargs)
+        lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), epsilon, seed=42, params=params)
+        probe_items = rng.choice(inst.n, size=min(probes, inst.n), replace=False)
+        pipes = [lca.run_pipeline(nonce=2000 + r) for r in range(runs)]
+        table = np.array(
+            [
+                [
+                    pipe.converted.decide(inst.profit(int(i)), inst.weight(int(i)), int(i))
+                    for i in probe_items
+                ]
+                for pipe in pipes
+            ]
+        )
+        unanimity = float(np.mean(np.all(table == table[0], axis=0)))
+        pair = []
+        for a in range(runs):
+            for b in range(a + 1, runs):
+                pair.append(float(np.mean(table[a] == table[b])))
+        identical_pipelines = sum(
+            1 for pipe in pipes if pipe.signature() == pipes[0].signature()
+        )
+        rows.append(
+            {
+                "family": family,
+                "runs": runs,
+                "probe_items": len(probe_items),
+                "unanimity": unanimity,
+                "pairwise_agreement": float(np.mean(pair)),
+                "identical_pipelines": identical_pipelines,
+                "target_1_minus_eps": 1 - epsilon,
+            }
+        )
+    return rows
+
+
+def exp_thm41_query_scaling(
+    ns=(600, 2400, 9600, 38400, 600_000),
+    *,
+    epsilon: float = 0.05,
+    seed: int = 7,
+    params: LCAParameters | None = None,
+) -> list[dict]:
+    """E6: per-query cost vs. n — LCA-KP flat, full-read baseline linear.
+
+    This is the Lemma 4.10 claim in measurable form: the LCA's sample
+    count per query depends on eps (and log* n through the domain), not
+    on n.
+    """
+    params = params or LCAParameters.calibrated(epsilon)
+    rows = []
+    for n in ns:
+        inst = generators.planted_lsg(n, seed=seed, epsilon=epsilon)
+        sampler = WeightedSampler(inst)
+        oracle = QueryOracle(inst)
+        lca = LCAKP(sampler, oracle, epsilon, seed=42, params=params)
+        before = sampler.samples_used
+        lca.answer(0, nonce=1)
+        lca_cost = (sampler.samples_used - before) + 1  # + the point query
+        rows.append(
+            {
+                "n": n,
+                "lca_cost_per_query": lca_cost,
+                "full_read_cost_per_query": n,
+                "ratio": lca_cost / n,
+                "sublinear": lca_cost < n,
+            }
+        )
+    return rows
+
+
+def exp_thm41_epsilon_scaling(
+    epsilons=(0.2, 0.1, 0.05, 0.025),
+    *,
+    n: int = 4000,
+    seed: int = 7,
+) -> list[dict]:
+    """E14: per-query cost vs. epsilon — the poly(1/eps) axis of Lemma 4.10.
+
+    Fixes n and sweeps epsilon, measuring the samples one query actually
+    draws under default calibrated sizing.  Three regimes are visible:
+    the coupon-collector term ``m ~ eps^-2 log eps^-1`` (uncapped), the
+    capped ``n_rq``, and the ``a ~ n_rq / (1 - p_L)`` efficiency sample
+    whose 1/eps factor appears through the line-4 mass bound.  The
+    uncapped calibrated formula and the verbatim Theorem 4.5 bound are
+    reported alongside for contrast — three orders of sizing, one
+    structure.
+    """
+    from ..reproducible.rmedian import (
+        practical_sample_complexity,
+        theoretical_sample_complexity,
+    )
+
+    rows = []
+    inst = generators.planted_lsg(n, seed=seed, epsilon=min(0.1, min(epsilons)))
+    for epsilon in sorted(epsilons, reverse=True):
+        params = LCAParameters.calibrated(epsilon)
+        sampler = WeightedSampler(inst)
+        lca = LCAKP(sampler, QueryOracle(inst), epsilon, seed=42, params=params)
+        before = sampler.samples_used
+        lca.answer(0, nonce=1)
+        measured = sampler.samples_used - before
+        uncapped = practical_sample_complexity(
+            params.tau, params.rho, params.domain.bits, beta=params.beta, max_samples=10**12
+        )
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "m_large": params.m_large,
+                "n_rq_capped": params.n_rq,
+                "measured_cost_per_query": measured,
+                "cost_vs_n": measured / n,
+                "uncapped_calibrated_nrq": uncapped,
+                "thm45_theoretical_nrq": theoretical_sample_complexity(
+                    params.tau, params.rho, params.domain.bits, beta=params.beta
+                ),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E7 / E8 / E9 — the building blocks
+# ----------------------------------------------------------------------
+def exp_lemma42_coupon(
+    deltas=(0.2, 0.1, 0.05),
+    *,
+    n: int = 2000,
+    trials: int = 200,
+    seed: int = 3,
+) -> list[dict]:
+    """E8: the Lemma 4.2 coupon-collector guarantee, measured.
+
+    For each delta: build an instance with several items of profit
+    >= delta, draw the lemma's sample count, and check all of them were
+    seen.  The lemma promises success >= 5/6.
+    """
+    rows = []
+    rng = np.random.default_rng(seed)
+    for delta in deltas:
+        # An instance with ~1/(2 delta) heavy items of profit ~delta each
+        # plus light filler: the hardest shape for collection.
+        k = max(1, int(0.5 / delta))
+        heavy = np.full(k, delta)
+        light = rng.uniform(0.5, 1.0, size=n - k)
+        light *= max(1e-9, 1.0 - heavy.sum()) / light.sum()
+        profits = np.concatenate([heavy, light])
+        weights = rng.uniform(0.01, 1.0, size=n)
+        inst = KnapsackInstance(profits, weights, capacity=float(weights.max()), normalize=True)
+        target = set(range(k))
+        m = coupon_collector_samples(delta, failure=1 / 6)
+        successes = 0
+        for t in range(trials):
+            ws = WeightedSampler(inst)
+            got = {s.index for s in ws.sample_many(m, np.random.default_rng(seed * 1000 + t))}
+            successes += int(target <= got)
+        rows.append(
+            {
+                "delta": delta,
+                "heavy_items": k,
+                "samples_m": m,
+                "success_rate": successes / trials,
+                "guarantee": 5 / 6,
+                "meets_guarantee": successes / trials >= 5 / 6,
+            }
+        )
+    return rows
+
+
+def exp_rquantile_reproducibility(
+    sample_sizes=(2_000, 20_000, 120_000),
+    *,
+    runs: int = 10,
+    seed: int = 5,
+    methods=("direct", "dyadic"),
+) -> list[dict]:
+    """E7: rQuantile agreement rate vs. sample size, shape and engine.
+
+    Two regimes by design: atomic distributions (few distinct values)
+    agree at tiny sample sizes; continuous ones need far more — the
+    practical face of the log*|X| sample-complexity phenomenon.  The
+    two independently-constructed engines (randomized-lattice grid
+    descent vs. randomized-comparison dyadic descent) are run side by
+    side as a cross-check.
+    """
+    dom = EfficiencyDomain(bits=12)
+    atoms = np.array([0.05, 0.2, 0.7, 1.1, 2.5, 8.0])
+    probs = np.array([0.1, 0.2, 0.25, 0.2, 0.15, 0.1])
+    shapes = {
+        "atomic": lambda g, m: g.choice(atoms, p=probs, size=m),
+        "lognormal": lambda g, m: g.lognormal(0.0, 1.0, size=m),
+        "uniform": lambda g, m: g.uniform(0.1, 10.0, size=m),
+    }
+    rows = []
+    for method in methods:
+        est = ReproducibleQuantileEstimator(
+            domain=dom, tau=0.02, rho=0.05, beta=0.025, method=method
+        )
+        for shape_name, draw in shapes.items():
+            for m in sample_sizes:
+                node = SeedChain(seed).child(method).child(shape_name).child(m)
+                outputs = [
+                    est.quantile(
+                        draw(np.random.default_rng(seed * 100 + r), m), 0.5, node
+                    )
+                    for r in range(runs)
+                ]
+                agree = 0
+                total = 0
+                for a in range(runs):
+                    for b in range(a + 1, runs):
+                        total += 1
+                        agree += int(outputs[a] == outputs[b])
+                # Accuracy: achieved quantile position of the modal
+                # output, compared in *encoded* space — the output is a
+                # grid cell's canonical value, which may sit a hair
+                # below the data atom it represents, so raw <=
+                # comparisons would misgrade atoms.
+                check = draw(np.random.default_rng(999), 200_000)
+                mode = max(set(outputs), key=outputs.count)
+                achieved = float(
+                    np.mean(dom.encode_many(check) <= dom.encode(float(mode)))
+                )
+                rows.append(
+                    {
+                        "engine": method,
+                        "distribution": shape_name,
+                        "samples": m,
+                        "agreement": agree / total,
+                        "achieved_quantile": achieved,
+                        "target": 0.5,
+                        "within_tau": abs(achieved - 0.5) <= 3 * est.tau,
+                    }
+                )
+    return rows
+
+
+def exp_iky_value(
+    *,
+    n: int = 1500,
+    epsilons=(0.05, 0.1),
+    runs: int = 3,
+    seed: int = 7,
+) -> list[dict]:
+    """E9: the IKY value estimate vs. the true optimum (Lemma 4.4)."""
+    rows = []
+    for epsilon in epsilons:
+        # The workload's planted partition uses a fixed shape epsilon
+        # (valid for n >= ~150); the *algorithm's* epsilon is swept.
+        inst = generators.planted_lsg(n, seed=seed, epsilon=0.1)
+        opt, exact = reference_optimum(inst)
+        approx = IKYValueApproximator(WeightedSampler(inst), epsilon, seed=42)
+        for r in range(runs):
+            est = approx.estimate(nonce=3000 + r)
+            rows.append(
+                {
+                    "epsilon": epsilon,
+                    "run": r,
+                    "estimate": est.value,
+                    "opt_ref": opt,
+                    "opt_exact": exact,
+                    "error": est.value - opt,
+                    "within_6eps": abs(est.value - opt) <= 6 * epsilon + 1e-9,
+                    "tilde_solved_exactly": est.exact,
+                }
+            )
+    return rows
+
+
+def exp_footnote3_query_scaling(
+    query_counts=(1, 5, 20, 80),
+    *,
+    n: int = 800,
+    epsilon: float = 0.1,
+    trials: int = 20,
+    seed: int = 7,
+    params: LCAParameters | None = None,
+) -> list[dict]:
+    """E15: all-queries-consistent probability vs. query count.
+
+    The paper's footnote 3: to answer q queries all-correctly w.h.p.,
+    the per-query failure probability must be set to O(1/q) (union
+    bound).  We measure the union bound in action: each of q queries is
+    answered by an *independent* stateless run; success means every
+    answer matches the reference solution.  The success rate decays
+    geometrically in q at fixed per-answer agreement — the measured
+    counterpart of why delta must shrink with q.
+    """
+    params = params or LCAParameters.calibrated(
+        epsilon,
+        domain=EfficiencyDomain(bits=12),
+        max_nrq=4_000,
+        max_m_large=4_000,
+    )
+    inst = generators.planted_lsg(n, seed=seed, epsilon=epsilon)
+    lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), epsilon, seed=42, params=params)
+    reference = lca.run_pipeline(nonce=1)
+
+    def ref_answer(i: int) -> bool:
+        return reference.rule.decide(inst.profit(i), inst.weight(i), i)
+
+    rng = np.random.default_rng(0)
+    # Per-answer agreement, measured once on a large probe set.
+    probe = rng.choice(inst.n, size=min(200, inst.n), replace=False)
+    pipes = [lca.run_pipeline(nonce=100 + r) for r in range(4)]
+    per_answer = float(
+        np.mean(
+            [
+                pipe.rule.decide(inst.profit(int(i)), inst.weight(int(i)), int(i))
+                == ref_answer(int(i))
+                for pipe in pipes
+                for i in probe
+            ]
+        )
+    )
+
+    rows = []
+    nonce = 1000
+    for q in query_counts:
+        successes = 0
+        for _ in range(trials):
+            ok = True
+            items = rng.integers(0, inst.n, size=q)
+            for i in items:
+                nonce += 1
+                pipe = lca.run_pipeline(nonce=nonce)
+                if pipe.rule.decide(
+                    inst.profit(int(i)), inst.weight(int(i)), int(i)
+                ) != ref_answer(int(i)):
+                    ok = False
+                    break
+            successes += int(ok)
+        rows.append(
+            {
+                "q_queries": q,
+                "all_consistent_rate": successes / trials,
+                "per_answer_agreement": per_answer,
+                "geometric_prediction": per_answer**q,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E10 — ablation: the consistency/resolution dial
+# ----------------------------------------------------------------------
+def exp_ablation_domain_bits(
+    bits_grid=(8, 10, 12, 16),
+    *,
+    n: int = 1500,
+    epsilon: float = 0.05,
+    runs: int = 6,
+    seed: int = 7,
+) -> list[dict]:
+    """E10: domain resolution vs. consistency vs. solution quality.
+
+    Demonstrates the paper's central tension: consistency of exact
+    outputs degrades as the efficiency domain grows (the log*|X| cost),
+    while too-coarse domains merge genuinely distinct efficiencies and
+    degrade the solution (catastrophically on near-degenerate
+    families).  This ablation justifies the calibrated default
+    (12 bits).
+    """
+    rows = []
+    rng = np.random.default_rng(0)
+    for family in ("planted_lsg", "weakly_correlated"):
+        kwargs = {"epsilon": epsilon} if family == "planted_lsg" else {}
+        inst = generators.generate(family, n, seed=seed, **kwargs)
+        ub = fractional_upper_bound(inst)
+        probe_items = rng.choice(inst.n, size=40, replace=False)
+        for bits in bits_grid:
+            params = LCAParameters.calibrated(epsilon, domain=EfficiencyDomain(bits=bits))
+            lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), epsilon, seed=42, params=params)
+            pipes = [lca.run_pipeline(nonce=4000 + r) for r in range(runs)]
+            table = np.array(
+                [
+                    [
+                        p.converted.decide(inst.profit(int(i)), inst.weight(int(i)), int(i))
+                        for i in probe_items
+                    ]
+                    for p in pipes
+                ]
+            )
+            unanimity = float(np.mean(np.all(table == table[0], axis=0)))
+            solution = mapping_greedy(inst, pipes[0].converted)
+            value = inst.profit_of(solution)
+            feasible = inst.weight_of(solution) <= inst.capacity + 1e-9
+            rows.append(
+                {
+                    "family": family,
+                    "domain_bits": bits,
+                    "grid_step_pct": (10 ** (24 / (2**bits)) - 1) * 100,
+                    "unanimity": unanimity,
+                    "ratio": value / ub,
+                    # Feasibility can BREAK at coarse resolutions on
+                    # near-degenerate families: collapsed thresholds mean
+                    # the estimated sequence is no longer an EPS, voiding
+                    # Lemma 4.7's premise — a genuine finding of this
+                    # ablation (see EXPERIMENTS.md).
+                    "feasible": feasible,
+                }
+            )
+    return rows

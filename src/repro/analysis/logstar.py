@@ -1,0 +1,99 @@
+"""Iterated-logarithm utilities.
+
+The paper's main positive result (Theorem 4.1) has query complexity
+``(1/eps)^(O(log* n))``, where ``log*`` is the iterated logarithm defined
+in Section 2:
+
+    log* n = 0                     if n <= 1
+    log* n = 1 + log*(log2 n)      otherwise
+
+This module implements ``log*`` and helpers used to size the rMedian
+round schedule (the number of grid-descent rounds tracks ``log*`` of the
+efficiency-domain size, mirroring ILPS22 Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["log_star", "log_star_of_pow2", "tower", "iterated_log_schedule"]
+
+
+def log_star(n: float) -> int:
+    """Return the iterated logarithm (base 2) of ``n``.
+
+    >>> [log_star(x) for x in (0, 1, 2, 4, 16, 65536)]
+    [0, 0, 1, 2, 3, 4]
+    >>> log_star(2 ** 65536)
+    5
+    """
+    if n != n:  # NaN
+        raise ValueError("log_star is undefined for NaN")
+    count = 0
+    # Work in the exponent for astronomically large inputs: if the caller
+    # has n = 2**d for huge d they should use log_star_of_pow2 instead,
+    # but float inputs up to ~1e308 are handled here directly.
+    while n > 1:
+        n = math.log2(n)
+        count += 1
+    return count
+
+
+def log_star_of_pow2(d: int) -> int:
+    """Return ``log*(2**d)`` without constructing ``2**d``.
+
+    The efficiency domain in Section 4.2 has size ``2**poly(n)``; this
+    helper evaluates ``log*`` of such sizes exactly: for d >= 1,
+    ``log*(2**d) = 1 + log*(d)``.
+
+    >>> log_star_of_pow2(16) == log_star(2 ** 16)
+    True
+    """
+    if d < 0:
+        raise ValueError("domain bit-width must be non-negative")
+    if d == 0:
+        return 0  # 2**0 == 1 and log*(1) == 0
+    return 1 + log_star(d)
+
+
+def tower(height: int, base: float = 2.0) -> float:
+    """Return the power tower ``base^base^...^base`` of given height.
+
+    ``tower(h)`` is the (essentially unique) value with
+    ``log_star(tower(h)) == h``.  Heights above 4 overflow floats for
+    base 2 and raise :class:`OverflowError`.
+
+    >>> tower(0), tower(1), tower(2), tower(3)
+    (1.0, 2.0, 4.0, 16.0)
+    """
+    if height < 0:
+        raise ValueError("tower height must be non-negative")
+    value = 1.0
+    for _ in range(height):
+        value = base ** value
+    return value
+
+
+def iterated_log_schedule(d: int) -> list[int]:
+    """Return the decreasing bit-width schedule ``[d, ceil(log2 d), ...]``.
+
+    Used by rMedian's grid descent: round i narrows the candidate domain
+    from ``2**schedule[i]`` points to ``2**schedule[i+1]`` points, so the
+    number of rounds is ``log*``-like in the initial domain size.  The
+    schedule always ends at 0 (a single surviving point).
+
+    >>> iterated_log_schedule(16)
+    [16, 4, 2, 1, 0]
+    >>> iterated_log_schedule(1)
+    [1, 0]
+    """
+    if d < 0:
+        raise ValueError("domain bit-width must be non-negative")
+    schedule = [d]
+    while schedule[-1] > 1:
+        schedule.append(max(1, math.ceil(math.log2(schedule[-1]))))
+        if schedule[-1] == schedule[-2]:  # log2(2) == 1 plateau
+            schedule[-1] = schedule[-2] - 1
+    if schedule[-1] != 0:
+        schedule.append(0)
+    return schedule

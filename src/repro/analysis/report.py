@@ -1,0 +1,140 @@
+"""One-command reproduction report.
+
+``python -m repro report`` runs every experiment in the E-suite at a
+chosen scale and writes a single markdown document with every table —
+the "did the reproduction reproduce?" artifact, regenerated on demand.
+
+Scales:
+
+* ``smoke``  — minutes-scale sanity pass (reduced ns/trials/runs);
+* ``full``   — the benchmark-suite defaults (what EXPERIMENTS.md quotes).
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import time
+from typing import Callable
+
+from . import experiments as exps
+from .tables import format_row_dicts
+
+__all__ = ["REPORT_SECTIONS", "generate_report"]
+
+#: (section title, experiment callable, {scale: kwargs}) in report order.
+REPORT_SECTIONS: list[tuple[str, Callable, dict]] = [
+    (
+        "E1 — Theorem 3.2: exact-Knapsack lower bound",
+        exps.exp_thm32_or_lower_bound,
+        {
+            "smoke": {"ns": (64, 256), "trials": 300},
+            "full": {},
+        },
+    ),
+    (
+        "E2 — Theorem 3.3: alpha-approximation lower bound",
+        exps.exp_thm33_approx_lower_bound,
+        {
+            "smoke": {"alphas": (1.0, 0.1), "m": 256, "trials": 300},
+            "full": {},
+        },
+    ),
+    (
+        "E3 — Theorem 3.4: maximal-feasibility lower bound",
+        exps.exp_thm34_maximal_lower_bound,
+        {
+            "smoke": {"ns": (64, 256), "trials": 300},
+            "full": {},
+        },
+    ),
+    (
+        "E4 — Theorem 4.1: approximation",
+        exps.exp_thm41_approximation,
+        {
+            "smoke": {"n": 700, "runs": 1},
+            "full": {},
+        },
+    ),
+    (
+        "E5 — Theorem 4.1: consistency",
+        exps.exp_thm41_consistency,
+        {
+            "smoke": {"n": 700, "runs": 3, "probes": 20},
+            "full": {},
+        },
+    ),
+    (
+        "E6 — Lemma 4.10: cost vs n",
+        exps.exp_thm41_query_scaling,
+        {
+            "smoke": {"ns": (600, 2400)},
+            "full": {},
+        },
+    ),
+    (
+        "E14 — Lemma 4.10: cost vs epsilon",
+        exps.exp_thm41_epsilon_scaling,
+        {
+            "smoke": {"epsilons": (0.2, 0.05), "n": 1000},
+            "full": {},
+        },
+    ),
+    (
+        "E7 — Theorem 4.5: reproducible quantiles",
+        exps.exp_rquantile_reproducibility,
+        {
+            "smoke": {"sample_sizes": (2_000, 20_000), "runs": 5},
+            "full": {},
+        },
+    ),
+    (
+        "E8 — Lemma 4.2: coupon collector",
+        exps.exp_lemma42_coupon,
+        {
+            "smoke": {"deltas": (0.2, 0.1), "n": 600, "trials": 40},
+            "full": {},
+        },
+    ),
+    (
+        "E9 — Lemma 4.4: IKY value approximation",
+        exps.exp_iky_value,
+        {
+            "smoke": {"n": 300, "epsilons": (0.1,), "runs": 1},
+            "full": {},
+        },
+    ),
+    (
+        "E10b — ablation: domain resolution",
+        exps.exp_ablation_domain_bits,
+        {
+            "smoke": {"bits_grid": (8, 12), "n": 700, "runs": 3},
+            "full": {},
+        },
+    ),
+]
+
+
+def generate_report(*, scale: str = "smoke", title: str | None = None) -> str:
+    """Run the suite at the given scale; return the markdown report."""
+    if scale not in ("smoke", "full"):
+        raise ValueError(f"scale must be 'smoke' or 'full', got {scale!r}")
+    out = io.StringIO()
+    stamp = datetime.datetime.now().isoformat(timespec="seconds")
+    out.write(title or "# Reproduction report\n")
+    out.write(
+        f"\nGenerated {stamp}; scale = `{scale}`. "
+        "Each section is one DESIGN.md experiment; see EXPERIMENTS.md for "
+        "the claim-by-claim interpretation.\n"
+    )
+    for section_title, fn, scale_kwargs in REPORT_SECTIONS:
+        kwargs = scale_kwargs.get(scale, {})
+        started = time.perf_counter()
+        rows = fn(**kwargs)
+        elapsed = time.perf_counter() - started
+        out.write(f"\n## {section_title}\n\n")
+        out.write("```\n")
+        out.write(format_row_dicts(rows))
+        out.write("\n```\n")
+        out.write(f"\n({len(rows)} rows, {elapsed:.1f}s)\n")
+    return out.getvalue()

@@ -1,0 +1,149 @@
+"""Lightweight statistics used by the experiment harnesses.
+
+Everything here is deliberately dependency-light (numpy only) and
+deterministic given an explicit RNG, so that benchmark output is
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "bootstrap_ci",
+    "binomial_ci",
+    "dkw_epsilon",
+    "empirical_cdf",
+    "hoeffding_sample_size",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sequence of measurements."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.minimum:.6g} med={self.median:.6g} max={self.maximum:.6g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Return a :class:`Summary` of ``values`` (must be non-empty)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Used by benches to put error bars on measured success probabilities
+    and approximation ratios.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sequence")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    lo = float(np.quantile(means, (1 - confidence) / 2))
+    hi = float(np.quantile(means, 1 - (1 - confidence) / 2))
+    return lo, hi
+
+
+def binomial_ci(successes: int, trials: int, confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The lower-bound experiments (E1-E3) estimate success probabilities of
+    query strategies; Wilson intervals behave well near 0 and 1 where the
+    normal approximation fails.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    # Normal quantile via inverse error function (avoids scipy dependency
+    # in the core package even though scipy happens to be installed).
+    alpha = 1 - confidence
+    z = math.sqrt(2) * _erfinv(1 - alpha)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-3 relative)."""
+    if not -1 < y < 1:
+        raise ValueError("erfinv domain is (-1, 1)")
+    a = 0.147
+    ln_term = math.log(1 - y * y)
+    first = 2 / (math.pi * a) + ln_term / 2
+    return math.copysign(math.sqrt(math.sqrt(first * first - ln_term / a) - first), y)
+
+
+def dkw_epsilon(n_samples: int, delta: float) -> float:
+    """DKW uniform CDF deviation bound.
+
+    With probability at least ``1 - delta`` the empirical CDF of
+    ``n_samples`` i.i.d. draws deviates from the true CDF by less than
+    the returned value, *uniformly* over the domain.  This is the
+    concentration inequality behind the reproducibility analysis of the
+    grid-descent rMedian.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    return math.sqrt(math.log(2 / delta) / (2 * n_samples))
+
+
+def empirical_cdf(samples: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(xs, F(xs))`` for the right-continuous empirical CDF."""
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot build an empirical CDF from no samples")
+    xs, counts = np.unique(arr, return_counts=True)
+    cdf = np.cumsum(counts) / arr.size
+    return xs, cdf
+
+
+def hoeffding_sample_size(epsilon: float, delta: float) -> int:
+    """Samples needed so a [0,1]-bounded mean is within ``epsilon`` w.p. 1-delta."""
+    if not 0 < epsilon <= 1:
+        raise ValueError("epsilon must lie in (0, 1]")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    return math.ceil(math.log(2 / delta) / (2 * epsilon * epsilon))

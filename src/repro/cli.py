@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro`` / ``repro-lca``.
+
+Subcommands
+-----------
+``solve``       solve a generated instance with the reference solvers;
+``lca``         answer membership queries with LCA-KP;
+``experiment``  run one of the E1-E11 experiments and print its table;
+``demo``        the Figure 1 reduction, walked end to end;
+``families``    list the workload generator families.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .access.oracle import QueryOracle
+from .access.weighted_sampler import WeightedSampler
+from .analysis import experiments as exps
+from .analysis.tables import format_row_dicts, format_table
+from .core.lca_kp import LCAKP
+from .knapsack import FAMILIES, generate
+from .knapsack.solvers import (
+    fractional_upper_bound,
+    half_approximation,
+    prefix_greedy,
+    solve_exact,
+)
+from .lowerbounds.or_reduction import BitOracle, ORReduction
+
+EXPERIMENTS = {
+    "thm32": exps.exp_thm32_or_lower_bound,
+    "thm33": exps.exp_thm33_approx_lower_bound,
+    "thm34": exps.exp_thm34_maximal_lower_bound,
+    "thm41-approx": exps.exp_thm41_approximation,
+    "thm41-consistency": exps.exp_thm41_consistency,
+    "thm41-scaling": exps.exp_thm41_query_scaling,
+    "thm41-epsilon": exps.exp_thm41_epsilon_scaling,
+    "footnote3": exps.exp_footnote3_query_scaling,
+    "lemma42": exps.exp_lemma42_coupon,
+    "rquantile": exps.exp_rquantile_reproducibility,
+    "iky": exps.exp_iky_value,
+    "ablation-bits": exps.exp_ablation_domain_bits,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lca",
+        description="Local Computation Algorithms for Knapsack (PODC 2025 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a generated instance")
+    p_solve.add_argument("--family", default="uniform", choices=sorted(FAMILIES))
+    p_solve.add_argument("--n", type=int, default=100)
+    p_solve.add_argument("--seed", type=int, default=0)
+
+    p_lca = sub.add_parser("lca", help="answer LCA queries on a generated instance")
+    p_lca.add_argument("--family", default="planted_lsg", choices=sorted(FAMILIES))
+    p_lca.add_argument("--n", type=int, default=2000)
+    p_lca.add_argument("--seed", type=int, default=0)
+    p_lca.add_argument("--epsilon", type=float, default=0.05)
+    p_lca.add_argument("--lca-seed", type=int, default=42, help="the shared random string r")
+    p_lca.add_argument(
+        "--tie-breaking",
+        action="store_true",
+        help="enable the stochastic tie-breaking extension (see core/tie_breaking.py)",
+    )
+    p_lca.add_argument("items", type=int, nargs="+", help="item indices to query")
+
+    p_cluster = sub.add_parser(
+        "cluster", help="simulate a distributed LCA deployment and audit it"
+    )
+    p_cluster.add_argument("--family", default="efficiency_tiers", choices=sorted(FAMILIES))
+    p_cluster.add_argument("--n", type=int, default=2000)
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument("--epsilon", type=float, default=0.1)
+    p_cluster.add_argument("--workers", type=int, default=4)
+    p_cluster.add_argument("--queries", type=int, default=60)
+    p_cluster.add_argument(
+        "--routing", default="round_robin", choices=("random", "round_robin", "least_loaded")
+    )
+    p_cluster.add_argument(
+        "--crash-rate", type=float, default=0.0, help="probability a service attempt crashes"
+    )
+
+    p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the result rows as JSON to PATH",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="run the whole experiment suite and write a markdown report"
+    )
+    p_report.add_argument("--scale", default="smoke", choices=("smoke", "full"))
+    p_report.add_argument("--out", default=None, help="write to this path (default: stdout)")
+
+    sub.add_parser("demo", help="walk the Figure 1 reduction end to end")
+    sub.add_parser("families", help="list instance generator families")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    inst = generate(args.family, args.n, seed=args.seed)
+    rows = []
+    greedy = prefix_greedy(inst)
+    half = half_approximation(inst)
+    rows.append(["prefix_greedy", greedy.value, greedy.weight, len(greedy)])
+    rows.append(["half_approximation", half.value, half.weight, len(half)])
+    rows.append(["fractional_bound", fractional_upper_bound(inst), float("nan"), -1])
+    if inst.n <= 400:
+        exact = solve_exact(inst)
+        rows.append(["exact", exact.value, exact.weight, len(exact)])
+    print(f"instance: family={args.family} n={inst.n} K={inst.capacity:.4g}")
+    print(format_table(["solver", "value", "weight", "|S|"], rows))
+    return 0
+
+
+def _cmd_lca(args: argparse.Namespace) -> int:
+    inst = generate(args.family, args.n, seed=args.seed)
+    sampler = WeightedSampler(inst)
+    lca = LCAKP(
+        sampler,
+        QueryOracle(inst),
+        args.epsilon,
+        seed=args.lca_seed,
+        tie_breaking=getattr(args, "tie_breaking", False),
+    )
+    rows = []
+    for item in args.items:
+        if not 0 <= item < inst.n:
+            print(f"item {item} out of range [0, {inst.n})", file=sys.stderr)
+            return 2
+        before = sampler.samples_used
+        ans = lca.answer(item)
+        rows.append(
+            [
+                item,
+                "yes" if ans.include else "no",
+                ans.reason,
+                sampler.samples_used - before,
+            ]
+        )
+    print(
+        f"LCA-KP: family={args.family} n={inst.n} eps={args.epsilon} "
+        f"seed={args.lca_seed} (answers are consistent across reruns with the same seed)"
+    )
+    print(format_table(["item", "in solution", "reason", "samples"], rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    rows = EXPERIMENTS[args.name]()
+    print(format_row_dicts(rows, title=f"experiment {args.name}"))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(rows, fh, indent=2, default=str)
+        print(f"\nwrote {len(rows)} rows to {args.json}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .distributed.cluster import ClusterSimulation
+
+    inst = generate(args.family, args.n, seed=args.seed)
+    sim = ClusterSimulation(
+        inst,
+        args.epsilon,
+        seed=31337,
+        workers=args.workers,
+        routing=args.routing,
+        crash_rate=args.crash_rate,
+    )
+    report = sim.run(args.queries)
+    print(
+        f"cluster: {args.workers} workers, {args.queries} queries, "
+        f"routing={args.routing}, crash_rate={args.crash_rate}"
+    )
+    rows = [
+        ["queries answered", len(report.records)],
+        ["consistency rate", f"{report.consistency_rate:.3f}"],
+        ["contested items", len(report.contested_items)],
+        ["crashes (retried)", report.total_crashes],
+        ["mean latency (ms)", f"{report.mean_latency * 1000:.2f}"],
+        ["p95 latency (ms)", f"{report.p95_latency * 1000:.2f}"],
+        ["total samples", report.total_samples],
+        ["per-worker load", " ".join(map(str, report.per_worker_load))],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    text = generate_report(scale=args.scale)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(0)
+    m = 15
+    x = np.zeros(m, dtype=np.int8)
+    x[int(rng.integers(m))] = 1
+    print("Figure 1 demo: OR input x =", "".join(map(str, x.tolist())))
+    oracle = BitOracle(x)
+    red = ORReduction(oracle)
+    inst_oracle = red.oracle()
+    print(f"simulated Knapsack instance: n={red.n}, K=1, all weights 1")
+    special = inst_oracle.query(red.special_index)
+    print(f"item s_n = {special} (no bit-query charged)")
+    for i in (0, 3, 7):
+        item = inst_oracle.query(i)
+        print(f"item s_{i} = {item}  (one bit-query; total so far: {oracle.queries_used})")
+    print(
+        "s_n in the optimal solution? ",
+        red.special_in_unique_optimum(),
+        f"   (OR(x) = {oracle.true_or()}; the two are complementary)",
+    )
+    print(
+        "=> answering that single LCA query computes OR(x), so the LCA's\n"
+        "   query budget is lower-bounded by R(OR) = Omega(n)  [Theorem 3.2]"
+    )
+    return 0
+
+
+def _cmd_families(_args: argparse.Namespace) -> int:
+    for name in sorted(FAMILIES):
+        doc = (FAMILIES[name].__doc__ or "").strip().splitlines()[0]
+        print(f"{name:24s} {doc}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "lca": _cmd_lca,
+        "cluster": _cmd_cluster,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+        "demo": _cmd_demo,
+        "families": _cmd_families,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: LCA-KP and its subroutines.
+
+Module map (paper artifact -> module):
+
+* L/S/G partition (Section 4)        -> :mod:`repro.core.partition`
+* Equally Partitioning Sequence      -> :mod:`repro.core.eps`
+* I~-construction                    -> :mod:`repro.core.simplified_instance`
+* Algorithm 3 CONVERT-GREEDY         -> :mod:`repro.core.convert_greedy`
+* Algorithm 4 MAPPING-GREEDY         -> :mod:`repro.core.mapping_greedy`
+* Algorithm 2 LCA-KP                 -> :mod:`repro.core.lca_kp`
+* parameter derivations              -> :mod:`repro.core.parameters`
+"""
+
+from .convert_greedy import ConvertGreedyResult, convert_greedy
+from .eps import EPSReport, band_masses, check_eps, true_quantile_sequence
+from .lca_kp import LCAKP, LCAAnswer, PipelineResult
+from .mapping_greedy import mapping_greedy
+from .parameters import LCAParameters, RunParameters, coupon_collector_samples
+from .partition import ItemClass, PartitionSummary, classify_instance, classify_item
+from .simplified_instance import (
+    SimplifiedInstance,
+    TildeItem,
+    build_simplified_instance,
+)
+from .solution_view import SolutionView, ValueEstimateFromLCA
+from .tie_breaking import TieBreakingRule, derive_tie_breaking
+
+__all__ = [
+    "LCAKP",
+    "LCAAnswer",
+    "PipelineResult",
+    "LCAParameters",
+    "RunParameters",
+    "coupon_collector_samples",
+    "ItemClass",
+    "PartitionSummary",
+    "classify_instance",
+    "classify_item",
+    "EPSReport",
+    "band_masses",
+    "check_eps",
+    "true_quantile_sequence",
+    "SimplifiedInstance",
+    "TildeItem",
+    "build_simplified_instance",
+    "ConvertGreedyResult",
+    "convert_greedy",
+    "mapping_greedy",
+    "TieBreakingRule",
+    "derive_tie_breaking",
+    "SolutionView",
+    "ValueEstimateFromLCA",
+]

@@ -1,0 +1,314 @@
+"""LCA-KP (Algorithm 2): the paper's Local Computation Algorithm.
+
+Given weighted-sampling access to a Knapsack instance, a per-item query
+access (to reveal the queried item itself), the accuracy parameter
+epsilon and a shared read-only seed, :class:`LCAKP` answers "is item i
+in the solution?" consistently with a single ``(1/2, 6 eps)``-
+approximate feasible solution C — with high probability, across
+arbitrarily many *stateless* runs.
+
+Statelessness is structural: :meth:`LCAKP.answer` rebuilds everything
+from scratch on every call.  Each run draws *fresh* samples (nonce-
+derived randomness) but shares the internal random string (the bare
+seed) with every other run, exactly the (s1, s2; r) split of
+Definition 2.5.  Consistency then rests on the pipeline being
+reproducible: fresh samples, same seed => same simplified instance I~
+=> same decision rule, w.h.p.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..access.oracle import QueryOracle
+from ..access.seeds import SeedChain, fresh_nonce
+from ..errors import ReproError
+from ..knapsack.items import Item
+from ..reproducible.rquantile import ReproducibleQuantileEstimator
+from .convert_greedy import ConvertGreedyResult, convert_greedy
+from .parameters import LCAParameters
+from .simplified_instance import SimplifiedInstance, build_simplified_instance
+from .tie_breaking import TieBreakingRule, derive_tie_breaking
+
+__all__ = ["LCAAnswer", "PipelineResult", "LCAKP"]
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything one stateless run derives before answering queries."""
+
+    p_large: float
+    large_items: dict[int, tuple[float, float]]
+    eps_sequence: tuple[float, ...]
+    simplified: SimplifiedInstance
+    converted: ConvertGreedyResult
+    samples_used: int
+    small_sample_size: int
+    tie_rule: "TieBreakingRule | None" = None
+
+    @property
+    def rule(self):
+        """The decision rule in force: tie-breaking extension or base."""
+        return self.tie_rule if self.tie_rule is not None else self.converted
+
+    def signature(self) -> tuple:
+        """Identity of the run's derived state; equal signatures imply
+        identical answers to every possible query."""
+        sig = self.simplified.signature()
+        if self.tie_rule is None:
+            return sig
+        return sig + (self.tie_rule.band_lo, self.tie_rule.band_hi, self.tie_rule.fraction)
+
+
+@dataclass(frozen=True)
+class LCAAnswer:
+    """Answer to one LCA query, with full provenance."""
+
+    index: int
+    include: bool
+    item: Item
+    reason: str
+    pipeline: PipelineResult
+
+
+class LCAKP:
+    """The paper's LCA for Knapsack under weighted sampling access.
+
+    Parameters
+    ----------
+    sampler:
+        Weighted-sampling access (:class:`~repro.access.WeightedSampler`
+        or :class:`~repro.access.CustomSampler`).
+    oracle:
+        Plain query access, used for exactly one query per answer: the
+        queried item's own (p, w).
+    epsilon:
+        Accuracy parameter; the solution is (1/2, 6 eps)-approximate.
+    seed:
+        The shared read-only random string r (int or
+        :class:`~repro.access.SeedChain`).  All runs that should be
+        mutually consistent must use the same seed.
+    params:
+        Optional :class:`~repro.core.parameters.LCAParameters` override;
+        defaults to ``LCAParameters.calibrated(epsilon)``.
+    tie_breaking:
+        Opt-in extension (NOT in the paper; see
+        :mod:`repro.core.tie_breaking`): fractionally include the cut
+        efficiency band via per-item shared-seed coins, recovering
+        non-trivial solutions on efficiency-degenerate instances at the
+        cost of stochastic (empirically validated) feasibility.
+    large_item_mode:
+        How the large-item set is extracted from the sample R:
+
+        * ``"coupon"`` (the paper's Algorithm 2 lines 2-3): keep every
+          sampled item with profit > eps^2.  Items with profit just
+          above eps^2 are then kept or missed by sampling luck, which
+          is a (rare) cross-run inconsistency source;
+        * ``"heavy_hitters"``: run the reproducible heavy-hitters
+          primitive (:mod:`repro.reproducible.heavy_hitters`) on the
+          sampled indices with a seed-randomized profit cutoff around
+          eps^2.  **Measured to be worse than coupon mode** at
+          practical sample sizes (ablation E13): resolving frequencies
+          at eps^2 granularity needs astronomically more samples than
+          detecting presence, which is exactly why the paper routes
+          identity discovery through coupon collection.  Kept as an
+          instructive §5-spirit ablation, not a recommendation.
+    """
+
+    def __init__(
+        self,
+        sampler,
+        oracle: QueryOracle,
+        epsilon: float,
+        seed: int | SeedChain,
+        *,
+        params: LCAParameters | None = None,
+        tie_breaking: bool = False,
+        large_item_mode: str = "coupon",
+    ) -> None:
+        if not 0 < epsilon <= 1:
+            raise ReproError(f"epsilon must lie in (0, 1], got {epsilon}")
+        self._sampler = sampler
+        self._oracle = oracle
+        self._epsilon = epsilon
+        self._seed = seed if isinstance(seed, SeedChain) else SeedChain(seed)
+        self._params = params or LCAParameters.calibrated(epsilon)
+        self._tie_breaking = bool(tie_breaking)
+        if large_item_mode not in ("coupon", "heavy_hitters"):
+            raise ReproError(
+                f"large_item_mode must be 'coupon' or 'heavy_hitters', got {large_item_mode!r}"
+            )
+        self._large_item_mode = large_item_mode
+        if abs(self._params.epsilon - epsilon) > 1e-12:
+            raise ReproError(
+                f"params were built for epsilon={self._params.epsilon}, "
+                f"but the LCA was given epsilon={epsilon}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """The accuracy parameter."""
+        return self._epsilon
+
+    @property
+    def params(self) -> LCAParameters:
+        """The static parameters in force."""
+        return self._params
+
+    @property
+    def seed(self) -> SeedChain:
+        """The shared random string r."""
+        return self._seed
+
+    # ------------------------------------------------------------------
+    def run_pipeline(self, *, nonce: int | None = None) -> PipelineResult:
+        """One full stateless run of Algorithm 2 lines 1-19.
+
+        ``nonce`` seeds this run's *fresh* sampling randomness; omit it
+        for OS entropy (the production behaviour), pass a fixed value to
+        make a run replayable in tests.
+        """
+        params = self._params
+        eps = self._epsilon
+        eps_sq = params.eps_sq
+        rng = self._seed.run_stream(nonce if nonce is not None else fresh_nonce()).rng()
+        samples_before = getattr(self._sampler, "samples_used", 0)
+
+        # Lines 1-3: sample R, keep large items, deduplicate.
+        r_sample = self._sampler.sample_many(params.m_large, rng)
+        large: dict[int, tuple[float, float]] = {}
+        if self._large_item_mode == "heavy_hitters":
+            # Extension: the sampled index stream has per-index frequency
+            # equal to the item's (normalized) profit, so reproducible
+            # heavy hitters at theta = eps^2 recover L(I) with a shared
+            # randomized cutoff deciding borderline profits consistently.
+            from ..reproducible.heavy_hitters import reproducible_heavy_hitters
+
+            attributes = {s.index: (s.profit, s.weight) for s in r_sample}
+            hh = reproducible_heavy_hitters(
+                [s.index for s in r_sample],
+                theta=eps_sq,
+                seed=self._seed.child("large-heavy-hitters"),
+                tau=eps_sq / 4,
+            )
+            large = {i: attributes[i] for i in hh.items}
+        else:
+            for s in r_sample:
+                if s.profit > eps_sq:
+                    large[s.index] = (s.profit, s.weight)
+        p_large = min(sum(p for p, _ in large.values()), 1.0)
+
+        # Lines 4-17: estimate the EPS when enough mass sits outside L.
+        eps_sequence: tuple[float, ...] = ()
+        small_sample_size = 0
+        efficiencies = np.empty(0)
+        total_q_draws = 0
+        if 1.0 - p_large >= eps:
+            run = params.per_run(p_large)
+            q_sample = self._sampler.sample_many(run.a, rng)
+            total_q_draws = run.a
+            efficiencies = np.array(
+                [s.efficiency for s in q_sample if s.profit <= eps_sq], dtype=float
+            )
+            small_sample_size = int(efficiencies.size)
+            if small_sample_size > 0 and run.t > 0:
+                estimator = ReproducibleQuantileEstimator(
+                    domain=params.domain,
+                    tau=params.tau,
+                    rho=params.rho,
+                    beta=params.beta,
+                )
+                thresholds: list[float] = []
+                for k in range(1, run.t + 1):
+                    target = min(max(1.0 - k * run.q, 0.0), 1.0)
+                    node = self._seed.child("rquantile").child(k)
+                    e_k = estimator.quantile(efficiencies, target, node)
+                    if thresholds:
+                        e_k = min(e_k, thresholds[-1])  # enforce monotonicity
+                    thresholds.append(e_k)
+                # Lines 11-14: drop a final threshold below eps^2.
+                if thresholds and thresholds[-1] < eps_sq:
+                    thresholds.pop()
+                eps_sequence = tuple(thresholds)
+
+        # Lines 18-19: build I~ and convert its greedy solution.
+        simplified = build_simplified_instance(
+            large, eps_sequence, eps, self._sampler.capacity
+        )
+        converted = convert_greedy(simplified)
+        tie_rule = None
+        if self._tie_breaking:
+
+            def band_mass(lo: float, hi: float) -> float | None:
+                if total_q_draws == 0 or efficiencies.size == 0:
+                    return None
+                in_band = np.count_nonzero((efficiencies >= lo) & (efficiencies < hi))
+                # Weighted sampling: each draw represents 1/a of the
+                # total (unit) profit, so the band's profit mass is the
+                # in-band draw fraction.
+                return float(in_band) / float(total_q_draws)
+
+            tie_rule = derive_tie_breaking(
+                simplified,
+                converted,
+                self._seed.child("tie-breaking"),
+                band_mass_estimator=band_mass,
+            )
+        samples_used = getattr(self._sampler, "samples_used", 0) - samples_before
+        return PipelineResult(
+            p_large=p_large,
+            large_items=large,
+            eps_sequence=eps_sequence,
+            simplified=simplified,
+            converted=converted,
+            samples_used=samples_used,
+            small_sample_size=small_sample_size,
+            tie_rule=tie_rule,
+        )
+
+    # ------------------------------------------------------------------
+    def answer(self, index: int, *, nonce: int | None = None) -> LCAAnswer:
+        """Answer one query (Algorithm 2 lines 20-24), statelessly.
+
+        Every call re-runs the full pipeline: no state survives between
+        queries, per Definition 2.2.  Use :meth:`answer_many` when the
+        *caller* wants to amortize a run over several queries (that is
+        the caller's prerogative — e.g. the distributed simulation gives
+        each worker one run per incoming batch — and does not change the
+        output law, since answers are a deterministic function of the
+        pipeline result).
+        """
+        pipeline = self.run_pipeline(nonce=nonce)
+        return self._answer_from(pipeline, index)
+
+    def answer_many(
+        self, indices, *, nonce: int | None = None
+    ) -> list[LCAAnswer]:
+        """Answer a batch of queries from a single pipeline run."""
+        pipeline = self.run_pipeline(nonce=nonce)
+        return [self._answer_from(pipeline, int(i)) for i in indices]
+
+    def _answer_from(self, pipeline: PipelineResult, index: int) -> LCAAnswer:
+        item = self._oracle.query(index)
+        include = pipeline.rule.decide(item.profit, item.weight, index)
+        eps_sq = self._params.eps_sq
+        if item.profit > eps_sq:
+            reason = "large-in-solution" if include else "large-not-in-solution"
+        elif include:
+            reason = "small-above-threshold"
+        elif pipeline.converted.b_indicator:
+            reason = "singleton-branch-excludes-small"
+        elif pipeline.converted.e_small is None:
+            reason = "no-small-threshold"
+        else:
+            reason = "below-threshold-or-garbage"
+        return LCAAnswer(
+            index=index,
+            include=include,
+            item=item,
+            reason=reason,
+            pipeline=pipeline,
+        )

@@ -1,0 +1,39 @@
+"""MAPPING-GREEDY (Algorithm 4): materialize the solution C.
+
+Applies CONVERT-GREEDY's decision rule to *every* item of the original
+instance, producing the explicit feasible solution C the LCA's answers
+are consistent with.  This requires reading the whole instance, so it
+is a verification tool (Lemmas 4.7 and 4.8 are statements about C;
+tests check them against this materialization) — the LCA itself never
+calls it.
+"""
+
+from __future__ import annotations
+
+from ..knapsack.instance import KnapsackInstance
+from .convert_greedy import ConvertGreedyResult
+from .tie_breaking import TieBreakingRule
+
+__all__ = ["mapping_greedy"]
+
+
+def mapping_greedy(
+    instance: KnapsackInstance,
+    converted: "ConvertGreedyResult | TieBreakingRule",
+) -> frozenset[int]:
+    """Return C = Index_large items + qualifying small items (Algorithm 4).
+
+    The small-item clause fires only when the greedy branch won
+    (``b_indicator`` False) and a threshold exists (``e_small != -1``),
+    exactly as Algorithm 4 lines 2-3; membership is evaluated with the
+    same :meth:`~repro.core.convert_greedy.ConvertGreedyResult.decide`
+    rule the per-query LCA uses, so LCA answers and C agree *by
+    construction* — consistency reduces to both runs deriving the same
+    ``converted``.
+    """
+    chosen = [
+        i
+        for i in range(instance.n)
+        if converted.decide(instance.profit(i), instance.weight(i), i)
+    ]
+    return frozenset(chosen)

@@ -1,0 +1,104 @@
+"""The L/S/G item partition of Section 4.
+
+Fixing epsilon, the items of an instance are partitioned into
+
+* ``L(I)`` — **large**:   ``p > eps^2``;
+* ``S(I)`` — **small**:   ``p <= eps^2`` and efficiency ``p/w >= eps^2``;
+* ``G(I)`` — **garbage**: ``p <= eps^2`` and efficiency ``p/w < eps^2``.
+
+Large items are few (at most ``1/eps^2`` by the profit normalization)
+and will all be captured by weighted sampling (Lemma 4.2); small items
+are handled in aggregate through the EPS quantiles; garbage items are
+provably ignorable (their total profit is at most ``eps^2``, shown in
+Lemma 4.6's proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..knapsack.instance import KnapsackInstance
+from ..knapsack.items import Item, efficiency
+
+__all__ = ["ItemClass", "classify_item", "classify_instance", "PartitionSummary"]
+
+
+class ItemClass(Enum):
+    """Which of L(I)/S(I)/G(I) an item belongs to."""
+
+    LARGE = "large"
+    SMALL = "small"
+    GARBAGE = "garbage"
+
+
+def classify_item(profit: float, weight: float, epsilon: float) -> ItemClass:
+    """Classify one ``(p, w)`` pair for the given epsilon.
+
+    Zero-weight items have infinite efficiency (see
+    :func:`repro.knapsack.items.efficiency`), so a low-profit free item
+    is *small*, never garbage — it costs nothing to include.
+    """
+    eps_sq = epsilon * epsilon
+    if profit > eps_sq:
+        return ItemClass.LARGE
+    if efficiency(profit, weight) >= eps_sq:
+        return ItemClass.SMALL
+    return ItemClass.GARBAGE
+
+
+def classify_sample(item: Item, epsilon: float) -> ItemClass:
+    """Classify an :class:`Item` (convenience overload)."""
+    return classify_item(item.profit, item.weight, epsilon)
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """Index sets and profit masses of the L/S/G partition of an instance.
+
+    Computing this requires reading the whole instance, so it is a
+    *test/bench* artifact (ground truth), never used inside the LCA.
+    """
+
+    epsilon: float
+    large: frozenset[int]
+    small: frozenset[int]
+    garbage: frozenset[int]
+    large_mass: float
+    small_mass: float
+    garbage_mass: float
+
+    @property
+    def counts(self) -> tuple[int, int, int]:
+        """(|L|, |S|, |G|)."""
+        return (len(self.large), len(self.small), len(self.garbage))
+
+    def item_class(self, i: int) -> ItemClass:
+        """Class of item ``i``."""
+        if i in self.large:
+            return ItemClass.LARGE
+        if i in self.small:
+            return ItemClass.SMALL
+        return ItemClass.GARBAGE
+
+
+def classify_instance(instance: KnapsackInstance, epsilon: float) -> PartitionSummary:
+    """Partition a full instance into L/S/G (ground-truth computation)."""
+    eps_sq = epsilon * epsilon
+    profits = instance.profits
+    eff = instance.efficiencies()
+    large_mask = profits > eps_sq
+    small_mask = (~large_mask) & (eff >= eps_sq)
+    garbage_mask = ~(large_mask | small_mask)
+    idx = np.arange(instance.n)
+    return PartitionSummary(
+        epsilon=epsilon,
+        large=frozenset(idx[large_mask].tolist()),
+        small=frozenset(idx[small_mask].tolist()),
+        garbage=frozenset(idx[garbage_mask].tolist()),
+        large_mass=float(profits[large_mask].sum()),
+        small_mass=float(profits[small_mask].sum()),
+        garbage_mass=float(profits[garbage_mask].sum()),
+    )

@@ -1,0 +1,134 @@
+"""The I~-construction (Section 4, steps 1-3 of the IKY12 recipe).
+
+From (a) the set ``M`` of large items captured by weighted sampling and
+(b) an equally partitioning sequence ``e_1 .. e_t``, build the
+constant-size simplified instance
+
+* ``L(I~) = M`` (large items verbatim, keeping their original indices);
+* ``S(I~)`` = for each band k = 0 .. t-1, ``floor(1/eps)`` copies of the
+  representative item ``(eps^2, eps^2 / e_{k+1})``;
+* ``G(I~) = {}``; capacity ``K~ = K``.
+
+Each item of I~ carries *provenance*: large items remember their index
+in the original instance, small representatives remember their band.
+CONVERT-GREEDY needs the provenance to translate its decisions back to
+queries about original items.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..knapsack.items import efficiency
+
+__all__ = ["TildeItem", "SimplifiedInstance", "build_simplified_instance"]
+
+
+@dataclass(frozen=True)
+class TildeItem:
+    """One item of the simplified instance I~, with provenance.
+
+    ``kind`` is ``"large"`` (then ``ref`` is the original index) or
+    ``"small"`` (then ``ref`` is the efficiency band k its threshold
+    came from).
+    """
+
+    profit: float
+    weight: float
+    kind: str
+    ref: int
+
+    @property
+    def efficiency(self) -> float:
+        """Profit-to-weight ratio."""
+        return efficiency(self.profit, self.weight)
+
+
+@dataclass(frozen=True)
+class SimplifiedInstance:
+    """The simplified instance I~ = (S~, K) plus its construction data.
+
+    ``items`` are sorted by non-increasing efficiency with a
+    deterministic tie-break (efficiency desc, kind, ref, weight) — the
+    sort CONVERT-GREEDY line 1 performs.  Keeping it canonical here
+    means two runs that built the same logical I~ also see the same
+    *ordering*, which the consistency guarantee implicitly needs.
+    """
+
+    items: tuple[TildeItem, ...]
+    capacity: float
+    epsilon: float
+    eps_sequence: tuple[float, ...]
+    large_indices: frozenset[int]
+
+    @property
+    def n(self) -> int:
+        """Number of items in I~ (O(1/eps^2) by construction)."""
+        return len(self.items)
+
+    @property
+    def total_profit(self) -> float:
+        """Total profit of I~."""
+        return sum(it.profit for it in self.items)
+
+    def signature(self) -> tuple:
+        """Hashable identity of I~ — equal signatures mean identical
+        runs downstream, which is how the consistency audits compare
+        pipelines cheaply."""
+        return (
+            tuple((it.profit, it.weight, it.kind, it.ref) for it in self.items),
+            self.capacity,
+            self.eps_sequence,
+        )
+
+
+def build_simplified_instance(
+    large_items: dict[int, tuple[float, float]],
+    eps_sequence,
+    epsilon: float,
+    capacity: float,
+) -> SimplifiedInstance:
+    """Construct I~ from sampled large items and an EPS.
+
+    Parameters
+    ----------
+    large_items:
+        Map original-index -> (profit, weight) of the deduplicated large
+        sample ``M`` (Algorithm 2 lines 2-3).
+    eps_sequence:
+        The (possibly empty) equally partitioning sequence
+        ``e_1 .. e_t'`` (Algorithm 2 line 15 / 17).
+    epsilon, capacity:
+        The LCA accuracy parameter and the original weight limit K.
+    """
+    if not 0 < epsilon <= 1:
+        raise ReproError(f"epsilon must lie in (0, 1], got {epsilon}")
+    eps_sequence = tuple(float(e) for e in eps_sequence)
+    if any(e <= 0 for e in eps_sequence):
+        raise ReproError("EPS thresholds must be positive")
+    eps_sq = epsilon * epsilon
+    copies = int(math.floor(1.0 / epsilon))
+
+    entries: list[TildeItem] = [
+        TildeItem(profit=float(p), weight=float(w), kind="large", ref=int(i))
+        for i, (p, w) in large_items.items()
+    ]
+    for k, threshold in enumerate(eps_sequence):
+        # Band k's representative has efficiency exactly e_{k+1}
+        # (paper indexing: A_k(I~) uses threshold e_{k+1}).
+        rep_weight = eps_sq / threshold if math.isfinite(threshold) else 0.0
+        entries.extend(
+            TildeItem(profit=eps_sq, weight=rep_weight, kind="small", ref=k)
+            for _ in range(copies)
+        )
+
+    entries.sort(key=lambda it: (-it.efficiency, it.kind, it.ref, it.weight))
+    return SimplifiedInstance(
+        items=tuple(entries),
+        capacity=float(capacity),
+        epsilon=epsilon,
+        eps_sequence=eps_sequence,
+        large_indices=frozenset(int(i) for i in large_items),
+    )

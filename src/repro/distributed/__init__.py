@@ -1,0 +1,27 @@
+"""Simulated distributed deployment of the LCA (Definitions 2.3/2.4 live)."""
+
+from .cluster import ClusterReport, ClusterSimulation, QueryRecord, Worker
+from .events import Clock, Event, EventQueue
+from .metrics import ServiceMetrics, compute_metrics
+from .workloads import (
+    bursty_arrivals,
+    hotset_queries,
+    uniform_queries,
+    zipf_queries,
+)
+
+__all__ = [
+    "ClusterSimulation",
+    "ClusterReport",
+    "QueryRecord",
+    "Worker",
+    "EventQueue",
+    "Event",
+    "Clock",
+    "ServiceMetrics",
+    "compute_metrics",
+    "uniform_queries",
+    "zipf_queries",
+    "hotset_queries",
+    "bursty_arrivals",
+]

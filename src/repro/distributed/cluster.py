@@ -1,0 +1,327 @@
+"""Simulated distributed deployment of LCA-KP.
+
+The LCA model's promise (Section 1): many independent instances of the
+algorithm, sharing only the input and the read-only seed, provide
+consistent query access to one solution — no coordination, no shared
+state, no communication.  This module simulates exactly that:
+
+* N :class:`Worker` processes, each holding an independent LCA-KP copy
+  (own sampler accounting, own fresh randomness, shared seed);
+* clients issuing queries as a Poisson process, routed by a pluggable
+  policy (random / round-robin / least-loaded);
+* per-query service time proportional to the samples the worker spent
+  (the model's honest cost measure), plus optional network latency;
+* a global audit at the end: did any two workers ever contradict each
+  other on an item?  Was the implied solution feasible?
+
+Nothing here is a real network — it is a deterministic discrete-event
+simulation (see DESIGN.md §4) — but the *consistency* property being
+audited is the real one, because the workers genuinely share no state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..access.oracle import QueryOracle
+from ..access.seeds import SeedChain
+from ..access.weighted_sampler import WeightedSampler
+from ..core.lca_kp import LCAKP
+from ..core.parameters import LCAParameters
+from ..errors import ExperimentError
+from ..knapsack.instance import KnapsackInstance
+from .events import EventQueue
+
+__all__ = ["QueryRecord", "Worker", "ClusterReport", "ClusterSimulation"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One completed query, with timing and cost.
+
+    ``attempts`` counts service attempts: 1 for a clean run, more when
+    crash injection re-routed the query after worker failures.
+    """
+
+    query_id: int
+    item: int
+    worker_id: int
+    include: bool
+    arrived: float
+    started: float
+    finished: float
+    samples_spent: int
+    attempts: int = 1
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (queueing + service + crash retries)."""
+        return self.finished - self.arrived
+
+
+class Worker:
+    """One simulated machine holding a stateless LCA-KP copy."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        instance: KnapsackInstance,
+        epsilon: float,
+        seed: int | SeedChain,
+        params: LCAParameters | None,
+        *,
+        seconds_per_sample: float = 1e-6,
+    ) -> None:
+        self.worker_id = worker_id
+        self._sampler = WeightedSampler(instance)
+        self._oracle = QueryOracle(instance)
+        self._lca = LCAKP(self._sampler, self._oracle, epsilon, seed, params=params)
+        self._seconds_per_sample = seconds_per_sample
+        self.busy_until = 0.0
+        self.queries_served = 0
+
+    def serve(self, item: int, nonce: int) -> tuple[bool, int, float]:
+        """Answer one query; returns (answer, samples spent, service time)."""
+        before = self._sampler.samples_used
+        result = self._lca.answer(item, nonce=nonce)
+        spent = self._sampler.samples_used - before
+        self.queries_served += 1
+        return result.include, spent, spent * self._seconds_per_sample
+
+    @property
+    def total_samples(self) -> int:
+        """Cumulative weighted samples drawn by this worker."""
+        return self._sampler.samples_used
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Outcome of one simulated deployment."""
+
+    records: tuple[QueryRecord, ...]
+    contested_items: tuple[int, ...]
+    consistency_rate: float
+    mean_latency: float
+    p95_latency: float
+    total_samples: int
+    per_worker_load: tuple[int, ...]
+    total_crashes: int = 0
+
+    @property
+    def fully_consistent(self) -> bool:
+        """True iff no item ever received contradictory answers."""
+        return not self.contested_items
+
+
+class ClusterSimulation:
+    """Poisson clients -> routed queries -> stateless workers -> audit.
+
+    Parameters
+    ----------
+    instance, epsilon, seed, params:
+        The shared problem and LCA configuration (the *only* things
+        workers share).
+    workers:
+        Number of simulated machines.
+    routing:
+        ``"random"``, ``"round_robin"`` or ``"least_loaded"``.
+    arrival_rate:
+        Mean client queries per simulated second.
+    network_latency:
+        Fixed one-way latency added before service begins.
+    crash_rate:
+        Probability that a worker crashes mid-service; the query is then
+        re-routed and retried.  Crash injection showcases the model's
+        fault-tolerance argument: a restarted LCA worker has *no state
+        to restore* — the retry is just another stateless run, so
+        consistency survives any crash pattern by construction.
+    """
+
+    def __init__(
+        self,
+        instance: KnapsackInstance,
+        epsilon: float,
+        seed: int | SeedChain = 0,
+        *,
+        params: LCAParameters | None = None,
+        workers: int = 4,
+        routing: str = "round_robin",
+        arrival_rate: float = 10.0,
+        network_latency: float = 0.001,
+        seconds_per_sample: float = 1e-6,
+        worker_speeds: list[float] | None = None,
+        crash_rate: float = 0.0,
+        rng_seed: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        if routing not in ("random", "round_robin", "least_loaded"):
+            raise ExperimentError(f"unknown routing policy {routing!r}")
+        if arrival_rate <= 0:
+            raise ExperimentError("arrival_rate must be positive")
+        if not 0 <= crash_rate < 1:
+            raise ExperimentError("crash_rate must lie in [0, 1)")
+        if worker_speeds is not None:
+            if len(worker_speeds) != workers:
+                raise ExperimentError("worker_speeds must have one entry per worker")
+            if any(s <= 0 for s in worker_speeds):
+                raise ExperimentError("worker speeds must be positive")
+        self._crash_rate = crash_rate
+        self._crashes = 0
+        self._instance = instance
+        self._workers = [
+            Worker(
+                w,
+                instance,
+                epsilon,
+                seed,
+                params,
+                # A speed-s worker serves samples s times faster; the
+                # heterogeneous fleet is where least_loaded routing earns
+                # its keep over round_robin.
+                seconds_per_sample=seconds_per_sample
+                / (worker_speeds[w] if worker_speeds else 1.0),
+            )
+            for w in range(workers)
+        ]
+        self._routing = routing
+        self._arrival_rate = arrival_rate
+        self._network_latency = network_latency
+        self._rng = np.random.default_rng(rng_seed)
+        self._queue = EventQueue()
+        self._records: list[QueryRecord] = []
+        self._rr_next = 0
+
+    # ------------------------------------------------------------------
+    def _route(self) -> Worker:
+        if self._routing == "random":
+            return self._workers[int(self._rng.integers(len(self._workers)))]
+        if self._routing == "round_robin":
+            w = self._workers[self._rr_next % len(self._workers)]
+            self._rr_next += 1
+            return w
+        return min(self._workers, key=lambda w: w.busy_until)
+
+    def run(
+        self,
+        num_queries: int,
+        *,
+        items: list[int] | None = None,
+        arrival_times: list[float] | None = None,
+    ) -> ClusterReport:
+        """Simulate ``num_queries`` client queries and audit the outcome.
+
+        ``items`` fixes the queried indices (with repetition allowed —
+        repeats are what make the consistency audit meaningful);
+        defaults to uniform random items with deliberate repetition.
+        ``arrival_times`` overrides the built-in Poisson stream with an
+        explicit increasing timestamp list (e.g. from
+        :func:`repro.distributed.workloads.bursty_arrivals`).
+        """
+        if num_queries < 1:
+            raise ExperimentError("num_queries must be >= 1")
+        n = self._instance.n
+        if items is None:
+            # Zipf-flavoured repetition: half the queries hit a small
+            # hot set, so contradictions would actually be observed.
+            hot = self._rng.choice(n, size=max(1, min(10, n)), replace=False)
+            items = [
+                int(self._rng.choice(hot))
+                if self._rng.random() < 0.5
+                else int(self._rng.integers(n))
+                for _ in range(num_queries)
+            ]
+        if len(items) != num_queries:
+            raise ExperimentError("items must have length num_queries")
+        if arrival_times is not None:
+            if len(arrival_times) != num_queries:
+                raise ExperimentError("arrival_times must have length num_queries")
+            if any(b <= a for a, b in zip(arrival_times, arrival_times[1:])):
+                raise ExperimentError("arrival_times must be strictly increasing")
+            if arrival_times and arrival_times[0] < 0:
+                raise ExperimentError("arrival_times must be non-negative")
+
+        arrival = 0.0
+        for qid, item in enumerate(items):
+            if arrival_times is not None:
+                arrival = float(arrival_times[qid])
+            else:
+                arrival += float(self._rng.exponential(1.0 / self._arrival_rate))
+            self._queue.schedule(
+                arrival, self._make_arrival(qid, item, arrival), label=f"arrive-{qid}"
+            )
+        self._queue.run()
+        return self._report()
+
+    def _make_arrival(self, qid: int, item: int, arrived: float, attempts: int = 1):
+        def on_arrival() -> None:
+            worker = self._route()
+            start = max(self._queue.clock.now + self._network_latency, worker.busy_until)
+            nonce = int(self._rng.integers(2**62))
+            if self._crash_rate > 0 and float(self._rng.random()) < self._crash_rate:
+                # The worker dies as it picks the query up.  Restarting a
+                # stateless LCA restores nothing (there is nothing to
+                # restore); the query is simply re-routed as a fresh run
+                # after a network round-trip.  The crashed attempt holds
+                # the worker only up to `start`.
+                self._crashes += 1
+                worker.busy_until = start
+                self._queue.schedule(
+                    max(0.0, start - self._queue.clock.now) + self._network_latency,
+                    self._make_arrival(qid, item, arrived, attempts + 1),
+                    label=f"retry-{qid}",
+                )
+                return
+
+            # Serve the query logically now (the answer is a deterministic
+            # function of (instance, seed, nonce)), reserve the worker for
+            # the whole service interval so later arrivals queue behind
+            # it, and record completion at the simulated finish time.
+            include, spent, service = worker.serve(item, nonce)
+            finished = start + service
+            worker.busy_until = finished
+
+            def on_complete() -> None:
+                self._records.append(
+                    QueryRecord(
+                        query_id=qid,
+                        item=item,
+                        worker_id=worker.worker_id,
+                        include=include,
+                        arrived=arrived,
+                        started=start,
+                        finished=finished,
+                        samples_spent=spent,
+                        attempts=attempts,
+                    )
+                )
+
+            self._queue.schedule(
+                max(0.0, finished - self._queue.clock.now),
+                on_complete,
+                label=f"complete-{qid}",
+            )
+
+        return on_arrival
+
+    def _report(self) -> ClusterReport:
+        records = tuple(sorted(self._records, key=lambda r: r.query_id))
+        votes: dict[int, set[bool]] = {}
+        for r in records:
+            votes.setdefault(r.item, set()).add(r.include)
+        contested = tuple(sorted(i for i, v in votes.items() if len(v) > 1))
+        repeated = [i for i, _ in votes.items()]
+        consistent_items = sum(1 for i in repeated if len(votes[i]) == 1)
+        latencies = np.array([r.latency for r in records]) if records else np.zeros(1)
+        return ClusterReport(
+            records=records,
+            contested_items=contested,
+            consistency_rate=consistent_items / max(1, len(repeated)),
+            mean_latency=float(latencies.mean()),
+            p95_latency=float(np.quantile(latencies, 0.95)),
+            total_samples=sum(w.total_samples for w in self._workers),
+            per_worker_load=tuple(w.queries_served for w in self._workers),
+            total_crashes=self._crashes,
+        )

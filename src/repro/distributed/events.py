@@ -1,0 +1,87 @@
+"""Minimal deterministic discrete-event engine.
+
+Just enough simulation machinery for :mod:`repro.distributed.cluster`:
+a time-ordered event queue with stable tie-breaking (insertion
+sequence), so identical configurations replay identically — the same
+determinism discipline the rest of the library follows.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ExperimentError
+
+__all__ = ["Event", "EventQueue", "Clock"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled action; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class Clock:
+    """Monotone simulation clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move time forward (never backward)."""
+        if t < self._now - 1e-12:
+            raise ExperimentError(f"clock cannot go backward: {t} < {self._now}")
+        self._now = max(self._now, t)
+
+
+class EventQueue:
+    """Stable priority queue of :class:`Event` driving a :class:`Clock`."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.clock = Clock()
+
+    def schedule(self, delay: float, action: Callable[[], Any], *, label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ExperimentError(f"delay must be >= 0, got {delay}")
+        ev = Event(
+            time=self.clock.now + delay,
+            seq=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def run(self, *, until: float | None = None, max_events: int = 1_000_000) -> int:
+        """Drain events in time order; returns the number executed."""
+        executed = 0
+        while self._heap and executed < max_events:
+            if until is not None and self._heap[0].time > until:
+                break
+            ev = heapq.heappop(self._heap)
+            self.clock.advance_to(ev.time)
+            ev.action()
+            executed += 1
+        if executed >= max_events:
+            raise ExperimentError(f"simulation exceeded {max_events} events")
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Events still scheduled."""
+        return len(self._heap)

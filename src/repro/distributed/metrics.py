@@ -1,0 +1,66 @@
+"""Post-hoc metrics over a cluster run's query records.
+
+:class:`ClusterReport` carries the raw records; these helpers derive
+the standard service-system metrics a deployment dashboard would show —
+utilization, queueing delay decomposition, fairness of the load across
+workers, and repeat-coverage of the consistency audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .cluster import ClusterReport, QueryRecord
+
+__all__ = ["ServiceMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Derived service metrics for one simulated deployment."""
+
+    makespan: float  # first arrival -> last completion
+    throughput: float  # completed queries per simulated second
+    mean_service_time: float
+    mean_queueing_delay: float  # started - arrived (incl. network)
+    utilization: float  # busy worker-seconds / (workers * makespan)
+    load_imbalance: float  # max/mean per-worker load (1.0 = perfect)
+    repeat_coverage: float  # fraction of distinct items queried >= twice
+    retry_rate: float  # crash retries per completed query
+
+
+def compute_metrics(report: ClusterReport, *, workers: int) -> ServiceMetrics:
+    """Derive :class:`ServiceMetrics` from a :class:`ClusterReport`."""
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    records: tuple[QueryRecord, ...] = report.records
+    if not records:
+        raise ExperimentError("cannot compute metrics for an empty run")
+    arrived = np.array([r.arrived for r in records])
+    started = np.array([r.started for r in records])
+    finished = np.array([r.finished for r in records])
+    service = finished - started
+    makespan = float(finished.max() - arrived.min())
+    makespan = max(makespan, 1e-12)
+
+    per_item: dict[int, int] = {}
+    for r in records:
+        per_item[r.item] = per_item.get(r.item, 0) + 1
+    repeated = sum(1 for c in per_item.values() if c >= 2)
+
+    loads = np.array(report.per_worker_load, dtype=float)
+    mean_load = float(loads.mean()) if loads.size else 0.0
+
+    return ServiceMetrics(
+        makespan=makespan,
+        throughput=len(records) / makespan,
+        mean_service_time=float(service.mean()),
+        mean_queueing_delay=float((started - arrived).mean()),
+        utilization=float(service.sum()) / (workers * makespan),
+        load_imbalance=float(loads.max()) / mean_load if mean_load > 0 else float("inf"),
+        repeat_coverage=repeated / max(1, len(per_item)),
+        retry_rate=report.total_crashes / len(records),
+    )

@@ -1,0 +1,121 @@
+"""Query workload generators for the distributed simulation.
+
+Which items clients ask about shapes everything the deployment
+measures: repetition density determines how often the consistency audit
+actually gets to compare answers, and arrival burstiness drives
+queueing.  Three classical shapes:
+
+* :func:`uniform_queries` — every item equally likely (sparse repeats);
+* :func:`zipf_queries` — heavy-tailed popularity (hot items repeat a
+  lot, the audit-friendly and cache-realistic regime);
+* :func:`hotset_queries` — an explicit hot set absorbing a fixed
+  fraction of traffic (the simulator's historical default, exposed).
+
+Plus :func:`bursty_arrivals`, an arrival-time process (Markov-modulated
+Poisson with ON/OFF phases) for stress-testing queue depth beyond the
+plain Poisson stream built into :class:`ClusterSimulation`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "uniform_queries",
+    "zipf_queries",
+    "hotset_queries",
+    "bursty_arrivals",
+]
+
+
+def uniform_queries(n_items: int, count: int, rng: np.random.Generator) -> list[int]:
+    """``count`` queries over ``n_items``, uniformly at random."""
+    _check(n_items, count)
+    return [int(i) for i in rng.integers(0, n_items, size=count)]
+
+
+def zipf_queries(
+    n_items: int,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    exponent: float = 1.1,
+) -> list[int]:
+    """Zipf-popular queries: item rank r gets probability ~ r^-exponent.
+
+    Ranks are mapped to item indices by a fixed permutation derived from
+    the rng, so the hot items are not always the low indices.
+    """
+    _check(n_items, count)
+    if exponent <= 0:
+        raise ExperimentError(f"exponent must be > 0, got {exponent}")
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    probs = ranks**-exponent
+    probs /= probs.sum()
+    perm = rng.permutation(n_items)
+    draws = rng.choice(n_items, size=count, p=probs)
+    return [int(perm[d]) for d in draws]
+
+
+def hotset_queries(
+    n_items: int,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    hot_items: int = 10,
+    hot_fraction: float = 0.5,
+) -> list[int]:
+    """A fixed hot set absorbs ``hot_fraction`` of the traffic."""
+    _check(n_items, count)
+    if not 0 <= hot_fraction <= 1:
+        raise ExperimentError("hot_fraction must lie in [0, 1]")
+    k = max(1, min(hot_items, n_items))
+    hot = rng.choice(n_items, size=k, replace=False)
+    out = []
+    for _ in range(count):
+        if rng.random() < hot_fraction:
+            out.append(int(rng.choice(hot)))
+        else:
+            out.append(int(rng.integers(n_items)))
+    return out
+
+
+def bursty_arrivals(
+    count: int,
+    rng: np.random.Generator,
+    *,
+    rate_on: float = 100.0,
+    rate_off: float = 5.0,
+    mean_phase: float = 0.5,
+) -> list[float]:
+    """Arrival times from an ON/OFF modulated Poisson process.
+
+    Alternates exponential-length phases; inter-arrival times are
+    exponential at ``rate_on`` during ON phases and ``rate_off`` during
+    OFF phases.  Returns ``count`` strictly increasing timestamps.
+    """
+    if count < 1:
+        raise ExperimentError("count must be >= 1")
+    if rate_on <= 0 or rate_off <= 0 or mean_phase <= 0:
+        raise ExperimentError("rates and mean_phase must be positive")
+    times: list[float] = []
+    now = 0.0
+    on = True
+    phase_end = float(rng.exponential(mean_phase))
+    while len(times) < count:
+        rate = rate_on if on else rate_off
+        now += float(rng.exponential(1.0 / rate))
+        while now >= phase_end:
+            on = not on
+            phase_end += float(rng.exponential(mean_phase))
+        times.append(now)
+    return times
+
+
+def _check(n_items: int, count: int) -> None:
+    if n_items < 1:
+        raise ExperimentError(f"n_items must be >= 1, got {n_items}")
+    if count < 1:
+        raise ExperimentError(f"count must be >= 1, got {count}")

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidInstanceError(ReproError):
+    """A Knapsack instance violates a structural invariant.
+
+    Raised, for example, when an item has negative profit or weight, when
+    an item's weight exceeds the knapsack capacity (the paper's model in
+    Definition 2.2 requires every individual weight to be at most K), or
+    when profits fail the total-profit-one normalization.
+    """
+
+
+class NormalizationError(InvalidInstanceError):
+    """Profits (or weights) could not be normalized as required."""
+
+
+class QueryBudgetExceededError(ReproError):
+    """An algorithm exceeded its allotted number of oracle queries.
+
+    The query budget is the central resource of the LCA model: the paper's
+    lower bounds are statements about how many oracle queries *any* LCA
+    must spend per output query.  Budgeted oracles raise this error when
+    the budget is exhausted, which the lower-bound harness uses to cut off
+    strategies that would read too much of the input.
+    """
+
+    def __init__(self, budget: int, attempted: int) -> None:
+        self.budget = budget
+        self.attempted = attempted
+        super().__init__(
+            f"query budget exhausted: budget={budget}, attempted query #{attempted}"
+        )
+
+
+class OracleError(ReproError):
+    """Malformed interaction with an instance oracle (e.g. bad index)."""
+
+
+class SolverError(ReproError):
+    """An exact or approximate solver failed or was misconfigured."""
+
+
+class InfeasibleSolutionError(SolverError):
+    """A produced solution violates the knapsack capacity constraint."""
+
+
+class ReproducibilityError(ReproError):
+    """A reproducible-algorithm invariant was violated.
+
+    Raised for misuse of :mod:`repro.reproducible` (e.g. empty sample,
+    parameters outside their documented ranges), *not* for the stochastic
+    event of two runs disagreeing — that event is the ρ failure
+    probability and is reported by the consistency checkers, not raised.
+    """
+
+
+class DomainError(ReproducibilityError):
+    """A value fell outside the finite domain used by rMedian/rQuantile."""
+
+
+class ConsistencyViolation(ReproError):
+    """Two runs of an LCA that share a seed answered inconsistently.
+
+    Carried by the audit reports in :mod:`repro.lca.consistency`; raised
+    only when the caller asked for strict enforcement.
+    """
+
+    def __init__(self, query: int, answers: tuple) -> None:
+        self.query = query
+        self.answers = answers
+        super().__init__(
+            f"inconsistent LCA answers for query {query}: observed {answers}"
+        )
+
+
+class ExperimentError(ReproError):
+    """An experiment/benchmark harness was misconfigured."""

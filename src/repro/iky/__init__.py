@@ -1,0 +1,5 @@
+"""IKY12: the constant-time Knapsack value approximation (substrate)."""
+
+from .value_approx import IKYValueApproximator, ValueEstimate
+
+__all__ = ["IKYValueApproximator", "ValueEstimate"]

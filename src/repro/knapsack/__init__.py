@@ -1,0 +1,49 @@
+"""Knapsack substrate: items, instances, generators, solvers, verification.
+
+This package is the classical (non-local) half of the reproduction: the
+problem model of Section 2, the workload generators the evaluation runs
+on, and the reference solvers the LCA's answers are audited against.
+"""
+
+from .generators import FAMILIES, generate
+from .instance import InstanceLike, KnapsackInstance, SolutionStats
+from .io import (
+    BenchmarkInstance,
+    format_benchmark_text,
+    load_benchmark_file,
+    parse_benchmark_text,
+    save_benchmark_file,
+)
+from .items import Item, efficiency
+from .preprocessing import ReducedInstance, preprocess
+from .verify import (
+    ApproximationReport,
+    approximation_ratio,
+    audit_solution,
+    check_feasible,
+    check_maximal,
+    satisfies_alpha_beta,
+)
+
+__all__ = [
+    "Item",
+    "efficiency",
+    "InstanceLike",
+    "KnapsackInstance",
+    "SolutionStats",
+    "FAMILIES",
+    "generate",
+    "ApproximationReport",
+    "approximation_ratio",
+    "audit_solution",
+    "check_feasible",
+    "check_maximal",
+    "satisfies_alpha_beta",
+    "BenchmarkInstance",
+    "parse_benchmark_text",
+    "format_benchmark_text",
+    "load_benchmark_file",
+    "save_benchmark_file",
+    "ReducedInstance",
+    "preprocess",
+]

@@ -1,0 +1,440 @@
+"""Synthetic Knapsack instance generators.
+
+The paper evaluates nothing empirically, so the reproduction needs a
+workload suite.  We provide the classic families from the knapsack
+benchmarking literature (uncorrelated / correlated / subset-sum, after
+Pisinger's generators), plus families purpose-built to exercise the
+paper's machinery:
+
+* :func:`planted_lsg` controls exactly how much profit mass sits in the
+  large/small/garbage classes of the Section 4 partition for a target
+  epsilon;
+* :func:`efficiency_tiers` arranges small items in bands of near-equal
+  efficiency, the regime the Equally Partitioning Sequence is built for;
+* :func:`greedy_adversarial` makes the plain greedy prefix arbitrarily
+  bad, so the "best of prefix vs. first-rejected item" rule in
+  CONVERT-GREEDY is actually load-bearing;
+* :func:`single_heavy` and :func:`all_items_unit_weight` mirror the
+  structure of the lower-bound constructions in Section 3.
+
+All generators are deterministic functions of their ``seed`` argument
+and return *normalized* instances (total profit 1) unless stated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..errors import InvalidInstanceError
+from .instance import KnapsackInstance
+
+__all__ = [
+    "uniform",
+    "weakly_correlated",
+    "strongly_correlated",
+    "inverse_correlated",
+    "subset_sum",
+    "planted_lsg",
+    "efficiency_tiers",
+    "greedy_adversarial",
+    "borderline_large",
+    "single_heavy",
+    "all_items_unit_weight",
+    "zero_weight_padding",
+    "FAMILIES",
+    "generate",
+]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _build(profits: np.ndarray, weights: np.ndarray, capacity: float) -> KnapsackInstance:
+    # Clamp weights into [0, K]: the paper's model requires w_i <= K, and
+    # random draws occasionally overshoot after capacity selection.
+    # Both normalizations of Section 4 are applied: total profit 1 and
+    # total weight 1 (capacity rescaled along).  A consequence worth
+    # knowing when reading bench output: the profit-weighted harmonic
+    # mean of the efficiencies of any doubly-normalized instance is
+    # exactly 1, so "efficient" means "efficiency above ~1".
+    weights = np.minimum(weights, capacity)
+    return KnapsackInstance(
+        profits, weights, capacity, normalize=True, normalize_weights=True
+    )
+
+
+def uniform(n: int, seed: int = 0, *, capacity_fraction: float = 0.35) -> KnapsackInstance:
+    """Profits and weights i.i.d. uniform on (0, 1]; K a fraction of total weight.
+
+    The classic "uncorrelated" family: easy for greedy, a good smoke-test
+    workload.
+    """
+    _check_n(n)
+    rng = _rng(seed)
+    profits = rng.uniform(1e-6, 1.0, size=n)
+    weights = rng.uniform(1e-6, 1.0, size=n)
+    capacity = max(capacity_fraction * float(weights.sum()), float(weights.max()))
+    return _build(profits, weights, capacity)
+
+
+def weakly_correlated(n: int, seed: int = 0, *, spread: float = 0.1) -> KnapsackInstance:
+    """Profit = weight +- uniform noise of relative size ``spread``.
+
+    Correlated instances are the traditionally "hard for branch-and-bound"
+    regime: efficiencies cluster near 1 so ordering carries little signal.
+    """
+    _check_n(n)
+    rng = _rng(seed)
+    weights = rng.uniform(0.1, 1.0, size=n)
+    noise = rng.uniform(-spread, spread, size=n)
+    profits = np.maximum(weights * (1.0 + noise), 1e-6)
+    capacity = max(0.35 * float(weights.sum()), float(weights.max()))
+    return _build(profits, weights, capacity)
+
+
+def strongly_correlated(n: int, seed: int = 0, *, bonus: float = 0.1) -> KnapsackInstance:
+    """Profit = weight + constant bonus: all efficiencies decrease with weight."""
+    _check_n(n)
+    rng = _rng(seed)
+    weights = rng.uniform(0.1, 1.0, size=n)
+    profits = weights + bonus
+    capacity = max(0.35 * float(weights.sum()), float(weights.max()))
+    return _build(profits, weights, capacity)
+
+
+def inverse_correlated(n: int, seed: int = 0, *, bonus: float = 0.1) -> KnapsackInstance:
+    """Weight = profit + constant bonus: light items are the efficient ones."""
+    _check_n(n)
+    rng = _rng(seed)
+    profits = rng.uniform(0.1, 1.0, size=n)
+    weights = profits + bonus
+    capacity = max(0.35 * float(weights.sum()), float(weights.max()))
+    return _build(profits, weights, capacity)
+
+
+def subset_sum(n: int, seed: int = 0) -> KnapsackInstance:
+    """Profit == weight for every item (value-independent packing).
+
+    Every efficiency equals 1, which stress-tests tie-breaking in the
+    greedy conversion and makes the EPS quantiles degenerate — a corner
+    case Lemma 4.6's analysis has to survive.
+    """
+    _check_n(n)
+    rng = _rng(seed)
+    weights = rng.uniform(0.05, 1.0, size=n)
+    profits = weights.copy()
+    capacity = max(0.35 * float(weights.sum()), float(weights.max()))
+    return _build(profits, weights, capacity)
+
+
+def planted_lsg(
+    n: int,
+    seed: int = 0,
+    *,
+    epsilon: float = 0.1,
+    large_mass: float = 0.25,
+    garbage_weight: float = 0.1,
+    capacity: float = 0.35,
+) -> KnapsackInstance:
+    """Plant a target split across the L/S/G partition, doubly normalized.
+
+    The instance satisfies both of Section 4's normalizations *exactly*
+    (total profit 1, total weight 1), so the paper's structural facts
+    hold by construction — in particular ``p(G(I)) <= eps^2`` (garbage
+    efficiency below eps^2 on at most unit weight).
+
+    * ``large_mass`` of the profit sits on a few items of profit in
+      ``(eps^2, 3 eps^2]`` (class L);
+    * ``garbage_weight`` of the *weight* sits on items of efficiency in
+      ``[0.1 eps^2, 0.6 eps^2)`` (class G — their profit is necessarily
+      tiny);
+    * the remaining profit is spread over many small items with
+      efficiencies straddling 1 (class S).  Note a doubly-normalized
+      instance forces the profit-weighted harmonic mean efficiency to
+      be exactly 1, so "high-efficiency small items" means ~1, not
+      ~eps^2.
+
+    Requires ``n`` large enough that individual small profits fit under
+    ``eps^2`` (roughly ``n >= 2 / eps^2``); raises otherwise.
+    """
+    _check_n(n)
+    if not 0 < epsilon <= 0.25:
+        raise InvalidInstanceError("epsilon must lie in (0, 0.25] for this family")
+    if not 0 <= large_mass < 0.9:
+        raise InvalidInstanceError("large_mass must lie in [0, 0.9)")
+    if not 0 <= garbage_weight <= 0.5:
+        raise InvalidInstanceError("garbage_weight must lie in [0, 0.5]")
+    if not 0 < capacity <= 1:
+        raise InvalidInstanceError("capacity must lie in (0, 1] (post-normalization)")
+    rng = _rng(seed)
+    eps_sq = epsilon * epsilon
+
+    # --- Large items: profits in (eps^2, 3 eps^2], total large_mass.
+    n_large = 0
+    large_profits = np.empty(0)
+    if large_mass > 0:
+        n_large = max(1, min(n // 4, math.ceil(large_mass / (1.8 * eps_sq))))
+        while n_large >= 1:
+            large_profits = rng.uniform(1.1 * eps_sq, 3.0 * eps_sq, size=n_large)
+            large_profits *= large_mass / large_profits.sum()
+            if large_profits.min() > eps_sq or n_large == 1:
+                break
+            n_large -= 1
+        if large_profits.min() <= eps_sq:
+            raise InvalidInstanceError(
+                f"cannot plant large_mass={large_mass} with epsilon={epsilon}: "
+                "individual large profits would not exceed eps^2"
+            )
+    weight_large = min(0.2, 0.8 * capacity) if n_large else 0.0
+    large_weights = rng.uniform(0.5, 1.5, size=n_large)
+    if n_large:
+        large_weights *= weight_large / large_weights.sum()
+
+    # --- Garbage items: efficiency in [0.1, 0.6) * eps^2 on garbage_weight.
+    n_garbage = min(n // 4, max(1, n // 10)) if garbage_weight > 0 else 0
+    n_small = n - n_large - n_garbage
+    if n_small <= 0:
+        raise InvalidInstanceError("n too small for the requested class sizes")
+    garbage_weights = rng.uniform(0.5, 1.5, size=n_garbage)
+    if n_garbage:
+        garbage_weights *= garbage_weight / garbage_weights.sum()
+    garbage_eff = rng.uniform(0.1 * eps_sq, 0.6 * eps_sq, size=n_garbage)
+    garbage_profits = garbage_eff * garbage_weights  # provably < eps^2 total
+
+    # --- Small items: the rest of the profit, efficiencies straddling 1,
+    # weights scaled so the grand total weight is exactly 1.
+    small_mass = 1.0 - large_mass - float(garbage_profits.sum())
+    small_profits = rng.uniform(0.5, 1.5, size=n_small)
+    small_profits *= small_mass / small_profits.sum()
+    if small_profits.max() > eps_sq:
+        raise InvalidInstanceError(
+            f"n={n} too small for epsilon={epsilon}: the largest small profit "
+            f"({small_profits.max():.2g}) exceeds eps^2={eps_sq:.2g}; "
+            f"use n >= ~{math.ceil(2 * small_mass / eps_sq)}"
+        )
+    raw_eff = np.exp(rng.uniform(math.log(0.3), math.log(3.0), size=n_small))
+    raw_weights = small_profits / raw_eff
+    weight_small = 1.0 - weight_large - garbage_weight
+    small_weights = raw_weights * (weight_small / raw_weights.sum())
+    # Realized small efficiencies are raw_eff * (sum raw / weight_small):
+    # a uniform shift that keeps the class far above eps^2.
+
+    profits = np.concatenate([large_profits, small_profits, garbage_profits])
+    weights = np.concatenate([large_weights, small_weights, garbage_weights])
+    perm = rng.permutation(profits.size)
+    profits, weights = profits[perm], weights[perm]
+    weights = np.minimum(weights, capacity)
+    return KnapsackInstance(
+        profits, weights, capacity, normalize=True, normalize_weights=True
+    )
+
+
+def efficiency_tiers(
+    n: int,
+    seed: int = 0,
+    *,
+    tiers: int = 8,
+    tier_ratio: float = 0.7,
+) -> KnapsackInstance:
+    """Small items grouped into geometric efficiency tiers.
+
+    Tier k has efficiency ~ ``tier_ratio**k``; profit mass is split evenly
+    over tiers, so the true equally-partitioning quantiles sit exactly at
+    the tier boundaries.  Useful for testing that rQuantile recovers the
+    tier structure.
+    """
+    _check_n(n)
+    if tiers < 1:
+        raise InvalidInstanceError("tiers must be >= 1")
+    if not 0 < tier_ratio < 1:
+        raise InvalidInstanceError("tier_ratio must lie in (0, 1)")
+    rng = _rng(seed)
+    per_tier = max(1, n // tiers)
+    profits_parts = []
+    shape_parts = []  # efficiency shape r^k * jitter, rescaled below
+    for k in range(tiers):
+        count = per_tier if k < tiers - 1 else n - per_tier * (tiers - 1)
+        if count <= 0:
+            continue
+        shape = tier_ratio**k * rng.uniform(0.95, 1.05, size=count)
+        p = rng.uniform(0.5, 1.0, size=count)
+        p *= (1.0 / tiers) / p.sum()
+        profits_parts.append(p)
+        shape_parts.append(shape)
+    profits = np.concatenate(profits_parts)
+    shape = np.concatenate(shape_parts)
+    # Exact double normalization: with efficiencies e = c * shape and
+    # weights w = p / e, total weight is (1/c) * sum(p / shape); choosing
+    # c = sum(p / shape) makes the total weight exactly 1.
+    c = float(np.sum(profits / shape))
+    weights = profits / (c * shape)
+    capacity = max(0.4, float(weights.max()))
+    return KnapsackInstance(
+        profits, weights, capacity, normalize=True, normalize_weights=False
+    )
+
+
+def greedy_adversarial(n: int, seed: int = 0) -> KnapsackInstance:
+    """Make the plain greedy-by-efficiency prefix nearly worthless.
+
+    One item has weight ~K and huge profit but slightly lower efficiency
+    than a cloud of feather-light items whose *total* profit is tiny.
+    Greedy fills up on feathers; the 1/2-approximation rule must fall
+    back to the single heavy item.  This family certifies that the
+    "singleton branch" of CONVERT-GREEDY (line 12) is exercised.
+    """
+    _check_n(n)
+    if n < 2:
+        raise InvalidInstanceError("greedy_adversarial needs n >= 2")
+    rng = _rng(seed)
+    n_feathers = n - 1
+    feather_eff = 2.0
+    feather_profits = rng.uniform(0.5, 1.0, size=n_feathers)
+    feather_profits *= 0.05 / feather_profits.sum()  # tiny total profit
+    feather_weights = feather_profits / feather_eff
+    capacity = 1.0
+    heavy_profit = 0.95
+    heavy_weight = capacity  # efficiency 0.95 < feather efficiency
+    profits = np.concatenate([feather_profits, [heavy_profit]])
+    weights = np.concatenate([feather_weights, [heavy_weight]])
+    return KnapsackInstance(profits, weights, capacity, normalize=True)
+
+
+def single_heavy(n: int, seed: int = 0, *, planted_index: int | None = None) -> KnapsackInstance:
+    """All items have weight K; exactly one has high profit.
+
+    This is the *shape* of the Theorem 3.2/3.3 reduction instances (any
+    feasible solution is a singleton), exposed as a generator so tests
+    and benches can exercise solvers on it directly.  ``planted_index``
+    fixes where the profitable item sits (default: random).
+    """
+    _check_n(n)
+    rng = _rng(seed)
+    idx = int(rng.integers(0, n)) if planted_index is None else planted_index
+    if not 0 <= idx < n:
+        raise InvalidInstanceError("planted_index out of range")
+    profits = np.full(n, 1e-4)
+    profits[idx] = 1.0
+    weights = np.ones(n)
+    return KnapsackInstance(profits, weights, capacity=1.0, normalize=True)
+
+
+def all_items_unit_weight(n: int, seed: int = 0, *, capacity_items: int | None = None) -> KnapsackInstance:
+    """Every item weighs 1; capacity admits ``capacity_items`` of them."""
+    _check_n(n)
+    rng = _rng(seed)
+    k = capacity_items if capacity_items is not None else max(1, n // 10)
+    if not 1 <= k <= n:
+        raise InvalidInstanceError("capacity_items must lie in [1, n]")
+    profits = rng.uniform(0.01, 1.0, size=n)
+    weights = np.ones(n)
+    return KnapsackInstance(profits, weights, capacity=float(k), normalize=True)
+
+
+def borderline_large(
+    n: int,
+    seed: int = 0,
+    *,
+    epsilon: float = 0.1,
+    n_borderline: int = 8,
+    window: float = 0.2,
+) -> KnapsackInstance:
+    """Items whose profits straddle the eps^2 large/small boundary.
+
+    ``n_borderline`` items get profits spread across
+    ``[(1 - window) eps^2, (1 + window) eps^2]`` — half a hair below the
+    partition threshold, half a hair above — with the rest of the
+    profit on ordinary small items.  This is the adversarial family for
+    *large-item detection*: under the paper's coupon rule, a threshold
+    item's membership in L(I~) can flip between runs on sampling luck;
+    the reproducible heavy-hitters mode (ablation E13) decides each
+    borderline item once, by the shared randomized cutoff.
+    """
+    _check_n(n)
+    if not 0 < epsilon <= 0.25:
+        raise InvalidInstanceError("epsilon must lie in (0, 0.25]")
+    if not 1 <= n_borderline <= n // 2:
+        raise InvalidInstanceError("n_borderline must lie in [1, n/2]")
+    if not 0 < window < 1:
+        raise InvalidInstanceError("window must lie in (0, 1)")
+    rng = _rng(seed)
+    eps_sq = epsilon * epsilon
+    border_profits = np.linspace(
+        (1 - window) * eps_sq, (1 + window) * eps_sq, n_borderline
+    )
+    n_small = n - n_borderline
+    small_mass = 1.0 - float(border_profits.sum())
+    if small_mass <= 0:
+        raise InvalidInstanceError("too many borderline items for this epsilon")
+    small_profits = rng.uniform(0.5, 1.5, size=n_small)
+    small_profits *= small_mass / small_profits.sum()
+    if small_profits.max() > eps_sq:
+        raise InvalidInstanceError(
+            f"n={n} too small for epsilon={epsilon} in this family"
+        )
+    profits = np.concatenate([border_profits, small_profits])
+    # Efficiencies straddling 1 (see planted_lsg), weights scaled to 1.
+    raw_eff = np.exp(rng.uniform(math.log(0.3), math.log(3.0), size=n))
+    weights = profits / raw_eff
+    weights *= 1.0 / weights.sum()
+    capacity = 0.35
+    weights = np.minimum(weights, capacity)
+    return KnapsackInstance(
+        profits, weights, capacity, normalize=True, normalize_weights=True
+    )
+
+
+def zero_weight_padding(n: int, seed: int = 0, *, n_heavy: int = 2) -> KnapsackInstance:
+    """Mostly zero-weight items plus a few heavy ones.
+
+    The structural skeleton of the Theorem 3.4 hard distribution: finding
+    the non-zero-weight items is a needle-in-a-haystack search.  (The
+    exact two-item hard distribution lives in
+    :mod:`repro.lowerbounds.maximal_hard`; this generator is the generic
+    solver-facing variant with profits attached.)
+    """
+    _check_n(n)
+    if not 0 <= n_heavy <= n:
+        raise InvalidInstanceError("n_heavy must lie in [0, n]")
+    rng = _rng(seed)
+    profits = rng.uniform(0.01, 1.0, size=n)
+    weights = np.zeros(n)
+    heavy = rng.choice(n, size=n_heavy, replace=False)
+    weights[heavy] = rng.uniform(0.25, 0.75, size=n_heavy)
+    return KnapsackInstance(profits, weights, capacity=1.0, normalize=True)
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise InvalidInstanceError(f"n must be >= 1, got {n}")
+
+
+#: Registry of named families for the CLI and the experiment harness.
+FAMILIES: dict[str, Callable[..., KnapsackInstance]] = {
+    "uniform": uniform,
+    "weakly_correlated": weakly_correlated,
+    "strongly_correlated": strongly_correlated,
+    "inverse_correlated": inverse_correlated,
+    "subset_sum": subset_sum,
+    "planted_lsg": planted_lsg,
+    "efficiency_tiers": efficiency_tiers,
+    "greedy_adversarial": greedy_adversarial,
+    "borderline_large": borderline_large,
+    "single_heavy": single_heavy,
+    "all_items_unit_weight": all_items_unit_weight,
+    "zero_weight_padding": zero_weight_padding,
+}
+
+
+def generate(family: str, n: int, seed: int = 0, **kwargs) -> KnapsackInstance:
+    """Generate an instance from a named family (see :data:`FAMILIES`)."""
+    try:
+        factory = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise InvalidInstanceError(f"unknown family {family!r}; known: {known}") from None
+    return factory(n, seed, **kwargs)

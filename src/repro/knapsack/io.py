@@ -1,0 +1,141 @@
+"""Instance I/O in the classical knapsack benchmark text format.
+
+The de-facto interchange format of the knapsack literature (Pisinger's
+generator outputs and the `knapPI` benchmark sets) is a plain text
+listing::
+
+    <name>
+    n <items>
+    c <capacity>
+    z <optimal value>        (optional)
+    time <seconds>           (optional, ignored)
+    1,<profit>,<weight>,<x>  (x = 1 iff in the recorded optimum, optional)
+    2,<profit>,<weight>,<x>
+    ...
+
+This module reads and writes that format (plus the library's own JSON,
+via :meth:`~repro.knapsack.instance.KnapsackInstance.to_json`), so
+instances can round-trip to other solvers and published benchmark files
+can be loaded directly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+from ..errors import InvalidInstanceError
+from .instance import KnapsackInstance
+
+__all__ = ["BenchmarkInstance", "parse_benchmark_text", "format_benchmark_text", "load_benchmark_file", "save_benchmark_file"]
+
+
+@dataclass(frozen=True)
+class BenchmarkInstance:
+    """A parsed benchmark-format instance plus its optional metadata."""
+
+    name: str
+    instance: KnapsackInstance
+    recorded_optimum: float | None
+    recorded_solution: frozenset[int] | None
+
+
+def parse_benchmark_text(text: str, *, normalize: bool = False) -> BenchmarkInstance:
+    """Parse the classical text format into a :class:`BenchmarkInstance`.
+
+    ``normalize`` applies the paper's profit normalization on load
+    (default off: benchmark files carry integer profits and recorded
+    optima in the same scale, which normalization would break).
+    """
+    lines = [ln.strip() for ln in text.strip().splitlines() if ln.strip()]
+    if not lines:
+        raise InvalidInstanceError("empty benchmark text")
+    name = lines[0]
+    n: int | None = None
+    capacity: float | None = None
+    optimum: float | None = None
+    items: list[tuple[int, float, float, int | None]] = []
+    for line in lines[1:]:
+        if line.startswith("n "):
+            n = int(line.split()[1])
+        elif line.startswith("c "):
+            capacity = float(line.split()[1])
+        elif line.startswith("z "):
+            optimum = float(line.split()[1])
+        elif line.startswith("time "):
+            continue
+        elif "," in line:
+            parts = [p.strip() for p in line.split(",")]
+            if len(parts) < 3:
+                raise InvalidInstanceError(f"malformed item line: {line!r}")
+            idx = int(parts[0])
+            profit = float(parts[1])
+            weight = float(parts[2])
+            in_opt = int(parts[3]) if len(parts) > 3 and parts[3] != "" else None
+            items.append((idx, profit, weight, in_opt))
+        else:
+            raise InvalidInstanceError(f"unrecognized line: {line!r}")
+    if capacity is None:
+        raise InvalidInstanceError("benchmark text has no capacity line 'c <value>'")
+    if not items:
+        raise InvalidInstanceError("benchmark text has no item lines")
+    if n is not None and n != len(items):
+        raise InvalidInstanceError(
+            f"header says n={n} but {len(items)} item lines were found"
+        )
+    items.sort(key=lambda t: t[0])
+    profits = [p for _, p, _, _ in items]
+    weights = [w for _, _, w, _ in items]
+    # Benchmark files may contain items heavier than c; the paper's model
+    # forbids them, so clamp-skip validation and let callers decide.
+    instance = KnapsackInstance(
+        profits, weights, capacity, normalize=normalize, validate=False
+    )
+    flags = [x for _, _, _, x in items]
+    solution = (
+        frozenset(i for i, x in enumerate(flags) if x == 1)
+        if any(x is not None for x in flags)
+        else None
+    )
+    return BenchmarkInstance(
+        name=name,
+        instance=instance,
+        recorded_optimum=optimum,
+        recorded_solution=solution,
+    )
+
+
+def format_benchmark_text(
+    instance: KnapsackInstance,
+    *,
+    name: str = "repro-instance",
+    optimum: float | None = None,
+    solution=None,
+) -> str:
+    """Render an instance in the classical text format."""
+    chosen = set(solution) if solution is not None else None
+    lines = [name, f"n {instance.n}", f"c {instance.capacity:.12g}"]
+    if optimum is not None:
+        lines.append(f"z {optimum:.12g}")
+    for i in range(instance.n):
+        flag = ""
+        if chosen is not None:
+            flag = f",{1 if i in chosen else 0}"
+        lines.append(
+            f"{i + 1},{instance.profit(i):.12g},{instance.weight(i):.12g}{flag}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def load_benchmark_file(path, *, normalize: bool = False) -> BenchmarkInstance:
+    """Read a benchmark-format file from disk."""
+    return parse_benchmark_text(
+        pathlib.Path(path).read_text(encoding="utf-8"), normalize=normalize
+    )
+
+
+def save_benchmark_file(path, instance: KnapsackInstance, **kwargs) -> None:
+    """Write an instance to disk in the benchmark format."""
+    pathlib.Path(path).write_text(
+        format_benchmark_text(instance, **kwargs), encoding="utf-8"
+    )

@@ -1,0 +1,68 @@
+"""Item model for Knapsack instances.
+
+The paper (Section 2) models an instance as a list of items
+``a_i = (p_i, w_i)`` with non-negative profit ``p_i`` and weight
+``w_i >= 0``, plus a capacity ``K``.  Items are value objects: hashable,
+immutable, and ordered by *efficiency* ``p/w`` — the quantity the greedy
+algorithm, the L/S/G partition and the EPS machinery all revolve around.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Item", "efficiency"]
+
+
+def efficiency(profit: float, weight: float) -> float:
+    """Return the efficiency ratio ``profit / weight``.
+
+    Zero-weight items are infinitely efficient (they are free to add;
+    the greedy algorithm takes them first).  A zero-profit zero-weight
+    item has efficiency 0 by convention: it can never affect a solution's
+    value, so ranking it last is the conservative choice.
+    """
+    if weight < 0:
+        raise ValueError(f"weight must be non-negative, got {weight}")
+    if profit < 0:
+        raise ValueError(f"profit must be non-negative, got {profit}")
+    if weight == 0:
+        return math.inf if profit > 0 else 0.0
+    return profit / weight
+
+
+@dataclass(frozen=True, slots=True)
+class Item:
+    """A single Knapsack item ``(profit, weight)``.
+
+    Instances are immutable so they can be freely shared between the
+    many stateless LCA runs, used as dict keys, and deduplicated with
+    ``set`` — Algorithm 2 line 2 removes duplicate sampled items, which
+    maps directly onto set semantics here.
+    """
+
+    profit: float
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.profit) or self.profit < 0:
+            raise ValueError(f"profit must be finite and >= 0, got {self.profit}")
+        if not math.isfinite(self.weight) or self.weight < 0:
+            raise ValueError(f"weight must be finite and >= 0, got {self.weight}")
+
+    @property
+    def efficiency(self) -> float:
+        """Profit-to-weight ratio ``p/w`` (see :func:`efficiency`)."""
+        return efficiency(self.profit, self.weight)
+
+    def scaled(self, profit_factor: float = 1.0, weight_factor: float = 1.0) -> "Item":
+        """Return a copy with profit and weight multiplied by the factors."""
+        return Item(self.profit * profit_factor, self.weight * weight_factor)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(profit, weight)`` — the paper's ``(p, w)`` notation."""
+        return (self.profit, self.weight)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(p={self.profit:.6g}, w={self.weight:.6g})"

@@ -1,0 +1,57 @@
+"""Knapsack solvers: exact references and classical approximations.
+
+The paper's positive result leans on two classical algorithms — greedy
+by efficiency and the derived 1/2-approximation — and its analysis
+compares against OPT.  This package provides those plus three
+independent exact solvers (branch-and-bound, weight-DP, profit-DP /
+meet-in-the-middle) used as cross-checking ground truth in tests and
+benches.
+
+:func:`solve_exact` picks a suitable exact solver automatically.
+"""
+
+from __future__ import annotations
+
+from ...errors import SolverError
+from ..instance import KnapsackInstance
+from .branch_and_bound import branch_and_bound
+from .exact_dp import dp_by_profit, dp_by_weight
+from .fptas import fptas
+from .fractional import FractionalSolution, fractional_optimum, fractional_upper_bound
+from .greedy import greedy_order, half_approximation, prefix_greedy, skipping_greedy
+from .meet_in_middle import meet_in_middle
+from .result import SolverResult
+
+__all__ = [
+    "SolverResult",
+    "greedy_order",
+    "prefix_greedy",
+    "skipping_greedy",
+    "half_approximation",
+    "FractionalSolution",
+    "fractional_optimum",
+    "fractional_upper_bound",
+    "branch_and_bound",
+    "dp_by_weight",
+    "dp_by_profit",
+    "meet_in_middle",
+    "fptas",
+    "solve_exact",
+]
+
+
+def solve_exact(instance: KnapsackInstance, *, node_limit: int = 5_000_000) -> SolverResult:
+    """Solve exactly with the most appropriate engine.
+
+    Strategy: meet-in-the-middle for tiny instances (immune to pruning
+    pathologies), otherwise branch-and-bound.  Raises
+    :class:`~repro.errors.SolverError` if the instance defeats both.
+    """
+    if instance.n <= 30:
+        return meet_in_middle(instance)
+    try:
+        return branch_and_bound(instance, node_limit=node_limit)
+    except SolverError as exc:
+        raise SolverError(
+            f"no exact solver could handle this instance (n={instance.n}): {exc}"
+        ) from exc

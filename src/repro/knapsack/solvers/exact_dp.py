@@ -1,0 +1,158 @@
+"""Exact dynamic-programming solvers for integral Knapsack data.
+
+Two classic DPs:
+
+* :func:`dp_by_weight` — O(n * K) table over integer weights; exact when
+  weights and the capacity are integers (profits may be real).
+* :func:`dp_by_profit` — O(n * P) table over integer profits; exact when
+  profits are integers (weights may be real).  This is the DP the FPTAS
+  (:mod:`repro.knapsack.solvers.fptas`) scales profits into.
+
+Both reconstruct the selected item set, not just the value.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...errors import SolverError
+from ..instance import KnapsackInstance
+from .result import SolverResult
+
+__all__ = ["dp_by_weight", "dp_by_profit"]
+
+_CELL_LIMIT = 200_000_000  # refuse DP tables above ~200M cells
+
+
+def dp_by_weight(
+    instance: KnapsackInstance,
+    *,
+    weight_scale: float = 1.0,
+    tol: float = 1e-9,
+) -> SolverResult:
+    """Exact DP over integer weights.
+
+    ``weight_scale`` lets callers solve instances whose weights are
+    integral multiples of some unit (e.g. normalized weights k/B): the
+    DP runs on ``round(w * weight_scale)``.  Raises :class:`SolverError`
+    if the scaled weights are not integral within ``tol``, or if the
+    table would be unreasonably large.
+    """
+    scaled_w = instance.weights * weight_scale
+    int_w = np.rint(scaled_w)
+    if np.max(np.abs(scaled_w - int_w)) > tol:
+        raise SolverError(
+            "dp_by_weight requires integral (scaled) weights; "
+            "use branch_and_bound or fptas for real-valued weights"
+        )
+    cap = int(math.floor(instance.capacity * weight_scale + tol))
+    weights = int_w.astype(np.int64)
+    profits = instance.profits
+    n = instance.n
+    if (cap + 1) * n > _CELL_LIMIT:
+        raise SolverError(
+            f"dp_by_weight table too large: {(cap + 1) * n} cells "
+            f"(n={n}, scaled capacity={cap})"
+        )
+
+    # value[c] = best profit using a prefix of items with weight budget c.
+    value = np.zeros(cap + 1)
+    # take[i, c] would need O(n*cap) bits; store per-item bitsets compactly
+    # as a list of boolean arrays (one per item) for reconstruction.
+    take = np.zeros((n, cap + 1), dtype=bool)
+    for i in range(n):
+        w = int(weights[i])
+        p = float(profits[i])
+        if w == 0:
+            if p > 0:
+                value += p
+                take[i, :] = True
+            continue
+        if w > cap:
+            continue
+        shifted = value[: cap + 1 - w] + p
+        improved = shifted > value[w:] + 1e-15
+        take[i, w:] = improved
+        value[w:] = np.where(improved, shifted, value[w:])
+
+    # Reconstruct.
+    chosen: list[int] = []
+    c = cap
+    for i in range(n - 1, -1, -1):
+        if take[i, c]:
+            chosen.append(i)
+            c -= int(weights[i])
+    return SolverResult.from_indices(
+        instance,
+        chosen,
+        solver="dp_by_weight",
+        exact=True,
+        meta={"table_cells": (cap + 1) * n},
+    )
+
+
+def dp_by_profit(
+    instance: KnapsackInstance,
+    *,
+    profit_scale: float = 1.0,
+    tol: float = 1e-9,
+) -> SolverResult:
+    """Exact DP over integer profits (min-weight-for-profit formulation).
+
+    ``weight[v]`` is the minimum weight achieving total (scaled) profit
+    exactly ``v``; the answer is the largest ``v`` with
+    ``weight[v] <= K``.  Raises :class:`SolverError` when scaled profits
+    are not integral within ``tol``.
+    """
+    scaled_p = instance.profits * profit_scale
+    int_p = np.rint(scaled_p)
+    if np.max(np.abs(scaled_p - int_p)) > tol:
+        raise SolverError(
+            "dp_by_profit requires integral (scaled) profits; "
+            "scale via fptas() for real-valued profits"
+        )
+    profits = int_p.astype(np.int64)
+    weights = instance.weights
+    n = instance.n
+    total = int(profits.sum())
+    if (total + 1) * n > _CELL_LIMIT:
+        raise SolverError(
+            f"dp_by_profit table too large: {(total + 1) * n} cells "
+            f"(n={n}, total scaled profit={total})"
+        )
+
+    INF = math.inf
+    min_weight = np.full(total + 1, INF)
+    min_weight[0] = 0.0
+    take = np.zeros((n, total + 1), dtype=bool)
+    for i in range(n):
+        p = int(profits[i])
+        w = float(weights[i])
+        if p == 0:
+            # Zero-profit items never help an exact max-profit solution.
+            continue
+        cand = min_weight[: total + 1 - p] + w
+        improved = cand < min_weight[p:] - 1e-15
+        take[i, p:] = improved
+        min_weight[p:] = np.where(improved, cand, min_weight[p:])
+
+    feasible = np.nonzero(min_weight <= instance.capacity + 1e-9)[0]
+    best_v = int(feasible.max()) if feasible.size else 0
+
+    chosen: list[int] = []
+    v = best_v
+    for i in range(n - 1, -1, -1):
+        if v > 0 and take[i, v]:
+            chosen.append(i)
+            v -= int(profits[i])
+    if v != 0:
+        raise SolverError("dp_by_profit reconstruction failed (internal error)")
+    return SolverResult.from_indices(
+        instance,
+        chosen,
+        solver="dp_by_profit",
+        exact=True,
+        meta={"table_cells": (total + 1) * n, "scaled_value": best_v},
+    )

@@ -1,0 +1,80 @@
+"""Common result type returned by every solver in this package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...errors import InfeasibleSolutionError
+from ..instance import KnapsackInstance
+
+__all__ = ["SolverResult"]
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of a Knapsack solver.
+
+    Attributes
+    ----------
+    indices:
+        The selected item set (0-based indices into the instance).
+    value:
+        Total profit of the selected set.
+    weight:
+        Total weight of the selected set.
+    solver:
+        Name of the algorithm that produced the result.
+    exact:
+        True when the solver guarantees optimality.
+    meta:
+        Solver-specific diagnostics (node counts, thresholds, ...).
+    """
+
+    indices: frozenset[int]
+    value: float
+    weight: float
+    solver: str
+    exact: bool = False
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_indices(
+        cls,
+        instance: KnapsackInstance,
+        indices,
+        solver: str,
+        *,
+        exact: bool = False,
+        check_feasible: bool = True,
+        meta: dict[str, Any] | None = None,
+    ) -> "SolverResult":
+        """Build a result, computing value/weight from the instance.
+
+        ``check_feasible=True`` (the default) raises
+        :class:`InfeasibleSolutionError` if the set overflows the
+        capacity — solvers should never emit infeasible answers, so this
+        is an internal assertion more than a user-facing check.
+        """
+        chosen = frozenset(int(i) for i in indices)
+        value = instance.profit_of(chosen)
+        weight = instance.weight_of(chosen)
+        if check_feasible and weight > instance.capacity + 1e-9:
+            raise InfeasibleSolutionError(
+                f"solver {solver!r} produced an infeasible solution: "
+                f"weight {weight} > capacity {instance.capacity}"
+            )
+        return cls(
+            indices=chosen,
+            value=value,
+            weight=weight,
+            solver=solver,
+            exact=exact,
+            meta=dict(meta or {}),
+        )
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __contains__(self, i: int) -> bool:
+        return int(i) in self.indices

@@ -1,0 +1,100 @@
+"""Solution verification utilities.
+
+Every theorem in the paper is a statement about solution *properties*:
+feasibility, maximality (Theorem 3.4), and (alpha, beta)-approximation
+(Definition 2.1).  This module gives each property an executable checker
+so tests and benches can audit algorithm outputs against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import InfeasibleSolutionError
+from .instance import KnapsackInstance
+
+__all__ = [
+    "check_feasible",
+    "check_maximal",
+    "approximation_ratio",
+    "satisfies_alpha_beta",
+    "ApproximationReport",
+    "audit_solution",
+]
+
+
+def check_feasible(instance: KnapsackInstance, indices: Iterable[int], *, strict: bool = False) -> bool:
+    """True iff the set fits within capacity; optionally raise on failure."""
+    ok = instance.is_feasible(indices)
+    if strict and not ok:
+        raise InfeasibleSolutionError(
+            f"solution weight {instance.weight_of(indices):.6g} exceeds "
+            f"capacity {instance.capacity:.6g}"
+        )
+    return ok
+
+
+def check_maximal(instance: KnapsackInstance, indices: Iterable[int]) -> bool:
+    """True iff the set is a *maximal* feasible solution (Theorem 3.4's notion)."""
+    return instance.is_maximal(indices)
+
+
+def approximation_ratio(
+    instance: KnapsackInstance,
+    indices: Iterable[int],
+    optimal_value: float,
+) -> float:
+    """Return value(solution) / OPT, with the 0/0 case defined as 1."""
+    value = instance.profit_of(indices)
+    if optimal_value <= 0:
+        return 1.0
+    return value / optimal_value
+
+
+def satisfies_alpha_beta(
+    instance: KnapsackInstance,
+    indices: Iterable[int],
+    optimal_value: float,
+    alpha: float,
+    beta: float,
+    *,
+    tol: float = 1e-9,
+) -> bool:
+    """Definition 2.1 for maximization: value >= alpha * OPT - beta."""
+    value = instance.profit_of(indices)
+    return value >= alpha * optimal_value - beta - tol
+
+
+@dataclass(frozen=True)
+class ApproximationReport:
+    """Audit of one solution against a known optimum."""
+
+    value: float
+    weight: float
+    optimal_value: float
+    feasible: bool
+    maximal: bool
+    ratio: float
+
+    def satisfies(self, alpha: float, beta: float, *, tol: float = 1e-9) -> bool:
+        """Definition 2.1 check against the recorded optimum."""
+        return self.value >= alpha * self.optimal_value - beta - tol
+
+
+def audit_solution(
+    instance: KnapsackInstance,
+    indices: Iterable[int],
+    optimal_value: float,
+) -> ApproximationReport:
+    """Produce a full :class:`ApproximationReport` for a candidate solution."""
+    idx = list(indices)
+    value = instance.profit_of(idx)
+    return ApproximationReport(
+        value=value,
+        weight=instance.weight_of(idx),
+        optimal_value=optimal_value,
+        feasible=instance.is_feasible(idx),
+        maximal=instance.is_maximal(idx),
+        ratio=approximation_ratio(instance, idx, optimal_value),
+    )

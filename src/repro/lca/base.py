@@ -1,0 +1,61 @@
+"""The abstract LCA interface (Definition 2.2).
+
+A Local Computation Algorithm answers per-item membership queries about
+a solution it never materializes.  The contract:
+
+* ``answer(i)`` returns whether item ``i`` belongs to the solution C;
+* C depends only on the instance and the shared seed — **not** on which
+  queries were asked, in what order, or how many times (Definitions 2.3
+  and 2.4: parallelizable, query-order oblivious);
+* no state survives between calls.
+
+Implementations in this repository: :class:`~repro.core.LCAKP` (the
+paper's algorithm, adapted via :class:`LCAKPAdapter`), the trivial
+baselines in :mod:`repro.lca.trivial`, and the linear-read baseline in
+:mod:`repro.lca.full_read`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..core.lca_kp import LCAKP
+
+__all__ = ["LocalComputationAlgorithm", "LCAKPAdapter"]
+
+
+@runtime_checkable
+class LocalComputationAlgorithm(Protocol):
+    """Minimal protocol every LCA in this library satisfies."""
+
+    def answer(self, index: int) -> bool:  # pragma: no cover - protocol
+        """Return True iff item ``index`` is in the solution C."""
+        ...
+
+    @property
+    def cost_counter(self) -> int:  # pragma: no cover - protocol
+        """Cumulative oracle cost (queries + samples) spent so far."""
+        ...
+
+
+class LCAKPAdapter:
+    """Adapts :class:`~repro.core.LCAKP` to the boolean-answer protocol.
+
+    The adapter also aggregates the two cost meters (weighted samples
+    plus point queries) into the single ``cost_counter`` the harnesses
+    compare across algorithms.
+    """
+
+    def __init__(self, lca: LCAKP, sampler, oracle) -> None:
+        self._lca = lca
+        self._sampler = sampler
+        self._oracle = oracle
+
+    def answer(self, index: int) -> bool:
+        """Answer one query via a full stateless LCA-KP run."""
+        return self._lca.answer(index).include
+
+    @property
+    def cost_counter(self) -> int:
+        """Samples drawn plus items queried, cumulatively."""
+        return int(self._sampler.samples_used) + int(self._oracle.queries_used)

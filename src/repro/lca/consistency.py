@@ -1,0 +1,132 @@
+"""Consistency audits: the executable form of Definitions 2.3 / 2.4.
+
+An LCA's runs must all answer according to one solution C.  The audits
+here quantify that empirically:
+
+* :func:`audit_consistency` — run the answer pipeline several times
+  with fresh sampling randomness (same seed) and measure per-item
+  unanimity and pairwise run agreement;
+* :func:`audit_order_obliviousness` — permute the query order and check
+  answers do not move;
+* :func:`assemble_solution` — collect per-item answers into an explicit
+  candidate C and audit its feasibility/value against ground truth.
+
+All functions operate on *answer vectors*, so they work for any
+algorithm satisfying the LCA protocol, not just LCA-KP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConsistencyViolation
+from ..knapsack.instance import KnapsackInstance
+
+__all__ = [
+    "ConsistencyReport",
+    "audit_consistency",
+    "audit_order_obliviousness",
+    "assemble_solution",
+]
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Empirical consistency of several runs over a probe set.
+
+    ``unanimity`` is the fraction of probed items whose answers were
+    identical in every run; ``pairwise_agreement`` averages, over run
+    pairs, the fraction of probed items they agree on.  The paper's
+    Lemma 4.9 asserts pairwise agreement >= 1 - eps for LCA-KP (under
+    its sizing); bench E5 reports this number per workload family.
+    """
+
+    probes: tuple[int, ...]
+    runs: int
+    unanimity: float
+    pairwise_agreement: float
+    disagreeing_items: tuple[int, ...]
+
+    def require_unanimous(self) -> None:
+        """Raise :class:`ConsistencyViolation` on the first split item."""
+        if self.disagreeing_items:
+            raise ConsistencyViolation(self.disagreeing_items[0], (True, False))
+
+
+def audit_consistency(
+    answer_run: Callable[[int], Sequence[bool]],
+    probes: Sequence[int],
+    *,
+    runs: int = 5,
+) -> ConsistencyReport:
+    """Measure cross-run answer agreement.
+
+    ``answer_run(run_index)`` must execute one fresh, stateless run and
+    return the answers for ``probes`` (in order).  Each invocation
+    should use fresh sampling randomness but the same shared seed —
+    i.e., exactly what Definition 2.5 quantifies over.
+    """
+    if runs < 2:
+        raise ValueError("need at least 2 runs to audit consistency")
+    table = np.array([[bool(a) for a in answer_run(r)] for r in range(runs)])
+    if table.shape != (runs, len(probes)):
+        raise ValueError(
+            f"answer_run returned {table.shape[1]} answers, expected {len(probes)}"
+        )
+    unanimous_mask = np.all(table == table[0], axis=0)
+    pair_scores = []
+    for i in range(runs):
+        for j in range(i + 1, runs):
+            pair_scores.append(float(np.mean(table[i] == table[j])))
+    disagreeing = tuple(int(probes[k]) for k in np.nonzero(~unanimous_mask)[0])
+    return ConsistencyReport(
+        probes=tuple(int(p) for p in probes),
+        runs=runs,
+        unanimity=float(np.mean(unanimous_mask)),
+        pairwise_agreement=float(np.mean(pair_scores)),
+        disagreeing_items=disagreeing,
+    )
+
+
+def audit_order_obliviousness(
+    answer_batch: Callable[[Sequence[int]], Sequence[bool]],
+    probes: Sequence[int],
+    *,
+    permutations: int = 3,
+    rng: np.random.Generator | None = None,
+) -> bool:
+    """Check that answers do not depend on query order (Definition 2.4).
+
+    ``answer_batch(indices)`` answers the given queries *within one
+    run* (one shared pipeline), in the order given.  We ask the same
+    probe set in several random orders and compare item-wise.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    probes = [int(p) for p in probes]
+    reference = dict(zip(probes, answer_batch(probes)))
+    for _ in range(permutations):
+        perm = [probes[k] for k in rng.permutation(len(probes))]
+        answers = dict(zip(perm, answer_batch(perm)))
+        if any(answers[p] != reference[p] for p in probes):
+            return False
+    return True
+
+
+def assemble_solution(
+    answer_run: Callable[[Sequence[int]], Sequence[bool]],
+    instance: KnapsackInstance,
+) -> frozenset[int]:
+    """Materialize C by querying every item (a verification device).
+
+    In production one never does this — the whole point of an LCA is to
+    avoid it — but tests use the assembled set to check feasibility and
+    value of the solution the answers are (claimed to be) consistent
+    with.
+    """
+    all_items = list(range(instance.n))
+    answers = answer_run(all_items)
+    return frozenset(i for i, inc in zip(all_items, answers) if inc)

@@ -1,0 +1,63 @@
+"""The linear-cost baseline: read everything, solve, answer.
+
+The impossibility results of Section 3 say no sublinear LCA exists
+under plain query access; this baseline is the matching upper bound —
+Theta(n) queries per answer, after which it can answer according to an
+*optimal* (small n) or greedy 1/2-approximate solution.  Bench E6 plots
+its per-query cost (linear in n) against LCA-KP's (flat in n).
+
+Statelessness is preserved: every ``answer`` call re-reads the whole
+instance through the oracle and re-solves deterministically, so answers
+are trivially consistent.
+"""
+
+from __future__ import annotations
+
+from ..access.oracle import QueryOracle
+from ..errors import SolverError
+from ..knapsack.instance import KnapsackInstance
+from ..knapsack.solvers import half_approximation, solve_exact
+
+__all__ = ["FullReadLCA"]
+
+
+class FullReadLCA:
+    """Reads the entire instance per query; answers from a fixed solver.
+
+    Parameters
+    ----------
+    oracle:
+        Query access to the instance.
+    mode:
+        ``"half"`` (default) answers according to the deterministic
+        1/2-approximation; ``"exact"`` according to an exact solver
+        (small instances only).
+    """
+
+    def __init__(self, oracle: QueryOracle, *, mode: str = "half") -> None:
+        if mode not in ("half", "exact"):
+            raise SolverError(f"mode must be 'half' or 'exact', got {mode!r}")
+        self._oracle = oracle
+        self._mode = mode
+
+    def answer(self, index: int) -> bool:
+        """Read all n items, solve deterministically, report membership."""
+        n = self._oracle.n
+        items = [self._oracle.query(i) for i in range(n)]
+        instance = KnapsackInstance(
+            [it.profit for it in items],
+            [it.weight for it in items],
+            self._oracle.capacity,
+            normalize=False,
+            validate=False,
+        )
+        if self._mode == "exact":
+            result = solve_exact(instance)
+        else:
+            result = half_approximation(instance)
+        return index in result.indices
+
+    @property
+    def cost_counter(self) -> int:
+        """n queries per answer, cumulatively."""
+        return self._oracle.queries_used

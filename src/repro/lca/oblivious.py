@@ -1,0 +1,65 @@
+"""The oblivious-threshold baseline: why pure locality fails.
+
+A tempting "free" LCA under plain query access: look only at the
+queried item and include it iff its efficiency clears a fixed threshold
+tau.  One query per answer, perfectly consistent, order-oblivious —
+everything Definition 2.2 asks for... except a solution guarantee:
+
+* too-low tau over-includes and the implied solution is **infeasible**
+  on instances with much high-efficiency weight;
+* too-high tau under-includes and the value can be arbitrarily far from
+  OPT;
+* and no single tau works across instances, because the right cutoff is
+  a *global* quantity (where the greedy fills the knapsack) — exactly
+  the information the Section 3 lower bounds show costs Omega(n)
+  queries to learn, and the weighted-sampling LCA estimates from
+  samples.
+
+:class:`ObliviousThresholdLCA` makes the failure measurable; the test
+suite exhibits both failure modes concretely, positioning LCA-KP's
+sampled threshold as the fix rather than an optimization.
+"""
+
+from __future__ import annotations
+
+from ..access.oracle import QueryOracle
+from ..errors import ReproError
+from ..knapsack.items import efficiency
+
+__all__ = ["ObliviousThresholdLCA"]
+
+
+class ObliviousThresholdLCA:
+    """Include item i iff its efficiency is at least a fixed ``tau``.
+
+    O(1) queries per answer and trivially consistent — but the implied
+    solution's feasibility and value are entirely at the mercy of how
+    ``tau`` relates to the instance's (unknown) greedy cut.
+    """
+
+    def __init__(self, oracle: QueryOracle, tau: float) -> None:
+        if tau < 0:
+            raise ReproError(f"tau must be >= 0, got {tau}")
+        self._oracle = oracle
+        self._tau = tau
+
+    @property
+    def tau(self) -> float:
+        """The fixed efficiency cutoff."""
+        return self._tau
+
+    def answer(self, index: int) -> bool:
+        """One query: include iff efficiency >= tau."""
+        item = self._oracle.query(index)
+        return efficiency(item.profit, item.weight) >= self._tau
+
+    @property
+    def cost_counter(self) -> int:
+        """One query per answer, cumulatively."""
+        return self._oracle.queries_used
+
+    def implied_solution(self) -> frozenset[int]:
+        """Materialize the solution the answers describe (test helper)."""
+        return frozenset(
+            i for i in range(self._oracle.n) if self.answer(i)
+        )

@@ -1,0 +1,124 @@
+"""Harness for running fleets of stateless LCA copies.
+
+The LCA model's selling point (Section 1) is that *independent*
+instances of the algorithm — sharing only the input and the read-only
+seed — provide consistent access to one solution.  :class:`LCAFleet`
+instantiates that story: it owns N logically independent LCA-KP copies
+(each with its own oracle accounting, so per-copy costs are measured
+honestly) and routes queries to them, recording everything needed for
+the consistency and cost audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..access.oracle import QueryOracle
+from ..access.seeds import SeedChain, fresh_nonce
+from ..access.weighted_sampler import WeightedSampler
+from ..core.lca_kp import LCAKP
+from ..core.parameters import LCAParameters
+from ..errors import ReproError
+from ..knapsack.instance import KnapsackInstance
+
+__all__ = ["FleetAnswer", "LCAFleet"]
+
+
+@dataclass(frozen=True)
+class FleetAnswer:
+    """One routed query: which copy served it and what it said."""
+
+    copy_id: int
+    index: int
+    include: bool
+    samples_spent: int
+
+
+@dataclass
+class LCAFleet:
+    """N independent LCA-KP copies over one instance and one seed.
+
+    Each copy gets its *own* sampler and oracle (fresh accounting and
+    fresh sampling randomness) but the *same* seed — mirroring N
+    machines answering queries about one massive shared input.
+
+    Parameters
+    ----------
+    instance:
+        The (explicit) Knapsack instance.
+    epsilon, seed, params:
+        Forwarded to each :class:`~repro.core.LCAKP` copy.
+    copies:
+        Number of independent workers.
+    """
+
+    instance: KnapsackInstance
+    epsilon: float
+    seed: int | SeedChain = 0
+    copies: int = 4
+    params: LCAParameters | None = None
+    history: list[FleetAnswer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.copies < 1:
+            raise ReproError(f"copies must be >= 1, got {self.copies}")
+        self._workers: list[tuple[LCAKP, WeightedSampler, QueryOracle]] = []
+        for _ in range(self.copies):
+            sampler = WeightedSampler(self.instance)
+            oracle = QueryOracle(self.instance)
+            lca = LCAKP(sampler, oracle, self.epsilon, self.seed, params=self.params)
+            self._workers.append((lca, sampler, oracle))
+
+    # ------------------------------------------------------------------
+    def ask(self, index: int, *, copy_id: int | None = None, nonce: int | None = None) -> FleetAnswer:
+        """Route one query to a copy (round-robin by default)."""
+        if copy_id is None:
+            copy_id = len(self.history) % self.copies
+        if not 0 <= copy_id < self.copies:
+            raise ReproError(f"copy_id {copy_id} out of range [0, {self.copies})")
+        lca, sampler, _oracle = self._workers[copy_id]
+        before = sampler.samples_used
+        result = lca.answer(index, nonce=nonce if nonce is not None else fresh_nonce())
+        answer = FleetAnswer(
+            copy_id=copy_id,
+            index=index,
+            include=result.include,
+            samples_spent=sampler.samples_used - before,
+        )
+        self.history.append(answer)
+        return answer
+
+    def ask_all_copies(self, index: int, *, base_nonce: int | None = None) -> list[FleetAnswer]:
+        """Ask every copy the same query (the consistency stress test)."""
+        return [
+            self.ask(
+                index,
+                copy_id=c,
+                nonce=None if base_nonce is None else base_nonce + c,
+            )
+            for c in range(self.copies)
+        ]
+
+    # ------------------------------------------------------------------
+    def contested_queries(self) -> dict[int, set[bool]]:
+        """Items that received conflicting answers across the history."""
+        votes: dict[int, set[bool]] = {}
+        for ans in self.history:
+            votes.setdefault(ans.index, set()).add(ans.include)
+        return {i: v for i, v in votes.items() if len(v) > 1}
+
+    def implied_solution(self) -> dict[int, bool]:
+        """Majority answer per queried item (the fleet's view of C)."""
+        tallies: dict[int, list[int]] = {}
+        for ans in self.history:
+            bucket = tallies.setdefault(ans.index, [0, 0])
+            bucket[1 if ans.include else 0] += 1
+        return {i: yes >= no for i, (no, yes) in tallies.items()}
+
+    def total_samples(self) -> int:
+        """Total weighted samples spent by the whole fleet."""
+        return sum(s.samples_used for _, s, _ in self._workers)
+
+    def per_copy_samples(self) -> list[int]:
+        """Samples spent by each copy."""
+        return [s.samples_used for _, s, _ in self._workers]

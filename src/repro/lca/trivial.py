@@ -1,0 +1,58 @@
+"""Trivial LCA baselines.
+
+The paper notes (after Definition 2.4) that without a profit guarantee
+the LCA definition is trivially satisfiable by always answering "no"
+(consistent with the empty feasible solution).  These baselines make
+the observation executable and give the benches their floor lines.
+"""
+
+from __future__ import annotations
+
+from ..access.oracle import QueryOracle
+
+__all__ = ["AlwaysNoLCA", "AlwaysYesIfFreeLCA"]
+
+
+class AlwaysNoLCA:
+    """The degenerate LCA: consistent with C = {} at zero cost.
+
+    Perfectly consistent, perfectly feasible, zero profit — the reason
+    Definition 2.2 alone is not enough and the paper's results are all
+    phrased with a solution-quality requirement attached.
+    """
+
+    def __init__(self) -> None:
+        self._cost = 0
+
+    def answer(self, index: int) -> bool:
+        """Every item is out of the (empty) solution."""
+        return False
+
+    @property
+    def cost_counter(self) -> int:
+        """Never touches the oracle."""
+        return self._cost
+
+
+class AlwaysYesIfFreeLCA:
+    """Includes exactly the zero-weight items: one query per answer.
+
+    The largest solution obtainable with O(1) queries per answer and
+    unconditional feasibility: a zero-weight item can never violate the
+    capacity, and any non-free item might (another item could already
+    fill the knapsack).  A slightly-less-trivial floor for the benches,
+    and the best possible "local" rule on the Theorem 3.4 hard
+    distribution's zero-weight bulk.
+    """
+
+    def __init__(self, oracle: QueryOracle) -> None:
+        self._oracle = oracle
+
+    def answer(self, index: int) -> bool:
+        """Yes iff the item weighs exactly nothing."""
+        return self._oracle.query(index).weight == 0.0
+
+    @property
+    def cost_counter(self) -> int:
+        """One query per answer."""
+        return self._oracle.queries_used

@@ -1,0 +1,62 @@
+"""Executable forms of the Section 3 impossibility results.
+
+Lower bounds quantify over all algorithms, so "reproducing" them means:
+(1) implementing the reductions and hard distributions exactly as the
+proofs define them, (2) verifying their load-bearing semantic claims
+instance-by-instance, and (3) measuring the success-vs-budget curves of
+the information-theoretically optimal strategies, which exhibit the
+Omega(n) thresholds the theorems assert.  See DESIGN.md §3.
+"""
+
+from .approx_reduction import ApproxReduction, verify_reduction_semantics
+from .decision_tree import (
+    best_strategy_value,
+    enumerate_all_strategies_or,
+    optimal_or_success_exact,
+)
+from .maximal_hard import (
+    HardMaximalInstance,
+    budget_for_error,
+    draw_hard_instance,
+    grade_answer_pair,
+    probing_error_probability,
+    probing_strategy_answers,
+)
+from .or_reduction import (
+    BitOracle,
+    ORReduction,
+    hard_or_input,
+    optimal_success_probability,
+    queries_needed_for_success,
+    simulate_optimal_strategy,
+)
+from .query_complexity import (
+    StrategyEvaluation,
+    evaluate_or_strategy,
+    sweep_maximal_budgets,
+    sweep_or_budgets,
+)
+
+__all__ = [
+    "optimal_or_success_exact",
+    "enumerate_all_strategies_or",
+    "best_strategy_value",
+    "BitOracle",
+    "ORReduction",
+    "hard_or_input",
+    "optimal_success_probability",
+    "queries_needed_for_success",
+    "simulate_optimal_strategy",
+    "ApproxReduction",
+    "verify_reduction_semantics",
+    "HardMaximalInstance",
+    "draw_hard_instance",
+    "grade_answer_pair",
+    "probing_strategy_answers",
+    "probing_error_probability",
+    "budget_for_error",
+    "StrategyEvaluation",
+    "evaluate_or_strategy",
+    "sweep_or_budgets",
+    "sweep_maximal_budgets",
+]

@@ -1,0 +1,85 @@
+"""The Theorem 3.3 reduction: no sublinear LCA for *any* approximation.
+
+Identical skeleton to Theorem 3.2 (:mod:`.or_reduction`) with one
+change: the planted item's profit is ``beta``, an arbitrary value in
+``(0, alpha)``.  Then
+
+* if ``OR(x) = 0``: the planted singleton {s_n} is the *unique optimal*
+  solution (value beta vs. 0 elsewhere), hence also the unique
+  alpha-approximate one;
+* if ``OR(x) = 1``: OPT = 1 and {s_n} has value ``beta < alpha * 1``,
+  so s_n is in **no** alpha-approximate solution.
+
+Asking the LCA about s_n therefore computes OR, for every fixed
+``alpha`` — taking ``alpha -> 0`` rules out every finite approximation
+guarantee.  The module wraps the construction with its semantic
+verifier (that the claimed equivalence really holds instance by
+instance), which bench E2 exercises across a grid of alphas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..knapsack.instance import KnapsackInstance
+from .or_reduction import BitOracle, ORReduction
+
+__all__ = ["ApproxReduction", "verify_reduction_semantics"]
+
+
+@dataclass
+class ApproxReduction:
+    """Theorem 3.3's instance family for a fixed ``alpha``.
+
+    ``beta`` defaults to ``alpha / 2`` (any value in (0, alpha) works;
+    the proof only needs ``beta < alpha``).
+    """
+
+    alpha: float
+    beta: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ReproError(f"alpha must lie in (0, 1], got {self.alpha}")
+        if self.beta is None:
+            self.beta = self.alpha / 2
+        if not 0 < self.beta < self.alpha:
+            raise ReproError(
+                f"beta must lie in (0, alpha) = (0, {self.alpha}), got {self.beta}"
+            )
+
+    def reduction(self, bit_oracle: BitOracle) -> ORReduction:
+        """The simulated instance I(x) with the planted profit beta."""
+        return ORReduction(bit_oracle, special_profit=float(self.beta))
+
+    # ------------------------------------------------------------------
+    def explicit_instance(self, x) -> KnapsackInstance:
+        """Materialize I(x) (for ground-truth verification only)."""
+        x = np.asarray(x, dtype=float)
+        profits = np.concatenate([x, [float(self.beta)]])
+        weights = np.ones(profits.size)
+        return KnapsackInstance(profits, weights, 1.0, normalize=False, validate=True)
+
+    def special_is_alpha_approx(self, x) -> bool:
+        """Ground truth: is {s_n} an alpha-approximate solution of I(x)?"""
+        opt = 1.0 if np.asarray(x).any() else float(self.beta)
+        return float(self.beta) >= self.alpha * opt
+
+
+def verify_reduction_semantics(alpha: float, m: int, rng: np.random.Generator, *, trials: int = 50) -> bool:
+    """Check, on random inputs, that ``{s_n} alpha-approx  <=>  OR(x)=0``.
+
+    This is the load-bearing equivalence of the Theorem 3.3 proof;
+    tests and bench E2 run it across alphas and input laws.
+    """
+    red = ApproxReduction(alpha)
+    for _ in range(trials):
+        x = (rng.random(m) < rng.uniform(0, 0.2)).astype(np.int8)
+        claim = red.special_is_alpha_approx(x)
+        truth = not bool(x.any())
+        if claim != truth:
+            return False
+    return True

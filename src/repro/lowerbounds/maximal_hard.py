@@ -1,0 +1,188 @@
+"""Theorem 3.4's hard distribution for Maximal-Feasible Knapsack.
+
+The construction (profits all zero, capacity K = 1):
+
+* pick a uniformly random pair of indices (i, j);
+* ``w_i = 3/4`` always; ``w_j = 1/4`` or ``3/4`` with probability 1/2
+  each; every other item has weight 0.
+
+If ``w_j = 1/4`` the unique maximal solution contains *all* items; if
+``w_j = 3/4`` there are exactly two maximal solutions, each dropping
+one of the heavy pair.  An LCA asked about s_i and then s_j must say
+yes to a weight-3/4 item it cannot distinguish from the "include
+everything" world — unless it spends ~n queries locating the other
+heavy item — and saying yes to both heavy items is infeasible.  The
+proof shows any algorithm with success probability 4/5 needs >= n/11
+queries.
+
+This module draws the distribution, provides the two-query *evaluation
+protocol* (ask s_i, ask s_j, grade the answer pair against the set of
+maximal solutions), implements the proof's canonical probing strategy,
+and gives the closed-form error curve bench E3 plots against budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..knapsack.instance import KnapsackInstance
+
+__all__ = [
+    "HardMaximalInstance",
+    "draw_hard_instance",
+    "grade_answer_pair",
+    "probing_strategy_answers",
+    "probing_error_probability",
+    "budget_for_error",
+]
+
+
+@dataclass(frozen=True)
+class HardMaximalInstance:
+    """One draw from the hard distribution, with its hidden structure."""
+
+    n: int
+    i: int  # the always-3/4 item
+    j: int  # the coin-flipped item
+    w_j: float  # 1/4 or 3/4
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ReproError("hard instances need n >= 2")
+        if self.i == self.j:
+            raise ReproError("the heavy pair must be distinct")
+        if self.w_j not in (0.25, 0.75):
+            raise ReproError("w_j must be 1/4 or 3/4")
+
+    def weight(self, k: int) -> float:
+        """Weight of item k."""
+        if k == self.i:
+            return 0.75
+        if k == self.j:
+            return self.w_j
+        return 0.0
+
+    def instance(self) -> KnapsackInstance:
+        """Materialize as a (zero-profit) KnapsackInstance, K = 1."""
+        weights = np.zeros(self.n)
+        weights[self.i] = 0.75
+        weights[self.j] = self.w_j
+        return KnapsackInstance(
+            np.zeros(self.n), weights, 1.0, normalize=False, validate=True
+        )
+
+    def maximal_solutions(self) -> list[frozenset[int]]:
+        """All maximal feasible solutions (one or two of them)."""
+        everything = frozenset(range(self.n))
+        if self.w_j == 0.25:
+            return [everything]  # 3/4 + 1/4 = 1 <= K: take all
+        return [everything - {self.i}, everything - {self.j}]
+
+
+def draw_hard_instance(n: int, rng: np.random.Generator) -> HardMaximalInstance:
+    """Sample the Theorem 3.4 distribution."""
+    if n < 2:
+        raise ReproError("hard instances need n >= 2")
+    i, j = rng.choice(n, size=2, replace=False)
+    w_j = 0.25 if rng.random() < 0.5 else 0.75
+    return HardMaximalInstance(n=n, i=int(i), j=int(j), w_j=w_j)
+
+
+def grade_answer_pair(
+    inst: HardMaximalInstance, answer_i: bool, answer_j: bool
+) -> bool:
+    """Is the (s_i, s_j) answer pair consistent with SOME maximal solution?
+
+    This is the success criterion of the proof's two-query protocol:
+    the LCA's answers on the heavy pair must match at least one maximal
+    solution (the zero-weight items are in every maximal solution, so
+    they never discriminate).
+    """
+    for sol in inst.maximal_solutions():
+        if (inst.i in sol) == answer_i and (inst.j in sol) == answer_j:
+            return True
+    return False
+
+
+def probing_strategy_answers(
+    inst: HardMaximalInstance,
+    budget: int,
+    rng: np.random.Generator,
+    *,
+    tie_rule: str = "exclude-larger-index",
+) -> tuple[bool, bool]:
+    """The proof's canonical stateless strategy, run on both queries.
+
+    Per query about item k (already knowing ``w_k``), the strategy
+    probes up to ``budget`` other uniformly-random distinct items:
+
+    * if ``w_k < 3/4``: answer yes (always safe);
+    * if it finds the other heavy item and both weigh 3/4: answer by the
+      deterministic ``tie_rule`` (a consistent choice of which heavy
+      item to drop — here: exclude the one with the larger index);
+    * if it finds the other heavy item with weight 1/4, or finds
+      nothing: answer yes (the proof's forced move — the "everything is
+      in" world is too likely to contradict).
+
+    Both queries share no state (fresh probes each), exactly the
+    memorylessness the lower bound exploits.
+    """
+    if tie_rule != "exclude-larger-index":
+        raise ReproError(f"unknown tie rule {tie_rule!r}")
+
+    def answer_for(k: int) -> bool:
+        w_k = inst.weight(k)
+        if w_k < 0.75:
+            return True
+        others = [t for t in range(inst.n) if t != k]
+        probes = rng.choice(len(others), size=min(budget, len(others)), replace=False)
+        for p in probes:
+            other = others[int(p)]
+            w_other = inst.weight(other)
+            if w_other == 0.75:
+                # Both heavies found: drop the larger index, keep the other.
+                return k < other
+            if w_other == 0.25:
+                return True  # the unique maximal solution includes all
+        return True  # nothing found: must say yes (see Lemma 3.5)
+
+    return answer_for(inst.i), answer_for(inst.j)
+
+
+def probing_error_probability(n: int, budget: int) -> float:
+    """Closed-form failure probability of the canonical strategy.
+
+    Errors only occur in the ``w_j = 3/4`` world (probability 1/2).
+    With ``f = q/(n-1)`` the per-query probability of locating the other
+    heavy item (queries are stateless, hence independent):
+
+    * both queries find it: the tie rule answers (yes, no) or (no, yes)
+      — always consistent;
+    * one finds, one misses: the finder answers by index order, the
+      misser answers yes — consistent exactly when the misser was the
+      one the tie rule keeps, which by i/j symmetry has probability 1/2;
+    * both miss: (yes, yes) — infeasible, always an error.
+
+    Summing: ``P[error] = 1/2 [ (1-f)^2 + 2 f (1-f) / 2 ] = (1-f)/2``.
+
+    At q = 0 the error is 1/2; it drops below the theorem's 1/5
+    threshold only once ``q >= 0.6 (n-1)`` — a linear number of
+    queries, which is the Omega(n) statement in measurable form.
+    """
+    if n < 2:
+        raise ReproError("n must be >= 2")
+    q = max(0, min(budget, n - 1))
+    find = q / (n - 1)
+    return 0.5 * (1.0 - find)
+
+
+def budget_for_error(n: int, error: float = 0.2) -> int:
+    """Invert :func:`probing_error_probability`: min budget with P[err] <= error."""
+    if not 0 < error <= 0.5:
+        raise ReproError("error must lie in (0, 1/2] for this curve")
+    import math
+
+    return math.ceil((1.0 - 2.0 * error) * (n - 1))

@@ -1,0 +1,200 @@
+"""The Theorem 3.2 reduction: Knapsack LCA => OR query complexity.
+
+Figure 1's construction, executable.  Given (oracle access to) an input
+``x in {0,1}^(n-1)`` for the OR function, simulate query access to the
+Knapsack instance I(x) with capacity K = 1:
+
+* item ``i < n-1``: ``(p, w) = (x_i, 1)`` — one bit-query to x;
+* item ``n-1``:     ``(p, w) = (1/2, 1)`` — free.
+
+Every feasible solution is a singleton (every weight equals K), and the
+last item belongs to the optimal solution iff ``OR(x) = 0``.  Hence one
+LCA query ("is item n-1 in the optimal solution?") computes OR, and the
+LCA's query budget upper-bounds the number of x-bits read — transferring
+the ``R(OR_n) = Omega(n)`` lower bound (Lemma 3.1) to the LCA.
+
+The module provides the simulation (:class:`ORReduction`), the hard
+input distribution used to *certify* the lower bound empirically, and
+the Bayes-optimal budgeted strategy with its closed-form success curve,
+so bench E1 can plot "best achievable success probability vs. query
+budget" and exhibit the linear threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..access.oracle import FunctionInstance, QueryOracle
+from ..errors import QueryBudgetExceededError, ReproError
+
+__all__ = [
+    "BitOracle",
+    "ORReduction",
+    "hard_or_input",
+    "optimal_success_probability",
+    "simulate_optimal_strategy",
+    "queries_needed_for_success",
+]
+
+
+class BitOracle:
+    """Counting query access to an OR input ``x in {0,1}^m``."""
+
+    def __init__(self, bits, *, budget: int | None = None) -> None:
+        self._bits = np.asarray(bits, dtype=np.int8)
+        if self._bits.ndim != 1 or self._bits.size == 0:
+            raise ReproError("x must be a non-empty bit vector")
+        if not np.all((self._bits == 0) | (self._bits == 1)):
+            raise ReproError("x must be 0/1-valued")
+        self._budget = budget
+        self._queries = 0
+
+    @property
+    def m(self) -> int:
+        """Length of x."""
+        return int(self._bits.size)
+
+    @property
+    def queries_used(self) -> int:
+        """Bit-queries spent so far."""
+        return self._queries
+
+    def query(self, i: int) -> int:
+        """Reveal bit ``x_i`` (charged against the budget)."""
+        if not 0 <= i < self._bits.size:
+            raise ReproError(f"bit index {i} out of range [0, {self._bits.size})")
+        if self._budget is not None and self._queries >= self._budget:
+            raise QueryBudgetExceededError(self._budget, self._queries + 1)
+        self._queries += 1
+        return int(self._bits[i])
+
+    def true_or(self) -> int:
+        """Ground truth OR(x) (not charged; for verification only)."""
+        return int(self._bits.any())
+
+
+@dataclass
+class ORReduction:
+    """Simulated Knapsack instance I(x) over a :class:`BitOracle`.
+
+    ``special_profit`` is 1/2 for Theorem 3.2; Theorem 3.3 reuses the
+    construction with ``special_profit = beta < alpha`` (see
+    :mod:`repro.lowerbounds.approx_reduction`).
+    """
+
+    bit_oracle: BitOracle
+    special_profit: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.special_profit < 1:
+            raise ReproError("special_profit must lie in (0, 1)")
+
+    @property
+    def n(self) -> int:
+        """Number of Knapsack items: m + 1."""
+        return self.bit_oracle.m + 1
+
+    @property
+    def special_index(self) -> int:
+        """Index of the planted item s_n (0-based: n-1)."""
+        return self.n - 1
+
+    def as_instance(self) -> FunctionInstance:
+        """The simulated instance; item queries translate to bit queries.
+
+        Exactly one bit-query per item query (items below n-1), zero for
+        the special item — the "local simulation" property the proof
+        needs so the bound transfers without loss.
+        """
+
+        def profit(i: int) -> float:
+            if i == self.special_index:
+                return self.special_profit
+            return float(self.bit_oracle.query(i))
+
+        def weight(i: int) -> float:
+            # Weights are all 1 by construction: answering them reveals
+            # nothing, so no bit-query is charged.
+            return 1.0
+
+        return FunctionInstance(self.n, 1.0, profit, weight)
+
+    def oracle(self, *, budget: int | None = None) -> QueryOracle:
+        """Query oracle over the simulated instance."""
+        return QueryOracle(self.as_instance(), budget=budget)
+
+    # ------------------------------------------------------------------
+    def special_in_unique_optimum(self) -> bool:
+        """Ground truth: s_n is in the optimal solution iff OR(x) = 0."""
+        return self.bit_oracle.true_or() == 0
+
+
+def hard_or_input(m: int, rng: np.random.Generator) -> np.ndarray:
+    """The hard OR input distribution: 0^m w.p. 1/2, else a uniform e_j.
+
+    This is the distribution against which probing strategies provably
+    cannot beat ``1/2 + q / (2m)`` success with q queries — the source
+    of the Omega(n) threshold.
+    """
+    if m < 1:
+        raise ReproError(f"m must be >= 1, got {m}")
+    x = np.zeros(m, dtype=np.int8)
+    if rng.random() < 0.5:
+        x[int(rng.integers(m))] = 1
+    return x
+
+
+def optimal_success_probability(m: int, q: int) -> float:
+    """Closed-form success of the best q-query strategy on the hard input.
+
+    A strategy probing q distinct positions sees all zeros unless it
+    hits the planted one.  On all-zeros the Bayes-optimal guess is
+    OR = 0 (posterior >= 1/2), so
+
+        P[success] = 1/2 + (1/2) * min(q, m) / m .
+
+    Success 2/3 therefore needs q >= m/3: the Theorem 3.2 linear lower
+    bound, as an exact curve.
+    """
+    if m < 1:
+        raise ReproError(f"m must be >= 1, got {m}")
+    q = max(0, min(q, m))
+    return 0.5 + 0.5 * q / m
+
+
+def queries_needed_for_success(m: int, success: float = 2 / 3) -> int:
+    """Invert :func:`optimal_success_probability`: min q achieving ``success``."""
+    if not 0.5 <= success <= 1:
+        raise ReproError("success must lie in [1/2, 1] for the hard distribution")
+    return math.ceil((2 * success - 1) * m)
+
+
+def simulate_optimal_strategy(
+    m: int,
+    q: int,
+    rng: np.random.Generator,
+    *,
+    trials: int = 1000,
+) -> float:
+    """Monte-Carlo the optimal budgeted strategy against the hard input.
+
+    The strategy probes q uniformly-random distinct positions; if it
+    finds a one it answers OR = 1, otherwise OR = 0.  Returns the
+    empirical success rate (should match
+    :func:`optimal_success_probability` within sampling error — bench E1
+    asserts this).
+    """
+    if trials < 1:
+        raise ReproError("trials must be >= 1")
+    q = max(0, min(q, m))
+    hits = 0
+    for _ in range(trials):
+        x = hard_or_input(m, rng)
+        probes = rng.choice(m, size=q, replace=False) if q else np.empty(0, dtype=int)
+        saw_one = bool(x[probes].any()) if q else False
+        guess = 1 if saw_one else 0
+        hits += int(guess == int(x.any()))
+    return hits / trials

@@ -1,0 +1,161 @@
+"""Generic query-complexity experiment harness.
+
+Lower bounds cannot be "run" — they quantify over all algorithms.  What
+*can* be run, and is what bench E1-E3 do, is:
+
+1. evaluate the information-theoretically optimal strategy for the hard
+   distribution (computed in closed form in the construction modules),
+   sweeping the query budget and locating the success threshold;
+2. pit arbitrary user-supplied strategies against the same distribution
+   and check none beats the closed-form optimum (a consistency check on
+   the theory, and a harness for anyone who thinks they have a
+   loophole).
+
+:class:`StrategyEvaluation` is the common result record; the
+``sweep_*`` helpers produce the budget -> success curves the benches
+print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analysis.stats import binomial_ci
+from ..errors import ExperimentError
+from .maximal_hard import (
+    draw_hard_instance,
+    grade_answer_pair,
+    probing_error_probability,
+    probing_strategy_answers,
+)
+from .or_reduction import (
+    hard_or_input,
+    optimal_success_probability,
+)
+
+__all__ = [
+    "StrategyEvaluation",
+    "evaluate_or_strategy",
+    "sweep_or_budgets",
+    "sweep_maximal_budgets",
+]
+
+
+@dataclass(frozen=True)
+class StrategyEvaluation:
+    """Empirical success of one strategy at one budget."""
+
+    budget: int
+    trials: int
+    successes: int
+    theoretical: float | None = None
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical success probability."""
+        return self.successes / self.trials
+
+    def confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Wilson interval on the success probability."""
+        return binomial_ci(self.successes, self.trials, confidence)
+
+    def consistent_with_theory(self, confidence: float = 0.99) -> bool:
+        """True iff the closed-form value lies in the Wilson interval."""
+        if self.theoretical is None:
+            return True
+        lo, hi = self.confidence_interval(confidence)
+        # 1e-9 slack absorbs float error in the Wilson endpoints (the
+        # upper bound is exactly 1 at p-hat = 1 only in exact arithmetic).
+        return lo - 1e-9 <= self.theoretical <= hi + 1e-9
+
+
+def evaluate_or_strategy(
+    strategy: Callable[[Callable[[int], int], int, int], int],
+    m: int,
+    budget: int,
+    rng: np.random.Generator,
+    *,
+    trials: int = 2000,
+) -> StrategyEvaluation:
+    """Run ``strategy`` against the hard OR distribution.
+
+    ``strategy(query, m, budget)`` receives a bit-query callable (raises
+    past the budget), the input length and the budget, and must return
+    its OR guess in {0, 1}.
+    """
+    if trials < 1:
+        raise ExperimentError("trials must be >= 1")
+    successes = 0
+    for _ in range(trials):
+        x = hard_or_input(m, rng)
+        used = 0
+
+        def query(i: int) -> int:
+            nonlocal used
+            if used >= budget:
+                raise ExperimentError("strategy exceeded its budget")
+            used += 1
+            return int(x[i])
+
+        guess = strategy(query, m, budget)
+        successes += int(int(guess) == int(x.any()))
+    return StrategyEvaluation(
+        budget=budget,
+        trials=trials,
+        successes=successes,
+        theoretical=optimal_success_probability(m, budget),
+    )
+
+
+def sweep_or_budgets(
+    m: int,
+    budgets: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    trials: int = 2000,
+) -> list[StrategyEvaluation]:
+    """Optimal-strategy success across budgets (the E1 curve).
+
+    The optimal strategy for the hard input is "probe distinct random
+    positions; report 1 iff a one was seen".
+    """
+
+    def optimal(query: Callable[[int], int], m_: int, budget: int) -> int:
+        probes = rng.choice(m_, size=min(budget, m_), replace=False)
+        return int(any(query(int(p)) for p in probes))
+
+    return [evaluate_or_strategy(optimal, m, b, rng, trials=trials) for b in budgets]
+
+
+def sweep_maximal_budgets(
+    n: int,
+    budgets: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    trials: int = 2000,
+) -> list[StrategyEvaluation]:
+    """Canonical-strategy success on the Theorem 3.4 protocol (E3 curve).
+
+    Success = the (s_i, s_j) answer pair is consistent with some
+    maximal solution; ``theoretical`` carries the closed-form
+    ``1 - probing_error_probability``.
+    """
+    out = []
+    for budget in budgets:
+        successes = 0
+        for _ in range(trials):
+            inst = draw_hard_instance(n, rng)
+            a_i, a_j = probing_strategy_answers(inst, budget, rng)
+            successes += int(grade_answer_pair(inst, a_i, a_j))
+        out.append(
+            StrategyEvaluation(
+                budget=budget,
+                trials=trials,
+                successes=successes,
+                theoretical=1.0 - probing_error_probability(n, budget),
+            )
+        )
+    return out

@@ -1,0 +1,42 @@
+"""Reproducible algorithms (ILPS22-style) powering the LCA's consistency.
+
+The paper's key insight is that LCA *consistency* (same answers across
+stateless runs) is the same property as learning-theoretic
+*reproducibility* (Definition 2.5): same output on fresh samples under
+shared internal randomness.  This package supplies the reproducible
+median/quantile machinery Section 4 builds on.
+"""
+
+from .domains import EfficiencyDomain
+from .dyadic import rquantile_dyadic
+from .heavy_hitters import (
+    HeavyHittersResult,
+    heavy_hitters_sample_complexity,
+    reproducible_heavy_hitters,
+)
+from .rmedian import (
+    practical_sample_complexity,
+    rmedian,
+    rquantile_descent,
+    theoretical_sample_complexity,
+)
+from .rquantile import (
+    ReproducibleQuantileEstimator,
+    rquantile_direct,
+    rquantile_padding,
+)
+
+__all__ = [
+    "EfficiencyDomain",
+    "rmedian",
+    "rquantile_descent",
+    "rquantile_direct",
+    "rquantile_padding",
+    "rquantile_dyadic",
+    "ReproducibleQuantileEstimator",
+    "HeavyHittersResult",
+    "reproducible_heavy_hitters",
+    "heavy_hitters_sample_complexity",
+    "practical_sample_complexity",
+    "theoretical_sample_complexity",
+]

@@ -1,0 +1,135 @@
+"""Finite ordered domains for reproducible quantile computation.
+
+Section 4.2 ("Mapping to a finite domain") observes that rMedian needs a
+finite, known domain: efficiencies a priori live in R>=0, but under the
+paper's bit-complexity assumption they lie on a finite grid of size
+2^poly(n), so ``log*|X| = O(log* n)``.
+
+:class:`EfficiencyDomain` realizes this: a logarithmic grid with ``2^d``
+points spanning ``[lo, hi]``, plus the two extreme indices absorbing 0
+and +inf.  The grid is *fixed per instance family* (it depends only on
+the chosen bit-width and range, not on samples), which is exactly what
+cross-run reproducibility requires: both runs must round into the same
+lattice.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analysis.logstar import log_star_of_pow2
+from ..errors import DomainError
+
+__all__ = ["EfficiencyDomain"]
+
+
+class EfficiencyDomain:
+    """Log-spaced grid of size ``2**bits`` over ``[lo, hi]``.
+
+    Index 0 represents every value ``<= lo`` (including efficiency 0);
+    the top index represents every value ``>= hi`` (including +inf, the
+    efficiency of profitable zero-weight items).
+
+    Parameters
+    ----------
+    bits:
+        Domain size is ``2**bits``.  The paper's analysis allows
+        ``bits = poly(n)``; the default 16 gives a multiplicative grid
+        step of ~0.1% over 24 decades — far finer than any tau the EPS
+        machinery uses — while keeping reproducibility cheap (coarser
+        grids merge nearby efficiencies into shared atoms, which is
+        exactly what cross-run agreement feeds on).
+    lo, hi:
+        Range of efficiencies mapped injectively (up to grid resolution).
+        Efficiencies of a normalized instance lie in (0, 1/w_min]; the
+        defaults cover 1e-12 .. 1e12, twelve decades either side of 1.
+    """
+
+    __slots__ = ("_bits", "_lo", "_hi", "_log_lo", "_log_hi", "_size")
+
+    def __init__(self, bits: int = 16, lo: float = 1e-12, hi: float = 1e12) -> None:
+        if bits < 1 or bits > 62:
+            raise DomainError(f"bits must lie in [1, 62], got {bits}")
+        if not (0 < lo < hi) or not math.isfinite(hi):
+            raise DomainError(f"need 0 < lo < hi < inf, got lo={lo}, hi={hi}")
+        self._bits = bits
+        self._lo = lo
+        self._hi = hi
+        self._log_lo = math.log2(lo)
+        self._log_hi = math.log2(hi)
+        self._size = 1 << bits
+
+    # ------------------------------------------------------------------
+    @property
+    def bits(self) -> int:
+        """Bit-width d with |X| = 2^d."""
+        return self._bits
+
+    @property
+    def size(self) -> int:
+        """Number of grid points |X|."""
+        return self._size
+
+    @property
+    def log_star(self) -> int:
+        """``log*|X|`` — drives the rMedian round schedule."""
+        return log_star_of_pow2(self._bits)
+
+    @property
+    def lo(self) -> float:
+        """Lower edge of the injectively-mapped range."""
+        return self._lo
+
+    @property
+    def hi(self) -> float:
+        """Upper edge of the injectively-mapped range."""
+        return self._hi
+
+    # ------------------------------------------------------------------
+    def encode(self, value: float) -> int:
+        """Map an efficiency to its grid index (clamping out-of-range)."""
+        if value != value:  # NaN
+            raise DomainError("cannot encode NaN")
+        if value <= self._lo:
+            return 0
+        if value >= self._hi:
+            return self._size - 1
+        frac = (math.log2(value) - self._log_lo) / (self._log_hi - self._log_lo)
+        idx = int(frac * (self._size - 1))
+        return min(max(idx, 0), self._size - 1)
+
+    def encode_many(self, values) -> np.ndarray:
+        """Vectorized :meth:`encode` (inf and 0 handled like the scalar form)."""
+        arr = np.asarray(values, dtype=float)
+        if np.any(np.isnan(arr)):
+            raise DomainError("cannot encode NaN")
+        out = np.empty(arr.shape, dtype=np.int64)
+        low_mask = arr <= self._lo
+        high_mask = arr >= self._hi
+        mid = ~(low_mask | high_mask)
+        out[low_mask] = 0
+        out[high_mask] = self._size - 1
+        if np.any(mid):
+            frac = (np.log2(arr[mid]) - self._log_lo) / (self._log_hi - self._log_lo)
+            idx = (frac * (self._size - 1)).astype(np.int64)
+            out[mid] = np.clip(idx, 0, self._size - 1)
+        return out
+
+    def decode(self, index: int) -> float:
+        """Grid point value for ``index`` (the cell's canonical representative)."""
+        if not 0 <= index < self._size:
+            raise DomainError(f"index {index} outside [0, {self._size})")
+        frac = index / (self._size - 1) if self._size > 1 else 0.0
+        return 2.0 ** (self._log_lo + frac * (self._log_hi - self._log_lo))
+
+    def resolution_at(self, value: float) -> float:
+        """Multiplicative grid step near ``value`` (for error analysis)."""
+        idx = self.encode(value)
+        if idx >= self._size - 1:
+            return 0.0
+        return self.decode(idx + 1) - self.decode(idx)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EfficiencyDomain(bits={self._bits}, range=[{self._lo:g}, {self._hi:g}])"

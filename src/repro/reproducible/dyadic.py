@@ -1,0 +1,110 @@
+"""Alternative reproducible-quantile engine: dyadic descent.
+
+A second, independently-constructed engine behind the same interface as
+:func:`repro.reproducible.rmedian.rquantile_descent`, used by the
+engine-comparison ablation and as a cross-check (two implementations
+with the same contract catch each other's bugs, like the exact solvers
+do).
+
+Construction
+------------
+Binary search over the *fixed* dyadic midpoints of the domain.  At each
+level the empirical conditional mass left of the midpoint is compared
+against the running quantile target — but the comparison is softened by
+a per-level randomized slack drawn from the shared seed, so a sampling
+perturbation flips the branch only when the true mass sits within
+O(eta) of the (randomly placed) comparison point:
+
+* per-level slack ``s_l ~ U[-tau_l, +tau_l]``, ``tau_l = tau / (2 L)``
+  where L bounds the number of levels, keeps the accumulated target
+  drift below ``tau/2``;
+* descent stops when the interval's empirical mass falls under a
+  seed-randomized floor in ``[tau/4, tau/2]`` (same early-stop rationale
+  as the grid engine: past that point conditional estimates degrade
+  without improving the quantile in mass terms);
+* output: the surviving interval's left endpoint — a dyadic lattice
+  point, identical across runs whenever the branch decisions agree.
+
+Compared with the grid engine: the cell lattice here is *fixed*
+(midpoints), and all the randomization lives in the mass comparisons;
+the grid engine randomizes the lattice and keeps comparisons sharp.
+Both are valid instantiations of the randomized-rounding idea; the E7
+ablation measures them side by side.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..access.seeds import SeedChain
+from ..errors import ReproducibilityError
+
+__all__ = ["rquantile_dyadic"]
+
+
+def rquantile_dyadic(
+    samples,
+    domain_size: int,
+    seed: SeedChain,
+    *,
+    target: float = 0.5,
+    tau: float = 0.05,
+) -> int:
+    """Reproducible ``target``-quantile via randomized dyadic descent.
+
+    Same contract as
+    :func:`~repro.reproducible.rmedian.rquantile_descent`; see the
+    module docstring for how the construction differs.
+    """
+    xs = np.sort(np.asarray(samples, dtype=np.int64))
+    if xs.size == 0:
+        raise ReproducibilityError("rquantile_dyadic needs at least one sample")
+    if domain_size < 1:
+        raise ReproducibilityError(f"domain_size must be >= 1, got {domain_size}")
+    if xs[0] < 0 or xs[-1] >= domain_size:
+        raise ReproducibilityError(
+            f"samples must lie in [0, {domain_size}); got range [{xs[0]}, {xs[-1]}]"
+        )
+    if not 0 <= target <= 1:
+        raise ReproducibilityError(f"target quantile must lie in [0, 1], got {target}")
+    if not 0 < tau <= 1:
+        raise ReproducibilityError(f"tau must lie in (0, 1], got {tau}")
+
+    levels = max(1, math.ceil(math.log2(domain_size)))
+    tau_level = tau / (2.0 * levels)
+    floor = seed.child("floor").uniform(tau / 4, tau / 2)
+    # The initial target is randomized within the tau window, exactly as
+    # in the grid engine, so adversarial mass placement at the target is
+    # defused the same way.
+    lo_t = max(0.0, target - tau / 2)
+    hi_t = min(1.0, target + tau / 2)
+    t = seed.child("theta").uniform(lo_t, hi_t)
+
+    lo, hi = 0, domain_size
+    mass = 1.0
+    level = 0
+    while hi - lo > 1 and mass > floor:
+        mid = (lo + hi) // 2
+        a = int(np.searchsorted(xs, lo, side="left"))
+        b = int(np.searchsorted(xs, hi, side="left"))
+        sub_size = b - a
+        if sub_size == 0:
+            break
+        m_idx = int(np.searchsorted(xs, mid, side="left"))
+        left_frac = (m_idx - a) / sub_size
+        slack = seed.child(f"slack-{level}").uniform(-tau_level, tau_level)
+        if t <= left_frac + slack:
+            hi = mid
+            denom = max(left_frac, 1e-12)
+            t = min(max(t / denom, 0.0), 1.0)
+            mass *= left_frac
+        else:
+            lo = mid
+            denom = max(1.0 - left_frac, 1e-12)
+            t = min(max((t - left_frac) / denom, 0.0), 1.0)
+            mass *= 1.0 - left_frac
+        level += 1
+
+    return int(lo)

@@ -1,0 +1,136 @@
+"""Reproducible heavy hitters (an ILPS22-style primitive, §5 spirit).
+
+The paper's Section 5 calls the LCA/reproducibility interplay "a
+fruitful direction"; this module walks one step down it and reports
+back.  The primitive itself is sound and cheaply reproducible whenever
+the frequency threshold ``theta`` is a constant; but using it to
+replace LCA-KP's large-item stage (Algorithm 2 lines 1-3) at
+``theta = eps^2`` turned out to be a *negative result* (ablation E13):
+detecting an item's presence costs ``~1/p`` samples, while resolving
+its frequency against a cutoff costs ``~1/(p * window)^2`` — the paper
+was right to route identity discovery through coupon collection.  The
+primitive remains exported for what it is good at: reproducible
+*constant-threshold* mode/hitter selection.
+
+Construction (randomized-threshold inclusion)
+---------------------------------------------
+To output the elements of frequency >= theta from sample access:
+
+1. draw a shared threshold ``t ~ U[theta - tau, theta + tau]`` from the
+   seed (one draw for the whole call);
+2. estimate every observed element's frequency from the sample;
+3. output exactly the elements with estimated frequency >= t.
+
+Two runs disagree on an element only if its two frequency estimates
+straddle t; since estimates concentrate within eta of the truth and t
+is uniform over a 2*tau window, each element flips with probability
+O(eta / tau), and elements with true frequency outside
+[theta - tau - eta, theta + tau + eta] never flip.  The output is hence
+rho-reproducible for ``m ~ (k / (rho * tau))^2``-ish samples, where k
+bounds the number of borderline elements (at most 1/(theta - tau)).
+
+This is the same randomized-rounding idea as the grid-descent median,
+in its simplest setting — and unlike the quantile case there is no
+domain-size dependence at all, because frequency space (not value
+space) is where the rounding happens and identity (not order) is what
+is output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..access.seeds import SeedChain
+from ..errors import ReproducibilityError
+
+__all__ = ["HeavyHittersResult", "reproducible_heavy_hitters", "heavy_hitters_sample_complexity"]
+
+
+@dataclass(frozen=True)
+class HeavyHittersResult:
+    """Output of one reproducible heavy-hitters run."""
+
+    items: frozenset
+    threshold: float  # the shared randomized cutoff actually used
+    estimates: dict  # element -> estimated frequency (observed only)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self.items
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def reproducible_heavy_hitters(
+    sample: Sequence[Hashable],
+    theta: float,
+    seed: SeedChain,
+    *,
+    tau: float | None = None,
+) -> HeavyHittersResult:
+    """Elements of frequency >= theta, reproducibly.
+
+    Parameters
+    ----------
+    sample:
+        i.i.d. draws from the distribution (hashable elements).
+    theta:
+        Target frequency threshold in (0, 1).
+    seed:
+        Shared random string; equal seeds share the randomized cutoff.
+    tau:
+        Half-width of the randomized threshold window (default
+        ``theta / 4``).  Must satisfy ``0 < tau < theta``.
+
+    Guarantees (for sufficiently many samples):
+
+    * every element with true frequency >= theta + tau is included;
+    * no element with true frequency < theta - tau is included;
+    * two runs on fresh samples output the exact same set w.h.p.
+    """
+    if not sample:
+        raise ReproducibilityError("heavy hitters needs at least one sample")
+    if not 0 < theta < 1:
+        raise ReproducibilityError(f"theta must lie in (0, 1), got {theta}")
+    if tau is None:
+        tau = theta / 4
+    if not 0 < tau < theta:
+        raise ReproducibilityError(f"need 0 < tau < theta, got tau={tau}")
+
+    threshold = seed.child("hh-threshold").uniform(theta - tau, theta + tau)
+    counts = Counter(sample)
+    n = len(sample)
+    estimates = {element: count / n for element, count in counts.items()}
+    items = frozenset(e for e, freq in estimates.items() if freq >= threshold)
+    return HeavyHittersResult(items=items, threshold=threshold, estimates=estimates)
+
+
+def heavy_hitters_sample_complexity(
+    theta: float,
+    rho: float,
+    *,
+    tau: float | None = None,
+) -> int:
+    """Samples for rho-reproducibility at threshold theta.
+
+    Sizing: at most ``1/(theta - tau)`` elements can sit near the
+    window; each flips with probability ~ eta/tau where
+    ``eta = sqrt(ln(k/rho')/2m)``; solve for per-element flip budget
+    ``rho * tau * (theta - tau)``.
+    """
+    import math
+
+    if not 0 < theta < 1:
+        raise ReproducibilityError(f"theta must lie in (0, 1), got {theta}")
+    if not 0 < rho < 1:
+        raise ReproducibilityError(f"rho must lie in (0, 1), got {rho}")
+    if tau is None:
+        tau = theta / 4
+    if not 0 < tau < theta:
+        raise ReproducibilityError(f"need 0 < tau < theta, got tau={tau}")
+    k = 1.0 / (theta - tau)
+    eta = rho * tau / (2.0 * k)
+    m = math.ceil(math.log(max(2.0 * k / rho, 2.0)) / (2.0 * eta * eta))
+    return max(64, m)

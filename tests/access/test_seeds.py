@@ -1,0 +1,91 @@
+"""Tests for SeedChain: the shared-vs-fresh randomness split."""
+
+import numpy as np
+import pytest
+
+from repro.access.seeds import SeedChain, fresh_nonce
+
+
+class TestDerivation:
+    def test_same_path_same_stream(self):
+        a = SeedChain(42).child("x").child(3)
+        b = SeedChain(42).child("x").child(3)
+        assert a == b
+        assert a.uniform() == b.uniform()
+        assert np.array_equal(a.rng().random(5), b.rng().random(5))
+
+    def test_different_labels_differ(self):
+        root = SeedChain(42)
+        assert root.child("x") != root.child("y")
+        assert root.child("x").uniform() != root.child("y").uniform()
+
+    def test_different_seeds_differ(self):
+        assert SeedChain(1).child("x") != SeedChain(2).child("x")
+
+    def test_label_types_normalized(self):
+        root = SeedChain(0)
+        assert root.child(5) == root.child("5")
+
+    def test_descend(self):
+        root = SeedChain(9)
+        assert root.descend(["a", "b", 1]) == root.child("a").child("b").child(1)
+
+    def test_no_prefix_collision(self):
+        # ("ab", "c") must differ from ("a", "bc"): length-prefixed hashing.
+        root = SeedChain(7)
+        assert root.child("ab").child("c") != root.child("a").child("bc")
+
+    def test_seed_type_support(self):
+        for seed in (5, -3, "hello", b"\x01\x02"):
+            chain = SeedChain(seed)
+            assert isinstance(chain.uniform(), float)
+
+    def test_bad_seed_type(self):
+        with pytest.raises(TypeError):
+            SeedChain(3.14)  # type: ignore[arg-type]
+
+
+class TestRunStream:
+    def test_nonces_give_independent_streams(self):
+        root = SeedChain(42)
+        r1 = root.run_stream(1).rng().random(4)
+        r2 = root.run_stream(2).rng().random(4)
+        assert not np.array_equal(r1, r2)
+
+    def test_same_nonce_replays(self):
+        root = SeedChain(42)
+        assert np.array_equal(
+            root.run_stream(7).rng().random(4), root.run_stream(7).rng().random(4)
+        )
+
+    def test_run_stream_disjoint_from_shared(self):
+        # The per-run namespace must not collide with ordinary labels.
+        root = SeedChain(42)
+        assert root.run_stream(1) != root.child("1")
+
+    def test_fresh_nonce_varies(self):
+        assert fresh_nonce() != fresh_nonce()
+
+
+class TestScalarDraws:
+    def test_uniform_range(self):
+        node = SeedChain(1).child("u")
+        for lo, hi in ((0.0, 1.0), (2.0, 3.0), (-1.0, 1.0)):
+            v = node.uniform(lo, hi)
+            assert lo <= v < hi
+
+    def test_integer_range(self):
+        node = SeedChain(1).child("i")
+        vals = {SeedChain(1).child("i").child(k).integer(0, 10) for k in range(50)}
+        assert vals <= set(range(10))
+        assert len(vals) > 3  # actually spreads
+
+    def test_idempotent_draws(self):
+        node = SeedChain(3).child("x")
+        assert node.uniform() == node.uniform()
+        assert node.integer(0, 100) == node.integer(0, 100)
+
+    def test_hash_and_repr(self):
+        node = SeedChain(3).child("x")
+        assert hash(node) == hash(SeedChain(3).child("x"))
+        assert "x" in repr(node)

@@ -1,0 +1,96 @@
+"""Tests for transcript recording and replay (indistinguishability)."""
+
+import pytest
+
+from repro.access.transcripts import (
+    RecordingOracle,
+    Transcript,
+    oracle_for,
+    transcripts_agree,
+)
+from repro.knapsack.instance import KnapsackInstance
+
+
+@pytest.fixture()
+def inst():
+    return KnapsackInstance([1, 2, 3], [0.1, 0.2, 0.3], 0.5, normalize=False)
+
+
+class TestRecording:
+    def test_records_everything(self, inst):
+        oracle = RecordingOracle(inst)
+        oracle.query(0)
+        oracle.query(2)
+        t = oracle.transcript
+        assert t.num_queries == 2
+        assert t.indices() == [0, 2]
+        assert t.distinct_indices() == {0, 2}
+        assert t.entries[1].profit == 3.0
+
+    def test_reset_clears_transcript(self, inst):
+        oracle = RecordingOracle(inst)
+        oracle.query(0)
+        oracle.reset()
+        assert oracle.transcript.num_queries == 0
+
+    def test_factory(self, inst):
+        assert isinstance(oracle_for(inst, record=True), RecordingOracle)
+        assert not isinstance(oracle_for(inst), RecordingOracle)
+
+
+class TestReplay:
+    def test_replayable_on_identical_instance(self, inst):
+        oracle = RecordingOracle(inst)
+        oracle.query(0)
+        oracle.query(1)
+        clone = KnapsackInstance([1, 2, 3], [0.1, 0.2, 0.3], 0.5, normalize=False)
+        assert oracle.transcript.replayable_on(clone)
+
+    def test_indistinguishable_modification(self, inst):
+        """The executable core of the lower-bound arguments.
+
+        If a modified instance answers the transcript identically, a
+        deterministic algorithm that produced it cannot tell the two
+        instances apart — even though their solutions may differ.
+        """
+        oracle = RecordingOracle(inst)
+        oracle.query(0)  # only item 0 was observed
+        modified = KnapsackInstance([1, 9, 9], [0.1, 0.2, 0.3], 0.5, normalize=False)
+        assert oracle.transcript.replayable_on(modified)
+
+    def test_distinguishable_modification(self, inst):
+        oracle = RecordingOracle(inst)
+        oracle.query(1)
+        modified = KnapsackInstance([1, 9, 3], [0.1, 0.2, 0.3], 0.5, normalize=False)
+        assert not oracle.transcript.replayable_on(modified)
+
+    def test_out_of_range_not_replayable(self, inst):
+        oracle = RecordingOracle(inst)
+        oracle.query(2)
+        smaller = KnapsackInstance([1, 2], [0.1, 0.2], 0.5, normalize=False)
+        assert not oracle.transcript.replayable_on(smaller)
+
+
+class TestAgreement:
+    def test_equal_transcripts(self, inst):
+        a = RecordingOracle(inst)
+        b = RecordingOracle(inst)
+        for i in (0, 1):
+            a.query(i)
+            b.query(i)
+        assert transcripts_agree(a.transcript, b.transcript)
+
+    def test_different_order_disagrees(self, inst):
+        a = RecordingOracle(inst)
+        b = RecordingOracle(inst)
+        a.query(0)
+        a.query(1)
+        b.query(1)
+        b.query(0)
+        assert not transcripts_agree(a.transcript, b.transcript)
+
+    def test_different_length_disagrees(self, inst):
+        a = RecordingOracle(inst)
+        b = RecordingOracle(inst)
+        a.query(0)
+        assert not transcripts_agree(a.transcript, b.transcript)

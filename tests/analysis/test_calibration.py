@@ -1,0 +1,70 @@
+"""Tests for the parameter auto-calibration tool."""
+
+import pytest
+
+from repro.analysis.calibration import calibrate
+from repro.errors import ExperimentError
+from repro.knapsack import generators as g
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return g.efficiency_tiers(500, seed=3, tiers=6)
+
+
+class TestCalibrate:
+    @pytest.fixture(scope="class")
+    def result(self, instance):
+        return calibrate(
+            instance,
+            0.1,
+            target_agreement=0.9,
+            budget_per_query=200_000,
+            bits_grid=(8, 12),
+            nrq_grid=(2_000, 8_000),
+            runs=3,
+            probes=15,
+        )
+
+    def test_sweep_covers_grid(self, result):
+        assert len(result.candidates) == 4
+        combos = {(c.domain_bits, c.params.max_nrq if False else c.n_rq) for c in result.candidates}
+        assert len(combos) == 4
+
+    def test_finds_a_satisfying_config(self, result):
+        # The atomic tiers family is the easy regime: something qualifies.
+        assert result.satisfied
+        chosen = result.chosen
+        assert chosen.pairwise_agreement >= 0.9
+        assert chosen.feasible
+        assert chosen.cost_per_query <= 200_000
+
+    def test_chosen_is_cheapest_eligible(self, result):
+        eligible = [
+            c
+            for c in result.candidates
+            if c.meets(result.target_agreement, result.budget_per_query)
+        ]
+        assert result.chosen.cost_per_query == min(c.cost_per_query for c in eligible)
+
+    def test_impossible_budget_returns_unsatisfied(self, instance):
+        result = calibrate(
+            instance,
+            0.1,
+            target_agreement=0.9,
+            budget_per_query=10,  # nothing fits in 10 samples/query
+            bits_grid=(12,),
+            nrq_grid=(2_000,),
+            runs=2,
+            probes=5,
+        )
+        assert not result.satisfied
+        assert result.chosen is None
+
+    def test_validation(self, instance):
+        with pytest.raises(ExperimentError):
+            calibrate(instance, 0.1, target_agreement=0.0)
+        with pytest.raises(ExperimentError):
+            calibrate(instance, 0.1, budget_per_query=0)
+        with pytest.raises(ExperimentError):
+            calibrate(instance, 0.1, runs=1)

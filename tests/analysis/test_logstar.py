@@ -1,0 +1,91 @@
+"""Tests for the iterated-logarithm utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.logstar import (
+    iterated_log_schedule,
+    log_star,
+    log_star_of_pow2,
+    tower,
+)
+
+
+class TestLogStar:
+    def test_base_cases(self):
+        assert log_star(0) == 0
+        assert log_star(1) == 0
+        assert log_star(0.5) == 0
+
+    def test_known_values(self):
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        # 2**65536 overflows floats; the exponent form evaluates it exactly.
+        assert log_star_of_pow2(65536) == 5
+
+    def test_monotone_nondecreasing(self):
+        values = [log_star(x) for x in (1, 2, 3, 10, 100, 1e6, 1e30, 1e300)]
+        assert values == sorted(values)
+
+    def test_grows_painfully_slowly(self):
+        # Anything physically representable has log* at most 5.
+        assert log_star(1e308) <= 5
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            log_star(float("nan"))
+
+
+class TestLogStarOfPow2:
+    def test_matches_direct_computation(self):
+        for d in (0, 1, 2, 5, 16, 64, 512):
+            assert log_star_of_pow2(d) == log_star(2.0**d)
+
+    def test_huge_exponent(self):
+        # 2^(10^6) overflows floats; the pow2 form handles it.
+        assert log_star_of_pow2(10**6) == 1 + log_star(10**6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log_star_of_pow2(-1)
+
+
+class TestTower:
+    def test_inverse_relationship(self):
+        for h in range(5):
+            assert log_star(tower(h)) == h
+
+    def test_values(self):
+        assert tower(0) == 1.0
+        assert tower(3) == 16.0
+        assert tower(4) == 65536.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            tower(-1)
+
+
+class TestIteratedLogSchedule:
+    def test_examples(self):
+        assert iterated_log_schedule(16) == [16, 4, 2, 1, 0]
+        assert iterated_log_schedule(1) == [1, 0]
+        assert iterated_log_schedule(0) == [0]
+
+    def test_strictly_decreasing(self):
+        for d in (2, 3, 7, 32, 100, 4096):
+            sched = iterated_log_schedule(d)
+            assert all(a > b for a, b in zip(sched, sched[1:]))
+            assert sched[0] == d and sched[-1] == 0
+
+    def test_length_tracks_log_star(self):
+        # The schedule has ~log*(2^d) interesting steps.
+        for d in (4, 16, 256, 65536):
+            sched = iterated_log_schedule(d)
+            assert len(sched) <= log_star_of_pow2(d) + 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_log_schedule(-2)

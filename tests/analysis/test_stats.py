@@ -1,0 +1,110 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    binomial_ci,
+    bootstrap_ci,
+    dkw_epsilon,
+    empirical_cdf,
+    hoeffding_sample_size,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_single_value_has_zero_std(self):
+        assert summarize([7.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 1.0, size=400)
+        lo, hi = bootstrap_ci(data, rng=np.random.default_rng(1))
+        assert lo < 5.0 < hi
+
+    def test_interval_ordering(self):
+        lo, hi = bootstrap_ci([1, 2, 3, 4, 5])
+        assert lo <= hi
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestBinomialCI:
+    def test_covers_point_estimate(self):
+        lo, hi = binomial_ci(70, 100)
+        assert lo < 0.7 < hi
+
+    def test_edge_counts(self):
+        lo, hi = binomial_ci(0, 50)
+        assert lo == 0.0 and hi < 0.2
+        lo, hi = binomial_ci(50, 50)
+        assert hi == 1.0 and lo > 0.8
+
+    def test_narrows_with_trials(self):
+        w_small = np.diff(binomial_ci(30, 100))[0]
+        w_big = np.diff(binomial_ci(3000, 10000))[0]
+        assert w_big < w_small
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            binomial_ci(5, 0)
+        with pytest.raises(ValueError):
+            binomial_ci(11, 10)
+
+
+class TestDKW:
+    def test_formula(self):
+        assert dkw_epsilon(1000, 0.05) == pytest.approx(
+            math.sqrt(math.log(40.0) / 2000.0)
+        )
+
+    def test_shrinks_with_samples(self):
+        assert dkw_epsilon(10_000, 0.1) < dkw_epsilon(100, 0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dkw_epsilon(0, 0.1)
+        with pytest.raises(ValueError):
+            dkw_epsilon(10, 2.0)
+
+
+class TestEmpiricalCDF:
+    def test_reaches_one(self):
+        xs, F = empirical_cdf([3.0, 1.0, 2.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert F[-1] == pytest.approx(1.0)
+        assert F[1] == pytest.approx(0.75)  # 3 of 4 values <= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestHoeffding:
+    def test_monotone(self):
+        assert hoeffding_sample_size(0.01, 0.1) > hoeffding_sample_size(0.1, 0.1)
+        assert hoeffding_sample_size(0.1, 0.01) > hoeffding_sample_size(0.1, 0.1)
+
+    def test_guarantee_direction(self):
+        # Doubling accuracy demand ~quadruples the sample size.
+        m1 = hoeffding_sample_size(0.1, 0.1)
+        m2 = hoeffding_sample_size(0.05, 0.1)
+        assert 3.5 <= m2 / m1 <= 4.5

@@ -1,0 +1,35 @@
+"""Tests for ASCII table rendering."""
+
+from repro.analysis.tables import format_row_dicts, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All rows share one width.
+        assert len(set(map(len, lines))) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_bool_and_float_rendering(self):
+        out = format_table(["f", "b"], [[0.123456789, True]])
+        assert "0.1235" in out
+        assert "yes" in out
+
+
+class TestFormatRowDicts:
+    def test_headers_from_keys(self):
+        out = format_row_dicts([{"n": 1, "ok": False}])
+        assert "n" in out.splitlines()[0]
+        assert "no" in out
+
+    def test_empty(self):
+        assert format_row_dicts([], title="t") == "t"
+
+    def test_missing_key_renders_none(self):
+        out = format_row_dicts([{"a": 1, "b": 2}, {"a": 3}])
+        assert "None" in out

@@ -1,0 +1,89 @@
+"""Tests for Equally Partitioning Sequences (Definition 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.eps import band_masses, check_eps, true_quantile_sequence
+from repro.core.partition import classify_instance
+from repro.knapsack import generators as g
+from repro.knapsack.instance import KnapsackInstance
+
+EPS = 0.1
+
+
+def small_only_instance():
+    """Many small items with well-spread efficiencies, no large items."""
+    rng = np.random.default_rng(0)
+    n = 400
+    profits = rng.uniform(0.5, 1.5, size=n)
+    profits /= profits.sum()
+    eff = np.exp(rng.uniform(np.log(0.3), np.log(3.0), size=n))
+    weights = profits / eff
+    weights /= weights.sum()
+    return KnapsackInstance(profits, weights, 0.4, normalize=True, validate=False)
+
+
+class TestTrueQuantiles:
+    def test_true_sequence_is_eps(self):
+        inst = small_only_instance()
+        seq = true_quantile_sequence(inst, EPS)
+        assert len(seq) >= 2
+        report = check_eps(inst, seq, EPS, slack=0.02)
+        assert report.monotone
+        assert report.is_eps, f"masses: {report.masses}"
+
+    def test_band_masses_near_epsilon(self):
+        inst = small_only_instance()
+        seq = true_quantile_sequence(inst, EPS)
+        masses = band_masses(inst, seq, EPS)
+        # Interior bands carry ~eps profit each.
+        for m in masses[:-1]:
+            assert m == pytest.approx(EPS, abs=0.03)
+
+    def test_total_mass_conserved(self):
+        inst = small_only_instance()
+        seq = true_quantile_sequence(inst, EPS)
+        part = classify_instance(inst, EPS)
+        assert sum(band_masses(inst, seq, EPS)) == pytest.approx(
+            part.small_mass + part.garbage_mass
+        )
+
+    def test_empty_when_large_dominates(self):
+        # One item holding ~everything: 1 - p(L) < eps => no EPS.
+        inst = KnapsackInstance([0.96, 0.04], [0.5, 0.5], 1.0, normalize=False)
+        assert true_quantile_sequence(inst, EPS) == ()
+
+
+class TestCheckEPS:
+    def test_rejects_non_monotone(self):
+        inst = small_only_instance()
+        report = check_eps(inst, [0.5, 0.9], EPS)
+        assert not report.monotone
+        assert not report.is_eps
+
+    def test_rejects_bad_masses(self):
+        inst = small_only_instance()
+        # A single absurd threshold: one band holds nearly all the mass.
+        report = check_eps(inst, [1e6], EPS)
+        assert not report.is_eps
+
+    def test_empty_sequence(self):
+        inst = small_only_instance()
+        report = check_eps(inst, [], EPS)
+        assert report.monotone
+        assert report.masses == ()
+
+    def test_slack_loosens(self):
+        inst = small_only_instance()
+        seq = true_quantile_sequence(inst, EPS)
+        strict = check_eps(inst, seq, EPS, slack=0.0)
+        loose = check_eps(inst, seq, EPS, slack=0.05)
+        assert loose.is_eps
+        # Strictness only ever removes sequences.
+        if strict.is_eps:
+            assert loose.is_eps
+
+    def test_epsilon_validation(self):
+        inst = small_only_instance()
+        with pytest.raises(Exception):
+            check_eps(inst, [1.0], 0.0)

@@ -1,0 +1,86 @@
+"""Tests for MAPPING-GREEDY (Algorithm 4) — the materialized solution C."""
+
+import numpy as np
+import pytest
+
+from repro.core.convert_greedy import convert_greedy
+from repro.core.lca_kp import LCAKP
+from repro.core.mapping_greedy import mapping_greedy
+from repro.core.simplified_instance import build_simplified_instance
+from repro.knapsack import generators as g
+from tests.conftest import make_lca
+
+EPS = 0.1
+
+
+class TestAgainstDecideRule:
+    def test_matches_per_item_decide(self, planted_instance, fast_params):
+        lca, _, _ = make_lca(planted_instance, fast_params)
+        pipe = lca.run_pipeline(nonce=1)
+        solution = mapping_greedy(planted_instance, pipe.converted)
+        for i in range(planted_instance.n):
+            expected = pipe.converted.decide(
+                planted_instance.profit(i), planted_instance.weight(i), i
+            )
+            assert (i in solution) == expected
+
+    def test_lca_answers_match_materialized_solution(self, planted_instance, fast_params):
+        """The consistency backbone: answer(i) == (i in C) for the same run."""
+        lca, _, _ = make_lca(planted_instance, fast_params)
+        pipe = lca.run_pipeline(nonce=2)
+        solution = mapping_greedy(planted_instance, pipe.converted)
+        rng = np.random.default_rng(0)
+        for i in rng.choice(planted_instance.n, size=50, replace=False):
+            include = pipe.converted.decide(
+                planted_instance.profit(int(i)), planted_instance.weight(int(i)), int(i)
+            )
+            assert include == (int(i) in solution)
+
+
+class TestFeasibility:
+    """Lemma 4.7: C is always feasible."""
+
+    @pytest.mark.parametrize(
+        "family,kwargs",
+        [
+            ("planted_lsg", {"epsilon": EPS}),
+            ("efficiency_tiers", {"tiers": 6}),
+            ("uniform", {}),
+            ("weakly_correlated", {}),
+            ("greedy_adversarial", {}),
+        ],
+    )
+    def test_feasible_across_families_and_runs(self, family, kwargs, fast_params):
+        inst = g.generate(family, 600, seed=9, **kwargs)
+        lca, _, _ = make_lca(inst, fast_params)
+        for nonce in range(4):
+            pipe = lca.run_pipeline(nonce=nonce)
+            solution = mapping_greedy(inst, pipe.converted)
+            assert inst.weight_of(solution) <= inst.capacity + 1e-9, (
+                f"{family}: infeasible C on nonce {nonce}"
+            )
+
+    def test_singleton_case_feasible(self):
+        # Force the singleton branch with a hand-built pipeline output.
+        large = {0: (0.6, 0.5)}
+        tilde = build_simplified_instance(large, (2.0,), EPS, capacity=0.3)
+        res = convert_greedy(tilde)
+        assert res.b_indicator
+        inst = g.planted_lsg(400, seed=1, epsilon=EPS)
+        # Whatever instance we map onto, the set is {index 0} or empty.
+        sol = mapping_greedy(inst, res)
+        assert sol <= {0}
+
+
+class TestApproximation:
+    """Lemma 4.8's direction: p(C) is at least 1/2 OPT - 6 eps."""
+
+    def test_planted_bound(self, planted_instance, fast_params):
+        from repro.knapsack.solvers import fractional_upper_bound
+
+        lca, _, _ = make_lca(planted_instance, fast_params)
+        pipe = lca.run_pipeline(nonce=5)
+        solution = mapping_greedy(planted_instance, pipe.converted)
+        value = planted_instance.profit_of(solution)
+        opt_ub = fractional_upper_bound(planted_instance)
+        assert value >= 0.5 * opt_ub - 6 * EPS - 1e-9

@@ -1,0 +1,105 @@
+"""Tests for LCA-KP parameter derivation (Algorithm 2's constants)."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    LCAParameters,
+    coupon_collector_samples,
+)
+from repro.errors import ReproError
+from repro.reproducible.domains import EfficiencyDomain
+
+
+class TestCouponCollector:
+    def test_lemma42_formula_single_batch(self):
+        # ceil(6 delta^-1 (log delta^-1 + 1)) for failure 1/6 (one batch).
+        delta = 0.1
+        expected = math.ceil(6 / delta * (math.log(1 / delta) + 1))
+        assert coupon_collector_samples(delta, failure=1 / 6) == expected
+
+    def test_amplification_multiplies_batches(self):
+        one = coupon_collector_samples(0.1, failure=1 / 6)
+        amplified = coupon_collector_samples(0.1, failure=1 / 6**3)
+        assert amplified == 3 * one
+
+    def test_smaller_delta_needs_more(self):
+        assert coupon_collector_samples(0.01) > coupon_collector_samples(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            coupon_collector_samples(0.0)
+        with pytest.raises(ReproError):
+            coupon_collector_samples(0.1, failure=1.0)
+
+
+class TestPaperMode:
+    def test_paper_constants(self):
+        p = LCAParameters.paper(0.3)
+        assert p.tau == pytest.approx(0.09 / 5)
+        assert p.rho == pytest.approx(0.09 / 18)
+        assert p.beta == pytest.approx(p.rho / 2)
+        assert p.fidelity == "paper"
+
+    def test_eps_sq(self):
+        assert LCAParameters.paper(0.2).eps_sq == pytest.approx(0.04)
+
+
+class TestCalibratedMode:
+    def test_linear_scaling(self):
+        p = LCAParameters.calibrated(0.1)
+        assert p.tau == pytest.approx(0.02)
+        assert p.rho == pytest.approx(0.1 / 6)
+        assert p.fidelity == "calibrated"
+
+    def test_caps_respected(self):
+        p = LCAParameters.calibrated(0.01, max_nrq=1000, max_m_large=500)
+        assert p.n_rq <= 1000
+        assert p.m_large <= 500
+
+    def test_default_domain_is_12_bits(self):
+        assert LCAParameters.calibrated(0.1).domain.bits == 12
+
+    def test_custom_domain(self):
+        p = LCAParameters.calibrated(0.1, domain=EfficiencyDomain(bits=8))
+        assert p.domain.bits == 8
+
+
+class TestPerRun:
+    def test_q_t_a_formulas(self):
+        p = LCAParameters.calibrated(0.1)
+        run = p.per_run(p_large=0.4)
+        expected_q = (0.1 + 0.005) / 0.6
+        assert run.q == pytest.approx(expected_q)
+        assert run.t == int(1 / expected_q)
+        assert run.a == math.ceil(3 * p.n_rq / (2 * 0.6))
+        assert run.small_mass == pytest.approx(0.6)
+
+    def test_all_mass_large(self):
+        p = LCAParameters.calibrated(0.1)
+        run = p.per_run(p_large=1.0)
+        assert run.t >= 0  # well-defined even in the degenerate case
+
+    def test_validation(self):
+        p = LCAParameters.calibrated(0.1)
+        with pytest.raises(ReproError):
+            p.per_run(p_large=1.5)
+
+    def test_expected_query_cost(self):
+        p = LCAParameters.calibrated(0.1)
+        assert p.expected_query_cost(0.0) == p.m_large + p.per_run(0.0).a
+
+
+class TestValidation:
+    def test_epsilon_range(self):
+        with pytest.raises(ReproError):
+            LCAParameters.calibrated(0.0)
+        with pytest.raises(ReproError):
+            LCAParameters.calibrated(1.5)
+
+    def test_raw_constructor_checks(self):
+        with pytest.raises(ReproError):
+            LCAParameters(epsilon=0.1, tau=0.0, rho=0.1, beta=0.05, m_large=10, n_rq=10)
+        with pytest.raises(ReproError):
+            LCAParameters(epsilon=0.1, tau=0.1, rho=0.1, beta=0.05, m_large=0, n_rq=10)

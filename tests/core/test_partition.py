@@ -1,0 +1,85 @@
+"""Tests for the L/S/G partition (Section 4)."""
+
+import pytest
+
+from repro.core.partition import (
+    ItemClass,
+    classify_instance,
+    classify_item,
+)
+from repro.knapsack import generators as g
+from repro.knapsack.instance import KnapsackInstance
+
+EPS = 0.1
+EPS_SQ = EPS * EPS
+
+
+class TestClassifyItem:
+    def test_large(self):
+        assert classify_item(2 * EPS_SQ, 0.5, EPS) is ItemClass.LARGE
+
+    def test_small_requires_efficiency(self):
+        # p <= eps^2 and p/w >= eps^2.
+        assert classify_item(EPS_SQ, EPS_SQ / EPS_SQ, EPS) is ItemClass.SMALL
+        assert classify_item(0.005, 0.005 / 0.02, EPS) is ItemClass.SMALL
+
+    def test_garbage(self):
+        # p <= eps^2, efficiency below eps^2.
+        assert classify_item(0.001, 1.0, EPS) is ItemClass.GARBAGE
+
+    def test_boundary_profit_exactly_eps_sq_is_not_large(self):
+        # The partition uses strict > for large.
+        cls = classify_item(EPS_SQ, 0.5, EPS)
+        assert cls is not ItemClass.LARGE
+
+    def test_boundary_efficiency_exactly_eps_sq_is_small(self):
+        # S(I) uses >= for efficiency.
+        assert classify_item(EPS_SQ / 2, (EPS_SQ / 2) / EPS_SQ, EPS) is ItemClass.SMALL
+
+    def test_zero_weight_low_profit_is_small(self):
+        # Infinite efficiency: free items are never garbage.
+        assert classify_item(0.001, 0.0, EPS) is ItemClass.SMALL
+
+    def test_zero_profit_zero_weight_is_garbage(self):
+        assert classify_item(0.0, 0.0, EPS) is ItemClass.GARBAGE
+
+
+class TestClassifyInstance:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        inst = g.planted_lsg(800, seed=2, epsilon=EPS)
+        part = classify_instance(inst, EPS)
+        assert part.large | part.small | part.garbage == frozenset(range(inst.n))
+        assert not (part.large & part.small)
+        assert not (part.small & part.garbage)
+        assert not (part.large & part.garbage)
+
+    def test_masses_sum_to_one(self):
+        inst = g.planted_lsg(800, seed=2, epsilon=EPS)
+        part = classify_instance(inst, EPS)
+        assert part.large_mass + part.small_mass + part.garbage_mass == pytest.approx(1.0)
+
+    def test_matches_scalar_classifier(self):
+        inst = g.uniform(100, seed=3)
+        part = classify_instance(inst, EPS)
+        for i in range(inst.n):
+            assert part.item_class(i) is classify_item(inst.profit(i), inst.weight(i), EPS)
+
+    def test_large_count_bounded(self):
+        # Normalized profit 1 means at most 1/eps^2 large items.
+        inst = g.planted_lsg(800, seed=2, epsilon=EPS)
+        part = classify_instance(inst, EPS)
+        assert len(part.large) <= 1 / EPS_SQ
+
+    def test_garbage_mass_bounded_in_normalized_instances(self):
+        # Double normalization forces p(G) <= eps^2 (Lemma 4.6's fact).
+        for seed in range(3):
+            inst = g.uniform(300, seed=seed)
+            part = classify_instance(inst, EPS)
+            assert part.garbage_mass <= EPS_SQ + 1e-9
+
+    def test_counts_property(self):
+        inst = KnapsackInstance(
+            [0.5, 0.004, 0.001], [0.2, 0.004 / 0.5, 0.9], 1.0, normalize=False
+        )
+        part = classify_instance(inst, EPS)
+        assert part.counts == (1, 1, 1)

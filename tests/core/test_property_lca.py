@@ -1,0 +1,89 @@
+"""Property-based tests for the LCA pipeline itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.oracle import QueryOracle
+from repro.access.weighted_sampler import WeightedSampler
+from repro.core.lca_kp import LCAKP
+from repro.core.mapping_greedy import mapping_greedy
+from repro.core.parameters import LCAParameters
+from repro.knapsack import generators as g
+from repro.reproducible.domains import EfficiencyDomain
+
+EPS = 0.1
+
+
+def tiny_params():
+    return LCAParameters.calibrated(
+        EPS, domain=EfficiencyDomain(bits=10), max_nrq=1500, max_m_large=1500
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    nonce=st.integers(min_value=0, max_value=10**6),
+)
+def test_pipeline_fully_deterministic_given_seed_and_nonce(seed, nonce):
+    """(seed, nonce) fixes everything: signatures and answers replay."""
+    inst = g.efficiency_tiers(300, seed=5, tiers=5)
+    params = tiny_params()
+    lca1 = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed, params=params)
+    lca2 = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed, params=params)
+    a = lca1.run_pipeline(nonce=nonce)
+    b = lca2.run_pipeline(nonce=nonce)
+    assert a.signature() == b.signature()
+    assert a.eps_sequence == b.eps_sequence
+    assert a.converted.index_large == b.converted.index_large
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    instance_seed=st.integers(min_value=0, max_value=50),
+    nonce=st.integers(min_value=0, max_value=10**6),
+)
+def test_solution_is_always_feasible_and_value_bounded(instance_seed, nonce):
+    """Feasibility (Lemma 4.7) and value <= total profit, any randomness."""
+    inst = g.uniform(250, seed=instance_seed)
+    params = tiny_params()
+    lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, 7, params=params)
+    solution = mapping_greedy(inst, lca.run_pipeline(nonce=nonce).rule)
+    assert inst.weight_of(solution) <= inst.capacity + 1e-9
+    assert 0.0 <= inst.profit_of(solution) <= 1.0 + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(nonce=st.integers(min_value=0, max_value=10**6))
+def test_answers_partition_reasons(nonce):
+    """Every answer carries a reason string from the documented set."""
+    inst = g.planted_lsg(300, seed=3, epsilon=EPS)
+    params = tiny_params()
+    lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, 11, params=params)
+    allowed = {
+        "large-in-solution",
+        "large-not-in-solution",
+        "small-above-threshold",
+        "singleton-branch-excludes-small",
+        "no-small-threshold",
+        "below-threshold-or-garbage",
+    }
+    answers = lca.answer_many(range(0, 300, 23), nonce=nonce)
+    assert {a.reason for a in answers} <= allowed
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed_a=st.integers(min_value=0, max_value=10**6),
+    seed_b=st.integers(min_value=0, max_value=10**6),
+)
+def test_eps_sequences_always_monotone(seed_a, seed_b):
+    """Thresholds are non-increasing for every seed pair."""
+    inst = g.efficiency_tiers(300, seed=9, tiers=5)
+    params = tiny_params()
+    for seed in (seed_a, seed_b):
+        lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed, params=params)
+        seq = lca.run_pipeline(nonce=1).eps_sequence
+        assert all(x >= y for x, y in zip(seq, seq[1:]))

@@ -1,0 +1,81 @@
+"""Tests for the I~-construction."""
+
+import math
+
+import pytest
+
+from repro.core.simplified_instance import build_simplified_instance
+from repro.errors import ReproError
+
+EPS = 0.1
+EPS_SQ = EPS * EPS
+
+
+class TestConstruction:
+    def test_structure(self):
+        large = {3: (0.3, 0.2), 7: (0.2, 0.1)}
+        seq = (2.0, 1.0, 0.5)
+        tilde = build_simplified_instance(large, seq, EPS, capacity=0.4)
+        copies = math.floor(1 / EPS)
+        assert tilde.n == 2 + 3 * copies
+        assert tilde.large_indices == {3, 7}
+        assert tilde.capacity == 0.4
+        assert tilde.eps_sequence == seq
+
+    def test_small_representatives(self):
+        tilde = build_simplified_instance({}, (2.0,), EPS, capacity=1.0)
+        reps = [it for it in tilde.items if it.kind == "small"]
+        assert len(reps) == math.floor(1 / EPS)
+        for it in reps:
+            assert it.profit == pytest.approx(EPS_SQ)
+            assert it.weight == pytest.approx(EPS_SQ / 2.0)
+            assert it.efficiency == pytest.approx(2.0)
+            assert it.ref == 0
+
+    def test_band_indexing(self):
+        # Band k's representatives use threshold e_{k+1} (paper indexing).
+        tilde = build_simplified_instance({}, (4.0, 2.0, 1.0), EPS, capacity=1.0)
+        by_band = {}
+        for it in tilde.items:
+            if it.kind == "small":
+                by_band.setdefault(it.ref, it.efficiency)
+        assert by_band[0] == pytest.approx(4.0)
+        assert by_band[1] == pytest.approx(2.0)
+        assert by_band[2] == pytest.approx(1.0)
+
+    def test_sorted_by_efficiency(self):
+        large = {0: (0.3, 0.1)}  # efficiency 3.0
+        tilde = build_simplified_instance(large, (5.0, 1.0), EPS, capacity=1.0)
+        effs = [it.efficiency for it in tilde.items]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_empty_eps_large_only(self):
+        tilde = build_simplified_instance({1: (0.9, 0.5)}, (), EPS, capacity=1.0)
+        assert tilde.n == 1
+        assert tilde.items[0].kind == "large"
+        assert tilde.items[0].ref == 1
+
+    def test_signature_identity(self):
+        a = build_simplified_instance({1: (0.5, 0.2)}, (2.0,), EPS, 1.0)
+        b = build_simplified_instance({1: (0.5, 0.2)}, (2.0,), EPS, 1.0)
+        c = build_simplified_instance({1: (0.5, 0.2)}, (2.1,), EPS, 1.0)
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+
+    def test_total_profit(self):
+        tilde = build_simplified_instance({0: (0.4, 0.1)}, (1.0,), EPS, 1.0)
+        expected = 0.4 + math.floor(1 / EPS) * EPS_SQ
+        assert tilde.total_profit == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            build_simplified_instance({}, (0.0,), EPS, 1.0)  # non-positive threshold
+        with pytest.raises(ReproError):
+            build_simplified_instance({}, (), 0.0, 1.0)  # bad epsilon
+
+    def test_deterministic_ordering_under_ties(self):
+        # Two large items with identical efficiency: order fixed by ref.
+        large = {5: (0.2, 0.1), 2: (0.4, 0.2)}  # both efficiency 2.0
+        a = build_simplified_instance(large, (), EPS, 1.0)
+        b = build_simplified_instance(dict(reversed(large.items())), (), EPS, 1.0)
+        assert a.signature() == b.signature()

@@ -1,0 +1,203 @@
+"""Tests for the stochastic tie-breaking extension (beyond the paper)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.access.oracle import QueryOracle
+from repro.access.seeds import SeedChain
+from repro.access.weighted_sampler import WeightedSampler
+from repro.core.convert_greedy import convert_greedy
+from repro.core.lca_kp import LCAKP
+from repro.core.mapping_greedy import mapping_greedy
+from repro.core.parameters import LCAParameters
+from repro.core.simplified_instance import build_simplified_instance
+from repro.core.tie_breaking import TieBreakingRule, derive_tie_breaking
+from repro.knapsack import generators as g
+from repro.reproducible.domains import EfficiencyDomain
+
+EPS = 0.1
+
+
+def tilde(large, seq, capacity):
+    return build_simplified_instance(large, seq, EPS, capacity)
+
+
+class TestDerivation:
+    def test_cut_inside_small_band_yields_fraction(self):
+        # One band of 10 copies (weight 0.01/2 each); capacity packs 6.
+        # The raw fraction 6/10 is shaved by the (1 - 2 eps) safety factor.
+        seq = (2.0,)
+        capacity = 6 * (EPS * EPS) / 2.0
+        simplified = tilde({}, seq, capacity)
+        converted = convert_greedy(simplified)
+        rule = derive_tie_breaking(simplified, converted, SeedChain(1))
+        assert rule.fraction == pytest.approx(0.6 * (1 - 2 * EPS))
+        assert rule.band_lo < 2.0 < rule.band_hi
+
+    def test_engages_only_when_e_small_is_none(self):
+        # A rich EPS with an active e_small: the extension stands down.
+        seq = (8.0, 4.0, 2.0, 1.0, 0.5)
+        copies = math.floor(1 / EPS)
+        capacity = sum(copies * (EPS * EPS) / e for e in seq[:4]) + 3 * (EPS * EPS) / 0.5
+        simplified = tilde({}, seq, capacity)
+        converted = convert_greedy(simplified)
+        assert converted.e_small is not None
+        rule = derive_tie_breaking(simplified, converted, SeedChain(1))
+        assert rule.fraction == 0.0
+
+    def test_singleton_branch_disables(self):
+        large = {9: (0.6, 0.5)}
+        capacity = math.floor(1 / EPS) * (EPS * EPS) / 2.0 + 0.25
+        simplified = tilde(large, (2.0,), capacity)
+        converted = convert_greedy(simplified)
+        assert converted.b_indicator
+        rule = derive_tie_breaking(simplified, converted, SeedChain(1))
+        assert rule.fraction == 0.0
+
+    def test_cut_on_large_item_disables(self):
+        large = {0: (0.5, 0.3), 1: (0.45, 0.3)}
+        simplified = tilde(large, (1.0,), 0.3)
+        converted = convert_greedy(simplified)
+        rule = derive_tie_breaking(simplified, converted, SeedChain(1))
+        assert rule.fraction == 0.0
+
+    def test_empty_eps_disables(self):
+        simplified = tilde({0: (0.9, 0.5)}, (), 1.0)
+        converted = convert_greedy(simplified)
+        rule = derive_tie_breaking(simplified, converted, SeedChain(1))
+        assert rule.fraction == 0.0
+
+
+class TestRuleSemantics:
+    def make_rule(self, fraction=0.5):
+        seq = (2.0,)
+        capacity = 5 * (EPS * EPS) / 2.0
+        simplified = tilde({}, seq, capacity)
+        converted = convert_greedy(simplified)
+        return TieBreakingRule(
+            base=converted,
+            band_lo=1.9,
+            band_hi=2.1,
+            fraction=fraction,
+            seed=SeedChain(42),
+        )
+
+    def test_base_yes_stays_yes(self):
+        rule = self.make_rule()
+        # Items the base rule already includes (none here since e_small
+        # is None for a 1-band EPS) — exercise the early return with a
+        # large item in index_large.
+        assert rule.decide(0.5, 0.4, 99) is rule.base.decide(0.5, 0.4, 99)
+
+    def test_band_membership_required(self):
+        rule = self.make_rule(fraction=1.0)
+        assert rule.decide(0.005, 0.005 / 2.0, 3) is True  # eff 2.0 in band
+        assert rule.decide(0.005, 0.005 / 3.0, 3) is False  # eff 3.0 outside
+        assert rule.decide(0.005, 0.005 / 1.0, 3) is False  # eff 1.0 outside
+
+    def test_garbage_and_large_never_included(self):
+        rule = self.make_rule(fraction=1.0)
+        assert rule.decide(0.001, 1.0, 3) is False  # garbage
+        assert rule.decide(0.5, 0.25, 3) is False  # large, not in index_large
+
+    def test_fraction_zero_equals_base(self):
+        rule = self.make_rule(fraction=0.0)
+        for i in range(20):
+            assert rule.decide(0.005, 0.0025, i) == rule.base.decide(0.005, 0.0025, i)
+
+    def test_coins_deterministic_and_item_specific(self):
+        rule = self.make_rule()
+        assert rule.coin(7) == rule.coin(7)
+        coins = {rule.coin(i) for i in range(50)}
+        assert len(coins) == 50
+
+    def test_fraction_realized_approximately(self):
+        rule = self.make_rule(fraction=0.3)
+        included = sum(rule.decide(0.005, 0.0025, i) for i in range(2000))
+        assert included / 2000 == pytest.approx(0.3, abs=0.04)
+
+    def test_base_solution_is_subset_of_extended(self):
+        rule = self.make_rule(fraction=0.7)
+        for i in range(100):
+            if rule.base.decide(0.005, 0.0025, i):
+                assert rule.decide(0.005, 0.0025, i)
+
+
+class TestEndToEndDegenerate:
+    """The motivating case: subset-sum instances (one efficiency atom)."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        inst = g.subset_sum(800, seed=3)
+        params = LCAParameters.calibrated(
+            EPS, domain=EfficiencyDomain(bits=12), max_nrq=8000, max_m_large=8000
+        )
+        return inst, params
+
+    def test_base_rule_degenerates_but_extension_recovers(self, setting):
+        inst, params = setting
+        base = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed=5, params=params)
+        ext = LCAKP(
+            WeightedSampler(inst),
+            QueryOracle(inst),
+            EPS,
+            seed=5,
+            params=params,
+            tie_breaking=True,
+        )
+        base_solution = mapping_greedy(inst, base.run_pipeline(nonce=1).rule)
+        ext_solution = mapping_greedy(inst, ext.run_pipeline(nonce=1).rule)
+        assert inst.profit_of(base_solution) == pytest.approx(0.0, abs=1e-9)
+        assert inst.profit_of(ext_solution) > 0.2  # non-trivial recovery
+
+    def test_extension_solution_feasible(self, setting):
+        inst, params = setting
+        ext = LCAKP(
+            WeightedSampler(inst),
+            QueryOracle(inst),
+            EPS,
+            seed=5,
+            params=params,
+            tie_breaking=True,
+        )
+        for nonce in range(4):
+            solution = mapping_greedy(inst, ext.run_pipeline(nonce=nonce).rule)
+            assert inst.weight_of(solution) <= inst.capacity + 1e-9
+
+    def test_extension_consistent_across_runs(self, setting):
+        inst, params = setting
+        ext = LCAKP(
+            WeightedSampler(inst),
+            QueryOracle(inst),
+            EPS,
+            seed=5,
+            params=params,
+            tie_breaking=True,
+        )
+        rng = np.random.default_rng(0)
+        probes = rng.choice(inst.n, size=40, replace=False)
+        rules = [ext.run_pipeline(nonce=100 + r).rule for r in range(4)]
+        for i in probes:
+            answers = {
+                r.decide(inst.profit(int(i)), inst.weight(int(i)), int(i))
+                for r in rules
+            }
+            assert len(answers) == 1
+
+    def test_non_degenerate_families_unaffected_much(self, setting):
+        _, params = setting
+        inst = g.planted_lsg(800, seed=4, epsilon=EPS)
+        base = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed=5, params=params)
+        ext = LCAKP(
+            WeightedSampler(inst),
+            QueryOracle(inst),
+            EPS,
+            seed=5,
+            params=params,
+            tie_breaking=True,
+        )
+        vb = inst.profit_of(mapping_greedy(inst, base.run_pipeline(nonce=1).rule))
+        ve = inst.profit_of(mapping_greedy(inst, ext.run_pipeline(nonce=1).rule))
+        assert ve >= vb - 1e-9  # the extension only ever adds items

@@ -1,0 +1,178 @@
+"""Tests for the simulated distributed LCA deployment."""
+
+import pytest
+
+from repro.distributed.cluster import ClusterSimulation
+from repro.errors import ExperimentError
+
+
+@pytest.fixture()
+def sim_factory(tiers_instance, fast_params):
+    def make(**kwargs):
+        kwargs.setdefault("workers", 3)
+        kwargs.setdefault("params", fast_params)
+        kwargs.setdefault("arrival_rate", 50.0)
+        return ClusterSimulation(
+            tiers_instance, fast_params.epsilon, seed=42, **kwargs
+        )
+
+    return make
+
+
+class TestSimulation:
+    def test_all_queries_answered(self, sim_factory):
+        report = sim_factory().run(30)
+        assert len(report.records) == 30
+        assert report.total_samples > 0
+
+    def test_consistency_on_atomic_family(self, sim_factory):
+        # Repeated queries to different workers must agree on the
+        # atomic tiers family (the designed-for regime).
+        report = sim_factory().run(40, items=[5, 9] * 20)
+        assert report.fully_consistent, f"contested: {report.contested_items}"
+        assert report.consistency_rate == 1.0
+
+    def test_latency_stats_sane(self, sim_factory):
+        report = sim_factory().run(20)
+        assert 0 < report.mean_latency <= report.p95_latency
+
+    def test_round_robin_balances(self, sim_factory):
+        report = sim_factory(routing="round_robin").run(30)
+        load = report.per_worker_load
+        assert max(load) - min(load) <= 1
+
+    def test_least_loaded_serves_everything(self, sim_factory):
+        report = sim_factory(routing="least_loaded").run(20)
+        assert sum(report.per_worker_load) == 20
+
+    def test_random_routing(self, sim_factory):
+        report = sim_factory(routing="random").run(20)
+        assert sum(report.per_worker_load) == 20
+
+    def test_deterministic_replay(self, sim_factory):
+        a = sim_factory(rng_seed=7).run(25)
+        b = sim_factory(rng_seed=7).run(25)
+        assert [r.include for r in a.records] == [r.include for r in b.records]
+        assert a.mean_latency == b.mean_latency
+
+    def test_validation(self, sim_factory, tiers_instance, fast_params):
+        with pytest.raises(ExperimentError):
+            ClusterSimulation(tiers_instance, 0.1, workers=0, params=fast_params)
+        with pytest.raises(ExperimentError):
+            ClusterSimulation(tiers_instance, 0.1, routing="smart", params=fast_params)
+        with pytest.raises(ExperimentError):
+            sim_factory().run(0)
+        with pytest.raises(ExperimentError):
+            sim_factory().run(3, items=[1])
+
+
+class TestCrashInjection:
+    """Statelessness makes crash recovery a non-event — measured."""
+
+    def test_all_queries_eventually_answered(self, sim_factory):
+        report = sim_factory(crash_rate=0.3).run(30)
+        assert len(report.records) == 30
+        assert report.total_crashes > 0
+
+    def test_consistency_survives_crashes(self, sim_factory):
+        report = sim_factory(crash_rate=0.4).run(40, items=[3, 8] * 20)
+        assert report.fully_consistent, f"contested: {report.contested_items}"
+
+    def test_retries_recorded(self, sim_factory):
+        report = sim_factory(crash_rate=0.5).run(30)
+        attempts = [r.attempts for r in report.records]
+        assert max(attempts) >= 2
+        assert sum(a - 1 for a in attempts) == report.total_crashes
+
+    def test_zero_crash_rate_means_no_crashes(self, sim_factory):
+        report = sim_factory(crash_rate=0.0).run(20)
+        assert report.total_crashes == 0
+        assert all(r.attempts == 1 for r in report.records)
+
+    def test_invalid_crash_rate(self, tiers_instance, fast_params):
+        from repro.distributed.cluster import ClusterSimulation
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            ClusterSimulation(
+                tiers_instance, fast_params.epsilon, params=fast_params, crash_rate=1.0
+            )
+
+
+class TestCustomArrivals:
+    def test_bursty_arrivals_accepted(self, sim_factory, tiers_instance):
+        from repro.distributed.workloads import bursty_arrivals
+        import numpy as np
+
+        times = bursty_arrivals(20, np.random.default_rng(9))
+        report = sim_factory().run(20, arrival_times=times)
+        assert len(report.records) == 20
+        # Arrivals in the records match the supplied schedule.
+        by_qid = sorted(report.records, key=lambda r: r.query_id)
+        for rec, t in zip(by_qid, times):
+            assert rec.arrived == pytest.approx(t)
+
+    def test_bad_arrival_schedules_rejected(self, sim_factory):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            sim_factory().run(3, arrival_times=[0.1, 0.2])  # wrong length
+        with pytest.raises(ExperimentError):
+            sim_factory().run(3, arrival_times=[0.1, 0.1, 0.2])  # not increasing
+        with pytest.raises(ExperimentError):
+            sim_factory().run(2, arrival_times=[-0.5, 0.2])  # negative
+
+
+class TestHeterogeneousWorkers:
+    def test_fast_worker_finishes_sooner(self, tiers_instance, fast_params):
+        from repro.distributed.cluster import ClusterSimulation
+
+        sim = ClusterSimulation(
+            tiers_instance,
+            fast_params.epsilon,
+            seed=42,
+            params=fast_params,
+            workers=2,
+            worker_speeds=[10.0, 1.0],
+            routing="round_robin",
+            arrival_rate=100.0,
+        )
+        report = sim.run(20)
+        service = {0: [], 1: []}
+        for r in report.records:
+            service[r.worker_id].append(r.finished - r.started)
+        import numpy as np
+
+        assert np.mean(service[0]) < np.mean(service[1]) / 3
+
+    def test_least_loaded_prefers_fast_worker(self, tiers_instance, fast_params):
+        from repro.distributed.cluster import ClusterSimulation
+
+        sim = ClusterSimulation(
+            tiers_instance,
+            fast_params.epsilon,
+            seed=42,
+            params=fast_params,
+            workers=2,
+            worker_speeds=[20.0, 1.0],
+            routing="least_loaded",
+            arrival_rate=500.0,
+        )
+        report = sim.run(40)
+        load = report.per_worker_load
+        assert load[0] > load[1]
+
+    def test_speed_validation(self, tiers_instance, fast_params):
+        from repro.distributed.cluster import ClusterSimulation
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            ClusterSimulation(
+                tiers_instance, fast_params.epsilon, params=fast_params,
+                workers=2, worker_speeds=[1.0],
+            )
+        with pytest.raises(ExperimentError):
+            ClusterSimulation(
+                tiers_instance, fast_params.epsilon, params=fast_params,
+                workers=2, worker_speeds=[1.0, 0.0],
+            )

@@ -1,0 +1,72 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.distributed.events import Clock, EventQueue
+from repro.errors import ExperimentError
+
+
+class TestClock:
+    def test_monotone(self):
+        clock = Clock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+        with pytest.raises(ExperimentError):
+            clock.advance_to(1.0)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(3.0, lambda: fired.append("c"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(2.0, lambda: fired.append("b"))
+        assert q.run() == 3
+        assert fired == ["a", "b", "c"]
+        assert q.clock.now == 3.0
+
+    def test_stable_tie_break(self):
+        q = EventQueue()
+        fired = []
+        for name in "xyz":
+            q.schedule(1.0, lambda n=name: fired.append(n))
+        q.run()
+        assert fired == ["x", "y", "z"]  # insertion order at equal times
+
+    def test_events_scheduling_events(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            q.schedule(1.0, lambda: fired.append("second"))
+
+        q.schedule(1.0, first)
+        q.run()
+        assert fired == ["first", "second"]
+        assert q.clock.now == 2.0
+
+    def test_run_until(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(10.0, lambda: fired.append(2))
+        q.run(until=5.0)
+        assert fired == [1]
+        assert q.pending == 1
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ExperimentError):
+            q.schedule(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        q = EventQueue()
+
+        def loop():
+            q.schedule(0.0, loop)
+
+        q.schedule(0.0, loop)
+        with pytest.raises(ExperimentError):
+            q.run(max_events=100)

@@ -1,0 +1,110 @@
+"""Tests for workload generators and service metrics."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cluster import ClusterSimulation
+from repro.distributed.metrics import compute_metrics
+from repro.distributed.workloads import (
+    bursty_arrivals,
+    hotset_queries,
+    uniform_queries,
+    zipf_queries,
+)
+from repro.errors import ExperimentError
+
+
+class TestQueryGenerators:
+    def test_uniform_range_and_count(self):
+        q = uniform_queries(50, 300, np.random.default_rng(0))
+        assert len(q) == 300
+        assert all(0 <= i < 50 for i in q)
+
+    def test_zipf_concentration(self):
+        rng = np.random.default_rng(1)
+        q = zipf_queries(1000, 5000, rng, exponent=1.5)
+        counts = np.bincount(q, minlength=1000)
+        top10 = np.sort(counts)[-10:].sum()
+        # Heavy tail: the 10 hottest items absorb far more than 1%.
+        assert top10 / 5000 > 0.2
+
+    def test_zipf_hot_items_are_permuted(self):
+        rng = np.random.default_rng(2)
+        q = zipf_queries(1000, 3000, rng, exponent=1.5)
+        hottest = int(np.argmax(np.bincount(q, minlength=1000)))
+        assert hottest != 0 or True  # permutation makes 0 unlikely but legal
+
+    def test_hotset_fraction(self):
+        rng = np.random.default_rng(3)
+        q = hotset_queries(1000, 4000, rng, hot_items=5, hot_fraction=0.6)
+        counts = np.bincount(q, minlength=1000)
+        top5 = np.sort(counts)[-5:].sum()
+        assert top5 / 4000 > 0.5
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ExperimentError):
+            uniform_queries(0, 10, rng)
+        with pytest.raises(ExperimentError):
+            zipf_queries(10, 10, rng, exponent=0.0)
+        with pytest.raises(ExperimentError):
+            hotset_queries(10, 10, rng, hot_fraction=2.0)
+
+
+class TestBurstyArrivals:
+    def test_monotone_timestamps(self):
+        times = bursty_arrivals(500, np.random.default_rng(4))
+        assert len(times) == 500
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_burstiness_exceeds_poisson(self):
+        # Coefficient of variation of inter-arrivals > 1 for MMPP.
+        times = np.array(bursty_arrivals(4000, np.random.default_rng(5)))
+        gaps = np.diff(times)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.1
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bursty_arrivals(0, np.random.default_rng(0))
+        with pytest.raises(ExperimentError):
+            bursty_arrivals(5, np.random.default_rng(0), rate_on=0)
+
+
+class TestServiceMetrics:
+    @pytest.fixture()
+    def report(self, tiers_instance, fast_params):
+        sim = ClusterSimulation(
+            tiers_instance,
+            fast_params.epsilon,
+            seed=42,
+            params=fast_params,
+            workers=3,
+            arrival_rate=50.0,
+        )
+        items = zipf_queries(tiers_instance.n, 40, np.random.default_rng(6))
+        return sim.run(40, items=items)
+
+    def test_metric_sanity(self, report):
+        m = compute_metrics(report, workers=3)
+        assert m.throughput > 0
+        assert 0 <= m.utilization <= 1 + 1e-9
+        assert m.mean_service_time > 0
+        assert m.mean_queueing_delay >= 0
+        assert m.load_imbalance >= 1.0
+        assert 0 <= m.repeat_coverage <= 1
+        assert m.retry_rate == 0.0
+
+    def test_zipf_repeats_feed_the_audit(self, report):
+        m = compute_metrics(report, workers=3)
+        assert m.repeat_coverage > 0.1  # plenty of repeated items
+
+    def test_empty_run_rejected(self, report):
+        from dataclasses import replace
+
+        with pytest.raises(ExperimentError):
+            compute_metrics(replace(report, records=()), workers=3)
+
+    def test_worker_validation(self, report):
+        with pytest.raises(ExperimentError):
+            compute_metrics(report, workers=0)

@@ -1,0 +1,54 @@
+"""Tests for the IKY12 value approximation (Lemma 4.4's pipeline)."""
+
+import pytest
+
+from repro.access.weighted_sampler import WeightedSampler
+from repro.core.parameters import LCAParameters
+from repro.iky.value_approx import IKYValueApproximator
+from repro.knapsack import generators as g
+from repro.knapsack.solvers import branch_and_bound
+from repro.reproducible.domains import EfficiencyDomain
+
+EPS = 0.1
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return g.planted_lsg(400, seed=13, epsilon=EPS)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return LCAParameters.calibrated(
+        EPS, domain=EfficiencyDomain(bits=12), max_nrq=4000, max_m_large=4000
+    )
+
+
+class TestValueEstimate:
+    def test_within_additive_band(self, instance, params):
+        opt = branch_and_bound(instance, node_limit=3_000_000).value
+        approx = IKYValueApproximator(WeightedSampler(instance), EPS, seed=42, params=params)
+        est = approx.estimate(nonce=1)
+        # Lemma 4.4: OPT(I~) - eps is a (1, 6 eps)-approximation of OPT(I).
+        assert est.value >= opt - 6 * EPS - 1e-9
+        assert est.value <= opt + 6 * EPS + 1e-9
+
+    def test_estimate_reproducible_with_nonce(self, instance, params):
+        approx = IKYValueApproximator(WeightedSampler(instance), EPS, seed=42, params=params)
+        a = approx.estimate(nonce=5)
+        b = approx.estimate(nonce=5)
+        assert a.value == b.value
+
+    def test_provenance_fields(self, instance, params):
+        approx = IKYValueApproximator(WeightedSampler(instance), EPS, seed=42, params=params)
+        est = approx.estimate(nonce=2)
+        assert est.epsilon == EPS
+        assert est.opt_tilde == pytest.approx(est.value + EPS)
+        assert est.pipeline.samples_used > 0
+
+    def test_makes_no_point_queries(self, instance, params):
+        # The value algorithm's defining property: weighted samples only.
+        sampler = WeightedSampler(instance)
+        approx = IKYValueApproximator(sampler, EPS, seed=42, params=params)
+        approx.estimate(nonce=3)
+        assert sampler.samples_used > 0  # and no oracle exists to query

@@ -1,0 +1,162 @@
+"""End-to-end integration tests: the paper's storyline, executed.
+
+Each test here crosses several packages: generators -> oracles -> LCA
+-> materialized solution -> solvers -> verification.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LCAKP,
+    LCAParameters,
+    QueryOracle,
+    WeightedSampler,
+    generate,
+    mapping_greedy,
+)
+from repro.knapsack.solvers import fractional_upper_bound, solve_exact
+from repro.lca.consistency import assemble_solution, audit_consistency
+from repro.reproducible.domains import EfficiencyDomain
+
+EPS = 0.1
+
+
+@pytest.fixture(scope="module")
+def params():
+    return LCAParameters.calibrated(
+        EPS, domain=EfficiencyDomain(bits=10), max_nrq=20_000, max_m_large=20_000
+    )
+
+
+class TestTheorem41Story:
+    """The positive result, end to end on a realistic workload."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, params):
+        inst = generate("efficiency_tiers", 800, seed=21, tiers=8)
+        sampler = WeightedSampler(inst)
+        lca = LCAKP(sampler, QueryOracle(inst), EPS, seed=77, params=params)
+        return inst, sampler, lca
+
+    def test_feasible_approximate_consistent(self, setup):
+        inst, _, lca = setup
+        # (1) Assemble the solution implied by per-item answers of one run.
+        pipe = lca.run_pipeline(nonce=1)
+        solution = mapping_greedy(inst, pipe.converted)
+        # (2) Feasible (Lemma 4.7).
+        assert inst.weight_of(solution) <= inst.capacity + 1e-9
+        # (3) Approximate (Lemma 4.8): compare against the fractional UB.
+        value = inst.profit_of(solution)
+        assert value >= 0.5 * fractional_upper_bound(inst) - 6 * EPS - 1e-9
+        # (4) Consistent across stateless runs (Lemma 4.9).
+        probes = list(range(0, inst.n, 37))
+        report = audit_consistency(
+            lambda r: [
+                lca.run_pipeline(nonce=100 + r).converted.decide(
+                    inst.profit(i), inst.weight(i), i
+                )
+                for i in probes
+            ],
+            probes,
+            runs=4,
+        )
+        assert report.pairwise_agreement >= 1 - EPS
+
+    def test_cost_independent_of_n(self, params):
+        costs = []
+        for n in (400, 1600):
+            inst = generate("efficiency_tiers", n, seed=3, tiers=8)
+            sampler = WeightedSampler(inst)
+            lca = LCAKP(sampler, QueryOracle(inst), EPS, seed=1, params=params)
+            before = sampler.samples_used
+            lca.answer(0, nonce=1)
+            costs.append(sampler.samples_used - before)
+        # Same parameters => same sampling budget, regardless of n.
+        assert abs(costs[0] - costs[1]) / max(costs) < 0.3
+
+
+class TestAgainstExactSolver:
+    def test_lca_never_beats_opt(self, params):
+        inst = generate("uniform", 120, seed=5)
+        opt = solve_exact(inst).value
+        lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed=3, params=params)
+        pipe = lca.run_pipeline(nonce=1)
+        value = inst.profit_of(mapping_greedy(inst, pipe.converted))
+        assert value <= opt + 1e-9
+
+    def test_assembled_solution_equals_mapping_greedy(self, params):
+        inst = generate("efficiency_tiers", 300, seed=6, tiers=5)
+        lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed=9, params=params)
+        pipe = lca.run_pipeline(nonce=42)
+        via_mapping = mapping_greedy(inst, pipe.converted)
+        via_answers = assemble_solution(
+            lambda idx: [
+                pipe.converted.decide(inst.profit(i), inst.weight(i), i) for i in idx
+            ],
+            inst,
+        )
+        assert via_mapping == via_answers
+
+
+class TestImpossibilityVsPossibility:
+    """The paper's arc: query access fails where weighted sampling works."""
+
+    def test_or_reduction_needs_linear_queries_but_lca_does_not(self, params):
+        from repro.lowerbounds.or_reduction import (
+            optimal_success_probability,
+            queries_needed_for_success,
+        )
+
+        n = 5000
+        # Plain query access: 2/3 success needs ~n/3 queries.
+        assert queries_needed_for_success(n - 1) > n / 4
+        assert optimal_success_probability(n - 1, n // 100) < 0.51
+        # Weighted sampling: per-query cost is capped by the parameters,
+        # independent of n.
+        costs = {}
+        for n_items in (n, 4 * n):
+            inst = generate("planted_lsg", n_items, seed=2, epsilon=EPS)
+            sampler = WeightedSampler(inst)
+            lca = LCAKP(sampler, QueryOracle(inst), EPS, seed=5, params=params)
+            before = sampler.samples_used
+            lca.answer(0, nonce=1)
+            costs[n_items] = sampler.samples_used - before
+        # The LCA's cost is bounded by the epsilon-driven budget and does
+        # not grow with n (quadrupling n leaves it essentially unchanged),
+        # while the query-access bound above grows linearly in n.
+        assert costs[n] <= params.expected_query_cost()
+        assert costs[4 * n] <= 1.3 * costs[n]
+
+
+class TestDefinitionalProperties:
+    """Definitions 2.3/2.4: parallelizable, query-order oblivious."""
+
+    def test_query_order_obliviousness(self, params):
+        from repro.lca.consistency import audit_order_obliviousness
+
+        inst = generate("efficiency_tiers", 400, seed=12, tiers=6)
+        lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed=2, params=params)
+        pipe = lca.run_pipeline(nonce=3)
+
+        def answer_batch(indices):
+            return [
+                pipe.converted.decide(inst.profit(i), inst.weight(i), i)
+                for i in indices
+            ]
+
+        assert audit_order_obliviousness(answer_batch, list(range(0, 400, 13)))
+
+    def test_approximation_against_exact_optimum(self):
+        """Lemma 4.8 against a true OPT (not just the fractional bound)."""
+        from repro.knapsack.solvers import branch_and_bound
+
+        inst = generate("planted_lsg", 300, seed=9, epsilon=0.1)
+        opt = branch_and_bound(inst, node_limit=3_000_000).value
+        params = LCAParameters.calibrated(
+            0.1, domain=EfficiencyDomain(bits=12), max_nrq=20_000, max_m_large=20_000
+        )
+        lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), 0.1, seed=6, params=params)
+        value = inst.profit_of(mapping_greedy(inst, lca.run_pipeline(nonce=1).rule))
+        assert value >= 0.5 * opt - 6 * 0.1 - 1e-9
+        assert value <= opt + 1e-9

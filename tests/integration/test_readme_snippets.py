@@ -1,0 +1,48 @@
+"""Keep the README honest: its code snippets must actually run.
+
+Extracts the python code fences from README.md and executes the
+self-contained ones (downsized where the snippet's n would make the
+test slow, via a literal substitution that must still match the text).
+"""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parents[2] / "README.md"
+
+
+def _python_blocks() -> list[str]:
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeSnippets:
+    def test_readme_has_python_snippets(self):
+        assert len(_python_blocks()) >= 1
+
+    def test_quickstart_snippet_runs(self):
+        blocks = _python_blocks()
+        quickstart = next(b for b in blocks if "LCAKP(" in b)
+        # Downsize the instance so the snippet runs in seconds; the
+        # substitution must match the README text exactly, so editing
+        # the README without updating this test fails loudly.
+        assert 'generate("planted_lsg", 2000, seed=7, epsilon=0.05)' in quickstart
+        downsized = quickstart.replace(
+            'generate("planted_lsg", 2000, seed=7, epsilon=0.05)',
+            'generate("planted_lsg", 700, seed=7, epsilon=0.05)',
+        )
+        # Cap the per-query budget for test speed (params are additive —
+        # the snippet as printed uses defaults).
+        downsized = downsized.replace(
+            "epsilon=0.05,\n    seed=2024,",
+            "epsilon=0.05,\n    seed=2024,\n    "
+            "params=__import__('repro').LCAParameters.calibrated("
+            "0.05, max_nrq=3000, max_m_large=3000),",
+        )
+        namespace: dict = {}
+        exec(compile(downsized, "<README quickstart>", "exec"), namespace)
+        answer = namespace["answer"]
+        assert isinstance(answer.include, bool)
+        assert answer.reason

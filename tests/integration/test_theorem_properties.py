@@ -1,0 +1,127 @@
+"""Property-level integration tests tied to specific lemmas of the paper.
+
+Each class targets one lemma's measurable statement, run at reduced
+sizes (the benches do the full-scale versions).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.oracle import QueryOracle
+from repro.access.weighted_sampler import WeightedSampler
+from repro.core.eps import check_eps
+from repro.core.lca_kp import LCAKP
+from repro.core.mapping_greedy import mapping_greedy
+from repro.core.parameters import LCAParameters
+from repro.knapsack import generators as g
+from repro.reproducible.domains import EfficiencyDomain
+
+EPS = 0.1
+
+
+@pytest.fixture(scope="module")
+def params():
+    return LCAParameters.calibrated(
+        EPS, domain=EfficiencyDomain(bits=12), max_nrq=30_000, max_m_large=30_000
+    )
+
+
+class TestLemma46EPSEstimation:
+    """The estimated quantile sequence is (close to) an EPS w.r.t. I."""
+
+    def test_estimated_sequence_is_near_eps(self, params):
+        inst = g.planted_lsg(1200, seed=31, epsilon=EPS)
+        lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed=3, params=params)
+        pipe = lca.run_pipeline(nonce=1)
+        assert len(pipe.eps_sequence) >= 3
+        # Calibrated parameters use tau = eps/5, so bands land within
+        # O(eps) of the target window rather than the paper's eps^2.
+        report = check_eps(inst, pipe.eps_sequence, EPS, slack=2.5 * params.tau + EPS * EPS)
+        assert report.monotone
+        assert report.interior_ok, f"band masses: {report.masses}"
+
+    def test_sequence_lengths_match_theory(self, params):
+        # t = floor(1/q) with q = (eps + eps^2/2) / (1 - p_large).
+        inst = g.planted_lsg(1200, seed=31, epsilon=EPS)
+        lca = LCAKP(WeightedSampler(inst), QueryOracle(inst), EPS, seed=3, params=params)
+        pipe = lca.run_pipeline(nonce=2)
+        run = params.per_run(pipe.p_large)
+        assert len(pipe.eps_sequence) in (run.t, run.t - 1)  # line 11-14 trim
+
+
+class TestLemma47Feasibility:
+    """C is feasible — across random seeds, nonces and families."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        nonce=st.integers(min_value=0, max_value=10_000),
+        family=st.sampled_from(
+            ["planted_lsg", "efficiency_tiers", "uniform", "subset_sum"]
+        ),
+    )
+    def test_feasibility_property(self, seed, nonce, family):
+        kwargs = {"epsilon": EPS} if family == "planted_lsg" else {}
+        inst = g.generate(family, 400, seed=seed % 5, **kwargs)
+        params = LCAParameters.calibrated(
+            EPS, domain=EfficiencyDomain(bits=12), max_nrq=2000, max_m_large=2000
+        )
+        lca = LCAKP(
+            WeightedSampler(inst), QueryOracle(inst), EPS, seed=seed, params=params
+        )
+        solution = mapping_greedy(inst, lca.run_pipeline(nonce=nonce).rule)
+        assert inst.weight_of(solution) <= inst.capacity + 1e-9
+
+
+class TestLemma49ConsistencyScalesWithSamples:
+    """More samples => (weakly) better cross-run agreement."""
+
+    def test_agreement_improves_or_saturates(self):
+        inst = g.planted_lsg(800, seed=8, epsilon=EPS)
+        rng = np.random.default_rng(0)
+        probes = rng.choice(inst.n, size=25, replace=False)
+
+        def agreement(max_nrq: int) -> float:
+            params = LCAParameters.calibrated(
+                EPS,
+                domain=EfficiencyDomain(bits=12),
+                max_nrq=max_nrq,
+                max_m_large=8000,
+            )
+            lca = LCAKP(
+                WeightedSampler(inst), QueryOracle(inst), EPS, seed=4, params=params
+            )
+            pipes = [lca.run_pipeline(nonce=10 + r) for r in range(4)]
+            table = np.array(
+                [
+                    [
+                        p.rule.decide(inst.profit(int(i)), inst.weight(int(i)), int(i))
+                        for i in probes
+                    ]
+                    for p in pipes
+                ]
+            )
+            scores = []
+            for a in range(4):
+                for b in range(a + 1, 4):
+                    scores.append(float(np.mean(table[a] == table[b])))
+            return float(np.mean(scores))
+
+        assert agreement(30_000) >= agreement(500) - 0.05
+
+
+class TestLemma410CostAccounting:
+    """Per-query cost equals |R| + |Q| + 1 point query, every time."""
+
+    def test_exact_cost_decomposition(self, params):
+        inst = g.planted_lsg(1200, seed=31, epsilon=EPS)
+        sampler = WeightedSampler(inst)
+        oracle = QueryOracle(inst)
+        lca = LCAKP(sampler, oracle, EPS, seed=3, params=params)
+        before_s, before_q = sampler.samples_used, oracle.queries_used
+        ans = lca.answer(5, nonce=9)
+        run = params.per_run(ans.pipeline.p_large)
+        assert sampler.samples_used - before_s == params.m_large + run.a
+        assert oracle.queries_used - before_q == 1

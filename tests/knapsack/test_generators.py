@@ -1,0 +1,163 @@
+"""Tests for the synthetic instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import classify_instance
+from repro.errors import InvalidInstanceError
+from repro.knapsack import generators as g
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("family", sorted(g.FAMILIES))
+    def test_valid_and_deterministic(self, family):
+        a = g.generate(family, 200, seed=5)
+        b = g.generate(family, 200, seed=5)
+        a.validate()
+        assert a == b, "same seed must reproduce the same instance"
+
+    @pytest.mark.parametrize("family", sorted(g.FAMILIES))
+    def test_seed_changes_instance(self, family):
+        a = g.generate(family, 200, seed=1)
+        b = g.generate(family, 200, seed=2)
+        assert a != b
+
+    @pytest.mark.parametrize(
+        "family",
+        [
+            "uniform",
+            "weakly_correlated",
+            "strongly_correlated",
+            "inverse_correlated",
+            "subset_sum",
+            "planted_lsg",
+            "efficiency_tiers",
+        ],
+    )
+    def test_double_normalization(self, family):
+        inst = g.generate(family, 400, seed=3)
+        assert inst.total_profit == pytest.approx(1.0)
+        assert inst.total_weight == pytest.approx(1.0, abs=1e-9)
+
+    def test_unknown_family(self):
+        with pytest.raises(InvalidInstanceError):
+            g.generate("nope", 10)
+
+    def test_n_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            g.uniform(0)
+
+
+class TestPlantedLSG:
+    def test_planted_masses(self):
+        eps = 0.06
+        inst = g.planted_lsg(1200, seed=4, epsilon=eps, large_mass=0.3)
+        part = classify_instance(inst, eps)
+        assert part.large_mass == pytest.approx(0.3, abs=0.02)
+        # Garbage mass is provably below eps^2 in a doubly-normalized instance.
+        assert part.garbage_mass <= eps * eps + 1e-9
+        assert part.small_mass == pytest.approx(1 - part.large_mass - part.garbage_mass)
+
+    def test_all_three_classes_present(self):
+        eps = 0.06
+        part = classify_instance(g.planted_lsg(1200, seed=4, epsilon=eps), eps)
+        assert len(part.large) > 0
+        assert len(part.small) > 0
+        assert len(part.garbage) > 0
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            g.planted_lsg(20, epsilon=0.05)
+
+    def test_no_large_class(self):
+        eps = 0.06
+        inst = g.planted_lsg(1200, seed=4, epsilon=eps, large_mass=0.0)
+        part = classify_instance(inst, eps)
+        assert len(part.large) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidInstanceError):
+            g.planted_lsg(1000, epsilon=0.5)
+        with pytest.raises(InvalidInstanceError):
+            g.planted_lsg(1000, epsilon=0.05, large_mass=0.95)
+
+
+class TestEfficiencyTiers:
+    def test_tier_structure(self):
+        inst = g.efficiency_tiers(600, seed=2, tiers=6, tier_ratio=0.5)
+        eff = np.sort(inst.efficiencies())[::-1]
+        # Efficiencies span a factor of ~0.5^5 with small jitter.
+        assert eff[0] / eff[-1] == pytest.approx(2.0**5, rel=0.3)
+
+    def test_single_tier(self):
+        inst = g.efficiency_tiers(100, seed=2, tiers=1)
+        eff = inst.efficiencies()
+        assert eff.max() / eff.min() < 1.2
+
+    def test_invalid_ratio(self):
+        with pytest.raises(InvalidInstanceError):
+            g.efficiency_tiers(100, tiers=3, tier_ratio=1.5)
+
+
+class TestGreedyAdversarial:
+    def test_greedy_prefix_is_bad(self):
+        from repro.knapsack.solvers import half_approximation, prefix_greedy
+
+        inst = g.greedy_adversarial(300, seed=1)
+        prefix = prefix_greedy(inst)
+        half = half_approximation(inst)
+        # The prefix collects only the feather profit; the singleton wins.
+        assert half.meta["branch"] == "singleton"
+        assert half.value > 5 * prefix.value
+
+    def test_needs_two_items(self):
+        with pytest.raises(InvalidInstanceError):
+            g.greedy_adversarial(1)
+
+
+class TestLowerBoundShapes:
+    def test_single_heavy_planted_index(self):
+        inst = g.single_heavy(50, seed=1, planted_index=7)
+        assert np.argmax(inst.profits) == 7
+        assert np.all(inst.weights == 1.0)
+        assert inst.capacity == 1.0
+
+    def test_single_heavy_bad_index(self):
+        with pytest.raises(InvalidInstanceError):
+            g.single_heavy(50, planted_index=50)
+
+    def test_all_items_unit_weight_capacity(self):
+        inst = g.all_items_unit_weight(40, seed=1, capacity_items=5)
+        assert inst.capacity == 5.0
+        assert inst.is_feasible(range(5))
+        assert not inst.is_feasible(range(6))
+
+    def test_zero_weight_padding_structure(self):
+        inst = g.zero_weight_padding(100, seed=1, n_heavy=2)
+        heavy = np.nonzero(inst.weights > 0)[0]
+        assert heavy.size == 2
+        assert inst.capacity == 1.0
+
+
+class TestBorderlineLarge:
+    def test_profits_straddle_the_boundary(self):
+        eps = 0.1
+        inst = g.borderline_large(800, seed=5, epsilon=eps, n_borderline=8)
+        eps_sq = eps * eps
+        border = [p for p in inst.profits if 0.7 * eps_sq <= p <= 1.3 * eps_sq]
+        assert len(border) >= 8
+        assert any(p < eps_sq for p in border)
+        assert any(p > eps_sq for p in border)
+
+    def test_double_normalized(self):
+        inst = g.borderline_large(600, seed=2)
+        assert inst.total_profit == pytest.approx(1.0)
+        assert inst.total_weight == pytest.approx(1.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            g.borderline_large(100, epsilon=0.5)
+        with pytest.raises(InvalidInstanceError):
+            g.borderline_large(100, n_borderline=90)
+        with pytest.raises(InvalidInstanceError):
+            g.borderline_large(100, window=1.5)

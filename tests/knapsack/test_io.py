@@ -1,0 +1,98 @@
+"""Tests for benchmark-format instance I/O."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.knapsack import generators as g
+from repro.knapsack.io import (
+    format_benchmark_text,
+    load_benchmark_file,
+    parse_benchmark_text,
+    save_benchmark_file,
+)
+
+SAMPLE = """\
+knapPI_1_50_1000_1
+n 3
+c 10
+z 15
+1,10,5,1
+2,5,5,1
+3,7,11,0
+"""
+
+
+class TestParse:
+    def test_basic_fields(self):
+        bench = parse_benchmark_text(SAMPLE)
+        assert bench.name == "knapPI_1_50_1000_1"
+        inst = bench.instance
+        assert inst.n == 3
+        assert inst.capacity == 10.0
+        assert inst.profit(0) == 10.0 and inst.weight(2) == 11.0
+        assert bench.recorded_optimum == 15.0
+        assert bench.recorded_solution == {0, 1}
+
+    def test_recorded_solution_checks_out(self):
+        bench = parse_benchmark_text(SAMPLE)
+        sol = bench.recorded_solution
+        assert bench.instance.profit_of(sol) == bench.recorded_optimum
+        assert bench.instance.is_feasible(sol)
+
+    def test_without_optional_fields(self):
+        text = "t\nc 5\n1,1,2\n2,3,4\n"
+        bench = parse_benchmark_text(text)
+        assert bench.recorded_optimum is None
+        assert bench.recorded_solution is None
+        assert bench.instance.n == 2
+
+    def test_item_order_normalized(self):
+        text = "t\nc 5\n2,3,4\n1,1,2\n"
+        bench = parse_benchmark_text(text)
+        assert bench.instance.profit(0) == 1.0  # sorted by index column
+
+    def test_time_lines_ignored(self):
+        text = "t\nc 5\ntime 0.01\n1,1,2\n"
+        assert parse_benchmark_text(text).instance.n == 1
+
+    def test_errors(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_benchmark_text("")
+        with pytest.raises(InvalidInstanceError):
+            parse_benchmark_text("t\n1,1,2\n")  # no capacity
+        with pytest.raises(InvalidInstanceError):
+            parse_benchmark_text("t\nc 5\n")  # no items
+        with pytest.raises(InvalidInstanceError):
+            parse_benchmark_text("t\nn 5\nc 5\n1,1,2\n")  # n mismatch
+        with pytest.raises(InvalidInstanceError):
+            parse_benchmark_text("t\nc 5\nbogus line\n")
+        with pytest.raises(InvalidInstanceError):
+            parse_benchmark_text("t\nc 5\n1,1\n")  # short item line
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        inst = g.uniform(20, seed=3)
+        text = format_benchmark_text(inst, name="rt", optimum=0.5, solution=[1, 3])
+        bench = parse_benchmark_text(text)
+        assert bench.name == "rt"
+        assert bench.instance.n == inst.n
+        assert bench.recorded_solution == {1, 3}
+        for i in range(inst.n):
+            assert bench.instance.profit(i) == pytest.approx(inst.profit(i))
+            assert bench.instance.weight(i) == pytest.approx(inst.weight(i))
+
+    def test_file_roundtrip(self, tmp_path):
+        inst = g.weakly_correlated(15, seed=2)
+        path = tmp_path / "inst.txt"
+        save_benchmark_file(path, inst, name="file-rt")
+        bench = load_benchmark_file(path)
+        assert bench.name == "file-rt"
+        assert bench.instance.capacity == pytest.approx(inst.capacity)
+
+    def test_exact_solver_on_loaded_benchmark(self):
+        from repro.knapsack.solvers import solve_exact
+
+        bench = parse_benchmark_text(SAMPLE)
+        result = solve_exact(bench.instance)
+        assert result.value == pytest.approx(bench.recorded_optimum)

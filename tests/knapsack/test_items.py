@@ -1,0 +1,59 @@
+"""Tests for the Item model and efficiency conventions."""
+
+import math
+
+import pytest
+
+from repro.knapsack.items import Item, efficiency
+
+
+class TestEfficiency:
+    def test_plain_ratio(self):
+        assert efficiency(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_zero_weight_profitable_is_infinite(self):
+        assert efficiency(0.1, 0.0) == math.inf
+
+    def test_zero_weight_zero_profit_is_zero(self):
+        assert efficiency(0.0, 0.0) == 0.0
+
+    def test_zero_profit_positive_weight(self):
+        assert efficiency(0.0, 1.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            efficiency(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            efficiency(1.0, -1.0)
+
+
+class TestItem:
+    def test_immutability(self):
+        it = Item(0.5, 0.25)
+        with pytest.raises(AttributeError):
+            it.profit = 1.0  # type: ignore[misc]
+
+    def test_hashable_and_dedup(self):
+        # Algorithm 2 line 2 dedupes sampled items; set semantics must work.
+        items = {Item(0.1, 0.2), Item(0.1, 0.2), Item(0.3, 0.2)}
+        assert len(items) == 2
+
+    def test_efficiency_property(self):
+        assert Item(1.0, 2.0).efficiency == pytest.approx(0.5)
+        assert Item(0.5, 0.0).efficiency == math.inf
+
+    def test_as_tuple_roundtrip(self):
+        p, w = Item(0.7, 0.3).as_tuple()
+        assert (p, w) == (0.7, 0.3)
+
+    def test_scaled(self):
+        it = Item(0.5, 0.25).scaled(profit_factor=2.0, weight_factor=4.0)
+        assert it == Item(1.0, 1.0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            Item(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            Item(0.1, float("inf"))
+        with pytest.raises(ValueError):
+            Item(float("nan"), 0.5)

@@ -1,0 +1,111 @@
+"""Tests for instance preprocessing (value-preserving reductions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knapsack.instance import KnapsackInstance
+from repro.knapsack.preprocessing import (
+    preprocess,
+    remove_overweight,
+    remove_zero_profit,
+)
+from repro.knapsack.solvers import meet_in_middle
+
+
+def inst_of(pairs, capacity):
+    p, w = zip(*pairs)
+    return KnapsackInstance(p, w, capacity, normalize=False, validate=False)
+
+
+class TestRules:
+    def test_overweight_removed(self):
+        inst = inst_of([(5, 1), (9, 20), (3, 2)], capacity=10)
+        red = remove_overweight(inst)
+        assert red.kept == (0, 2)
+        assert red.removed == {1}
+        assert red.instance.n == 2
+
+    def test_zero_profit_removed_and_free_forced(self):
+        inst = inst_of([(0, 3), (4, 0), (2, 1)], capacity=5)
+        red = remove_zero_profit(inst)
+        assert red.forced_in == {1}
+        assert 0 in red.removed
+        assert red.kept == (2,)
+
+    def test_zero_zero_dropped(self):
+        inst = inst_of([(0, 0), (2, 1)], capacity=5)
+        red = remove_zero_profit(inst)
+        assert red.kept == (1,)
+
+    def test_lift_solution(self):
+        inst = inst_of([(0, 3), (4, 0), (2, 1), (3, 2)], capacity=5)
+        red = preprocess(inst)
+        # Reduced items are originals 2 and 3; picking reduced {1} lifts
+        # to original {3} plus the forced free item {1}.
+        lifted = red.lift_solution([1])
+        assert lifted == {1, 3}
+
+    def test_all_items_removed_degenerate(self):
+        inst = inst_of([(1, 0)], capacity=5)  # single free item
+        red = preprocess(inst)
+        assert red.forced_in == {0}
+
+
+class TestValuePreservation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_preprocess_preserves_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 16
+        profits = rng.uniform(0, 5, size=n)
+        profits[rng.integers(n)] = 0.0  # plant a zero-profit item
+        weights = rng.uniform(0, 6, size=n)
+        weights[rng.integers(n)] = 0.0  # plant a free item
+        capacity = 8.0
+        inst = KnapsackInstance(profits, weights, capacity, normalize=False, validate=False)
+        red = preprocess(inst)
+        opt_orig = meet_in_middle(inst).value
+        opt_red = meet_in_middle(red.instance).value
+        forced_profit = sum(inst.profit(i) for i in red.forced_in)
+        assert opt_orig == pytest.approx(opt_red + forced_profit)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lifted_solution_is_feasible_and_optimal(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 14
+        inst = KnapsackInstance(
+            rng.uniform(0, 5, size=n),
+            rng.uniform(0, 12, size=n),  # some overweight vs capacity 8
+            8.0,
+            normalize=False,
+            validate=False,
+        )
+        red = preprocess(inst)
+        reduced_opt = meet_in_middle(red.instance)
+        lifted = red.lift_solution(reduced_opt.indices)
+        assert inst.is_feasible(lifted)
+        assert inst.profit_of(lifted) == pytest.approx(meet_in_middle(inst).value)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_preprocess_value_property(n, seed):
+    rng = np.random.default_rng(seed)
+    profits = rng.uniform(0, 3, size=n)
+    weights = rng.uniform(0, 4, size=n)
+    # Randomly zero out some entries to hit the special rules.
+    for arr in (profits, weights):
+        mask = rng.random(n) < 0.25
+        arr[mask] = 0.0
+    if profits.sum() == 0:
+        profits[0] = 1.0
+    inst = KnapsackInstance(profits, weights, 3.0, normalize=False, validate=False)
+    red = preprocess(inst)
+    opt_orig = meet_in_middle(inst).value
+    opt_red = meet_in_middle(red.instance).value
+    forced = sum(inst.profit(i) for i in red.forced_in)
+    assert opt_orig == pytest.approx(opt_red + forced, abs=1e-9)

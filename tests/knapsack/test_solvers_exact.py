@@ -1,0 +1,118 @@
+"""Cross-validation of the three exact solvers.
+
+branch-and-bound, meet-in-the-middle and the DPs are implemented
+independently; on any instance where several apply, they must agree on
+the optimal *value* (the optimal *set* may differ under ties).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.knapsack import generators as g
+from repro.knapsack.instance import KnapsackInstance
+from repro.knapsack.solvers import (
+    branch_and_bound,
+    dp_by_profit,
+    dp_by_weight,
+    meet_in_middle,
+    solve_exact,
+)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bb_vs_mim_random(self, seed):
+        inst = g.uniform(22, seed=seed)
+        assert branch_and_bound(inst).value == pytest.approx(
+            meet_in_middle(inst).value
+        )
+
+    @pytest.mark.parametrize("family", ["weakly_correlated", "subset_sum", "inverse_correlated"])
+    def test_bb_vs_mim_families(self, family):
+        inst = g.generate(family, 20, seed=3)
+        assert branch_and_bound(inst).value == pytest.approx(
+            meet_in_middle(inst).value
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dp_weight_vs_bb_integer_weights(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(1, 12, size=18).astype(float)
+        profits = rng.uniform(0.1, 1.0, size=18)
+        inst = KnapsackInstance(profits, weights, float(weights.max() + 15), normalize=False)
+        assert dp_by_weight(inst).value == pytest.approx(branch_and_bound(inst).value)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dp_profit_vs_bb_integer_profits(self, seed):
+        rng = np.random.default_rng(seed)
+        profits = rng.integers(1, 30, size=18).astype(float)
+        weights = rng.uniform(0.1, 1.0, size=18)
+        inst = KnapsackInstance(
+            profits, weights, float(weights.max() + 2.0), normalize=False
+        )
+        assert dp_by_profit(inst).value == pytest.approx(branch_and_bound(inst).value)
+
+
+class TestSolutionIntegrity:
+    def test_reported_value_matches_indices(self):
+        inst = g.uniform(20, seed=1)
+        for solver in (branch_and_bound, meet_in_middle):
+            res = solver(inst)
+            assert res.value == pytest.approx(inst.profit_of(res.indices))
+            assert res.weight <= inst.capacity + 1e-9
+            assert res.exact
+
+    def test_dp_weight_reconstruction(self):
+        inst = KnapsackInstance([3, 4, 5, 6], [2, 3, 4, 5], 5.0, normalize=False)
+        res = dp_by_weight(inst)
+        assert res.value == pytest.approx(inst.profit_of(res.indices))
+        # Best is items {0,1}: profit 7, weight 5.
+        assert res.value == pytest.approx(7.0)
+
+    def test_dp_weight_zero_weight_items(self):
+        inst = KnapsackInstance([1, 2, 3], [0, 0, 1], 1.0, normalize=False)
+        res = dp_by_weight(inst)
+        assert res.indices == {0, 1, 2}
+
+    def test_dp_profit_skips_zero_profit(self):
+        inst = KnapsackInstance([0, 2, 3], [0.5, 0.2, 0.4], 0.6, normalize=False)
+        res = dp_by_profit(inst)
+        assert res.value == pytest.approx(5.0)
+        assert 0 not in res.indices
+
+
+class TestGuards:
+    def test_dp_weight_rejects_fractional(self):
+        inst = KnapsackInstance([1, 1], [0.5, 0.7], 1.0, normalize=False)
+        with pytest.raises(SolverError):
+            dp_by_weight(inst)
+
+    def test_dp_profit_rejects_fractional(self):
+        inst = KnapsackInstance([0.5, 0.7], [0.5, 0.7], 1.0, normalize=False)
+        with pytest.raises(SolverError):
+            dp_by_profit(inst)
+
+    def test_dp_weight_scale(self):
+        # Weights are multiples of 1/4: exact after scaling by 4.
+        inst = KnapsackInstance([3, 4], [0.25, 0.5], 0.5, normalize=False)
+        res = dp_by_weight(inst, weight_scale=4)
+        assert res.value == pytest.approx(4.0)
+
+    def test_mim_size_limit(self):
+        inst = g.uniform(60, seed=0)
+        with pytest.raises(SolverError):
+            meet_in_middle(inst)
+
+    def test_bb_node_limit(self):
+        inst = g.strongly_correlated(40, seed=0)
+        with pytest.raises(SolverError):
+            branch_and_bound(inst, node_limit=5)
+
+    def test_solve_exact_dispatch(self):
+        small = g.uniform(12, seed=0)
+        res = solve_exact(small)
+        assert res.solver == "meet_in_middle"
+        bigger = g.uniform(60, seed=0)
+        res2 = solve_exact(bigger)
+        assert res2.solver == "branch_and_bound"

@@ -1,0 +1,90 @@
+"""Tests for the FPTAS and the fractional relaxation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.knapsack import generators as g
+from repro.knapsack.instance import KnapsackInstance
+from repro.knapsack.solvers import (
+    fptas,
+    fractional_optimum,
+    fractional_upper_bound,
+    solve_exact,
+)
+
+
+class TestFPTAS:
+    @pytest.mark.parametrize("epsilon", [0.3, 0.1, 0.05])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_guarantee(self, epsilon, seed):
+        inst = g.uniform(25, seed=seed)
+        opt = solve_exact(inst).value
+        approx = fptas(inst, epsilon).value
+        assert approx >= (1 - epsilon) * opt - 1e-12
+        assert approx <= opt + 1e-12
+
+    def test_smaller_epsilon_not_worse(self):
+        inst = g.weakly_correlated(30, seed=4)
+        loose = fptas(inst, 0.5).value
+        tight = fptas(inst, 0.02).value
+        assert tight >= loose - 1e-12
+
+    def test_feasible(self):
+        inst = g.inverse_correlated(40, seed=2)
+        res = fptas(inst, 0.1)
+        assert res.weight <= inst.capacity + 1e-9
+
+    def test_all_items_too_heavy(self):
+        inst = KnapsackInstance([1, 1], [1.0, 1.0], 1.0, normalize=False, validate=False)
+        inst2 = KnapsackInstance([1, 1], [2.0, 3.0], 1.0, normalize=False, validate=False)
+        assert fptas(inst2, 0.1).indices == frozenset()
+        assert len(fptas(inst, 0.1).indices) == 1
+
+    def test_invalid_epsilon(self):
+        inst = g.uniform(10, seed=0)
+        with pytest.raises(SolverError):
+            fptas(inst, 0.0)
+        with pytest.raises(SolverError):
+            fptas(inst, 1.0)
+
+    def test_meta_records_mu(self):
+        inst = g.uniform(15, seed=0)
+        res = fptas(inst, 0.2)
+        assert res.meta["mu"] > 0
+        assert res.meta["epsilon"] == 0.2
+
+
+class TestFractional:
+    def test_upper_bounds_integral_opt(self):
+        for seed in range(6):
+            inst = g.uniform(22, seed=seed)
+            assert fractional_upper_bound(inst) >= solve_exact(inst).value - 1e-12
+
+    def test_exact_when_greedy_fits_everything(self):
+        inst = KnapsackInstance([1, 2], [0.1, 0.2], 1.0, normalize=False)
+        sol = fractional_optimum(inst)
+        assert sol.fractional_index is None
+        assert sol.value == pytest.approx(3.0)
+
+    def test_fractional_part(self):
+        inst = KnapsackInstance([4, 3], [2.0, 3.0], 3.5, normalize=False)
+        sol = fractional_optimum(inst)
+        # Item 0 (e=2) whole, item 1 (e=1) at fraction 1.5/3.
+        assert sol.full_indices == {0}
+        assert sol.fractional_index == 1
+        assert sol.fraction == pytest.approx(0.5)
+        assert sol.value == pytest.approx(4 + 1.5)
+        assert sol.weight == pytest.approx(3.5)
+
+    def test_bound_is_tight_vs_half_approx(self):
+        # value(prefix) + value(first rejected) >= fractional bound:
+        # the inequality behind the 1/2-approximation analysis.
+        from repro.knapsack.solvers import prefix_greedy
+
+        for seed in range(5):
+            inst = g.uniform(30, seed=seed)
+            prefix = prefix_greedy(inst)
+            rejected = prefix.meta["first_rejected"]
+            top_up = inst.profit(rejected) if rejected is not None else 0.0
+            assert prefix.value + top_up >= fractional_upper_bound(inst) - 1e-9

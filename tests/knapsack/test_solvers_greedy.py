@@ -1,0 +1,98 @@
+"""Tests for greedy algorithms and the 1/2-approximation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.knapsack import generators as g
+from repro.knapsack.instance import KnapsackInstance
+from repro.knapsack.solvers import (
+    greedy_order,
+    half_approximation,
+    prefix_greedy,
+    skipping_greedy,
+    solve_exact,
+)
+
+
+def inst_of(pairs, capacity, **kwargs):
+    p, w = zip(*pairs)
+    kwargs.setdefault("normalize", False)
+    return KnapsackInstance(p, w, capacity, **kwargs)
+
+
+class TestGreedyOrder:
+    def test_sorted_by_efficiency(self):
+        inst = inst_of([(1, 1), (4, 2), (3, 1)], 10)
+        order = greedy_order(inst)
+        assert list(order) == [2, 1, 0]  # efficiencies 3, 2, 1
+
+    def test_ties_broken_by_index(self):
+        inst = inst_of([(2, 1), (4, 2), (6, 3)], 10)
+        assert list(greedy_order(inst)) == [0, 1, 2]
+
+    def test_zero_weight_first(self):
+        inst = inst_of([(1, 1), (0.5, 0)], 10)
+        assert list(greedy_order(inst)) == [1, 0]
+
+
+class TestPrefixGreedy:
+    def test_stops_at_first_misfit(self):
+        # Order by efficiency: item1 (e=3), item0 (e=2), item2 (e=5/3).
+        inst = inst_of([(2, 1), (6, 2), (5, 3)], 3)
+        res = prefix_greedy(inst)
+        assert res.indices == {0, 1}
+        assert res.meta["first_rejected"] == 2
+        assert res.meta["cutoff_efficiency"] == pytest.approx(5 / 3)
+
+    def test_everything_fits(self):
+        inst = inst_of([(1, 1), (1, 1)], 5)
+        res = prefix_greedy(inst)
+        assert res.indices == {0, 1}
+        assert res.meta["first_rejected"] is None
+        assert res.meta["cutoff_efficiency"] is None
+
+    def test_prefix_stops_even_if_later_item_fits(self):
+        # Efficiency order (index tie-break): 0 (e=2, w=2), 1 (e=2, w=3
+        # does not fit), 2 (e=1, w=1 would fit but prefix has stopped).
+        inst = inst_of([(4, 2), (6, 3), (1, 1)], 3)
+        res = prefix_greedy(inst)
+        assert res.indices == {0}
+        skip = skipping_greedy(inst)
+        assert skip.indices == {0, 2}
+        assert skip.value >= res.value
+
+
+class TestHalfApproximation:
+    def test_half_guarantee_random(self):
+        for seed in range(8):
+            inst = g.uniform(24, seed=seed)
+            opt = solve_exact(inst)
+            half = half_approximation(inst)
+            assert half.value >= 0.5 * opt.value - 1e-12
+
+    def test_singleton_branch(self):
+        inst = g.greedy_adversarial(100, seed=0)
+        res = half_approximation(inst)
+        assert res.meta["branch"] == "singleton"
+        assert len(res.indices) == 1
+
+    def test_prefix_branch_when_everything_fits(self):
+        inst = inst_of([(1, 1), (1, 1)], 5)
+        res = half_approximation(inst)
+        assert res.meta["branch"] == "prefix"
+        assert res.indices == {0, 1}
+
+    def test_feasible_always(self):
+        for seed in range(5):
+            inst = g.weakly_correlated(60, seed=seed)
+            res = half_approximation(inst)
+            assert res.weight <= inst.capacity + 1e-9
+
+    def test_singleton_fits_by_model_invariant(self):
+        # The first rejected item has weight <= K (Definition 2.2), so the
+        # singleton branch is always feasible.
+        inst = inst_of([(0.1, 0.4), (0.9, 1.0)], 1.0)
+        res = half_approximation(inst)
+        assert res.weight <= inst.capacity + 1e-12

@@ -1,0 +1,56 @@
+"""Tests for the solution verification utilities."""
+
+import pytest
+
+from repro.errors import InfeasibleSolutionError
+from repro.knapsack.instance import KnapsackInstance
+from repro.knapsack.verify import (
+    approximation_ratio,
+    audit_solution,
+    check_feasible,
+    check_maximal,
+    satisfies_alpha_beta,
+)
+
+
+@pytest.fixture()
+def inst():
+    return KnapsackInstance([4, 3, 2, 1], [0.4, 0.3, 0.2, 0.1], 0.6, normalize=False)
+
+
+class TestCheckers:
+    def test_feasible(self, inst):
+        assert check_feasible(inst, [0, 3])
+        assert not check_feasible(inst, [0, 1])
+
+    def test_feasible_strict_raises(self, inst):
+        with pytest.raises(InfeasibleSolutionError):
+            check_feasible(inst, [0, 1], strict=True)
+
+    def test_maximal(self, inst):
+        assert check_maximal(inst, [1, 2, 3])  # weight 0.6, nothing fits
+        assert not check_maximal(inst, [3])  # lots of room left
+
+    def test_ratio(self, inst):
+        assert approximation_ratio(inst, [0, 3], optimal_value=10.0) == pytest.approx(0.5)
+        assert approximation_ratio(inst, [], optimal_value=0.0) == 1.0
+
+    def test_alpha_beta(self, inst):
+        # value([0, 3]) = 5; with OPT=8: 5 >= 0.5*8 + beta slack.
+        assert satisfies_alpha_beta(inst, [0, 3], 8.0, alpha=0.5, beta=0.0)
+        assert not satisfies_alpha_beta(inst, [3], 8.0, alpha=0.5, beta=0.0)
+        assert satisfies_alpha_beta(inst, [3], 8.0, alpha=0.5, beta=3.0)
+
+
+class TestAudit:
+    def test_full_report(self, inst):
+        report = audit_solution(inst, [1, 2, 3], optimal_value=6.0)
+        assert report.value == pytest.approx(6.0)
+        assert report.feasible and report.maximal
+        assert report.ratio == pytest.approx(1.0)
+        assert report.satisfies(0.5, 0.0)
+
+    def test_infeasible_report(self, inst):
+        report = audit_solution(inst, [0, 1], optimal_value=6.0)
+        assert not report.feasible
+        assert not report.maximal

@@ -1,0 +1,43 @@
+"""Tests for the LCA protocol and the LCA-KP adapter."""
+
+from repro.access.oracle import QueryOracle
+from repro.access.weighted_sampler import WeightedSampler
+from repro.core.lca_kp import LCAKP
+from repro.lca.base import LCAKPAdapter, LocalComputationAlgorithm
+from repro.lca.full_read import FullReadLCA
+from repro.lca.trivial import AlwaysNoLCA
+
+
+class TestProtocol:
+    def test_implementations_satisfy_protocol(self, tiers_instance, fast_params):
+        sampler = WeightedSampler(tiers_instance)
+        oracle = QueryOracle(tiers_instance)
+        lca = LCAKP(sampler, oracle, fast_params.epsilon, 1, params=fast_params)
+        adapter = LCAKPAdapter(lca, sampler, oracle)
+        assert isinstance(adapter, LocalComputationAlgorithm)
+        assert isinstance(AlwaysNoLCA(), LocalComputationAlgorithm)
+        assert isinstance(
+            FullReadLCA(QueryOracle(tiers_instance)), LocalComputationAlgorithm
+        )
+
+
+class TestAdapter:
+    def test_boolean_answers(self, tiers_instance, fast_params):
+        sampler = WeightedSampler(tiers_instance)
+        oracle = QueryOracle(tiers_instance)
+        lca = LCAKP(sampler, oracle, fast_params.epsilon, 1, params=fast_params)
+        adapter = LCAKPAdapter(lca, sampler, oracle)
+        out = adapter.answer(0)
+        assert isinstance(out, bool)
+
+    def test_cost_counter_aggregates(self, tiers_instance, fast_params):
+        sampler = WeightedSampler(tiers_instance)
+        oracle = QueryOracle(tiers_instance)
+        lca = LCAKP(sampler, oracle, fast_params.epsilon, 1, params=fast_params)
+        adapter = LCAKPAdapter(lca, sampler, oracle)
+        adapter.answer(0)
+        # Samples plus exactly one point query.
+        assert adapter.cost_counter == sampler.samples_used + 1
+        before = adapter.cost_counter
+        adapter.answer(1)
+        assert adapter.cost_counter > before

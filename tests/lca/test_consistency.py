@@ -1,0 +1,78 @@
+"""Tests for the consistency audit machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConsistencyViolation
+from repro.knapsack import generators as g
+from repro.lca.consistency import (
+    assemble_solution,
+    audit_consistency,
+    audit_order_obliviousness,
+)
+
+
+class TestAuditConsistency:
+    def test_perfectly_consistent_runs(self):
+        probes = [0, 1, 2, 3]
+        report = audit_consistency(
+            lambda r: [True, False, True, False], probes, runs=4
+        )
+        assert report.unanimity == 1.0
+        assert report.pairwise_agreement == 1.0
+        assert not report.disagreeing_items
+        report.require_unanimous()  # no raise
+
+    def test_detects_disagreement(self):
+        def flaky(run):
+            return [True, run % 2 == 0]
+
+        report = audit_consistency(flaky, [10, 20], runs=4)
+        assert report.unanimity == 0.5
+        assert report.disagreeing_items == (20,)
+        with pytest.raises(ConsistencyViolation):
+            report.require_unanimous()
+
+    def test_pairwise_vs_unanimity(self):
+        # One run out of four deviating on one item: unanimity drops to
+        # 0.5 but pairwise agreement stays higher.
+        def mostly(run):
+            return [True, run == 3]
+
+        report = audit_consistency(mostly, [1, 2], runs=4)
+        assert report.unanimity == 0.5
+        assert report.pairwise_agreement > 0.5
+
+    def test_needs_two_runs(self):
+        with pytest.raises(ValueError):
+            audit_consistency(lambda r: [True], [0], runs=1)
+
+    def test_wrong_answer_count(self):
+        with pytest.raises(ValueError):
+            audit_consistency(lambda r: [True], [0, 1], runs=2)
+
+
+class TestOrderObliviousness:
+    def test_oblivious_function(self):
+        table = {i: i % 3 == 0 for i in range(20)}
+        ok = audit_order_obliviousness(
+            lambda idx: [table[i] for i in idx], list(range(20))
+        )
+        assert ok
+
+    def test_order_sensitive_function_caught(self):
+        def cheater(indices):
+            # Answers "yes" only to the first query it sees.
+            return [pos == 0 for pos, _ in enumerate(indices)]
+
+        assert not audit_order_obliviousness(cheater, [3, 4, 5])
+
+
+class TestAssembleSolution:
+    def test_assembles_full_set(self):
+        inst = g.uniform(30, seed=0)
+        target = {i for i in range(inst.n) if i % 4 == 0}
+        solution = assemble_solution(
+            lambda idx: [i in target for i in idx], inst
+        )
+        assert solution == frozenset(target)

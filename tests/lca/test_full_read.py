@@ -1,0 +1,44 @@
+"""Tests for the linear-cost full-read baseline."""
+
+import pytest
+
+from repro.access.oracle import QueryOracle
+from repro.errors import SolverError
+from repro.knapsack import generators as g
+from repro.knapsack.solvers import half_approximation, solve_exact
+from repro.lca.full_read import FullReadLCA
+
+
+class TestFullRead:
+    def test_linear_cost_per_query(self):
+        inst = g.uniform(80, seed=0)
+        oracle = QueryOracle(inst)
+        lca = FullReadLCA(oracle)
+        lca.answer(0)
+        assert lca.cost_counter == 80
+        lca.answer(1)
+        assert lca.cost_counter == 160
+
+    def test_half_mode_matches_direct_solver(self):
+        inst = g.uniform(50, seed=1)
+        expected = half_approximation(inst).indices
+        lca = FullReadLCA(QueryOracle(inst), mode="half")
+        for i in range(inst.n):
+            assert lca.answer(i) == (i in expected)
+
+    def test_exact_mode_matches_direct_solver(self):
+        inst = g.uniform(16, seed=2)
+        expected = solve_exact(inst).indices
+        lca = FullReadLCA(QueryOracle(inst), mode="exact")
+        got = {i for i in range(inst.n) if lca.answer(i)}
+        assert inst.profit_of(got) == pytest.approx(inst.profit_of(expected))
+
+    def test_trivially_consistent(self):
+        inst = g.weakly_correlated(40, seed=3)
+        lca = FullReadLCA(QueryOracle(inst))
+        assert lca.answer(7) == lca.answer(7)
+
+    def test_bad_mode(self):
+        inst = g.uniform(10, seed=0)
+        with pytest.raises(SolverError):
+            FullReadLCA(QueryOracle(inst), mode="magic")

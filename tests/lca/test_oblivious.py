@@ -1,0 +1,77 @@
+"""Tests for the oblivious-threshold baseline: both failure modes."""
+
+import pytest
+
+from repro.access.oracle import QueryOracle
+from repro.errors import ReproError
+from repro.knapsack import generators as g
+from repro.knapsack.instance import KnapsackInstance
+from repro.lca.oblivious import ObliviousThresholdLCA
+
+
+class TestMechanics:
+    def test_one_query_per_answer(self):
+        inst = g.uniform(40, seed=1)
+        oracle = QueryOracle(inst)
+        lca = ObliviousThresholdLCA(oracle, tau=1.0)
+        lca.answer(0)
+        lca.answer(1)
+        assert lca.cost_counter == 2
+
+    def test_trivially_consistent(self):
+        inst = g.uniform(40, seed=1)
+        lca = ObliviousThresholdLCA(QueryOracle(inst), tau=1.0)
+        assert lca.answer(5) == lca.answer(5)
+
+    def test_negative_tau_rejected(self):
+        inst = g.uniform(5, seed=0)
+        with pytest.raises(ReproError):
+            ObliviousThresholdLCA(QueryOracle(inst), tau=-1.0)
+
+
+class TestFailureModes:
+    def test_low_tau_is_infeasible(self):
+        """Failure mode 1: a permissive cutoff overfills the knapsack."""
+        inst = g.uniform(200, seed=2)  # K = 35% of total weight
+        lca = ObliviousThresholdLCA(QueryOracle(inst), tau=0.0)
+        solution = lca.implied_solution()
+        assert not inst.is_feasible(solution)
+
+    def test_high_tau_is_worthless(self):
+        """Failure mode 2: a strict cutoff leaves all the value behind."""
+        inst = g.uniform(200, seed=2)
+        lca = ObliviousThresholdLCA(QueryOracle(inst), tau=1e9)
+        solution = lca.implied_solution()
+        assert inst.profit_of(solution) == 0.0
+
+    def test_no_single_tau_works_across_instances(self):
+        """The right cutoff is instance-global: any fixed tau that is
+        feasible on one instance is far from optimal on another."""
+        # Instance A: all efficiencies ~2; K admits half the weight.
+        a = KnapsackInstance([2, 2, 2, 2], [1, 1, 1, 1], 2.0, normalize=False)
+        # Instance B: all efficiencies ~0.5; K admits everything.
+        b = KnapsackInstance([0.5, 0.5], [1, 1], 2.0, normalize=False)
+        for tau in (0.1, 1.0, 3.0):
+            lca_a = ObliviousThresholdLCA(QueryOracle(a), tau)
+            lca_b = ObliviousThresholdLCA(QueryOracle(b), tau)
+            sol_a = lca_a.implied_solution()
+            sol_b = lca_b.implied_solution()
+            feasible_a = a.is_feasible(sol_a)
+            value_b = b.profit_of(sol_b)
+            # tau <= 2 overfills A; tau > 2 zeroes B (whose OPT is 1.0).
+            assert (not feasible_a) or value_b == 0.0
+
+    def test_lca_kp_threshold_by_contrast_adapts(self, fast_params):
+        """LCA-KP's sampled cutoff lands where the instance needs it."""
+        from repro.access.weighted_sampler import WeightedSampler
+        from repro.core.lca_kp import LCAKP
+        from repro.core.mapping_greedy import mapping_greedy
+
+        inst = g.efficiency_tiers(600, seed=4, tiers=6)
+        lca = LCAKP(
+            WeightedSampler(inst), QueryOracle(inst), fast_params.epsilon, 1,
+            params=fast_params,
+        )
+        solution = mapping_greedy(inst, lca.run_pipeline(nonce=1).rule)
+        assert inst.is_feasible(solution)
+        assert inst.profit_of(solution) > 0.2

@@ -1,0 +1,69 @@
+"""Tests for the LCA fleet harness."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lca.runner import LCAFleet
+
+
+@pytest.fixture()
+def fleet(tiers_instance, fast_params):
+    return LCAFleet(
+        instance=tiers_instance,
+        epsilon=fast_params.epsilon,
+        seed=42,
+        copies=3,
+        params=fast_params,
+    )
+
+
+class TestRouting:
+    def test_round_robin_default(self, fleet):
+        a = fleet.ask(0, nonce=1)
+        b = fleet.ask(1, nonce=2)
+        c = fleet.ask(2, nonce=3)
+        d = fleet.ask(3, nonce=4)
+        assert [x.copy_id for x in (a, b, c, d)] == [0, 1, 2, 0]
+
+    def test_explicit_copy(self, fleet):
+        ans = fleet.ask(0, copy_id=2, nonce=1)
+        assert ans.copy_id == 2
+
+    def test_bad_copy_id(self, fleet):
+        with pytest.raises(ReproError):
+            fleet.ask(0, copy_id=9)
+
+    def test_bad_copies(self, tiers_instance, fast_params):
+        with pytest.raises(ReproError):
+            LCAFleet(tiers_instance, fast_params.epsilon, copies=0, params=fast_params)
+
+
+class TestAccounting:
+    def test_samples_tracked_per_copy(self, fleet):
+        fleet.ask(0, copy_id=0, nonce=1)
+        fleet.ask(1, copy_id=0, nonce=2)
+        fleet.ask(2, copy_id=1, nonce=3)
+        loads = fleet.per_copy_samples()
+        assert loads[0] > loads[1] > 0
+        assert loads[2] == 0
+        assert fleet.total_samples() == sum(loads)
+
+    def test_answer_records_cost(self, fleet):
+        ans = fleet.ask(0, nonce=1)
+        assert ans.samples_spent > 0
+
+
+class TestConsistencyView:
+    def test_all_copies_same_item(self, fleet):
+        answers = fleet.ask_all_copies(5, base_nonce=100)
+        assert len(answers) == 3
+        assert len({a.copy_id for a in answers}) == 3
+        # On the atomic tiers family, copies agree.
+        assert len({a.include for a in answers}) == 1
+
+    def test_contested_and_implied(self, fleet):
+        fleet.ask_all_copies(5, base_nonce=100)
+        fleet.ask_all_copies(6, base_nonce=200)
+        implied = fleet.implied_solution()
+        assert set(implied) == {5, 6}
+        assert fleet.contested_queries() == {}

@@ -1,0 +1,41 @@
+"""Tests for the trivial LCA baselines."""
+
+from repro.access.oracle import QueryOracle
+from repro.knapsack import generators as g
+from repro.knapsack.instance import KnapsackInstance
+from repro.lca.trivial import AlwaysNoLCA, AlwaysYesIfFreeLCA
+
+
+class TestAlwaysNo:
+    def test_consistent_with_empty_solution(self):
+        lca = AlwaysNoLCA()
+        answers = [lca.answer(i) for i in range(100)]
+        assert not any(answers)
+
+    def test_zero_cost(self):
+        lca = AlwaysNoLCA()
+        lca.answer(5)
+        assert lca.cost_counter == 0
+
+
+class TestAlwaysYesIfFree:
+    def test_includes_exactly_free_items(self):
+        inst = KnapsackInstance([1, 1, 1], [0.0, 0.5, 0.0], 1.0, normalize=False)
+        lca = AlwaysYesIfFreeLCA(QueryOracle(inst))
+        assert lca.answer(0) is True
+        assert lca.answer(1) is False
+        assert lca.answer(2) is True
+
+    def test_one_query_per_answer(self):
+        inst = g.zero_weight_padding(50, seed=1)
+        oracle = QueryOracle(inst)
+        lca = AlwaysYesIfFreeLCA(oracle)
+        for i in range(10):
+            lca.answer(i)
+        assert lca.cost_counter == 10
+
+    def test_solution_always_feasible(self):
+        inst = g.zero_weight_padding(100, seed=2)
+        lca = AlwaysYesIfFreeLCA(QueryOracle(inst))
+        chosen = [i for i in range(inst.n) if lca.answer(i)]
+        assert inst.is_feasible(chosen)

@@ -1,0 +1,68 @@
+"""Tests for the Theorem 3.3 (alpha-approximation) reduction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.lowerbounds.approx_reduction import (
+    ApproxReduction,
+    verify_reduction_semantics,
+)
+from repro.lowerbounds.or_reduction import BitOracle
+
+
+class TestConstruction:
+    def test_beta_defaults_below_alpha(self):
+        red = ApproxReduction(0.4)
+        assert 0 < red.beta < 0.4
+
+    def test_custom_beta(self):
+        red = ApproxReduction(0.4, beta=0.1)
+        assert red.beta == 0.1
+
+    def test_invalid_params(self):
+        with pytest.raises(ReproError):
+            ApproxReduction(0.0)
+        with pytest.raises(ReproError):
+            ApproxReduction(0.5, beta=0.5)  # beta must be < alpha
+        with pytest.raises(ReproError):
+            ApproxReduction(0.5, beta=0.0)
+
+    def test_reduction_plants_beta(self):
+        red = ApproxReduction(0.5, beta=0.2)
+        sim = red.reduction(BitOracle([0, 0]))
+        assert sim.as_instance().profit(sim.special_index) == 0.2
+
+
+class TestSemantics:
+    """The proof's equivalence: {s_n} alpha-approx <=> OR(x) = 0."""
+
+    @pytest.mark.parametrize("alpha", [1.0, 0.5, 0.1, 0.01])
+    def test_equivalence_both_directions(self, alpha):
+        red = ApproxReduction(alpha)
+        assert red.special_is_alpha_approx([0, 0, 0, 0])
+        assert not red.special_is_alpha_approx([0, 1, 0, 0])
+
+    @pytest.mark.parametrize("alpha", [1.0, 0.3, 0.05])
+    def test_randomized_verification(self, alpha):
+        rng = np.random.default_rng(0)
+        assert verify_reduction_semantics(alpha, 64, rng, trials=60)
+
+    def test_explicit_instance_consistent(self):
+        red = ApproxReduction(0.5, beta=0.2)
+        x = [0, 1, 0]
+        inst = red.explicit_instance(x)
+        assert inst.n == 4
+        assert inst.profit(3) == 0.2
+        # Every feasible solution is a singleton.
+        assert not inst.is_feasible([0, 1])
+        assert inst.is_feasible([3])
+
+    def test_optimum_matches_or(self):
+        from repro.knapsack.solvers import solve_exact
+
+        red = ApproxReduction(0.5, beta=0.2)
+        opt_zero = solve_exact(red.explicit_instance([0, 0, 0])).value
+        opt_one = solve_exact(red.explicit_instance([0, 1, 0])).value
+        assert opt_zero == pytest.approx(0.2)
+        assert opt_one == pytest.approx(1.0)

@@ -1,0 +1,76 @@
+"""Tests for the exact/exhaustive lower-bound verification."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lowerbounds.decision_tree import (
+    best_strategy_value,
+    enumerate_all_strategies_or,
+    optimal_or_success_exact,
+)
+from repro.lowerbounds.or_reduction import optimal_success_probability
+
+
+class TestBayesDP:
+    @pytest.mark.parametrize("m", [1, 2, 5, 17, 100])
+    @pytest.mark.parametrize("q", [0, 1, 3, 50, 1000])
+    def test_dp_derives_the_closed_form(self, m, q):
+        """The DP *derives* 1/2 + q/2m symbolically (exact fractions)."""
+        assert optimal_or_success_exact(m, q) == best_strategy_value(m, q)
+
+    def test_matches_float_closed_form(self):
+        for m, q in ((10, 3), (64, 21), (999, 333)):
+            assert float(optimal_or_success_exact(m, q)) == pytest.approx(
+                optimal_success_probability(m, q)
+            )
+
+    def test_budget_beyond_m_saturates(self):
+        assert optimal_or_success_exact(5, 5) == Fraction(1)
+        assert optimal_or_success_exact(5, 99) == Fraction(1)
+
+    def test_zero_budget_is_half(self):
+        # Guessing OR = 0 is optimal and correct w.p. exactly 1/2.
+        assert optimal_or_success_exact(7, 0) == Fraction(1, 2)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            optimal_or_success_exact(0, 1)
+        with pytest.raises(ReproError):
+            optimal_or_success_exact(3, -1)
+
+
+class TestExhaustiveEnumeration:
+    """Yao's principle, executable: NO decision tree beats the bound."""
+
+    @pytest.mark.parametrize("m,q", [(2, 1), (3, 1), (4, 2), (5, 2), (4, 3)])
+    def test_no_tree_beats_the_closed_form(self, m, q):
+        best, count = enumerate_all_strategies_or(m, q)
+        assert count > 1
+        assert best == best_strategy_value(m, q), (
+            f"enumeration found {best} over {count} strategies, "
+            f"closed form says {best_strategy_value(m, q)}"
+        )
+
+    def test_enumeration_includes_trivial_strategies(self):
+        # q = 0: the only strategies are the two constant guesses.
+        best, count = enumerate_all_strategies_or(3, 0)
+        assert count == 2
+        assert best == Fraction(1, 2)
+
+    def test_limits_enforced(self):
+        with pytest.raises(ReproError):
+            enumerate_all_strategies_or(20, 1)
+        with pytest.raises(ReproError):
+            enumerate_all_strategies_or(4, 5)
+
+
+class TestClosedForm:
+    def test_clamping(self):
+        assert best_strategy_value(5, -3) == Fraction(1, 2)
+        assert best_strategy_value(5, 50) == Fraction(1)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            best_strategy_value(0, 1)

@@ -1,0 +1,148 @@
+"""Tests for the Theorem 3.4 hard distribution and evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.lowerbounds.maximal_hard import (
+    HardMaximalInstance,
+    budget_for_error,
+    draw_hard_instance,
+    grade_answer_pair,
+    probing_error_probability,
+    probing_strategy_answers,
+)
+
+
+class TestDistribution:
+    def test_draw_structure(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            inst = draw_hard_instance(30, rng)
+            assert inst.i != inst.j
+            assert inst.weight(inst.i) == 0.75
+            assert inst.weight(inst.j) in (0.25, 0.75)
+            others = [k for k in range(30) if k not in (inst.i, inst.j)]
+            assert all(inst.weight(k) == 0.0 for k in others)
+
+    def test_materialized_instance(self):
+        inst = HardMaximalInstance(n=10, i=2, j=7, w_j=0.25)
+        kp = inst.instance()
+        assert kp.capacity == 1.0
+        assert kp.weight(2) == 0.75 and kp.weight(7) == 0.25
+        assert kp.total_profit == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            HardMaximalInstance(n=10, i=3, j=3, w_j=0.25)
+        with pytest.raises(ReproError):
+            HardMaximalInstance(n=10, i=1, j=2, w_j=0.5)
+        with pytest.raises(ReproError):
+            draw_hard_instance(1, np.random.default_rng(0))
+
+
+class TestMaximalSolutions:
+    def test_light_world_unique_solution(self):
+        inst = HardMaximalInstance(n=6, i=0, j=1, w_j=0.25)
+        sols = inst.maximal_solutions()
+        assert sols == [frozenset(range(6))]
+        assert inst.instance().is_maximal(sols[0])
+
+    def test_heavy_world_two_solutions(self):
+        inst = HardMaximalInstance(n=6, i=0, j=1, w_j=0.75)
+        sols = inst.maximal_solutions()
+        assert len(sols) == 2
+        kp = inst.instance()
+        for sol in sols:
+            assert kp.is_maximal(sol)
+        # Taking both heavy items is infeasible.
+        assert not kp.is_feasible(range(6))
+
+
+class TestGrading:
+    def test_light_world_requires_yes_yes(self):
+        inst = HardMaximalInstance(n=6, i=0, j=1, w_j=0.25)
+        assert grade_answer_pair(inst, True, True)
+        assert not grade_answer_pair(inst, True, False)
+        assert not grade_answer_pair(inst, False, False)
+
+    def test_heavy_world_requires_exactly_one(self):
+        inst = HardMaximalInstance(n=6, i=0, j=1, w_j=0.75)
+        assert grade_answer_pair(inst, True, False)
+        assert grade_answer_pair(inst, False, True)
+        assert not grade_answer_pair(inst, True, True)  # infeasible
+        assert not grade_answer_pair(inst, False, False)  # not maximal
+
+
+class TestStrategy:
+    def test_full_budget_always_correct(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            inst = draw_hard_instance(20, rng)
+            a_i, a_j = probing_strategy_answers(inst, budget=19, rng=rng)
+            assert grade_answer_pair(inst, a_i, a_j)
+
+    def test_zero_budget_errs_half_the_time(self):
+        rng = np.random.default_rng(2)
+        errors = 0
+        trials = 2000
+        for _ in range(trials):
+            inst = draw_hard_instance(20, rng)
+            a_i, a_j = probing_strategy_answers(inst, budget=0, rng=rng)
+            errors += not grade_answer_pair(inst, a_i, a_j)
+        assert errors / trials == pytest.approx(0.5, abs=0.04)
+
+    def test_light_item_always_included(self):
+        inst = HardMaximalInstance(n=8, i=0, j=1, w_j=0.25)
+        rng = np.random.default_rng(3)
+        _, a_j = probing_strategy_answers(inst, budget=0, rng=rng)
+        assert a_j is True  # w_j = 1/4 < 3/4: always safe to include
+
+    def test_unknown_tie_rule(self):
+        inst = HardMaximalInstance(n=8, i=0, j=1, w_j=0.75)
+        with pytest.raises(ReproError):
+            probing_strategy_answers(inst, 1, np.random.default_rng(0), tie_rule="x")
+
+
+class TestClosedForm:
+    def test_error_curve_shape(self):
+        assert probing_error_probability(100, 0) == pytest.approx(0.5)
+        assert probing_error_probability(100, 99) == pytest.approx(0.0)
+        # Monotone decreasing in the budget.
+        errs = [probing_error_probability(100, q) for q in range(0, 100, 10)]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_theorem_regime(self):
+        # With budget n/11 the error is far above 1/5 — the theorem's point.
+        n = 1100
+        assert probing_error_probability(n, n // 11) > 0.2
+
+    def test_budget_for_error_inverts(self):
+        n = 500
+        q = budget_for_error(n, 0.2)
+        assert probing_error_probability(n, q) <= 0.2 + 1e-9
+        assert probing_error_probability(n, q - 2) > 0.2
+
+    def test_linear_scaling(self):
+        assert budget_for_error(2000, 0.2) == pytest.approx(
+            2 * budget_for_error(1000, 0.2), rel=0.01
+        )
+
+    def test_simulation_matches_closed_form(self):
+        rng = np.random.default_rng(4)
+        n, trials = 40, 3000
+        for q in (0, 10, 30):
+            errors = 0
+            for _ in range(trials):
+                inst = draw_hard_instance(n, rng)
+                a_i, a_j = probing_strategy_answers(inst, q, rng)
+                errors += not grade_answer_pair(inst, a_i, a_j)
+            assert errors / trials == pytest.approx(
+                probing_error_probability(n, q), abs=0.04
+            )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            probing_error_probability(1, 0)
+        with pytest.raises(ReproError):
+            budget_for_error(100, 0.9)

@@ -1,0 +1,126 @@
+"""Tests for the Theorem 3.2 reduction and its query-complexity curve."""
+
+import numpy as np
+import pytest
+
+from repro.access.oracle import QueryOracle
+from repro.errors import QueryBudgetExceededError, ReproError
+from repro.lowerbounds.or_reduction import (
+    BitOracle,
+    ORReduction,
+    hard_or_input,
+    optimal_success_probability,
+    queries_needed_for_success,
+    simulate_optimal_strategy,
+)
+
+
+class TestBitOracle:
+    def test_counts_and_reveals(self):
+        oracle = BitOracle([0, 1, 0])
+        assert oracle.query(1) == 1
+        assert oracle.query(0) == 0
+        assert oracle.queries_used == 2
+        assert oracle.true_or() == 1
+
+    def test_budget(self):
+        oracle = BitOracle([0, 0], budget=1)
+        oracle.query(0)
+        with pytest.raises(QueryBudgetExceededError):
+            oracle.query(1)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            BitOracle([])
+        with pytest.raises(ReproError):
+            BitOracle([0, 2])
+        with pytest.raises(ReproError):
+            BitOracle([0, 1]).query(5)
+
+
+class TestReductionStructure:
+    def test_instance_shape(self):
+        red = ORReduction(BitOracle([1, 0, 0, 0]))
+        inst = red.as_instance()
+        assert red.n == 5
+        assert inst.capacity == 1.0
+        assert all(inst.weight(i) == 1.0 for i in range(5))
+
+    def test_item_queries_cost_bit_queries(self):
+        bits = BitOracle([1, 0, 0])
+        red = ORReduction(bits)
+        inst = red.as_instance()
+        # The special item is free.
+        assert inst.profit(red.special_index) == 0.5
+        assert bits.queries_used == 0
+        # Ordinary items cost exactly one bit query each.
+        assert inst.profit(0) == 1.0
+        assert bits.queries_used == 1
+        inst.profit(1)
+        assert bits.queries_used == 2
+        # Weights never cost anything (they are all 1 by construction).
+        inst.weight(0)
+        assert bits.queries_used == 2
+
+    def test_semantic_equivalence(self):
+        # s_n in the (unique) optimum  <=>  OR(x) = 0.
+        assert ORReduction(BitOracle([0, 0, 0])).special_in_unique_optimum()
+        assert not ORReduction(BitOracle([0, 1, 0])).special_in_unique_optimum()
+
+    def test_oracle_budget_plumbs_through(self):
+        red = ORReduction(BitOracle([0] * 10))
+        oracle = red.oracle(budget=2)
+        assert isinstance(oracle, QueryOracle)
+        oracle.query(0)
+        oracle.query(1)
+        with pytest.raises(QueryBudgetExceededError):
+            oracle.query(2)
+
+    def test_special_profit_validation(self):
+        with pytest.raises(ReproError):
+            ORReduction(BitOracle([0]), special_profit=1.0)
+
+
+class TestHardDistribution:
+    def test_support(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x = hard_or_input(20, rng)
+            assert x.sum() in (0, 1)
+
+    def test_balanced(self):
+        rng = np.random.default_rng(1)
+        ones = sum(hard_or_input(20, rng).any() for _ in range(2000))
+        assert 850 <= ones <= 1150  # ~half the draws have OR = 1
+
+
+class TestOptimalCurve:
+    def test_closed_form_endpoints(self):
+        assert optimal_success_probability(100, 0) == pytest.approx(0.5)
+        assert optimal_success_probability(100, 100) == pytest.approx(1.0)
+        assert optimal_success_probability(100, 200) == pytest.approx(1.0)
+
+    def test_two_thirds_needs_linear_budget(self):
+        # The Theorem 3.2 threshold: q >= m/3 for success 2/3.
+        for m in (30, 300, 3000):
+            q = queries_needed_for_success(m, 2 / 3)
+            assert q == pytest.approx(m / 3, abs=1)
+            assert optimal_success_probability(m, q) >= 2 / 3
+
+    def test_threshold_scales_linearly(self):
+        q1 = queries_needed_for_success(1000)
+        q2 = queries_needed_for_success(2000)
+        assert q2 == pytest.approx(2 * q1, abs=2)
+
+    def test_simulation_matches_theory(self):
+        rng = np.random.default_rng(2)
+        m = 120
+        for q in (0, 40, 80):
+            emp = simulate_optimal_strategy(m, q, rng, trials=3000)
+            assert emp == pytest.approx(optimal_success_probability(m, q), abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            optimal_success_probability(0, 1)
+        with pytest.raises(ReproError):
+            queries_needed_for_success(10, 0.4)

@@ -1,0 +1,78 @@
+"""Tests for the generic query-complexity experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.lowerbounds.query_complexity import (
+    StrategyEvaluation,
+    evaluate_or_strategy,
+    sweep_maximal_budgets,
+    sweep_or_budgets,
+)
+
+
+class TestStrategyEvaluation:
+    def test_rates_and_ci(self):
+        ev = StrategyEvaluation(budget=5, trials=100, successes=70, theoretical=0.72)
+        assert ev.success_rate == pytest.approx(0.7)
+        lo, hi = ev.confidence_interval()
+        assert lo < 0.7 < hi
+        assert ev.consistent_with_theory()
+
+    def test_theory_mismatch_detected(self):
+        ev = StrategyEvaluation(budget=5, trials=1000, successes=700, theoretical=0.99)
+        assert not ev.consistent_with_theory()
+
+    def test_no_theory_is_vacuously_consistent(self):
+        ev = StrategyEvaluation(budget=1, trials=10, successes=5)
+        assert ev.consistent_with_theory()
+
+
+class TestEvaluateORStrategy:
+    def test_budget_enforced_on_strategy(self):
+        def greedy_cheater(query, m, budget):
+            for i in range(m):  # ignores its budget
+                query(i)
+            return 0
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ExperimentError):
+            evaluate_or_strategy(greedy_cheater, m=20, budget=3, rng=rng, trials=5)
+
+    def test_blind_guesser_gets_half(self):
+        rng = np.random.default_rng(1)
+        ev = evaluate_or_strategy(lambda q, m, b: 0, m=50, budget=0, rng=rng, trials=2000)
+        assert ev.success_rate == pytest.approx(0.5, abs=0.04)
+
+    def test_no_strategy_beats_theory(self):
+        """Consistency check: a (suboptimal) strategy stays below the curve."""
+        rng = np.random.default_rng(2)
+
+        def probe_prefix(query, m, budget):
+            return int(any(query(i) for i in range(budget)))
+
+        m, budget = 80, 20
+        ev = evaluate_or_strategy(probe_prefix, m, budget, rng, trials=3000)
+        lo, _hi = ev.confidence_interval(0.999)
+        assert lo <= ev.theoretical + 0.02
+
+
+class TestSweeps:
+    def test_or_sweep_monotone(self):
+        rng = np.random.default_rng(3)
+        evs = sweep_or_budgets(60, [0, 20, 40, 60], rng, trials=1500)
+        rates = [e.success_rate for e in evs]
+        assert rates[0] < rates[-1]
+        assert all(e.consistent_with_theory(0.999) for e in evs)
+
+    def test_maximal_sweep_monotone(self):
+        rng = np.random.default_rng(4)
+        evs = sweep_maximal_budgets(40, [0, 10, 39], rng, trials=1500)
+        rates = [e.success_rate for e in evs]
+        assert rates == sorted(rates)
+        assert rates[-1] > 0.95
+
+    def test_trials_validation(self):
+        with pytest.raises(ExperimentError):
+            evaluate_or_strategy(lambda q, m, b: 0, 10, 1, np.random.default_rng(0), trials=0)

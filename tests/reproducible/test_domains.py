@@ -1,0 +1,77 @@
+"""Tests for the finite efficiency domain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.reproducible.domains import EfficiencyDomain
+
+
+class TestEncodeDecode:
+    def test_monotone_encoding(self):
+        dom = EfficiencyDomain(bits=12)
+        values = [1e-13, 0.001, 0.5, 1.0, 7.0, 1e11, 1e13]
+        codes = [dom.encode(v) for v in values]
+        assert codes == sorted(codes)
+
+    def test_extremes(self):
+        dom = EfficiencyDomain(bits=10)
+        assert dom.encode(0.0) == 0
+        assert dom.encode(math.inf) == dom.size - 1
+        assert dom.encode(dom.lo / 2) == 0
+        assert dom.encode(dom.hi * 2) == dom.size - 1
+
+    def test_decode_inverts_within_resolution(self):
+        dom = EfficiencyDomain(bits=16)
+        for v in (0.01, 1.0, 123.0):
+            decoded = dom.decode(dom.encode(v))
+            assert decoded == pytest.approx(v, rel=0.01)
+
+    def test_decode_bounds(self):
+        dom = EfficiencyDomain(bits=8)
+        with pytest.raises(DomainError):
+            dom.decode(-1)
+        with pytest.raises(DomainError):
+            dom.decode(dom.size)
+
+    def test_encode_many_matches_scalar(self):
+        dom = EfficiencyDomain(bits=12)
+        values = np.array([0.0, 1e-13, 0.3, 2.0, np.inf])
+        batch = dom.encode_many(values)
+        singles = [dom.encode(float(v)) for v in values]
+        assert list(batch) == singles
+
+    def test_nan_rejected(self):
+        dom = EfficiencyDomain(bits=8)
+        with pytest.raises(DomainError):
+            dom.encode(float("nan"))
+        with pytest.raises(DomainError):
+            dom.encode_many([1.0, float("nan")])
+
+
+class TestStructure:
+    def test_size_and_log_star(self):
+        dom = EfficiencyDomain(bits=16)
+        assert dom.size == 65536
+        assert dom.log_star == 4  # log*(2^16) = 1 + log*(16) = 4
+
+    def test_resolution_finer_with_more_bits(self):
+        coarse = EfficiencyDomain(bits=8)
+        fine = EfficiencyDomain(bits=16)
+        assert fine.resolution_at(1.0) < coarse.resolution_at(1.0)
+
+    def test_resolution_at_top(self):
+        dom = EfficiencyDomain(bits=8)
+        assert dom.resolution_at(dom.hi * 10) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(DomainError):
+            EfficiencyDomain(bits=0)
+        with pytest.raises(DomainError):
+            EfficiencyDomain(bits=63)
+        with pytest.raises(DomainError):
+            EfficiencyDomain(lo=2.0, hi=1.0)
+        with pytest.raises(DomainError):
+            EfficiencyDomain(lo=0.0, hi=1.0)

@@ -1,0 +1,96 @@
+"""Tests for the dyadic-descent engine (and engine cross-checks)."""
+
+import numpy as np
+import pytest
+
+from repro.access.seeds import SeedChain
+from repro.errors import ReproducibilityError
+from repro.reproducible.domains import EfficiencyDomain
+from repro.reproducible.dyadic import rquantile_dyadic
+from repro.reproducible.rmedian import rquantile_descent
+from repro.reproducible.rquantile import ReproducibleQuantileEstimator
+
+DOMAIN = 1 << 12
+
+
+def node(label):
+    return SeedChain(321).child(label)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("target", [0.2, 0.5, 0.8])
+    def test_quantile_accuracy(self, target):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, DOMAIN, size=40_000)
+        out = rquantile_dyadic(xs, DOMAIN, node(target), target=target, tau=0.05)
+        achieved = float(np.mean(xs <= out))
+        assert abs(achieved - target) < 0.08
+
+    def test_point_mass(self):
+        out = rquantile_dyadic([500] * 2000, DOMAIN, node("pm"), tau=0.05)
+        assert abs(out - 500) <= 2
+
+    def test_output_in_domain(self):
+        xs = np.random.default_rng(1).integers(0, DOMAIN, size=500)
+        assert 0 <= rquantile_dyadic(xs, DOMAIN, node("d")) < DOMAIN
+
+
+class TestReproducibility:
+    def test_atomic_agreement(self):
+        atoms = np.array([100, 900, 2500, 3800])
+        probs = np.array([0.2, 0.35, 0.3, 0.15])
+        seed = node("agree")
+        outs = {
+            rquantile_dyadic(
+                np.random.default_rng(50 + r).choice(atoms, p=probs, size=20_000),
+                DOMAIN,
+                seed,
+                tau=0.05,
+            )
+            for r in range(8)
+        }
+        assert len(outs) == 1
+
+    def test_deterministic_given_seed(self):
+        xs = np.random.default_rng(2).integers(0, DOMAIN, size=3000)
+        a = rquantile_dyadic(xs, DOMAIN, node("det"))
+        b = rquantile_dyadic(xs, DOMAIN, node("det"))
+        assert a == b
+
+
+class TestEngineCrossCheck:
+    """Two independent engines, one contract."""
+
+    @pytest.mark.parametrize("target", [0.3, 0.5, 0.7])
+    def test_engines_agree_in_mass(self, target):
+        rng = np.random.default_rng(3)
+        xs = rng.integers(500, 3500, size=40_000)
+        a = rquantile_descent(xs, DOMAIN, node(("g", target)), target=target, tau=0.05)
+        b = rquantile_dyadic(xs, DOMAIN, node(("d", target)), target=target, tau=0.05)
+        pos_a = float(np.mean(xs <= a))
+        pos_b = float(np.mean(xs <= b))
+        assert abs(pos_a - pos_b) < 0.1
+
+    def test_estimator_dyadic_method(self):
+        est = ReproducibleQuantileEstimator(
+            domain=EfficiencyDomain(bits=12), tau=0.05, rho=0.1, beta=0.05, method="dyadic"
+        )
+        vals = np.random.default_rng(4).uniform(0.1, 10.0, size=30_000)
+        out = est.quantile(vals, 0.5, node("est"))
+        assert abs(float(np.mean(vals <= out)) - 0.5) < 0.08
+
+
+class TestValidation:
+    def test_empty(self):
+        with pytest.raises(ReproducibilityError):
+            rquantile_dyadic([], DOMAIN, node("x"))
+
+    def test_out_of_domain(self):
+        with pytest.raises(ReproducibilityError):
+            rquantile_dyadic([DOMAIN + 1], DOMAIN, node("x"))
+
+    def test_bad_params(self):
+        with pytest.raises(ReproducibilityError):
+            rquantile_dyadic([1], DOMAIN, node("x"), target=2.0)
+        with pytest.raises(ReproducibilityError):
+            rquantile_dyadic([1], DOMAIN, node("x"), tau=0.0)

@@ -1,0 +1,102 @@
+"""Tests for reproducible heavy hitters."""
+
+import numpy as np
+import pytest
+
+from repro.access.seeds import SeedChain
+from repro.errors import ReproducibilityError
+from repro.reproducible.heavy_hitters import (
+    heavy_hitters_sample_complexity,
+    reproducible_heavy_hitters,
+)
+
+
+def draw(probs: dict, m: int, rng) -> list:
+    elements = list(probs)
+    weights = np.array([probs[e] for e in elements])
+    weights = weights / weights.sum()
+    idx = rng.choice(len(elements), p=weights, size=m)
+    return [elements[i] for i in idx]
+
+
+class TestCorrectness:
+    def test_clear_hitters_found(self):
+        probs = {"a": 0.4, "b": 0.3, "c": 0.2, "d": 0.1}
+        sample = draw(probs, 20_000, np.random.default_rng(0))
+        res = reproducible_heavy_hitters(sample, theta=0.25, seed=SeedChain(1))
+        # a and b are clearly above 0.25 + tau; d clearly below 0.25 - tau.
+        assert "a" in res and "b" in res
+        assert "d" not in res
+
+    def test_all_below_threshold(self):
+        probs = {i: 1.0 for i in range(100)}  # uniform: each freq 0.01
+        sample = draw(probs, 20_000, np.random.default_rng(1))
+        res = reproducible_heavy_hitters(sample, theta=0.2, seed=SeedChain(1))
+        assert len(res) == 0
+
+    def test_single_atom(self):
+        res = reproducible_heavy_hitters(["x"] * 1000, theta=0.5, seed=SeedChain(1))
+        assert res.items == frozenset({"x"})
+
+    def test_threshold_in_window(self):
+        res = reproducible_heavy_hitters([1, 2, 3], theta=0.3, seed=SeedChain(2), tau=0.1)
+        assert 0.2 <= res.threshold <= 0.4
+
+    def test_estimates_exposed(self):
+        res = reproducible_heavy_hitters(["a", "a", "b", "c"], theta=0.4, seed=SeedChain(3))
+        assert res.estimates["a"] == pytest.approx(0.5)
+
+
+class TestReproducibility:
+    def test_exact_set_agreement_across_fresh_samples(self):
+        # Borderline element 'edge' at frequency ~ theta: the randomized
+        # shared cutoff decides it the same way in every run.
+        probs = {"big": 0.5, "edge": 0.25, "small": 0.25 / 5, "rest": 0.2}
+        seed = SeedChain(7).child("hh")
+        outputs = set()
+        for r in range(10):
+            sample = draw(probs, 30_000, np.random.default_rng(100 + r))
+            outputs.add(reproducible_heavy_hitters(sample, theta=0.25, seed=seed).items)
+        assert len(outputs) == 1, f"runs disagreed: {outputs}"
+
+    def test_naive_threshold_flips_on_borderline(self):
+        # Control experiment: the un-randomized rule freq >= theta flips
+        # across runs for an element sitting exactly at theta.
+        probs = {"edge": 0.25, "rest": 0.75}
+        decisions = set()
+        for r in range(40):
+            sample = draw(probs, 3000, np.random.default_rng(200 + r))
+            freq = sample.count("edge") / len(sample)
+            decisions.add(freq >= 0.25)
+        assert decisions == {True, False}
+
+    def test_different_seeds_may_choose_differently(self):
+        probs = {"edge": 0.25, "rest": 0.75}
+        sample = draw(probs, 30_000, np.random.default_rng(0))
+        outcomes = {
+            "edge" in reproducible_heavy_hitters(sample, theta=0.25, seed=SeedChain(s))
+            for s in range(30)
+        }
+        # Over many seeds the randomized cutoff falls on both sides.
+        assert outcomes == {True, False}
+
+
+class TestValidation:
+    def test_empty_sample(self):
+        with pytest.raises(ReproducibilityError):
+            reproducible_heavy_hitters([], theta=0.5, seed=SeedChain(1))
+
+    def test_bad_theta(self):
+        with pytest.raises(ReproducibilityError):
+            reproducible_heavy_hitters([1], theta=0.0, seed=SeedChain(1))
+
+    def test_bad_tau(self):
+        with pytest.raises(ReproducibilityError):
+            reproducible_heavy_hitters([1], theta=0.2, seed=SeedChain(1), tau=0.3)
+
+    def test_sample_complexity_monotone(self):
+        loose = heavy_hitters_sample_complexity(0.2, 0.2)
+        tight = heavy_hitters_sample_complexity(0.2, 0.02)
+        assert tight > loose
+        with pytest.raises(ReproducibilityError):
+            heavy_hitters_sample_complexity(0.0, 0.1)

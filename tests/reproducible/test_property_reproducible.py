@@ -1,0 +1,73 @@
+"""Property-based tests for the reproducible machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.seeds import SeedChain
+from repro.reproducible.domains import EfficiencyDomain
+from repro.reproducible.rmedian import rquantile_descent
+
+DOMAIN = 1 << 10
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(st.integers(min_value=0, max_value=DOMAIN - 1), min_size=1, max_size=300),
+    target=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_descent_always_outputs_domain_element(data, target, seed):
+    out = rquantile_descent(data, DOMAIN, SeedChain(seed), target=target, tau=0.1)
+    assert 0 <= out < DOMAIN
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(st.integers(min_value=0, max_value=DOMAIN - 1), min_size=1, max_size=300),
+    target=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_descent_deterministic_given_seed_and_data(data, target, seed):
+    a = rquantile_descent(data, DOMAIN, SeedChain(seed), target=target, tau=0.1)
+    b = rquantile_descent(data, DOMAIN, SeedChain(seed), target=target, tau=0.1)
+    assert a == b
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    atom=st.integers(min_value=0, max_value=DOMAIN - 1),
+    size=st.integers(min_value=1, max_value=500),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_point_mass_recovered_within_one_cell(atom, size, seed):
+    """All the mass on one point: the output is (essentially) that point."""
+    out = rquantile_descent([atom] * size, DOMAIN, SeedChain(seed), target=0.5, tau=0.05)
+    # The emitted lattice edge lies at most one final-round cell away.
+    assert abs(out - atom) <= 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=200,
+    ),
+    bits=st.integers(min_value=4, max_value=20),
+)
+def test_domain_encode_monotone_property(values, bits):
+    dom = EfficiencyDomain(bits=bits)
+    ordered = sorted(values)
+    codes = [dom.encode(v) for v in ordered]
+    assert codes == sorted(codes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    index=st.integers(min_value=0, max_value=(1 << 12) - 1),
+)
+def test_domain_decode_encode_fixed_point(index):
+    """decode then encode returns the same cell (up to rounding by 1)."""
+    dom = EfficiencyDomain(bits=12)
+    assert abs(dom.encode(dom.decode(index)) - index) <= 1

@@ -1,0 +1,143 @@
+"""Tests for the reproducible median/quantile engine."""
+
+import numpy as np
+import pytest
+
+from repro.access.seeds import SeedChain
+from repro.errors import ReproducibilityError
+from repro.reproducible.rmedian import (
+    practical_sample_complexity,
+    rmedian,
+    rquantile_descent,
+    theoretical_sample_complexity,
+)
+
+DOMAIN = 1 << 12
+
+
+def node(label="t"):
+    return SeedChain(777).child(label)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("target", [0.1, 0.25, 0.5, 0.75, 0.9])
+    def test_quantile_accuracy_uniform(self, target):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, DOMAIN, size=40_000)
+        out = rquantile_descent(xs, DOMAIN, node(target), target=target, tau=0.05)
+        achieved = float(np.mean(xs <= out))
+        assert abs(achieved - target) < 0.08
+
+    def test_median_on_point_mass(self):
+        xs = np.full(1000, 137)
+        assert rmedian(xs, DOMAIN, node()) == 137 or abs(rmedian(xs, DOMAIN, node()) - 137) <= 1
+
+    def test_median_two_atoms(self):
+        # 70% mass on one atom: the median must be that atom's cell.
+        rng = np.random.default_rng(1)
+        xs = np.where(rng.random(20_000) < 0.7, 100, 3000)
+        out = rmedian(xs, DOMAIN, node(), tau=0.05)
+        assert abs(out - 100) <= 4
+
+    def test_output_in_domain(self):
+        rng = np.random.default_rng(2)
+        xs = rng.integers(0, DOMAIN, size=1000)
+        out = rmedian(xs, DOMAIN, node())
+        assert 0 <= out < DOMAIN
+
+
+class TestReproducibility:
+    def test_atomic_distribution_exact_agreement(self):
+        atoms = np.array([50, 400, 900, 2100, 3900])
+        probs = np.array([0.15, 0.2, 0.3, 0.2, 0.15])
+        seed = node("agree")
+        outs = set()
+        for r in range(10):
+            rng = np.random.default_rng(100 + r)
+            xs = rng.choice(atoms, p=probs, size=20_000)
+            outs.add(rmedian(xs, DOMAIN, seed, tau=0.05))
+        assert len(outs) == 1, f"runs disagreed: {outs}"
+
+    def test_seed_controls_output(self):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, DOMAIN, size=5000)
+        a = rmedian(xs, DOMAIN, node("a"), tau=0.05)
+        b = rmedian(xs, DOMAIN, node("a"), tau=0.05)
+        assert a == b  # same seed, same data: fully deterministic
+
+    def test_continuous_agreement_improves_with_samples(self):
+        """The sample-hungry regime: agreement rises with m (E7's shape)."""
+        seed = node("cont")
+
+        def rate(m: int) -> float:
+            outs = [
+                rmedian(
+                    np.random.default_rng(200 + r).integers(1000, 3000, size=m),
+                    DOMAIN,
+                    seed,
+                    tau=0.1,
+                )
+                for r in range(8)
+            ]
+            agree = sum(
+                outs[i] == outs[j] for i in range(8) for j in range(i + 1, 8)
+            )
+            return agree / 28
+
+        assert rate(50_000) >= rate(200) - 0.25
+
+
+class TestValidation:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ReproducibilityError):
+            rmedian([], DOMAIN, node())
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ReproducibilityError):
+            rmedian([DOMAIN], DOMAIN, node())
+        with pytest.raises(ReproducibilityError):
+            rmedian([-1], DOMAIN, node())
+
+    def test_bad_target(self):
+        with pytest.raises(ReproducibilityError):
+            rquantile_descent([1], DOMAIN, node(), target=1.5)
+
+    def test_bad_tau(self):
+        with pytest.raises(ReproducibilityError):
+            rquantile_descent([1], DOMAIN, node(), tau=0.0)
+
+    def test_bad_branching(self):
+        with pytest.raises(ReproducibilityError):
+            rquantile_descent([1], DOMAIN, node(), branching=1)
+
+    def test_domain_of_one(self):
+        assert rmedian([0, 0, 0], 1, node()) == 0
+
+
+class TestSampleComplexity:
+    def test_theoretical_formula_blows_up_with_domain(self):
+        small = theoretical_sample_complexity(0.9, 0.6, domain_bits=2)
+        big = theoretical_sample_complexity(0.9, 0.6, domain_bits=65536)
+        assert big > small
+
+    def test_theoretical_capped(self):
+        assert theoretical_sample_complexity(0.001, 0.3, domain_bits=64) == int(1e18)
+
+    def test_theoretical_infinite_when_rho_below_beta(self):
+        # Theorem 4.5 needs rho > beta.
+        assert theoretical_sample_complexity(0.1, 0.1, 8, beta=0.3) == int(1e18)
+
+    def test_practical_monotone_in_tau_and_rho(self):
+        loose = practical_sample_complexity(0.2, 0.2, 12, max_samples=10**9)
+        tight = practical_sample_complexity(0.02, 0.02, 12, max_samples=10**9)
+        assert tight > loose
+
+    def test_practical_respects_cap_and_floor(self):
+        assert practical_sample_complexity(0.001, 0.001, 12, max_samples=500) == 500
+        assert practical_sample_complexity(0.99, 0.99, 12) >= 64
+
+    def test_param_validation(self):
+        with pytest.raises(ReproducibilityError):
+            practical_sample_complexity(0.0, 0.1, 12)
+        with pytest.raises(ReproducibilityError):
+            theoretical_sample_complexity(0.1, 1.5, 12)

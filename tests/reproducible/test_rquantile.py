@@ -1,0 +1,126 @@
+"""Tests for rQuantile (Algorithm 1) and the value-level estimator."""
+
+import numpy as np
+import pytest
+
+from repro.access.seeds import SeedChain
+from repro.errors import ReproducibilityError
+from repro.reproducible.domains import EfficiencyDomain
+from repro.reproducible.rquantile import (
+    ReproducibleQuantileEstimator,
+    rquantile_direct,
+    rquantile_padding,
+)
+
+DOMAIN = 1 << 12
+
+
+def node(label):
+    return SeedChain(55).child(label)
+
+
+class TestPaddingReduction:
+    """The faithful Algorithm 1: quantile via padded median."""
+
+    @pytest.mark.parametrize("p", [0.2, 0.5, 0.8])
+    def test_accuracy(self, p):
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, DOMAIN, size=30_000)
+        out = rquantile_padding(xs, DOMAIN, p, node(("pad", p)), tau=0.05)
+        achieved = float(np.mean(xs <= out))
+        assert abs(achieved - p) < 0.1
+
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.7])
+    def test_agrees_with_direct_engine(self, p):
+        rng = np.random.default_rng(1)
+        xs = rng.integers(500, 2500, size=30_000)
+        a = rquantile_padding(xs, DOMAIN, p, node(("a", p)), tau=0.05)
+        b = rquantile_direct(xs, DOMAIN, p, node(("b", p)), tau=0.05)
+        pos_a = float(np.mean(xs <= a))
+        pos_b = float(np.mean(xs <= b))
+        assert abs(pos_a - pos_b) < 0.1
+
+    def test_extreme_quantiles_clamped_to_domain(self):
+        xs = np.full(1000, 100)
+        lo = rquantile_padding(xs, DOMAIN, 0.0, node("lo"), tau=0.05)
+        hi = rquantile_padding(xs, DOMAIN, 1.0, node("hi"), tau=0.05)
+        assert 0 <= lo < DOMAIN
+        assert 0 <= hi < DOMAIN
+
+    def test_invalid_p(self):
+        with pytest.raises(ReproducibilityError):
+            rquantile_padding([1], DOMAIN, 1.5, node("x"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproducibilityError):
+            rquantile_padding([], DOMAIN, 0.5, node("x"))
+
+
+class TestEstimator:
+    def make(self, **kwargs):
+        kwargs.setdefault("domain", EfficiencyDomain(bits=12))
+        kwargs.setdefault("tau", 0.05)
+        kwargs.setdefault("rho", 0.1)
+        kwargs.setdefault("beta", 0.05)
+        return ReproducibleQuantileEstimator(**kwargs)
+
+    def test_quantile_on_float_values(self):
+        est = self.make()
+        rng = np.random.default_rng(0)
+        vals = rng.uniform(0.01, 100.0, size=40_000)
+        for p in (0.25, 0.5, 0.75):
+            out = est.quantile(vals, p, node(("est", p)))
+            achieved = float(np.mean(vals <= out))
+            assert abs(achieved - p) < 0.08
+
+    def test_median_helper(self):
+        est = self.make()
+        vals = np.full(1000, 3.0)
+        out = est.median(vals, node("med"))
+        assert out == pytest.approx(3.0, rel=0.05)
+
+    def test_reproducibility_rate_atomic(self):
+        est = self.make()
+        atoms = np.array([0.1, 0.5, 2.0, 8.0])
+        probs = np.array([0.2, 0.35, 0.3, 0.15])
+
+        def factory(r):
+            return np.random.default_rng(300 + r).choice(atoms, p=probs, size=20_000)
+
+        rate = est.reproducibility_rate(factory, 0.5, node("rate"), runs=8)
+        assert rate == 1.0
+
+    def test_vote_mode_runs(self):
+        est = self.make(vote=3)
+        rng = np.random.default_rng(0)
+        vals = rng.uniform(0.1, 10.0, size=9000)
+        out = est.quantile(vals, 0.5, node("vote"))
+        achieved = float(np.mean(vals <= out))
+        assert abs(achieved - 0.5) < 0.15
+
+    def test_padding_method(self):
+        est = self.make(method="padding")
+        vals = np.random.default_rng(0).uniform(0.1, 10.0, size=20_000)
+        out = est.quantile(vals, 0.5, node("padm"))
+        assert abs(float(np.mean(vals <= out)) - 0.5) < 0.1
+
+    def test_sample_complexity_reporting(self):
+        est = self.make()
+        assert est.sample_complexity() >= 64
+        assert est.theoretical_complexity() > est.sample_complexity()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproducibilityError):
+            self.make(method="bogus")
+        with pytest.raises(ReproducibilityError):
+            self.make(tau=0.0)
+        with pytest.raises(ReproducibilityError):
+            self.make(rho=0.05, beta=0.1)  # needs beta < rho
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ReproducibilityError):
+            self.make().quantile([], 0.5, node("e"))
+
+    def test_reproducibility_rate_needs_two_runs(self):
+        with pytest.raises(ReproducibilityError):
+            self.make().reproducibility_rate(lambda r: [1.0], 0.5, node("r"), runs=1)

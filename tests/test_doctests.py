@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Docstring examples are documentation that can rot; executing them keeps
+the README-level snippets honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.access.seeds
+import repro.analysis.logstar
+
+MODULES_WITH_DOCTESTS = [
+    repro.analysis.logstar,
+    repro.access.seeds,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"

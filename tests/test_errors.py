@@ -1,0 +1,55 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConsistencyViolation,
+    DomainError,
+    ExperimentError,
+    InfeasibleSolutionError,
+    InvalidInstanceError,
+    NormalizationError,
+    OracleError,
+    QueryBudgetExceededError,
+    ReproducibilityError,
+    ReproError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (
+            InvalidInstanceError,
+            NormalizationError,
+            OracleError,
+            SolverError,
+            InfeasibleSolutionError,
+            ReproducibilityError,
+            DomainError,
+            ExperimentError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_specializations(self):
+        assert issubclass(NormalizationError, InvalidInstanceError)
+        assert issubclass(InfeasibleSolutionError, SolverError)
+        assert issubclass(DomainError, ReproducibilityError)
+
+    def test_catching_the_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise DomainError("x")
+
+
+class TestStructuredErrors:
+    def test_budget_error_carries_fields(self):
+        err = QueryBudgetExceededError(budget=10, attempted=11)
+        assert err.budget == 10
+        assert err.attempted == 11
+        assert "10" in str(err)
+
+    def test_consistency_violation_carries_fields(self):
+        err = ConsistencyViolation(query=7, answers=(True, False))
+        assert err.query == 7
+        assert err.answers == (True, False)
+        assert "7" in str(err)
