@@ -17,7 +17,7 @@ Two ablations on the paper's design choices:
 """
 
 import numpy as np
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.access.seeds import SeedChain
 from repro.analysis.experiments import exp_ablation_domain_bits
@@ -82,7 +82,7 @@ def _naive_vs_reproducible(runs: int = 10, m: int = 20_000):
 
 def test_naive_vs_reproducible(benchmark):
     rows = run_once(benchmark, _naive_vs_reproducible)
-    emit(
+    emit_json(
         "E10a_naive_quantile",
         rows,
         "E10a: naive empirical quantile vs. rQuantile — exact cross-run agreement",
@@ -100,7 +100,7 @@ def test_naive_vs_reproducible(benchmark):
 
 def test_domain_bits_ablation(benchmark):
     rows = run_once(benchmark, exp_ablation_domain_bits, bits_grid=(8, 10, 12, 16))
-    emit(
+    emit_json(
         "E10b_domain_bits",
         rows,
         "E10b: domain resolution vs. consistency vs. solution quality",

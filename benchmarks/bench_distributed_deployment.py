@@ -12,7 +12,7 @@ rates, Zipf query traffic — and audits the model's promises:
 """
 
 import numpy as np
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.core.parameters import LCAParameters
 from repro.distributed.cluster import ClusterSimulation
@@ -68,7 +68,7 @@ def _deployment_grid(queries: int = 60):
 
 def test_distributed_deployment(benchmark):
     rows = run_once(benchmark, _deployment_grid)
-    emit(
+    emit_json(
         "E16_distributed",
         rows,
         "E16: simulated deployments — consistency, crashes, throughput",

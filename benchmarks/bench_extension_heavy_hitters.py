@@ -26,7 +26,7 @@ collection and reserves the reproducibility machinery for the
 *quantile* estimates, where no presence-style shortcut exists.
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.access.oracle import QueryOracle
 from repro.access.weighted_sampler import WeightedSampler
@@ -79,7 +79,7 @@ def _large_set_agreement(runs: int = 8, n: int = 1200, epsilon: float = 0.1):
 
 def test_coupon_beats_heavy_hitters_for_identity_detection(benchmark):
     rows = run_once(benchmark, _large_set_agreement)
-    emit(
+    emit_json(
         "E13_heavy_hitters",
         rows,
         "E13 (ablation): large-item set agreement — the paper's coupon rule wins",

@@ -13,7 +13,7 @@ cut band.  This bench measures what that buys and what it costs:
 """
 
 import numpy as np
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.access.oracle import QueryOracle
 from repro.access.weighted_sampler import WeightedSampler
@@ -67,7 +67,7 @@ def _tie_breaking_experiment(runs: int = 8, n: int = 1000, epsilon: float = 0.1)
 
 def test_tie_breaking_extension(benchmark):
     rows = run_once(benchmark, _tie_breaking_experiment)
-    emit(
+    emit_json(
         "E12_tie_breaking",
         rows,
         "E12 (extension): stochastic tie-breaking on degenerate families",

@@ -12,7 +12,7 @@ consistency (samples / coarser domain / tighter rho), proportionally to
 log of the query volume.
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_footnote3_query_scaling
 
@@ -24,7 +24,7 @@ def test_footnote3_union_bound(benchmark):
         query_counts=(1, 5, 20, 80),
         trials=20,
     )
-    emit(
+    emit_json(
         "E15_footnote3",
         rows,
         "E15 (footnote 3): all-queries-consistent rate vs. query count",

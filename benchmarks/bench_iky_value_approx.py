@@ -6,7 +6,7 @@ solve it exactly, report OPT(I~) - eps.  The lemma promises this is a
 epsilon, against an exact branch-and-bound reference.
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_iky_value
 
@@ -19,7 +19,7 @@ def test_iky_value(benchmark):
         epsilons=(0.05, 0.1),
         runs=3,
     )
-    emit(
+    emit_json(
         "E9_iky_value",
         rows,
         "E9 (Lemma 4.4): IKY value estimate vs. exact OPT",

@@ -6,7 +6,7 @@ adversarial shape (many items sitting exactly at the threshold), draw
 exactly the lemma's sample count, and measure the collection rate.
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_lemma42_coupon
 
@@ -19,7 +19,7 @@ def test_lemma42_coupon(benchmark):
         n=2000,
         trials=150,
     )
-    emit(
+    emit_json(
         "E8_lemma42",
         rows,
         "E8 (Lemma 4.2): collect-all-heavy-items success at the lemma's m",

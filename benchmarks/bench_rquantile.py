@@ -9,7 +9,7 @@ practical face of the (3/tau^2)^(log*|X|) sample complexity (and of the
 ILPS22 lower bound that makes some domain-size dependence unavoidable).
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_rquantile_reproducibility
 
@@ -21,7 +21,7 @@ def test_rquantile_reproducibility(benchmark):
         sample_sizes=(2_000, 20_000, 120_000),
         runs=10,
     )
-    emit(
+    emit_json(
         "E7_rquantile",
         rows,
         "E7 (Theorem 4.5): rQuantile agreement rate and accuracy, per engine",

@@ -8,7 +8,7 @@ assertions as a by-product.
 """
 
 import pytest
-from conftest import emit
+from conftest import emit_json, run_once
 
 from repro.knapsack import generators as g
 from repro.knapsack.solvers import (
@@ -97,8 +97,8 @@ def test_solver_agreement_table(benchmark, small_instance):
         )
         return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    emit("E11_solvers", rows, "E11: solver agreement on uniform n=26")
+    rows = run_once(benchmark, run)
+    emit_json("E11_solvers", rows, "E11: solver agreement on uniform n=26")
     by = {r["solver"]: r for r in rows}
     assert by["branch_and_bound"]["value"] == pytest.approx(
         by["meet_in_middle"]["value"]

@@ -8,7 +8,7 @@ success curve matching ``1/2 + q/(2m)`` exactly, and (b) the budget
 needed for 2/3 success growing linearly with n.
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_thm32_or_lower_bound
 from repro.lowerbounds.decision_tree import (
@@ -41,8 +41,8 @@ def test_thm32_exact_verification(benchmark):
             )
         return rows
 
-    rows = benchmark.pedantic(verify, rounds=1, iterations=1)
-    emit(
+    rows = run_once(benchmark, verify)
+    emit_json(
         "E1b_thm32_exact",
         rows,
         "E1b (Theorem 3.2): exhaustive decision-tree verification",
@@ -58,7 +58,7 @@ def test_thm32_lower_bound(benchmark):
         ns=(64, 256, 1024, 4096),
         trials=1200,
     )
-    emit(
+    emit_json(
         "E1_thm32",
         rows,
         "E1 (Theorem 3.2): optimal success vs. query budget on the OR reduction",

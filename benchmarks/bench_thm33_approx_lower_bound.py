@@ -9,7 +9,7 @@ which is exactly the theorem's point.
 
 from collections import defaultdict
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_thm33_approx_lower_bound
 
@@ -22,7 +22,7 @@ def test_thm33_lower_bound(benchmark):
         m=1024,
         trials=1200,
     )
-    emit(
+    emit_json(
         "E2_thm33",
         rows,
         "E2 (Theorem 3.3): the reduction for a grid of alphas",

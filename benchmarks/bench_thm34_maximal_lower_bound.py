@@ -8,7 +8,7 @@ theorem allows — and only a *linear* budget (0.6 n for the canonical
 strategy) pushes it below 1/5.
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_thm34_maximal_lower_bound
 from repro.lowerbounds.maximal_hard import budget_for_error
@@ -21,7 +21,7 @@ def test_thm34_lower_bound(benchmark):
         ns=(64, 256, 1024),
         trials=1200,
     )
-    emit(
+    emit_json(
         "E3_thm34",
         rows,
         "E3 (Theorem 3.4): maximal-feasibility error vs. probe budget",

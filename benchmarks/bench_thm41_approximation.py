@@ -14,7 +14,7 @@ because 6 eps dwarfs OPT/2 at these epsilons, but the solution is
 trivial.  ``default_families`` therefore spans both regimes.
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_thm41_approximation
 
@@ -27,7 +27,7 @@ def test_thm41_approximation(benchmark):
         epsilon=0.05,
         runs=3,
     )
-    emit(
+    emit_json(
         "E4_thm41_approx",
         rows,
         "E4 (Theorem 4.1): solution value vs. the (1/2, 6 eps) bound, eps=0.05",

@@ -12,7 +12,7 @@ perfectly; continuous-efficiency families pay for exact-equality
 reproducibility in samples (see also E7 and the E10 ablation).
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_thm41_consistency
 
@@ -26,7 +26,7 @@ def test_thm41_consistency(benchmark):
         runs=6,
         probes=40,
     )
-    emit(
+    emit_json(
         "E5_thm41_consistency",
         rows,
         "E5 (Theorem 4.1): cross-run answer agreement, eps=0.05, 6 runs",

@@ -8,7 +8,7 @@ making explicit how far apart "what theory guarantees" and "what
 practice needs" sit, and that both share the poly(1/eps) shape.
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_thm41_epsilon_scaling
 
@@ -20,7 +20,7 @@ def test_thm41_epsilon_scaling(benchmark):
         epsilons=(0.2, 0.1, 0.05, 0.025),
         n=4000,
     )
-    emit(
+    emit_json(
         "E14_epsilon_scaling",
         rows,
         "E14 (Lemma 4.10): per-query cost vs. epsilon, three sizing tiers",

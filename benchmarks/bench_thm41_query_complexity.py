@@ -8,7 +8,7 @@ grows linearly — the crossover where locality starts paying for itself
 is visible directly.
 """
 
-from conftest import emit, run_once
+from conftest import emit_json, run_once
 
 from repro.analysis.experiments import exp_thm41_query_scaling
 
@@ -20,7 +20,7 @@ def test_thm41_query_scaling(benchmark):
         ns=(600, 2400, 9600, 38400, 600_000),
         epsilon=0.05,
     )
-    emit(
+    emit_json(
         "E6_thm41_scaling",
         rows,
         "E6 (Lemma 4.10): per-query cost, LCA-KP vs. full-read baseline",

@@ -16,7 +16,6 @@ Run:  python examples/quickstart.py
 
 from repro import (
     LCAKP,
-    LCAParameters,
     QueryOracle,
     WeightedSampler,
     generate,

@@ -14,6 +14,7 @@ from typing import Callable
 from ..errors import OracleError, QueryBudgetExceededError
 from ..knapsack.instance import InstanceLike
 from ..knapsack.items import Item
+from ..obs import runtime as _obs
 
 __all__ = ["QueryOracle", "FunctionInstance"]
 
@@ -167,3 +168,4 @@ class QueryOracle:
         if self._budget is not None and self._queries >= self._budget:
             raise QueryBudgetExceededError(self._budget, self._queries + 1)
         self._queries += 1
+        _obs.record_oracle_queries(1)

@@ -21,6 +21,7 @@ import numpy as np
 from ..errors import OracleError, QueryBudgetExceededError
 from ..knapsack.instance import InstanceLike, KnapsackInstance
 from ..knapsack.items import Item
+from ..obs import runtime as _obs
 
 __all__ = ["Sample", "WeightedSampler", "CustomSampler", "AliasTable"]
 
@@ -187,6 +188,7 @@ class WeightedSampler:
         if self._budget is not None and self._samples + m > self._budget:
             raise QueryBudgetExceededError(self._budget, self._samples + m)
         self._samples += m
+        _obs.record_samples(m)
 
 
 class CustomSampler:
@@ -225,14 +227,20 @@ class CustomSampler:
     def sample(self, rng: np.random.Generator) -> Sample:
         """Draw one sample via the user-provided index law."""
         self._charge(1)
+        return self._draw(rng)
+
+    def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
+        """Draw ``m`` samples one by one (charged as a single batch)."""
+        if m < 0:
+            raise OracleError("sample count must be >= 0")
+        self._charge(m)
+        return [self._draw(rng) for _ in range(m)]
+
+    def _draw(self, rng: np.random.Generator) -> Sample:
         idx = int(self._draw_index(rng))
         if not 0 <= idx < self._instance.n:
             raise OracleError(f"custom sampler returned out-of-range index {idx}")
         return Sample(idx, Item(self._instance.profit(idx), self._instance.weight(idx)))
-
-    def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
-        """Draw ``m`` samples one by one."""
-        return [self.sample(rng) for _ in range(m)]
 
     @property
     def samples_used(self) -> int:
@@ -252,3 +260,4 @@ class CustomSampler:
         if self._budget is not None and self._samples + m > self._budget:
             raise QueryBudgetExceededError(self._budget, self._samples + m)
         self._samples += m
+        _obs.record_samples(m)

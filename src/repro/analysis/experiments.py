@@ -10,8 +10,6 @@ Everything is deterministic given the ``seed`` arguments.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from ..access.oracle import QueryOracle

@@ -4,6 +4,8 @@ Subcommands
 -----------
 ``solve``       solve a generated instance with the reference solvers;
 ``lca``         answer membership queries with LCA-KP;
+``trace``       run one LCA query under the tracer, print its span tree;
+``metrics``     run a small workload, dump the metrics registry as JSON;
 ``experiment``  run one of the E1-E11 experiments and print its table;
 ``demo``        the Figure 1 reduction, walked end to end;
 ``families``    list the workload generator families.
@@ -72,6 +74,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable the stochastic tie-breaking extension (see core/tie_breaking.py)",
     )
     p_lca.add_argument("items", type=int, nargs="+", help="item indices to query")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one LCA query under the tracer and print its span tree",
+    )
+    p_trace.add_argument("--family", default="planted_lsg", choices=sorted(FAMILIES))
+    p_trace.add_argument("--n", type=int, default=100_000)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--epsilon", type=float, default=0.05)
+    p_trace.add_argument("--lca-seed", type=int, default=42, help="the shared random string r")
+    p_trace.add_argument("--query", type=int, default=0, help="item index to query")
+    p_trace.add_argument(
+        "--nonce", type=int, default=1, help="fresh-randomness nonce (fixed for replayability)"
+    )
+    p_trace.add_argument(
+        "--json", metavar="PATH", default=None, help="also write the trace/v1 document to PATH"
+    )
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a small LCA workload and dump the metrics registry snapshot as JSON",
+    )
+    p_metrics.add_argument("--family", default="planted_lsg", choices=sorted(FAMILIES))
+    p_metrics.add_argument("--n", type=int, default=20_000)
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--epsilon", type=float, default=0.05)
+    p_metrics.add_argument("--lca-seed", type=int, default=42)
+    p_metrics.add_argument("--queries", type=int, default=8, help="how many LCA queries to run")
+    p_metrics.add_argument(
+        "--out", metavar="PATH", default=None, help="write the snapshot here (default: stdout)"
+    )
 
     p_cluster = sub.add_parser(
         "cluster", help="simulate a distributed LCA deployment and audit it"
@@ -155,6 +188,97 @@ def _cmd_lca(args: argparse.Namespace) -> int:
         f"seed={args.lca_seed} (answers are consistent across reruns with the same seed)"
     )
     print(format_table(["item", "in solution", "reason", "samples"], rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import runtime as obs_runtime
+    from .obs.export import render_span_tree, trace_document, write_json
+    from .obs.trace import phase_counts
+
+    inst = generate(args.family, args.n, seed=args.seed)
+    sampler = WeightedSampler(inst)
+    oracle = QueryOracle(inst)
+    lca = LCAKP(sampler, oracle, args.epsilon, seed=args.lca_seed)
+    if not 0 <= args.query < inst.n:
+        print(f"query index {args.query} out of range [0, {inst.n})", file=sys.stderr)
+        return 2
+    tracer = obs_runtime.TRACER
+    was_enabled = tracer.enabled
+    tracer.enable()
+    try:
+        with tracer.span("repro.trace") as root:
+            answer = lca.answer(args.query, nonce=args.nonce)
+    finally:
+        if not was_enabled:
+            tracer.disable()
+
+    print(
+        f"trace: family={args.family} n={inst.n} eps={args.epsilon} "
+        f"seed={args.lca_seed} query={args.query} -> "
+        f"{'in' if answer.include else 'out'} ({answer.reason})"
+    )
+    print()
+    print(render_span_tree(root))
+    print()
+    by_phase_q = phase_counts(root, "queries")
+    by_phase_s = phase_counts(root, "samples")
+    q_attr, q_used = sum(by_phase_q.values()), oracle.queries_used
+    s_attr, s_used = sum(by_phase_s.values()), sampler.samples_used
+    print(f"oracle queries: {q_used} total, {q_attr} span-attributed "
+          f"({'exact' if q_attr == q_used else 'MISMATCH'})")
+    print(f"weighted samples: {s_used} total, {s_attr} span-attributed "
+          f"({'exact' if s_attr == s_used else 'MISMATCH'})")
+    if args.json:
+        doc = trace_document(
+            root,
+            family=args.family,
+            n=inst.n,
+            epsilon=args.epsilon,
+            lca_seed=args.lca_seed,
+            query=args.query,
+            include=answer.include,
+            reason=answer.reason,
+            oracle_queries=q_used,
+            sampler_samples=s_used,
+        )
+        write_json(args.json, doc)
+        print(f"\nwrote trace/v1 document to {args.json}")
+    return 0 if (q_attr == q_used and s_attr == s_used) else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.export import jsonable, snapshot_document
+    from .obs.runtime import REGISTRY
+
+    inst = generate(args.family, args.n, seed=args.seed)
+    sampler = WeightedSampler(inst)
+    oracle = QueryOracle(inst)
+    lca = LCAKP(sampler, oracle, args.epsilon, seed=args.lca_seed)
+    latency = REGISTRY.histogram("cli.answer_latency_s")
+    import time as _time
+
+    rng = np.random.default_rng(args.seed)
+    for i in range(args.queries):
+        t0 = _time.perf_counter()
+        lca.answer(int(rng.integers(inst.n)), nonce=i + 1)
+        latency.observe(_time.perf_counter() - t0)
+    doc = snapshot_document(
+        REGISTRY,
+        family=args.family,
+        n=inst.n,
+        epsilon=args.epsilon,
+        queries=args.queries,
+    )
+    text = json.dumps(jsonable(doc), indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote metrics-snapshot/v1 to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -254,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "solve": _cmd_solve,
         "lca": _cmd_lca,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "cluster": _cmd_cluster,
         "experiment": _cmd_experiment,
         "report": _cmd_report,

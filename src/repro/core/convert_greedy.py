@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 
 from ..knapsack.items import efficiency
+from ..obs import runtime as _obs
 from .simplified_instance import SimplifiedInstance
 
 __all__ = ["ConvertGreedyResult", "convert_greedy"]
@@ -89,6 +90,11 @@ def convert_greedy(simplified: SimplifiedInstance) -> ConvertGreedyResult:
     * No ``k`` with ``e_k > p_j / w_j``: ``k = 0``, hence
       ``e_small = -1`` (no small items make the solution).
     """
+    with _obs.span("convert.greedy"):
+        return _convert_greedy(simplified)
+
+
+def _convert_greedy(simplified: SimplifiedInstance) -> ConvertGreedyResult:
     items = simplified.items
     thresholds = simplified.eps_sequence
     capacity = simplified.capacity

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..knapsack.instance import KnapsackInstance
+from ..obs import runtime as _obs
 from .partition import classify_instance
 
 __all__ = ["band_masses", "EPSReport", "check_eps", "true_quantile_sequence"]
@@ -93,6 +94,17 @@ def check_eps(
     sub-windows, so tests pass slack=0 for true quantiles and a small
     positive slack for sampled ones).
     """
+    with _obs.span("eps.check"):
+        return _check_eps(instance, thresholds, epsilon, slack=slack)
+
+
+def _check_eps(
+    instance: KnapsackInstance,
+    thresholds,
+    epsilon: float,
+    *,
+    slack: float = 0.0,
+) -> EPSReport:
     thresholds = tuple(float(x) for x in thresholds)
     if not 0 < epsilon <= 1:
         raise ReproError(f"epsilon must lie in (0, 1], got {epsilon}")
@@ -124,6 +136,13 @@ def true_quantile_sequence(instance: KnapsackInstance, epsilon: float) -> tuple[
     ``t`` the LCA would derive from the true large mass.  Tests compare
     the LCA's reproducible estimates against this sequence.
     """
+    with _obs.span("eps.true_quantiles"):
+        return _true_quantile_sequence(instance, epsilon)
+
+
+def _true_quantile_sequence(
+    instance: KnapsackInstance, epsilon: float
+) -> tuple[float, ...]:
     part = classify_instance(instance, epsilon)
     small_mass = 1.0 - part.large_mass
     if small_mass < epsilon:

@@ -26,6 +26,7 @@ from ..access.oracle import QueryOracle
 from ..access.seeds import SeedChain, fresh_nonce
 from ..errors import ReproError
 from ..knapsack.items import Item
+from ..obs import runtime as _obs
 from ..reproducible.rquantile import ReproducibleQuantileEstimator
 from .convert_greedy import ConvertGreedyResult, convert_greedy
 from .parameters import LCAParameters
@@ -171,6 +172,10 @@ class LCAKP:
         for OS entropy (the production behaviour), pass a fixed value to
         make a run replayable in tests.
         """
+        with _obs.span("lca.pipeline"):
+            return self._run_pipeline(nonce=nonce)
+
+    def _run_pipeline(self, *, nonce: int | None = None) -> PipelineResult:
         params = self._params
         eps = self._epsilon
         eps_sq = params.eps_sq
@@ -178,28 +183,29 @@ class LCAKP:
         samples_before = getattr(self._sampler, "samples_used", 0)
 
         # Lines 1-3: sample R, keep large items, deduplicate.
-        r_sample = self._sampler.sample_many(params.m_large, rng)
-        large: dict[int, tuple[float, float]] = {}
-        if self._large_item_mode == "heavy_hitters":
-            # Extension: the sampled index stream has per-index frequency
-            # equal to the item's (normalized) profit, so reproducible
-            # heavy hitters at theta = eps^2 recover L(I) with a shared
-            # randomized cutoff deciding borderline profits consistently.
-            from ..reproducible.heavy_hitters import reproducible_heavy_hitters
+        with _obs.span("sample.large"):
+            r_sample = self._sampler.sample_many(params.m_large, rng)
+            large: dict[int, tuple[float, float]] = {}
+            if self._large_item_mode == "heavy_hitters":
+                # Extension: the sampled index stream has per-index frequency
+                # equal to the item's (normalized) profit, so reproducible
+                # heavy hitters at theta = eps^2 recover L(I) with a shared
+                # randomized cutoff deciding borderline profits consistently.
+                from ..reproducible.heavy_hitters import reproducible_heavy_hitters
 
-            attributes = {s.index: (s.profit, s.weight) for s in r_sample}
-            hh = reproducible_heavy_hitters(
-                [s.index for s in r_sample],
-                theta=eps_sq,
-                seed=self._seed.child("large-heavy-hitters"),
-                tau=eps_sq / 4,
-            )
-            large = {i: attributes[i] for i in hh.items}
-        else:
-            for s in r_sample:
-                if s.profit > eps_sq:
-                    large[s.index] = (s.profit, s.weight)
-        p_large = min(sum(p for p, _ in large.values()), 1.0)
+                attributes = {s.index: (s.profit, s.weight) for s in r_sample}
+                hh = reproducible_heavy_hitters(
+                    [s.index for s in r_sample],
+                    theta=eps_sq,
+                    seed=self._seed.child("large-heavy-hitters"),
+                    tau=eps_sq / 4,
+                )
+                large = {i: attributes[i] for i in hh.items}
+            else:
+                for s in r_sample:
+                    if s.profit > eps_sq:
+                        large[s.index] = (s.profit, s.weight)
+            p_large = min(sum(p for p, _ in large.values()), 1.0)
 
         # Lines 4-17: estimate the EPS when enough mass sits outside L.
         eps_sequence: tuple[float, ...] = ()
@@ -207,32 +213,33 @@ class LCAKP:
         efficiencies = np.empty(0)
         total_q_draws = 0
         if 1.0 - p_large >= eps:
-            run = params.per_run(p_large)
-            q_sample = self._sampler.sample_many(run.a, rng)
-            total_q_draws = run.a
-            efficiencies = np.array(
-                [s.efficiency for s in q_sample if s.profit <= eps_sq], dtype=float
-            )
-            small_sample_size = int(efficiencies.size)
-            if small_sample_size > 0 and run.t > 0:
-                estimator = ReproducibleQuantileEstimator(
-                    domain=params.domain,
-                    tau=params.tau,
-                    rho=params.rho,
-                    beta=params.beta,
+            with _obs.span("eps.estimate"):
+                run = params.per_run(p_large)
+                q_sample = self._sampler.sample_many(run.a, rng)
+                total_q_draws = run.a
+                efficiencies = np.array(
+                    [s.efficiency for s in q_sample if s.profit <= eps_sq], dtype=float
                 )
-                thresholds: list[float] = []
-                for k in range(1, run.t + 1):
-                    target = min(max(1.0 - k * run.q, 0.0), 1.0)
-                    node = self._seed.child("rquantile").child(k)
-                    e_k = estimator.quantile(efficiencies, target, node)
-                    if thresholds:
-                        e_k = min(e_k, thresholds[-1])  # enforce monotonicity
-                    thresholds.append(e_k)
-                # Lines 11-14: drop a final threshold below eps^2.
-                if thresholds and thresholds[-1] < eps_sq:
-                    thresholds.pop()
-                eps_sequence = tuple(thresholds)
+                small_sample_size = int(efficiencies.size)
+                if small_sample_size > 0 and run.t > 0:
+                    estimator = ReproducibleQuantileEstimator(
+                        domain=params.domain,
+                        tau=params.tau,
+                        rho=params.rho,
+                        beta=params.beta,
+                    )
+                    thresholds: list[float] = []
+                    for k in range(1, run.t + 1):
+                        target = min(max(1.0 - k * run.q, 0.0), 1.0)
+                        node = self._seed.child("rquantile").child(k)
+                        e_k = estimator.quantile(efficiencies, target, node)
+                        if thresholds:
+                            e_k = min(e_k, thresholds[-1])  # enforce monotonicity
+                        thresholds.append(e_k)
+                    # Lines 11-14: drop a final threshold below eps^2.
+                    if thresholds and thresholds[-1] < eps_sq:
+                        thresholds.pop()
+                    eps_sequence = tuple(thresholds)
 
         # Lines 18-19: build I~ and convert its greedy solution.
         simplified = build_simplified_instance(
@@ -251,12 +258,13 @@ class LCAKP:
                 # in-band draw fraction.
                 return float(in_band) / float(total_q_draws)
 
-            tie_rule = derive_tie_breaking(
-                simplified,
-                converted,
-                self._seed.child("tie-breaking"),
-                band_mass_estimator=band_mass,
-            )
+            with _obs.span("tie.breaking"):
+                tie_rule = derive_tie_breaking(
+                    simplified,
+                    converted,
+                    self._seed.child("tie-breaking"),
+                    band_mass_estimator=band_mass,
+                )
         samples_used = getattr(self._sampler, "samples_used", 0) - samples_before
         return PipelineResult(
             p_large=p_large,
@@ -281,18 +289,21 @@ class LCAKP:
         output law, since answers are a deterministic function of the
         pipeline result).
         """
-        pipeline = self.run_pipeline(nonce=nonce)
-        return self._answer_from(pipeline, index)
+        with _obs.span("lca.answer"):
+            pipeline = self.run_pipeline(nonce=nonce)
+            return self._answer_from(pipeline, index)
 
     def answer_many(
         self, indices, *, nonce: int | None = None
     ) -> list[LCAAnswer]:
         """Answer a batch of queries from a single pipeline run."""
-        pipeline = self.run_pipeline(nonce=nonce)
-        return [self._answer_from(pipeline, int(i)) for i in indices]
+        with _obs.span("lca.answer"):
+            pipeline = self.run_pipeline(nonce=nonce)
+            return [self._answer_from(pipeline, int(i)) for i in indices]
 
     def _answer_from(self, pipeline: PipelineResult, index: int) -> LCAAnswer:
-        item = self._oracle.query(index)
+        with _obs.span("oracle.reveal"):
+            item = self._oracle.query(index)
         include = pipeline.rule.decide(item.profit, item.weight, index)
         eps_sq = self._params.eps_sq
         if item.profit > eps_sq:

@@ -11,6 +11,7 @@ calls it.
 from __future__ import annotations
 
 from ..knapsack.instance import KnapsackInstance
+from ..obs import runtime as _obs
 from .convert_greedy import ConvertGreedyResult
 from .tie_breaking import TieBreakingRule
 
@@ -31,9 +32,10 @@ def mapping_greedy(
     construction* — consistency reduces to both runs deriving the same
     ``converted``.
     """
-    chosen = [
-        i
-        for i in range(instance.n)
-        if converted.decide(instance.profit(i), instance.weight(i), i)
-    ]
-    return frozenset(chosen)
+    with _obs.span("mapping.greedy"):
+        chosen = [
+            i
+            for i in range(instance.n)
+            if converted.decide(instance.profit(i), instance.weight(i), i)
+        ]
+        return frozenset(chosen)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..errors import ReproError
 from ..knapsack.items import efficiency
+from ..obs import runtime as _obs
 
 __all__ = ["TildeItem", "SimplifiedInstance", "build_simplified_instance"]
 
@@ -103,6 +104,16 @@ def build_simplified_instance(
     epsilon, capacity:
         The LCA accuracy parameter and the original weight limit K.
     """
+    with _obs.span("simplify.build"):
+        return _build_simplified_instance(large_items, eps_sequence, epsilon, capacity)
+
+
+def _build_simplified_instance(
+    large_items: dict[int, tuple[float, float]],
+    eps_sequence,
+    epsilon: float,
+    capacity: float,
+) -> SimplifiedInstance:
     if not 0 < epsilon <= 1:
         raise ReproError(f"epsilon must lie in (0, 1], got {epsilon}")
     eps_sequence = tuple(float(e) for e in eps_sequence)

@@ -32,6 +32,8 @@ from ..core.lca_kp import LCAKP
 from ..core.parameters import LCAParameters
 from ..errors import ExperimentError
 from ..knapsack.instance import KnapsackInstance
+from ..obs import runtime as _obs
+from ..obs.trace import phase_counts
 from .events import EventQueue
 
 __all__ = ["QueryRecord", "Worker", "ClusterReport", "ClusterSimulation"]
@@ -81,11 +83,24 @@ class Worker:
         self._seconds_per_sample = seconds_per_sample
         self.busy_until = 0.0
         self.queries_served = 0
+        self.phase_queries: dict[str, int] = {}
+        self.phase_samples: dict[str, int] = {}
 
     def serve(self, item: int, nonce: int) -> tuple[bool, int, float]:
-        """Answer one query; returns (answer, samples spent, service time)."""
+        """Answer one query; returns (answer, samples spent, service time).
+
+        When the global tracer is enabled, the query's span tree is
+        harvested into :attr:`phase_queries`/:attr:`phase_samples` —
+        the per-worker aggregation the cluster report rolls up.
+        """
         before = self._sampler.samples_used
-        result = self._lca.answer(item, nonce=nonce)
+        with _obs.span("cluster.serve") as span:
+            result = self._lca.answer(item, nonce=nonce)
+        if span is not None:
+            for phase, n in phase_counts(span, "queries").items():
+                self.phase_queries[phase] = self.phase_queries.get(phase, 0) + n
+            for phase, n in phase_counts(span, "samples").items():
+                self.phase_samples[phase] = self.phase_samples.get(phase, 0) + n
         spent = self._sampler.samples_used - before
         self.queries_served += 1
         return result.include, spent, spent * self._seconds_per_sample
@@ -95,10 +110,19 @@ class Worker:
         """Cumulative weighted samples drawn by this worker."""
         return self._sampler.samples_used
 
+    @property
+    def total_queries(self) -> int:
+        """Cumulative charged oracle queries by this worker."""
+        return self._oracle.queries_used
+
 
 @dataclass(frozen=True)
 class ClusterReport:
-    """Outcome of one simulated deployment."""
+    """Outcome of one simulated deployment.
+
+    ``phase_queries``/``phase_samples`` aggregate the per-query span
+    trees across all workers (empty when tracing was off for the run).
+    """
 
     records: tuple[QueryRecord, ...]
     contested_items: tuple[int, ...]
@@ -108,11 +132,30 @@ class ClusterReport:
     total_samples: int
     per_worker_load: tuple[int, ...]
     total_crashes: int = 0
+    total_queries: int = 0
+    phase_queries: dict = field(default_factory=dict)
+    phase_samples: dict = field(default_factory=dict)
 
     @property
     def fully_consistent(self) -> bool:
         """True iff no item ever received contradictory answers."""
         return not self.contested_items
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (records are summarized, not dumped)."""
+        return {
+            "queries_answered": len(self.records),
+            "consistency_rate": self.consistency_rate,
+            "contested_items": list(self.contested_items),
+            "mean_latency": self.mean_latency,
+            "p95_latency": self.p95_latency,
+            "total_samples": self.total_samples,
+            "total_queries": self.total_queries,
+            "per_worker_load": list(self.per_worker_load),
+            "total_crashes": self.total_crashes,
+            "phase_queries": dict(self.phase_queries),
+            "phase_samples": dict(self.phase_samples),
+        }
 
 
 class ClusterSimulation:
@@ -315,6 +358,13 @@ class ClusterSimulation:
         repeated = [i for i, _ in votes.items()]
         consistent_items = sum(1 for i in repeated if len(votes[i]) == 1)
         latencies = np.array([r.latency for r in records]) if records else np.zeros(1)
+        phase_queries: dict[str, int] = {}
+        phase_samples: dict[str, int] = {}
+        for w in self._workers:
+            for phase, n in w.phase_queries.items():
+                phase_queries[phase] = phase_queries.get(phase, 0) + n
+            for phase, n in w.phase_samples.items():
+                phase_samples[phase] = phase_samples.get(phase, 0) + n
         return ClusterReport(
             records=records,
             contested_items=contested,
@@ -324,4 +374,7 @@ class ClusterSimulation:
             total_samples=sum(w.total_samples for w in self._workers),
             per_worker_load=tuple(w.queries_served for w in self._workers),
             total_crashes=self._crashes,
+            total_queries=sum(w.total_queries for w in self._workers),
+            phase_queries=phase_queries,
+            phase_samples=phase_samples,
         )

@@ -8,6 +8,7 @@ workers, and repeat-coverage of the consistency audit.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,16 +21,41 @@ __all__ = ["ServiceMetrics", "compute_metrics"]
 
 @dataclass(frozen=True)
 class ServiceMetrics:
-    """Derived service metrics for one simulated deployment."""
+    """Derived service metrics for one simulated deployment.
+
+    ``degenerate`` flags a zero-duration run (every record arrived and
+    finished at the same instant — e.g. zero service cost and zero
+    network latency).  Rate metrics (throughput, utilization) are
+    reported as 0.0 for such runs rather than dividing by a clamped
+    epsilon and claiming absurd rates; check the flag before reading
+    them.
+    """
 
     makespan: float  # first arrival -> last completion
     throughput: float  # completed queries per simulated second
     mean_service_time: float
     mean_queueing_delay: float  # started - arrived (incl. network)
+    p99_queueing_delay: float  # tail of the same decomposition
     utilization: float  # busy worker-seconds / (workers * makespan)
     load_imbalance: float  # max/mean per-worker load (1.0 = perfect)
     repeat_coverage: float  # fraction of distinct items queried >= twice
     retry_rate: float  # crash retries per completed query
+    degenerate: bool = False  # zero-duration run; rates forced to 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (field name -> value), for the obs exporters."""
+        return {
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "mean_service_time": self.mean_service_time,
+            "mean_queueing_delay": self.mean_queueing_delay,
+            "p99_queueing_delay": self.p99_queueing_delay,
+            "utilization": self.utilization,
+            "load_imbalance": self.load_imbalance,
+            "repeat_coverage": self.repeat_coverage,
+            "retry_rate": self.retry_rate,
+            "degenerate": self.degenerate,
+        }
 
 
 def compute_metrics(report: ClusterReport, *, workers: int) -> ServiceMetrics:
@@ -43,12 +69,11 @@ def compute_metrics(report: ClusterReport, *, workers: int) -> ServiceMetrics:
     started = np.array([r.started for r in records])
     finished = np.array([r.finished for r in records])
     service = finished - started
+    queueing = started - arrived
     makespan = float(finished.max() - arrived.min())
-    makespan = max(makespan, 1e-12)
+    degenerate = makespan <= 0.0
 
-    per_item: dict[int, int] = {}
-    for r in records:
-        per_item[r.item] = per_item.get(r.item, 0) + 1
+    per_item = Counter(r.item for r in records)
     repeated = sum(1 for c in per_item.values() if c >= 2)
 
     loads = np.array(report.per_worker_load, dtype=float)
@@ -56,11 +81,13 @@ def compute_metrics(report: ClusterReport, *, workers: int) -> ServiceMetrics:
 
     return ServiceMetrics(
         makespan=makespan,
-        throughput=len(records) / makespan,
+        throughput=0.0 if degenerate else len(records) / makespan,
         mean_service_time=float(service.mean()),
-        mean_queueing_delay=float((started - arrived).mean()),
-        utilization=float(service.sum()) / (workers * makespan),
+        mean_queueing_delay=float(queueing.mean()),
+        p99_queueing_delay=float(np.quantile(queueing, 0.99)),
+        utilization=0.0 if degenerate else float(service.sum()) / (workers * makespan),
         load_imbalance=float(loads.max()) / mean_load if mean_load > 0 else float("inf"),
         repeat_coverage=repeated / max(1, len(per_item)),
         retry_rate=report.total_crashes / len(records),
+        degenerate=degenerate,
     )

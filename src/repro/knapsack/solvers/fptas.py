@@ -10,8 +10,6 @@ solution evaluated on the *original* profits.  Guarantees value
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from ...errors import SolverError

@@ -20,18 +20,27 @@ from ..core.lca_kp import LCAKP
 from ..core.parameters import LCAParameters
 from ..errors import ReproError
 from ..knapsack.instance import KnapsackInstance
+from ..obs import runtime as _obs
+from ..obs.trace import phase_counts
 
 __all__ = ["FleetAnswer", "LCAFleet"]
 
 
 @dataclass(frozen=True)
 class FleetAnswer:
-    """One routed query: which copy served it and what it said."""
+    """One routed query: which copy served it and what it said.
+
+    ``phase_queries``/``phase_samples`` carry the per-phase resource
+    breakdown of this query's span tree when the global tracer was
+    enabled during the call, else ``None``.
+    """
 
     copy_id: int
     index: int
     include: bool
     samples_spent: int
+    phase_queries: dict | None = None
+    phase_samples: dict | None = None
 
 
 @dataclass
@@ -62,6 +71,8 @@ class LCAFleet:
     def __post_init__(self) -> None:
         if self.copies < 1:
             raise ReproError(f"copies must be >= 1, got {self.copies}")
+        self._phase_queries: dict[str, int] = {}
+        self._phase_samples: dict[str, int] = {}
         self._workers: list[tuple[LCAKP, WeightedSampler, QueryOracle]] = []
         for _ in range(self.copies):
             sampler = WeightedSampler(self.instance)
@@ -78,12 +89,25 @@ class LCAFleet:
             raise ReproError(f"copy_id {copy_id} out of range [0, {self.copies})")
         lca, sampler, _oracle = self._workers[copy_id]
         before = sampler.samples_used
-        result = lca.answer(index, nonce=nonce if nonce is not None else fresh_nonce())
+        with _obs.span("fleet.ask") as span:
+            result = lca.answer(
+                index, nonce=nonce if nonce is not None else fresh_nonce()
+            )
+        phase_queries = phase_samples = None
+        if span is not None:
+            phase_queries = phase_counts(span, "queries")
+            phase_samples = phase_counts(span, "samples")
+            for phase, n in phase_queries.items():
+                self._phase_queries[phase] = self._phase_queries.get(phase, 0) + n
+            for phase, n in phase_samples.items():
+                self._phase_samples[phase] = self._phase_samples.get(phase, 0) + n
         answer = FleetAnswer(
             copy_id=copy_id,
             index=index,
             include=result.include,
             samples_spent=sampler.samples_used - before,
+            phase_queries=phase_queries,
+            phase_samples=phase_samples,
         )
         self.history.append(answer)
         return answer
@@ -118,6 +142,23 @@ class LCAFleet:
     def total_samples(self) -> int:
         """Total weighted samples spent by the whole fleet."""
         return sum(s.samples_used for _, s, _ in self._workers)
+
+    def total_queries(self) -> int:
+        """Total charged oracle queries across the fleet's copies."""
+        return sum(o.queries_used for _, _, o in self._workers)
+
+    def phase_totals(self) -> dict[str, dict[str, int]]:
+        """Aggregated per-phase resource totals over all traced asks.
+
+        Empty dicts when the global tracer was never enabled; when it
+        was on for every ask, ``sum(queries.values())`` equals
+        :meth:`total_queries` and likewise for samples — the fleet-level
+        form of the span/oracle accounting invariant.
+        """
+        return {
+            "queries": dict(self._phase_queries),
+            "samples": dict(self._phase_samples),
+        }
 
     def per_copy_samples(self) -> list[int]:
         """Samples spent by each copy."""

@@ -1,0 +1,59 @@
+"""Observability substrate: metrics registry, span tracer, exporters.
+
+Every theorem in the paper is a statement about a measurable resource
+(query complexity, sample complexity); this package is how the repo
+*observes* those resources at runtime instead of re-deriving them
+post-hoc.  Three layers:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and streaming
+  histograms (p50/p90/p99 without storing samples);
+* :mod:`repro.obs.trace` — span-based tracing with thread-local
+  nesting and a no-op disabled path, so per-phase attribution costs
+  nothing until it is asked for;
+* :mod:`repro.obs.export` / :mod:`repro.obs.schema` — machine-readable
+  JSON/JSONL documents and their validators.
+
+The process-global instances live in :mod:`repro.obs.runtime`; the
+``repro trace`` and ``repro metrics`` CLI subcommands are the
+interactive front ends.
+"""
+
+from .export import (
+    append_jsonl,
+    jsonable,
+    read_json,
+    render_span_tree,
+    snapshot_document,
+    trace_document,
+    write_json,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .runtime import REGISTRY, TRACER, record_oracle_queries, record_samples, span, snapshot
+from .trace import Span, Tracer, phase_counts
+
+# NOTE: repro.obs.schema is intentionally not imported here so that
+# ``python -m repro.obs.schema`` (the CI smoke validator) runs without a
+# double-import warning; import it explicitly where needed.
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "phase_counts",
+    "REGISTRY",
+    "TRACER",
+    "span",
+    "record_oracle_queries",
+    "record_samples",
+    "snapshot",
+    "jsonable",
+    "write_json",
+    "append_jsonl",
+    "read_json",
+    "snapshot_document",
+    "trace_document",
+    "render_span_tree",
+]

@@ -1,0 +1,135 @@
+"""Machine-readable exporters: JSON documents, JSONL streams, and the
+human-readable span-tree rendering behind ``repro trace``.
+
+Everything written here carries a ``schema`` tag (``trace/v1``,
+``metrics-snapshot/v1``, ``bench-result/v1``, ``bench-observability/v1``)
+so downstream tooling — and the validators in :mod:`repro.obs.schema` —
+can tell documents apart without guessing.  Numpy scalars are coerced to
+plain Python numbers on the way out, so experiment rows can be dumped
+as-is.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .trace import TRACE_SCHEMA, Span, phase_counts
+
+__all__ = [
+    "jsonable",
+    "write_json",
+    "append_jsonl",
+    "read_json",
+    "snapshot_document",
+    "trace_document",
+    "render_span_tree",
+]
+
+
+def jsonable(obj: Any) -> Any:
+    """Recursively coerce ``obj`` into plain JSON-ready Python values.
+
+    Handles numpy scalars/arrays (via their ``item``/``tolist`` duck
+    type), sets/tuples (to lists), and non-finite floats (to strings,
+    since JSON has no ``inf``/``nan``).
+    """
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else repr(obj)
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):  # numpy scalar
+        return jsonable(obj.item())
+    if hasattr(obj, "tolist"):  # numpy array
+        return jsonable(obj.tolist())
+    return str(obj)
+
+
+def write_json(path: str | pathlib.Path, document: dict) -> pathlib.Path:
+    """Write one JSON document (pretty-printed, trailing newline)."""
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(jsonable(document), indent=2, sort_keys=False) + "\n")
+    return p
+
+
+def append_jsonl(path: str | pathlib.Path, record: dict) -> pathlib.Path:
+    """Append one compact JSON record to a JSONL stream."""
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a") as fh:
+        fh.write(json.dumps(jsonable(record), separators=(",", ":")) + "\n")
+    return p
+
+
+def read_json(path: str | pathlib.Path) -> dict:
+    """Load one JSON document."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Document builders
+# ----------------------------------------------------------------------
+def snapshot_document(registry: MetricsRegistry, **context: Any) -> dict:
+    """The ``metrics-snapshot/v1`` document for a registry, with free-
+    form ``context`` keys (instance family, n, ...) merged in."""
+    doc = registry.snapshot()
+    if context:
+        doc["context"] = jsonable(context)
+    return doc
+
+
+def trace_document(root: Span, **context: Any) -> dict:
+    """The ``trace/v1`` document for one finished trace tree.
+
+    ``totals`` holds the inclusive event totals and the per-phase
+    (exclusive) breakdowns for every counted key — the machine-readable
+    form of the partition property ``sum(per-phase) == total``.
+    """
+    keys: set[str] = set()
+    for span, _depth in root.walk():
+        keys.update(span.counts)
+    return {
+        "schema": TRACE_SCHEMA,
+        "root": root.to_dict(),
+        "totals": {
+            key: {
+                "total": root.total_count(key),
+                "by_phase": phase_counts(root, key),
+            }
+            for key in sorted(keys)
+        },
+        "context": jsonable(context),
+    }
+
+
+# ----------------------------------------------------------------------
+# Human-readable rendering
+# ----------------------------------------------------------------------
+def render_span_tree(root: Span, *, keys: tuple[str, ...] = ("queries", "samples")) -> str:
+    """Pretty-print a trace tree, one span per line.
+
+    Each line shows the span's wall-clock and, for each counted key,
+    ``own`` events (attributed to that span exclusively) and ``tot``
+    events (its whole subtree) when they differ.
+    """
+    lines: list[str] = []
+    for span, depth in root.walk():
+        parts = [f"{'  ' * depth}{span.name}", f"{span.duration * 1e3:9.3f} ms"]
+        for key in keys:
+            own, tot = span.own_count(key), span.total_count(key)
+            if tot == 0:
+                continue
+            if own == tot:
+                parts.append(f"{key}={own}")
+            else:
+                parts.append(f"{key}={own} (subtree {tot})")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Process-global observability runtime: one registry, one tracer.
+
+Instrumented modules (:mod:`repro.access.oracle`,
+:mod:`repro.access.weighted_sampler`, :mod:`repro.core.lca_kp`, ...)
+import this module and call the helpers below; nothing else in the
+package should hold its own global metric state.
+
+Two cost tiers, matching the ISSUE's overhead budget:
+
+* **always on** — the registry counters (``oracle.queries``,
+  ``sampler.samples``) and the per-batch size histogram.  An event is
+  an integer add; the histogram sees one observation per *batch*, not
+  per sample.
+* **opt-in** — span attribution via :data:`TRACER`, active only after
+  ``TRACER.enable()``.  Disabled, ``span()`` returns a shared no-op
+  and ``record_*`` pays a single boolean check beyond the counter add.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "span",
+    "record_oracle_queries",
+    "record_samples",
+    "snapshot",
+]
+
+#: The process-global metrics registry.
+REGISTRY = MetricsRegistry()
+
+#: The process-global tracer (disabled by default).
+TRACER = Tracer()
+
+_ORACLE_QUERIES = REGISTRY.counter("oracle.queries")
+_SAMPLER_SAMPLES = REGISTRY.counter("sampler.samples")
+_SAMPLE_BATCH = REGISTRY.histogram("sampler.batch_size")
+
+
+def span(name: str):
+    """Open a phase span on the global tracer (no-op when disabled)."""
+    return TRACER.span(name)
+
+
+def record_oracle_queries(n: int = 1) -> None:
+    """One or more charged :class:`~repro.access.QueryOracle` queries."""
+    _ORACLE_QUERIES.inc(n)
+    if TRACER._enabled:
+        TRACER.add("queries", n)
+
+
+def record_samples(n: int = 1) -> None:
+    """One charged batch of ``n`` weighted-sampler draws."""
+    _SAMPLER_SAMPLES.inc(n)
+    _SAMPLE_BATCH.observe(n)
+    if TRACER._enabled:
+        TRACER.add("samples", n)
+
+
+def snapshot() -> dict:
+    """The global registry's ``metrics-snapshot/v1`` document."""
+    return REGISTRY.snapshot()

@@ -1,0 +1,216 @@
+"""Hand-rolled validators for the observability JSON schemas.
+
+The documented schemas (see ``docs/observability.md``) are small enough
+that a dependency-free structural check beats pulling in jsonschema:
+each validator walks the document, collects every problem, and raises
+:class:`SchemaError` listing all of them at once.
+
+Usable as a module CLI — this is what the CI smoke job runs::
+
+    python -m repro.obs.schema --kind trace trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+__all__ = [
+    "SchemaError",
+    "validate_trace",
+    "validate_metrics_snapshot",
+    "validate_bench_result",
+    "validate_bench_observability",
+    "validate",
+    "main",
+]
+
+
+class SchemaError(ValueError):
+    """A document failed validation; ``problems`` lists every issue."""
+
+    def __init__(self, kind: str, problems: list[str]) -> None:
+        self.kind = kind
+        self.problems = problems
+        super().__init__(
+            f"invalid {kind} document ({len(problems)} problem(s)):\n  "
+            + "\n  ".join(problems)
+        )
+
+
+def _require(doc: dict, key: str, types, problems: list[str], where: str = "") -> bool:
+    label = f"{where}{key}"
+    if key not in doc:
+        problems.append(f"missing key {label!r}")
+        return False
+    if not isinstance(doc[key], types):
+        tnames = (
+            "/".join(t.__name__ for t in types)
+            if isinstance(types, tuple)
+            else types.__name__
+        )
+        problems.append(f"{label!r} must be {tnames}, got {type(doc[key]).__name__}")
+        return False
+    return True
+
+
+_NUM = (int, float)
+
+
+def _check_span(node: object, problems: list[str], where: str) -> None:
+    if not isinstance(node, dict):
+        problems.append(f"{where} must be an object")
+        return
+    _require(node, "name", str, problems, where + ".")
+    _require(node, "duration_s", _NUM, problems, where + ".")
+    if _require(node, "counts", dict, problems, where + "."):
+        for key, value in node["counts"].items():
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"{where}.counts[{key!r}] must be a non-negative int"
+                )
+    if _require(node, "children", list, problems, where + "."):
+        for i, child in enumerate(node["children"]):
+            _check_span(child, problems, f"{where}.children[{i}]")
+
+
+def validate_trace(doc: dict) -> dict:
+    """Validate a ``trace/v1`` document, including the partition
+    invariant: for every counted key, the per-phase counts sum to the
+    recorded total."""
+    problems: list[str] = []
+    if doc.get("schema") != "trace/v1":
+        problems.append(f"schema must be 'trace/v1', got {doc.get('schema')!r}")
+    if _require(doc, "root", dict, problems):
+        _check_span(doc["root"], problems, "root")
+    if _require(doc, "totals", dict, problems):
+        for key, entry in doc["totals"].items():
+            where = f"totals[{key!r}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            ok_total = _require(entry, "total", int, problems, where + ".")
+            ok_phase = _require(entry, "by_phase", dict, problems, where + ".")
+            if ok_total and ok_phase:
+                phase_sum = sum(entry["by_phase"].values())
+                if phase_sum != entry["total"]:
+                    problems.append(
+                        f"{where}: per-phase counts sum to {phase_sum}, "
+                        f"but total is {entry['total']}"
+                    )
+    if problems:
+        raise SchemaError("trace/v1", problems)
+    return doc
+
+
+def validate_metrics_snapshot(doc: dict) -> dict:
+    """Validate a ``metrics-snapshot/v1`` document."""
+    problems: list[str] = []
+    if doc.get("schema") != "metrics-snapshot/v1":
+        problems.append(
+            f"schema must be 'metrics-snapshot/v1', got {doc.get('schema')!r}"
+        )
+    if _require(doc, "counters", dict, problems):
+        for name, value in doc["counters"].items():
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"counters[{name!r}] must be a non-negative int")
+    if _require(doc, "gauges", dict, problems):
+        for name, value in doc["gauges"].items():
+            if not isinstance(value, _NUM):
+                problems.append(f"gauges[{name!r}] must be numeric")
+    if _require(doc, "histograms", dict, problems):
+        for name, hist in doc["histograms"].items():
+            if not isinstance(hist, dict):
+                problems.append(f"histograms[{name!r}] must be an object")
+                continue
+            _require(hist, "count", int, problems, f"histograms[{name!r}].")
+            if hist.get("count"):
+                for stat in ("sum", "min", "max", "mean", "p50", "p90", "p99"):
+                    _require(hist, stat, _NUM, problems, f"histograms[{name!r}].")
+    if problems:
+        raise SchemaError("metrics-snapshot/v1", problems)
+    return doc
+
+
+def validate_bench_result(doc: dict) -> dict:
+    """Validate a ``bench-result/v1`` document (one experiment)."""
+    problems: list[str] = []
+    if doc.get("schema") != "bench-result/v1":
+        problems.append(f"schema must be 'bench-result/v1', got {doc.get('schema')!r}")
+    _require(doc, "name", str, problems)
+    _require(doc, "title", str, problems)
+    if _require(doc, "rows", list, problems):
+        for i, row in enumerate(doc["rows"]):
+            if not isinstance(row, dict):
+                problems.append(f"rows[{i}] must be an object")
+    _require(doc, "wall_clock_s", _NUM, problems)
+    _require(doc, "total_queries", int, problems)
+    _require(doc, "total_samples", int, problems)
+    if problems:
+        raise SchemaError("bench-result/v1", problems)
+    return doc
+
+
+def validate_bench_observability(doc: dict) -> dict:
+    """Validate the top-level ``bench-observability/v1`` summary."""
+    problems: list[str] = []
+    if doc.get("schema") != "bench-observability/v1":
+        problems.append(
+            f"schema must be 'bench-observability/v1', got {doc.get('schema')!r}"
+        )
+    if _require(doc, "experiments", dict, problems):
+        for name, entry in doc["experiments"].items():
+            where = f"experiments[{name!r}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            _require(entry, "title", str, problems, where + ".")
+            _require(entry, "wall_clock_s", _NUM, problems, where + ".")
+            _require(entry, "total_queries", int, problems, where + ".")
+            _require(entry, "total_samples", int, problems, where + ".")
+            _require(entry, "sample_batch_histogram", dict, problems, where + ".")
+    if problems:
+        raise SchemaError("bench-observability/v1", problems)
+    return doc
+
+
+_VALIDATORS = {
+    "trace": validate_trace,
+    "metrics": validate_metrics_snapshot,
+    "bench-result": validate_bench_result,
+    "bench-observability": validate_bench_observability,
+}
+
+
+def validate(kind: str, doc: dict) -> dict:
+    """Dispatch to the validator for ``kind`` (see ``--kind`` choices)."""
+    if kind not in _VALIDATORS:
+        raise ValueError(f"unknown schema kind {kind!r}; known: {sorted(_VALIDATORS)}")
+    return _VALIDATORS[kind](doc)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: validate JSON files against one of the documented schemas."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="validate observability JSON documents",
+    )
+    parser.add_argument("--kind", required=True, choices=sorted(_VALIDATORS))
+    parser.add_argument("paths", nargs="+", help="JSON files to validate")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.paths:
+        try:
+            validate(args.kind, json.loads(pathlib.Path(path).read_text()))
+        except (OSError, json.JSONDecodeError, SchemaError) as exc:
+            print(f"{path}: FAIL\n{exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"{path}: ok ({args.kind})")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

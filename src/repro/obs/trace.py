@@ -1,0 +1,229 @@
+"""Span-based tracing with thread-local context and a no-op fast path.
+
+A :class:`Span` covers one algorithmic phase (``"eps.estimate"``,
+``"oracle.reveal"``, ...).  Spans nest: entering a span while another is
+active makes it a child, so one LCA query yields a tree whose leaves
+are exactly the phases where resources were spent.  Instrumented code
+attributes resource events to the *innermost* active span via
+:meth:`Tracer.add`, which is what makes per-phase counts partition the
+totals: every charged oracle query lands in exactly one span, so the
+per-phase counts sum to ``QueryOracle.queries_used`` (the property the
+``repro trace`` CLI and the hypothesis tests check).
+
+The tracer is **disabled by default**.  Disabled, ``span()`` returns a
+shared singleton whose ``__enter__``/``__exit__`` do nothing and
+``add()`` returns after one attribute check — hot paths pay a few
+nanoseconds, not a tree allocation.  Context is thread-local, so fleet
+and cluster simulations can trace concurrently without cross-talk.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["Span", "Tracer", "phase_counts"]
+
+TRACE_SCHEMA = "trace/v1"
+
+
+class Span:
+    """One timed, counted node of a trace tree."""
+
+    __slots__ = ("name", "start", "end", "children", "counts")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self.counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (to now, if the span is still open)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def own_count(self, key: str) -> int:
+        """Events attributed to this span itself (exclusive of children)."""
+        return self.counts.get(key, 0)
+
+    def total_count(self, key: str) -> int:
+        """Events in this span's whole subtree (inclusive)."""
+        return self.own_count(key) + sum(c.total_count(key) for c in self.children)
+
+    def walk(self):
+        """Yield ``(span, depth)`` in pre-order."""
+        stack: list[tuple[Span, int]] = [(self, 0)]
+        while stack:
+            span, depth = stack.pop()
+            yield span, depth
+            for child in reversed(span.children):
+                stack.append((child, depth + 1))
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the subtree (schema ``trace/v1`` node)."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "counts": dict(self.counts),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, children={len(self.children)}, counts={self.counts})"
+
+
+def phase_counts(root: Span, key: str) -> dict[str, int]:
+    """Exclusive per-phase totals for ``key`` over a trace tree.
+
+    Spans with the same name pool their counts; phases that saw no
+    events are omitted.  Because attribution is exclusive, the returned
+    values sum to ``root.total_count(key)`` exactly.
+    """
+    out: dict[str, int] = {}
+    for span, _depth in root.walk():
+        n = span.own_count(key)
+        if n:
+            out[span.name] = out.get(span.name, 0) + n
+    return out
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that pushes/pops one live :class:`Span`."""
+
+    __slots__ = ("_tracer", "_name", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._push(self._name)
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._span is not None:
+            self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Thread-local span stack plus a bounded log of finished roots.
+
+    Use the module-global instance in :mod:`repro.obs.runtime` unless a
+    component wants private traces.  Typical use::
+
+        tracer.enable()
+        with tracer.span("repro.trace") as root:
+            lca.answer(7)
+        queries_by_phase = phase_counts(root, "queries")
+    """
+
+    def __init__(self, *, keep_roots: int = 64) -> None:
+        self._local = threading.local()
+        self._enabled = False
+        self._lock = threading.Lock()
+        self._finished: deque[Span] = deque(maxlen=keep_roots)
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are being recorded."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start recording spans."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; open spans keep collecting until they exit."""
+        self._enabled = False
+
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> "_ActiveSpan | _NullSpan":
+        """Context manager for one phase; no-op when disabled.
+
+        ``with tracer.span(...) as s:`` binds the live :class:`Span`
+        (or ``None`` when disabled) so callers can harvest the finished
+        tree without reaching into the tracer.
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name)
+
+    def add(self, key: str, n: int = 1) -> None:
+        """Attribute ``n`` events to the innermost active span.
+
+        Silently drops the events when disabled or no span is open —
+        registry counters (always on) still see them.
+        """
+        if not self._enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            top = stack[-1]
+            top.counts[key] = top.counts.get(key, 0) + n
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    def _push(self, name: str) -> Span:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span = Span(name)
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # unwound out of order (exception paths)
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self._finished.append(span)
+
+    # ------------------------------------------------------------------
+    def finished_roots(self) -> list[Span]:
+        """Completed root spans, oldest first (bounded ring)."""
+        with self._lock:
+            return list(self._finished)
+
+    def last_root(self) -> Span | None:
+        """Most recently completed root span, if any."""
+        with self._lock:
+            return self._finished[-1] if self._finished else None
+
+    def clear(self) -> None:
+        """Drop all finished roots (open spans are unaffected)."""
+        with self._lock:
+            self._finished.clear()

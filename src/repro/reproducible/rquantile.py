@@ -19,7 +19,6 @@ the answer back to an efficiency value.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -4,7 +4,6 @@ import pytest
 
 from repro.access.transcripts import (
     RecordingOracle,
-    Transcript,
     oracle_for,
     transcripts_agree,
 )

@@ -1,7 +1,5 @@
 """Tests for the iterated-logarithm utilities."""
 
-import math
-
 import pytest
 
 from repro.analysis.logstar import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.convert_greedy import convert_greedy
-from repro.core.lca_kp import LCAKP
 from repro.core.mapping_greedy import mapping_greedy
 from repro.core.simplified_instance import build_simplified_instance
 from repro.knapsack import generators as g

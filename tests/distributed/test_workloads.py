@@ -91,9 +91,43 @@ class TestServiceMetrics:
         assert 0 <= m.utilization <= 1 + 1e-9
         assert m.mean_service_time > 0
         assert m.mean_queueing_delay >= 0
+        assert m.p99_queueing_delay >= m.mean_queueing_delay * 0.0
         assert m.load_imbalance >= 1.0
         assert 0 <= m.repeat_coverage <= 1
         assert m.retry_rate == 0.0
+        assert not m.degenerate
+
+    def test_p99_dominates_median_queueing(self, report):
+        import numpy as np
+
+        m = compute_metrics(report, workers=3)
+        queueing = np.array([r.started - r.arrived for r in report.records])
+        assert m.p99_queueing_delay == pytest.approx(float(np.quantile(queueing, 0.99)))
+        assert m.p99_queueing_delay >= float(np.quantile(queueing, 0.5))
+
+    def test_degenerate_zero_duration_run_flagged(self, report):
+        # Collapse every timestamp: a zero-makespan run must be flagged
+        # instead of reporting astronomically large rates through a
+        # clamped denominator.
+        from dataclasses import replace
+
+        frozen = tuple(
+            replace(r, arrived=1.0, started=1.0, finished=1.0) for r in report.records
+        )
+        m = compute_metrics(replace(report, records=frozen), workers=3)
+        assert m.degenerate
+        assert m.makespan == 0.0
+        assert m.throughput == 0.0
+        assert m.utilization == 0.0
+
+    def test_to_dict_is_json_ready(self, report):
+        import json
+
+        m = compute_metrics(report, workers=3)
+        payload = m.to_dict()
+        assert payload["p99_queueing_delay"] == m.p99_queueing_delay
+        assert payload["degenerate"] is False
+        json.dumps(payload)
 
     def test_zipf_repeats_feed_the_audit(self, report):
         m = compute_metrics(report, workers=3)

@@ -4,7 +4,6 @@ Each test here crosses several packages: generators -> oracles -> LCA
 -> materialized solution -> solvers -> verification.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

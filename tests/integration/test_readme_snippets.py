@@ -8,8 +8,6 @@ test slow, via a literal substitution that must still match the text).
 import pathlib
 import re
 
-import pytest
-
 README = pathlib.Path(__file__).resolve().parents[2] / "README.md"
 
 

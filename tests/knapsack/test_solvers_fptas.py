@@ -1,6 +1,5 @@
 """Tests for the FPTAS and the fractional relaxation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SolverError

@@ -1,8 +1,5 @@
 """Tests for greedy algorithms and the 1/2-approximation."""
 
-import math
-
-import numpy as np
 import pytest
 
 from repro.knapsack import generators as g

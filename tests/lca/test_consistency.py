@@ -1,6 +1,5 @@
 """Tests for the consistency audit machinery."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConsistencyViolation

@@ -1,0 +1,137 @@
+"""Tests for the metrics primitives (counters, gauges, histograms)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_monotone(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_add(self):
+        g = Gauge("g")
+        g.set(2.5)
+        g.add(-1.0)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+
+    @pytest.mark.parametrize("dist", ["lognormal", "uniform", "exponential"])
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_quantile_accuracy_vs_numpy(self, dist, q):
+        # The streaming estimate must track numpy's exact quantile to
+        # within the bucket resolution (~1.8%/bucket at 64/decade) plus
+        # a little rank slack on the far tail.
+        rng = np.random.default_rng(hash((dist, q)) % 2**32)
+        data = {
+            "lognormal": lambda: rng.lognormal(0.0, 1.5, size=20_000),
+            "uniform": lambda: rng.uniform(0.001, 100.0, size=20_000),
+            "exponential": lambda: rng.exponential(10.0, size=20_000),
+        }[dist]()
+        h = Histogram("h")
+        h.observe_many(data)
+        exact = float(np.quantile(data, q))
+        estimate = h.quantile(q)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_zero_and_negative_observations(self):
+        h = Histogram("h")
+        for v in (-2.0, 0.0, 0.0, 1.0, 10.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.min == -2.0
+        assert h.quantile(0.0) == -2.0
+        assert h.quantile(1.0) == 10.0
+
+    def test_quantiles_clamped_to_range(self):
+        h = Histogram("h")
+        h.observe(7.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(7.0)
+
+    def test_empty_histogram_rejects_quantile(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(0.5)
+        assert h.snapshot() == {"count": 0, "sum": 0.0}
+
+    def test_nan_rejected(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.observe(math.nan)
+
+    def test_memory_is_bucket_bounded(self):
+        # 100k observations over 4 decades occupy at most a few hundred
+        # buckets — the whole point of the streaming design.
+        rng = np.random.default_rng(0)
+        h = Histogram("h")
+        h.observe_many(rng.lognormal(0, 2, size=100_000))
+        assert len(h._buckets) < 1_000
+
+    def test_snapshot_keys(self):
+        h = Histogram("h")
+        h.observe_many([1.0, 2.0, 3.0])
+        snap = h.snapshot()
+        assert set(snap) == {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["schema"] == "metrics-snapshot/v1"
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_keeps_identity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(5)
+        reg.reset()
+        assert reg.counter("c") is c
+        assert c.value == 0

@@ -1,0 +1,152 @@
+"""Tests for the span tracer: nesting, attribution, thread-locality,
+and the disabled fast path."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import Span, Tracer, phase_counts
+from repro.obs.trace import _NULL_SPAN  # noqa: PLC2701 - the no-op singleton
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+class TestNesting:
+    def test_parent_child_structure(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a1"]
+        assert root.end is not None
+
+    def test_counts_attribute_to_innermost(self, tracer):
+        with tracer.span("root") as root:
+            tracer.add("queries", 1)
+            with tracer.span("inner"):
+                tracer.add("queries", 2)
+        assert root.own_count("queries") == 1
+        assert root.children[0].own_count("queries") == 2
+        assert root.total_count("queries") == 3
+
+    def test_phase_counts_partition_totals(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("phase"):
+                tracer.add("samples", 5)
+            with tracer.span("phase"):  # same name pools
+                tracer.add("samples", 7)
+            with tracer.span("other"):
+                tracer.add("samples", 1)
+        by_phase = phase_counts(root, "samples")
+        assert by_phase == {"phase": 12, "other": 1}
+        assert sum(by_phase.values()) == root.total_count("samples")
+
+    def test_finished_roots_ring(self, tracer):
+        for i in range(3):
+            with tracer.span(f"r{i}"):
+                pass
+        assert [s.name for s in tracer.finished_roots()] == ["r0", "r1", "r2"]
+        assert tracer.last_root().name == "r2"
+        tracer.clear()
+        assert tracer.finished_roots() == []
+
+    def test_exception_closes_span(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        root = tracer.last_root()
+        assert root.name == "boom" and root.end is not None
+        # The stack unwound: a fresh span is again a root.
+        with tracer.span("next"):
+            pass
+        assert tracer.last_root().name == "next"
+
+    def test_to_dict_roundtrip(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                tracer.add("queries", 2)
+        d = root.to_dict()
+        assert d["name"] == "root"
+        assert d["children"][0]["counts"] == {"queries": 2}
+        assert d["duration_s"] >= 0
+
+
+class TestThreadLocality:
+    def test_threads_get_independent_stacks(self, tracer):
+        errors: list[str] = []
+        barrier = threading.Barrier(2)
+
+        def work(tag: str) -> None:
+            try:
+                with tracer.span(f"root-{tag}") as root:
+                    barrier.wait(timeout=5)
+                    with tracer.span(f"inner-{tag}"):
+                        tracer.add("queries", 1)
+                    barrier.wait(timeout=5)
+                if [c.name for c in root.children] != [f"inner-{tag}"]:
+                    errors.append(f"{tag}: cross-thread child leak: {root.children}")
+                if root.total_count("queries") != 1:
+                    errors.append(f"{tag}: count leak: {root.counts}")
+            except Exception as exc:  # noqa: BLE001 - surfaced via errors
+                errors.append(f"{tag}: {exc!r}")
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []
+        assert sorted(s.name for s in tracer.finished_roots()) == ["root-a", "root-b"]
+
+
+class TestDisabledFastPath:
+    def test_span_is_shared_noop_singleton(self):
+        t = Tracer()
+        assert t.span("x") is _NULL_SPAN
+        assert t.span("y") is _NULL_SPAN
+
+    def test_disabled_span_yields_none_and_records_nothing(self):
+        t = Tracer()
+        with t.span("x") as s:
+            t.add("queries", 3)
+        assert s is None
+        assert t.finished_roots() == []
+        assert t.current() is None
+
+    def test_add_outside_any_span_is_dropped(self):
+        t = Tracer()
+        t.enable()
+        t.add("queries", 3)  # no open span: silently dropped
+        assert t.finished_roots() == []
+
+    def test_enable_disable_roundtrip(self):
+        t = Tracer()
+        assert not t.enabled
+        t.enable()
+        assert t.enabled
+        t.disable()
+        assert not t.enabled
+        assert t.span("x") is _NULL_SPAN
+
+
+class TestSpanBasics:
+    def test_walk_preorder(self):
+        root = Span("r")
+        a, b = Span("a"), Span("b")
+        a1 = Span("a1")
+        a.children.append(a1)
+        root.children.extend([a, b])
+        assert [(s.name, d) for s, d in root.walk()] == [
+            ("r", 0),
+            ("a", 1),
+            ("a1", 2),
+            ("b", 1),
+        ]
