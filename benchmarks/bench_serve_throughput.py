@@ -1,0 +1,59 @@
+"""Serving-layer throughput: cached vs uncached, serial vs parallel.
+
+One query stream served under four regimes (see
+``repro.serve.bench``): per-query ``LCAKP.answer`` (the pre-serving
+baseline, one pipeline per query), batched-uncached, batched-cached and
+thread-parallel.  All four return bit-identical answers — the
+invariance property test pins that — so the table isolates serving
+overhead.
+
+Acceptance line: the cached regime must clear 10x the per-query
+baseline's queries/sec.  In practice it clears it by orders of
+magnitude (a cache hit costs one point query and an O(batch) numpy
+pass; the baseline pays m_large + a weighted samples per query).
+
+Writes ``benchmarks/results/SERVE_throughput.{txt,json}`` via the
+shared conftest plumbing and the top-level ``BENCH_serve.json``
+(``bench-result/v1``) that the CI serve-smoke job validates.
+"""
+
+import pathlib
+
+from conftest import emit_json, run_once
+
+from repro.knapsack import generate
+from repro.obs.export import write_json
+from repro.serve.bench import bench_serve_document, serve_throughput_rows
+
+BENCH_SERVE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_serve.json"
+
+
+def test_serve_throughput(benchmark):
+    inst = generate("uniform", 5000, seed=0)
+    rows = run_once(
+        benchmark,
+        serve_throughput_rows,
+        inst,
+        epsilon=0.1,
+        seed=7,
+        queries=1000,
+        batch=100,
+        workers=4,
+        baseline_queries=20,
+    )
+    emit_json(
+        "SERVE_throughput",
+        rows,
+        "Serving layer: queries/sec by regime (same answers in all four)",
+    )
+    write_json(BENCH_SERVE_PATH, bench_serve_document(rows))
+
+    by = {r["mode"]: r for r in rows}
+    cached = by["serial_cached"]
+    # The headline acceptance ratio: cached batches vs per-query answer.
+    assert cached["speedup_vs_per_query"] >= 10.0, rows
+    # The cache actually engaged: one pipeline, the rest were hits.
+    assert cached["pipelines_run"] == 1
+    assert cached["cache_hits"] == 9
+    # Batching alone already amortizes; caching must beat it too.
+    assert cached["qps"] > by["serial_uncached"]["qps"]

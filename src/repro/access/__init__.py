@@ -11,6 +11,7 @@ The paper's dichotomy is exactly about access power:
 assume, split into shared-vs-per-run streams per Definition 2.5.
 """
 
+from .cost import CostMeter, ensure_cost_meter
 from .oracle import FunctionInstance, QueryOracle
 from .seeds import SeedChain, fresh_nonce
 from .transcripts import (
@@ -23,6 +24,8 @@ from .transcripts import (
 from .weighted_sampler import AliasTable, CustomSampler, Sample, WeightedSampler
 
 __all__ = [
+    "CostMeter",
+    "ensure_cost_meter",
     "QueryOracle",
     "FunctionInstance",
     "SeedChain",

@@ -1,0 +1,49 @@
+"""The :class:`CostMeter` protocol: uniform cost accounting for access objects.
+
+Every access mechanism in the LCA model charges a *cost* per interaction
+— one unit per revealed item for :class:`~repro.access.QueryOracle`, one
+unit per draw for :class:`~repro.access.WeightedSampler` — and every
+theorem in the paper is a statement about that cumulative cost.  Before
+this protocol existed, consumers probed the concrete attribute names
+(``samples_used`` vs ``queries_used``) with ``getattr`` fallbacks; now
+each access object exposes the same read-only ``cost_counter`` and the
+pipeline code asserts conformance instead of guessing.
+
+``cost_counter`` is *cumulative and monotone* within one accounting
+epoch: it never decreases except through an explicit ``reset()``.
+Deltas of ``cost_counter`` around a call are therefore the per-call
+cost, which is how :class:`~repro.core.LCAKP` attributes samples to a
+pipeline run and how the serving layer reports per-batch spend.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["CostMeter", "ensure_cost_meter"]
+
+
+@runtime_checkable
+class CostMeter(Protocol):
+    """Anything that meters its cumulative access cost."""
+
+    @property
+    def cost_counter(self) -> int:  # pragma: no cover - protocol
+        """Total cost units charged so far (monotone between resets)."""
+        ...
+
+
+def ensure_cost_meter(obj, role: str):
+    """Return ``obj``, raising ``TypeError`` unless it is a :class:`CostMeter`.
+
+    ``role`` names the parameter in the error message (``"sampler"``,
+    ``"oracle"``), so misconfigured wiring fails at construction time
+    with a pointer to the contract rather than deep in a pipeline run.
+    """
+    if not isinstance(obj, CostMeter):
+        raise TypeError(
+            f"{role} {type(obj).__name__!r} does not satisfy the CostMeter "
+            "protocol: it must expose a cumulative integer `cost_counter` "
+            "property (see repro.access.cost)"
+        )
+    return obj

@@ -121,6 +121,17 @@ class QueryOracle:
         self._cache[i] = item
         return item
 
+    def query_many(self, indices) -> list[Item]:
+        """Reveal a batch of items (charged per :meth:`query` semantics).
+
+        Budget enforcement, repeat caching and the query log behave
+        exactly as if :meth:`query` were called once per index, in
+        order; the batch form exists so callers on the serving hot path
+        have one charging point per batch instead of a Python-level
+        loop in their own code.
+        """
+        return [self.query(int(i)) for i in indices]
+
     def profit(self, i: int) -> float:
         """Convenience: profit component of :meth:`query`."""
         return self.query(i).profit
@@ -135,6 +146,12 @@ class QueryOracle:
     @property
     def queries_used(self) -> int:
         """Number of (charged) queries so far."""
+        return self._queries
+
+    @property
+    def cost_counter(self) -> int:
+        """Uniform :class:`~repro.access.cost.CostMeter` face of
+        :attr:`queries_used` — one cost unit per charged query."""
         return self._queries
 
     @property

@@ -176,6 +176,12 @@ class WeightedSampler:
         return self._samples
 
     @property
+    def cost_counter(self) -> int:
+        """Uniform :class:`~repro.access.cost.CostMeter` face of
+        :attr:`samples_used` — one cost unit per draw."""
+        return self._samples
+
+    @property
     def budget(self) -> int | None:
         """The sample budget, or ``None``."""
         return self._budget
@@ -245,6 +251,12 @@ class CustomSampler:
     @property
     def samples_used(self) -> int:
         """Number of samples drawn so far."""
+        return self._samples
+
+    @property
+    def cost_counter(self) -> int:
+        """Uniform :class:`~repro.access.cost.CostMeter` face of
+        :attr:`samples_used` — one cost unit per draw."""
         return self._samples
 
     @property

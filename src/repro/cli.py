@@ -6,6 +6,8 @@ Subcommands
 ``lca``         answer membership queries with LCA-KP;
 ``trace``       run one LCA query under the tracer, print its span tree;
 ``metrics``     run a small workload, dump the metrics registry as JSON;
+``serve``       serve a query batch through the KnapsackService engine;
+``bench``       measure serving throughput, write BENCH_serve.json;
 ``experiment``  run one of the E1-E11 experiments and print its table;
 ``demo``        the Figure 1 reduction, walked end to end;
 ``families``    list the workload generator families.
@@ -120,6 +122,56 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_cluster.add_argument(
         "--crash-rate", type=float, default=0.0, help="probability a service attempt crashes"
+    )
+    p_cluster.add_argument(
+        "--cache-size", type=int, default=0,
+        help="cluster-shared pipeline cache capacity (0 disables)",
+    )
+    p_cluster.add_argument(
+        "--nonce-pool", type=int, default=0,
+        help="draw query nonces from a pool of this many (pinning enables cache hits)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a query batch through the KnapsackService engine"
+    )
+    p_serve.add_argument("--family", default="planted_lsg", choices=sorted(FAMILIES))
+    p_serve.add_argument("--n", type=int, default=5000)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--epsilon", type=float, default=0.1)
+    p_serve.add_argument("--lca-seed", type=int, default=42, help="the shared random string r")
+    p_serve.add_argument("--queries", type=int, default=200, help="batch size to serve")
+    p_serve.add_argument(
+        "--batches", type=int, default=4, help="how many identical batches (shows cache hits)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, help="shard batches across this many workers"
+    )
+    p_serve.add_argument(
+        "--executor", default="thread", choices=("thread", "process")
+    )
+    p_serve.add_argument(
+        "--nonce", type=int, default=None, help="pin the fresh-randomness nonce (enables cache hits)"
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="measure serving throughput and write BENCH_serve.json"
+    )
+    p_bench.add_argument("--family", default="uniform", choices=sorted(FAMILIES))
+    p_bench.add_argument("--n", type=int, default=5000)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--epsilon", type=float, default=0.1)
+    p_bench.add_argument("--lca-seed", type=int, default=7)
+    p_bench.add_argument("--queries", type=int, default=1000)
+    p_bench.add_argument("--batch", type=int, default=100)
+    p_bench.add_argument("--workers", type=int, default=4)
+    p_bench.add_argument(
+        "--baseline-queries", type=int, default=20,
+        help="queries for the per-query baseline (each runs a full pipeline)",
+    )
+    p_bench.add_argument(
+        "--out", metavar="PATH", default="BENCH_serve.json",
+        help="where to write the bench-result/v1 document",
     )
 
     p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment")
@@ -282,6 +334,80 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import KnapsackService
+
+    inst = generate(args.family, args.n, seed=args.seed)
+    service = KnapsackService(
+        inst,
+        args.epsilon,
+        seed=args.lca_seed,
+        executor=args.executor,
+    )
+    rng = np.random.default_rng(args.seed)
+    indices = [int(i) for i in rng.integers(inst.n, size=args.queries)]
+    rows = []
+    for b in range(args.batches):
+        report = service.answer_batch(
+            indices,
+            nonce=args.nonce,
+            workers=args.workers if args.workers > 1 else None,
+        )
+        rows.append(
+            [
+                b,
+                report.mode,
+                report.workers,
+                len(report.answers),
+                report.cache_hits,
+                report.pipelines_run,
+                report.samples_spent,
+                f"{report.queries_per_sec:,.0f}",
+            ]
+        )
+    print(
+        f"serve: family={args.family} n={inst.n} eps={args.epsilon} "
+        f"seed={args.lca_seed} nonce={args.nonce} "
+        f"({'pinned: repeat batches hit the cache' if args.nonce is not None else 'fresh per batch: no hits expected'})"
+    )
+    print(
+        format_table(
+            ["batch", "mode", "workers", "queries", "hits", "pipelines", "samples", "q/s"],
+            rows,
+        )
+    )
+    stats = service.stats()
+    cache = stats["cache"]
+    if cache is not None:
+        print(
+            f"cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(rate {cache['hit_rate']:.2f}), {cache['size']}/{cache['capacity']} entries"
+        )
+    print(f"totals: {stats['samples_used']} samples, {stats['queries_used']} point queries")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs.export import write_json
+    from .serve.bench import bench_serve_document, serve_throughput_rows
+
+    inst = generate(args.family, args.n, seed=args.seed)
+    rows = serve_throughput_rows(
+        inst,
+        epsilon=args.epsilon,
+        seed=args.lca_seed,
+        queries=args.queries,
+        batch=args.batch,
+        workers=args.workers,
+        baseline_queries=args.baseline_queries,
+    )
+    print(format_row_dicts(rows, title="serving-layer throughput"))
+    doc = bench_serve_document(rows)
+    write_json(args.out, doc)
+    print(f"\nwrote bench-result/v1 document to {args.out}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     rows = EXPERIMENTS[args.name]()
     print(format_row_dicts(rows, title=f"experiment {args.name}"))
@@ -305,6 +431,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         workers=args.workers,
         routing=args.routing,
         crash_rate=args.crash_rate,
+        cache_capacity=args.cache_size,
+        nonce_pool=args.nonce_pool,
     )
     report = sim.run(args.queries)
     print(
@@ -321,6 +449,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ["total samples", report.total_samples],
         ["per-worker load", " ".join(map(str, report.per_worker_load))],
     ]
+    if report.cache is not None:
+        rows.append(
+            ["pipeline cache", f"{report.cache['hits']} hits / {report.cache['misses']} misses"]
+        )
     print(format_table(["metric", "value"], rows))
     return 0
 
@@ -381,6 +513,8 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "cluster": _cmd_cluster,
+        "serve": _cmd_serve,
+        "bench": _cmd_bench,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "demo": _cmd_demo,

@@ -21,7 +21,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..knapsack.items import efficiency
+import numpy as np
+
+from ..knapsack.items import efficiency, efficiency_array
 from ..obs import runtime as _obs
 from .simplified_instance import SimplifiedInstance
 
@@ -77,6 +79,32 @@ class ConvertGreedyResult:
             return False
         eff = efficiency(profit, weight)
         return eff >= eps_sq and eff >= self.e_small
+
+    def decide_many(self, profits, weights, indices) -> np.ndarray:
+        """Vectorized :meth:`decide` over parallel arrays.
+
+        Returns a boolean array; element ``k`` equals
+        ``decide(profits[k], weights[k], indices[k])`` exactly — the
+        serving hot path depends on bit-identity with the scalar rule.
+        """
+        p = np.asarray(profits, dtype=float)
+        w = np.asarray(weights, dtype=float)
+        idx = np.asarray(indices, dtype=np.int64)
+        eps_sq = self.epsilon * self.epsilon
+        if self.index_large:
+            large = np.fromiter(self.index_large, dtype=np.int64)
+            include = np.isin(idx, large)
+        else:
+            include = np.zeros(idx.shape, dtype=bool)
+        if not self.b_indicator and self.e_small is not None:
+            eff = efficiency_array(p, w)
+            include |= (
+                ~include
+                & (p <= eps_sq)
+                & (eff >= eps_sq)
+                & (eff >= self.e_small)
+            )
+        return include
 
 
 def convert_greedy(simplified: SimplifiedInstance) -> ConvertGreedyResult:

@@ -18,10 +18,12 @@ reproducible: fresh samples, same seed => same simplified instance I~
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..access.cost import ensure_cost_meter
 from ..access.oracle import QueryOracle
 from ..access.seeds import SeedChain, fresh_nonce
 from ..errors import ReproError
@@ -33,7 +35,7 @@ from .parameters import LCAParameters
 from .simplified_instance import SimplifiedInstance, build_simplified_instance
 from .tie_breaking import TieBreakingRule, derive_tie_breaking
 
-__all__ = ["LCAAnswer", "PipelineResult", "LCAKP"]
+__all__ = ["LCAAnswer", "PipelineResult", "RunSummary", "LCAKP"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,7 @@ class PipelineResult:
     samples_used: int
     small_sample_size: int
     tie_rule: "TieBreakingRule | None" = None
+    nonce: int | None = None
 
     @property
     def rule(self):
@@ -62,16 +65,64 @@ class PipelineResult:
             return sig
         return sig + (self.tie_rule.band_lo, self.tie_rule.band_hi, self.tie_rule.fraction)
 
+    def signature_hash(self) -> str:
+        """Short stable hex digest of :meth:`signature` (hash-seed
+        independent, unlike ``hash()`` on a tuple containing strings)."""
+        h = hashlib.sha256(repr(self.signature()).encode("utf-8"))
+        return h.hexdigest()[:16]
+
+    def summary(self) -> "RunSummary":
+        """The lightweight cross-process face of this run."""
+        return RunSummary(
+            p_large=self.p_large,
+            samples_used=self.samples_used,
+            small_sample_size=self.small_sample_size,
+            num_large=len(self.large_items),
+            num_thresholds=len(self.eps_sequence),
+            signature_hash=self.signature_hash(),
+            tie_breaking=self.tie_rule is not None,
+            nonce=self.nonce,
+        )
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Lightweight summary of one pipeline run.
+
+    This is what an :class:`LCAAnswer` carries instead of the full
+    :class:`PipelineResult`: a handful of scalars that (a) identify the
+    run — ``signature_hash`` equality implies identical answers to every
+    query, ``nonce`` replays it — and (b) account for it (``p_large``,
+    ``samples_used``).  Cheap to pickle, so answers cross process
+    boundaries without dragging the simplified instance along.
+    """
+
+    p_large: float
+    samples_used: int
+    small_sample_size: int
+    num_large: int
+    num_thresholds: int
+    signature_hash: str
+    tie_breaking: bool
+    nonce: int | None
+
 
 @dataclass(frozen=True)
 class LCAAnswer:
-    """Answer to one LCA query, with full provenance."""
+    """Answer to one LCA query, with lightweight run provenance.
+
+    ``run`` summarizes the pipeline execution that produced the answer;
+    callers that need the full derived state (the simplified instance,
+    the decision rule) should call :meth:`LCAKP.run_pipeline` themselves
+    and use :meth:`LCAKP.answers_from` — answers stay cheap to ship
+    between processes.
+    """
 
     index: int
     include: bool
     item: Item
     reason: str
-    pipeline: PipelineResult
+    run: RunSummary
 
 
 class LCAKP:
@@ -131,6 +182,8 @@ class LCAKP:
     ) -> None:
         if not 0 < epsilon <= 1:
             raise ReproError(f"epsilon must lie in (0, 1], got {epsilon}")
+        ensure_cost_meter(sampler, "sampler")
+        ensure_cost_meter(oracle, "oracle")
         self._sampler = sampler
         self._oracle = oracle
         self._epsilon = epsilon
@@ -170,17 +223,20 @@ class LCAKP:
 
         ``nonce`` seeds this run's *fresh* sampling randomness; omit it
         for OS entropy (the production behaviour), pass a fixed value to
-        make a run replayable in tests.
+        make a run replayable in tests.  The nonce actually used (drawn
+        from OS entropy when omitted) is recorded on the result, so any
+        run can be replayed or cache-keyed after the fact.
         """
+        resolved = int(nonce) if nonce is not None else fresh_nonce()
         with _obs.span("lca.pipeline"):
-            return self._run_pipeline(nonce=nonce)
+            return self._run_pipeline(nonce=resolved)
 
-    def _run_pipeline(self, *, nonce: int | None = None) -> PipelineResult:
+    def _run_pipeline(self, *, nonce: int) -> PipelineResult:
         params = self._params
         eps = self._epsilon
         eps_sq = params.eps_sq
-        rng = self._seed.run_stream(nonce if nonce is not None else fresh_nonce()).rng()
-        samples_before = getattr(self._sampler, "samples_used", 0)
+        rng = self._seed.run_stream(nonce).rng()
+        samples_before = self._sampler.cost_counter
 
         # Lines 1-3: sample R, keep large items, deduplicate.
         with _obs.span("sample.large"):
@@ -265,7 +321,7 @@ class LCAKP:
                     self._seed.child("tie-breaking"),
                     band_mass_estimator=band_mass,
                 )
-        samples_used = getattr(self._sampler, "samples_used", 0) - samples_before
+        samples_used = self._sampler.cost_counter - samples_before
         return PipelineResult(
             p_large=p_large,
             large_items=large,
@@ -275,6 +331,7 @@ class LCAKP:
             samples_used=samples_used,
             small_sample_size=small_sample_size,
             tie_rule=tie_rule,
+            nonce=nonce,
         )
 
     # ------------------------------------------------------------------
@@ -299,27 +356,58 @@ class LCAKP:
         """Answer a batch of queries from a single pipeline run."""
         with _obs.span("lca.answer"):
             pipeline = self.run_pipeline(nonce=nonce)
-            return [self._answer_from(pipeline, int(i)) for i in indices]
+            return self.answers_from(pipeline, indices)
+
+    def answers_from(self, pipeline: PipelineResult, indices) -> list[LCAAnswer]:
+        """Answer a batch of queries against an already-run pipeline.
+
+        This is the caller-amortization hot path (the serving engine's
+        cache hit): one point query per index, then the decision rule
+        applied as a single vectorized pass (``decide_many``) instead of
+        a Python-level loop.  Answers are bit-identical to calling
+        :meth:`answer` per index with this pipeline's nonce — the
+        decision is a pure function of (pipeline, item).
+        """
+        idx = [int(i) for i in indices]
+        with _obs.span("oracle.reveal"):
+            items = self._oracle.query_many(idx)
+        profits = np.array([it.profit for it in items], dtype=float)
+        weights = np.array([it.weight for it in items], dtype=float)
+        include = pipeline.rule.decide_many(
+            profits, weights, np.array(idx, dtype=np.int64)
+        )
+        summary = pipeline.summary()
+        return [
+            LCAAnswer(
+                index=i,
+                include=bool(inc),
+                item=item,
+                reason=self._reason(pipeline, item, bool(inc)),
+                run=summary,
+            )
+            for i, item, inc in zip(idx, items, include)
+        ]
+
+    def _reason(self, pipeline: PipelineResult, item: Item, include: bool) -> str:
+        eps_sq = self._params.eps_sq
+        if item.profit > eps_sq:
+            return "large-in-solution" if include else "large-not-in-solution"
+        if include:
+            return "small-above-threshold"
+        if pipeline.converted.b_indicator:
+            return "singleton-branch-excludes-small"
+        if pipeline.converted.e_small is None:
+            return "no-small-threshold"
+        return "below-threshold-or-garbage"
 
     def _answer_from(self, pipeline: PipelineResult, index: int) -> LCAAnswer:
         with _obs.span("oracle.reveal"):
             item = self._oracle.query(index)
         include = pipeline.rule.decide(item.profit, item.weight, index)
-        eps_sq = self._params.eps_sq
-        if item.profit > eps_sq:
-            reason = "large-in-solution" if include else "large-not-in-solution"
-        elif include:
-            reason = "small-above-threshold"
-        elif pipeline.converted.b_indicator:
-            reason = "singleton-branch-excludes-small"
-        elif pipeline.converted.e_small is None:
-            reason = "no-small-threshold"
-        else:
-            reason = "below-threshold-or-garbage"
         return LCAAnswer(
             index=index,
             include=include,
             item=item,
-            reason=reason,
-            pipeline=pipeline,
+            reason=self._reason(pipeline, item, include),
+            run=pipeline.summary(),
         )

@@ -36,8 +36,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..access.seeds import SeedChain
-from ..knapsack.items import efficiency
+from ..knapsack.items import efficiency, efficiency_array
 from .convert_greedy import ConvertGreedyResult
 from .simplified_instance import SimplifiedInstance
 
@@ -79,6 +81,32 @@ class TieBreakingRule:
         if not (self.band_lo <= eff < self.band_hi):
             return False
         return self.coin(original_index) < self.fraction
+
+    def decide_many(self, profits, weights, indices) -> np.ndarray:
+        """Vectorized :meth:`decide`: base rule plus per-item coins.
+
+        The base threshold is evaluated as one numpy pass; coins are
+        then tossed only for the (typically few) items that land in the
+        cut band, so the hot path stays vectorized outside the band.
+        """
+        p = np.asarray(profits, dtype=float)
+        w = np.asarray(weights, dtype=float)
+        idx = np.asarray(indices, dtype=np.int64)
+        include = self.base.decide_many(p, w, idx)
+        if self.fraction <= 0.0:
+            return include
+        eps_sq = self.base.epsilon * self.base.epsilon
+        eff = efficiency_array(p, w)
+        in_band = (
+            ~include
+            & (p <= eps_sq)
+            & (eff >= eps_sq)
+            & (eff >= self.band_lo)
+            & (eff < self.band_hi)
+        )
+        for pos in np.nonzero(in_band)[0]:
+            include[pos] = self.coin(int(idx[pos])) < self.fraction
+        return include
 
 
 def derive_tie_breaking(

@@ -25,15 +25,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..access.oracle import QueryOracle
 from ..access.seeds import SeedChain
-from ..access.weighted_sampler import WeightedSampler
-from ..core.lca_kp import LCAKP
 from ..core.parameters import LCAParameters
 from ..errors import ExperimentError
 from ..knapsack.instance import KnapsackInstance
 from ..obs import runtime as _obs
 from ..obs.trace import phase_counts
+from ..serve import KnapsackService, PipelineCache
 from .events import EventQueue
 
 __all__ = ["QueryRecord", "Worker", "ClusterReport", "ClusterSimulation"]
@@ -64,7 +62,13 @@ class QueryRecord:
 
 
 class Worker:
-    """One simulated machine holding a stateless LCA-KP copy."""
+    """One simulated machine holding a stateless LCA-KP copy.
+
+    The copy is wrapped in a :class:`~repro.serve.KnapsackService`;
+    when the simulation passes a shared pipeline cache, workers reuse
+    each other's pipeline runs for pinned nonces — the serving-layer
+    deployment — while keeping strictly per-worker cost accounting.
+    """
 
     def __init__(
         self,
@@ -75,11 +79,12 @@ class Worker:
         params: LCAParameters | None,
         *,
         seconds_per_sample: float = 1e-6,
+        cache: PipelineCache | bool = False,
     ) -> None:
         self.worker_id = worker_id
-        self._sampler = WeightedSampler(instance)
-        self._oracle = QueryOracle(instance)
-        self._lca = LCAKP(self._sampler, self._oracle, epsilon, seed, params=params)
+        self._service = KnapsackService(
+            instance, epsilon, seed, params=params, cache=cache
+        )
         self._seconds_per_sample = seconds_per_sample
         self.busy_until = 0.0
         self.queries_served = 0
@@ -91,29 +96,32 @@ class Worker:
 
         When the global tracer is enabled, the query's span tree is
         harvested into :attr:`phase_queries`/:attr:`phase_samples` —
-        the per-worker aggregation the cluster report rolls up.
+        the per-worker aggregation the cluster report rolls up.  A
+        pipeline served from the shared cache spends (almost) no
+        samples, so its simulated service time collapses to the point
+        query — the latency story behind the serving layer.
         """
-        before = self._sampler.samples_used
+        before = self._service.samples_used
         with _obs.span("cluster.serve") as span:
-            result = self._lca.answer(item, nonce=nonce)
+            result = self._service.answer(item, nonce=nonce)
         if span is not None:
             for phase, n in phase_counts(span, "queries").items():
                 self.phase_queries[phase] = self.phase_queries.get(phase, 0) + n
             for phase, n in phase_counts(span, "samples").items():
                 self.phase_samples[phase] = self.phase_samples.get(phase, 0) + n
-        spent = self._sampler.samples_used - before
+        spent = self._service.samples_used - before
         self.queries_served += 1
         return result.include, spent, spent * self._seconds_per_sample
 
     @property
     def total_samples(self) -> int:
         """Cumulative weighted samples drawn by this worker."""
-        return self._sampler.samples_used
+        return self._service.samples_used
 
     @property
     def total_queries(self) -> int:
         """Cumulative charged oracle queries by this worker."""
-        return self._oracle.queries_used
+        return self._service.queries_used
 
 
 @dataclass(frozen=True)
@@ -135,6 +143,7 @@ class ClusterReport:
     total_queries: int = 0
     phase_queries: dict = field(default_factory=dict)
     phase_samples: dict = field(default_factory=dict)
+    cache: dict | None = None
 
     @property
     def fully_consistent(self) -> bool:
@@ -155,6 +164,7 @@ class ClusterReport:
             "total_crashes": self.total_crashes,
             "phase_queries": dict(self.phase_queries),
             "phase_samples": dict(self.phase_samples),
+            "cache": dict(self.cache) if self.cache is not None else None,
         }
 
 
@@ -180,6 +190,17 @@ class ClusterSimulation:
         fault-tolerance argument: a restarted LCA worker has *no state
         to restore* — the retry is just another stateless run, so
         consistency survives any crash pattern by construction.
+    cache_capacity:
+        Size of a cluster-shared pipeline cache (0, the default,
+        disables caching and preserves strictly per-query pipeline
+        runs).
+    nonce_pool:
+        When > 0, each query draws its fresh-randomness nonce from a
+        pool of this many pre-drawn values instead of an unbounded
+        stream.  Pinning nonces is what makes the shared cache earn
+        hits — it models the serving-layer deployment where a front end
+        assigns queries to a bounded set of runs.  Requires
+        ``cache_capacity`` > 0 to have any effect on cost.
     """
 
     def __init__(
@@ -197,6 +218,8 @@ class ClusterSimulation:
         worker_speeds: list[float] | None = None,
         crash_rate: float = 0.0,
         rng_seed: int = 0,
+        cache_capacity: int = 0,
+        nonce_pool: int = 0,
     ) -> None:
         if workers < 1:
             raise ExperimentError(f"workers must be >= 1, got {workers}")
@@ -211,9 +234,14 @@ class ClusterSimulation:
                 raise ExperimentError("worker_speeds must have one entry per worker")
             if any(s <= 0 for s in worker_speeds):
                 raise ExperimentError("worker speeds must be positive")
+        if nonce_pool < 0:
+            raise ExperimentError("nonce_pool must be >= 0")
         self._crash_rate = crash_rate
         self._crashes = 0
         self._instance = instance
+        self._cache = (
+            PipelineCache(capacity=cache_capacity) if cache_capacity > 0 else None
+        )
         self._workers = [
             Worker(
                 w,
@@ -226,6 +254,7 @@ class ClusterSimulation:
                 # its keep over round_robin.
                 seconds_per_sample=seconds_per_sample
                 / (worker_speeds[w] if worker_speeds else 1.0),
+                cache=self._cache if self._cache is not None else False,
             )
             for w in range(workers)
         ]
@@ -233,6 +262,11 @@ class ClusterSimulation:
         self._arrival_rate = arrival_rate
         self._network_latency = network_latency
         self._rng = np.random.default_rng(rng_seed)
+        self._nonce_pool = (
+            [int(x) for x in self._rng.integers(2**62, size=nonce_pool)]
+            if nonce_pool > 0
+            else None
+        )
         self._queue = EventQueue()
         self._records: list[QueryRecord] = []
         self._rr_next = 0
@@ -302,7 +336,12 @@ class ClusterSimulation:
         def on_arrival() -> None:
             worker = self._route()
             start = max(self._queue.clock.now + self._network_latency, worker.busy_until)
-            nonce = int(self._rng.integers(2**62))
+            if self._nonce_pool is not None:
+                nonce = self._nonce_pool[
+                    int(self._rng.integers(len(self._nonce_pool)))
+                ]
+            else:
+                nonce = int(self._rng.integers(2**62))
             if self._crash_rate > 0 and float(self._rng.random()) < self._crash_rate:
                 # The worker dies as it picks the query up.  Restarting a
                 # stateless LCA restores nothing (there is nothing to
@@ -377,4 +416,5 @@ class ClusterSimulation:
             total_queries=sum(w.total_queries for w in self._workers),
             phase_queries=phase_queries,
             phase_samples=phase_samples,
+            cache=self._cache.stats() if self._cache is not None else None,
         )

@@ -108,3 +108,8 @@ class _NullOracle:
 
     def query(self, i: int):  # pragma: no cover - defensive
         raise SolverError("the IKY value approximator makes no point queries")
+
+    @property
+    def cost_counter(self) -> int:
+        """Never charges anything (CostMeter conformance)."""
+        return 0

@@ -12,7 +12,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["Item", "efficiency"]
+import numpy as np
+
+__all__ = ["Item", "efficiency", "efficiency_array"]
 
 
 def efficiency(profit: float, weight: float) -> float:
@@ -30,6 +32,27 @@ def efficiency(profit: float, weight: float) -> float:
     if weight == 0:
         return math.inf if profit > 0 else 0.0
     return profit / weight
+
+
+def efficiency_array(profits, weights) -> np.ndarray:
+    """Vectorized :func:`efficiency` over parallel profit/weight arrays.
+
+    Element-wise identical to the scalar function, including the
+    zero-weight conventions (``inf`` for positive profit, ``0.0`` for a
+    zero-profit zero-weight item) — the batch decision rules rely on
+    that exact agreement.
+    """
+    p = np.asarray(profits, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    if np.any(p < 0):
+        raise ValueError("profits must be non-negative")
+    out = np.empty(p.shape, dtype=float)
+    zero = w == 0
+    out[zero] = np.where(p[zero] > 0, math.inf, 0.0)
+    out[~zero] = p[~zero] / w[~zero]
+    return out
 
 
 @dataclass(frozen=True, slots=True)

@@ -3,16 +3,27 @@
 A Local Computation Algorithm answers per-item membership queries about
 a solution it never materializes.  The contract:
 
-* ``answer(i)`` returns whether item ``i`` belongs to the solution C;
+* ``answer(i, *, nonce=None)`` returns whether item ``i`` belongs to the
+  solution C; ``nonce`` optionally pins the run's fresh sampling
+  randomness (Definition 2.5's per-run samples) for replayability —
+  deterministic implementations simply ignore it;
+* ``answer_many(indices, *, nonce=None)`` answers a batch; callers may
+  amortize one internal run across the batch (the caller's prerogative
+  — it cannot change the output law, because answers are a function of
+  (instance, seed) alone);
 * C depends only on the instance and the shared seed — **not** on which
   queries were asked, in what order, or how many times (Definitions 2.3
   and 2.4: parallelizable, query-order oblivious);
-* no state survives between calls.
+* no state survives between calls;
+* ``cost_counter`` reports the cumulative access cost
+  (:class:`~repro.access.cost.CostMeter` units: queries + samples).
 
 Implementations in this repository: :class:`~repro.core.LCAKP` (the
 paper's algorithm, adapted via :class:`LCAKPAdapter`), the trivial
-baselines in :mod:`repro.lca.trivial`, and the linear-read baseline in
-:mod:`repro.lca.full_read`.
+baselines in :mod:`repro.lca.trivial`, the oblivious-threshold baseline
+in :mod:`repro.lca.oblivious`, and the linear-read baseline in
+:mod:`repro.lca.full_read`.  All of them share this one signature —
+harnesses and benches swap implementations without adapters diverging.
 """
 
 from __future__ import annotations
@@ -26,10 +37,18 @@ __all__ = ["LocalComputationAlgorithm", "LCAKPAdapter"]
 
 @runtime_checkable
 class LocalComputationAlgorithm(Protocol):
-    """Minimal protocol every LCA in this library satisfies."""
+    """Protocol every LCA in this library satisfies (single signature)."""
 
-    def answer(self, index: int) -> bool:  # pragma: no cover - protocol
+    def answer(
+        self, index: int, *, nonce: int | None = None
+    ) -> bool:  # pragma: no cover - protocol
         """Return True iff item ``index`` is in the solution C."""
+        ...
+
+    def answer_many(
+        self, indices, *, nonce: int | None = None
+    ) -> list[bool]:  # pragma: no cover - protocol
+        """Answer a batch of queries (one amortized run is allowed)."""
         ...
 
     @property
@@ -51,11 +70,15 @@ class LCAKPAdapter:
         self._sampler = sampler
         self._oracle = oracle
 
-    def answer(self, index: int) -> bool:
+    def answer(self, index: int, *, nonce: int | None = None) -> bool:
         """Answer one query via a full stateless LCA-KP run."""
-        return self._lca.answer(index).include
+        return self._lca.answer(index, nonce=nonce).include
+
+    def answer_many(self, indices, *, nonce: int | None = None) -> list[bool]:
+        """Answer a batch from a single (amortized) LCA-KP run."""
+        return [a.include for a in self._lca.answer_many(indices, nonce=nonce)]
 
     @property
     def cost_counter(self) -> int:
         """Samples drawn plus items queried, cumulatively."""
-        return int(self._sampler.samples_used) + int(self._oracle.queries_used)
+        return int(self._sampler.cost_counter) + int(self._oracle.cost_counter)

@@ -40,8 +40,16 @@ class FullReadLCA:
         self._oracle = oracle
         self._mode = mode
 
-    def answer(self, index: int) -> bool:
+    def answer(self, index: int, *, nonce: int | None = None) -> bool:
         """Read all n items, solve deterministically, report membership."""
+        return index in self._solve_once()
+
+    def answer_many(self, indices, *, nonce: int | None = None) -> list[bool]:
+        """One full read amortized over the batch (still Theta(n))."""
+        solution = self._solve_once()
+        return [int(i) in solution for i in indices]
+
+    def _solve_once(self) -> frozenset[int]:
         n = self._oracle.n
         items = [self._oracle.query(i) for i in range(n)]
         instance = KnapsackInstance(
@@ -55,7 +63,7 @@ class FullReadLCA:
             result = solve_exact(instance)
         else:
             result = half_approximation(instance)
-        return index in result.indices
+        return frozenset(result.indices)
 
     @property
     def cost_counter(self) -> int:

@@ -48,10 +48,17 @@ class ObliviousThresholdLCA:
         """The fixed efficiency cutoff."""
         return self._tau
 
-    def answer(self, index: int) -> bool:
+    def answer(self, index: int, *, nonce: int | None = None) -> bool:
         """One query: include iff efficiency >= tau."""
         item = self._oracle.query(index)
         return efficiency(item.profit, item.weight) >= self._tau
+
+    def answer_many(self, indices, *, nonce: int | None = None) -> list[bool]:
+        """One query per index; the threshold needs nothing global."""
+        return [
+            efficiency(it.profit, it.weight) >= self._tau
+            for it in self._oracle.query_many(indices)
+        ]
 
     @property
     def cost_counter(self) -> int:

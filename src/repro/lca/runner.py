@@ -4,24 +4,30 @@ The LCA model's selling point (Section 1) is that *independent*
 instances of the algorithm — sharing only the input and the read-only
 seed — provide consistent access to one solution.  :class:`LCAFleet`
 instantiates that story: it owns N logically independent LCA-KP copies
-(each with its own oracle accounting, so per-copy costs are measured
-honestly) and routes queries to them, recording everything needed for
-the consistency and cost audits.
+(each wrapped in its own :class:`~repro.serve.KnapsackService`, so
+per-copy costs are measured honestly) and routes queries to them,
+recording everything needed for the consistency and cost audits.
+
+The copies share one read-only :class:`~repro.serve.PipelineCache` —
+legal for the same reason the fleet is consistent at all: a pipeline is
+a deterministic function of ``(instance, seed, nonce, params)``, so a
+copy reusing another copy's cached result computes exactly the answers
+it would have computed alone.  Since :meth:`LCAFleet.ask` draws a fresh
+nonce per call by default, hits only occur when the caller pins nonces
+deliberately (the serving workload), never behind its back.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..access.oracle import QueryOracle
 from ..access.seeds import SeedChain, fresh_nonce
-from ..access.weighted_sampler import WeightedSampler
-from ..core.lca_kp import LCAKP
 from ..core.parameters import LCAParameters
 from ..errors import ReproError
 from ..knapsack.instance import KnapsackInstance
 from ..obs import runtime as _obs
 from ..obs.trace import phase_counts
+from ..serve import KnapsackService, PipelineCache
 
 __all__ = ["FleetAnswer", "LCAFleet"]
 
@@ -47,9 +53,9 @@ class FleetAnswer:
 class LCAFleet:
     """N independent LCA-KP copies over one instance and one seed.
 
-    Each copy gets its *own* sampler and oracle (fresh accounting and
-    fresh sampling randomness) but the *same* seed — mirroring N
-    machines answering queries about one massive shared input.
+    Each copy gets its *own* service (fresh accounting and fresh
+    sampling randomness) but the *same* seed — mirroring N machines
+    answering queries about one massive shared input.
 
     Parameters
     ----------
@@ -59,6 +65,9 @@ class LCAFleet:
         Forwarded to each :class:`~repro.core.LCAKP` copy.
     copies:
         Number of independent workers.
+    cache_capacity:
+        Size of the fleet-shared pipeline cache (0 disables caching and
+        restores strictly per-ask pipeline runs).
     """
 
     instance: KnapsackInstance
@@ -66,6 +75,7 @@ class LCAFleet:
     seed: int | SeedChain = 0
     copies: int = 4
     params: LCAParameters | None = None
+    cache_capacity: int = 32
     history: list[FleetAnswer] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -73,12 +83,21 @@ class LCAFleet:
             raise ReproError(f"copies must be >= 1, got {self.copies}")
         self._phase_queries: dict[str, int] = {}
         self._phase_samples: dict[str, int] = {}
-        self._workers: list[tuple[LCAKP, WeightedSampler, QueryOracle]] = []
-        for _ in range(self.copies):
-            sampler = WeightedSampler(self.instance)
-            oracle = QueryOracle(self.instance)
-            lca = LCAKP(sampler, oracle, self.epsilon, self.seed, params=self.params)
-            self._workers.append((lca, sampler, oracle))
+        shared = (
+            PipelineCache(capacity=self.cache_capacity)
+            if self.cache_capacity > 0
+            else False
+        )
+        self._services: list[KnapsackService] = [
+            KnapsackService(
+                self.instance,
+                self.epsilon,
+                self.seed,
+                params=self.params,
+                cache=shared,
+            )
+            for _ in range(self.copies)
+        ]
 
     # ------------------------------------------------------------------
     def ask(self, index: int, *, copy_id: int | None = None, nonce: int | None = None) -> FleetAnswer:
@@ -87,10 +106,10 @@ class LCAFleet:
             copy_id = len(self.history) % self.copies
         if not 0 <= copy_id < self.copies:
             raise ReproError(f"copy_id {copy_id} out of range [0, {self.copies})")
-        lca, sampler, _oracle = self._workers[copy_id]
-        before = sampler.samples_used
+        service = self._services[copy_id]
+        before = service.samples_used
         with _obs.span("fleet.ask") as span:
-            result = lca.answer(
+            result = service.answer(
                 index, nonce=nonce if nonce is not None else fresh_nonce()
             )
         phase_queries = phase_samples = None
@@ -105,7 +124,7 @@ class LCAFleet:
             copy_id=copy_id,
             index=index,
             include=result.include,
-            samples_spent=sampler.samples_used - before,
+            samples_spent=service.samples_used - before,
             phase_queries=phase_queries,
             phase_samples=phase_samples,
         )
@@ -122,6 +141,38 @@ class LCAFleet:
             )
             for c in range(self.copies)
         ]
+
+    def ask_batch(
+        self,
+        indices,
+        *,
+        copy_id: int = 0,
+        nonce: int | None = None,
+        workers: int | None = None,
+    ):
+        """Serve a whole batch through one copy's service.
+
+        Answers are recorded in the history exactly as individual asks
+        would be, so the consistency audits see batched and single
+        queries alike.  Returns the underlying
+        :class:`~repro.serve.BatchReport`.
+        """
+        if not 0 <= copy_id < self.copies:
+            raise ReproError(f"copy_id {copy_id} out of range [0, {self.copies})")
+        report = self._services[copy_id].answer_batch(
+            indices, nonce=nonce, workers=workers
+        )
+        per_query = report.samples_spent // max(1, len(report.answers))
+        for ans in report.answers:
+            self.history.append(
+                FleetAnswer(
+                    copy_id=copy_id,
+                    index=ans.index,
+                    include=ans.include,
+                    samples_spent=per_query,
+                )
+            )
+        return report
 
     # ------------------------------------------------------------------
     def contested_queries(self) -> dict[int, set[bool]]:
@@ -141,11 +192,11 @@ class LCAFleet:
 
     def total_samples(self) -> int:
         """Total weighted samples spent by the whole fleet."""
-        return sum(s.samples_used for _, s, _ in self._workers)
+        return sum(s.samples_used for s in self._services)
 
     def total_queries(self) -> int:
         """Total charged oracle queries across the fleet's copies."""
-        return sum(o.queries_used for _, _, o in self._workers)
+        return sum(s.queries_used for s in self._services)
 
     def phase_totals(self) -> dict[str, dict[str, int]]:
         """Aggregated per-phase resource totals over all traced asks.
@@ -162,4 +213,9 @@ class LCAFleet:
 
     def per_copy_samples(self) -> list[int]:
         """Samples spent by each copy."""
-        return [s.samples_used for _, s, _ in self._workers]
+        return [s.samples_used for s in self._services]
+
+    def cache_stats(self) -> dict | None:
+        """Fleet-shared pipeline cache counters (None when disabled)."""
+        cache = self._services[0].cache
+        return cache.stats() if cache is not None else None

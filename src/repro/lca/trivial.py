@@ -24,9 +24,13 @@ class AlwaysNoLCA:
     def __init__(self) -> None:
         self._cost = 0
 
-    def answer(self, index: int) -> bool:
+    def answer(self, index: int, *, nonce: int | None = None) -> bool:
         """Every item is out of the (empty) solution."""
         return False
+
+    def answer_many(self, indices, *, nonce: int | None = None) -> list[bool]:
+        """Every item is out, in bulk."""
+        return [False for _ in indices]
 
     @property
     def cost_counter(self) -> int:
@@ -48,9 +52,13 @@ class AlwaysYesIfFreeLCA:
     def __init__(self, oracle: QueryOracle) -> None:
         self._oracle = oracle
 
-    def answer(self, index: int) -> bool:
+    def answer(self, index: int, *, nonce: int | None = None) -> bool:
         """Yes iff the item weighs exactly nothing."""
         return self._oracle.query(index).weight == 0.0
+
+    def answer_many(self, indices, *, nonce: int | None = None) -> list[bool]:
+        """One query per index, no amortization available."""
+        return [it.weight == 0.0 for it in self._oracle.query_many(indices)]
 
     @property
     def cost_counter(self) -> int:

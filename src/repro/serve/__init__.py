@@ -1,0 +1,22 @@
+"""Serving layer: memoized, vectorized, parallel LCA-KP query engine.
+
+Public face:
+
+* :class:`KnapsackService` — cache-accelerated batch query engine;
+* :class:`BatchReport` — outcome + bill of one served batch;
+* :class:`PipelineCache` / :class:`CacheKey` — seed/nonce-keyed LRU;
+* :func:`instance_fingerprint` — content hash keying the cache;
+* :func:`derive_worker_nonce` — deterministic per-shard fresh nonces.
+"""
+
+from .cache import CacheKey, PipelineCache, instance_fingerprint
+from .service import BatchReport, KnapsackService, derive_worker_nonce
+
+__all__ = [
+    "BatchReport",
+    "CacheKey",
+    "KnapsackService",
+    "PipelineCache",
+    "derive_worker_nonce",
+    "instance_fingerprint",
+]

@@ -1,0 +1,130 @@
+"""Serving-layer throughput measurement (shared by CLI and bench).
+
+One workload, four execution regimes over identical queries:
+
+* ``per_query`` — the pre-serving baseline: a fresh
+  :meth:`~repro.core.LCAKP.answer` per query, each paying a full
+  pipeline (the Theorem 4.1 per-query cost, with no amortization);
+* ``serial_uncached`` — batched through a cache-less
+  :class:`~repro.serve.KnapsackService`: the batch amortizes one
+  pipeline over its queries, but every batch re-runs it;
+* ``serial_cached`` — same batches, same pinned nonce, cache enabled:
+  the first batch runs the pipeline, the rest hit the LRU;
+* ``parallel`` — one big batch sharded across a thread pool under
+  derived per-shard nonces (the fleet regime: more pipelines, less
+  wall-clock per pipeline).
+
+Because a pipeline is a deterministic function of
+``(instance, seed, nonce, params)``, all four regimes answer every
+query identically — the table measures pure serving overhead, not
+accuracy trade-offs (the invariance property test in
+``tests/serve/test_invariance.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..access.oracle import QueryOracle
+from ..access.weighted_sampler import WeightedSampler
+from ..core.lca_kp import LCAKP
+from .service import KnapsackService
+
+__all__ = ["serve_throughput_rows", "bench_serve_document"]
+
+
+def _row(mode, queries, pipelines, samples, wall):
+    return {
+        "mode": mode,
+        "queries": queries,
+        "pipelines_run": pipelines,
+        "samples": samples,
+        "wall_clock_s": round(wall, 6),
+        "qps": round(queries / wall, 2) if wall > 0 else float("inf"),
+    }
+
+
+def serve_throughput_rows(
+    instance,
+    *,
+    epsilon: float = 0.1,
+    seed: int = 7,
+    queries: int = 1000,
+    batch: int = 100,
+    workers: int = 4,
+    baseline_queries: int = 20,
+) -> list[dict]:
+    """Measure queries/sec under the four regimes; returns table rows.
+
+    The same index stream (round-robin over the instance) is served in
+    every regime; ``per_query`` runs only ``baseline_queries`` of it
+    (each costs a full pipeline) and is reported per-query.  The last
+    row of the result carries the headline ratios.
+    """
+    n = instance.n
+    idx = [i % n for i in range(queries)]
+    batches = [idx[k : k + batch] for k in range(0, queries, batch)]
+
+    # Regime 1: per-query LCAKP.answer, a pipeline per call.
+    sampler = WeightedSampler(instance)
+    lca = LCAKP(sampler, QueryOracle(instance), epsilon, seed)
+    t0 = time.perf_counter()
+    for q in range(baseline_queries):
+        lca.answer(idx[q], nonce=1_000 + q)
+    base_wall = time.perf_counter() - t0
+    rows = [
+        _row("per_query", baseline_queries, baseline_queries,
+             sampler.cost_counter, base_wall)
+    ]
+    base_qps = rows[0]["qps"]
+
+    # Regime 2: batched, uncached — every batch re-runs the pipeline
+    # even though the nonce is pinned (there is no cache to notice).
+    svc_u = KnapsackService(instance, epsilon, seed, cache=False)
+    t0 = time.perf_counter()
+    for b in batches:
+        svc_u.answer_batch(b, nonce=3_000)
+    rows.append(
+        _row("serial_uncached", queries, len(batches),
+             svc_u.samples_used, time.perf_counter() - t0)
+    )
+
+    # Regime 3: identical workload, cache enabled — one miss, then hits.
+    svc_c = KnapsackService(instance, epsilon, seed, cache_capacity=8)
+    t0 = time.perf_counter()
+    hits = 0
+    for b in batches:
+        hits += svc_c.answer_batch(b, nonce=3_000).cache_hits
+    rows.append(
+        _row("serial_cached", queries, len(batches) - hits,
+             svc_c.samples_used, time.perf_counter() - t0)
+    )
+    rows[-1]["cache_hits"] = hits
+
+    # Regime 4: one big batch sharded across a thread pool.
+    svc_p = KnapsackService(instance, epsilon, seed, cache=False)
+    t0 = time.perf_counter()
+    report = svc_p.answer_batch(idx, nonce=5_000, workers=workers)
+    rows.append(
+        _row(f"parallel_x{report.workers}", queries, report.pipelines_run,
+             report.samples_spent, time.perf_counter() - t0)
+    )
+
+    for row in rows:
+        row["speedup_vs_per_query"] = (
+            round(row["qps"] / base_qps, 2) if base_qps > 0 else float("inf")
+        )
+    return rows
+
+
+def bench_serve_document(rows: list[dict], *, name: str = "serve_throughput") -> dict:
+    """Wrap throughput rows as a ``bench-result/v1`` document."""
+    return {
+        "schema": "bench-result/v1",
+        "name": name,
+        "title": "Serving-layer throughput: cached vs uncached, serial vs parallel",
+        "rows": rows,
+        "wall_clock_s": sum(r["wall_clock_s"] for r in rows),
+        "total_queries": sum(r["queries"] for r in rows),
+        "total_samples": sum(r["samples"] for r in rows),
+    }

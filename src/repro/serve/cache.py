@@ -1,0 +1,191 @@
+"""Seed/nonce-keyed LRU cache for pipeline results.
+
+The legality of caching is the whole point of the LCA model: a
+:class:`~repro.core.lca_kp.PipelineResult` is a deterministic function
+of ``(instance, seed r, fresh-sample nonce, parameters)`` — nothing
+else.  Two queries that agree on that tuple would have re-derived the
+*same* result from scratch (that is Definition 2.5's reproducibility),
+so handing the second query the first one's result changes no answer,
+only the bill.  The cache key below is exactly that tuple, hashed
+piecewise:
+
+* ``instance_fingerprint`` — SHA-256 over (n, capacity, profit bytes,
+  weight bytes), so two services over different instances can share one
+  cache without cross-talk;
+* ``seed_digest`` — the :class:`~repro.access.SeedChain` node digest
+  (the shared random string r);
+* ``nonce`` — the per-run fresh-randomness nonce;
+* ``params_key`` — every field of
+  :class:`~repro.core.parameters.LCAParameters` that influences the
+  pipeline, plus the tie-breaking flag and the large-item mode.
+
+Hit/miss/eviction counts feed both per-instance attributes and the
+global :mod:`repro.obs` registry (``serve.cache.hits`` / ``.misses`` /
+``.evictions`` and the ``serve.cache.size`` gauge), so cache behaviour
+shows up in ``repro metrics`` next to the oracle counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..access.seeds import SeedChain
+from ..core.lca_kp import PipelineResult
+from ..core.parameters import LCAParameters
+from ..errors import ReproError
+from ..obs import runtime as _obs
+
+__all__ = ["CacheKey", "PipelineCache", "instance_fingerprint"]
+
+
+def instance_fingerprint(instance) -> str:
+    """SHA-256 fingerprint of an explicit instance's full contents.
+
+    Computed once per service (O(n), amortized over every query it will
+    ever serve).  Implicit instances without materialized arrays fall
+    back to identity fingerprinting — correct (no false sharing), just
+    never shared between two wrapper objects for the same function.
+    """
+    profits = getattr(instance, "profits", None)
+    weights = getattr(instance, "weights", None)
+    h = hashlib.sha256()
+    h.update(f"{instance.n}:{float(instance.capacity)!r}:".encode())
+    if profits is not None and weights is not None:
+        h.update(np.ascontiguousarray(np.asarray(profits, dtype=float)).tobytes())
+        h.update(np.ascontiguousarray(np.asarray(weights, dtype=float)).tobytes())
+    else:
+        h.update(f"implicit:{id(instance)}".encode())
+    return h.hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything a pipeline run is a deterministic function of."""
+
+    instance_fingerprint: str
+    seed_digest: str
+    nonce: int
+    params_key: tuple
+    tie_breaking: bool
+    large_item_mode: str
+
+    @classmethod
+    def derive(
+        cls,
+        *,
+        fingerprint: str,
+        seed: SeedChain,
+        nonce: int,
+        params: LCAParameters,
+        tie_breaking: bool,
+        large_item_mode: str,
+    ) -> "CacheKey":
+        """Build the key from live configuration objects."""
+        dom = params.domain
+        return cls(
+            instance_fingerprint=fingerprint,
+            seed_digest=seed.digest().hex(),
+            nonce=int(nonce),
+            params_key=(
+                params.epsilon,
+                params.tau,
+                params.rho,
+                params.beta,
+                params.m_large,
+                params.n_rq,
+                params.fidelity,
+                dom.bits,
+                dom.lo,
+                dom.hi,
+            ),
+            tie_breaking=bool(tie_breaking),
+            large_item_mode=str(large_item_mode),
+        )
+
+
+class PipelineCache:
+    """Thread-safe LRU of :class:`CacheKey` -> ``PipelineResult``.
+
+    One cache may back many services (that is why the key carries the
+    instance fingerprint and the full parameter tuple).  All counters
+    are cumulative over the cache's lifetime; the registry counters are
+    process-cumulative across caches.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ReproError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[CacheKey, PipelineResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._m_hits = _obs.REGISTRY.counter("serve.cache.hits")
+        self._m_misses = _obs.REGISTRY.counter("serve.cache.misses")
+        self._m_evictions = _obs.REGISTRY.counter("serve.cache.evictions")
+        self._m_size = _obs.REGISTRY.gauge("serve.cache.size")
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached pipeline results."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: CacheKey) -> PipelineResult | None:
+        """Look up a pipeline; counts a hit or a miss either way."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._m_hits.inc()
+                return result
+            self.misses += 1
+            self._m_misses.inc()
+            return None
+
+    def put(self, key: CacheKey, result: PipelineResult) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = result
+            else:
+                self._entries[key] = result
+                while len(self._entries) > self._capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    self._m_evictions.inc()
+            self._m_size.set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._m_size.set(0)
+
+    def stats(self) -> dict:
+        """JSON-ready hit/miss/eviction/occupancy summary."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self._capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

@@ -1,0 +1,423 @@
+"""`KnapsackService`: the high-throughput LCA-KP query engine.
+
+The LCA model promises that any number of stateless runs over one
+``(instance, seed)`` pair describe a single solution C.  The serving
+layer exploits the contrapositive: since a run is a *deterministic*
+function of ``(instance, seed, nonce, params)``, distinct queries that
+agree on that tuple may legally share one run — the answers are
+identical either way, only the sample bill changes.  The engine stacks
+three such amortizations, none of which touches the output law:
+
+* **memoization** — pipeline results live in a seed/nonce-keyed LRU
+  (:class:`~repro.serve.cache.PipelineCache`); a cache hit answers a
+  query with one point query and zero weighted samples;
+* **vectorization** — batches are answered through
+  :meth:`~repro.core.LCAKP.answers_from`, which applies the decision
+  rule as one numpy pass over the batch's index/profit/weight arrays;
+* **parallelism** — large batches are sharded across a
+  ``concurrent.futures`` thread or process pool; shard ``w`` of a batch
+  with base nonce ``b`` runs under the *derived* nonce
+  ``derive_worker_nonce(seed, b, w)``, so the shards are exactly N
+  independent fleet copies sharing the read-only seed r (the
+  :class:`~repro.lca.LCAFleet` semantics), and every shard's answers
+  can be replayed serially from its recorded nonce.
+
+From the caller's perspective each answer is still a stateless
+Definition 2.2 run — see ``docs/serving.md`` for why the cache does not
+constitute forbidden cross-run state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..access.oracle import QueryOracle
+from ..access.seeds import SeedChain, fresh_nonce
+from ..access.weighted_sampler import WeightedSampler
+from ..core.lca_kp import LCAKP, LCAAnswer, PipelineResult
+from ..core.parameters import LCAParameters
+from ..errors import ReproError
+from ..obs import runtime as _obs
+from .cache import CacheKey, PipelineCache, instance_fingerprint
+
+__all__ = ["BatchReport", "KnapsackService", "derive_worker_nonce"]
+
+
+def derive_worker_nonce(seed: SeedChain, base_nonce: int, worker: int) -> int:
+    """Deterministic fresh-randomness nonce for one parallel shard.
+
+    Derived through the seed chain so that (a) every worker draws
+    independent samples (distinct label paths), (b) the derivation is
+    reproducible from ``(seed, base_nonce, worker)`` alone — a parallel
+    batch can be replayed shard by shard with plain serial
+    :meth:`~repro.core.LCAKP.answer` calls.
+    """
+    node = seed.child("__serve__").child(int(base_nonce)).child(int(worker))
+    return int.from_bytes(node.digest()[:8], "big")
+
+
+def _serve_chunk(payload) -> tuple[list[LCAAnswer], int, int]:
+    """Process-pool entry: answer one shard in a fresh interpreter.
+
+    Rebuilds the access objects from the pickled instance (the child
+    shares no state with the parent — the strongest possible form of the
+    fleet's independence claim) and returns the slim answers plus the
+    shard's sample/query bill.
+    """
+    (instance, epsilon, seed, params, tie_breaking, mode, nonce, indices) = payload
+    sampler = WeightedSampler(instance)
+    oracle = QueryOracle(instance)
+    lca = LCAKP(
+        sampler,
+        oracle,
+        epsilon,
+        seed,
+        params=params,
+        tie_breaking=tie_breaking,
+        large_item_mode=mode,
+    )
+    pipeline = lca.run_pipeline(nonce=nonce)
+    answers = lca.answers_from(pipeline, indices)
+    return answers, sampler.cost_counter, oracle.cost_counter
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome and bill of one served batch."""
+
+    answers: tuple[LCAAnswer, ...]
+    mode: str  # "serial", "thread" or "process"
+    workers: int
+    cache_hits: int
+    cache_misses: int
+    pipelines_run: int
+    samples_spent: int
+    queries_spent: int
+    wall_clock_s: float
+
+    @property
+    def queries_per_sec(self) -> float:
+        """Answered queries per wall-clock second (0.0 on a zero-time run)."""
+        if self.wall_clock_s <= 0.0:
+            return 0.0
+        return len(self.answers) / self.wall_clock_s
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (answers are counted, not dumped)."""
+        return {
+            "queries": len(self.answers),
+            "mode": self.mode,
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "pipelines_run": self.pipelines_run,
+            "samples_spent": self.samples_spent,
+            "queries_spent": self.queries_spent,
+            "wall_clock_s": self.wall_clock_s,
+            "queries_per_sec": self.queries_per_sec,
+        }
+
+
+class KnapsackService:
+    """Cache-accelerated, batch-capable front end to one LCA-KP config.
+
+    Parameters
+    ----------
+    instance, epsilon, seed, params, tie_breaking, large_item_mode:
+        Forwarded to the underlying :class:`~repro.core.LCAKP`.
+    cache:
+        ``None`` (default) builds a private
+        :class:`~repro.serve.cache.PipelineCache` of ``cache_capacity``
+        entries; pass an existing cache to share it between services
+        (keys embed the instance fingerprint, so sharing is safe); pass
+        ``False`` to disable memoization entirely.
+    cache_capacity:
+        Size of the private cache when ``cache`` is ``None``.
+    max_workers:
+        Default shard count for parallel batches (defaults to CPU count
+        capped at 8).
+    executor:
+        ``"thread"`` (default) or ``"process"`` — how parallel batches
+        run.  Thread shards share the parent's cache; process shards
+        cannot (results stay in the child), but exercise true
+        zero-shared-state execution and rely on answers being cheap to
+        pickle.
+    """
+
+    def __init__(
+        self,
+        instance,
+        epsilon: float,
+        seed: int | SeedChain = 0,
+        *,
+        params: LCAParameters | None = None,
+        tie_breaking: bool = False,
+        large_item_mode: str = "coupon",
+        cache: PipelineCache | bool | None = None,
+        cache_capacity: int = 64,
+        max_workers: int | None = None,
+        executor: str = "thread",
+    ) -> None:
+        if executor not in ("thread", "process"):
+            raise ReproError(f"executor must be 'thread' or 'process', got {executor!r}")
+        self._instance = instance
+        self._epsilon = float(epsilon)
+        self._seed = seed if isinstance(seed, SeedChain) else SeedChain(seed)
+        self._tie_breaking = bool(tie_breaking)
+        self._large_item_mode = large_item_mode
+        self._executor_kind = executor
+        self._max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._sampler = WeightedSampler(instance)
+        self._oracle = QueryOracle(instance)
+        self._lca = LCAKP(
+            self._sampler,
+            self._oracle,
+            self._epsilon,
+            self._seed,
+            params=params,
+            tie_breaking=tie_breaking,
+            large_item_mode=large_item_mode,
+        )
+        if cache is False:
+            self._cache: PipelineCache | None = None
+        elif cache is None or cache is True:
+            self._cache = PipelineCache(capacity=cache_capacity)
+        else:
+            self._cache = cache
+        self._fingerprint = instance_fingerprint(instance)
+        self._extra_samples = 0  # spent by parallel shards, not self._sampler
+        self._extra_queries = 0
+        self._requests = _obs.REGISTRY.counter("serve.requests")
+        self._batch_size = _obs.REGISTRY.histogram("serve.batch_size")
+        self._batch_latency = _obs.REGISTRY.histogram("serve.batch_latency_s")
+
+    # ------------------------------------------------------------------
+    # Configuration and accounting faces
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """The accuracy parameter."""
+        return self._epsilon
+
+    @property
+    def seed(self) -> SeedChain:
+        """The shared random string r."""
+        return self._seed
+
+    @property
+    def params(self) -> LCAParameters:
+        """The static LCA parameters in force."""
+        return self._lca.params
+
+    @property
+    def cache(self) -> PipelineCache | None:
+        """The pipeline cache (``None`` when memoization is disabled)."""
+        return self._cache
+
+    @property
+    def lca(self) -> LCAKP:
+        """The underlying algorithm (for audits and fleet harnesses)."""
+        return self._lca
+
+    @property
+    def samples_used(self) -> int:
+        """Weighted samples spent by this service, including shards."""
+        return self._sampler.cost_counter + self._extra_samples
+
+    @property
+    def queries_used(self) -> int:
+        """Point queries spent by this service, including shards."""
+        return self._oracle.cost_counter + self._extra_queries
+
+    @property
+    def cost_counter(self) -> int:
+        """Uniform CostMeter face: samples plus queries, cumulative."""
+        return self.samples_used + self.queries_used
+
+    # ------------------------------------------------------------------
+    # Pipeline acquisition
+    # ------------------------------------------------------------------
+    def cache_key(self, nonce: int) -> CacheKey:
+        """The full cache key this service derives for ``nonce``."""
+        return CacheKey.derive(
+            fingerprint=self._fingerprint,
+            seed=self._seed,
+            nonce=nonce,
+            params=self._lca.params,
+            tie_breaking=self._tie_breaking,
+            large_item_mode=self._large_item_mode,
+        )
+
+    def pipeline_for(
+        self, nonce: int | None = None, *, lca: LCAKP | None = None
+    ) -> tuple[PipelineResult, bool]:
+        """Return ``(pipeline, was_cached)`` for ``nonce``.
+
+        ``nonce=None`` draws OS entropy (a guaranteed miss, cached for
+        any later caller that learns the nonce from the result).  The
+        optional ``lca`` runs a miss on a specific copy (the thread
+        shards use their own copies for accounting isolation).
+        """
+        resolved = int(nonce) if nonce is not None else fresh_nonce()
+        key = self.cache_key(resolved)
+        if self._cache is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached, True
+        pipeline = (lca or self._lca).run_pipeline(nonce=resolved)
+        if self._cache is not None:
+            self._cache.put(key, pipeline)
+        return pipeline, False
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def answer(self, index: int, *, nonce: int | None = None) -> LCAAnswer:
+        """Answer one query (memoized pipeline, vectorized rule)."""
+        with _obs.span("serve.answer"):
+            pipeline, _ = self.pipeline_for(nonce)
+            self._requests.inc()
+            return self._lca.answers_from(pipeline, [index])[0]
+
+    def answer_many(self, indices, *, nonce: int | None = None) -> list[bool]:
+        """Protocol face: boolean batch answers via :meth:`answer_batch`."""
+        return [a.include for a in self.answer_batch(indices, nonce=nonce).answers]
+
+    def answer_batch(
+        self,
+        indices,
+        *,
+        nonce: int | None = None,
+        workers: int | None = None,
+    ) -> BatchReport:
+        """Answer a batch, optionally sharded across a worker pool.
+
+        ``workers`` <= 1 (default) serves the whole batch from one
+        pipeline run (or cache hit).  ``workers`` > 1 splits the batch
+        into contiguous shards, each served under its own derived nonce
+        by an independent LCA copy — the parallel execution path.
+        """
+        idx = [int(i) for i in indices]
+        if not idx:
+            raise ReproError("answer_batch needs at least one index")
+        w = 1 if workers is None else int(workers)
+        start = time.perf_counter()
+        with _obs.span("serve.batch"):
+            if w <= 1 or len(idx) < 2:
+                report = self._batch_serial(idx, nonce, start)
+            else:
+                report = self._batch_parallel(idx, nonce, min(w, len(idx)), start)
+        self._requests.inc(len(idx))
+        self._batch_size.observe(len(idx))
+        self._batch_latency.observe(report.wall_clock_s)
+        return report
+
+    def _batch_serial(self, idx: list[int], nonce: int | None, start: float) -> BatchReport:
+        samples_before = self.samples_used
+        queries_before = self.queries_used
+        pipeline, hit = self.pipeline_for(nonce)
+        answers = self._lca.answers_from(pipeline, idx)
+        return BatchReport(
+            answers=tuple(answers),
+            mode="serial",
+            workers=1,
+            cache_hits=1 if hit else 0,
+            cache_misses=0 if hit else 1,
+            pipelines_run=0 if hit else 1,
+            samples_spent=self.samples_used - samples_before,
+            queries_spent=self.queries_used - queries_before,
+            wall_clock_s=time.perf_counter() - start,
+        )
+
+    def _batch_parallel(
+        self, idx: list[int], nonce: int | None, w: int, start: float
+    ) -> BatchReport:
+        base = int(nonce) if nonce is not None else fresh_nonce()
+        shards = [idx[k::w] for k in range(w)]
+        nonces = [derive_worker_nonce(self._seed, base, k) for k in range(w)]
+        if self._executor_kind == "process":
+            answers, spent_s, spent_q, hits, misses, runs = self._run_process(
+                shards, nonces, w
+            )
+        else:
+            answers, spent_s, spent_q, hits, misses, runs = self._run_threads(
+                shards, nonces, w
+            )
+        self._extra_samples += spent_s
+        self._extra_queries += spent_q
+        # Re-interleave shard answers back into request order.
+        ordered: list[LCAAnswer | None] = [None] * len(idx)
+        for k, shard_answers in enumerate(answers):
+            for j, ans in enumerate(shard_answers):
+                ordered[k + j * w] = ans
+        return BatchReport(
+            answers=tuple(ordered),  # type: ignore[arg-type]
+            mode=self._executor_kind,
+            workers=w,
+            cache_hits=hits,
+            cache_misses=misses,
+            pipelines_run=runs,
+            samples_spent=spent_s,
+            queries_spent=spent_q,
+            wall_clock_s=time.perf_counter() - start,
+        )
+
+    def _run_threads(self, shards, nonces, w):
+        def serve_shard(shard, shard_nonce):
+            sampler = WeightedSampler(self._instance)
+            oracle = QueryOracle(self._instance)
+            lca = LCAKP(
+                sampler,
+                oracle,
+                self._epsilon,
+                self._seed,
+                params=self._lca.params,
+                tie_breaking=self._tie_breaking,
+                large_item_mode=self._large_item_mode,
+            )
+            pipeline, hit = self.pipeline_for(shard_nonce, lca=lca)
+            answers = lca.answers_from(pipeline, shard)
+            return answers, sampler.cost_counter, oracle.cost_counter, hit
+
+        with ThreadPoolExecutor(max_workers=w) as pool:
+            results = list(pool.map(serve_shard, shards, nonces))
+        answers = [r[0] for r in results]
+        spent_s = sum(r[1] for r in results)
+        spent_q = sum(r[2] for r in results)
+        hits = sum(1 for r in results if r[3])
+        return answers, spent_s, spent_q, hits, w - hits, w - hits
+
+    def _run_process(self, shards, nonces, w):
+        payloads = [
+            (
+                self._instance,
+                self._epsilon,
+                self._seed,
+                self._lca.params,
+                self._tie_breaking,
+                self._large_item_mode,
+                shard_nonce,
+                shard,
+            )
+            for shard, shard_nonce in zip(shards, nonces)
+        ]
+        with ProcessPoolExecutor(max_workers=w) as pool:
+            results = list(pool.map(_serve_chunk, payloads))
+        answers = [r[0] for r in results]
+        spent_s = sum(r[1] for r in results)
+        spent_q = sum(r[2] for r in results)
+        # Child processes cannot see the parent cache: all misses.
+        return answers, spent_s, spent_q, 0, w, w
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready service counters (cache + cumulative cost)."""
+        return {
+            "samples_used": self.samples_used,
+            "queries_used": self.queries_used,
+            "cost_counter": self.cost_counter,
+            "cache": self._cache.stats() if self._cache is not None else None,
+        }

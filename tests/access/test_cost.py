@@ -1,0 +1,62 @@
+"""CostMeter protocol: uniform cost accounting across access objects."""
+
+import pytest
+
+from repro.access import (
+    CostMeter,
+    CustomSampler,
+    QueryOracle,
+    WeightedSampler,
+    ensure_cost_meter,
+)
+from repro.core.lca_kp import LCAKP
+
+
+class TestConformance:
+    def test_sampler_and_oracle_are_meters(self, uniform_instance):
+        assert isinstance(WeightedSampler(uniform_instance), CostMeter)
+        assert isinstance(QueryOracle(uniform_instance), CostMeter)
+
+    def test_custom_sampler_is_meter(self, uniform_instance):
+        custom = CustomSampler(uniform_instance, lambda rng: 0)
+        assert isinstance(custom, CostMeter)
+
+    def test_cost_counter_tracks_usage(self, uniform_instance):
+        oracle = QueryOracle(uniform_instance)
+        assert oracle.cost_counter == 0
+        oracle.query(0)
+        oracle.query_many([1, 2, 3])
+        assert oracle.cost_counter == 4
+        assert oracle.cost_counter == oracle.queries_used
+
+    def test_sampler_cost_counter_aliases_samples_used(self, uniform_instance, rng):
+        sampler = WeightedSampler(uniform_instance)
+        sampler.sample_many(2, rng)
+        assert sampler.cost_counter == sampler.samples_used == 2
+
+
+class TestEnsure:
+    def test_accepts_conforming(self, uniform_instance):
+        sampler = WeightedSampler(uniform_instance)
+        assert ensure_cost_meter(sampler, "sampler") is sampler
+
+    def test_rejects_meterless_object(self):
+        class Bare:
+            def sample_index(self) -> int:
+                return 0
+
+        with pytest.raises(TypeError, match="sampler"):
+            ensure_cost_meter(Bare(), "sampler")
+
+    def test_lca_constructor_validates_meters(self, uniform_instance, fast_params):
+        class Bare:
+            pass
+
+        with pytest.raises(TypeError):
+            LCAKP(
+                Bare(),
+                QueryOracle(uniform_instance),
+                fast_params.epsilon,
+                1,
+                params=fast_params,
+            )

@@ -72,7 +72,7 @@ class TestAnswer:
         spent = sampler.samples_used - before
         assert len(answers) == 10
         # One pipeline's worth of samples, not ten.
-        assert spent == answers[0].pipeline.samples_used
+        assert spent == answers[0].run.samples_used
 
     def test_garbage_answered_no(self, planted_instance, fast_params):
         part = classify_instance(planted_instance, EPS)

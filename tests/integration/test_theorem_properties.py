@@ -122,6 +122,6 @@ class TestLemma410CostAccounting:
         lca = LCAKP(sampler, oracle, EPS, seed=3, params=params)
         before_s, before_q = sampler.samples_used, oracle.queries_used
         ans = lca.answer(5, nonce=9)
-        run = params.per_run(ans.pipeline.p_large)
+        run = params.per_run(ans.run.p_large)
         assert sampler.samples_used - before_s == params.m_large + run.a
         assert oracle.queries_used - before_q == 1

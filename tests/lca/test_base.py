@@ -1,24 +1,52 @@
 """Tests for the LCA protocol and the LCA-KP adapter."""
 
+import pytest
+
 from repro.access.oracle import QueryOracle
 from repro.access.weighted_sampler import WeightedSampler
 from repro.core.lca_kp import LCAKP
 from repro.lca.base import LCAKPAdapter, LocalComputationAlgorithm
 from repro.lca.full_read import FullReadLCA
-from repro.lca.trivial import AlwaysNoLCA
+from repro.lca.oblivious import ObliviousThresholdLCA
+from repro.lca.trivial import AlwaysNoLCA, AlwaysYesIfFreeLCA
+
+
+def _implementations(instance, params):
+    sampler = WeightedSampler(instance)
+    oracle = QueryOracle(instance)
+    lca = LCAKP(sampler, oracle, params.epsilon, 1, params=params)
+    return [
+        LCAKPAdapter(lca, sampler, oracle),
+        AlwaysNoLCA(),
+        AlwaysYesIfFreeLCA(QueryOracle(instance)),
+        FullReadLCA(QueryOracle(instance)),
+        ObliviousThresholdLCA(QueryOracle(instance), tau=1.0),
+    ]
 
 
 class TestProtocol:
     def test_implementations_satisfy_protocol(self, tiers_instance, fast_params):
-        sampler = WeightedSampler(tiers_instance)
+        for impl in _implementations(tiers_instance, fast_params):
+            assert isinstance(impl, LocalComputationAlgorithm), impl
+
+    def test_answer_many_matches_scalar_answers(self, tiers_instance, fast_params):
+        indices = [0, 3, 7, 3]
+        for impl in _implementations(tiers_instance, fast_params):
+            batch = impl.answer_many(indices, nonce=5)
+            singles = [impl.answer(i, nonce=5) for i in indices]
+            assert batch == singles, impl
+
+    def test_nonce_is_keyword_only(self, tiers_instance, fast_params):
+        for impl in _implementations(tiers_instance, fast_params):
+            with pytest.raises(TypeError):
+                impl.answer(0, 5)
+
+    def test_full_read_batch_amortizes_one_read(self, tiers_instance):
         oracle = QueryOracle(tiers_instance)
-        lca = LCAKP(sampler, oracle, fast_params.epsilon, 1, params=fast_params)
-        adapter = LCAKPAdapter(lca, sampler, oracle)
-        assert isinstance(adapter, LocalComputationAlgorithm)
-        assert isinstance(AlwaysNoLCA(), LocalComputationAlgorithm)
-        assert isinstance(
-            FullReadLCA(QueryOracle(tiers_instance)), LocalComputationAlgorithm
-        )
+        impl = FullReadLCA(oracle)
+        impl.answer_many(range(10))
+        # One full read for the whole batch, not one per index.
+        assert impl.cost_counter == tiers_instance.n
 
 
 class TestAdapter:
