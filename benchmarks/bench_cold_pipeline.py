@@ -1,0 +1,62 @@
+"""Cold-pipeline latency: columnar block path vs per-object path.
+
+The cold path — a full Algorithm 2 run on a cache miss — used to
+materialize one ``Sample`` object per weighted draw.  The columnar
+rewrite (``SampleBlock``) keeps the draws as parallel numpy columns end
+to end: large-item discovery is a boolean mask + first-occurrence
+dedup, the q-sample efficiencies are one masked ``efficiency_array``
+slice, and band assignment in the EPS checker is a single
+``np.searchsorted``.  Cost accounting is unchanged — a block of ``m``
+draws still bills exactly ``m`` IKY12 samples, charged once per block.
+
+``cold_pipeline_rows`` *verifies before it times*: for every nonce the
+two paths must produce equal signatures, equal ``samples_used`` and
+equal answers on a probe set, else it raises instead of reporting.
+
+Acceptance line: the block path must clear 5x the object path's cold
+latency at n=10^5-scale sample volumes (the calibrated eps=0.1
+parameters draw ~190k samples per cold query).
+
+Writes ``benchmarks/results/COLD_pipeline.{txt,json}`` via the shared
+conftest plumbing and the top-level ``BENCH_cold.json``
+(``bench-result/v1``) that the CI cold-smoke job validates.
+"""
+
+import pathlib
+
+from conftest import emit_json, run_once
+
+from repro.knapsack import generate
+from repro.obs.export import write_json
+from repro.serve.bench import bench_cold_document, cold_pipeline_rows
+
+BENCH_COLD_PATH = pathlib.Path(__file__).parent.parent / "BENCH_cold.json"
+
+
+def test_cold_pipeline(benchmark):
+    inst = generate("planted_lsg", 20_000, seed=0)
+    rows = run_once(
+        benchmark,
+        cold_pipeline_rows,
+        inst,
+        epsilon=0.1,
+        seed=7,
+        queries=5,
+    )
+    emit_json(
+        "COLD_pipeline",
+        rows,
+        "Cold pipeline: columnar block path vs object path (verified bit-identical)",
+    )
+    write_json(BENCH_COLD_PATH, bench_cold_document(rows))
+
+    by = {r["mode"]: r for r in rows}
+    block = by["block_path"]
+    # cold_pipeline_rows already raised unless every nonce was verified
+    # bit-identical (signatures, answers, samples_used); the row records it.
+    assert block["verified_bit_identical"] is True
+    # Identical query-complexity accounting on both timed passes.
+    assert block["samples"] == by["object_path"]["samples"]
+    assert block["blocks"] == by["object_path"]["blocks"]
+    # The headline acceptance ratio: >= 5x at ~190k draws per cold query.
+    assert block["speedup"] >= 5.0, rows

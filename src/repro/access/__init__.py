@@ -9,8 +9,14 @@ The paper's dichotomy is exactly about access power:
 
 :class:`SeedChain` supplies the shared read-only random seed both models
 assume, split into shared-vs-per-run streams per Definition 2.5.
+
+Batch access in either model is *columnar*: :class:`SampleBlock` carries
+a whole batch of draws (or point queries) as parallel numpy columns,
+charged once per block at one cost unit per row — see
+:mod:`repro.access.blocks` and ``docs/performance.md``.
 """
 
+from .blocks import SampleBlock
 from .cost import CostMeter, ensure_cost_meter
 from .oracle import FunctionInstance, QueryOracle
 from .seeds import SeedChain, fresh_nonce
@@ -33,6 +39,7 @@ __all__ = [
     "WeightedSampler",
     "CustomSampler",
     "Sample",
+    "SampleBlock",
     "AliasTable",
     "Transcript",
     "TranscriptEntry",

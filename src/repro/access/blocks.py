@@ -1,0 +1,133 @@
+"""Columnar sample blocks: the struct-of-arrays face of the access layer.
+
+The IKY12 weighted-sampling model charges the LCA one unit per *draw*;
+nothing in the accounting requires each draw to become a Python object.
+:class:`SampleBlock` therefore carries a whole batch of draws as three
+parallel numpy arrays (``indices``, ``profits``, ``weights``) plus a
+lazily-computed ``efficiencies`` column — the representation the cold
+pipeline consumes end to end (mask, dedup, slice) without materializing
+``m`` :class:`Sample`/``Item`` objects.
+
+:class:`Sample` (one draw as a value object) lives here too; the
+object-path APIs (``sample``, ``sample_many``) are now thin views over
+blocks, so there is a single source of truth for what a draw reveals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import OracleError
+from ..knapsack.items import Item, efficiency_array
+
+__all__ = ["Sample", "SampleBlock"]
+
+
+class Sample:
+    """One weighted sample: the item's index plus its (p, w) pair.
+
+    The IKY12 model reveals the sampled item's identity and attributes
+    in a single sample — the LCA pays one unit per draw.
+    """
+
+    __slots__ = ("index", "item")
+
+    def __init__(self, index: int, item: Item) -> None:
+        self.index = index
+        self.item = item
+
+    @property
+    def profit(self) -> float:
+        """Sampled item's profit."""
+        return self.item.profit
+
+    @property
+    def weight(self) -> float:
+        """Sampled item's weight."""
+        return self.item.weight
+
+    @property
+    def efficiency(self) -> float:
+        """Sampled item's efficiency ratio."""
+        return self.item.efficiency
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sample(index={self.index}, item={self.item})"
+
+
+class SampleBlock:
+    """A batch of draws (or point queries) as parallel columns.
+
+    Parameters
+    ----------
+    indices, profits, weights:
+        Equal-length 1-D arrays; row ``k`` is draw ``k`` in draw order.
+        Arrays are frozen (``writeable=False``) on construction so a
+        block can be shared between pipeline phases safely.
+
+    Notes
+    -----
+    ``efficiencies`` is computed on first access and cached; consumers
+    that only need a masked slice should prefer
+    :func:`~repro.knapsack.items.efficiency_array` on the sliced
+    columns to avoid computing the full column.
+    """
+
+    __slots__ = ("indices", "profits", "weights", "_efficiencies")
+
+    def __init__(self, indices, profits, weights) -> None:
+        idx = np.ascontiguousarray(indices, dtype=np.int64)
+        p = np.ascontiguousarray(profits, dtype=float)
+        w = np.ascontiguousarray(weights, dtype=float)
+        if idx.ndim != 1 or p.shape != idx.shape or w.shape != idx.shape:
+            raise OracleError(
+                "SampleBlock columns must be 1-D arrays of equal length, got "
+                f"indices{idx.shape}, profits{p.shape}, weights{w.shape}"
+            )
+        for arr in (idx, p, w):
+            arr.setflags(write=False)
+        self.indices = idx
+        self.profits = p
+        self.weights = w
+        self._efficiencies: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def efficiencies(self) -> np.ndarray:
+        """Per-draw efficiency ratios (lazy, cached, read-only)."""
+        if self._efficiencies is None:
+            eff = efficiency_array(self.profits, self.weights)
+            eff.setflags(write=False)
+            self._efficiencies = eff
+        return self._efficiencies
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+    # ------------------------------------------------------------------
+    # Object-path compatibility views (lazy: nothing is materialized
+    # until a caller actually iterates).
+    # ------------------------------------------------------------------
+    def sample_at(self, k: int) -> Sample:
+        """Draw ``k`` as a :class:`Sample` value object."""
+        return Sample(
+            int(self.indices[k]),
+            Item(float(self.profits[k]), float(self.weights[k])),
+        )
+
+    def samples(self) -> Iterator[Sample]:
+        """Iterate the block as :class:`Sample` objects (back-compat view)."""
+        for i, p, w in zip(self.indices, self.profits, self.weights):
+            yield Sample(int(i), Item(float(p), float(w)))
+
+    def to_samples(self) -> list[Sample]:
+        """Materialize the whole block as a list of :class:`Sample`."""
+        return list(self.samples())
+
+    def __iter__(self) -> Iterator[Sample]:
+        return self.samples()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SampleBlock(size={len(self)})"

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from ..errors import OracleError, QueryBudgetExceededError
-from ..knapsack.instance import InstanceLike
+from ..knapsack.instance import InstanceLike, KnapsackInstance
 from ..knapsack.items import Item
 from ..obs import runtime as _obs
+from .blocks import SampleBlock
 
 __all__ = ["QueryOracle", "FunctionInstance"]
 
@@ -131,6 +134,47 @@ class QueryOracle:
         loop in their own code.
         """
         return [self.query(int(i)) for i in indices]
+
+    def query_block(self, indices) -> SampleBlock:
+        """Reveal a batch of items as one columnar :class:`SampleBlock`.
+
+        Semantically identical to :meth:`query_many` — same budget
+        enforcement, repeat caching and query log, and one cost unit
+        per charged query — but the revealed attributes come back as
+        parallel numpy columns with a *single* accounting call for the
+        whole block.  The fast path engages for array-backed instances
+        when the budget has room for the entire batch and repeats are
+        charged; any other combination falls back to per-query calls
+        (preserving the exact partial-charge-then-raise and repeat-cache
+        behaviour) and assembles the block from their results.
+        """
+        idx = [int(i) for i in indices]
+        remaining = self.remaining
+        arr = np.asarray(idx, dtype=np.int64)
+        fast = (
+            self._count_repeats
+            and (remaining is None or remaining >= len(idx))
+            and isinstance(self._instance, KnapsackInstance)
+            and (arr.size == 0 or (arr.min() >= 0 and arr.max() < self._instance.n))
+        )
+        if not fast:
+            # Per-query loop: exact budget/bounds/repeat behaviour,
+            # including partial charging before a mid-batch error.
+            items = [self.query(i) for i in idx]
+            return SampleBlock(
+                idx,
+                [it.profit for it in items],
+                [it.weight for it in items],
+            )
+        self._queries += len(idx)
+        _obs.record_oracle_queries(len(idx))
+        self._log.extend(idx)
+        profits = self._instance.profits[arr]
+        weights = self._instance.weights[arr]
+        for i, p, w in zip(idx, profits, weights):
+            if i not in self._cache:
+                self._cache[i] = Item(float(p), float(w))
+        return SampleBlock(arr, profits, weights)
 
     def profit(self, i: int) -> float:
         """Convenience: profit component of :meth:`query`."""

@@ -8,6 +8,14 @@ Walker's alias method — O(n) preprocessing once, O(1) per sample — and
 counts samples, which is the "query complexity" currency of
 Theorem 4.1/Lemma 4.10.
 
+The batch face of both samplers is *columnar*: :meth:`sample_block`
+returns a :class:`~repro.access.blocks.SampleBlock` (parallel numpy
+columns, one row per draw) and charges the whole block in one
+accounting call.  The model's cost is per draw either way — a block of
+``m`` draws bills exactly ``m`` — so the columnar representation changes
+nothing about query-complexity accounting, only how many Python objects
+exist.  :meth:`sample_many` survives as a thin compatibility wrapper.
+
 Implicit (never-materialized) instances supply their own inverse-CDF via
 :class:`CustomSampler`, keeping per-sample work independent of n.
 """
@@ -22,40 +30,9 @@ from ..errors import OracleError, QueryBudgetExceededError
 from ..knapsack.instance import InstanceLike, KnapsackInstance
 from ..knapsack.items import Item
 from ..obs import runtime as _obs
+from .blocks import Sample, SampleBlock
 
-__all__ = ["Sample", "WeightedSampler", "CustomSampler", "AliasTable"]
-
-
-class Sample:
-    """One weighted sample: the item's index plus its (p, w) pair.
-
-    The IKY12 model reveals the sampled item's identity and attributes
-    in a single sample — the LCA pays one unit per draw.
-    """
-
-    __slots__ = ("index", "item")
-
-    def __init__(self, index: int, item: Item) -> None:
-        self.index = index
-        self.item = item
-
-    @property
-    def profit(self) -> float:
-        """Sampled item's profit."""
-        return self.item.profit
-
-    @property
-    def weight(self) -> float:
-        """Sampled item's weight."""
-        return self.item.weight
-
-    @property
-    def efficiency(self) -> float:
-        """Sampled item's efficiency ratio."""
-        return self.item.efficiency
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Sample(index={self.index}, item={self.item})"
+__all__ = ["Sample", "SampleBlock", "WeightedSampler", "CustomSampler", "AliasTable"]
 
 
 class AliasTable:
@@ -140,6 +117,7 @@ class WeightedSampler:
         self._table = AliasTable(instance.profits)
         self._budget = budget
         self._samples = 0
+        self._blocks = 0
 
     @property
     def n(self) -> int:
@@ -157,23 +135,43 @@ class WeightedSampler:
         idx = self._table.draw(rng)
         return Sample(idx, self._instance.item(idx))
 
-    def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
-        """Draw ``m`` samples (vectorized; still charged per sample)."""
+    def sample_block(self, m: int, rng: np.random.Generator) -> SampleBlock:
+        """Draw ``m`` samples as one columnar :class:`SampleBlock`.
+
+        One vectorized draw, one attribute gather, one accounting call:
+        the block bills exactly ``m`` draws (the IKY12 per-draw currency)
+        but materializes zero per-draw Python objects.
+        """
         if m < 0:
             raise OracleError("sample count must be >= 0")
-        self._charge(m)
+        self._charge_block(m)
         indices = self._table.draw_many(m, rng)
-        profits = self._instance.profits[indices]
-        weights = self._instance.weights[indices]
-        return [
-            Sample(int(i), Item(float(p), float(w)))
-            for i, p, w in zip(indices, profits, weights)
-        ]
+        return SampleBlock(
+            indices,
+            self._instance.profits[indices],
+            self._instance.weights[indices],
+        )
+
+    def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
+        """Draw ``m`` samples as :class:`Sample` objects.
+
+        Compatibility wrapper over :meth:`sample_block` — the single
+        batch code path.  Consumes the RNG and charges the budget
+        identically to the block API; only the return representation
+        differs (one Python object per draw).  Hot-path consumers
+        should use :meth:`sample_block` directly.
+        """
+        return self.sample_block(m, rng).to_samples()
 
     @property
     def samples_used(self) -> int:
         """Number of samples drawn so far."""
         return self._samples
+
+    @property
+    def blocks_used(self) -> int:
+        """Number of columnar blocks charged so far."""
+        return self._blocks
 
     @property
     def cost_counter(self) -> int:
@@ -189,12 +187,20 @@ class WeightedSampler:
     def reset(self) -> None:
         """Zero the accounting (fresh stateless run)."""
         self._samples = 0
+        self._blocks = 0
 
     def _charge(self, m: int) -> None:
         if self._budget is not None and self._samples + m > self._budget:
             raise QueryBudgetExceededError(self._budget, self._samples + m)
         self._samples += m
         _obs.record_samples(m)
+
+    def _charge_block(self, m: int) -> None:
+        if self._budget is not None and self._samples + m > self._budget:
+            raise QueryBudgetExceededError(self._budget, self._samples + m)
+        self._samples += m
+        self._blocks += 1
+        _obs.record_sample_block(m)
 
 
 class CustomSampler:
@@ -219,6 +225,7 @@ class CustomSampler:
         self._draw_index = draw_index
         self._budget = budget
         self._samples = 0
+        self._blocks = 0
 
     @property
     def n(self) -> int:
@@ -235,12 +242,46 @@ class CustomSampler:
         self._charge(1)
         return self._draw(rng)
 
-    def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
-        """Draw ``m`` samples one by one (charged as a single batch)."""
+    def sample_block(self, m: int, rng: np.random.Generator) -> SampleBlock:
+        """Draw ``m`` samples as one columnar :class:`SampleBlock`.
+
+        The index law is a scalar callable, so indices are drawn one at
+        a time (RNG consumption identical to the object path); attribute
+        lookup is vectorized for array-backed instances and falls back
+        to per-index ``profit(i)``/``weight(i)`` calls — in draw order,
+        duplicates included — for implicit ones, preserving any
+        side-effect accounting the instance's callables perform.
+        """
         if m < 0:
             raise OracleError("sample count must be >= 0")
-        self._charge(m)
-        return [self._draw(rng) for _ in range(m)]
+        self._charge_block(m)
+        n = self._instance.n
+        indices = np.empty(m, dtype=np.int64)
+        for k in range(m):
+            idx = int(self._draw_index(rng))
+            if not 0 <= idx < n:
+                raise OracleError(f"custom sampler returned out-of-range index {idx}")
+            indices[k] = idx
+        if isinstance(self._instance, KnapsackInstance):
+            profits = self._instance.profits[indices]
+            weights = self._instance.weights[indices]
+        else:
+            profits = np.fromiter(
+                (self._instance.profit(int(i)) for i in indices), dtype=float, count=m
+            )
+            weights = np.fromiter(
+                (self._instance.weight(int(i)) for i in indices), dtype=float, count=m
+            )
+        return SampleBlock(indices, profits, weights)
+
+    def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
+        """Draw ``m`` samples as :class:`Sample` objects.
+
+        Compatibility wrapper over :meth:`sample_block` (the single
+        batch code path); identical RNG stream, budget and obs
+        accounting — only the return representation differs.
+        """
+        return self.sample_block(m, rng).to_samples()
 
     def _draw(self, rng: np.random.Generator) -> Sample:
         idx = int(self._draw_index(rng))
@@ -252,6 +293,11 @@ class CustomSampler:
     def samples_used(self) -> int:
         """Number of samples drawn so far."""
         return self._samples
+
+    @property
+    def blocks_used(self) -> int:
+        """Number of columnar blocks charged so far."""
+        return self._blocks
 
     @property
     def cost_counter(self) -> int:
@@ -267,9 +313,17 @@ class CustomSampler:
     def reset(self) -> None:
         """Zero the accounting."""
         self._samples = 0
+        self._blocks = 0
 
     def _charge(self, m: int) -> None:
         if self._budget is not None and self._samples + m > self._budget:
             raise QueryBudgetExceededError(self._budget, self._samples + m)
         self._samples += m
         _obs.record_samples(m)
+
+    def _charge_block(self, m: int) -> None:
+        if self._budget is not None and self._samples + m > self._budget:
+            raise QueryBudgetExceededError(self._budget, self._samples + m)
+        self._samples += m
+        self._blocks += 1
+        _obs.record_sample_block(m)

@@ -386,7 +386,8 @@ def exp_lemma42_coupon(
         successes = 0
         for t in range(trials):
             ws = WeightedSampler(inst)
-            got = {s.index for s in ws.sample_many(m, np.random.default_rng(seed * 1000 + t))}
+            block = ws.sample_block(m, np.random.default_rng(seed * 1000 + t))
+            got = set(block.indices.tolist())
             successes += int(target <= got)
         rows.append(
             {

@@ -8,6 +8,8 @@ Subcommands
 ``metrics``     run a small workload, dump the metrics registry as JSON;
 ``serve``       serve a query batch through the KnapsackService engine;
 ``bench``       measure serving throughput, write BENCH_serve.json;
+``bench-cold``  measure cold-pipeline latency (columnar vs object path),
+                write BENCH_cold.json;
 ``experiment``  run one of the E1-E11 experiments and print its table;
 ``demo``        the Figure 1 reduction, walked end to end;
 ``families``    list the workload generator families.
@@ -174,6 +176,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="where to write the bench-result/v1 document",
     )
 
+    p_cold = sub.add_parser(
+        "bench-cold",
+        help="measure cold-pipeline latency (columnar block path vs object path) "
+        "and write BENCH_cold.json",
+    )
+    p_cold.add_argument("--family", default="planted_lsg", choices=sorted(FAMILIES))
+    p_cold.add_argument("--n", type=int, default=20_000)
+    p_cold.add_argument("--seed", type=int, default=0)
+    p_cold.add_argument("--epsilon", type=float, default=0.1)
+    p_cold.add_argument("--lca-seed", type=int, default=7)
+    p_cold.add_argument(
+        "--queries", type=int, default=5, help="cold pipeline runs per path"
+    )
+    p_cold.add_argument(
+        "--out", metavar="PATH", default="BENCH_cold.json",
+        help="where to write the bench-result/v1 document",
+    )
+
     p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
     p_exp.add_argument(
@@ -275,12 +295,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print()
     by_phase_q = phase_counts(root, "queries")
     by_phase_s = phase_counts(root, "samples")
+    by_phase_b = phase_counts(root, "sample_blocks")
     q_attr, q_used = sum(by_phase_q.values()), oracle.queries_used
     s_attr, s_used = sum(by_phase_s.values()), sampler.samples_used
+    b_attr, b_used = sum(by_phase_b.values()), sampler.blocks_used
     print(f"oracle queries: {q_used} total, {q_attr} span-attributed "
           f"({'exact' if q_attr == q_used else 'MISMATCH'})")
     print(f"weighted samples: {s_used} total, {s_attr} span-attributed "
           f"({'exact' if s_attr == s_used else 'MISMATCH'})")
+    print(f"sample blocks: {b_used} total, {b_attr} span-attributed "
+          f"({'exact' if b_attr == b_used else 'MISMATCH'})")
+    if by_phase_b:
+        per_phase = ", ".join(
+            f"{phase}={count}" for phase, count in sorted(by_phase_b.items())
+        )
+        print(f"  blocks by phase: {per_phase}")
     if args.json:
         doc = trace_document(
             root,
@@ -296,7 +325,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         write_json(args.json, doc)
         print(f"\nwrote trace/v1 document to {args.json}")
-    return 0 if (q_attr == q_used and s_attr == s_used) else 1
+    return 0 if (q_attr == q_used and s_attr == s_used and b_attr == b_used) else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -403,6 +432,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(format_row_dicts(rows, title="serving-layer throughput"))
     doc = bench_serve_document(rows)
+    write_json(args.out, doc)
+    print(f"\nwrote bench-result/v1 document to {args.out}")
+    return 0
+
+
+def _cmd_bench_cold(args: argparse.Namespace) -> int:
+    from .obs.export import write_json
+    from .serve.bench import bench_cold_document, cold_pipeline_rows
+
+    inst = generate(args.family, args.n, seed=args.seed)
+    rows = cold_pipeline_rows(
+        inst,
+        epsilon=args.epsilon,
+        seed=args.lca_seed,
+        queries=args.queries,
+    )
+    print(format_row_dicts(rows, title="cold-pipeline latency (verified bit-identical)"))
+    doc = bench_cold_document(rows)
     write_json(args.out, doc)
     print(f"\nwrote bench-result/v1 document to {args.out}")
     return 0
@@ -515,6 +562,7 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": _cmd_cluster,
         "serve": _cmd_serve,
         "bench": _cmd_bench,
+        "bench-cold": _cmd_bench_cold,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "demo": _cmd_demo,

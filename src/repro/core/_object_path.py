@@ -1,0 +1,140 @@
+"""Frozen object-path pipeline: the pre-columnar reference implementation.
+
+This module preserves, verbatim, the LCA-KP pipeline as it consumed
+samples *before* the columnar cold path landed: ``sample_many`` hands
+back one :class:`~repro.access.blocks.Sample` object per draw, large
+items are collected in a Python loop, and the q-sample efficiencies are
+extracted by a per-object list comprehension.
+
+It exists for two callers only:
+
+* the equivalence property test
+  (``tests/core/test_block_pipeline_equivalence.py``), which pins the
+  columnar :meth:`~repro.core.LCAKP.run_pipeline` to be **bit-identical**
+  to this reference — same signatures, same answers (including
+  tie-breaking), same ``samples_used``/``cost_counter``;
+* ``benchmarks/bench_cold_pipeline.py`` and ``repro bench-cold``, which
+  measure the speedup the columnar path buys over this one.
+
+It is NOT a hot path and must not grow callers in ``src/``: both
+``sample_many`` consumers here iterate per-draw objects by design.
+Because ``sample_many`` is itself a wrapper over ``sample_block``, this
+path consumes the RNG stream and charges the sample budget identically
+to the columnar path — the only difference is the Python-object work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs import runtime as _obs
+from ..reproducible.rquantile import ReproducibleQuantileEstimator
+from .convert_greedy import convert_greedy
+from .lca_kp import LCAKP, PipelineResult
+from .simplified_instance import build_simplified_instance
+from .tie_breaking import derive_tie_breaking
+
+__all__ = ["run_pipeline_object"]
+
+
+def run_pipeline_object(lca: LCAKP, *, nonce: int) -> PipelineResult:
+    """One stateless run of Algorithm 2 via per-draw Python objects.
+
+    Mirrors :meth:`LCAKP.run_pipeline` line for line, with the columnar
+    consumers replaced by the original object-path loops.
+    """
+    params = lca.params
+    eps = lca.epsilon
+    eps_sq = params.eps_sq
+    sampler = lca._sampler
+    rng = lca.seed.run_stream(int(nonce)).rng()
+    samples_before = sampler.cost_counter
+
+    # Lines 1-3: sample R, keep large items, deduplicate.
+    with _obs.span("sample.large"):
+        r_sample = sampler.sample_many(params.m_large, rng)
+        large: dict[int, tuple[float, float]] = {}
+        if lca._large_item_mode == "heavy_hitters":
+            from ..reproducible.heavy_hitters import reproducible_heavy_hitters
+
+            attributes = {s.index: (s.profit, s.weight) for s in r_sample}
+            hh = reproducible_heavy_hitters(
+                [s.index for s in r_sample],
+                theta=eps_sq,
+                seed=lca.seed.child("large-heavy-hitters"),
+                tau=eps_sq / 4,
+            )
+            large = {i: attributes[i] for i in hh.items}
+        else:
+            for s in r_sample:
+                if s.profit > eps_sq:
+                    large[s.index] = (s.profit, s.weight)
+        p_large = min(sum(p for p, _ in large.values()), 1.0)
+
+    # Lines 4-17: estimate the EPS when enough mass sits outside L.
+    eps_sequence: tuple[float, ...] = ()
+    small_sample_size = 0
+    efficiencies = np.empty(0)
+    total_q_draws = 0
+    if 1.0 - p_large >= eps:
+        with _obs.span("eps.estimate"):
+            run = params.per_run(p_large)
+            q_sample = sampler.sample_many(run.a, rng)
+            total_q_draws = run.a
+            efficiencies = np.array(
+                [s.efficiency for s in q_sample if s.profit <= eps_sq], dtype=float
+            )
+            small_sample_size = int(efficiencies.size)
+            if small_sample_size > 0 and run.t > 0:
+                estimator = ReproducibleQuantileEstimator(
+                    domain=params.domain,
+                    tau=params.tau,
+                    rho=params.rho,
+                    beta=params.beta,
+                )
+                thresholds: list[float] = []
+                for k in range(1, run.t + 1):
+                    target = min(max(1.0 - k * run.q, 0.0), 1.0)
+                    node = lca.seed.child("rquantile").child(k)
+                    e_k = estimator.quantile(efficiencies, target, node)
+                    if thresholds:
+                        e_k = min(e_k, thresholds[-1])  # enforce monotonicity
+                    thresholds.append(e_k)
+                # Lines 11-14: drop a final threshold below eps^2.
+                if thresholds and thresholds[-1] < eps_sq:
+                    thresholds.pop()
+                eps_sequence = tuple(thresholds)
+
+    # Lines 18-19: build I~ and convert its greedy solution.
+    simplified = build_simplified_instance(
+        large, eps_sequence, eps, sampler.capacity
+    )
+    converted = convert_greedy(simplified)
+    tie_rule = None
+    if lca._tie_breaking:
+
+        def band_mass(lo: float, hi: float) -> float | None:
+            if total_q_draws == 0 or efficiencies.size == 0:
+                return None
+            in_band = np.count_nonzero((efficiencies >= lo) & (efficiencies < hi))
+            return float(in_band) / float(total_q_draws)
+
+        with _obs.span("tie.breaking"):
+            tie_rule = derive_tie_breaking(
+                simplified,
+                converted,
+                lca.seed.child("tie-breaking"),
+                band_mass_estimator=band_mass,
+            )
+    samples_used = sampler.cost_counter - samples_before
+    return PipelineResult(
+        p_large=p_large,
+        large_items=large,
+        eps_sequence=eps_sequence,
+        simplified=simplified,
+        converted=converted,
+        samples_used=samples_used,
+        small_sample_size=small_sample_size,
+        tie_rule=tie_rule,
+        nonce=int(nonce),
+    )

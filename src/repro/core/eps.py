@@ -26,7 +26,33 @@ __all__ = ["band_masses", "EPSReport", "check_eps", "true_quantile_sequence"]
 
 
 def _band_of(eff: np.ndarray, thresholds: tuple[float, ...]) -> np.ndarray:
-    """Band index of each efficiency: 0 for >= e_1, k for [e_{k+1}, e_k), t for < e_t."""
+    """Band index of each efficiency: 0 for >= e_1, k for [e_{k+1}, e_k), t for < e_t.
+
+    Vectorized: the band of ``e`` is the smallest ``k`` with
+    ``e >= thresholds[k]`` (else ``t``), which for an arbitrary — not
+    necessarily sorted — sequence equals the first ``k`` where ``e``
+    clears the *running minimum* of the thresholds.  One
+    ``np.searchsorted`` over the negated running minimum (ascending)
+    replaces the per-threshold masking loop; ``side="left"`` keeps the
+    half-open band convention.  NaN efficiencies compare false against
+    every threshold and land in band ``t``, exactly as in the loop form
+    (and as exercised by the property test against
+    :func:`_band_of_reference`).
+    """
+    eff = np.asarray(eff, dtype=float)
+    t = len(thresholds)
+    if t == 0:
+        return np.zeros(eff.shape, dtype=np.int64)
+    cummin = np.minimum.accumulate(np.asarray(thresholds, dtype=float))
+    return np.searchsorted(-cummin, -eff, side="left").astype(np.int64)
+
+
+def _band_of_reference(eff: np.ndarray, thresholds: tuple[float, ...]) -> np.ndarray:
+    """Pre-vectorization O(t * n) reference for :func:`_band_of`.
+
+    Kept only as the oracle for the property test
+    (``tests/core/test_band_of.py``); not called anywhere else.
+    """
     t = len(thresholds)
     bands = np.full(eff.shape, t, dtype=np.int64)
     for k in range(t - 1, -1, -1):

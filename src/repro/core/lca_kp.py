@@ -27,7 +27,7 @@ from ..access.cost import ensure_cost_meter
 from ..access.oracle import QueryOracle
 from ..access.seeds import SeedChain, fresh_nonce
 from ..errors import ReproError
-from ..knapsack.items import Item
+from ..knapsack.items import Item, efficiency_array
 from ..obs import runtime as _obs
 from ..reproducible.rquantile import ReproducibleQuantileEstimator
 from .convert_greedy import ConvertGreedyResult, convert_greedy
@@ -238,9 +238,14 @@ class LCAKP:
         rng = self._seed.run_stream(nonce).rng()
         samples_before = self._sampler.cost_counter
 
-        # Lines 1-3: sample R, keep large items, deduplicate.
+        # Lines 1-3: sample R, keep large items, deduplicate.  The block
+        # is consumed columnar: a boolean profit mask, then np.unique
+        # first-occurrence dedup ordered by draw position — the same
+        # first-sample-wins semantics as the original per-object loop
+        # (and the same Python-float summation order for p_large, which
+        # the bit-identity guarantee of the equivalence test relies on).
         with _obs.span("sample.large"):
-            r_sample = self._sampler.sample_many(params.m_large, rng)
+            r_block = self._sampler.sample_block(params.m_large, rng)
             large: dict[int, tuple[float, float]] = {}
             if self._large_item_mode == "heavy_hitters":
                 # Extension: the sampled index stream has per-index frequency
@@ -249,18 +254,34 @@ class LCAKP:
                 # randomized cutoff deciding borderline profits consistently.
                 from ..reproducible.heavy_hitters import reproducible_heavy_hitters
 
-                attributes = {s.index: (s.profit, s.weight) for s in r_sample}
+                idx_list = r_block.indices.tolist()
+                attributes = {
+                    i: (p, w)
+                    for i, p, w in zip(
+                        idx_list, r_block.profits.tolist(), r_block.weights.tolist()
+                    )
+                }
                 hh = reproducible_heavy_hitters(
-                    [s.index for s in r_sample],
+                    idx_list,
                     theta=eps_sq,
                     seed=self._seed.child("large-heavy-hitters"),
                     tau=eps_sq / 4,
                 )
                 large = {i: attributes[i] for i in hh.items}
             else:
-                for s in r_sample:
-                    if s.profit > eps_sq:
-                        large[s.index] = (s.profit, s.weight)
+                mask = r_block.profits > eps_sq
+                cand = r_block.indices[mask]
+                uniq, first = np.unique(cand, return_index=True)
+                order = np.argsort(first, kind="stable")
+                keep = first[order]
+                large = {
+                    int(i): (float(p), float(w))
+                    for i, p, w in zip(
+                        uniq[order],
+                        r_block.profits[mask][keep],
+                        r_block.weights[mask][keep],
+                    )
+                }
             p_large = min(sum(p for p, _ in large.values()), 1.0)
 
         # Lines 4-17: estimate the EPS when enough mass sits outside L.
@@ -271,10 +292,11 @@ class LCAKP:
         if 1.0 - p_large >= eps:
             with _obs.span("eps.estimate"):
                 run = params.per_run(p_large)
-                q_sample = self._sampler.sample_many(run.a, rng)
+                q_block = self._sampler.sample_block(run.a, rng)
                 total_q_draws = run.a
-                efficiencies = np.array(
-                    [s.efficiency for s in q_sample if s.profit <= eps_sq], dtype=float
+                small_mask = q_block.profits <= eps_sq
+                efficiencies = efficiency_array(
+                    q_block.profits[small_mask], q_block.weights[small_mask]
                 )
                 small_sample_size = int(efficiencies.size)
                 if small_sample_size > 0 and run.t > 0:
@@ -362,21 +384,24 @@ class LCAKP:
         """Answer a batch of queries against an already-run pipeline.
 
         This is the caller-amortization hot path (the serving engine's
-        cache hit): one point query per index, then the decision rule
-        applied as a single vectorized pass (``decide_many``) instead of
-        a Python-level loop.  Answers are bit-identical to calling
-        :meth:`answer` per index with this pipeline's nonce — the
-        decision is a pure function of (pipeline, item).
+        cache hit): one columnar :meth:`~repro.access.QueryOracle.query_block`
+        reveal per batch, then the decision rule applied as a single
+        vectorized pass (``decide_many``) instead of a Python-level
+        loop.  Answers are bit-identical to calling :meth:`answer` per
+        index with this pipeline's nonce — the decision is a pure
+        function of (pipeline, item).
         """
         idx = [int(i) for i in indices]
         with _obs.span("oracle.reveal"):
-            items = self._oracle.query_many(idx)
-        profits = np.array([it.profit for it in items], dtype=float)
-        weights = np.array([it.weight for it in items], dtype=float)
+            block = self._oracle.query_block(idx)
         include = pipeline.rule.decide_many(
-            profits, weights, np.array(idx, dtype=np.int64)
+            block.profits, block.weights, block.indices
         )
         summary = pipeline.summary()
+        items = [
+            Item(float(p), float(w))
+            for p, w in zip(block.profits, block.weights)
+        ]
         return [
             LCAAnswer(
                 index=i,

@@ -20,8 +20,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ReproError
-from ..knapsack.items import efficiency
+from ..knapsack.items import efficiency, efficiency_array
 from ..obs import runtime as _obs
 
 __all__ = ["TildeItem", "SimplifiedInstance", "build_simplified_instance"]
@@ -122,20 +124,47 @@ def _build_simplified_instance(
     eps_sq = epsilon * epsilon
     copies = int(math.floor(1.0 / epsilon))
 
-    entries: list[TildeItem] = [
-        TildeItem(profit=float(p), weight=float(w), kind="large", ref=int(i))
-        for i, (p, w) in large_items.items()
-    ]
-    for k, threshold in enumerate(eps_sequence):
-        # Band k's representative has efficiency exactly e_{k+1}
-        # (paper indexing: A_k(I~) uses threshold e_{k+1}).
-        rep_weight = eps_sq / threshold if math.isfinite(threshold) else 0.0
-        entries.extend(
-            TildeItem(profit=eps_sq, weight=rep_weight, kind="small", ref=k)
-            for _ in range(copies)
-        )
+    # Columnar assembly: lay out large items and band representatives as
+    # parallel arrays, then one lexsort realizes the canonical
+    # (-efficiency, kind, ref, weight) order the Python key sort used to
+    # produce.  Both sorts are stable and the key tuple is total up to
+    # indistinguishable identical copies, so the resulting item sequence
+    # (and hence the signature) is bit-identical to the old path.
+    n_large = len(large_items)
+    large_refs = np.fromiter(large_items.keys(), dtype=np.int64, count=n_large)
+    large_p = np.fromiter(
+        (p for p, _ in large_items.values()), dtype=float, count=n_large
+    )
+    large_w = np.fromiter(
+        (w for _, w in large_items.values()), dtype=float, count=n_large
+    )
 
-    entries.sort(key=lambda it: (-it.efficiency, it.kind, it.ref, it.weight))
+    t = len(eps_sequence)
+    thresholds = np.asarray(eps_sequence, dtype=float)
+    # Band k's representative has efficiency exactly e_{k+1}
+    # (paper indexing: A_k(I~) uses threshold e_{k+1}).
+    rep_weight = np.where(np.isfinite(thresholds), eps_sq / thresholds, 0.0)
+    band_refs = np.repeat(np.arange(t, dtype=np.int64), copies)
+
+    profits = np.concatenate([large_p, np.full(t * copies, eps_sq)])
+    weights = np.concatenate([large_w, np.repeat(rep_weight, copies)])
+    refs = np.concatenate([large_refs, band_refs])
+    # kind sorts as a string in the Python key: "large" < "small".
+    kind_codes = np.concatenate(
+        [np.zeros(n_large, dtype=np.int8), np.ones(t * copies, dtype=np.int8)]
+    )
+    order = np.lexsort(
+        (weights, refs, kind_codes, -efficiency_array(profits, weights))
+    )
+    entries = [
+        TildeItem(
+            profit=float(profits[j]),
+            weight=float(weights[j]),
+            kind="large" if kind_codes[j] == 0 else "small",
+            ref=int(refs[j]),
+        )
+        for j in order
+    ]
     return SimplifiedInstance(
         items=tuple(entries),
         capacity=float(capacity),

@@ -135,14 +135,19 @@ class SolutionView:
         if queries < 1:
             raise ReproError(f"queries must be >= 1, got {queries}")
         pipeline = self._lca.run_pipeline(nonce=fresh_nonce()) if self._shared else None
-        hits = 0
-        for _ in range(queries):
-            s = self._sampler.sample(rng)
-            if pipeline is not None:
-                include = pipeline.rule.decide(s.profit, s.weight, s.index)
-            else:
-                include = self._lca.answer(s.index).include
-            hits += int(include)
+        if pipeline is not None:
+            # Shared-pipeline mode: one columnar block of draws, one
+            # vectorized decision pass — no per-draw Python objects.
+            block = self._sampler.sample_block(queries, rng)
+            include = pipeline.rule.decide_many(
+                block.profits, block.weights, block.indices
+            )
+            hits = int(np.count_nonzero(include))
+        else:
+            hits = 0
+            for _ in range(queries):
+                s = self._sampler.sample(rng)
+                hits += int(self._lca.answer(s.index).include)
         lo, hi = binomial_ci(hits, queries, confidence)
         return ValueEstimateFromLCA(
             estimate=hits / queries,

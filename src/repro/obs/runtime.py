@@ -27,6 +27,7 @@ __all__ = [
     "span",
     "record_oracle_queries",
     "record_samples",
+    "record_sample_block",
     "snapshot",
 ]
 
@@ -39,6 +40,7 @@ TRACER = Tracer()
 _ORACLE_QUERIES = REGISTRY.counter("oracle.queries")
 _SAMPLER_SAMPLES = REGISTRY.counter("sampler.samples")
 _SAMPLE_BATCH = REGISTRY.histogram("sampler.batch_size")
+_SAMPLER_BLOCKS = REGISTRY.counter("sampler.blocks")
 
 
 def span(name: str):
@@ -59,6 +61,24 @@ def record_samples(n: int = 1) -> None:
     _SAMPLE_BATCH.observe(n)
     if TRACER._enabled:
         TRACER.add("samples", n)
+
+
+def record_sample_block(n: int) -> None:
+    """One charged *columnar block* of ``n`` weighted-sampler draws.
+
+    Exactly one obs call per block: the ``sampler.samples`` total and
+    the batch-size histogram advance identically to :func:`record_samples`
+    (metrics totals are invariant to which path charged the draws), and
+    the block itself is counted once — in ``sampler.blocks`` and, under
+    the tracer, as a per-phase ``sample_blocks`` span count so
+    ``repro trace`` attributes blocks as exactly as it attributes draws.
+    """
+    _SAMPLER_SAMPLES.inc(n)
+    _SAMPLE_BATCH.observe(n)
+    _SAMPLER_BLOCKS.inc(1)
+    if TRACER._enabled:
+        TRACER.add("samples", n)
+        TRACER.add("sample_blocks", 1)
 
 
 def snapshot() -> dict:

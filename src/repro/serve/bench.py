@@ -30,7 +30,12 @@ from ..access.weighted_sampler import WeightedSampler
 from ..core.lca_kp import LCAKP
 from .service import KnapsackService
 
-__all__ = ["serve_throughput_rows", "bench_serve_document"]
+__all__ = [
+    "serve_throughput_rows",
+    "bench_serve_document",
+    "cold_pipeline_rows",
+    "bench_cold_document",
+]
 
 
 def _row(mode, queries, pipelines, samples, wall):
@@ -115,6 +120,114 @@ def serve_throughput_rows(
             round(row["qps"] / base_qps, 2) if base_qps > 0 else float("inf")
         )
     return rows
+
+
+def cold_pipeline_rows(
+    instance,
+    *,
+    epsilon: float = 0.1,
+    seed: int = 7,
+    queries: int = 5,
+    params=None,
+    probe_stride: int = 7,
+) -> list[dict]:
+    """Measure cold-pipeline latency: columnar block path vs object path.
+
+    Runs ``queries`` cold pipelines per path (fresh LCA each path, cache
+    concept not involved — every run is a full Algorithm 2 execution)
+    under identical nonces, then reports per-path wall clock, samples and
+    blocks.  Before timing is trusted, every nonce is *verified*: the
+    two paths must produce equal signatures, equal ``samples_used``, and
+    equal answers on a probe index set — the bench refuses to report a
+    speedup for a path pair that is not bit-identical.
+
+    The final row carries the headline ``speedup`` (object wall / block
+    wall).
+    """
+    from ..core._object_path import run_pipeline_object
+
+    nonces = [10_000 + q for q in range(queries)]
+    probes = list(range(0, instance.n, max(1, probe_stride)))[:64]
+
+    def fresh():
+        sampler = WeightedSampler(instance)
+        lca = LCAKP(
+            sampler, QueryOracle(instance), epsilon, seed, params=params
+        )
+        return sampler, lca
+
+    # Verification pass (untimed): bit-identity per nonce.
+    s_b, lca_b = fresh()
+    s_o, lca_o = fresh()
+    for nonce in nonces:
+        block_res = lca_b.run_pipeline(nonce=nonce)
+        object_res = run_pipeline_object(lca_o, nonce=nonce)
+        if block_res.signature() != object_res.signature():
+            raise AssertionError(f"path divergence at nonce {nonce}: signature")
+        if block_res.samples_used != object_res.samples_used:
+            raise AssertionError(f"path divergence at nonce {nonce}: samples")
+        a_b = lca_b.answers_from(block_res, probes)
+        a_o = lca_o.answers_from(object_res, probes)
+        if [(a.index, a.include, a.item) for a in a_b] != [
+            (a.index, a.include, a.item) for a in a_o
+        ]:
+            raise AssertionError(f"path divergence at nonce {nonce}: answers")
+    if s_b.cost_counter != s_o.cost_counter:
+        raise AssertionError("path divergence: total sample cost")
+
+    rows = []
+    # Timed passes: same nonces, fresh accounting per path.
+    s_o, lca_o = fresh()
+    t0 = time.perf_counter()
+    for nonce in nonces:
+        run_pipeline_object(lca_o, nonce=nonce)
+    object_wall = time.perf_counter() - t0
+    rows.append(
+        {
+            "mode": "object_path",
+            "queries": queries,
+            "samples": s_o.cost_counter,
+            "blocks": s_o.blocks_used,
+            "wall_clock_s": round(object_wall, 6),
+            "latency_ms": round(1000.0 * object_wall / queries, 3),
+        }
+    )
+
+    s_b, lca_b = fresh()
+    t0 = time.perf_counter()
+    for nonce in nonces:
+        lca_b.run_pipeline(nonce=nonce)
+    block_wall = time.perf_counter() - t0
+    rows.append(
+        {
+            "mode": "block_path",
+            "queries": queries,
+            "samples": s_b.cost_counter,
+            "blocks": s_b.blocks_used,
+            "wall_clock_s": round(block_wall, 6),
+            "latency_ms": round(1000.0 * block_wall / queries, 3),
+        }
+    )
+    if s_b.cost_counter != s_o.cost_counter:
+        raise AssertionError("timed passes disagree on total sample cost")
+    rows[-1]["speedup"] = (
+        round(object_wall / block_wall, 2) if block_wall > 0 else float("inf")
+    )
+    rows[-1]["verified_bit_identical"] = True
+    return rows
+
+
+def bench_cold_document(rows: list[dict], *, name: str = "cold_pipeline") -> dict:
+    """Wrap cold-path rows as a ``bench-result/v1`` document."""
+    return {
+        "schema": "bench-result/v1",
+        "name": name,
+        "title": "Cold-pipeline latency: columnar block path vs per-object path",
+        "rows": rows,
+        "wall_clock_s": sum(r["wall_clock_s"] for r in rows),
+        "total_queries": sum(r["queries"] for r in rows),
+        "total_samples": sum(r["samples"] for r in rows),
+    }
 
 
 def bench_serve_document(rows: list[dict], *, name: str = "serve_throughput") -> dict:

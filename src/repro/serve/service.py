@@ -228,6 +228,17 @@ class KnapsackService:
         return self._sampler.cost_counter + self._extra_samples
 
     @property
+    def blocks_used(self) -> int:
+        """Columnar sample blocks charged by this service's own sampler.
+
+        The cold (cache-miss) path draws samples in blocks — see
+        :meth:`~repro.access.WeightedSampler.sample_block` — so this
+        counts pipeline-phase batches, not draws.  Shard subprocesses
+        keep their own block counts (only their sample/query totals are
+        folded back in)."""
+        return getattr(self._sampler, "blocks_used", 0)
+
+    @property
     def queries_used(self) -> int:
         """Point queries spent by this service, including shards."""
         return self._oracle.cost_counter + self._extra_queries
@@ -418,6 +429,7 @@ class KnapsackService:
         return {
             "samples_used": self.samples_used,
             "queries_used": self.queries_used,
+            "blocks_used": self.blocks_used,
             "cost_counter": self.cost_counter,
             "cache": self._cache.stats() if self._cache is not None else None,
         }

@@ -1,0 +1,63 @@
+"""Property test: vectorized ``_band_of`` is equivalent to the loop form.
+
+The vectorized implementation replaces the per-threshold masking loop
+with one ``np.searchsorted`` over the running minimum of the threshold
+sequence.  The claim it rests on: for any (not necessarily sorted)
+finite sequence, the band of ``e`` — the smallest ``k`` with
+``e >= thresholds[k]``, else ``t`` — equals the first position where
+``e`` clears the running minimum.  Hypothesis checks that against
+``_band_of_reference`` (the retired loop), on both the descending
+sequences the pipeline actually produces and adversarial unsorted ones.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eps import _band_of, _band_of_reference
+
+finite = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    eff=st.lists(finite, min_size=0, max_size=40),
+    thresholds=st.lists(finite, min_size=0, max_size=12),
+)
+def test_band_of_matches_reference_arbitrary(eff, thresholds):
+    eff_arr = np.asarray(eff, dtype=float)
+    th = tuple(thresholds)
+    np.testing.assert_array_equal(
+        _band_of(eff_arr, th), _band_of_reference(eff_arr, th)
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    eff=st.lists(finite, min_size=1, max_size=40),
+    thresholds=st.lists(
+        st.floats(min_value=1e-9, max_value=1e6, allow_nan=False), min_size=1, max_size=12
+    ),
+)
+def test_band_of_matches_reference_descending(eff, thresholds):
+    # The pipeline's sequences are non-increasing and positive.
+    th = tuple(sorted(thresholds, reverse=True))
+    eff_arr = np.asarray(eff, dtype=float)
+    np.testing.assert_array_equal(
+        _band_of(eff_arr, th), _band_of_reference(eff_arr, th)
+    )
+
+
+def test_band_of_edge_values():
+    th = (4.0, 2.0, 1.0)
+    eff = np.array([np.inf, 5.0, 4.0, 3.0, 2.0, 1.5, 1.0, 0.5, -np.inf, np.nan])
+    expected = np.array([0, 0, 0, 1, 1, 2, 2, 3, 3, 3], dtype=np.int64)
+    np.testing.assert_array_equal(_band_of(eff, th), expected)
+    np.testing.assert_array_equal(_band_of_reference(eff, th), expected)
+
+
+def test_band_of_empty_thresholds():
+    eff = np.array([1.0, np.nan, -2.0])
+    np.testing.assert_array_equal(_band_of(eff, ()), np.zeros(3, dtype=np.int64))

@@ -1,0 +1,98 @@
+"""Property test: the columnar pipeline is bit-identical to the object path.
+
+``repro.core._object_path.run_pipeline_object`` is a verbatim freeze of
+the pre-columnar ``LCAKP._run_pipeline``.  Because ``sample_many`` is a
+wrapper over ``sample_block``, the two paths consume the *same* RNG
+stream and charge the *same* budget; the only difference is how the
+draws are represented.  This test pins the whole contract: for random
+instances, seeds, nonces and both tie-breaking settings, the block path
+must reproduce the object path's signature, large-item dict (values and
+insertion order), EPS sequence, ``p_large`` (to the bit — summation
+order is preserved on purpose), ``samples_used``, cost counters, and
+per-query answers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.oracle import QueryOracle
+from repro.access.weighted_sampler import WeightedSampler
+from repro.core._object_path import run_pipeline_object
+from repro.core.lca_kp import LCAKP
+from repro.core.parameters import LCAParameters
+from repro.knapsack import generators
+
+EPSILON = 0.1
+PARAMS = LCAParameters.calibrated(EPSILON, max_nrq=2000, max_m_large=2000)
+
+FAMILIES = (
+    lambda seed: generators.planted_lsg(300, seed=seed, epsilon=EPSILON),
+    lambda seed: generators.efficiency_tiers(300, seed=seed, tiers=5),
+    lambda seed: generators.uniform(200, seed=seed),
+)
+
+
+def _pair(instance, lca_seed, tie_breaking):
+    samplers = (WeightedSampler(instance), WeightedSampler(instance))
+    lcas = tuple(
+        LCAKP(
+            s,
+            QueryOracle(instance),
+            EPSILON,
+            lca_seed,
+            params=PARAMS,
+            tie_breaking=tie_breaking,
+        )
+        for s in samplers
+    )
+    return samplers, lcas
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    family=st.integers(min_value=0, max_value=len(FAMILIES) - 1),
+    inst_seed=st.integers(min_value=0, max_value=1000),
+    lca_seed=st.integers(min_value=0, max_value=10**6),
+    nonce=st.integers(min_value=0, max_value=10**9),
+    tie_breaking=st.booleans(),
+)
+def test_block_path_bit_identical(family, inst_seed, lca_seed, nonce, tie_breaking):
+    instance = FAMILIES[family](inst_seed)
+    (s_block, s_obj), (lca_block, lca_obj) = _pair(instance, lca_seed, tie_breaking)
+
+    block_res = lca_block.run_pipeline(nonce=nonce)
+    object_res = run_pipeline_object(lca_obj, nonce=nonce)
+
+    assert block_res.p_large == object_res.p_large  # bit-identical, not approx
+    assert block_res.large_items == object_res.large_items
+    assert list(block_res.large_items) == list(object_res.large_items)  # order
+    assert block_res.eps_sequence == object_res.eps_sequence
+    assert block_res.signature() == object_res.signature()
+    assert block_res.small_sample_size == object_res.small_sample_size
+    assert block_res.samples_used == object_res.samples_used
+    assert s_block.cost_counter == s_obj.cost_counter
+    if tie_breaking:
+        assert (block_res.tie_rule is None) == (object_res.tie_rule is None)
+
+    probes = list(range(0, instance.n, 13))
+    answers_block = lca_block.answers_from(block_res, probes)
+    answers_obj = lca_obj.answers_from(object_res, probes)
+    assert [
+        (a.index, a.include, a.item, a.reason) for a in answers_block
+    ] == [(a.index, a.include, a.item, a.reason) for a in answers_obj]
+
+
+@settings(max_examples=10, deadline=None)
+@given(nonce=st.integers(min_value=0, max_value=10**9))
+def test_heavy_hitters_mode_bit_identical(nonce):
+    instance = generators.planted_lsg(300, seed=5, epsilon=EPSILON)
+    sampler_b = WeightedSampler(instance)
+    sampler_o = WeightedSampler(instance)
+    kwargs = dict(params=PARAMS, large_item_mode="heavy_hitters")
+    lca_b = LCAKP(sampler_b, QueryOracle(instance), EPSILON, 42, **kwargs)
+    lca_o = LCAKP(sampler_o, QueryOracle(instance), EPSILON, 42, **kwargs)
+    block_res = lca_b.run_pipeline(nonce=nonce)
+    object_res = run_pipeline_object(lca_o, nonce=nonce)
+    assert block_res.signature() == object_res.signature()
+    assert block_res.large_items == object_res.large_items
+    assert block_res.samples_used == object_res.samples_used
