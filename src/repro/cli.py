@@ -9,7 +9,9 @@ Subcommands
 ``serve``       serve a query batch through the KnapsackService engine;
 ``bench``       measure serving throughput, write BENCH_serve.json;
 ``bench-cold``  measure cold-pipeline latency (columnar vs object path),
-                write BENCH_cold.json;
+                write BENCH_cold.json; ``--sweep`` adds an n-axis sweep;
+``chaos``       run a seeded fault-injection sweep, assert availability,
+                write a deterministic chaos-report/v1 document;
 ``experiment``  run one of the E1-E11 experiments and print its table;
 ``demo``        the Figure 1 reduction, walked end to end;
 ``families``    list the workload generator families.
@@ -192,6 +194,44 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cold.add_argument(
         "--out", metavar="PATH", default="BENCH_cold.json",
         help="where to write the bench-result/v1 document",
+    )
+    p_cold.add_argument(
+        "--sweep", metavar="NS", default=None,
+        help="comma-separated instance sizes for an n-axis sweep "
+        "(e.g. 10000,100000,1000000); overrides --n",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection sweep and write chaos-report/v1",
+    )
+    p_chaos.add_argument("--family", default="uniform", choices=sorted(FAMILIES))
+    p_chaos.add_argument("--n", type=int, default=2000)
+    p_chaos.add_argument("--instance-seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="chaos seed: drives the workload, the fault coins and the retry jitter",
+    )
+    p_chaos.add_argument("--epsilon", type=float, default=0.1)
+    p_chaos.add_argument("--lca-seed", type=int, default=42, help="the shared random string r")
+    p_chaos.add_argument("--queries", type=int, default=40, help="queries per batch")
+    p_chaos.add_argument("--batches", type=int, default=3, help="batches per fault rate")
+    p_chaos.add_argument(
+        "--rates", default="0.0,0.05,0.1",
+        help="comma-separated probe-failure rates to sweep",
+    )
+    p_chaos.add_argument(
+        "--target", type=float, default=0.99,
+        help="required non-degraded availability at every rate",
+    )
+    p_chaos.add_argument("--retries", type=int, default=3, help="retry budget per probe")
+    p_chaos.add_argument(
+        "--cap", type=int, default=4_000,
+        help="cap m_large / n_rq for speed (0 keeps the full calibrated sizes)",
+    )
+    p_chaos.add_argument(
+        "--out", metavar="PATH", default="chaos_report.json",
+        help="where to write the chaos-report/v1 document",
     )
 
     p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment")
@@ -439,20 +479,95 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_bench_cold(args: argparse.Namespace) -> int:
     from .obs.export import write_json
-    from .serve.bench import bench_cold_document, cold_pipeline_rows
+    from .serve.bench import bench_cold_document, cold_pipeline_rows, cold_sweep_rows
 
-    inst = generate(args.family, args.n, seed=args.seed)
-    rows = cold_pipeline_rows(
-        inst,
-        epsilon=args.epsilon,
-        seed=args.lca_seed,
-        queries=args.queries,
-    )
-    print(format_row_dicts(rows, title="cold-pipeline latency (verified bit-identical)"))
+    if args.sweep:
+        sizes = [int(s) for s in args.sweep.split(",") if s.strip()]
+        rows = cold_sweep_rows(
+            sizes,
+            family=args.family,
+            instance_seed=args.seed,
+            epsilon=args.epsilon,
+            seed=args.lca_seed,
+            queries=args.queries,
+        )
+        title = "cold-pipeline latency, n-axis sweep"
+    else:
+        inst = generate(args.family, args.n, seed=args.seed)
+        rows = cold_pipeline_rows(
+            inst,
+            epsilon=args.epsilon,
+            seed=args.lca_seed,
+            queries=args.queries,
+        )
+        title = "cold-pipeline latency (verified bit-identical)"
+    print(format_row_dicts(rows, title=title))
     doc = bench_cold_document(rows)
     write_json(args.out, doc)
     print(f"\nwrote bench-result/v1 document to {args.out}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.parameters import LCAParameters
+    from .faults import RetryPolicy, chaos_sweep
+
+    inst = generate(args.family, args.n, seed=args.instance_seed)
+    params = None
+    if args.cap:
+        params = LCAParameters.calibrated(
+            args.epsilon, max_nrq=args.cap, max_m_large=args.cap
+        )
+    rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+    doc = chaos_sweep(
+        inst,
+        epsilon=args.epsilon,
+        lca_seed=args.lca_seed,
+        chaos_seed=args.seed,
+        rates=rates,
+        queries=args.queries,
+        batches=args.batches,
+        availability_target=args.target,
+        params=params,
+        retry=RetryPolicy(max_retries=args.retries, seed=args.seed),
+    )
+    # Sorted keys + no timing fields: the same seed must produce the
+    # same bytes (the CI chaos-smoke job diffs two runs).
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    with open(args.out, "w") as fh:
+        fh.write(text + "\n")
+    rows = [
+        [
+            r["probe_failure_rate"],
+            r["answers"],
+            r["degraded"],
+            r["batch_aborts"],
+            r["probe_retries"],
+            f"{r['availability']:.4f}",
+            "yes" if r["meets_target"] else "NO",
+        ]
+        for r in doc["rows"]
+    ]
+    print(
+        f"chaos: family={args.family} n={inst.n} eps={args.epsilon} "
+        f"chaos_seed={args.seed} lca_seed={args.lca_seed} "
+        f"(deterministic: same seeds => byte-identical report)"
+    )
+    print(
+        format_table(
+            ["fail rate", "answers", "degraded", "aborts", "retries",
+             "availability", "meets target"],
+            rows,
+        )
+    )
+    print(
+        "fault-free equivalence: "
+        + ("PASS" if doc["fault_free_equivalence"] else "FAIL")
+    )
+    print(f"wrote chaos-report/v1 to {args.out}")
+    return 0 if (doc["all_meet_target"] and doc["fault_free_equivalence"]) else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -563,6 +678,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "bench": _cmd_bench,
         "bench-cold": _cmd_bench_cold,
+        "chaos": _cmd_chaos,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "demo": _cmd_demo,

@@ -29,6 +29,8 @@ from ..access.seeds import SeedChain
 from ..core.parameters import LCAParameters
 from ..errors import ExperimentError
 from ..knapsack.instance import KnapsackInstance
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..obs import runtime as _obs
 from ..obs.trace import phase_counts
 from ..serve import KnapsackService, PipelineCache
@@ -80,14 +82,27 @@ class Worker:
         *,
         seconds_per_sample: float = 1e-6,
         cache: PipelineCache | bool = False,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.worker_id = worker_id
+        # A faulty cluster keeps answering: workers with a fault plan
+        # serve non-strict, so unrecovered faults become reason-coded
+        # degraded answers instead of crashing the simulation.
         self._service = KnapsackService(
-            instance, epsilon, seed, params=params, cache=cache
+            instance,
+            epsilon,
+            seed,
+            params=params,
+            cache=cache,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            strict=fault_plan is None,
         )
         self._seconds_per_sample = seconds_per_sample
         self.busy_until = 0.0
         self.queries_served = 0
+        self.degraded_served = 0
         self.phase_queries: dict[str, int] = {}
         self.phase_samples: dict[str, int] = {}
 
@@ -111,6 +126,8 @@ class Worker:
                 self.phase_samples[phase] = self.phase_samples.get(phase, 0) + n
         spent = self._service.samples_used - before
         self.queries_served += 1
+        if getattr(result, "degraded", False):
+            self.degraded_served += 1
         return result.include, spent, spent * self._seconds_per_sample
 
     @property
@@ -122,6 +139,11 @@ class Worker:
     def total_queries(self) -> int:
         """Cumulative charged oracle queries by this worker."""
         return self._service.queries_used
+
+    @property
+    def total_probe_retries(self) -> int:
+        """Cumulative budget-charged re-probes by this worker."""
+        return self._service.retries_used
 
 
 @dataclass(frozen=True)
@@ -141,6 +163,8 @@ class ClusterReport:
     per_worker_load: tuple[int, ...]
     total_crashes: int = 0
     total_queries: int = 0
+    total_degraded: int = 0
+    total_probe_retries: int = 0
     phase_queries: dict = field(default_factory=dict)
     phase_samples: dict = field(default_factory=dict)
     cache: dict | None = None
@@ -162,6 +186,8 @@ class ClusterReport:
             "total_queries": self.total_queries,
             "per_worker_load": list(self.per_worker_load),
             "total_crashes": self.total_crashes,
+            "total_degraded": self.total_degraded,
+            "total_probe_retries": self.total_probe_retries,
             "phase_queries": dict(self.phase_queries),
             "phase_samples": dict(self.phase_samples),
             "cache": dict(self.cache) if self.cache is not None else None,
@@ -220,6 +246,8 @@ class ClusterSimulation:
         rng_seed: int = 0,
         cache_capacity: int = 0,
         nonce_pool: int = 0,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ExperimentError(f"workers must be >= 1, got {workers}")
@@ -255,6 +283,8 @@ class ClusterSimulation:
                 seconds_per_sample=seconds_per_sample
                 / (worker_speeds[w] if worker_speeds else 1.0),
                 cache=self._cache if self._cache is not None else False,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
             )
             for w in range(workers)
         ]
@@ -414,6 +444,8 @@ class ClusterSimulation:
             per_worker_load=tuple(w.queries_served for w in self._workers),
             total_crashes=self._crashes,
             total_queries=sum(w.total_queries for w in self._workers),
+            total_degraded=sum(w.degraded_served for w in self._workers),
+            total_probe_retries=sum(w.total_probe_retries for w in self._workers),
             phase_queries=phase_queries,
             phase_samples=phase_samples,
             cache=self._cache.stats() if self._cache is not None else None,

@@ -87,3 +87,80 @@ class ConsistencyViolation(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment/benchmark harness was misconfigured."""
+
+
+class FaultInjectionError(ReproError):
+    """An injected (or injected-and-unrecovered) fault surfaced to the caller.
+
+    The fault-injection layer (:mod:`repro.faults`) models oracle access
+    as an unreliable, costed resource: probes can fail, time out, or come
+    back corrupted.  Every concrete fault error carries a machine-readable
+    ``reason_code`` so degraded answers and chaos reports can account for
+    failures without parsing messages.
+    """
+
+    reason_code = "fault-injected"
+
+
+class ProbeFailureError(FaultInjectionError):
+    """A charged probe's response was lost (transient; retryable).
+
+    The probe *was* charged against the budget before failing — the model
+    is "the query reached the oracle, the answer did not come back", so
+    retries pay again.  This is what keeps the resource accounting honest
+    with respect to Theorems 3.2-3.4: faults never grant free queries.
+    """
+
+    reason_code = "probe-failure"
+
+    def __init__(self, probe: str, attempt: int = 1) -> None:
+        self.probe = probe
+        self.attempt = attempt
+        super().__init__(f"injected failure on probe {probe!r} (attempt {attempt})")
+
+
+class ProbeTimeoutError(FaultInjectionError):
+    """A probe's injected latency exceeded the per-probe timeout (transient)."""
+
+    reason_code = "probe-timeout"
+
+    def __init__(self, probe: str, latency_s: float, timeout_s: float) -> None:
+        self.probe = probe
+        self.latency_s = latency_s
+        self.timeout_s = timeout_s
+        super().__init__(
+            f"probe {probe!r} took {latency_s:.4g}s (injected), timeout {timeout_s:.4g}s"
+        )
+
+
+class RetriesExhaustedError(FaultInjectionError):
+    """A transient fault persisted through every allowed retry.
+
+    ``last_error`` is the final transient failure; ``attempts`` counts
+    every probe attempt made (initial try plus retries), all of which
+    were charged against the budget.
+    """
+
+    reason_code = "retries-exhausted"
+
+    def __init__(self, probe: str, attempts: int, last_error: Exception) -> None:
+        self.probe = probe
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"probe {probe!r} failed {attempts} attempt(s); last error: {last_error}"
+        )
+
+
+class ShardFailureError(FaultInjectionError):
+    """A parallel shard (process-pool worker) died and exhausted its requeues."""
+
+    reason_code = "shard-failure"
+
+    def __init__(self, shard: int, attempts: int, last_error: Exception) -> None:
+        self.shard = shard
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"shard {shard} failed {attempts} attempt(s); last error: {last_error!r}"
+        )

@@ -1,0 +1,37 @@
+"""Fault injection and resilience: oracle access as an unreliable resource.
+
+The LCA model's central resource is the per-query probe budget; this
+package treats each probe as something that can *fail* — deterministic,
+seeded fault injection (:class:`FaultPlan`, :class:`FaultyOracle`,
+:class:`FaultySampler`), bounded budget-honest recovery
+(:class:`RetryPolicy`, :class:`RetryingOracle`, :class:`RetryingSampler`)
+and seeded chaos sweeps (:func:`chaos_sweep`) that certify availability
+under each fault rate.  See ``docs/robustness.md``.
+"""
+
+from .chaos import CHAOS_SCHEMA, chaos_document, chaos_sweep
+from .injectors import FaultyOracle, FaultySampler
+from .plan import FaultDecision, FaultPlan, FaultStream
+from .retry import (
+    TRANSIENT_FAULTS,
+    RetryOutcome,
+    RetryPolicy,
+    RetryingOracle,
+    RetryingSampler,
+)
+
+__all__ = [
+    "CHAOS_SCHEMA",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultStream",
+    "FaultyOracle",
+    "FaultySampler",
+    "RetryOutcome",
+    "RetryPolicy",
+    "RetryingOracle",
+    "RetryingSampler",
+    "TRANSIENT_FAULTS",
+    "chaos_document",
+    "chaos_sweep",
+]

@@ -1,0 +1,182 @@
+"""Seeded chaos sweeps: measure availability under injected faults.
+
+A chaos sweep serves one fixed, seeded query workload through a
+:class:`~repro.serve.KnapsackService` at a ladder of probe-failure
+rates and reports, per rate: degraded answers, probe retries, injected
+faults, and **availability** (fraction of answers served non-degraded).
+It also runs the rate-0 control: a service wrapped in a null fault plan
+must answer *bit-identically* to an unwrapped service — the decorators
+are proven observationally transparent on every sweep.
+
+The emitted ``chaos-report/v1`` document is **deterministic by
+construction**: all randomness comes from the chaos seed and the LCA
+seed, backoff is virtual, and no wall-clock field exists — running the
+same sweep twice must produce byte-identical JSON (the CI chaos-smoke
+job diffs two runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from .plan import FaultPlan
+from .retry import RetryPolicy
+
+__all__ = ["CHAOS_SCHEMA", "chaos_sweep", "chaos_document"]
+
+CHAOS_SCHEMA = "chaos-report/v1"
+
+
+def _answers_key(answers) -> list[tuple]:
+    """Bit-comparable projection of a batch's answers."""
+    return [
+        (a.index, a.include, getattr(a, "reason", ""),
+         getattr(getattr(a, "item", None), "profit", None),
+         getattr(getattr(a, "item", None), "weight", None))
+        for a in answers
+    ]
+
+
+def chaos_sweep(
+    instance,
+    *,
+    epsilon: float,
+    lca_seed: int = 42,
+    chaos_seed: int = 7,
+    rates: tuple[float, ...] = (0.0, 0.05, 0.1),
+    queries: int = 40,
+    batches: int = 3,
+    availability_target: float = 0.99,
+    params=None,
+    retry: RetryPolicy | None = None,
+    corruption_rate: float = 0.0,
+    latency_spike_rate: float = 0.0,
+) -> dict:
+    """Run the sweep; returns a ``chaos-report/v1`` document (pure data).
+
+    Each rate serves ``batches`` serial batches of ``queries`` fixed
+    indices under pinned nonces through a fresh non-strict service wired
+    with :class:`~repro.faults.FaultPlan` + ``retry``.  Batches must
+    never abort: an escaping exception is counted (and fails the
+    sweep) rather than crashing it.
+    """
+    from ..serve.service import KnapsackService  # local: serve imports faults
+
+    if queries < 1 or batches < 1:
+        raise ReproError("chaos sweep needs queries >= 1 and batches >= 1")
+    if not rates:
+        raise ReproError("chaos sweep needs at least one fault rate")
+    retry = retry or RetryPolicy(max_retries=3, seed=int(chaos_seed))
+    idx_rng = np.random.default_rng(int(chaos_seed))
+    indices = [int(i) for i in idx_rng.integers(instance.n, size=queries)]
+    nonces = [200_000 + b for b in range(batches)]
+
+    def serve_all(service) -> tuple[list, int]:
+        all_answers = []
+        aborts = 0
+        for nonce in nonces:
+            try:
+                report = service.answer_batch(indices, nonce=nonce)
+            except Exception:
+                aborts += 1
+                continue
+            all_answers.extend(report.answers)
+        return all_answers, aborts
+
+    # Fault-free control (no plan at all), then the rate-0 transparency
+    # check: a null-plan service must be bit-identical to the control.
+    control = KnapsackService(
+        instance, epsilon, seed=lca_seed, params=params, cache=False
+    )
+    control_answers, _ = serve_all(control)
+    null_svc = KnapsackService(
+        instance, epsilon, seed=lca_seed, params=params, cache=False,
+        fault_plan=FaultPlan(seed=int(chaos_seed)), retry_policy=retry, strict=False,
+    )
+    null_answers, _ = serve_all(null_svc)
+    fault_free_equivalence = _answers_key(control_answers) == _answers_key(null_answers)
+
+    rows = []
+    for rate in rates:
+        plan = FaultPlan(
+            seed=int(chaos_seed),
+            probe_failure_rate=float(rate),
+            corruption_rate=float(corruption_rate),
+            latency_spike_rate=float(latency_spike_rate),
+        )
+        service = KnapsackService(
+            instance, epsilon, seed=lca_seed, params=params, cache=False,
+            fault_plan=plan, retry_policy=retry, strict=False,
+        )
+        answers, aborts = serve_all(service)
+        degraded = sum(1 for a in answers if getattr(a, "degraded", False))
+        total = len(answers)
+        availability = 1.0 - (degraded / total) if total else 0.0
+        rows.append(
+            {
+                "probe_failure_rate": float(rate),
+                "corruption_rate": float(corruption_rate),
+                "latency_spike_rate": float(latency_spike_rate),
+                "answers": total,
+                "degraded": degraded,
+                "batch_aborts": aborts,
+                "probe_retries": service.retries_used,
+                "probe_failures_injected": service.faults_injected.get(
+                    "probe_failures", 0
+                ),
+                "corruptions_injected": service.faults_injected.get("corruptions", 0),
+                "availability": round(availability, 6),
+                "meets_target": bool(availability >= availability_target and aborts == 0),
+            }
+        )
+
+    return chaos_document(
+        rows,
+        chaos_seed=int(chaos_seed),
+        lca_seed=int(lca_seed),
+        n=int(instance.n),
+        epsilon=float(epsilon),
+        queries=queries,
+        batches=batches,
+        availability_target=float(availability_target),
+        retry=retry,
+        fault_free_equivalence=fault_free_equivalence,
+    )
+
+
+def chaos_document(
+    rows: list[dict],
+    *,
+    chaos_seed: int,
+    lca_seed: int,
+    n: int,
+    epsilon: float,
+    queries: int,
+    batches: int,
+    availability_target: float,
+    retry: RetryPolicy,
+    fault_free_equivalence: bool,
+) -> dict:
+    """Assemble the deterministic ``chaos-report/v1`` document."""
+    return {
+        "schema": CHAOS_SCHEMA,
+        "name": "chaos_sweep",
+        "title": "Availability under injected probe faults (seeded, deterministic)",
+        "seed": chaos_seed,
+        "lca_seed": lca_seed,
+        "n": n,
+        "epsilon": epsilon,
+        "queries_per_batch": queries,
+        "batches": batches,
+        "availability_target": availability_target,
+        "retry": {
+            "max_retries": retry.max_retries,
+            "backoff_base_s": retry.backoff_base_s,
+            "backoff_factor": retry.backoff_factor,
+            "jitter": retry.jitter,
+        },
+        "fault_free_equivalence": bool(fault_free_equivalence),
+        "rows": rows,
+        "all_meet_target": bool(all(r["meets_target"] for r in rows)),
+    }

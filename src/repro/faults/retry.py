@@ -1,0 +1,275 @@
+"""Bounded, budget-honest retries over unreliable probes.
+
+:class:`RetryPolicy` is the recovery half of the fault model: transient
+probe failures (:class:`~repro.errors.ProbeFailureError`,
+:class:`~repro.errors.ProbeTimeoutError`) are retried a bounded number
+of times with exponential backoff and *deterministic* jitter (drawn from
+a seed chain keyed by the probe label and attempt number — no wall
+clock, no global RNG).  Three invariants:
+
+* **budget honesty** — every retry re-executes the real probe, which
+  re-charges the budget; when retries push past it, the oracle's own
+  :class:`~repro.errors.QueryBudgetExceededError` escapes *immediately*
+  (budget exhaustion is not transient — Theorems 3.2-3.4 are exactly
+  statements about this resource, so the policy never papers over it);
+* **bounded work** — after ``max_retries`` re-probes the last transient
+  error is wrapped in :class:`~repro.errors.RetriesExhaustedError`
+  (still a :class:`~repro.errors.FaultInjectionError`, so the serving
+  layer's degradation ladder catches it);
+* **virtual time** — backoff is accumulated, not slept, unless the
+  policy opts into real sleeping; chaos sweeps stay deterministic and
+  fast.
+
+:class:`RetryingOracle` / :class:`RetryingSampler` apply the policy to
+every probe of a wrapped access object, so :class:`~repro.core.LCAKP`
+gains retries without knowing they exist.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..access.blocks import Sample, SampleBlock
+from ..access.seeds import SeedChain
+from ..errors import (
+    ProbeFailureError,
+    ProbeTimeoutError,
+    ReproError,
+    RetriesExhaustedError,
+)
+from ..knapsack.items import Item
+from ..obs import runtime as _obs
+
+__all__ = ["TRANSIENT_FAULTS", "RetryOutcome", "RetryPolicy", "RetryingOracle", "RetryingSampler"]
+
+#: Fault errors a retry may recover from.  Budget exhaustion is absent on
+#: purpose: a re-probe cannot un-spend the budget.
+TRANSIENT_FAULTS = (ProbeFailureError, ProbeTimeoutError)
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """Result plus the bill of one retried probe."""
+
+    value: Any
+    attempts: int
+    retries: int
+    backoff_s: float
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Parameters
+    ----------
+    max_retries:
+        Re-probes allowed after the first attempt (0 disables retrying).
+    backoff_base_s, backoff_factor:
+        Attempt ``k`` (1-based) backs off ``base * factor**(k-1)``
+        seconds before re-probing.
+    jitter:
+        Fractional jitter; the actual delay is scaled by
+        ``1 + jitter * u`` with ``u`` drawn deterministically from
+        ``(seed, labels, attempt)``.
+    probe_timeout_s:
+        Per-probe timeout handed to the fault injectors (an injected
+        latency spike above it is a transient timeout).
+    seed:
+        Root of the jitter seed chain.
+    sleep:
+        When true, backoff really sleeps (production posture); tests and
+        chaos sweeps keep the default virtual backoff.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.001
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    probe_timeout_s: float | None = None
+    seed: int = 0
+    sleep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ReproError("backoff must use base >= 0 and factor >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(f"jitter must lie in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, labels: tuple, attempt: int) -> float:
+        """Deterministic delay before re-probe number ``attempt`` (1-based)."""
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        u = (
+            SeedChain(int(self.seed))
+            .child("__retry__")
+            .descend(str(x) for x in labels)
+            .child(attempt)
+            .uniform()
+        )
+        return base * (1.0 + self.jitter * u)
+
+    def execute(self, fn: Callable[[], Any], *, labels: tuple = ()) -> RetryOutcome:
+        """Run ``fn`` under the policy; returns value plus the retry bill.
+
+        Only :data:`TRANSIENT_FAULTS` are retried; anything else —
+        including :class:`~repro.errors.QueryBudgetExceededError` raised
+        by a re-probe that ran the budget dry — propagates unchanged.
+        """
+        retries = 0
+        backoff = 0.0
+        while True:
+            try:
+                value = fn()
+            except TRANSIENT_FAULTS as exc:
+                retries += 1
+                if retries > self.max_retries:
+                    raise RetriesExhaustedError(
+                        "/".join(str(x) for x in labels) or "probe", retries, exc
+                    ) from exc
+                delay = self.backoff_s(labels, retries)
+                backoff += delay
+                if self.sleep:
+                    time.sleep(delay)
+                continue
+            return RetryOutcome(
+                value=value, attempts=retries + 1, retries=retries, backoff_s=backoff
+            )
+
+
+class _RetryingBase:
+    """Shared plumbing: per-call labels, retry/backoff accounting."""
+
+    def __init__(self, inner, policy: RetryPolicy, kind: str) -> None:
+        self._inner = inner
+        self._policy = policy
+        self._kind = kind
+        self._calls = 0
+        self._retries = 0
+        self._backoff_s = 0.0
+
+    @property
+    def inner(self):
+        """The wrapped access object (possibly itself a fault injector)."""
+        return self._inner
+
+    @property
+    def policy(self) -> RetryPolicy:
+        """The retry policy in force."""
+        return self._policy
+
+    @property
+    def retries_used(self) -> int:
+        """Total re-probes performed (each one was charged)."""
+        return self._retries
+
+    @property
+    def backoff_s(self) -> float:
+        """Total (virtual or slept) backoff accumulated."""
+        return self._backoff_s
+
+    def _run(self, fn: Callable[[], Any], probe: str) -> Any:
+        self._calls += 1
+        outcome = self._policy.execute(fn, labels=(self._kind, probe, self._calls))
+        if outcome.retries:
+            self._retries += outcome.retries
+            self._backoff_s += outcome.backoff_s
+            _obs.record_probe_retries(outcome.retries)
+        return outcome.value
+
+    # Accounting passthroughs shared by both resources.
+    @property
+    def n(self) -> int:
+        return self._inner.n
+
+    @property
+    def capacity(self) -> float:
+        return self._inner.capacity
+
+    @property
+    def budget(self) -> int | None:
+        return self._inner.budget
+
+    @property
+    def cost_counter(self) -> int:
+        return self._inner.cost_counter
+
+    def reset(self) -> None:
+        """Reset the inner accounting; retry counters persist."""
+        self._inner.reset()
+
+
+class RetryingOracle(_RetryingBase):
+    """Apply a :class:`RetryPolicy` to every probe of an oracle."""
+
+    def __init__(self, oracle, policy: RetryPolicy) -> None:
+        super().__init__(oracle, policy, "oracle")
+
+    @property
+    def queries_used(self) -> int:
+        return self._inner.queries_used
+
+    @property
+    def remaining(self) -> int | None:
+        return self._inner.remaining
+
+    @property
+    def log(self) -> list[int]:
+        return self._inner.log
+
+    def distinct_queried(self) -> set[int]:
+        return self._inner.distinct_queried()
+
+    def query(self, i: int) -> Item:
+        return self._run(lambda: self._inner.query(i), "query")
+
+    def query_many(self, indices) -> list[Item]:
+        return [self.query(int(i)) for i in indices]
+
+    def query_block(self, indices) -> SampleBlock:
+        idx = [int(i) for i in indices]
+        return self._run(lambda: self._inner.query_block(idx), "query_block")
+
+    def profit(self, i: int) -> float:
+        return self.query(i).profit
+
+    def weight(self, i: int) -> float:
+        return self.query(i).weight
+
+
+class RetryingSampler(_RetryingBase):
+    """Apply a :class:`RetryPolicy` to every probe of a sampler.
+
+    A retried draw calls the inner sampler again with the *same*
+    generator, consuming fresh values: the lost draws are gone (like the
+    budget that paid for them), and the run proceeds with new samples.
+    The run remains a perfectly valid stateless LCA run — fresh samples
+    are arbitrary by Definition 2.5 — but under nonzero fault rates two
+    runs sharing a nonce may no longer be bit-identical; see
+    ``docs/robustness.md`` for the consistency ladder.
+    """
+
+    def __init__(self, sampler, policy: RetryPolicy) -> None:
+        super().__init__(sampler, policy, "sampler")
+
+    @property
+    def samples_used(self) -> int:
+        return self._inner.samples_used
+
+    @property
+    def blocks_used(self) -> int:
+        return self._inner.blocks_used
+
+    def sample(self, rng: np.random.Generator) -> Sample:
+        return self._run(lambda: self._inner.sample(rng), "sample")
+
+    def sample_block(self, m: int, rng: np.random.Generator) -> SampleBlock:
+        return self._run(lambda: self._inner.sample_block(m, rng), "sample_block")
+
+    def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
+        return self.sample_block(m, rng).to_samples()

@@ -28,6 +28,11 @@ __all__ = [
     "record_oracle_queries",
     "record_samples",
     "record_sample_block",
+    "record_fault",
+    "record_probe_retries",
+    "record_degraded",
+    "record_shard_retries",
+    "record_hedges",
     "snapshot",
 ]
 
@@ -41,6 +46,15 @@ _ORACLE_QUERIES = REGISTRY.counter("oracle.queries")
 _SAMPLER_SAMPLES = REGISTRY.counter("sampler.samples")
 _SAMPLE_BATCH = REGISTRY.histogram("sampler.batch_size")
 _SAMPLER_BLOCKS = REGISTRY.counter("sampler.blocks")
+_FAULTS_TOTAL = REGISTRY.counter("faults.injected")
+_FAULT_KINDS = {
+    kind: REGISTRY.counter(f"faults.{kind}")
+    for kind in ("probe_failures", "timeouts", "corruptions", "latency_spikes")
+}
+_PROBE_RETRIES = REGISTRY.counter("serve.probe_retries")
+_DEGRADED = REGISTRY.counter("serve.degraded")
+_SHARD_RETRIES = REGISTRY.counter("serve.shard_retries")
+_HEDGES = REGISTRY.counter("serve.hedges")
 
 
 def span(name: str):
@@ -79,6 +93,38 @@ def record_sample_block(n: int) -> None:
     if TRACER._enabled:
         TRACER.add("samples", n)
         TRACER.add("sample_blocks", 1)
+
+
+def record_fault(kind: str, n: int = 1) -> None:
+    """One injected fault of ``kind`` (probe_failures/timeouts/...)."""
+    _FAULTS_TOTAL.inc(n)
+    counter = _FAULT_KINDS.get(kind)
+    if counter is None:  # unknown kinds still count somewhere visible
+        counter = REGISTRY.counter(f"faults.{kind}")
+        _FAULT_KINDS[kind] = counter
+    counter.inc(n)
+    if TRACER._enabled:
+        TRACER.add("faults", n)
+
+
+def record_probe_retries(n: int) -> None:
+    """``n`` budget-charged re-probes performed by a retry policy."""
+    _PROBE_RETRIES.inc(n)
+
+
+def record_degraded(n: int = 1) -> None:
+    """``n`` answers served off the degradation ladder."""
+    _DEGRADED.inc(n)
+
+
+def record_shard_retries(n: int = 1) -> None:
+    """``n`` parallel shards requeued after worker death."""
+    _SHARD_RETRIES.inc(n)
+
+
+def record_hedges(n: int = 1) -> None:
+    """``n`` hedged duplicate shard submissions fired."""
+    _HEDGES.inc(n)
 
 
 def snapshot() -> dict:

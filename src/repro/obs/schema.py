@@ -23,6 +23,7 @@ __all__ = [
     "validate_metrics_snapshot",
     "validate_bench_result",
     "validate_bench_observability",
+    "validate_chaos_report",
     "validate",
     "main",
 ]
@@ -176,8 +177,88 @@ def validate_bench_observability(doc: dict) -> dict:
     return doc
 
 
+def validate_chaos_report(doc: dict) -> dict:
+    """Validate a ``chaos-report/v1`` document.
+
+    Beyond shape, checks the internal consistency the chaos CLI relies
+    on: per-row availability must equal ``1 - degraded/answers`` (to the
+    report's rounding), ``meets_target`` must match the target and the
+    abort count, and ``all_meet_target`` must be the conjunction of the
+    rows.  A report must also be deterministic, so timing fields are
+    *forbidden*: any key containing ``wall_clock`` or ``timestamp``
+    fails validation.
+    """
+    problems: list[str] = []
+    if doc.get("schema") != "chaos-report/v1":
+        problems.append(f"schema must be 'chaos-report/v1', got {doc.get('schema')!r}")
+    for banned in ("wall_clock", "timestamp", "time_s"):
+        for key in doc:
+            if banned in key:
+                problems.append(
+                    f"deterministic report must not carry timing key {key!r}"
+                )
+    _require(doc, "name", str, problems)
+    _require(doc, "seed", int, problems)
+    _require(doc, "lca_seed", int, problems)
+    _require(doc, "n", int, problems)
+    _require(doc, "epsilon", _NUM, problems)
+    _require(doc, "queries_per_batch", int, problems)
+    _require(doc, "batches", int, problems)
+    _require(doc, "fault_free_equivalence", bool, problems)
+    target_ok = _require(doc, "availability_target", _NUM, problems)
+    if _require(doc, "retry", dict, problems):
+        for key in ("max_retries", "backoff_base_s", "backoff_factor", "jitter"):
+            _require(doc["retry"], key, _NUM, problems, "retry.")
+    rows_ok = _require(doc, "rows", list, problems)
+    if rows_ok:
+        for i, row in enumerate(doc["rows"]):
+            where = f"rows[{i}]"
+            if not isinstance(row, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            for key in ("answers", "degraded", "batch_aborts", "probe_retries",
+                        "probe_failures_injected"):
+                if _require(row, key, int, problems, where + ".") and row[key] < 0:
+                    problems.append(f"{where}.{key} must be non-negative")
+            _require(row, "probe_failure_rate", _NUM, problems, where + ".")
+            avail_ok = _require(row, "availability", _NUM, problems, where + ".")
+            meets_ok = _require(row, "meets_target", bool, problems, where + ".")
+            if avail_ok and isinstance(row.get("answers"), int) and row["answers"] > 0 \
+                    and isinstance(row.get("degraded"), int):
+                expected = round(1.0 - row["degraded"] / row["answers"], 6)
+                if abs(row["availability"] - expected) > 1e-9:
+                    problems.append(
+                        f"{where}.availability is {row['availability']}, "
+                        f"but 1 - degraded/answers = {expected}"
+                    )
+            if avail_ok and meets_ok and target_ok \
+                    and isinstance(row.get("batch_aborts"), int):
+                expected_meets = bool(
+                    row["availability"] >= doc["availability_target"]
+                    and row["batch_aborts"] == 0
+                )
+                if row["meets_target"] != expected_meets:
+                    problems.append(
+                        f"{where}.meets_target is {row['meets_target']}, "
+                        f"but target/abort arithmetic says {expected_meets}"
+                    )
+    if _require(doc, "all_meet_target", bool, problems) and rows_ok:
+        rows = [r for r in doc["rows"] if isinstance(r, dict)]
+        if all(isinstance(r.get("meets_target"), bool) for r in rows):
+            conjunction = all(r["meets_target"] for r in rows)
+            if doc["all_meet_target"] != conjunction:
+                problems.append(
+                    f"all_meet_target is {doc['all_meet_target']}, but the "
+                    f"rows' conjunction is {conjunction}"
+                )
+    if problems:
+        raise SchemaError("chaos-report/v1", problems)
+    return doc
+
+
 _VALIDATORS = {
     "trace": validate_trace,
+    "chaos": validate_chaos_report,
     "metrics": validate_metrics_snapshot,
     "bench-result": validate_bench_result,
     "bench-observability": validate_bench_observability,

@@ -6,17 +6,29 @@ Public face:
 * :class:`BatchReport` — outcome + bill of one served batch;
 * :class:`PipelineCache` / :class:`CacheKey` — seed/nonce-keyed LRU;
 * :func:`instance_fingerprint` — content hash keying the cache;
-* :func:`derive_worker_nonce` — deterministic per-shard fresh nonces.
+* :func:`derive_worker_nonce` — deterministic per-shard fresh nonces;
+* :class:`DegradedAnswer` / :class:`GreedyFallback` /
+  :func:`reason_code_for` — the graceful-degradation ladder.
 """
 
 from .cache import CacheKey, PipelineCache, instance_fingerprint
+from .degraded import (
+    DEGRADED_REASON_CODES,
+    DegradedAnswer,
+    GreedyFallback,
+    reason_code_for,
+)
 from .service import BatchReport, KnapsackService, derive_worker_nonce
 
 __all__ = [
     "BatchReport",
     "CacheKey",
+    "DEGRADED_REASON_CODES",
+    "DegradedAnswer",
+    "GreedyFallback",
     "KnapsackService",
     "PipelineCache",
     "derive_worker_nonce",
     "instance_fingerprint",
+    "reason_code_for",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "serve_throughput_rows",
     "bench_serve_document",
     "cold_pipeline_rows",
+    "cold_sweep_rows",
     "bench_cold_document",
 ]
 
@@ -214,6 +215,39 @@ def cold_pipeline_rows(
         round(object_wall / block_wall, 2) if block_wall > 0 else float("inf")
     )
     rows[-1]["verified_bit_identical"] = True
+    return rows
+
+
+def cold_sweep_rows(
+    sizes,
+    *,
+    family: str = "planted_lsg",
+    instance_seed: int = 0,
+    epsilon: float = 0.1,
+    seed: int = 7,
+    queries: int = 2,
+    params=None,
+) -> list[dict]:
+    """Cold-pipeline latency across an n-axis sweep of instance sizes.
+
+    Runs :func:`cold_pipeline_rows` (including its bit-identity
+    verification) once per size with reduced repeats — the point of the
+    sweep is the *scaling shape* of the two paths, not tight per-point
+    variance — and tags every row with the instance size and family, so
+    the rows compose into one ``bench-result/v1`` document next to the
+    single-n laptop rows.
+    """
+    from ..knapsack.generators import generate
+
+    rows: list[dict] = []
+    for n in sizes:
+        inst = generate(family, int(n), seed=instance_seed)
+        for row in cold_pipeline_rows(
+            inst, epsilon=epsilon, seed=seed, queries=queries, params=params
+        ):
+            row["n"] = int(n)
+            row["family"] = family
+            rows.append(row)
     return rows
 
 

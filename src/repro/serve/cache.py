@@ -157,6 +157,29 @@ class PipelineCache:
             self._m_misses.inc()
             return None
 
+    def find_config(self, template: CacheKey) -> PipelineResult | None:
+        """Most-recently-used entry matching ``template`` on everything
+        but the nonce.
+
+        This is the degradation ladder's first rung (see
+        ``docs/robustness.md``): when the honest path cannot run, *any*
+        memoized pipeline for the same (instance, seed, params)
+        configuration still encodes a valid Theorem 4.1 solution — it
+        just belongs to a different run.  Not a query-path lookup, so it
+        counts neither a hit nor a miss.
+        """
+        with self._lock:
+            for key in reversed(self._entries):
+                if (
+                    key.instance_fingerprint == template.instance_fingerprint
+                    and key.seed_digest == template.seed_digest
+                    and key.params_key == template.params_key
+                    and key.tie_breaking == template.tie_breaking
+                    and key.large_item_mode == template.large_item_mode
+                ):
+                    return self._entries[key]
+        return None
+
     def put(self, key: CacheKey, result: PipelineResult) -> None:
         """Insert (or refresh) an entry, evicting the LRU tail if full."""
         with self._lock:

@@ -22,28 +22,59 @@ three such amortizations, none of which touches the output law:
   :class:`~repro.lca.LCAFleet` semantics), and every shard's answers
   can be replayed serially from its recorded nonce.
 
-From the caller's perspective each answer is still a stateless
-Definition 2.2 run — see ``docs/serving.md`` for why the cache does not
-constitute forbidden cross-run state.
+On top of the amortizations sits the **resilience layer** (see
+``docs/robustness.md``): the service can treat oracle access as an
+unreliable resource (:class:`~repro.faults.FaultPlan` wraps its access
+objects in fault injectors), recover transient probe failures with a
+budget-honest :class:`~repro.faults.RetryPolicy`, requeue or hedge
+process-pool shards whose workers die, and — when ``strict=False`` —
+answer through the reason-coded degradation ladder
+(:class:`~repro.serve.degraded.DegradedAnswer`) instead of raising when
+the budget runs dry or faults persist past retry.
+
+From the caller's perspective each non-degraded answer is still a
+stateless Definition 2.2 run — see ``docs/serving.md`` for why the
+cache does not constitute forbidden cross-run state.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..access.oracle import QueryOracle
 from ..access.seeds import SeedChain, fresh_nonce
 from ..access.weighted_sampler import WeightedSampler
 from ..core.lca_kp import LCAKP, LCAAnswer, PipelineResult
 from ..core.parameters import LCAParameters
-from ..errors import ReproError
+from ..errors import (
+    FaultInjectionError,
+    QueryBudgetExceededError,
+    ReproError,
+    ShardFailureError,
+)
+from ..faults.injectors import FaultyOracle, FaultySampler
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryingOracle, RetryingSampler, RetryPolicy
+from ..knapsack.instance import KnapsackInstance
 from ..obs import runtime as _obs
 from .cache import CacheKey, PipelineCache, instance_fingerprint
+from .degraded import DegradedAnswer, GreedyFallback, reason_code_for
 
 __all__ = ["BatchReport", "KnapsackService", "derive_worker_nonce"]
+
+#: Failures the degradation ladder absorbs; anything else is a bug and
+#: propagates regardless of strictness.
+_DEGRADABLE = (QueryBudgetExceededError, FaultInjectionError)
 
 
 def derive_worker_nonce(seed: SeedChain, base_nonce: int, worker: int) -> int:
@@ -59,17 +90,47 @@ def derive_worker_nonce(seed: SeedChain, base_nonce: int, worker: int) -> int:
     return int.from_bytes(node.digest()[:8], "big")
 
 
-def _serve_chunk(payload) -> tuple[list[LCAAnswer], int, int]:
+def _wrap_access(sampler, oracle, plan, policy, labels: tuple):
+    """Stack the fault injectors and retry decorators over raw access."""
+    timeout = policy.probe_timeout_s if policy is not None else None
+    if plan is not None:
+        sampler = FaultySampler(
+            sampler, plan.stream(*labels, "sampler"), timeout_s=timeout
+        )
+        oracle = FaultyOracle(
+            oracle, plan.stream(*labels, "oracle"), timeout_s=timeout
+        )
+    if policy is not None:
+        sampler = RetryingSampler(sampler, policy)
+        oracle = RetryingOracle(oracle, policy)
+    return sampler, oracle
+
+
+def _serve_chunk(payload) -> tuple:
     """Process-pool entry: answer one shard in a fresh interpreter.
 
     Rebuilds the access objects from the pickled instance (the child
     shares no state with the parent — the strongest possible form of the
-    fleet's independence claim) and returns the slim answers plus the
-    shard's sample/query bill.
+    fleet's independence claim), applies the shard's fault/retry wiring,
+    and returns the slim answers plus the shard's full bill:
+    ``(answers, samples, queries, blocks, degraded, probe_retries)``.
+
+    Under a plan with ``shard_kill_rate`` the child may deterministically
+    kill itself *before* doing any work (``os._exit`` => the parent sees
+    ``BrokenProcessPool`` — real worker death, not an exception), which
+    is how the requeue/hedge path is exercised end to end.
     """
-    (instance, epsilon, seed, params, tie_breaking, mode, nonce, indices) = payload
+    (
+        instance, epsilon, seed, params, tie_breaking, mode, nonce, indices,
+        plan, policy, attempt, strict,
+    ) = payload
+    if plan is not None and plan.shard_kill(nonce, attempt):
+        os._exit(17)
     sampler = WeightedSampler(instance)
     oracle = QueryOracle(instance)
+    sampler, oracle = _wrap_access(
+        sampler, oracle, plan, policy, ("shard", nonce, attempt)
+    )
     lca = LCAKP(
         sampler,
         oracle,
@@ -79,14 +140,83 @@ def _serve_chunk(payload) -> tuple[list[LCAAnswer], int, int]:
         tie_breaking=tie_breaking,
         large_item_mode=mode,
     )
-    pipeline = lca.run_pipeline(nonce=nonce)
-    answers = lca.answers_from(pipeline, indices)
-    return answers, sampler.cost_counter, oracle.cost_counter
+    degraded = 0
+    try:
+        pipeline = lca.run_pipeline(nonce=nonce)
+        answers = lca.answers_from(pipeline, indices)
+    except _DEGRADABLE as exc:
+        if strict:
+            raise
+        # The child has no pipeline cache; its ladder starts at greedy.
+        fallback = GreedyFallback(instance)
+        code = reason_code_for(exc)
+        answers = [
+            DegradedAnswer(
+                index=int(i), include=inc, reason_code=code,
+                source=fallback.source, detail=str(exc),
+            )
+            for i, inc in zip(indices, fallback.decide_many(indices))
+        ]
+        degraded = len(answers)
+    retries = getattr(sampler, "retries_used", 0) + getattr(oracle, "retries_used", 0)
+    return (
+        answers,
+        sampler.cost_counter,
+        oracle.cost_counter,
+        getattr(sampler, "blocks_used", 0),
+        degraded,
+        retries,
+    )
+
+
+def _first_result(futures: list) -> tuple:
+    """First successful result of a (possibly hedged) future list.
+
+    First-result-wins with a deterministic tie-break: among futures
+    completed at the same wait wake-up, the earliest submission (the
+    primary) is preferred.  Returns ``(result, None)`` on success or
+    ``(None, last_error)`` when every attempt failed.
+    """
+    pending = set(futures)
+    err: Exception | None = None
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for fut in futures:  # submission order = deterministic tie-break
+            if fut in done:
+                try:
+                    return fut.result(), None
+                except Exception as exc:  # worker death, pickling, ...
+                    err = exc
+    return None, err
+
+
+@dataclass(frozen=True)
+class _ShardTotals:
+    """Folded outcome of one parallel batch's shards."""
+
+    answers: list
+    samples: int = 0
+    queries: int = 0
+    blocks: int = 0
+    hits: int = 0
+    misses: int = 0
+    runs: int = 0
+    degraded: int = 0
+    probe_retries: int = 0
+    shard_retries: int = 0
+    hedges: int = 0
 
 
 @dataclass(frozen=True)
 class BatchReport:
-    """Outcome and bill of one served batch."""
+    """Outcome and bill of one served batch.
+
+    ``degraded`` counts answers served off the degradation ladder
+    (always 0 under ``strict=True``); ``shard_retries``/``hedges`` count
+    process-pool shard requeues after worker death and hedged duplicate
+    submissions; ``probe_retries`` counts budget-charged re-probes the
+    retry policy performed on the batch's behalf.
+    """
 
     answers: tuple[LCAAnswer, ...]
     mode: str  # "serial", "thread" or "process"
@@ -97,6 +227,10 @@ class BatchReport:
     samples_spent: int
     queries_spent: int
     wall_clock_s: float
+    degraded: int = 0
+    probe_retries: int = 0
+    shard_retries: int = 0
+    hedges: int = 0
 
     @property
     def queries_per_sec(self) -> float:
@@ -104,6 +238,13 @@ class BatchReport:
         if self.wall_clock_s <= 0.0:
             return 0.0
         return len(self.answers) / self.wall_clock_s
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the batch answered non-degraded."""
+        if not self.answers:
+            return 0.0
+        return 1.0 - self.degraded / len(self.answers)
 
     def to_dict(self) -> dict:
         """JSON-ready summary (answers are counted, not dumped)."""
@@ -118,6 +259,11 @@ class BatchReport:
             "queries_spent": self.queries_spent,
             "wall_clock_s": self.wall_clock_s,
             "queries_per_sec": self.queries_per_sec,
+            "degraded": self.degraded,
+            "availability": self.availability,
+            "probe_retries": self.probe_retries,
+            "shard_retries": self.shard_retries,
+            "hedges": self.hedges,
         }
 
 
@@ -145,6 +291,26 @@ class KnapsackService:
         cannot (results stay in the child), but exercise true
         zero-shared-state execution and rely on answers being cheap to
         pickle.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; wraps every access
+        object (the service's own and each shard's) in deterministic
+        fault injectors.  ``None`` (default) injects nothing.
+    retry_policy:
+        Optional :class:`~repro.faults.RetryPolicy`; retries transient
+        probe faults, re-charging the budget per re-probe.
+    strict:
+        ``True`` (default) preserves the historical raise-on-failure
+        behavior exactly.  ``False`` absorbs budget exhaustion and
+        unrecovered faults into reason-coded
+        :class:`~repro.serve.degraded.DegradedAnswer` objects instead of
+        raising.  Overridable per call.
+    max_shard_retries:
+        Times a process-pool shard is requeued after worker death before
+        the batch gives up on it (raise under strict, degrade otherwise).
+    hedge:
+        When true, each process-pool shard is also submitted to a second
+        pool; first result wins with a deterministic tie-break (primary
+        preferred).
     """
 
     def __init__(
@@ -160,9 +326,16 @@ class KnapsackService:
         cache_capacity: int = 64,
         max_workers: int | None = None,
         executor: str = "thread",
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        strict: bool = True,
+        max_shard_retries: int = 2,
+        hedge: bool = False,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ReproError(f"executor must be 'thread' or 'process', got {executor!r}")
+        if max_shard_retries < 0:
+            raise ReproError(f"max_shard_retries must be >= 0, got {max_shard_retries}")
         self._instance = instance
         self._epsilon = float(epsilon)
         self._seed = seed if isinstance(seed, SeedChain) else SeedChain(seed)
@@ -170,8 +343,27 @@ class KnapsackService:
         self._large_item_mode = large_item_mode
         self._executor_kind = executor
         self._max_workers = max_workers or min(8, os.cpu_count() or 1)
-        self._sampler = WeightedSampler(instance)
-        self._oracle = QueryOracle(instance)
+        self._fault_plan = fault_plan
+        self._retry_policy = retry_policy
+        self._strict = bool(strict)
+        self._max_shard_retries = int(max_shard_retries)
+        self._hedge = bool(hedge)
+        sampler = WeightedSampler(instance)
+        oracle = QueryOracle(instance)
+        self._faulty_sampler: FaultySampler | None = None
+        self._faulty_oracle: FaultyOracle | None = None
+        sampler, oracle = _wrap_access(
+            sampler, oracle, fault_plan, retry_policy, ("serve",)
+        )
+        if fault_plan is not None:
+            self._faulty_sampler = (
+                sampler.inner if retry_policy is not None else sampler
+            )
+            self._faulty_oracle = (
+                oracle.inner if retry_policy is not None else oracle
+            )
+        self._sampler = sampler
+        self._oracle = oracle
         self._lca = LCAKP(
             self._sampler,
             self._oracle,
@@ -188,8 +380,12 @@ class KnapsackService:
         else:
             self._cache = cache
         self._fingerprint = instance_fingerprint(instance)
+        self._fallback: GreedyFallback | None = None
         self._extra_samples = 0  # spent by parallel shards, not self._sampler
         self._extra_queries = 0
+        self._extra_blocks = 0
+        self._extra_retries = 0
+        self._degraded_total = 0
         self._requests = _obs.REGISTRY.counter("serve.requests")
         self._batch_size = _obs.REGISTRY.histogram("serve.batch_size")
         self._batch_latency = _obs.REGISTRY.histogram("serve.batch_latency_s")
@@ -223,20 +419,35 @@ class KnapsackService:
         return self._lca
 
     @property
+    def fault_plan(self) -> FaultPlan | None:
+        """The fault plan in force (``None`` when injection is off)."""
+        return self._fault_plan
+
+    @property
+    def retry_policy(self) -> RetryPolicy | None:
+        """The retry policy in force (``None`` when retries are off)."""
+        return self._retry_policy
+
+    @property
+    def strict(self) -> bool:
+        """Default failure posture: raise (True) or degrade (False)."""
+        return self._strict
+
+    @property
     def samples_used(self) -> int:
         """Weighted samples spent by this service, including shards."""
         return self._sampler.cost_counter + self._extra_samples
 
     @property
     def blocks_used(self) -> int:
-        """Columnar sample blocks charged by this service's own sampler.
+        """Columnar sample blocks charged by this service, including shards.
 
         The cold (cache-miss) path draws samples in blocks — see
         :meth:`~repro.access.WeightedSampler.sample_block` — so this
-        counts pipeline-phase batches, not draws.  Shard subprocesses
-        keep their own block counts (only their sample/query totals are
-        folded back in)."""
-        return getattr(self._sampler, "blocks_used", 0)
+        counts pipeline-phase batches, not draws.  Shard block counts
+        (thread and process alike) are folded back in through the shard
+        payloads, so the total is exact fleet-wide."""
+        return getattr(self._sampler, "blocks_used", 0) + self._extra_blocks
 
     @property
     def queries_used(self) -> int:
@@ -247,6 +458,34 @@ class KnapsackService:
     def cost_counter(self) -> int:
         """Uniform CostMeter face: samples plus queries, cumulative."""
         return self.samples_used + self.queries_used
+
+    @property
+    def retries_used(self) -> int:
+        """Budget-charged re-probes performed, including shards."""
+        total = self._extra_retries
+        total += getattr(self._sampler, "retries_used", 0)
+        total += getattr(self._oracle, "retries_used", 0)
+        return total
+
+    @property
+    def degraded_total(self) -> int:
+        """Answers served off the degradation ladder so far."""
+        return self._degraded_total
+
+    @property
+    def faults_injected(self) -> dict[str, int]:
+        """Faults injected into this service's own access objects.
+
+        (Shard subprocess injections are visible in their returned
+        bills and the chaos report, not here.)"""
+        out = {"probe_failures": 0, "timeouts": 0, "corruptions": 0}
+        for injector in (self._faulty_sampler, self._faulty_oracle):
+            if injector is None:
+                continue
+            out["probe_failures"] += injector.probe_failures
+            out["timeouts"] += injector.timeouts
+            out["corruptions"] += injector.corruptions
+        return out
 
     # ------------------------------------------------------------------
     # Pipeline acquisition
@@ -284,18 +523,92 @@ class KnapsackService:
         return pipeline, False
 
     # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+    def _resolve_strict(self, strict: bool | None) -> bool:
+        return self._strict if strict is None else bool(strict)
+
+    def _note_degraded(self, n: int) -> None:
+        self._degraded_total += n
+        _obs.record_degraded(n)
+
+    def _raw_attributes(self, idx: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Item attributes read straight off the instance (outside the
+        fault domain — degradation must not itself be degradable)."""
+        if isinstance(self._instance, KnapsackInstance):
+            arr = np.asarray(idx, dtype=np.int64)
+            return self._instance.profits[arr], self._instance.weights[arr]
+        profits = np.array([self._instance.profit(int(i)) for i in idx], dtype=float)
+        weights = np.array([self._instance.weight(int(i)) for i in idx], dtype=float)
+        return profits, weights
+
+    def _degrade(self, idx: list[int], exc: BaseException) -> list[DegradedAnswer]:
+        """Serve ``idx`` off the degradation ladder (pure: no counters).
+
+        Rung 1 — any memoized pipeline for this exact configuration
+        (same fingerprint/seed/params, any nonce) still encodes a valid
+        solution; apply its rule.  Rung 2 — the once-computed greedy
+        fallback mask.  Rung 3 (implicit instances) — the trivial empty
+        solution.
+        """
+        code = reason_code_for(exc)
+        detail = str(exc)
+        pipeline = (
+            self._cache.find_config(self.cache_key(0))
+            if self._cache is not None
+            else None
+        )
+        if pipeline is not None:
+            profits, weights = self._raw_attributes(idx)
+            include = pipeline.rule.decide_many(
+                profits, weights, np.asarray(idx, dtype=np.int64)
+            )
+            source = "cache"
+            verdicts = [bool(b) for b in include]
+        else:
+            if self._fallback is None:
+                self._fallback = GreedyFallback(self._instance)
+            verdicts = self._fallback.decide_many(idx)
+            source = self._fallback.source
+        return [
+            DegradedAnswer(
+                index=int(i), include=inc, reason_code=code,
+                source=source, detail=detail,
+            )
+            for i, inc in zip(idx, verdicts)
+        ]
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def answer(self, index: int, *, nonce: int | None = None) -> LCAAnswer:
-        """Answer one query (memoized pipeline, vectorized rule)."""
-        with _obs.span("serve.answer"):
-            pipeline, _ = self.pipeline_for(nonce)
-            self._requests.inc()
-            return self._lca.answers_from(pipeline, [index])[0]
+    def answer(
+        self, index: int, *, nonce: int | None = None, strict: bool | None = None
+    ) -> LCAAnswer | DegradedAnswer:
+        """Answer one query (memoized pipeline, vectorized rule).
 
-    def answer_many(self, indices, *, nonce: int | None = None) -> list[bool]:
+        Under ``strict=False`` (argument or service default) a budget-
+        or fault-doomed query returns a reason-coded
+        :class:`~repro.serve.degraded.DegradedAnswer` instead of raising.
+        """
+        with _obs.span("serve.answer"):
+            self._requests.inc()
+            try:
+                pipeline, _ = self.pipeline_for(nonce)
+                return self._lca.answers_from(pipeline, [index])[0]
+            except _DEGRADABLE as exc:
+                if self._resolve_strict(strict):
+                    raise
+                self._note_degraded(1)
+                return self._degrade([index], exc)[0]
+
+    def answer_many(
+        self, indices, *, nonce: int | None = None, strict: bool | None = None
+    ) -> list[bool]:
         """Protocol face: boolean batch answers via :meth:`answer_batch`."""
-        return [a.include for a in self.answer_batch(indices, nonce=nonce).answers]
+        return [
+            a.include
+            for a in self.answer_batch(indices, nonce=nonce, strict=strict).answers
+        ]
 
     def answer_batch(
         self,
@@ -303,6 +616,7 @@ class KnapsackService:
         *,
         nonce: int | None = None,
         workers: int | None = None,
+        strict: bool | None = None,
     ) -> BatchReport:
         """Answer a batch, optionally sharded across a worker pool.
 
@@ -310,76 +624,104 @@ class KnapsackService:
         pipeline run (or cache hit).  ``workers`` > 1 splits the batch
         into contiguous shards, each served under its own derived nonce
         by an independent LCA copy — the parallel execution path.
+        Process-pool shards whose workers die are requeued (and
+        optionally hedged); queries that cannot be answered the honest
+        way are degraded rather than aborted unless ``strict``.
         """
         idx = [int(i) for i in indices]
         if not idx:
             raise ReproError("answer_batch needs at least one index")
+        resolved_strict = self._resolve_strict(strict)
         w = 1 if workers is None else int(workers)
         start = time.perf_counter()
         with _obs.span("serve.batch"):
             if w <= 1 or len(idx) < 2:
-                report = self._batch_serial(idx, nonce, start)
+                report = self._batch_serial(idx, nonce, start, resolved_strict)
             else:
-                report = self._batch_parallel(idx, nonce, min(w, len(idx)), start)
+                report = self._batch_parallel(
+                    idx, nonce, min(w, len(idx)), start, resolved_strict
+                )
         self._requests.inc(len(idx))
         self._batch_size.observe(len(idx))
         self._batch_latency.observe(report.wall_clock_s)
         return report
 
-    def _batch_serial(self, idx: list[int], nonce: int | None, start: float) -> BatchReport:
+    def _batch_serial(
+        self, idx: list[int], nonce: int | None, start: float, strict: bool
+    ) -> BatchReport:
         samples_before = self.samples_used
         queries_before = self.queries_used
-        pipeline, hit = self.pipeline_for(nonce)
-        answers = self._lca.answers_from(pipeline, idx)
+        retries_before = self.retries_used
+        degraded = 0
+        try:
+            pipeline, hit = self.pipeline_for(nonce)
+            answers: list = self._lca.answers_from(pipeline, idx)
+        except _DEGRADABLE as exc:
+            if strict:
+                raise
+            hit = False
+            answers = self._degrade(idx, exc)
+            degraded = len(idx)
+            self._note_degraded(degraded)
         return BatchReport(
             answers=tuple(answers),
             mode="serial",
             workers=1,
             cache_hits=1 if hit else 0,
             cache_misses=0 if hit else 1,
-            pipelines_run=0 if hit else 1,
+            pipelines_run=0 if hit or degraded else 1,
             samples_spent=self.samples_used - samples_before,
             queries_spent=self.queries_used - queries_before,
             wall_clock_s=time.perf_counter() - start,
+            degraded=degraded,
+            probe_retries=self.retries_used - retries_before,
         )
 
     def _batch_parallel(
-        self, idx: list[int], nonce: int | None, w: int, start: float
+        self, idx: list[int], nonce: int | None, w: int, start: float, strict: bool
     ) -> BatchReport:
         base = int(nonce) if nonce is not None else fresh_nonce()
         shards = [idx[k::w] for k in range(w)]
         nonces = [derive_worker_nonce(self._seed, base, k) for k in range(w)]
         if self._executor_kind == "process":
-            answers, spent_s, spent_q, hits, misses, runs = self._run_process(
-                shards, nonces, w
-            )
+            agg = self._run_process(shards, nonces, w, strict)
         else:
-            answers, spent_s, spent_q, hits, misses, runs = self._run_threads(
-                shards, nonces, w
-            )
-        self._extra_samples += spent_s
-        self._extra_queries += spent_q
+            agg = self._run_threads(shards, nonces, w, strict)
+        self._extra_samples += agg.samples
+        self._extra_queries += agg.queries
+        self._extra_blocks += agg.blocks
+        self._extra_retries += agg.probe_retries
+        if agg.degraded:
+            self._note_degraded(agg.degraded)
         # Re-interleave shard answers back into request order.
-        ordered: list[LCAAnswer | None] = [None] * len(idx)
-        for k, shard_answers in enumerate(answers):
+        ordered: list = [None] * len(idx)
+        for k, shard_answers in enumerate(agg.answers):
             for j, ans in enumerate(shard_answers):
                 ordered[k + j * w] = ans
         return BatchReport(
-            answers=tuple(ordered),  # type: ignore[arg-type]
+            answers=tuple(ordered),
             mode=self._executor_kind,
             workers=w,
-            cache_hits=hits,
-            cache_misses=misses,
-            pipelines_run=runs,
-            samples_spent=spent_s,
-            queries_spent=spent_q,
+            cache_hits=agg.hits,
+            cache_misses=agg.misses,
+            pipelines_run=agg.runs,
+            samples_spent=agg.samples,
+            queries_spent=agg.queries,
             wall_clock_s=time.perf_counter() - start,
+            degraded=agg.degraded,
+            probe_retries=agg.probe_retries,
+            shard_retries=agg.shard_retries,
+            hedges=agg.hedges,
         )
 
-    def _run_threads(self, shards, nonces, w):
+    def _run_threads(self, shards, nonces, w, strict) -> _ShardTotals:
         def serve_shard(shard, shard_nonce):
             sampler = WeightedSampler(self._instance)
             oracle = QueryOracle(self._instance)
+            sampler, oracle = _wrap_access(
+                sampler, oracle, self._fault_plan, self._retry_policy,
+                ("shard", shard_nonce, 0),
+            )
             lca = LCAKP(
                 sampler,
                 oracle,
@@ -389,47 +731,162 @@ class KnapsackService:
                 tie_breaking=self._tie_breaking,
                 large_item_mode=self._large_item_mode,
             )
-            pipeline, hit = self.pipeline_for(shard_nonce, lca=lca)
-            answers = lca.answers_from(pipeline, shard)
-            return answers, sampler.cost_counter, oracle.cost_counter, hit
+            degraded = 0
+            hit = False
+            try:
+                pipeline, hit = self.pipeline_for(shard_nonce, lca=lca)
+                answers = lca.answers_from(pipeline, shard)
+            except _DEGRADABLE as exc:
+                if strict:
+                    raise
+                answers = self._degrade(shard, exc)
+                degraded = len(shard)
+            retries = getattr(sampler, "retries_used", 0)
+            retries += getattr(oracle, "retries_used", 0)
+            return (
+                answers,
+                sampler.cost_counter,
+                oracle.cost_counter,
+                getattr(sampler, "blocks_used", 0),
+                hit,
+                degraded,
+                retries,
+            )
 
         with ThreadPoolExecutor(max_workers=w) as pool:
             results = list(pool.map(serve_shard, shards, nonces))
-        answers = [r[0] for r in results]
-        spent_s = sum(r[1] for r in results)
-        spent_q = sum(r[2] for r in results)
-        hits = sum(1 for r in results if r[3])
-        return answers, spent_s, spent_q, hits, w - hits, w - hits
+        hits = sum(1 for r in results if r[4])
+        degraded = sum(r[5] for r in results)
+        return _ShardTotals(
+            answers=[r[0] for r in results],
+            samples=sum(r[1] for r in results),
+            queries=sum(r[2] for r in results),
+            blocks=sum(r[3] for r in results),
+            hits=hits,
+            misses=w - hits,
+            runs=sum(1 for r in results if not r[4] and not r[5]),
+            degraded=degraded,
+            probe_retries=sum(r[6] for r in results),
+        )
 
-    def _run_process(self, shards, nonces, w):
-        payloads = [
-            (
-                self._instance,
-                self._epsilon,
-                self._seed,
-                self._lca.params,
-                self._tie_breaking,
-                self._large_item_mode,
-                shard_nonce,
-                shard,
-            )
-            for shard, shard_nonce in zip(shards, nonces)
-        ]
-        with ProcessPoolExecutor(max_workers=w) as pool:
-            results = list(pool.map(_serve_chunk, payloads))
-        answers = [r[0] for r in results]
-        spent_s = sum(r[1] for r in results)
-        spent_q = sum(r[2] for r in results)
+    def _chunk_payload(self, shard, shard_nonce, attempt, strict):
+        return (
+            self._instance,
+            self._epsilon,
+            self._seed,
+            self._lca.params,
+            self._tie_breaking,
+            self._large_item_mode,
+            shard_nonce,
+            shard,
+            self._fault_plan,
+            self._retry_policy,
+            attempt,
+            strict,
+        )
+
+    def _run_process(self, shards, nonces, w, strict) -> _ShardTotals:
+        """Submit shards to a process pool with requeue-on-death.
+
+        A dead worker breaks its whole pool, so each requeue round runs
+        in a fresh pool; the failed shard is resubmitted with an
+        incremented attempt index (its fault coins are attempt-keyed, so
+        a requeue is a genuinely new roll, not a replay of its killer).
+        Hedged mode mirrors every submission into a second, independent
+        pool — first result wins, primaries break ties.
+        """
+        n_shards = len(shards)
+        results: dict[int, tuple | None] = {}
+        submissions = {k: 0 for k in range(n_shards)}
+        requeues = {k: 0 for k in range(n_shards)}
+        last_error: dict[int, Exception] = {}
+        shard_retries = 0
+        hedges = 0
+        todo = list(range(n_shards))
+        while todo:
+            failed: list[int] = []
+            pools = [ProcessPoolExecutor(max_workers=w)]
+            if self._hedge:
+                pools.append(ProcessPoolExecutor(max_workers=w))
+            try:
+                futures: dict[int, list] = {}
+                for k in todo:
+                    subs = []
+                    for pool in pools:
+                        payload = self._chunk_payload(
+                            shards[k], nonces[k], submissions[k], strict
+                        )
+                        subs.append(pool.submit(_serve_chunk, payload))
+                        submissions[k] += 1
+                    if len(subs) > 1:
+                        hedges += 1
+                        _obs.record_hedges(1)
+                    futures[k] = subs
+                for k in todo:
+                    res, err = _first_result(futures[k])
+                    if err is None:
+                        results[k] = res
+                    else:
+                        last_error[k] = err
+                        failed.append(k)
+            finally:
+                for pool in pools:
+                    pool.shutdown(wait=True, cancel_futures=True)
+            todo = []
+            for k in failed:
+                if requeues[k] >= self._max_shard_retries:
+                    if strict:
+                        raise ShardFailureError(
+                            k, submissions[k], last_error[k]
+                        ) from last_error[k]
+                    results[k] = None
+                else:
+                    requeues[k] += 1
+                    shard_retries += 1
+                    _obs.record_shard_retries(1)
+                    todo.append(k)
+        answers: list = []
+        samples = queries = blocks = degraded = retries = runs = 0
+        for k in range(n_shards):
+            res = results[k]
+            if res is None:
+                # Dead past requeue: degrade the shard in the parent.
+                failure = ShardFailureError(k, submissions[k], last_error[k])
+                answers.append(self._degrade(shards[k], failure))
+                degraded += len(shards[k])
+                continue
+            answers.append(res[0])
+            samples += res[1]
+            queries += res[2]
+            blocks += res[3]
+            degraded += res[4]
+            retries += res[5]
+            runs += 1
         # Child processes cannot see the parent cache: all misses.
-        return answers, spent_s, spent_q, 0, w, w
+        return _ShardTotals(
+            answers=answers,
+            samples=samples,
+            queries=queries,
+            blocks=blocks,
+            hits=0,
+            misses=w,
+            runs=runs,
+            degraded=degraded,
+            probe_retries=retries,
+            shard_retries=shard_retries,
+            hedges=hedges,
+        )
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """JSON-ready service counters (cache + cumulative cost)."""
+        """JSON-ready service counters (cache + cost + resilience)."""
         return {
             "samples_used": self.samples_used,
             "queries_used": self.queries_used,
             "blocks_used": self.blocks_used,
             "cost_counter": self.cost_counter,
+            "retries_used": self.retries_used,
+            "degraded_total": self.degraded_total,
+            "faults_injected": self.faults_injected,
             "cache": self._cache.stats() if self._cache is not None else None,
         }

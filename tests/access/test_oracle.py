@@ -91,3 +91,33 @@ class TestFunctionInstance:
     def test_invalid_n(self):
         with pytest.raises(OracleError):
             FunctionInstance(0, 1.0, lambda i: 1.0, lambda i: 1.0)
+
+
+class TestBudgetStraddle:
+    def test_block_straddling_the_budget_charges_exactly_to_it(self):
+        # Regression: a query_block whose rows straddle the remaining
+        # budget must charge every affordable row, then raise with
+        # ``attempted`` pointing one past the budget — not overcharge,
+        # not roll back.
+        inst = KnapsackInstance(
+            [1, 2, 3, 4, 5, 6, 7, 8], [0.1] * 8, 0.5, normalize=False
+        )
+        oracle = QueryOracle(inst, budget=5)
+        with pytest.raises(QueryBudgetExceededError) as err:
+            oracle.query_block(range(8))
+        assert oracle.queries_used == 5
+        assert oracle.remaining == 0
+        assert err.value.budget == 5
+        assert err.value.attempted == 6
+
+    def test_block_exactly_at_the_budget_boundary_succeeds(self):
+        inst = KnapsackInstance(
+            [1, 2, 3, 4, 5], [0.1] * 5, 0.5, normalize=False
+        )
+        oracle = QueryOracle(inst, budget=5)
+        block = oracle.query_block(range(5))
+        assert len(block.indices) == 5
+        assert oracle.remaining == 0
+        # The next probe is the one that breaks the budget.
+        with pytest.raises(QueryBudgetExceededError):
+            oracle.query(0)

@@ -1,0 +1,104 @@
+"""Tests for the seeded chaos sweep and its report schema."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import RetryPolicy, chaos_sweep
+from repro.obs.schema import SchemaError, validate_chaos_report
+
+
+@pytest.fixture(scope="module")
+def sweep_doc(tiers_instance, fast_params):
+    return chaos_sweep(
+        tiers_instance,
+        epsilon=0.1,
+        lca_seed=42,
+        chaos_seed=7,
+        rates=(0.0, 0.1),
+        queries=25,
+        batches=2,
+        params=fast_params,
+        retry=RetryPolicy(max_retries=3, seed=7),
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self, sweep_doc, tiers_instance, fast_params):
+        again = chaos_sweep(
+            tiers_instance,
+            epsilon=0.1,
+            lca_seed=42,
+            chaos_seed=7,
+            rates=(0.0, 0.1),
+            queries=25,
+            batches=2,
+            params=fast_params,
+            retry=RetryPolicy(max_retries=3, seed=7),
+        )
+        assert sweep_doc == again
+        a = json.dumps(sweep_doc, indent=2, sort_keys=True)
+        b = json.dumps(again, indent=2, sort_keys=True)
+        assert a == b
+
+    def test_no_timing_keys(self, sweep_doc):
+        assert not any("wall_clock" in k or "timestamp" in k for k in sweep_doc)
+
+
+class TestAcceptance:
+    def test_fault_free_equivalence(self, sweep_doc):
+        # Rate-0 decorated service must be bit-identical to an unwrapped
+        # one — the decorators are observationally transparent.
+        assert sweep_doc["fault_free_equivalence"] is True
+
+    def test_availability_at_ten_percent_faults(self, sweep_doc):
+        row = next(
+            r for r in sweep_doc["rows"] if r["probe_failure_rate"] == 0.1
+        )
+        assert row["batch_aborts"] == 0
+        assert row["availability"] >= 0.99
+        assert row["meets_target"] is True
+        # Faults genuinely fired and were retried away, not absent.
+        assert row["probe_failures_injected"] > 0
+        assert row["probe_retries"] > 0
+
+    def test_all_rows_meet_target(self, sweep_doc):
+        assert sweep_doc["all_meet_target"] is True
+
+    def test_validation_rejects_bad_inputs(self, tiers_instance, fast_params):
+        with pytest.raises(ReproError):
+            chaos_sweep(tiers_instance, epsilon=0.1, queries=0, params=fast_params)
+        with pytest.raises(ReproError):
+            chaos_sweep(tiers_instance, epsilon=0.1, rates=(), params=fast_params)
+
+
+class TestSchema:
+    def test_good_document_validates(self, sweep_doc):
+        assert validate_chaos_report(sweep_doc) is sweep_doc
+
+    def test_tampered_availability_fails(self, sweep_doc):
+        doc = copy.deepcopy(sweep_doc)
+        doc["rows"][0]["availability"] = 0.123456
+        with pytest.raises(SchemaError):
+            validate_chaos_report(doc)
+
+    def test_tampered_conjunction_fails(self, sweep_doc):
+        doc = copy.deepcopy(sweep_doc)
+        doc["rows"][-1]["meets_target"] = False
+        doc["rows"][-1]["availability"] = 0.0  # keep row arithmetic broken too
+        with pytest.raises(SchemaError):
+            validate_chaos_report(doc)
+
+    def test_timing_keys_forbidden(self, sweep_doc):
+        doc = copy.deepcopy(sweep_doc)
+        doc["wall_clock_s"] = 1.0
+        with pytest.raises(SchemaError):
+            validate_chaos_report(doc)
+
+    def test_wrong_schema_tag_fails(self, sweep_doc):
+        doc = copy.deepcopy(sweep_doc)
+        doc["schema"] = "chaos-report/v0"
+        with pytest.raises(SchemaError):
+            validate_chaos_report(doc)

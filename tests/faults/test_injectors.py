@@ -1,0 +1,143 @@
+"""Tests for the fault-injecting access decorators.
+
+The load-bearing invariant is *charge-then-lose*: a probe whose response
+is lost was still charged against the budget (and, for samplers, still
+consumed the algorithm's RNG draws) — faults waste resources, they never
+mint them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.access.oracle import QueryOracle
+from repro.access.weighted_sampler import WeightedSampler
+from repro.errors import ProbeFailureError, ProbeTimeoutError
+from repro.faults import FaultPlan, FaultyOracle, FaultySampler
+from repro.knapsack.instance import KnapsackInstance
+
+
+@pytest.fixture()
+def inst():
+    return KnapsackInstance(
+        [1, 2, 3, 4, 5, 6, 7, 8],
+        [0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1],
+        0.5,
+        normalize=False,
+    )
+
+
+def faulty_oracle(inst, plan, **kw):
+    return FaultyOracle(QueryOracle(inst), plan.stream("test", "oracle"), **kw)
+
+
+class TestChargeThenLose:
+    def test_failed_probe_is_still_charged(self, inst):
+        plan = FaultPlan(seed=1, probe_failure_rate=1.0)
+        oracle = faulty_oracle(inst, plan)
+        with pytest.raises(ProbeFailureError):
+            oracle.query(0)
+        assert oracle.queries_used == 1  # charged before it was lost
+        assert oracle.probes == 1
+        assert oracle.probe_failures == 1
+
+    def test_failed_block_charges_every_row(self, inst):
+        plan = FaultPlan(seed=1, probe_failure_rate=1.0)
+        oracle = faulty_oracle(inst, plan)
+        with pytest.raises(ProbeFailureError):
+            oracle.query_block([0, 1, 2])
+        assert oracle.queries_used == 3
+        assert oracle.probes == 1  # one block = one probe = one decision
+
+    def test_failed_sampler_draw_consumes_algorithm_rng(self, inst):
+        plan = FaultPlan(seed=1, probe_failure_rate=1.0)
+        sampler = FaultySampler(
+            WeightedSampler(inst), plan.stream("test", "sampler")
+        )
+        rng = np.random.default_rng(0)
+        state_before = rng.bit_generator.state["state"]["state"]
+        with pytest.raises(ProbeFailureError):
+            sampler.sample_block(16, rng)
+        state_after = rng.bit_generator.state["state"]["state"]
+        assert state_after != state_before  # the lost draws are gone
+        assert sampler.samples_used == 16  # and they were charged
+
+
+class TestCorruption:
+    def test_corruption_perturbs_profit_only(self, inst):
+        plan = FaultPlan(seed=2, corruption_rate=1.0, corruption_scale=0.05)
+        oracle = faulty_oracle(inst, plan)
+        clean = QueryOracle(inst).query(3)
+        item = oracle.query(3)
+        assert item.weight == clean.weight
+        assert item.profit != clean.profit
+        assert abs(item.profit / clean.profit - 1.0) <= 0.05
+        assert oracle.corruptions == 1
+
+    def test_block_corruption_is_columnwise(self, inst):
+        plan = FaultPlan(seed=2, corruption_rate=1.0, corruption_scale=0.05)
+        oracle = faulty_oracle(inst, plan)
+        clean = QueryOracle(inst).query_block([0, 1, 2])
+        block = oracle.query_block([0, 1, 2])
+        np.testing.assert_array_equal(block.weights, clean.weights)
+        ratio = block.profits / clean.profits
+        assert np.allclose(ratio, ratio[0])  # one factor for the block
+        assert not np.allclose(ratio, 1.0)
+
+
+class TestLatencyAndTimeouts:
+    def test_spike_below_timeout_accumulates_virtually(self, inst):
+        plan = FaultPlan(seed=3, latency_spike_rate=1.0, latency_spike_s=0.05)
+        oracle = faulty_oracle(inst, plan, timeout_s=1.0)
+        oracle.query(0)
+        oracle.query(1)
+        assert oracle.latency_injected_s == pytest.approx(0.1)
+        assert oracle.timeouts == 0
+
+    def test_spike_above_timeout_raises_but_charges(self, inst):
+        plan = FaultPlan(seed=3, latency_spike_rate=1.0, latency_spike_s=0.05)
+        oracle = faulty_oracle(inst, plan, timeout_s=0.01)
+        with pytest.raises(ProbeTimeoutError):
+            oracle.query(0)
+        assert oracle.queries_used == 1
+        assert oracle.timeouts == 1
+
+    def test_no_timeout_means_spikes_never_raise(self, inst):
+        plan = FaultPlan(seed=3, latency_spike_rate=1.0, latency_spike_s=10.0)
+        oracle = faulty_oracle(inst, plan)  # timeout_s=None
+        oracle.query(0)
+        assert oracle.latency_injected_s == pytest.approx(10.0)
+
+
+class TestNullPlanTransparency:
+    def test_rate_zero_oracle_is_passthrough(self, inst):
+        plan = FaultPlan(seed=4)
+        oracle = faulty_oracle(inst, plan)
+        clean = QueryOracle(inst)
+        for i in range(inst.n):
+            assert oracle.query(i) == clean.query(i)
+        block = oracle.query_block([0, 5, 2])
+        clean_block = clean.query_block([0, 5, 2])
+        np.testing.assert_array_equal(block.profits, clean_block.profits)
+        np.testing.assert_array_equal(block.weights, clean_block.weights)
+        assert oracle.probe_failures == oracle.timeouts == oracle.corruptions == 0
+
+    def test_rate_zero_sampler_draws_identically(self, inst):
+        plan = FaultPlan(seed=4)
+        wrapped = FaultySampler(WeightedSampler(inst), plan.stream("s"))
+        plain = WeightedSampler(inst)
+        b1 = wrapped.sample_block(32, np.random.default_rng(7))
+        b2 = plain.sample_block(32, np.random.default_rng(7))
+        np.testing.assert_array_equal(b1.indices, b2.indices)
+        np.testing.assert_array_equal(b1.profits, b2.profits)
+
+    def test_delegation_faces(self, inst):
+        plan = FaultPlan(seed=4)
+        oracle = faulty_oracle(inst, plan)
+        assert oracle.n == inst.n
+        assert oracle.capacity == inst.capacity
+        assert oracle.budget is None and oracle.remaining is None
+        oracle.query(1)
+        assert oracle.log == [1]
+        assert oracle.distinct_queried() == {1}
+        oracle.reset()
+        assert oracle.queries_used == 0

@@ -1,0 +1,110 @@
+"""Tests for the seeded fault plan and its deterministic streams."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+
+
+class TestFaultStream:
+    def test_same_labels_replay_identical_decisions(self):
+        plan = FaultPlan(seed=9, probe_failure_rate=0.3, latency_spike_rate=0.2,
+                         corruption_rate=0.25)
+        a = plan.stream("serve", "oracle")
+        b = plan.stream("serve", "oracle")
+        da = [a.decide() for _ in range(64)]
+        db = [b.decide() for _ in range(64)]
+        assert da == db
+        assert a.decisions == b.decisions == 64
+
+    def test_distinct_labels_are_independent(self):
+        plan = FaultPlan(seed=9, probe_failure_rate=0.5)
+        a = [plan.stream("serve", "oracle").decide() for _ in range(1)]
+        fails_a = [plan.stream("serve", "oracle").decide().fail for _ in range(1)]
+        fails_b = [
+            d.fail
+            for d in (plan.stream("serve", "sampler").decide() for _ in range(1))
+        ]
+        # One draw proves nothing; draw longer sequences from each label.
+        sa = plan.stream("serve", "oracle")
+        sb = plan.stream("serve", "sampler")
+        seq_a = [sa.decide().fail for _ in range(64)]
+        seq_b = [sb.decide().fail for _ in range(64)]
+        assert seq_a != seq_b
+        del a, fails_a, fails_b
+
+    def test_fixed_consumption_nests_failures_across_rates(self):
+        # The stream consumes the same coins regardless of rates, so a
+        # probe that fails at a low rate must also fail at any higher
+        # rate — fault patterns are monotone in the rate, which is what
+        # makes chaos sweeps comparable across their rate ladder.
+        low = FaultPlan(seed=4, probe_failure_rate=0.1)
+        high = FaultPlan(seed=4, probe_failure_rate=0.4)
+        s_low = low.stream("x")
+        s_high = high.stream("x")
+        for _ in range(256):
+            d_low, d_high = s_low.decide(), s_high.decide()
+            if d_low.fail:
+                assert d_high.fail
+
+    def test_clean_decision_flag(self):
+        plan = FaultPlan(seed=1)  # all rates zero
+        d = plan.stream("x").decide()
+        assert d.clean
+        assert not d.fail and not d.corrupt and d.latency_s == 0.0
+
+    def test_corruption_factor_within_scale(self):
+        plan = FaultPlan(seed=2, corruption_rate=1.0, corruption_scale=0.05)
+        s = plan.stream("x")
+        for _ in range(32):
+            d = s.decide()
+            assert d.corrupt
+            assert 0.95 <= d.corruption_factor <= 1.05
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize("field", [
+        "probe_failure_rate", "latency_spike_rate", "corruption_rate",
+        "shard_kill_rate",
+    ])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ReproError):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ReproError):
+            FaultPlan(**{field: -0.1})
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan(latency_spike_s=-1.0)
+
+    def test_corruption_scale_bounds(self):
+        with pytest.raises(ReproError):
+            FaultPlan(corruption_scale=1.0)
+
+    def test_is_null(self):
+        assert FaultPlan(seed=3).is_null
+        assert not FaultPlan(seed=3, probe_failure_rate=0.01).is_null
+
+
+class TestShardKill:
+    def test_deterministic_across_calls(self):
+        plan = FaultPlan(seed=5, shard_kill_rate=0.5, shard_kill_attempts=3)
+        verdicts = [plan.shard_kill(nonce, attempt)
+                    for nonce in range(20) for attempt in range(3)]
+        again = [plan.shard_kill(nonce, attempt)
+                 for nonce in range(20) for attempt in range(3)]
+        assert verdicts == again
+        assert any(verdicts) and not all(verdicts)
+
+    def test_attempt_gating(self):
+        # rate=1.0, attempts=1: every first attempt dies, every requeue
+        # survives — the deterministic kill-then-recover scenario.
+        plan = FaultPlan(seed=5, shard_kill_rate=1.0, shard_kill_attempts=1)
+        for nonce in range(10):
+            assert plan.shard_kill(nonce, 0)
+            assert not plan.shard_kill(nonce, 1)
+            assert not plan.shard_kill(nonce, 7)
+
+    def test_zero_rate_never_kills(self):
+        plan = FaultPlan(seed=5)
+        assert not plan.shard_kill(0, 0)

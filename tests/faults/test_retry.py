@@ -1,0 +1,108 @@
+"""Tests for the budget-honest retry policy and its decorators."""
+
+import numpy as np
+import pytest
+
+from repro.access.oracle import QueryOracle
+from repro.access.weighted_sampler import WeightedSampler
+from repro.errors import (
+    ProbeFailureError,
+    QueryBudgetExceededError,
+    ReproError,
+    RetriesExhaustedError,
+)
+from repro.faults import (
+    FaultPlan,
+    FaultyOracle,
+    FaultySampler,
+    RetryingOracle,
+    RetryingSampler,
+    RetryPolicy,
+)
+from repro.knapsack.instance import KnapsackInstance
+
+
+@pytest.fixture()
+def inst():
+    return KnapsackInstance(
+        list(range(1, 13)), [0.05] * 12, 0.4, normalize=False
+    )
+
+
+def stack(inst, plan, policy, *, budget=None):
+    inner = QueryOracle(inst, budget=budget)
+    return RetryingOracle(FaultyOracle(inner, plan.stream("t", "o")), policy), inner
+
+
+class TestRecovery:
+    def test_transient_failures_are_recovered(self, inst):
+        plan = FaultPlan(seed=6, probe_failure_rate=0.5)
+        policy = RetryPolicy(max_retries=8, seed=1)
+        oracle, inner = stack(inst, plan, policy)
+        items = oracle.query_many(range(12))
+        assert len(items) == 12  # every probe eventually answered
+        assert oracle.retries_used > 0
+        # Budget honesty: every retry re-charged the real oracle.
+        assert inner.queries_used == 12 + oracle.retries_used
+
+    def test_retries_exhausted_wraps_last_transient(self, inst):
+        plan = FaultPlan(seed=6, probe_failure_rate=1.0)
+        policy = RetryPolicy(max_retries=2, seed=1)
+        oracle, inner = stack(inst, plan, policy)
+        with pytest.raises(RetriesExhaustedError) as err:
+            oracle.query(0)
+        assert err.value.attempts == 3  # initial try + 2 retries
+        assert isinstance(err.value.last_error, ProbeFailureError)
+        assert inner.queries_used == 3  # all three attempts were charged
+
+    def test_budget_exhaustion_is_not_transient(self, inst):
+        # Retrying into a dry budget must surface the budget error, not
+        # paper over it: the budget is the currency of Theorems 3.2-3.4.
+        plan = FaultPlan(seed=6, probe_failure_rate=1.0)
+        policy = RetryPolicy(max_retries=10, seed=1)
+        oracle, inner = stack(inst, plan, policy, budget=3)
+        with pytest.raises(QueryBudgetExceededError):
+            oracle.query(0)
+        assert inner.queries_used == 3  # charged exactly up to the budget
+
+    def test_zero_fault_rate_means_zero_retries(self, inst):
+        oracle, inner = stack(inst, FaultPlan(seed=6), RetryPolicy(max_retries=3))
+        oracle.query_block(range(12))
+        assert oracle.retries_used == 0
+        assert oracle.backoff_s == 0.0
+
+    def test_retrying_sampler_recovers_with_fresh_draws(self, inst):
+        plan = FaultPlan(seed=8, probe_failure_rate=0.5)
+        sampler = RetryingSampler(
+            FaultySampler(WeightedSampler(inst), plan.stream("t", "s")),
+            RetryPolicy(max_retries=8, seed=1),
+        )
+        rng = np.random.default_rng(3)
+        blocks = [sampler.sample_block(8, rng) for _ in range(6)]
+        assert all(len(b.indices) == 8 for b in blocks)
+        assert sampler.retries_used > 0
+        # Each retried block re-drew (and re-charged) its rows.
+        assert sampler.samples_used == 8 * (6 + sampler.retries_used)
+
+
+class TestBackoffDeterminism:
+    def test_backoff_is_a_pure_function_of_labels_and_attempt(self):
+        p = RetryPolicy(max_retries=3, backoff_base_s=0.01, seed=5)
+        assert p.backoff_s(("a", "b"), 1) == p.backoff_s(("a", "b"), 1)
+        assert p.backoff_s(("a", "b"), 1) != p.backoff_s(("a", "b"), 2)
+        assert p.backoff_s(("a", "b"), 1) != p.backoff_s(("a", "c"), 1)
+
+    def test_backoff_grows_exponentially_within_jitter(self):
+        p = RetryPolicy(backoff_base_s=0.01, backoff_factor=2.0, jitter=0.1, seed=5)
+        for attempt in (1, 2, 3):
+            base = 0.01 * 2.0 ** (attempt - 1)
+            got = p.backoff_s(("x",), attempt)
+            assert base <= got <= base * 1.1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ReproError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=2.0)
