@@ -4,8 +4,13 @@ Subcommands
 -----------
 ``solve``       solve a generated instance with the reference solvers;
 ``lca``         answer membership queries with LCA-KP;
-``trace``       run one LCA query under the tracer, print its span tree;
+``trace``       run one LCA query (or a sharded batch) under the tracer,
+                print its span tree and verify the phase partition;
 ``metrics``     run a small workload, dump the metrics registry as JSON;
+``flightrec``   replay a seeded faulty workload, print the flight-recorder
+                timeline, write a deterministic events/v1 document;
+``obs-diff``    compare two bench-result/v1 documents (or a fresh quick
+                run against a committed one) and flag perf regressions;
 ``serve``       serve a query batch through the KnapsackService engine;
 ``bench``       measure serving throughput, write BENCH_serve.json;
 ``bench-cold``  measure cold-pipeline latency (columnar vs object path),
@@ -96,6 +101,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument(
         "--json", metavar="PATH", default=None, help="also write the trace/v1 document to PATH"
+    )
+    p_trace.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="trace a whole N-query service batch instead of one LCA query",
+    )
+    p_trace.add_argument(
+        "--workers", type=int, default=2,
+        help="shard the traced batch across this many workers (with --batch)",
+    )
+    p_trace.add_argument(
+        "--executor", default="thread", choices=("thread", "process"),
+        help="worker pool kind for the traced batch (with --batch)",
     )
 
     p_metrics = sub.add_parser(
@@ -234,6 +251,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="where to write the chaos-report/v1 document",
     )
 
+    p_flight = sub.add_parser(
+        "flightrec",
+        help="replay a seeded faulty workload and print the flight-recorder timeline",
+    )
+    p_flight.add_argument("--family", default="uniform", choices=sorted(FAMILIES))
+    p_flight.add_argument("--n", type=int, default=2000)
+    p_flight.add_argument("--instance-seed", type=int, default=0)
+    p_flight.add_argument(
+        "--seed", type=int, default=7,
+        help="chaos seed: drives the workload, the fault coins and the retry jitter",
+    )
+    p_flight.add_argument("--epsilon", type=float, default=0.1)
+    p_flight.add_argument("--lca-seed", type=int, default=42, help="the shared random string r")
+    p_flight.add_argument("--queries", type=int, default=20, help="queries per batch")
+    p_flight.add_argument("--batches", type=int, default=2)
+    p_flight.add_argument(
+        "--rate", type=float, default=0.15, help="injected probe-failure rate"
+    )
+    p_flight.add_argument(
+        "--corruption-rate", type=float, default=0.0, help="injected corruption rate"
+    )
+    p_flight.add_argument("--retries", type=int, default=3, help="retry budget per probe")
+    p_flight.add_argument(
+        "--audit", action="store_true",
+        help="enable the probe plausibility audit (detects injected corruptions)",
+    )
+    p_flight.add_argument(
+        "--cap", type=int, default=4_000,
+        help="cap m_large / n_rq for speed (0 keeps the full calibrated sizes)",
+    )
+    p_flight.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the events/v1 document here (sorted keys: deterministic bytes)",
+    )
+
+    p_diff = sub.add_parser(
+        "obs-diff",
+        help="compare two bench-result/v1 documents and flag perf regressions",
+    )
+    p_diff.add_argument("baseline", help="baseline bench-result/v1 JSON path")
+    p_diff.add_argument(
+        "candidate", nargs="?", default=None,
+        help="candidate document (default: run a fresh quick bench and "
+        "compare relative metrics only)",
+    )
+    p_diff.add_argument(
+        "--fresh", default="cold", choices=("cold", "serve"),
+        help="which quick bench to run when no candidate is given",
+    )
+    p_diff.add_argument(
+        "--threshold", type=float, default=1.75,
+        help="relative noise allowance (a timing must exceed baseline x this to regress)",
+    )
+    p_diff.add_argument(
+        "--abs-floor-s", type=float, default=0.002,
+        help="absolute excursion floor in seconds (sub-floor jitter never regresses)",
+    )
+    p_diff.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the bench-diff/v1 document here",
+    )
+
     p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
     p_exp.add_argument(
@@ -308,6 +387,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs.export import render_span_tree, trace_document, write_json
     from .obs.trace import phase_counts
 
+    if args.batch is not None:
+        return _trace_batch(args)
+
     inst = generate(args.family, args.n, seed=args.seed)
     sampler = WeightedSampler(inst)
     oracle = QueryOracle(inst)
@@ -360,6 +442,86 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             query=args.query,
             include=answer.include,
             reason=answer.reason,
+            oracle_queries=q_used,
+            sampler_samples=s_used,
+        )
+        write_json(args.json, doc)
+        print(f"\nwrote trace/v1 document to {args.json}")
+    return 0 if (q_attr == q_used and s_attr == s_used and b_attr == b_used) else 1
+
+
+def _trace_batch(args: argparse.Namespace) -> int:
+    """Trace one sharded service batch as a single unified span tree.
+
+    Thread shards are grafted by the pool driver; process shards come
+    home serialized inside the chunk payloads and are grafted on merge —
+    either way the partition invariant below must hold on one tree.
+    """
+    from .obs import runtime as obs_runtime
+    from .obs.export import render_span_tree, trace_document, write_json
+    from .obs.trace import phase_counts
+    from .serve import KnapsackService
+
+    if args.batch < 1:
+        print("--batch must be >= 1", file=sys.stderr)
+        return 2
+    inst = generate(args.family, args.n, seed=args.seed)
+    service = KnapsackService(
+        inst, args.epsilon, seed=args.lca_seed, cache=False, executor=args.executor
+    )
+    rng = np.random.default_rng(args.seed)
+    indices = [int(i) for i in rng.integers(inst.n, size=args.batch)]
+    tracer = obs_runtime.TRACER
+    was_enabled = tracer.enabled
+    tracer.enable()
+    try:
+        with tracer.span("repro.trace") as root:
+            report = service.answer_batch(
+                indices,
+                nonce=args.nonce,
+                workers=args.workers if args.workers > 1 else None,
+            )
+    finally:
+        if not was_enabled:
+            tracer.disable()
+
+    print(
+        f"trace: family={args.family} n={inst.n} eps={args.epsilon} "
+        f"seed={args.lca_seed} batch={len(indices)} workers={report.workers} "
+        f"executor={args.executor} mode={report.mode}"
+    )
+    print()
+    print(render_span_tree(root))
+    print()
+    by_phase_q = phase_counts(root, "queries")
+    by_phase_s = phase_counts(root, "samples")
+    by_phase_b = phase_counts(root, "sample_blocks")
+    q_attr, q_used = sum(by_phase_q.values()), service.queries_used
+    s_attr, s_used = sum(by_phase_s.values()), service.samples_used
+    b_attr, b_used = sum(by_phase_b.values()), service.blocks_used
+    print(f"oracle queries: {q_used} total, {q_attr} span-attributed "
+          f"({'exact' if q_attr == q_used else 'MISMATCH'})")
+    print(f"weighted samples: {s_used} total, {s_attr} span-attributed "
+          f"({'exact' if s_attr == s_used else 'MISMATCH'})")
+    print(f"sample blocks: {b_used} total, {b_attr} span-attributed "
+          f"({'exact' if b_attr == b_used else 'MISMATCH'})")
+    for label, by_phase in (("queries", by_phase_q), ("samples", by_phase_s)):
+        if by_phase:
+            per_phase = ", ".join(
+                f"{phase}={count}" for phase, count in sorted(by_phase.items())
+            )
+            print(f"  {label} by phase: {per_phase}")
+    if args.json:
+        doc = trace_document(
+            root,
+            family=args.family,
+            n=inst.n,
+            epsilon=args.epsilon,
+            lca_seed=args.lca_seed,
+            batch=len(indices),
+            workers=report.workers,
+            executor=args.executor,
+            mode=report.mode,
             oracle_queries=q_used,
             sampler_samples=s_used,
         )
@@ -570,6 +732,159 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if (doc["all_meet_target"] and doc["fault_free_equivalence"]) else 1
 
 
+def _cmd_flightrec(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.parameters import LCAParameters
+    from .faults import FaultPlan, RetryPolicy
+    from .obs import runtime as obs_runtime
+    from .obs.events import events_document, render_timeline
+    from .serve import KnapsackService
+
+    inst = generate(args.family, args.n, seed=args.instance_seed)
+    params = None
+    if args.cap:
+        params = LCAParameters.calibrated(
+            args.epsilon, max_nrq=args.cap, max_m_large=args.cap
+        )
+    plan = FaultPlan(
+        seed=args.seed,
+        probe_failure_rate=args.rate,
+        corruption_rate=args.corruption_rate,
+    )
+    # Fresh recorder: the timeline (and the events/v1 bytes) must be a
+    # pure function of the seeds, not of whatever ran before in this
+    # process.
+    obs_runtime.RECORDER.clear()
+    service = KnapsackService(
+        inst,
+        args.epsilon,
+        seed=args.lca_seed,
+        params=params,
+        cache=False,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_retries=args.retries, seed=args.seed),
+        strict=False,
+        probe_audit=args.audit,
+    )
+    rng = np.random.default_rng(args.seed)
+    indices = [int(i) for i in rng.integers(inst.n, size=args.queries)]
+    degraded = 0
+    for b in range(args.batches):
+        report = service.answer_batch(indices, nonce=200_000 + b)
+        degraded += report.degraded
+    doc = events_document(
+        obs_runtime.RECORDER,
+        family=args.family,
+        n=inst.n,
+        epsilon=args.epsilon,
+        chaos_seed=args.seed,
+        lca_seed=args.lca_seed,
+        queries=args.queries,
+        batches=args.batches,
+        probe_failure_rate=args.rate,
+        corruption_rate=args.corruption_rate,
+        audit=bool(args.audit),
+    )
+    print(render_timeline(doc))
+    print(
+        f"\nserved {args.batches * args.queries} answers "
+        f"({degraded} degraded), {service.retries_used} probe retries"
+    )
+    if args.out:
+        # Sorted keys + no timing fields: same seeds => same bytes (the
+        # CI chaos-smoke job diffs two runs).
+        text = json.dumps(doc, indent=2, sort_keys=True)
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote events/v1 to {args.out}")
+    return 0
+
+
+def _fresh_bench_document(kind: str) -> dict:
+    """Tiny fresh benchmark for candidate-less ``obs-diff`` runs.
+
+    Deliberately small: absolute timings from a quick run are noise, but
+    the dimensionless speedup columns (all ``relative_only`` compares)
+    are meaningful at any scale.  Row keys carry no n/family, so they
+    match the committed documents' rows by mode.
+    """
+    from .serve.bench import (
+        bench_cold_document,
+        bench_serve_document,
+        cold_pipeline_rows,
+        serve_throughput_rows,
+    )
+
+    if kind == "cold":
+        inst = generate("planted_lsg", 2000, seed=0)
+        rows = cold_pipeline_rows(inst, epsilon=0.1, seed=7, queries=2)
+        return bench_cold_document(rows)
+    inst = generate("uniform", 2000, seed=0)
+    rows = serve_throughput_rows(
+        inst, epsilon=0.1, seed=7, queries=100, batch=50, workers=2,
+        baseline_queries=5,
+    )
+    return bench_serve_document(rows)
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.diff import diff_documents
+    from .obs.export import write_json
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    relative_only = False
+    if args.candidate is not None:
+        with open(args.candidate) as fh:
+            candidate = json.load(fh)
+        cand_label = args.candidate
+    else:
+        candidate = _fresh_bench_document(args.fresh)
+        cand_label = f"fresh {args.fresh} run"
+        relative_only = True
+    doc = diff_documents(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        abs_floor_s=args.abs_floor_s,
+        relative_only=relative_only,
+    )
+    print(
+        f"obs-diff: {args.baseline} vs {cand_label} "
+        f"(threshold {args.threshold}x, floor {args.abs_floor_s}s"
+        + (", relative metrics only)" if relative_only else ")")
+    )
+    rows = [
+        [
+            f["row"],
+            f["metric"],
+            f["status"] if f["status"] == "ok" else f["status"].upper(),
+            f"{f['baseline']:.6g}",
+            f"{f['candidate']:.6g}",
+            f["note"],
+        ]
+        for f in doc["findings"]
+    ]
+    if rows:
+        print(format_table(
+            ["row", "metric", "status", "baseline", "candidate", "note"], rows
+        ))
+    for missing in doc["rows_missing"]:
+        print(f"unmatched row: {missing}")
+    print(
+        f"{doc['rows_compared']} rows compared: {doc['regressions']} regressions, "
+        f"{doc['drifts']} drifts, {doc['improvements']} improvements -> "
+        + ("OK" if doc["ok"] else "FAIL")
+    )
+    if args.out:
+        write_json(args.out, doc)
+        print(f"wrote bench-diff/v1 to {args.out}")
+    return 0 if doc["ok"] else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     rows = EXPERIMENTS[args.name]()
     print(format_row_dicts(rows, title=f"experiment {args.name}"))
@@ -674,6 +989,8 @@ def main(argv: list[str] | None = None) -> int:
         "lca": _cmd_lca,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "flightrec": _cmd_flightrec,
+        "obs-diff": _cmd_obs_diff,
         "cluster": _cmd_cluster,
         "serve": _cmd_serve,
         "bench": _cmd_bench,

@@ -105,6 +105,7 @@ class Worker:
         self.degraded_served = 0
         self.phase_queries: dict[str, int] = {}
         self.phase_samples: dict[str, int] = {}
+        self.phase_blocks: dict[str, int] = {}
 
     def serve(self, item: int, nonce: int) -> tuple[bool, int, float]:
         """Answer one query; returns (answer, samples spent, service time).
@@ -124,6 +125,8 @@ class Worker:
                 self.phase_queries[phase] = self.phase_queries.get(phase, 0) + n
             for phase, n in phase_counts(span, "samples").items():
                 self.phase_samples[phase] = self.phase_samples.get(phase, 0) + n
+            for phase, n in phase_counts(span, "sample_blocks").items():
+                self.phase_blocks[phase] = self.phase_blocks.get(phase, 0) + n
         spent = self._service.samples_used - before
         self.queries_served += 1
         if getattr(result, "degraded", False):
@@ -167,6 +170,7 @@ class ClusterReport:
     total_probe_retries: int = 0
     phase_queries: dict = field(default_factory=dict)
     phase_samples: dict = field(default_factory=dict)
+    phase_blocks: dict = field(default_factory=dict)
     cache: dict | None = None
 
     @property
@@ -190,6 +194,7 @@ class ClusterReport:
             "total_probe_retries": self.total_probe_retries,
             "phase_queries": dict(self.phase_queries),
             "phase_samples": dict(self.phase_samples),
+            "phase_blocks": dict(self.phase_blocks),
             "cache": dict(self.cache) if self.cache is not None else None,
         }
 
@@ -379,6 +384,12 @@ class ClusterSimulation:
                 # after a network round-trip.  The crashed attempt holds
                 # the worker only up to `start`.
                 self._crashes += 1
+                _obs.record_event(
+                    "cluster.crash",
+                    query=qid,
+                    worker=worker.worker_id,
+                    attempt=attempts,
+                )
                 worker.busy_until = start
                 self._queue.schedule(
                     max(0.0, start - self._queue.clock.now) + self._network_latency,
@@ -429,11 +440,14 @@ class ClusterSimulation:
         latencies = np.array([r.latency for r in records]) if records else np.zeros(1)
         phase_queries: dict[str, int] = {}
         phase_samples: dict[str, int] = {}
+        phase_blocks: dict[str, int] = {}
         for w in self._workers:
             for phase, n in w.phase_queries.items():
                 phase_queries[phase] = phase_queries.get(phase, 0) + n
             for phase, n in w.phase_samples.items():
                 phase_samples[phase] = phase_samples.get(phase, 0) + n
+            for phase, n in w.phase_blocks.items():
+                phase_blocks[phase] = phase_blocks.get(phase, 0) + n
         return ClusterReport(
             records=records,
             contested_items=contested,
@@ -448,5 +462,6 @@ class ClusterSimulation:
             total_probe_retries=sum(w.total_probe_retries for w in self._workers),
             phase_queries=phase_queries,
             phase_samples=phase_samples,
+            phase_blocks=phase_blocks,
             cache=self._cache.stats() if self._cache is not None else None,
         )

@@ -133,6 +133,29 @@ class ProbeTimeoutError(FaultInjectionError):
         )
 
 
+class CorruptProbeError(FaultInjectionError):
+    """A delivered probe failed the plausibility audit (transient; retryable).
+
+    Raised by :class:`~repro.faults.audit.ProbeAuditor` when a delivered
+    item or block is implausible — non-finite or negative profit/weight,
+    or a finite nonzero efficiency strictly outside the reproducible
+    domain's range.  The probe *was* charged (charge-then-lose, like
+    every fault), and the answer is discarded rather than trusted: a
+    retry re-probes and re-pays, turning silent corruption into a
+    recoverable fault instead of a wrong answer.
+    """
+
+    reason_code = "corrupt-probe"
+
+    def __init__(self, probe: str, detail: str = "") -> None:
+        self.probe = probe
+        self.detail = detail
+        super().__init__(
+            f"implausible response on probe {probe!r}"
+            + (f": {detail}" if detail else "")
+        )
+
+
 class RetriesExhaustedError(FaultInjectionError):
     """A transient fault persisted through every allowed retry.
 

@@ -4,11 +4,14 @@ The LCA model's central resource is the per-query probe budget; this
 package treats each probe as something that can *fail* — deterministic,
 seeded fault injection (:class:`FaultPlan`, :class:`FaultyOracle`,
 :class:`FaultySampler`), bounded budget-honest recovery
-(:class:`RetryPolicy`, :class:`RetryingOracle`, :class:`RetryingSampler`)
-and seeded chaos sweeps (:func:`chaos_sweep`) that certify availability
-under each fault rate.  See ``docs/robustness.md``.
+(:class:`RetryPolicy`, :class:`RetryingOracle`, :class:`RetryingSampler`),
+plausibility auditing that turns silent corruption into a retryable
+fault (:class:`ProbeAuditor`), and seeded chaos sweeps
+(:func:`chaos_sweep`) that certify availability under each fault rate.
+See ``docs/robustness.md``.
 """
 
+from .audit import ProbeAuditor
 from .chaos import CHAOS_SCHEMA, chaos_document, chaos_sweep
 from .injectors import FaultyOracle, FaultySampler
 from .plan import FaultDecision, FaultPlan, FaultStream
@@ -27,6 +30,7 @@ __all__ = [
     "FaultStream",
     "FaultyOracle",
     "FaultySampler",
+    "ProbeAuditor",
     "RetryOutcome",
     "RetryPolicy",
     "RetryingOracle",

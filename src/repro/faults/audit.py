@@ -1,0 +1,113 @@
+"""Plausibility audit on delivered probe responses.
+
+Injected corruptions (see :mod:`repro.faults.injectors`) silently scale
+a delivered profit or weight; without detection the pipeline computes a
+confidently wrong answer.  :class:`ProbeAuditor` closes that gap: the
+retrying wrappers run every delivered item/block through the audit, and
+an implausible response raises :class:`~repro.errors.CorruptProbeError`
+— a *transient* fault, so the retry policy re-probes (and re-pays, per
+charge-then-lose) instead of trusting the corrupted value.
+
+What counts as implausible is deliberately conservative, because a
+false positive on an honest response would break the rate-0 bit-identity
+contract:
+
+* non-finite (NaN/inf) or negative profits and weights — the instance
+  model (Definition 2.2) forbids them outright;
+* finite **nonzero** efficiencies strictly outside the reproducible
+  efficiency domain's ``[lo, hi]`` range.  Efficiency 0 (zero profit)
+  and efficiency ``inf`` (zero weight) are *legal*: the domain absorbs
+  them into its extreme atoms, so the audit must not flag them.
+
+A corruption that keeps the value inside the plausible range is
+undetectable by construction — the audit bounds the *blast radius* of
+corruption faults, it cannot eliminate them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import CorruptProbeError
+from ..obs import runtime as _obs
+
+__all__ = ["ProbeAuditor"]
+
+
+class ProbeAuditor:
+    """Range/sanity checks on delivered probe values.
+
+    Parameters
+    ----------
+    lo, hi:
+        The plausible efficiency range — normally the reproducible
+        :class:`~repro.reproducible.domains.EfficiencyDomain` bounds the
+        pipeline quantizes into, so "implausible" means "outside what
+        the algorithm could ever have computed with".
+    """
+
+    def __init__(self, lo: float = 1e-12, hi: float = 1e12) -> None:
+        if not (0 < lo < hi) or not math.isfinite(lo) or not math.isfinite(hi):
+            raise ValueError(f"audit range must satisfy 0 < lo < hi finite, got [{lo}, {hi}]")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.checks = 0
+        self.violations = 0
+
+    # ------------------------------------------------------------------
+    def _fail(self, probe: str, detail: str) -> None:
+        self.violations += 1
+        _obs.record_corruption_detected()
+        _obs.record_event("fault.corruption_detected", probe=probe, detail=detail)
+        raise CorruptProbeError(probe, detail)
+
+    def _check_scalar(self, profit: float, weight: float, probe: str) -> None:
+        if not math.isfinite(profit) or profit < 0:
+            self._fail(probe, f"profit {profit!r} not finite non-negative")
+        if not math.isfinite(weight) or weight < 0:
+            self._fail(probe, f"weight {weight!r} not finite non-negative")
+        if profit > 0 and weight > 0:
+            eff = profit / weight
+            if eff < self.lo or eff > self.hi:
+                self._fail(
+                    probe,
+                    f"efficiency {eff:.6g} outside plausible [{self.lo:g}, {self.hi:g}]",
+                )
+
+    # ------------------------------------------------------------------
+    def check_item(self, item, probe: str):
+        """Audit one delivered :class:`~repro.knapsack.items.Item` (or
+        :class:`~repro.access.blocks.Sample`); returns it unchanged."""
+        self.checks += 1
+        profit = getattr(item, "profit", None)
+        weight = getattr(item, "weight", None)
+        if profit is not None and weight is not None:
+            self._check_scalar(float(profit), float(weight), probe)
+        return item
+
+    def check_block(self, block, probe: str):
+        """Audit one delivered :class:`~repro.access.blocks.SampleBlock`
+        column-wise (vectorized); returns it unchanged."""
+        self.checks += 1
+        profits = np.asarray(block.profits, dtype=float)
+        weights = np.asarray(block.weights, dtype=float)
+        if profits.size == 0:
+            return block
+        if not np.all(np.isfinite(profits)) or np.any(profits < 0):
+            self._fail(probe, "block holds non-finite or negative profits")
+        if not np.all(np.isfinite(weights)) or np.any(weights < 0):
+            self._fail(probe, "block holds non-finite or negative weights")
+        positive = (profits > 0) & (weights > 0)
+        if np.any(positive):
+            eff = profits[positive] / weights[positive]
+            bad = (eff < self.lo) | (eff > self.hi)
+            if np.any(bad):
+                worst = float(eff[bad][0])
+                self._fail(
+                    probe,
+                    f"block efficiency {worst:.6g} outside plausible "
+                    f"[{self.lo:g}, {self.hi:g}]",
+                )
+        return block

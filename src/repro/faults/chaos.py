@@ -52,6 +52,7 @@ def chaos_sweep(
     retry: RetryPolicy | None = None,
     corruption_rate: float = 0.0,
     latency_spike_rate: float = 0.0,
+    audit: bool = False,
 ) -> dict:
     """Run the sweep; returns a ``chaos-report/v1`` document (pure data).
 
@@ -59,7 +60,10 @@ def chaos_sweep(
     indices under pinned nonces through a fresh non-strict service wired
     with :class:`~repro.faults.FaultPlan` + ``retry``.  Batches must
     never abort: an escaping exception is counted (and fails the
-    sweep) rather than crashing it.
+    sweep) rather than crashing it.  ``audit=True`` additionally runs
+    every sweep service with the probe plausibility audit, so injected
+    corruptions that push an efficiency out of the domain's range are
+    detected and retried; rows then carry ``corruptions_detected``.
     """
     from ..serve.service import KnapsackService  # local: serve imports faults
 
@@ -93,6 +97,7 @@ def chaos_sweep(
     null_svc = KnapsackService(
         instance, epsilon, seed=lca_seed, params=params, cache=False,
         fault_plan=FaultPlan(seed=int(chaos_seed)), retry_policy=retry, strict=False,
+        probe_audit=audit,
     )
     null_answers, _ = serve_all(null_svc)
     fault_free_equivalence = _answers_key(control_answers) == _answers_key(null_answers)
@@ -108,28 +113,32 @@ def chaos_sweep(
         service = KnapsackService(
             instance, epsilon, seed=lca_seed, params=params, cache=False,
             fault_plan=plan, retry_policy=retry, strict=False,
+            probe_audit=audit,
         )
         answers, aborts = serve_all(service)
         degraded = sum(1 for a in answers if getattr(a, "degraded", False))
         total = len(answers)
         availability = 1.0 - (degraded / total) if total else 0.0
-        rows.append(
-            {
-                "probe_failure_rate": float(rate),
-                "corruption_rate": float(corruption_rate),
-                "latency_spike_rate": float(latency_spike_rate),
-                "answers": total,
-                "degraded": degraded,
-                "batch_aborts": aborts,
-                "probe_retries": service.retries_used,
-                "probe_failures_injected": service.faults_injected.get(
-                    "probe_failures", 0
-                ),
-                "corruptions_injected": service.faults_injected.get("corruptions", 0),
-                "availability": round(availability, 6),
-                "meets_target": bool(availability >= availability_target and aborts == 0),
-            }
-        )
+        row = {
+            "probe_failure_rate": float(rate),
+            "corruption_rate": float(corruption_rate),
+            "latency_spike_rate": float(latency_spike_rate),
+            "answers": total,
+            "degraded": degraded,
+            "batch_aborts": aborts,
+            "probe_retries": service.retries_used,
+            "probe_failures_injected": service.faults_injected.get(
+                "probe_failures", 0
+            ),
+            "corruptions_injected": service.faults_injected.get("corruptions", 0),
+            "availability": round(availability, 6),
+            "meets_target": bool(availability >= availability_target and aborts == 0),
+        }
+        if audit:
+            row["corruptions_detected"] = service.faults_injected.get(
+                "corruptions_detected", 0
+            )
+        rows.append(row)
 
     return chaos_document(
         rows,

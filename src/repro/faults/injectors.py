@@ -276,16 +276,20 @@ def _inject(
     if decision.fail:
         counters.probe_failures += 1
         _obs.record_fault("probe_failures")
+        _obs.record_event("fault.probe_failure", probe=probe)
         raise ProbeFailureError(probe)
     if decision.latency_s > 0.0:
         if timeout_s is not None and decision.latency_s > timeout_s:
             counters.timeouts += 1
             _obs.record_fault("timeouts")
+            _obs.record_event("fault.timeout", probe=probe)
             raise ProbeTimeoutError(probe, decision.latency_s, timeout_s)
         counters.latency_injected_s += decision.latency_s
         _obs.record_fault("latency_spikes")
+        _obs.record_event("fault.latency_spike", probe=probe)
     if decision.corrupt:
         counters.corruptions += 1
         _obs.record_fault("corruptions")
+        _obs.record_event("fault.corruption", probe=probe)
         return decision.corruption_factor
     return None

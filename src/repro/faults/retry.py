@@ -36,6 +36,7 @@ import numpy as np
 from ..access.blocks import Sample, SampleBlock
 from ..access.seeds import SeedChain
 from ..errors import (
+    CorruptProbeError,
     ProbeFailureError,
     ProbeTimeoutError,
     ReproError,
@@ -43,12 +44,15 @@ from ..errors import (
 )
 from ..knapsack.items import Item
 from ..obs import runtime as _obs
+from .audit import ProbeAuditor
 
 __all__ = ["TRANSIENT_FAULTS", "RetryOutcome", "RetryPolicy", "RetryingOracle", "RetryingSampler"]
 
 #: Fault errors a retry may recover from.  Budget exhaustion is absent on
-#: purpose: a re-probe cannot un-spend the budget.
-TRANSIENT_FAULTS = (ProbeFailureError, ProbeTimeoutError)
+#: purpose: a re-probe cannot un-spend the budget.  A detected corruption
+#: is transient in the same sense a lost response is: the charged probe
+#: yielded nothing usable, and a fresh probe may succeed.
+TRANSIENT_FAULTS = (ProbeFailureError, ProbeTimeoutError, CorruptProbeError)
 
 
 @dataclass(frozen=True)
@@ -143,12 +147,16 @@ class RetryPolicy:
 
 
 class _RetryingBase:
-    """Shared plumbing: per-call labels, retry/backoff accounting."""
+    """Shared plumbing: per-call labels, retry/backoff accounting, and
+    the optional delivered-value plausibility audit."""
 
-    def __init__(self, inner, policy: RetryPolicy, kind: str) -> None:
+    def __init__(
+        self, inner, policy: RetryPolicy, kind: str, audit: ProbeAuditor | None = None
+    ) -> None:
         self._inner = inner
         self._policy = policy
         self._kind = kind
+        self._audit = audit
         self._calls = 0
         self._retries = 0
         self._backoff_s = 0.0
@@ -164,6 +172,11 @@ class _RetryingBase:
         return self._policy
 
     @property
+    def audit(self) -> ProbeAuditor | None:
+        """The plausibility auditor, if corruption detection is on."""
+        return self._audit
+
+    @property
     def retries_used(self) -> int:
         """Total re-probes performed (each one was charged)."""
         return self._retries
@@ -175,12 +188,44 @@ class _RetryingBase:
 
     def _run(self, fn: Callable[[], Any], probe: str) -> Any:
         self._calls += 1
-        outcome = self._policy.execute(fn, labels=(self._kind, probe, self._calls))
+        try:
+            outcome = self._policy.execute(fn, labels=(self._kind, probe, self._calls))
+        except RetriesExhaustedError as exc:
+            _obs.record_event(
+                "retry.exhausted",
+                resource=self._kind,
+                probe=probe,
+                attempts=exc.attempts,
+                reason=getattr(exc.last_error, "reason_code", "unknown"),
+            )
+            raise
         if outcome.retries:
             self._retries += outcome.retries
             self._backoff_s += outcome.backoff_s
             _obs.record_probe_retries(outcome.retries)
+            _obs.record_event(
+                "retry.recovered",
+                resource=self._kind,
+                probe=probe,
+                retries=outcome.retries,
+            )
         return outcome.value
+
+    def _audited_item(self, fn: Callable[[], Any], probe: str) -> Callable[[], Any]:
+        """Wrap ``fn`` so the delivered item passes the audit *inside*
+        the retried callable — a violation triggers a fresh (re-charged)
+        probe, exactly like a lost response."""
+        if self._audit is None:
+            return fn
+        audit = self._audit
+        return lambda: audit.check_item(fn(), probe)
+
+    def _audited_block(self, fn: Callable[[], Any], probe: str) -> Callable[[], Any]:
+        """Block-valued variant of :meth:`_audited_item`."""
+        if self._audit is None:
+            return fn
+        audit = self._audit
+        return lambda: audit.check_block(fn(), probe)
 
     # Accounting passthroughs shared by both resources.
     @property
@@ -205,10 +250,17 @@ class _RetryingBase:
 
 
 class RetryingOracle(_RetryingBase):
-    """Apply a :class:`RetryPolicy` to every probe of an oracle."""
+    """Apply a :class:`RetryPolicy` to every probe of an oracle.
 
-    def __init__(self, oracle, policy: RetryPolicy) -> None:
-        super().__init__(oracle, policy, "oracle")
+    With ``audit`` set, every delivered item/block additionally passes a
+    :class:`~repro.faults.audit.ProbeAuditor` plausibility check before
+    being trusted; an implausible delivery retries like a lost one.
+    """
+
+    def __init__(
+        self, oracle, policy: RetryPolicy, *, audit: ProbeAuditor | None = None
+    ) -> None:
+        super().__init__(oracle, policy, "oracle", audit)
 
     @property
     def queries_used(self) -> int:
@@ -226,14 +278,19 @@ class RetryingOracle(_RetryingBase):
         return self._inner.distinct_queried()
 
     def query(self, i: int) -> Item:
-        return self._run(lambda: self._inner.query(i), "query")
+        return self._run(
+            self._audited_item(lambda: self._inner.query(i), "query"), "query"
+        )
 
     def query_many(self, indices) -> list[Item]:
         return [self.query(int(i)) for i in indices]
 
     def query_block(self, indices) -> SampleBlock:
         idx = [int(i) for i in indices]
-        return self._run(lambda: self._inner.query_block(idx), "query_block")
+        return self._run(
+            self._audited_block(lambda: self._inner.query_block(idx), "query_block"),
+            "query_block",
+        )
 
     def profit(self, i: int) -> float:
         return self.query(i).profit
@@ -254,8 +311,10 @@ class RetryingSampler(_RetryingBase):
     ``docs/robustness.md`` for the consistency ladder.
     """
 
-    def __init__(self, sampler, policy: RetryPolicy) -> None:
-        super().__init__(sampler, policy, "sampler")
+    def __init__(
+        self, sampler, policy: RetryPolicy, *, audit: ProbeAuditor | None = None
+    ) -> None:
+        super().__init__(sampler, policy, "sampler", audit)
 
     @property
     def samples_used(self) -> int:
@@ -266,10 +325,17 @@ class RetryingSampler(_RetryingBase):
         return self._inner.blocks_used
 
     def sample(self, rng: np.random.Generator) -> Sample:
-        return self._run(lambda: self._inner.sample(rng), "sample")
+        return self._run(
+            self._audited_item(lambda: self._inner.sample(rng), "sample"), "sample"
+        )
 
     def sample_block(self, m: int, rng: np.random.Generator) -> SampleBlock:
-        return self._run(lambda: self._inner.sample_block(m, rng), "sample_block")
+        return self._run(
+            self._audited_block(
+                lambda: self._inner.sample_block(m, rng), "sample_block"
+            ),
+            "sample_block",
+        )
 
     def sample_many(self, m: int, rng: np.random.Generator) -> list[Sample]:
         return self.sample_block(m, rng).to_samples()

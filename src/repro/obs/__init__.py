@@ -8,8 +8,13 @@ post-hoc.  Three layers:
 * :mod:`repro.obs.metrics` — counters, gauges, and streaming
   histograms (p50/p90/p99 without storing samples);
 * :mod:`repro.obs.trace` — span-based tracing with thread-local
-  nesting and a no-op disabled path, so per-phase attribution costs
-  nothing until it is asked for;
+  nesting, a no-op disabled path, and cross-process trace-context
+  propagation (adopt / serialize / graft), so a sharded batch yields
+  one unified tree;
+* :mod:`repro.obs.events` — the flight recorder: a bounded structured
+  event log for fault/retry/hedge/degradation incidents;
+* :mod:`repro.obs.diff` — the perf-regression sentinel comparing two
+  ``bench-result/v1`` documents;
 * :mod:`repro.obs.export` / :mod:`repro.obs.schema` — machine-readable
   JSON/JSONL documents and their validators.
 
@@ -18,6 +23,8 @@ The process-global instances live in :mod:`repro.obs.runtime`; the
 interactive front ends.
 """
 
+from .diff import BENCH_DIFF_SCHEMA, diff_documents
+from .events import EVENTS_SCHEMA, Event, FlightRecorder, events_document, render_timeline
 from .export import (
     append_jsonl,
     jsonable,
@@ -28,27 +35,49 @@ from .export import (
     write_json,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .runtime import REGISTRY, TRACER, record_oracle_queries, record_samples, span, snapshot
-from .trace import Span, Tracer, phase_counts
+from .runtime import (
+    RECORDER,
+    REGISTRY,
+    TRACER,
+    record_event,
+    record_oracle_queries,
+    record_samples,
+    reset_worker_runtime,
+    snapshot,
+    span,
+)
+from .trace import Span, Tracer, phase_counts, span_from_payload, span_to_payload
 
 # NOTE: repro.obs.schema is intentionally not imported here so that
 # ``python -m repro.obs.schema`` (the CI smoke validator) runs without a
 # double-import warning; import it explicitly where needed.
 
 __all__ = [
+    "BENCH_DIFF_SCHEMA",
     "Counter",
+    "EVENTS_SCHEMA",
+    "Event",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Span",
     "Tracer",
     "phase_counts",
+    "span_from_payload",
+    "span_to_payload",
+    "RECORDER",
     "REGISTRY",
     "TRACER",
     "span",
+    "record_event",
     "record_oracle_queries",
     "record_samples",
+    "reset_worker_runtime",
     "snapshot",
+    "diff_documents",
+    "events_document",
+    "render_timeline",
     "jsonable",
     "write_json",
     "append_jsonl",

@@ -1,0 +1,202 @@
+"""Perf-regression sentinel: compare two ``bench-result/v1`` documents.
+
+Benchmarks are noisy; exact counts are not.  The differ therefore
+splits metrics into three families with different comparison rules:
+
+* **timing metrics** (lower is better — ``wall_clock_s``,
+  ``latency_ms``): a regression needs *both* a relative excursion past
+  ``threshold`` (default 1.75x) *and* an absolute excursion past
+  ``abs_floor_s`` — sub-millisecond rows jitter by multiples without
+  meaning anything.
+* **rate metrics** (higher is better — ``qps``, ``speedup``,
+  ``speedup_vs_per_query``): symmetric rule, candidate below
+  ``baseline / threshold`` regresses.
+* **exact counts** (``queries``, ``samples``, ``blocks``,
+  ``pipelines_run``, ``cache_hits``): the repo's determinism contract
+  says these are *bit-identical* across runs of the same seed, so any
+  mismatch is flagged as ``drift`` — not slower, but a reproducibility
+  break, which is worse.
+
+Rows are matched by ``(mode, n, family)``.  In ``relative_only`` mode
+(fresh quick run vs. a committed document recorded on other hardware)
+absolute timings are meaningless, so only dimensionless relative
+metrics are compared.
+
+The output is a ``bench-diff/v1`` document; ``ok`` is False iff any
+regression or drift was found — ``repro obs-diff`` turns that into its
+exit code, which is what makes this a CI tripwire.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BENCH_DIFF_SCHEMA",
+    "LOWER_IS_BETTER",
+    "HIGHER_IS_BETTER",
+    "EXACT_COUNTS",
+    "RELATIVE_METRICS",
+    "diff_documents",
+]
+
+BENCH_DIFF_SCHEMA = "bench-diff/v1"
+
+#: Timing metrics: candidate bigger is worse.
+LOWER_IS_BETTER = ("wall_clock_s", "latency_ms")
+
+#: Rate metrics: candidate smaller is worse.
+HIGHER_IS_BETTER = ("qps", "speedup", "speedup_vs_per_query")
+
+#: Deterministic counts: any mismatch is a reproducibility drift.
+EXACT_COUNTS = ("queries", "samples", "blocks", "pipelines_run", "cache_hits")
+
+#: Dimensionless metrics still comparable across different hardware.
+RELATIVE_METRICS = ("speedup", "speedup_vs_per_query")
+
+
+def _row_key(row: dict) -> tuple:
+    return (row.get("mode"), row.get("n"), row.get("family"))
+
+
+def _key_label(key: tuple) -> str:
+    mode, n, family = key
+    parts = [str(mode)]
+    if n is not None:
+        parts.append(f"n={n}")
+    if family is not None:
+        parts.append(str(family))
+    return " ".join(parts)
+
+
+def _compare_row(
+    key: tuple,
+    base: dict,
+    cand: dict,
+    *,
+    threshold: float,
+    abs_floor_s: float,
+    relative_only: bool,
+) -> list[dict]:
+    findings: list[dict] = []
+    label = _key_label(key)
+
+    def finding(metric: str, status: str, b, c, note: str) -> dict:
+        return {
+            "row": label,
+            "metric": metric,
+            "status": status,
+            "baseline": b,
+            "candidate": c,
+            "note": note,
+        }
+
+    timing = () if relative_only else LOWER_IS_BETTER
+    rates = RELATIVE_METRICS if relative_only else HIGHER_IS_BETTER
+    counts = () if relative_only else EXACT_COUNTS
+
+    for metric in timing:
+        if metric not in base or metric not in cand:
+            continue
+        b, c = float(base[metric]), float(cand[metric])
+        floor = abs_floor_s * (1000.0 if metric == "latency_ms" else 1.0)
+        if b > 0 and c > b * threshold and (c - b) > floor:
+            findings.append(
+                finding(metric, "regression", b, c, f"{c / b:.2f}x slower")
+            )
+        elif b > 0 and c < b / threshold and (b - c) > floor:
+            findings.append(
+                finding(metric, "improvement", b, c, f"{b / c:.2f}x faster")
+            )
+        else:
+            findings.append(finding(metric, "ok", b, c, ""))
+
+    for metric in rates:
+        if metric not in base or metric not in cand:
+            continue
+        b, c = float(base[metric]), float(cand[metric])
+        if b > 0 and c < b / threshold:
+            findings.append(
+                finding(metric, "regression", b, c, f"{b / c:.2f}x lower")
+            )
+        elif c > 0 and b > 0 and c > b * threshold:
+            findings.append(
+                finding(metric, "improvement", b, c, f"{c / b:.2f}x higher")
+            )
+        else:
+            findings.append(finding(metric, "ok", b, c, ""))
+
+    for metric in counts:
+        if metric not in base or metric not in cand:
+            continue
+        b, c = int(base[metric]), int(cand[metric])
+        if b != c:
+            findings.append(
+                finding(metric, "drift", b, c, "deterministic count changed")
+            )
+        else:
+            findings.append(finding(metric, "ok", b, c, ""))
+
+    return findings
+
+
+def diff_documents(
+    baseline: dict,
+    candidate: dict,
+    *,
+    threshold: float = 1.75,
+    abs_floor_s: float = 0.002,
+    relative_only: bool = False,
+) -> dict:
+    """Compare two ``bench-result/v1`` documents; return ``bench-diff/v1``.
+
+    ``threshold`` is the relative noise allowance (1.75 ⇒ a timing must
+    be >1.75x the baseline to regress); ``abs_floor_s`` additionally
+    requires the excursion to exceed an absolute floor (scaled to ms
+    for ``latency_ms``).  ``relative_only`` restricts the comparison to
+    dimensionless metrics for cross-hardware diffs.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    base_rows = {_row_key(r): r for r in baseline.get("rows", ())}
+    cand_rows = {_row_key(r): r for r in candidate.get("rows", ())}
+
+    findings: list[dict] = []
+    rows_compared = 0
+    rows_missing: list[str] = []
+    for key, base in base_rows.items():
+        cand = cand_rows.get(key)
+        if cand is None:
+            rows_missing.append(_key_label(key))
+            continue
+        rows_compared += 1
+        findings.extend(
+            _compare_row(
+                key,
+                base,
+                cand,
+                threshold=threshold,
+                abs_floor_s=abs_floor_s,
+                relative_only=relative_only,
+            )
+        )
+    for key in cand_rows:
+        if key not in base_rows:
+            rows_missing.append(_key_label(key) + " (candidate only)")
+
+    regressions = sum(1 for f in findings if f["status"] == "regression")
+    improvements = sum(1 for f in findings if f["status"] == "improvement")
+    drifts = sum(1 for f in findings if f["status"] == "drift")
+    return {
+        "schema": BENCH_DIFF_SCHEMA,
+        "baseline": {"name": baseline.get("name", "")},
+        "candidate": {"name": candidate.get("name", "")},
+        "threshold": threshold,
+        "abs_floor_s": abs_floor_s,
+        "relative_only": relative_only,
+        "rows_compared": rows_compared,
+        "rows_missing": sorted(rows_missing),
+        "findings": findings,
+        "regressions": regressions,
+        "improvements": improvements,
+        "drifts": drifts,
+        "ok": regressions == 0 and drifts == 0,
+    }

@@ -98,6 +98,7 @@ def trace_document(root: Span, **context: Any) -> dict:
         keys.update(span.counts)
     return {
         "schema": TRACE_SCHEMA,
+        "trace_id": root.trace_id,
         "root": root.to_dict(),
         "totals": {
             key: {

@@ -218,6 +218,50 @@ class Histogram:
         self._min = math.inf
         self._max = -math.inf
 
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Full lossless internal state (bucket counts, not quantile
+        summaries) — the mergeable form shipped across process
+        boundaries.  Plain dicts/ints/floats, so it pickles and JSONs.
+        """
+        return {
+            "bpd": self._bpd,
+            "buckets": {str(k): v for k, v in self._buckets.items()},
+            "zero": self._zero,
+            "neg": self._neg,
+            "count": self._count,
+            "sum": self._sum,
+            "min": None if math.isinf(self._min) else self._min,
+            "max": None if math.isinf(self._max) else self._max,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Bucket-wise addition is exact for everything the histogram
+        tracks (count, sum, min, max, and every bucket count), so a
+        merged histogram is indistinguishable from one that observed
+        both streams directly.  Requires equal ``buckets_per_decade``.
+        """
+        bpd = int(state["bpd"])
+        if bpd != self._bpd:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge state with "
+                f"buckets_per_decade={bpd} into {self._bpd}"
+            )
+        for key, n in state.get("buckets", {}).items():
+            idx = int(key)
+            self._buckets[idx] = self._buckets.get(idx, 0) + int(n)
+        self._zero += int(state.get("zero", 0))
+        self._neg += int(state.get("neg", 0))
+        self._count += int(state.get("count", 0))
+        self._sum += float(state.get("sum", 0.0))
+        smin, smax = state.get("min"), state.get("max")
+        if smin is not None and float(smin) < self._min:
+            self._min = float(smin)
+        if smax is not None and float(smax) > self._max:
+            self._max = float(smax)
+
 
 class MetricsRegistry:
     """Named home for the process's counters, gauges, and histograms.
@@ -292,3 +336,38 @@ class MetricsRegistry:
         """Reset every metric in place (objects keep their identity)."""
         for metric in self._metrics.values():
             metric.reset()
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Lossless, mergeable registry state (vs. :meth:`snapshot`,
+        which summarizes histograms into quantile estimates)."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.state()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge_state(self, state: dict, *, include_gauges: bool = False) -> None:
+        """Fold another registry's :meth:`state` into this one.
+
+        Counters add and histograms merge bucket-wise — both are totals,
+        so cross-process folding is exact.  Gauges are *levels*, not
+        totals; they are skipped unless ``include_gauges`` forces a
+        last-writer-wins overwrite.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(
+                name, buckets_per_decade=int(hist_state["bpd"])
+            ).merge_state(hist_state)
+        if include_gauges:
+            for name, value in state.get("gauges", {}).items():
+                self.gauge(name).set(float(value))

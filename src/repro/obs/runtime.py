@@ -18,21 +18,26 @@ Two cost tiers, matching the ISSUE's overhead budget:
 
 from __future__ import annotations
 
+from .events import FlightRecorder
 from .metrics import MetricsRegistry
 from .trace import Tracer
 
 __all__ = [
     "REGISTRY",
     "TRACER",
+    "RECORDER",
     "span",
     "record_oracle_queries",
     "record_samples",
     "record_sample_block",
     "record_fault",
+    "record_corruption_detected",
     "record_probe_retries",
     "record_degraded",
     "record_shard_retries",
     "record_hedges",
+    "record_event",
+    "reset_worker_runtime",
     "snapshot",
 ]
 
@@ -41,6 +46,9 @@ REGISTRY = MetricsRegistry()
 
 #: The process-global tracer (disabled by default).
 TRACER = Tracer()
+
+#: The process-global flight recorder (always on; events are rare).
+RECORDER = FlightRecorder()
 
 _ORACLE_QUERIES = REGISTRY.counter("oracle.queries")
 _SAMPLER_SAMPLES = REGISTRY.counter("sampler.samples")
@@ -107,6 +115,16 @@ def record_fault(kind: str, n: int = 1) -> None:
         TRACER.add("faults", n)
 
 
+def record_corruption_detected(n: int = 1) -> None:
+    """``n`` corrupted probe deliveries caught by a plausibility audit.
+
+    Detection is not injection: this counts in
+    ``faults.corruptions_detected`` only, never in ``faults.injected``
+    (the injector already counted the corruption when it fired).
+    """
+    REGISTRY.counter("faults.corruptions_detected").inc(n)
+
+
 def record_probe_retries(n: int) -> None:
     """``n`` budget-charged re-probes performed by a retry policy."""
     _PROBE_RETRIES.inc(n)
@@ -125,6 +143,28 @@ def record_shard_retries(n: int = 1) -> None:
 def record_hedges(n: int = 1) -> None:
     """``n`` hedged duplicate shard submissions fired."""
     _HEDGES.inc(n)
+
+
+def record_event(kind: str, **attrs) -> None:
+    """Append one flight-recorder event, stamped with the active trace
+    context (``(None, None)`` outside any span or with tracing off)."""
+    trace_id, span_id = TRACER.current_ids()
+    RECORDER.record(kind, trace_id=trace_id, span_id=span_id, **attrs)
+
+
+def reset_worker_runtime() -> None:
+    """Reinitialize the global runtime inside a forked worker.
+
+    Fork copies the parent's counter values, open span stack, and
+    recorded events into the child; a shard worker must start from zero
+    or its shipped-home state would double-count the parent's.  Resets
+    the registry *in place* (module-level cached counter objects keep
+    their identity), gives the tracer fresh thread-local state and
+    locks, and clears the recorder.
+    """
+    REGISTRY.reset()
+    TRACER.reset_worker()
+    RECORDER.clear()
 
 
 def snapshot() -> dict:

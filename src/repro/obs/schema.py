@@ -24,6 +24,8 @@ __all__ = [
     "validate_bench_result",
     "validate_bench_observability",
     "validate_chaos_report",
+    "validate_events",
+    "validate_bench_diff",
     "validate",
     "main",
 ]
@@ -65,6 +67,7 @@ def _check_span(node: object, problems: list[str], where: str) -> None:
         problems.append(f"{where} must be an object")
         return
     _require(node, "name", str, problems, where + ".")
+    _require(node, "span_id", str, problems, where + ".")
     _require(node, "duration_s", _NUM, problems, where + ".")
     if _require(node, "counts", dict, problems, where + "."):
         for key, value in node["counts"].items():
@@ -256,12 +259,124 @@ def validate_chaos_report(doc: dict) -> dict:
     return doc
 
 
+def validate_events(doc: dict) -> dict:
+    """Validate an ``events/v1`` flight-recorder document.
+
+    Like ``chaos-report/v1``, an events document must be deterministic:
+    any timing key (``wall_clock``/``timestamp``/``time_s``) is
+    forbidden — ordering is the strictly increasing ``seq`` field.
+    """
+    problems: list[str] = []
+    if doc.get("schema") != "events/v1":
+        problems.append(f"schema must be 'events/v1', got {doc.get('schema')!r}")
+    for banned in ("wall_clock", "timestamp", "time_s"):
+        for key in doc:
+            if banned in key:
+                problems.append(
+                    f"deterministic events document must not carry timing key {key!r}"
+                )
+    if _require(doc, "capacity", int, problems) and doc["capacity"] < 1:
+        problems.append("capacity must be >= 1")
+    if _require(doc, "dropped", int, problems) and doc["dropped"] < 0:
+        problems.append("dropped must be non-negative")
+    count_ok = _require(doc, "count", int, problems)
+    if _require(doc, "events", list, problems):
+        if count_ok and doc["count"] != len(doc["events"]):
+            problems.append(
+                f"count is {doc['count']} but events holds {len(doc['events'])}"
+            )
+        last_seq = 0
+        for i, entry in enumerate(doc["events"]):
+            where = f"events[{i}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            _require(entry, "kind", str, problems, where + ".")
+            if _require(entry, "seq", int, problems, where + "."):
+                if entry["seq"] <= last_seq:
+                    problems.append(
+                        f"{where}.seq is {entry['seq']}, must exceed "
+                        f"the previous seq {last_seq}"
+                    )
+                last_seq = entry["seq"]
+            if _require(entry, "attrs", dict, problems, where + "."):
+                for banned in ("wall_clock", "timestamp", "time_s"):
+                    for key in entry["attrs"]:
+                        if banned in key:
+                            problems.append(
+                                f"{where}.attrs must not carry timing key {key!r}"
+                            )
+            for ctx_key in ("trace_id", "span_id"):
+                if ctx_key in entry and entry[ctx_key] is not None \
+                        and not isinstance(entry[ctx_key], str):
+                    problems.append(f"{where}.{ctx_key} must be a string or null")
+    _require(doc, "context", dict, problems)
+    if problems:
+        raise SchemaError("events/v1", problems)
+    return doc
+
+
+def validate_bench_diff(doc: dict) -> dict:
+    """Validate a ``bench-diff/v1`` document, including its summary
+    arithmetic: the regression/improvement/drift counts must equal the
+    findings they summarize, and ``ok`` must mean exactly "no
+    regressions and no drifts"."""
+    problems: list[str] = []
+    if doc.get("schema") != "bench-diff/v1":
+        problems.append(f"schema must be 'bench-diff/v1', got {doc.get('schema')!r}")
+    _require(doc, "baseline", dict, problems)
+    _require(doc, "candidate", dict, problems)
+    if _require(doc, "threshold", _NUM, problems) and doc["threshold"] <= 1.0:
+        problems.append("threshold must be > 1.0")
+    _require(doc, "abs_floor_s", _NUM, problems)
+    _require(doc, "relative_only", bool, problems)
+    _require(doc, "rows_compared", int, problems)
+    _require(doc, "rows_missing", list, problems)
+    statuses = {"ok": 0, "regression": 0, "improvement": 0, "drift": 0}
+    if _require(doc, "findings", list, problems):
+        for i, entry in enumerate(doc["findings"]):
+            where = f"findings[{i}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            _require(entry, "row", str, problems, where + ".")
+            _require(entry, "metric", str, problems, where + ".")
+            if _require(entry, "status", str, problems, where + "."):
+                if entry["status"] not in statuses:
+                    problems.append(
+                        f"{where}.status must be one of {sorted(statuses)}, "
+                        f"got {entry['status']!r}"
+                    )
+                else:
+                    statuses[entry["status"]] += 1
+    for key, expected in (
+        ("regressions", statuses["regression"]),
+        ("improvements", statuses["improvement"]),
+        ("drifts", statuses["drift"]),
+    ):
+        if _require(doc, key, int, problems) and doc[key] != expected:
+            problems.append(
+                f"{key} is {doc[key]}, but the findings hold {expected}"
+            )
+    if _require(doc, "ok", bool, problems):
+        expected_ok = statuses["regression"] == 0 and statuses["drift"] == 0
+        if doc["ok"] != expected_ok:
+            problems.append(
+                f"ok is {doc['ok']}, but the findings say {expected_ok}"
+            )
+    if problems:
+        raise SchemaError("bench-diff/v1", problems)
+    return doc
+
+
 _VALIDATORS = {
     "trace": validate_trace,
     "chaos": validate_chaos_report,
     "metrics": validate_metrics_snapshot,
     "bench-result": validate_bench_result,
     "bench-observability": validate_bench_observability,
+    "events": validate_events,
+    "bench-diff": validate_bench_diff,
 }
 
 

@@ -15,6 +15,19 @@ shared singleton whose ``__enter__``/``__exit__`` do nothing and
 ``add()`` returns after one attribute check — hot paths pay a few
 nanoseconds, not a tree allocation.  Context is thread-local, so fleet
 and cluster simulations can trace concurrently without cross-talk.
+
+**Trace context crosses execution boundaries.**  Every span carries a
+``trace_id`` plus a hierarchical, deterministic ``span_id`` (the root is
+``"0"``, its k-th child ``"0.k"``, and so on).  A worker — a pool
+thread or a forked subprocess — *adopts* the parent's context via
+:meth:`Tracer.adopt`, so its local root span slots into the parent tree
+at a predetermined id; the finished subtree is serialized with
+:func:`span_to_payload`, shipped home (a payload is plain dict/list
+data, so it pickles across processes), rebuilt with
+:func:`span_from_payload`, and grafted under the parent span with
+:meth:`Tracer.graft`.  Because attribution stays exclusive throughout,
+the phase-partition invariant holds over the *merged* tree exactly as
+it does over a single-process one.
 """
 
 from __future__ import annotations
@@ -23,7 +36,13 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["Span", "Tracer", "phase_counts"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "phase_counts",
+    "span_from_payload",
+    "span_to_payload",
+]
 
 TRACE_SCHEMA = "trace/v1"
 
@@ -31,19 +50,37 @@ TRACE_SCHEMA = "trace/v1"
 class Span:
     """One timed, counted node of a trace tree."""
 
-    __slots__ = ("name", "start", "end", "children", "counts")
+    __slots__ = (
+        "name",
+        "start",
+        "end",
+        "children",
+        "counts",
+        "trace_id",
+        "span_id",
+        "_frozen_duration",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, *, trace_id: str = "", span_id: str = "0"
+    ) -> None:
         self.name = name
         self.start = time.perf_counter()
         self.end: float | None = None
         self.children: list[Span] = []
         self.counts: dict[str, int] = {}
+        self.trace_id = trace_id
+        self.span_id = span_id
+        # Set on deserialized spans, whose start/end perf-counter values
+        # belong to another process and mean nothing here.
+        self._frozen_duration: float | None = None
 
     # ------------------------------------------------------------------
     @property
     def duration(self) -> float:
         """Wall-clock seconds (to now, if the span is still open)."""
+        if self._frozen_duration is not None:
+            return self._frozen_duration
         return (self.end if self.end is not None else time.perf_counter()) - self.start
 
     def own_count(self, key: str) -> int:
@@ -67,6 +104,7 @@ class Span:
         """JSON-ready form of the subtree (schema ``trace/v1`` node)."""
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "duration_s": self.duration,
             "counts": dict(self.counts),
             "children": [c.to_dict() for c in self.children],
@@ -74,6 +112,31 @@ class Span:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Span({self.name!r}, children={len(self.children)}, counts={self.counts})"
+
+
+def span_to_payload(root: Span) -> dict:
+    """Serialize a finished span tree for shipment across a process
+    boundary (plain dicts/lists — picklable and JSON-ready)."""
+    return {"trace_id": root.trace_id, "root": root.to_dict()}
+
+
+def _span_from_node(node: dict, trace_id: str) -> Span:
+    span = Span(
+        str(node["name"]),
+        trace_id=trace_id,
+        span_id=str(node.get("span_id", "0")),
+    )
+    span.end = span.start
+    span._frozen_duration = float(node.get("duration_s", 0.0))
+    span.counts = {str(k): int(v) for k, v in node.get("counts", {}).items()}
+    span.children = [_span_from_node(c, trace_id) for c in node.get("children", ())]
+    return span
+
+
+def span_from_payload(payload: dict) -> Span:
+    """Rebuild a :func:`span_to_payload` tree (durations frozen as
+    recorded in the originating process)."""
+    return _span_from_node(payload["root"], str(payload.get("trace_id", "")))
 
 
 def phase_counts(root: Span, key: str) -> dict[str, int]:
@@ -143,6 +206,7 @@ class Tracer:
         self._enabled = False
         self._lock = threading.Lock()
         self._finished: deque[Span] = deque(maxlen=keep_roots)
+        self._trace_seq = 0
 
     # ------------------------------------------------------------------
     @property
@@ -188,14 +252,47 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
 
+    def current_ids(self) -> tuple[str | None, str | None]:
+        """``(trace_id, span_id)`` of the innermost open span on this
+        thread, or ``(None, None)`` when no span is open."""
+        span = self.current()
+        if span is None:
+            return (None, None)
+        return (span.trace_id, span.span_id)
+
+    def adopt(self, trace_id: str, span_id: str) -> None:
+        """Adopt a remote trace context on this thread (one-shot).
+
+        The *next* root span opened here continues trace ``trace_id``
+        with the predetermined id ``span_id`` instead of starting a
+        fresh trace — how a shard (pool thread or subprocess) slots its
+        subtree into the parent's tree at a known position.
+        """
+        self._local.adopt = (str(trace_id), str(span_id))
+
     # ------------------------------------------------------------------
     def _push(self, name: str) -> Span:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
-        span = Span(name)
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            span = Span(
+                name,
+                trace_id=parent.trace_id,
+                span_id=f"{parent.span_id}.{len(parent.children)}",
+            )
+            parent.children.append(span)
+        else:
+            adopted = getattr(self._local, "adopt", None)
+            if adopted is not None:
+                trace_id, span_id = adopted
+                self._local.adopt = None
+            else:
+                with self._lock:
+                    self._trace_seq += 1
+                    trace_id, span_id = f"t{self._trace_seq}", "0"
+            span = Span(name, trace_id=trace_id, span_id=span_id)
         stack.append(span)
         return span
 
@@ -227,3 +324,34 @@ class Tracer:
         """Drop all finished roots (open spans are unaffected)."""
         with self._lock:
             self._finished.clear()
+
+    # ------------------------------------------------------------------
+    def graft(self, parent: Span, child: Span) -> None:
+        """Attach a finished shard subtree under ``parent``.
+
+        ``child`` is typically a rebuilt :func:`span_from_payload` tree
+        (or a root finished on a pool thread) whose adopted ``span_id``
+        already places it in the parent's id space.  Removes the child
+        from the finished-roots ring if it landed there, so the grafted
+        tree is reported exactly once.
+        """
+        parent.children.append(child)
+        with self._lock:
+            try:
+                self._finished.remove(child)
+            except ValueError:
+                pass
+
+    def reset_worker(self) -> None:
+        """Reinitialize for a forked worker process.
+
+        A fork copies the parent's thread-local span stack, finished
+        ring, and — worst of all — possibly a *held* lock.  Workers call
+        this (via ``reset_worker_runtime``) before doing any traced
+        work, so their spans never alias the parent's.
+        """
+        self._local = threading.local()
+        self._enabled = False
+        self._lock = threading.Lock()
+        self._finished = deque(maxlen=self._finished.maxlen)
+        self._trace_seq = 0

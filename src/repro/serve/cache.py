@@ -123,6 +123,12 @@ class PipelineCache:
         self._capacity = capacity
         self._entries: OrderedDict[CacheKey, PipelineResult] = OrderedDict()
         self._lock = threading.Lock()
+        # Staleness clock: advance_batch() ticks once per served batch;
+        # each entry is stamped with the tick it was last computed or
+        # served warm, so "age" = batches since this pipeline was known
+        # good.  The degradation ladder's cache rung bounds that age.
+        self._tick = 0
+        self._stamps: dict[CacheKey, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -137,6 +143,18 @@ class PipelineCache:
         """Maximum number of cached pipeline results."""
         return self._capacity
 
+    @property
+    def tick(self) -> int:
+        """Current batch tick of the staleness clock."""
+        with self._lock:
+            return self._tick
+
+    def advance_batch(self) -> int:
+        """Advance the staleness clock by one served batch."""
+        with self._lock:
+            self._tick += 1
+            return self._tick
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -150,6 +168,7 @@ class PipelineCache:
             result = self._entries.get(key)
             if result is not None:
                 self._entries.move_to_end(key)
+                self._stamps[key] = self._tick
                 self.hits += 1
                 self._m_hits.inc()
                 return result
@@ -157,18 +176,24 @@ class PipelineCache:
             self._m_misses.inc()
             return None
 
-    def find_config(self, template: CacheKey) -> PipelineResult | None:
-        """Most-recently-used entry matching ``template`` on everything
-        but the nonce.
+    def find_config(
+        self, template: CacheKey, *, max_age: int | None = None
+    ) -> tuple[PipelineResult, int] | None:
+        """Freshest entry matching ``template`` on everything but the
+        nonce, returned with its staleness age in batches.
 
         This is the degradation ladder's first rung (see
         ``docs/robustness.md``): when the honest path cannot run, *any*
         memoized pipeline for the same (instance, seed, params)
         configuration still encodes a valid Theorem 4.1 solution — it
-        just belongs to a different run.  Not a query-path lookup, so it
-        counts neither a hit nor a miss.
+        just belongs to a different run.  ``max_age`` bounds how old that
+        run may be: an entry more than ``max_age`` batch ticks off the
+        warm pipeline is skipped, so a degraded verdict can never be
+        served off an arbitrarily stale cache.  Not a query-path lookup,
+        so it counts neither a hit nor a miss.
         """
         with self._lock:
+            best: tuple[PipelineResult, int] | None = None
             for key in reversed(self._entries):
                 if (
                     key.instance_fingerprint == template.instance_fingerprint
@@ -177,8 +202,12 @@ class PipelineCache:
                     and key.tie_breaking == template.tie_breaking
                     and key.large_item_mode == template.large_item_mode
                 ):
-                    return self._entries[key]
-        return None
+                    age = self._tick - self._stamps.get(key, self._tick)
+                    if max_age is not None and age > max_age:
+                        continue
+                    if best is None or age < best[1]:
+                        best = (self._entries[key], age)
+            return best
 
     def put(self, key: CacheKey, result: PipelineResult) -> None:
         """Insert (or refresh) an entry, evicting the LRU tail if full."""
@@ -189,15 +218,19 @@ class PipelineCache:
             else:
                 self._entries[key] = result
                 while len(self._entries) > self._capacity:
-                    self._entries.popitem(last=False)
+                    evicted, _ = self._entries.popitem(last=False)
+                    self._stamps.pop(evicted, None)
                     self.evictions += 1
                     self._m_evictions.inc()
+                    _obs.record_event("cache.evicted", nonce=evicted.nonce)
+            self._stamps[key] = self._tick
             self._m_size.set(len(self._entries))
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+            self._stamps.clear()
             self._m_size.set(0)
 
     def stats(self) -> dict:

@@ -41,6 +41,7 @@ DEGRADED_REASON_CODES = (
     "budget-exhausted",
     "probe-failure",
     "probe-timeout",
+    "corrupt-probe",
     "retries-exhausted",
     "shard-failure",
     "fault-injected",
@@ -73,6 +74,9 @@ class DegradedAnswer:
     source: str  # "cache" | "greedy" | "trivial"
     detail: str = ""
     degraded: bool = True
+    #: Batches the answering pipeline was off the warm path when the
+    #: cache rung served it (0 = same batch); ``None`` off-cache.
+    staleness: int | None = None
 
     @property
     def reason(self) -> str:
@@ -81,7 +85,7 @@ class DegradedAnswer:
 
     def to_dict(self) -> dict:
         """JSON-ready form (round-trips through :meth:`from_dict`)."""
-        return {
+        doc = {
             "index": self.index,
             "include": self.include,
             "degraded": True,
@@ -89,16 +93,21 @@ class DegradedAnswer:
             "source": self.source,
             "detail": self.detail,
         }
+        if self.staleness is not None:
+            doc["staleness"] = self.staleness
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "DegradedAnswer":
         """Rebuild from :meth:`to_dict` output."""
+        staleness = doc.get("staleness")
         return cls(
             index=int(doc["index"]),
             include=bool(doc["include"]),
             reason_code=str(doc["reason_code"]),
             source=str(doc["source"]),
             detail=str(doc.get("detail", "")),
+            staleness=None if staleness is None else int(staleness),
         )
 
 

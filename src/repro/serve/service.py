@@ -62,11 +62,13 @@ from ..errors import (
     ReproError,
     ShardFailureError,
 )
+from ..faults.audit import ProbeAuditor
 from ..faults.injectors import FaultyOracle, FaultySampler
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryingOracle, RetryingSampler, RetryPolicy
 from ..knapsack.instance import KnapsackInstance
 from ..obs import runtime as _obs
+from ..obs.trace import span_from_payload, span_to_payload
 from .cache import CacheKey, PipelineCache, instance_fingerprint
 from .degraded import DegradedAnswer, GreedyFallback, reason_code_for
 
@@ -90,8 +92,12 @@ def derive_worker_nonce(seed: SeedChain, base_nonce: int, worker: int) -> int:
     return int.from_bytes(node.digest()[:8], "big")
 
 
-def _wrap_access(sampler, oracle, plan, policy, labels: tuple):
-    """Stack the fault injectors and retry decorators over raw access."""
+def _wrap_access(sampler, oracle, plan, policy, labels: tuple, audit=None):
+    """Stack the fault injectors and retry decorators over raw access.
+
+    ``audit`` (a :class:`~repro.faults.ProbeAuditor`) rides inside the
+    retry wrappers so an implausible delivery retries like a lost one.
+    """
     timeout = policy.probe_timeout_s if policy is not None else None
     if plan is not None:
         sampler = FaultySampler(
@@ -101,8 +107,8 @@ def _wrap_access(sampler, oracle, plan, policy, labels: tuple):
             oracle, plan.stream(*labels, "oracle"), timeout_s=timeout
         )
     if policy is not None:
-        sampler = RetryingSampler(sampler, policy)
-        oracle = RetryingOracle(oracle, policy)
+        sampler = RetryingSampler(sampler, policy, audit=audit)
+        oracle = RetryingOracle(oracle, policy, audit=audit)
     return sampler, oracle
 
 
@@ -113,7 +119,16 @@ def _serve_chunk(payload) -> tuple:
     shares no state with the parent — the strongest possible form of the
     fleet's independence claim), applies the shard's fault/retry wiring,
     and returns the slim answers plus the shard's full bill:
-    ``(answers, samples, queries, blocks, degraded, probe_retries)``.
+    ``(answers, samples, queries, blocks, degraded, probe_retries, obs)``
+    where ``obs`` carries the worker's full observability state — its
+    registry (mergeable histogram buckets, not quantile summaries), its
+    finished ``serve.shard`` span tree (when the parent propagated a
+    trace context), and its flight-recorder events — so the parent can
+    fold the shard's telemetry in exactly, not just its cost totals.
+
+    The worker resets the global runtime first: under ``fork`` the child
+    inherits the parent's counter values, open span stack, and recorded
+    events, all of which would double-count if shipped home.
 
     Under a plan with ``shard_kill_rate`` the child may deterministically
     kill itself *before* doing any work (``os._exit`` => the parent sees
@@ -122,14 +137,19 @@ def _serve_chunk(payload) -> tuple:
     """
     (
         instance, epsilon, seed, params, tie_breaking, mode, nonce, indices,
-        plan, policy, attempt, strict,
+        plan, policy, attempt, strict, trace_ctx, audit_bounds,
     ) = payload
     if plan is not None and plan.shard_kill(nonce, attempt):
         os._exit(17)
+    _obs.reset_worker_runtime()
+    if trace_ctx is not None:
+        _obs.TRACER.enable()
+        _obs.TRACER.adopt(*trace_ctx)
+    audit = ProbeAuditor(*audit_bounds) if audit_bounds is not None else None
     sampler = WeightedSampler(instance)
     oracle = QueryOracle(instance)
     sampler, oracle = _wrap_access(
-        sampler, oracle, plan, policy, ("shard", nonce, attempt)
+        sampler, oracle, plan, policy, ("shard", nonce, attempt), audit=audit
     )
     lca = LCAKP(
         sampler,
@@ -141,24 +161,38 @@ def _serve_chunk(payload) -> tuple:
         large_item_mode=mode,
     )
     degraded = 0
-    try:
-        pipeline = lca.run_pipeline(nonce=nonce)
-        answers = lca.answers_from(pipeline, indices)
-    except _DEGRADABLE as exc:
-        if strict:
-            raise
-        # The child has no pipeline cache; its ladder starts at greedy.
-        fallback = GreedyFallback(instance)
-        code = reason_code_for(exc)
-        answers = [
-            DegradedAnswer(
-                index=int(i), include=inc, reason_code=code,
-                source=fallback.source, detail=str(exc),
+    with _obs.span("serve.shard"):
+        try:
+            pipeline = lca.run_pipeline(nonce=nonce)
+            answers = lca.answers_from(pipeline, indices)
+        except _DEGRADABLE as exc:
+            if strict:
+                raise
+            # The child has no pipeline cache; its ladder starts at greedy.
+            fallback = GreedyFallback(instance)
+            code = reason_code_for(exc)
+            _obs.record_event(
+                "serve.degraded",
+                queries=len(indices),
+                reason=code,
+                source=fallback.source,
             )
-            for i, inc in zip(indices, fallback.decide_many(indices))
-        ]
-        degraded = len(answers)
+            answers = [
+                DegradedAnswer(
+                    index=int(i), include=inc, reason_code=code,
+                    source=fallback.source, detail=str(exc),
+                )
+                for i, inc in zip(indices, fallback.decide_many(indices))
+            ]
+            degraded = len(answers)
     retries = getattr(sampler, "retries_used", 0) + getattr(oracle, "retries_used", 0)
+    root = _obs.TRACER.last_root() if trace_ctx is not None else None
+    obs_state = {
+        "registry": _obs.REGISTRY.state(),
+        "trace": span_to_payload(root) if root is not None else None,
+        "events": [e.to_dict() for e in _obs.RECORDER.events()],
+        "dropped_events": _obs.RECORDER.dropped,
+    }
     return (
         answers,
         sampler.cost_counter,
@@ -166,6 +200,7 @@ def _serve_chunk(payload) -> tuple:
         getattr(sampler, "blocks_used", 0),
         degraded,
         retries,
+        obs_state,
     )
 
 
@@ -212,10 +247,12 @@ class BatchReport:
     """Outcome and bill of one served batch.
 
     ``degraded`` counts answers served off the degradation ladder
-    (always 0 under ``strict=True``); ``shard_retries``/``hedges`` count
-    process-pool shard requeues after worker death and hedged duplicate
-    submissions; ``probe_retries`` counts budget-charged re-probes the
-    retry policy performed on the batch's behalf.
+    (always 0 under ``strict=True``); ``stale_served`` counts the subset
+    of those the cache rung answered off a pipeline at least one batch
+    stale; ``shard_retries``/``hedges`` count process-pool shard
+    requeues after worker death and hedged duplicate submissions;
+    ``probe_retries`` counts budget-charged re-probes the retry policy
+    performed on the batch's behalf.
     """
 
     answers: tuple[LCAAnswer, ...]
@@ -231,6 +268,7 @@ class BatchReport:
     probe_retries: int = 0
     shard_retries: int = 0
     hedges: int = 0
+    stale_served: int = 0
 
     @property
     def queries_per_sec(self) -> float:
@@ -264,6 +302,7 @@ class BatchReport:
             "probe_retries": self.probe_retries,
             "shard_retries": self.shard_retries,
             "hedges": self.hedges,
+            "stale_served": self.stale_served,
         }
 
 
@@ -311,6 +350,19 @@ class KnapsackService:
         When true, each process-pool shard is also submitted to a second
         pool; first result wins with a deterministic tie-break (primary
         preferred).
+    max_staleness:
+        Bound (in served batches) on how stale a memoized pipeline the
+        degradation ladder's cache rung may answer from; ``None``
+        (default) keeps the historical any-age behavior.  An entry older
+        than this falls through to the greedy rung.
+    probe_audit:
+        When true, every delivered probe response passes a
+        :class:`~repro.faults.ProbeAuditor` plausibility check (bounds
+        taken from the parameters' efficiency domain); an implausible
+        delivery raises a retryable
+        :class:`~repro.errors.CorruptProbeError` instead of being
+        trusted.  Requires ``retry_policy`` — detection without recovery
+        would just turn corruption into an outage.
     """
 
     def __init__(
@@ -331,11 +383,20 @@ class KnapsackService:
         strict: bool = True,
         max_shard_retries: int = 2,
         hedge: bool = False,
+        max_staleness: int | None = None,
+        probe_audit: bool = False,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ReproError(f"executor must be 'thread' or 'process', got {executor!r}")
         if max_shard_retries < 0:
             raise ReproError(f"max_shard_retries must be >= 0, got {max_shard_retries}")
+        if max_staleness is not None and max_staleness < 0:
+            raise ReproError(f"max_staleness must be >= 0, got {max_staleness}")
+        if probe_audit and retry_policy is None:
+            raise ReproError(
+                "probe_audit requires a retry_policy: a detected corruption "
+                "is recovered by re-probing, not by raising"
+            )
         self._instance = instance
         self._epsilon = float(epsilon)
         self._seed = seed if isinstance(seed, SeedChain) else SeedChain(seed)
@@ -348,12 +409,22 @@ class KnapsackService:
         self._strict = bool(strict)
         self._max_shard_retries = int(max_shard_retries)
         self._hedge = bool(hedge)
+        self._max_staleness = None if max_staleness is None else int(max_staleness)
+        if probe_audit:
+            dom = params.domain if params is not None else None
+            self._audit_bounds: tuple[float, float] | None = (
+                (float(dom.lo), float(dom.hi)) if dom is not None else (1e-12, 1e12)
+            )
+            self._audit: ProbeAuditor | None = ProbeAuditor(*self._audit_bounds)
+        else:
+            self._audit_bounds = None
+            self._audit = None
         sampler = WeightedSampler(instance)
         oracle = QueryOracle(instance)
         self._faulty_sampler: FaultySampler | None = None
         self._faulty_oracle: FaultyOracle | None = None
         sampler, oracle = _wrap_access(
-            sampler, oracle, fault_plan, retry_policy, ("serve",)
+            sampler, oracle, fault_plan, retry_policy, ("serve",), audit=self._audit
         )
         if fault_plan is not None:
             self._faulty_sampler = (
@@ -434,6 +505,16 @@ class KnapsackService:
         return self._strict
 
     @property
+    def audit(self) -> ProbeAuditor | None:
+        """The probe auditor (``None`` unless ``probe_audit=True``)."""
+        return self._audit
+
+    @property
+    def max_staleness(self) -> int | None:
+        """Staleness bound on the degradation ladder's cache rung."""
+        return self._max_staleness
+
+    @property
     def samples_used(self) -> int:
         """Weighted samples spent by this service, including shards."""
         return self._sampler.cost_counter + self._extra_samples
@@ -485,6 +566,8 @@ class KnapsackService:
             out["probe_failures"] += injector.probe_failures
             out["timeouts"] += injector.timeouts
             out["corruptions"] += injector.corruptions
+        if self._audit is not None:
+            out["corruptions_detected"] = self._audit.violations
         return out
 
     # ------------------------------------------------------------------
@@ -545,20 +628,23 @@ class KnapsackService:
     def _degrade(self, idx: list[int], exc: BaseException) -> list[DegradedAnswer]:
         """Serve ``idx`` off the degradation ladder (pure: no counters).
 
-        Rung 1 — any memoized pipeline for this exact configuration
-        (same fingerprint/seed/params, any nonce) still encodes a valid
-        solution; apply its rule.  Rung 2 — the once-computed greedy
-        fallback mask.  Rung 3 (implicit instances) — the trivial empty
-        solution.
+        Rung 1 — a memoized pipeline for this exact configuration (same
+        fingerprint/seed/params, any nonce) still encodes a valid
+        solution; apply its rule, but only if it is at most
+        ``max_staleness`` batches off the warm path (the answer carries
+        its staleness age).  Rung 2 — the once-computed greedy fallback
+        mask.  Rung 3 (implicit instances) — the trivial empty solution.
         """
         code = reason_code_for(exc)
         detail = str(exc)
-        pipeline = (
-            self._cache.find_config(self.cache_key(0))
+        found = (
+            self._cache.find_config(self.cache_key(0), max_age=self._max_staleness)
             if self._cache is not None
             else None
         )
-        if pipeline is not None:
+        staleness: int | None = None
+        if found is not None:
+            pipeline, staleness = found
             profits, weights = self._raw_attributes(idx)
             include = pipeline.rule.decide_many(
                 profits, weights, np.asarray(idx, dtype=np.int64)
@@ -570,10 +656,17 @@ class KnapsackService:
                 self._fallback = GreedyFallback(self._instance)
             verdicts = self._fallback.decide_many(idx)
             source = self._fallback.source
+        _obs.record_event(
+            "serve.degraded",
+            queries=len(idx),
+            reason=code,
+            source=source,
+            **({} if staleness is None else {"staleness": staleness}),
+        )
         return [
             DegradedAnswer(
                 index=int(i), include=inc, reason_code=code,
-                source=source, detail=detail,
+                source=source, detail=detail, staleness=staleness,
             )
             for i, inc in zip(idx, verdicts)
         ]
@@ -633,6 +726,8 @@ class KnapsackService:
             raise ReproError("answer_batch needs at least one index")
         resolved_strict = self._resolve_strict(strict)
         w = 1 if workers is None else int(workers)
+        if self._cache is not None:
+            self._cache.advance_batch()
         start = time.perf_counter()
         with _obs.span("serve.batch"):
             if w <= 1 or len(idx) < 2:
@@ -645,6 +740,15 @@ class KnapsackService:
         self._batch_size.observe(len(idx))
         self._batch_latency.observe(report.wall_clock_s)
         return report
+
+    @staticmethod
+    def _count_stale(answers) -> int:
+        """Answers the cache rung served at least one batch stale."""
+        return sum(
+            1
+            for a in answers
+            if getattr(a, "staleness", None) not in (None, 0)
+        )
 
     def _batch_serial(
         self, idx: list[int], nonce: int | None, start: float, strict: bool
@@ -675,6 +779,7 @@ class KnapsackService:
             wall_clock_s=time.perf_counter() - start,
             degraded=degraded,
             probe_retries=self.retries_used - retries_before,
+            stale_served=self._count_stale(answers),
         )
 
     def _batch_parallel(
@@ -712,15 +817,23 @@ class KnapsackService:
             probe_retries=agg.probe_retries,
             shard_retries=agg.shard_retries,
             hedges=agg.hedges,
+            stale_served=self._count_stale(ordered),
         )
 
     def _run_threads(self, shards, nonces, w, strict) -> _ShardTotals:
-        def serve_shard(shard, shard_nonce):
+        # The batch span's identity, captured once on the calling thread;
+        # each shard adopts a slot-keyed child id so its pool-thread-local
+        # subtree slots deterministically into the parent tree.
+        parent_trace, parent_span = _obs.TRACER.current_ids()
+
+        def serve_shard(shard, shard_nonce, slot):
+            if parent_trace is not None:
+                _obs.TRACER.adopt(parent_trace, f"{parent_span}.s{slot}")
             sampler = WeightedSampler(self._instance)
             oracle = QueryOracle(self._instance)
             sampler, oracle = _wrap_access(
                 sampler, oracle, self._fault_plan, self._retry_policy,
-                ("shard", shard_nonce, 0),
+                ("shard", shard_nonce, 0), audit=self._audit,
             )
             lca = LCAKP(
                 sampler,
@@ -733,14 +846,16 @@ class KnapsackService:
             )
             degraded = 0
             hit = False
-            try:
-                pipeline, hit = self.pipeline_for(shard_nonce, lca=lca)
-                answers = lca.answers_from(pipeline, shard)
-            except _DEGRADABLE as exc:
-                if strict:
-                    raise
-                answers = self._degrade(shard, exc)
-                degraded = len(shard)
+            shard_span = None
+            with _obs.span("serve.shard") as shard_span:
+                try:
+                    pipeline, hit = self.pipeline_for(shard_nonce, lca=lca)
+                    answers = lca.answers_from(pipeline, shard)
+                except _DEGRADABLE as exc:
+                    if strict:
+                        raise
+                    answers = self._degrade(shard, exc)
+                    degraded = len(shard)
             retries = getattr(sampler, "retries_used", 0)
             retries += getattr(oracle, "retries_used", 0)
             return (
@@ -751,10 +866,16 @@ class KnapsackService:
                 hit,
                 degraded,
                 retries,
+                shard_span,
             )
 
         with ThreadPoolExecutor(max_workers=w) as pool:
-            results = list(pool.map(serve_shard, shards, nonces))
+            results = list(pool.map(serve_shard, shards, nonces, range(w)))
+        parent = _obs.TRACER.current()
+        if parent is not None:
+            for r in results:  # slot order => deterministic child order
+                if r[7] is not None:
+                    _obs.TRACER.graft(parent, r[7])
         hits = sum(1 for r in results if r[4])
         degraded = sum(r[5] for r in results)
         return _ShardTotals(
@@ -769,7 +890,12 @@ class KnapsackService:
             probe_retries=sum(r[6] for r in results),
         )
 
-    def _chunk_payload(self, shard, shard_nonce, attempt, strict):
+    def _chunk_payload(self, shard, shard_nonce, attempt, strict, slot):
+        # Trace context crosses the process boundary as plain ids: the
+        # child adopts (trace_id, "<batch-span>.s<slot>") so its subtree
+        # slots into the parent tree at a deterministic position.
+        trace_id, span_id = _obs.TRACER.current_ids()
+        trace_ctx = None if trace_id is None else (trace_id, f"{span_id}.s{slot}")
         return (
             self._instance,
             self._epsilon,
@@ -783,7 +909,31 @@ class KnapsackService:
             self._retry_policy,
             attempt,
             strict,
+            trace_ctx,
+            self._audit_bounds,
         )
+
+    def _merge_worker_obs(self, obs: dict | None) -> None:
+        """Fold one winning shard's shipped observability state into the
+        parent runtime: registry (exact bucket-wise histogram merge),
+        trace subtree (grafted under the current batch span), and flight
+        events (re-stamped into the parent's total order).  Losing
+        hedge/requeue attempts are never merged, matching how their cost
+        bills are discarded.
+        """
+        if not obs:
+            return
+        registry = obs.get("registry")
+        if registry:
+            _obs.REGISTRY.merge_state(registry)
+        trace = obs.get("trace")
+        if trace is not None:
+            parent = _obs.TRACER.current()
+            if parent is not None:
+                _obs.TRACER.graft(parent, span_from_payload(trace))
+        events = obs.get("events")
+        if events:
+            _obs.RECORDER.ingest(events)
 
     def _run_process(self, shards, nonces, w, strict) -> _ShardTotals:
         """Submit shards to a process pool with requeue-on-death.
@@ -814,13 +964,14 @@ class KnapsackService:
                     subs = []
                     for pool in pools:
                         payload = self._chunk_payload(
-                            shards[k], nonces[k], submissions[k], strict
+                            shards[k], nonces[k], submissions[k], strict, k
                         )
                         subs.append(pool.submit(_serve_chunk, payload))
                         submissions[k] += 1
                     if len(subs) > 1:
                         hedges += 1
                         _obs.record_hedges(1)
+                        _obs.record_event("shard.hedge", shard=k, nonce=nonces[k])
                     futures[k] = subs
                 for k in todo:
                     res, err = _first_result(futures[k])
@@ -839,11 +990,23 @@ class KnapsackService:
                         raise ShardFailureError(
                             k, submissions[k], last_error[k]
                         ) from last_error[k]
+                    _obs.record_event(
+                        "shard.failed",
+                        shard=k,
+                        nonce=nonces[k],
+                        attempts=submissions[k],
+                    )
                     results[k] = None
                 else:
                     requeues[k] += 1
                     shard_retries += 1
                     _obs.record_shard_retries(1)
+                    _obs.record_event(
+                        "shard.requeue",
+                        shard=k,
+                        nonce=nonces[k],
+                        attempt=requeues[k],
+                    )
                     todo.append(k)
         answers: list = []
         samples = queries = blocks = degraded = retries = runs = 0
@@ -861,6 +1024,7 @@ class KnapsackService:
             blocks += res[3]
             degraded += res[4]
             retries += res[5]
+            self._merge_worker_obs(res[6] if len(res) > 6 else None)
             runs += 1
         # Child processes cannot see the parent cache: all misses.
         return _ShardTotals(

@@ -1,0 +1,180 @@
+"""Tests for cross-process trace-context propagation and merging.
+
+The tentpole contract: a worker adopts the parent's (trace_id, span_id)
+context, its finished subtree ships home as a plain-dict payload, and
+grafting it under the parent span yields ONE tree on which the
+phase-partition invariant holds exactly as in a single process.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    phase_counts,
+    span_from_payload,
+    span_to_payload,
+)
+
+PHASES = ("eps.estimate", "sample.large", "oracle.reveal", "simplify.build")
+
+
+def make_span(name, span_id="0", trace_id="t1", counts=None, children=()):
+    span = Span(name, trace_id=trace_id, span_id=span_id)
+    span.counts = dict(counts or {})
+    span.children = list(children)
+    span.end = span.start
+    return span
+
+
+class TestPayloadRoundTrip:
+    def test_counts_ids_and_structure_survive(self):
+        child = make_span("eps.estimate", span_id="0.0", counts={"samples": 7})
+        root = make_span(
+            "serve.shard", counts={"queries": 2}, children=[child], span_id="0.s1"
+        )
+        rebuilt = span_from_payload(span_to_payload(root))
+        assert rebuilt.name == "serve.shard"
+        assert rebuilt.trace_id == "t1"
+        assert rebuilt.span_id == "0.s1"
+        assert rebuilt.own_count("queries") == 2
+        (c,) = rebuilt.children
+        assert (c.name, c.span_id, c.own_count("samples")) == (
+            "eps.estimate",
+            "0.0",
+            7,
+        )
+
+    def test_durations_are_frozen_not_recomputed(self):
+        root = make_span("serve.shard")
+        payload = span_to_payload(root)
+        payload["root"]["duration_s"] = 1.25
+        rebuilt = span_from_payload(payload)
+        assert rebuilt.duration == 1.25  # not a live perf_counter delta
+
+    def test_payload_is_plain_data(self):
+        import json
+
+        root = make_span("serve.shard", children=[make_span("x", span_id="0.0")])
+        json.dumps(span_to_payload(root))  # picklable AND json-able
+
+
+class TestAdoptAndGraft:
+    def test_adopted_root_slots_into_parent_ids(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with tracer.span("serve.batch") as parent:
+                trace_id, span_id = tracer.current_ids()
+        finally:
+            tracer.disable()
+        worker = Tracer()
+        worker.enable()
+        try:
+            worker.adopt(trace_id, f"{span_id}.s3")
+            with worker.span("serve.shard") as shard:
+                with worker.span("eps.estimate"):
+                    pass
+        finally:
+            worker.disable()
+        assert shard.trace_id == parent.trace_id
+        assert shard.span_id == f"{parent.span_id}.s3"
+        assert shard.children[0].span_id == f"{parent.span_id}.s3.0"
+
+    def test_adopt_is_one_shot(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            tracer.adopt("tX", "0.s0")
+            with tracer.span("a") as first:
+                pass
+            with tracer.span("b") as second:
+                pass
+        finally:
+            tracer.disable()
+        assert first.trace_id == "tX"
+        assert second.trace_id != "tX"  # fresh trace, not the adopted one
+
+    def test_graft_builds_one_tree_and_partition_holds(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with tracer.span("serve.batch") as parent:
+                tracer.add("queries", 1)
+        finally:
+            tracer.disable()
+        shard = make_span(
+            "serve.shard",
+            trace_id=parent.trace_id,
+            span_id=f"{parent.span_id}.s0",
+            counts={},
+            children=[
+                make_span("eps.estimate", span_id="0.s0.0", counts={"samples": 5}),
+                make_span("oracle.reveal", span_id="0.s0.1", counts={"queries": 3}),
+            ],
+        )
+        rebuilt = span_from_payload(span_to_payload(shard))
+        tracer.graft(parent, rebuilt)
+        assert rebuilt in parent.children
+        assert phase_counts(parent, "queries") == {
+            "serve.batch": 1,
+            "oracle.reveal": 3,
+        }
+        assert phase_counts(parent, "samples") == {"eps.estimate": 5}
+        assert parent.total_count("queries") == 4
+
+    def test_grafted_subtree_not_double_reported(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with tracer.span("parent") as parent:
+                pass
+            with tracer.span("orphan") as orphan:
+                pass
+        finally:
+            pass
+        assert orphan in tracer.finished_roots()
+        tracer.graft(parent, orphan)
+        assert orphan not in tracer.finished_roots()
+        tracer.disable()
+
+
+# Strategy: random span forests with counts, to check the partition
+# property structurally rather than on one hand-built example.
+@st.composite
+def span_trees(draw, depth=0):
+    name = draw(st.sampled_from(PHASES))
+    counts = {
+        "queries": draw(st.integers(min_value=0, max_value=50)),
+        "samples": draw(st.integers(min_value=0, max_value=50)),
+    }
+    children = []
+    if depth < 3:
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            children.append(draw(span_trees(depth=depth + 1)))
+    return make_span(name, counts=counts, children=children)
+
+
+class TestPartitionProperty:
+    @given(tree=span_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_phase_counts_partition_total(self, tree):
+        for key in ("queries", "samples"):
+            assert sum(phase_counts(tree, key).values()) == tree.total_count(key)
+
+    @given(tree=span_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_survives_payload_round_trip(self, tree):
+        rebuilt = span_from_payload(span_to_payload(tree))
+        for key in ("queries", "samples"):
+            assert phase_counts(rebuilt, key) == phase_counts(tree, key)
+
+    @given(trees=st.lists(span_trees(), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_survives_grafting_shards(self, trees):
+        parent = make_span("serve.batch", counts={"queries": 1})
+        expected_q = 1 + sum(t.total_count("queries") for t in trees)
+        for t in trees:
+            parent.children.append(span_from_payload(span_to_payload(t)))
+        assert sum(phase_counts(parent, "queries").values()) == expected_q

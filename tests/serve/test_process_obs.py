@@ -1,0 +1,109 @@
+"""Cross-process observability: process-sharded batches must report the
+same telemetry as thread-sharded ones.
+
+Before trace-context propagation, a process-pool batch's spans and
+registry increments died with the worker processes, so ``repro metrics``
+and ``repro trace`` under-reported sharded runs.  These tests pin the
+fix: identical seeds => identical counters, and ONE merged trace whose
+per-phase totals match the thread run bit-for-bit.
+"""
+
+import pytest
+
+from repro.obs import runtime as rt
+from repro.obs.trace import phase_counts
+from repro.serve import KnapsackService
+
+INDICES = list(range(0, 60, 3))
+NONCE = 31
+
+
+def run_traced(instance, params, executor):
+    """One sharded batch under a fresh tracer/registry/recorder."""
+    rt.REGISTRY.reset()
+    rt.TRACER.reset_worker()
+    rt.RECORDER.clear()
+    svc = KnapsackService(
+        instance, 0.1, seed=42, params=params, cache=False, executor=executor
+    )
+    rt.TRACER.enable()
+    try:
+        with rt.span("repro.trace") as root:
+            report = svc.answer_batch(INDICES, nonce=NONCE, workers=2)
+    finally:
+        rt.TRACER.disable()
+    counters = dict(rt.REGISTRY.state()["counters"])
+    return svc, report, root, counters
+
+
+@pytest.mark.slow
+class TestProcessObsParity:
+    def test_registry_counters_match_thread_run(self, tiers_instance, fast_params):
+        *_, thread_counters = run_traced(tiers_instance, fast_params, "thread")
+        *_, process_counters = run_traced(tiers_instance, fast_params, "process")
+        assert process_counters == thread_counters
+        # The under-report bug: these were 0 for process runs.
+        assert process_counters["sampler.samples"] > 0
+        assert process_counters["oracle.queries"] > 0
+
+    def test_unified_trace_partition_invariant(self, tiers_instance, fast_params):
+        svc, _, root, _ = run_traced(tiers_instance, fast_params, "process")
+        assert sum(phase_counts(root, "queries").values()) == svc.queries_used
+        assert sum(phase_counts(root, "samples").values()) == svc.samples_used
+        assert sum(phase_counts(root, "sample_blocks").values()) == svc.blocks_used
+
+    def test_per_phase_totals_match_thread_run_bit_for_bit(
+        self, tiers_instance, fast_params
+    ):
+        *_, root_t, _ = [*run_traced(tiers_instance, fast_params, "thread")]
+        *_, root_p, _ = [*run_traced(tiers_instance, fast_params, "process")]
+        for key in ("queries", "samples", "sample_blocks"):
+            assert phase_counts(root_p, key) == phase_counts(root_t, key)
+
+    def test_merged_tree_has_one_trace_and_unique_span_ids(
+        self, tiers_instance, fast_params
+    ):
+        _, _, root, _ = run_traced(tiers_instance, fast_params, "process")
+        spans = [s for s, _ in root.walk()]
+        assert {s.trace_id for s in spans} == {root.trace_id}
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids))
+        # Shard roots slot in under namespaced ids, e.g. "0.0.s1".
+        assert any(".s" in s.span_id for s in spans)
+
+    def test_worker_events_ship_home(self, tiers_instance, fast_params):
+        from repro.faults import FaultPlan, RetryPolicy
+
+        rt.REGISTRY.reset()
+        rt.TRACER.reset_worker()
+        rt.RECORDER.clear()
+        svc = KnapsackService(
+            tiers_instance,
+            0.1,
+            seed=42,
+            params=fast_params,
+            cache=False,
+            executor="process",
+            fault_plan=FaultPlan(seed=5, probe_failure_rate=0.3),
+            retry_policy=RetryPolicy(max_retries=4, seed=5),
+            strict=False,
+        )
+        svc.answer_batch(INDICES, nonce=NONCE, workers=2)
+        kinds = {e.kind for e in rt.RECORDER.events()}
+        # Faults fired inside worker processes appear in the parent log.
+        assert "fault.probe_failure" in kinds
+
+    def test_tracer_disabled_process_run_still_answers(
+        self, tiers_instance, fast_params
+    ):
+        rt.REGISTRY.reset()
+        rt.TRACER.reset_worker()
+        rt.RECORDER.clear()
+        svc = KnapsackService(
+            tiers_instance, 0.1, seed=42, params=fast_params,
+            cache=False, executor="process",
+        )
+        report = svc.answer_batch(INDICES, nonce=NONCE, workers=2)
+        assert len(report.answers) == len(INDICES)
+        # Counters still merge even without a trace context.
+        assert rt.REGISTRY.state()["counters"]["sampler.samples"] > 0
