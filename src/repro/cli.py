@@ -9,9 +9,13 @@ Subcommands
 ``metrics``     run a small workload, dump the metrics registry as JSON;
 ``flightrec``   replay a seeded faulty workload, print the flight-recorder
                 timeline, write a deterministic events/v1 document;
-``obs-diff``    compare two bench-result/v1 documents (or a fresh quick
-                run against a committed one) and flag perf regressions;
+``obs-diff``    compare two bench documents (or a fresh quick run,
+                reconstructed from the baseline's own ``context`` block,
+                against a committed one) and flag perf regressions;
 ``serve``       serve a query batch through the KnapsackService engine;
+``loadgen``     drive the service with seeded open-loop load across an
+                offered-rate sweep, report tail latency and the
+                saturation knee, write a bench-load/v1 document;
 ``bench``       measure serving throughput, write BENCH_serve.json;
 ``bench-cold``  measure cold-pipeline latency (columnar vs object path),
                 write BENCH_cold.json; ``--sweep`` adds an n-axis sweep;
@@ -175,6 +179,81 @@ def _build_parser() -> argparse.ArgumentParser:
         "--nonce", type=int, default=None, help="pin the fresh-randomness nonce (enables cache hits)"
     )
 
+    p_load = sub.add_parser(
+        "loadgen",
+        help="open-loop load sweep over the service: tail latency, "
+        "availability, saturation knee; writes bench-load/v1",
+    )
+    p_load.add_argument("--family", default="uniform", choices=sorted(FAMILIES))
+    p_load.add_argument("--n", type=int, default=2000)
+    p_load.add_argument("--seed", type=int, default=0, help="instance seed")
+    p_load.add_argument("--epsilon", type=float, default=0.1)
+    p_load.add_argument("--lca-seed", type=int, default=42, help="the shared random string r")
+    p_load.add_argument(
+        "--rates", default="50,100,200,400,800",
+        help="comma-separated offered rates (queries/sec) to sweep",
+    )
+    p_load.add_argument(
+        "--queries", type=int, default=200, help="arrivals offered per rate"
+    )
+    p_load.add_argument("--workers", type=int, default=2, help="dispatch slots")
+    p_load.add_argument(
+        "--queue-cap", type=int, default=256,
+        help="bounded-queue depth (arrivals finding it full are shed)",
+    )
+    p_load.add_argument(
+        "--batch-max", type=int, default=16,
+        help="largest microbatch one worker pulls per dispatch",
+    )
+    p_load.add_argument(
+        "--arrival", default="poisson", choices=("poisson", "uniform", "constant"),
+        help="interarrival law",
+    )
+    p_load.add_argument(
+        "--clock", default="virtual", choices=("wall", "virtual"),
+        help="wall = honest asyncio measurement; virtual = deterministic "
+        "discrete-event simulation (byte-identical documents)",
+    )
+    p_load.add_argument(
+        "--nonce", type=int, default=0,
+        help="arrival-schedule nonce (distinguishes replays of one config)",
+    )
+    p_load.add_argument(
+        "--base-s", type=float, default=0.002,
+        help="virtual clock: per-batch fixed service time",
+    )
+    p_load.add_argument(
+        "--per-query-s", type=float, default=0.0005,
+        help="virtual clock: per-query service time",
+    )
+    p_load.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="virtual clock: seeded multiplicative service-time jitter in [0,1)",
+    )
+    p_load.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="wall clock only: probe-failure rate injected under the run",
+    )
+    p_load.add_argument(
+        "--retries", type=int, default=0,
+        help="retry budget per probe when --fault-rate is set",
+    )
+    p_load.add_argument(
+        "--cap", type=int, default=4_000,
+        help="cap m_large / n_rq for speed (0 keeps the full calibrated sizes)",
+    )
+    p_load.add_argument(
+        "--out", metavar="PATH", default="BENCH_load.json",
+        help="where to write the bench-load/v1 document",
+    )
+    p_load.add_argument(
+        "--listen", action="store_true",
+        help="instead of sweeping, expose the service as a newline-"
+        "delimited-JSON endpoint (see repro.load.endpoint)",
+    )
+    p_load.add_argument("--host", default="127.0.0.1", help="bind address for --listen")
+    p_load.add_argument("--port", type=int, default=0, help="bind port for --listen (0 = ephemeral)")
+
     p_bench = sub.add_parser(
         "bench", help="measure serving throughput and write BENCH_serve.json"
     )
@@ -285,6 +364,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", default=None,
         help="write the events/v1 document here (sorted keys: deterministic bytes)",
     )
+    p_flight.add_argument(
+        "--spill", metavar="PATH", default=None,
+        help="append ring-evicted events to this JSONL file (long runs keep "
+        "a complete timeline on disk while memory stays bounded)",
+    )
 
     p_diff = sub.add_parser(
         "obs-diff",
@@ -297,8 +381,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare relative metrics only)",
     )
     p_diff.add_argument(
-        "--fresh", default="cold", choices=("cold", "serve"),
-        help="which quick bench to run when no candidate is given",
+        "--fresh", default=None, choices=("cold", "serve", "load"),
+        help="which quick bench to run when no candidate is given "
+        "(default: inferred from the baseline's own context block; "
+        "load baselines are rerun exactly from their context)",
     )
     p_diff.add_argument(
         "--threshold", type=float, default=1.75,
@@ -633,7 +719,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         baseline_queries=args.baseline_queries,
     )
     print(format_row_dicts(rows, title="serving-layer throughput"))
-    doc = bench_serve_document(rows)
+    doc = bench_serve_document(
+        rows,
+        family=args.family,
+        n=args.n,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        lca_seed=args.lca_seed,
+        queries=args.queries,
+        batch=args.batch,
+        workers=args.workers,
+    )
     write_json(args.out, doc)
     print(f"\nwrote bench-result/v1 document to {args.out}")
     return 0
@@ -664,7 +760,16 @@ def _cmd_bench_cold(args: argparse.Namespace) -> int:
         )
         title = "cold-pipeline latency (verified bit-identical)"
     print(format_row_dicts(rows, title=title))
-    doc = bench_cold_document(rows)
+    doc = bench_cold_document(
+        rows,
+        family=args.family,
+        n=args.n,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        lca_seed=args.lca_seed,
+        queries=args.queries,
+        sweep=args.sweep,
+    )
     write_json(args.out, doc)
     print(f"\nwrote bench-result/v1 document to {args.out}")
     return 0
@@ -754,7 +859,10 @@ def _cmd_flightrec(args: argparse.Namespace) -> int:
     )
     # Fresh recorder: the timeline (and the events/v1 bytes) must be a
     # pure function of the seeds, not of whatever ran before in this
-    # process.
+    # process.  The spill (if any) is configured before the clear, which
+    # truncates it — so the file too is a pure function of the seeds.
+    if args.spill:
+        obs_runtime.RECORDER.set_spill(args.spill)
     obs_runtime.RECORDER.clear()
     service = KnapsackService(
         inst,
@@ -798,16 +906,214 @@ def _cmd_flightrec(args: argparse.Namespace) -> int:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
         print(f"wrote events/v1 to {args.out}")
+    if args.spill:
+        print(
+            f"spilled {obs_runtime.RECORDER.spilled} ring-evicted events "
+            f"to {args.spill}"
+        )
     return 0
 
 
-def _fresh_bench_document(kind: str) -> dict:
-    """Tiny fresh benchmark for candidate-less ``obs-diff`` runs.
+#: Full default configuration of a load sweep; a baseline document's
+#: ``context`` block overrides any subset of these.
+_LOAD_DEFAULTS = {
+    "family": "uniform",
+    "n": 2000,
+    "seed": 0,
+    "epsilon": 0.1,
+    "lca_seed": 42,
+    "rates": (50.0, 100.0, 200.0, 400.0, 800.0),
+    "queries": 200,
+    "arrival": "poisson",
+    "workers": 2,
+    "queue_cap": 256,
+    "batch_max": 16,
+    "clock": "virtual",
+    "nonce": 0,
+    "base_s": 0.002,
+    "per_query_s": 0.0005,
+    "jitter": 0.0,
+    "fault_rate": 0.0,
+    "retries": 0,
+    "cap": 4_000,
+}
 
-    Deliberately small: absolute timings from a quick run are noise, but
-    the dimensionless speedup columns (all ``relative_only`` compares)
-    are meaningful at any scale.  Row keys carry no n/family, so they
-    match the committed documents' rows by mode.
+
+def _run_load_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
+    """Run one open-loop load sweep from a plain config dict.
+
+    Shared by ``repro loadgen`` and the ``obs-diff --fresh`` rerun path:
+    the config is exactly what ``bench-load/v1`` stores under
+    ``context``, so a committed document fully describes its own rerun.
+    Returns ``(rows, knee, document)``.
+    """
+    from .core.parameters import LCAParameters
+    from .faults import FaultPlan, RetryPolicy
+    from .load import LoadHarness, ServiceModel, bench_load_document
+    from .serve import KnapsackService
+
+    cfg = {**_LOAD_DEFAULTS, **{k: v for k, v in cfg.items() if k in _LOAD_DEFAULTS}}
+    inst = generate(cfg["family"], int(cfg["n"]), seed=int(cfg["seed"]))
+    params = None
+    if cfg["cap"]:
+        params = LCAParameters.calibrated(
+            float(cfg["epsilon"]), max_nrq=int(cfg["cap"]), max_m_large=int(cfg["cap"])
+        )
+    plan = None
+    policy = None
+    if float(cfg["fault_rate"]) > 0.0:
+        plan = FaultPlan(
+            seed=int(cfg["lca_seed"]), probe_failure_rate=float(cfg["fault_rate"])
+        )
+        if int(cfg["retries"]) > 0:
+            policy = RetryPolicy(
+                max_retries=int(cfg["retries"]), seed=int(cfg["lca_seed"])
+            )
+    service = KnapsackService(
+        inst,
+        float(cfg["epsilon"]),
+        seed=int(cfg["lca_seed"]),
+        params=params,
+        fault_plan=plan,
+        retry_policy=policy,
+        strict=plan is None,
+    )
+    harness = LoadHarness(
+        service,
+        arrival=cfg["arrival"],
+        workers=int(cfg["workers"]),
+        queue_cap=int(cfg["queue_cap"]),
+        batch_max=int(cfg["batch_max"]),
+        clock=cfg["clock"],
+        service_model=ServiceModel(
+            base_s=float(cfg["base_s"]),
+            per_query_s=float(cfg["per_query_s"]),
+            jitter=float(cfg["jitter"]),
+        ),
+    )
+    rates = [float(r) for r in cfg["rates"]]
+    rows, knee = harness.sweep(rates, int(cfg["queries"]), nonce=int(cfg["nonce"]))
+    for row in rows:
+        row["n"] = inst.n
+        row["family"] = cfg["family"]
+    doc = bench_load_document(
+        rows, knee=knee, **{**cfg, "rates": rates, "n": inst.n}
+    )
+    return rows, knee, doc
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .obs.export import write_json
+
+    if args.listen:
+        return _loadgen_listen(args)
+    cfg = {
+        "family": args.family,
+        "n": args.n,
+        "seed": args.seed,
+        "epsilon": args.epsilon,
+        "lca_seed": args.lca_seed,
+        "rates": [float(r) for r in args.rates.split(",") if r.strip()],
+        "queries": args.queries,
+        "arrival": args.arrival,
+        "workers": args.workers,
+        "queue_cap": args.queue_cap,
+        "batch_max": args.batch_max,
+        "clock": args.clock,
+        "nonce": args.nonce,
+        "base_s": args.base_s,
+        "per_query_s": args.per_query_s,
+        "jitter": args.jitter,
+        "fault_rate": args.fault_rate,
+        "retries": args.retries,
+        "cap": args.cap,
+    }
+    if args.fault_rate > 0.0 and args.clock == "virtual":
+        print(
+            "note: --fault-rate only bites under --clock wall "
+            "(the virtual clock simulates service time, not the service)",
+            file=sys.stderr,
+        )
+    rows, knee, doc = _run_load_sweep(cfg)
+    shown = [
+        {
+            k: r[k]
+            for k in (
+                "offered_qps", "achieved_qps", "completed", "dropped",
+                "degraded", "availability", "p50_latency_ms",
+                "p99_queueing_ms", "p99_latency_ms",
+            )
+        }
+        for r in rows
+    ]
+    print(
+        f"loadgen: family={args.family} n={args.n} eps={args.epsilon} "
+        f"clock={args.clock} arrival={args.arrival} workers={args.workers} "
+        f"queue_cap={args.queue_cap} batch_max={args.batch_max}"
+        + (" (deterministic: same seeds => byte-identical document)"
+           if args.clock == "virtual" else "")
+    )
+    print(format_row_dicts(shown, title="open-loop load sweep"))
+    if knee["detected"]:
+        print(
+            f"saturation knee: ~{knee['knee_rate']:g} q/s "
+            f"(reason: {knee['reason']}, first saturated sweep index "
+            f"{knee['index']})"
+        )
+    else:
+        print("saturation knee: not reached inside the swept rates")
+    if args.clock == "virtual":
+        # Sorted keys + virtual timestamps: same seeds => same bytes
+        # (the CI load-smoke job diffs two runs).
+        import json
+
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    else:
+        write_json(args.out, doc)
+    print(f"wrote bench-load/v1 document to {args.out}")
+    return 0
+
+
+def _loadgen_listen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .load.endpoint import serve_endpoint
+    from .serve import KnapsackService
+
+    inst = generate(args.family, args.n, seed=args.seed)
+    service = KnapsackService(inst, args.epsilon, seed=args.lca_seed)
+
+    async def run() -> None:
+        server = await serve_endpoint(
+            service, host=args.host, port=args.port, nonce=args.nonce
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"loadgen endpoint listening on {host}:{port} (Ctrl-C to stop)")
+        print('protocol: one JSON object per line, e.g. {"op": "answer", "index": 0}')
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nendpoint stopped")
+    return 0
+
+
+def _fresh_bench_document(kind: str, context: dict | None = None) -> dict:
+    """Fresh candidate benchmark for candidate-less ``obs-diff`` runs.
+
+    ``context`` is the baseline document's own ``context`` block — the
+    rerun configuration travels *inside* the baseline, so a committed
+    document can be re-checked without knowing how it was produced.
+
+    For ``cold``/``serve`` baselines the rerun is deliberately tiny
+    (absolute timings from a quick run are noise; only the
+    dimensionless speedup columns are compared), keeping the baseline's
+    family/epsilon/seed so the relative shape is comparable.  For
+    ``load`` baselines the context *is* the full sweep configuration
+    and the virtual clock is deterministic, so the rerun is exact.
     """
     from .serve.bench import (
         bench_cold_document,
@@ -816,13 +1122,22 @@ def _fresh_bench_document(kind: str) -> dict:
         serve_throughput_rows,
     )
 
+    ctx = context or {}
+    if kind == "load":
+        return _run_load_sweep(ctx)[2]
     if kind == "cold":
-        inst = generate("planted_lsg", 2000, seed=0)
-        rows = cold_pipeline_rows(inst, epsilon=0.1, seed=7, queries=2)
+        family = ctx.get("family", "planted_lsg")
+        epsilon = float(ctx.get("epsilon", 0.1))
+        lca_seed = int(ctx.get("lca_seed", 7))
+        inst = generate(family, 2000, seed=int(ctx.get("seed", 0)))
+        rows = cold_pipeline_rows(inst, epsilon=epsilon, seed=lca_seed, queries=2)
         return bench_cold_document(rows)
-    inst = generate("uniform", 2000, seed=0)
+    family = ctx.get("family", "uniform")
+    epsilon = float(ctx.get("epsilon", 0.1))
+    lca_seed = int(ctx.get("lca_seed", 7))
+    inst = generate(family, 2000, seed=int(ctx.get("seed", 0)))
     rows = serve_throughput_rows(
-        inst, epsilon=0.1, seed=7, queries=100, batch=50, workers=2,
+        inst, epsilon=epsilon, seed=lca_seed, queries=100, batch=50, workers=2,
         baseline_queries=5,
     )
     return bench_serve_document(rows)
@@ -842,9 +1157,17 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
             candidate = json.load(fh)
         cand_label = args.candidate
     else:
-        candidate = _fresh_bench_document(args.fresh)
-        cand_label = f"fresh {args.fresh} run"
-        relative_only = True
+        context = baseline.get("context") or {}
+        kind = args.fresh or context.get("bench") or "cold"
+        candidate = _fresh_bench_document(kind, context)
+        source = "from baseline context" if context else "defaults"
+        cand_label = f"fresh {kind} run ({source})"
+        # A virtual-clock load rerun is deterministic, so the full
+        # comparison (tails, counts, knee inputs) is fair game; every
+        # other fresh run happens on unknown hardware => relative only.
+        relative_only = not (
+            kind == "load" and context.get("clock", "virtual") == "virtual"
+        )
     doc = diff_documents(
         baseline,
         candidate,
@@ -993,6 +1316,7 @@ def main(argv: list[str] | None = None) -> int:
         "obs-diff": _cmd_obs_diff,
         "cluster": _cmd_cluster,
         "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "bench": _cmd_bench,
         "bench-cold": _cmd_bench_cold,
         "chaos": _cmd_chaos,

@@ -1,0 +1,57 @@
+"""Open-loop load generation and latency observability.
+
+The serving layer's throughput benches are **closed-loop**: each batch
+is submitted as soon as the previous one returns, so the measured QPS
+is the service's capacity — queueing delay is invisible by
+construction.  A production claim ("heavy traffic from millions of
+users") is about **open-loop** behaviour: queries arrive on their own
+schedule whether or not the service is ready, latency is dominated by
+queueing once the offered rate approaches capacity, and the transition
+— the *saturation knee* — is the number that matters.
+
+This package measures exactly that:
+
+* :mod:`repro.load.arrivals` — seeded arrival processes (Poisson,
+  uniform, constant interarrivals) derived from the repo's
+  :class:`~repro.access.SeedChain`, so an offered-load run replays
+  deterministically;
+* :mod:`repro.load.recorder` — :class:`LatencyRecorder`, per-rate
+  queueing/service/end-to-end latency built on the obs layer's
+  log-bucket :class:`~repro.obs.metrics.Histogram`;
+* :mod:`repro.load.harness` — :class:`LoadHarness`, an asyncio
+  front-end (bounded queue + worker pool dispatching into
+  :meth:`~repro.serve.KnapsackService.answer_batch`) plus a
+  deterministic virtual-clock mode for CI, and the ``bench-load/v1``
+  document builder;
+* :mod:`repro.load.knee` — saturation-knee detection over a rate sweep;
+* :mod:`repro.load.endpoint` — an ``asyncio``-streams endpoint
+  (``repro loadgen --listen``) speaking newline-delimited JSON.
+
+The LCA connection: Theorem 4.5 promises per-query cost independent of
+``n``; under this harness that promise is *visible* as a flat
+latency-vs-``n`` curve at a fixed sub-saturation rate (the committed
+``BENCH_load.json`` pins it within 2x across n = 10^4..10^6).  The
+lower-bound families (Theorems 3.2-3.4) appear as the opposite shape:
+budget exhaustion turns into degraded answers and a measurable
+availability cliff.  See ``docs/observability.md``.
+"""
+
+from .arrivals import ARRIVAL_KINDS, ArrivalProcess
+from .clock import ServiceModel, VirtualClock
+from .endpoint import serve_endpoint
+from .harness import BENCH_LOAD_SCHEMA, LoadHarness, bench_load_document
+from .knee import detect_knee
+from .recorder import LatencyRecorder
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "BENCH_LOAD_SCHEMA",
+    "LatencyRecorder",
+    "LoadHarness",
+    "ServiceModel",
+    "VirtualClock",
+    "bench_load_document",
+    "detect_knee",
+    "serve_endpoint",
+]

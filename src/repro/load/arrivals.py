@@ -1,0 +1,110 @@
+"""Seeded open-loop arrival processes.
+
+An open-loop run is only as reproducible as its arrival schedule, so
+interarrival gaps and per-query item assignments are both derived from
+the repo's :class:`~repro.access.SeedChain` under the reserved
+``"__load__"`` label — the same discipline the fault plans use for
+their ``"__faults__"`` subtree.  Two processes built from equal
+``(seed, kind, rate, nonce)`` replay identical schedules byte for
+byte, and the load subtree is disjoint from the algorithm's own
+randomness, so driving the service under load never perturbs its
+answers.
+
+Three interarrival laws, in the muBench/Locust spirit:
+
+* ``poisson`` — i.i.d. exponential gaps with mean ``1/rate`` (the
+  memoryless open-loop default; burstiness stresses the queue);
+* ``uniform`` — i.i.d. gaps uniform on ``[0.5/rate, 1.5/rate]``
+  (same mean, bounded burstiness);
+* ``constant`` — exact ``1/rate`` spacing (a deterministic D/\\*/c
+  feed, the gentlest possible schedule at a given rate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..access.seeds import SeedChain
+from ..errors import ReproError
+
+__all__ = ["ARRIVAL_KINDS", "ArrivalProcess"]
+
+#: Supported interarrival laws.
+ARRIVAL_KINDS = ("poisson", "uniform", "constant")
+
+
+class ArrivalProcess:
+    """One seeded arrival schedule at a fixed offered rate.
+
+    Parameters
+    ----------
+    seed:
+        Root seed (int or :class:`~repro.access.SeedChain`).  The
+        process derives its streams under ``"__load__"``, so it can
+        share a root with the algorithm without interference.
+    rate:
+        Offered arrival rate in queries per second (must be > 0).
+    kind:
+        One of :data:`ARRIVAL_KINDS`.
+    nonce:
+        Distinguishes repeated runs of the same ``(seed, rate, kind)``
+        configuration — same role as the service's fresh-randomness
+        nonce.
+
+    A process is a one-shot generator: each draw advances its private
+    streams.  For a replay, construct a fresh process with equal
+    parameters.
+    """
+
+    __slots__ = ("rate", "kind", "_gap_rng", "_idx_rng")
+
+    def __init__(
+        self,
+        seed: int | SeedChain,
+        *,
+        rate: float,
+        kind: str = "poisson",
+        nonce: int = 0,
+    ) -> None:
+        if kind not in ARRIVAL_KINDS:
+            raise ReproError(
+                f"arrival kind must be one of {ARRIVAL_KINDS}, got {kind!r}"
+            )
+        if not rate > 0.0:
+            raise ReproError(f"arrival rate must be > 0, got {rate}")
+        chain = seed if isinstance(seed, SeedChain) else SeedChain(int(seed))
+        node = (
+            chain.child("__load__")
+            .child(kind)
+            .child(f"{float(rate):.9g}")
+            .child(int(nonce))
+        )
+        self.rate = float(rate)
+        self.kind = kind
+        self._gap_rng = node.child("gaps").rng()
+        self._idx_rng = node.child("indices").rng()
+
+    # ------------------------------------------------------------------
+    def interarrivals(self, count: int) -> np.ndarray:
+        """The next ``count`` interarrival gaps (seconds, float64)."""
+        if count < 0:
+            raise ReproError(f"count must be >= 0, got {count}")
+        mean = 1.0 / self.rate
+        if self.kind == "poisson":
+            return self._gap_rng.exponential(mean, size=count)
+        if self.kind == "uniform":
+            return self._gap_rng.uniform(0.5 * mean, 1.5 * mean, size=count)
+        return np.full(count, mean, dtype=np.float64)
+
+    def assign_indices(self, count: int, n_items: int) -> np.ndarray:
+        """The next ``count`` queried item indices, uniform on
+        ``[0, n_items)`` from the process's private index stream."""
+        if n_items < 1:
+            raise ReproError(f"n_items must be >= 1, got {n_items}")
+        return self._idx_rng.integers(n_items, size=count, dtype=np.int64)
+
+    def stream(self, count: int, n_items: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(arrival_times, item_indices)`` for the next ``count``
+        queries; times are cumulative seconds from the run start."""
+        gaps = self.interarrivals(count)
+        return np.cumsum(gaps), self.assign_indices(count, n_items)

@@ -1,0 +1,82 @@
+"""Clocks and service-time models for the load harness.
+
+The harness runs in one of two clock regimes:
+
+* **wall** — real time: arrivals are paced with ``asyncio.sleep`` and
+  latencies are measured off the event loop's monotonic clock.  This is
+  the honest measurement mode; its numbers are hardware-dependent.
+* **virtual** — deterministic time: the same arrival schedule is
+  replayed through a discrete-event simulation of the queue + worker
+  pool, with per-batch service times taken from a seeded
+  :class:`ServiceModel` instead of the real service.  Every timestamp
+  is then a pure function of the seeds, so the emitted ``bench-load/v1``
+  document is byte-identical across reruns — the property the CI
+  ``load-smoke`` job diffs for, and the mode the knee-detector property
+  tests run in.
+
+:class:`VirtualClock` is the tiny monotonic state shared by the
+simulation; it never sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["ServiceModel", "VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonic clock that only moves when told to."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to ``t`` (never backward); returns ``now``."""
+        if t > self._now:
+            self._now = float(t)
+        return self._now
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Deterministic service-time law for virtual-clock runs.
+
+    A batch of ``b`` queries takes ``base_s + per_query_s * b`` seconds,
+    optionally perturbed by a seeded multiplicative jitter uniform on
+    ``[1 - jitter, 1 + jitter]``.  With the defaults a single worker
+    saturates near ``1 / (base_s + per_query_s)`` ≈ 400 q/s at batch
+    size 1, which puts a knee inside the CI sweep's rate range.
+
+    The model is an M/D/c-style stand-in for the real warm-path cost —
+    calibrate ``base_s``/``per_query_s`` from a wall-mode row when the
+    virtual sweep should mirror measured behaviour.
+    """
+
+    base_s: float = 0.002
+    per_query_s: float = 0.0005
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.per_query_s < 0:
+            raise ReproError("service-model times must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError(f"jitter must lie in [0, 1), got {self.jitter}")
+
+    def batch_time(self, size: int, rng: np.random.Generator | None = None) -> float:
+        """Service time for one batch of ``size`` queries."""
+        t = self.base_s + self.per_query_s * int(size)
+        if self.jitter and rng is not None:
+            t *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return t

@@ -1,0 +1,109 @@
+"""A minimal asyncio-streams endpoint over ``KnapsackService``.
+
+Newline-delimited JSON, one request object per line:
+
+* ``{"op": "answer", "index": 17}`` → the answer for item 17 (plus a
+  ``degraded`` flag and reason when the service fell down its ladder);
+* ``{"op": "stats"}`` → the service's ``stats()`` snapshot;
+* ``{"op": "ping"}`` → ``{"ok": true, "op": "ping"}``.
+
+Service calls run in a thread pool via ``run_in_executor``, so a slow
+cold-path pipeline never blocks the event loop — the same discipline
+the load harness's wall-clock mode uses.  This exists so ``repro
+loadgen --listen`` can expose a real socket for external load tools
+(wrk-style clients, or another ``repro`` process); the in-process
+harness does not go through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+from ..errors import ReproError
+from ..obs import runtime as _obs
+from ..obs.export import jsonable
+from ..serve.degraded import DegradedAnswer
+
+__all__ = ["handle_request", "serve_endpoint"]
+
+
+def handle_request(service, request: dict, *, nonce: int = 0) -> dict:
+    """Dispatch one decoded request against ``service`` (blocking).
+
+    Pure request→response logic, split out from the socket plumbing so
+    tests can cover the protocol without opening a port.  Errors come
+    back as ``{"ok": false, "error": ...}`` rather than raising: a bad
+    request must not take the endpoint down.
+    """
+    op = request.get("op")
+    try:
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": jsonable(service.stats())}
+        if op == "answer":
+            index = request.get("index")
+            if not isinstance(index, int) or isinstance(index, bool):
+                raise ReproError(f"'answer' needs an integer 'index', got {index!r}")
+            answer = service.answer(index, nonce=int(request.get("nonce", nonce)))
+            if isinstance(answer, DegradedAnswer):
+                payload = answer.to_dict()
+            else:
+                payload = {
+                    "index": answer.index,
+                    "include": bool(answer.include),
+                    "reason": answer.reason,
+                    "degraded": False,
+                }
+            return {"ok": True, "op": "answer", "answer": jsonable(payload)}
+        raise ReproError(f"unknown op {op!r}")
+    except Exception as exc:  # noqa: BLE001 - protocol boundary
+        return {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+
+
+async def serve_endpoint(
+    service,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    nonce: int = 0,
+    ready: asyncio.Event | None = None,
+    max_workers: int = 4,
+):
+    """Serve newline-delimited JSON requests until cancelled.
+
+    Returns the ``asyncio.AbstractServer``; the bound address is in its
+    ``sockets``.  ``ready`` (if given) is set once the socket is
+    listening — test harnesses wait on it instead of polling.
+    """
+    loop = asyncio.get_running_loop()
+    pool = ThreadPoolExecutor(max_workers=max_workers)
+
+    async def on_client(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        _obs.REGISTRY.counter("endpoint.connections").inc()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    response = {"ok": False, "error": f"bad json: {exc}"}
+                else:
+                    response = await loop.run_in_executor(
+                        pool, partial(handle_request, service, request, nonce=nonce)
+                    )
+                _obs.REGISTRY.counter("endpoint.requests").inc()
+                writer.write(json.dumps(response, sort_keys=True).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(on_client, host, port)
+    if ready is not None:
+        ready.set()
+    return server

@@ -1,0 +1,299 @@
+"""The open-loop load harness: offered load in, latency curves out.
+
+:class:`LoadHarness` drives a :class:`~repro.serve.KnapsackService`
+with a seeded arrival schedule at a fixed offered rate and records
+where each query's time went.  Two clock regimes share one code shape:
+
+* **wall** — an asyncio front-end: an arrival coroutine paces the
+  schedule with ``asyncio.sleep`` and pushes into a *bounded*
+  ``asyncio.Queue`` (full queue => the query is shed and counted, the
+  open-loop discipline — arrivals never block on the service); worker
+  coroutines drain the queue in microbatches of up to ``batch_max`` and
+  dispatch into :meth:`~repro.serve.KnapsackService.answer_batch` on a
+  thread pool, so slow service calls never stall the event loop or the
+  arrival schedule.
+* **virtual** — the identical queue discipline replayed as a
+  discrete-event simulation against a seeded
+  :class:`~repro.load.clock.ServiceModel`: no sleeping, no threads,
+  every timestamp a pure function of the seeds.  Used by CI for
+  byte-identical smoke documents and by the knee-detector tests.
+
+A sweep over rates produces ``bench-load/v1`` rows plus a
+:func:`~repro.load.knee.detect_knee` verdict;
+:func:`bench_load_document` wraps them with the run's ``context`` block
+so ``repro obs-diff --fresh`` can reconstruct the run from the document
+alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+from ..access.seeds import SeedChain
+from ..errors import ReproError
+from ..obs import runtime as _obs
+from ..serve.degraded import DegradedAnswer
+from .arrivals import ARRIVAL_KINDS, ArrivalProcess
+from .clock import ServiceModel, VirtualClock
+from .knee import detect_knee
+from .recorder import LatencyRecorder
+
+__all__ = ["BENCH_LOAD_SCHEMA", "LoadHarness", "bench_load_document"]
+
+BENCH_LOAD_SCHEMA = "bench-load/v1"
+
+
+class LoadHarness:
+    """Open-loop load generator over one ``KnapsackService``.
+
+    Parameters
+    ----------
+    service:
+        The service under test.  Wall mode calls its real batch path;
+        virtual mode only reads its configuration (``seed``, instance
+        size) and simulates service time with ``service_model``.
+    seed:
+        Root seed for the arrival schedules (defaults to the service's
+        own seed chain; the arrival streams live under the reserved
+        ``"__load__"`` subtree either way, so sharing is safe).
+    arrival:
+        Interarrival law — see :data:`~repro.load.arrivals.ARRIVAL_KINDS`.
+    workers:
+        Concurrent dispatch slots (queue servers).
+    queue_cap:
+        Bounded-queue depth; an arrival finding it full is shed and
+        counted (``dropped``), never blocked on.
+    batch_max:
+        Largest microbatch one worker pulls per dispatch.
+    clock:
+        ``"wall"`` or ``"virtual"``.
+    service_model:
+        Virtual-clock service-time law (default :class:`ServiceModel`).
+    warm:
+        Wall mode: run one untimed query first so the measured rows see
+        the warm (cached) path, not a one-off cold pipeline.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        seed: int | SeedChain | None = None,
+        arrival: str = "poisson",
+        workers: int = 2,
+        queue_cap: int = 256,
+        batch_max: int = 16,
+        clock: str = "wall",
+        service_model: ServiceModel | None = None,
+        warm: bool = True,
+    ) -> None:
+        if arrival not in ARRIVAL_KINDS:
+            raise ReproError(
+                f"arrival must be one of {ARRIVAL_KINDS}, got {arrival!r}"
+            )
+        if clock not in ("wall", "virtual"):
+            raise ReproError(f"clock must be 'wall' or 'virtual', got {clock!r}")
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if queue_cap < 1:
+            raise ReproError(f"queue_cap must be >= 1, got {queue_cap}")
+        if batch_max < 1:
+            raise ReproError(f"batch_max must be >= 1, got {batch_max}")
+        self._service = service
+        if seed is None:
+            seed = service.seed
+        self._seed = seed if isinstance(seed, SeedChain) else SeedChain(int(seed))
+        self._arrival = arrival
+        self._workers = int(workers)
+        self._queue_cap = int(queue_cap)
+        self._batch_max = int(batch_max)
+        self._clock = clock
+        self._model = service_model or ServiceModel()
+        self._warm = bool(warm)
+        self._n_items = int(service.instance.n)
+
+    # ------------------------------------------------------------------
+    def run_rate(self, rate: float, queries: int, *, nonce: int = 0) -> dict:
+        """Drive ``queries`` arrivals at offered ``rate`` q/s; return one
+        ``bench-load/v1`` row."""
+        if queries < 1:
+            raise ReproError(f"queries must be >= 1, got {queries}")
+        process = ArrivalProcess(
+            self._seed, rate=rate, kind=self._arrival, nonce=nonce
+        )
+        times, indices = process.stream(queries, self._n_items)
+        recorder = LatencyRecorder()
+        if self._clock == "virtual":
+            self._run_virtual(rate, times, indices, nonce, recorder)
+        else:
+            if self._warm:
+                # Untimed cache prefill: the rows measure the warm path.
+                self._service.answer(int(indices[0]), nonce=nonce)
+            asyncio.run(self._run_wall(times, indices, nonce, recorder))
+        _obs.REGISTRY.counter("load.offered").inc(recorder.offered)
+        _obs.REGISTRY.counter("load.completed").inc(recorder.completed)
+        if recorder.dropped:
+            _obs.REGISTRY.counter("load.dropped").inc(recorder.dropped)
+            _obs.record_event(
+                "load.queue_full", rate=float(rate), dropped=recorder.dropped
+            )
+        row = recorder.row(rate=rate)
+        row.update(
+            mode="load",
+            clock=self._clock,
+            arrival=self._arrival,
+            workers=self._workers,
+            queue_cap=self._queue_cap,
+            batch_max=self._batch_max,
+        )
+        return row
+
+    def sweep(
+        self, rates, queries: int, *, nonce: int = 0, knee_kwargs: dict | None = None
+    ) -> tuple[list[dict], dict]:
+        """Run one row per offered rate; return ``(rows, knee_verdict)``."""
+        rows = [self.run_rate(float(r), queries, nonce=nonce) for r in rates]
+        knee = detect_knee(rows, **(knee_kwargs or {}))
+        return rows, knee
+
+    # ------------------------------------------------------------------
+    # Wall clock: asyncio bounded queue + worker pool
+    # ------------------------------------------------------------------
+    async def _run_wall(self, times, indices, nonce, recorder) -> None:
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self._queue_cap)
+        answer_batch = self._service.answer_batch
+
+        async def arrive() -> None:
+            t0 = loop.time()
+            for t, idx in zip(times, indices):
+                delay = t0 + float(t) - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                recorder.offer()
+                try:
+                    queue.put_nowait((loop.time(), int(idx)))
+                except asyncio.QueueFull:
+                    recorder.drop()
+            for _ in range(self._workers):
+                await queue.put(None)
+
+        async def work(pool: ThreadPoolExecutor) -> None:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    return
+                batch = [item]
+                while len(batch) < self._batch_max:
+                    try:
+                        nxt = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if nxt is None:
+                        # Another worker's sentinel: hand it back.
+                        queue.put_nowait(None)
+                        break
+                    batch.append(nxt)
+                start = loop.time()
+                report = await loop.run_in_executor(
+                    pool,
+                    partial(answer_batch, [b[1] for b in batch], nonce=nonce),
+                )
+                finish = loop.time()
+                for (arrival, _), answer in zip(batch, report.answers):
+                    recorder.record(
+                        arrival,
+                        start,
+                        finish,
+                        degraded=isinstance(answer, DegradedAnswer),
+                    )
+
+        with ThreadPoolExecutor(max_workers=self._workers) as pool:
+            await asyncio.gather(arrive(), *(work(pool) for _ in range(self._workers)))
+
+    # ------------------------------------------------------------------
+    # Virtual clock: discrete-event simulation, byte-deterministic
+    # ------------------------------------------------------------------
+    def _run_virtual(self, rate, times, indices, nonce, recorder) -> None:
+        model = self._model
+        jitter_rng = (
+            self._seed.child("__load__")
+            .child("service")
+            .child(f"{float(rate):.9g}")
+            .child(int(nonce))
+            .rng()
+            if model.jitter
+            else None
+        )
+        clock = VirtualClock()
+        # (free_time, slot): min-heap of when each worker next idles.
+        servers = [(0.0, w) for w in range(self._workers)]
+        heapq.heapify(servers)
+        pending: deque[tuple[float, int]] = deque()
+
+        def drain(limit: float) -> None:
+            """Let workers consume the queue up to virtual time ``limit``."""
+            while pending:
+                free, slot = servers[0]
+                start = max(free, pending[0][0])
+                if start >= limit:
+                    return
+                heapq.heappop(servers)
+                clock.advance_to(start)
+                batch = [pending.popleft()]
+                # A real worker only sees what had arrived by dispatch.
+                while (
+                    len(batch) < self._batch_max
+                    and pending
+                    and pending[0][0] <= start
+                ):
+                    batch.append(pending.popleft())
+                finish = start + model.batch_time(len(batch), jitter_rng)
+                for arrival, _idx in batch:
+                    recorder.record(arrival, start, finish)
+                heapq.heappush(servers, (finish, slot))
+
+        for t, idx in zip(times, indices):
+            t = float(t)
+            recorder.offer()
+            drain(t)
+            if len(pending) >= self._queue_cap:
+                recorder.drop()
+            else:
+                pending.append((t, int(idx)))
+        drain(float("inf"))
+
+
+def bench_load_document(
+    rows: list[dict],
+    *,
+    knee: dict | None = None,
+    name: str = "load_latency",
+    title: str = "Open-loop load: latency and availability vs offered rate",
+    **context,
+) -> dict:
+    """Wrap load rows (and a knee verdict) as ``bench-load/v1``.
+
+    ``context`` records the configuration needed to reproduce the run
+    (family, n, epsilon, seeds, rates, clock, ...); ``repro obs-diff
+    --fresh`` reruns a baseline from exactly this block.  ``knee``
+    defaults to detecting over ``rows`` directly — pass an explicit
+    verdict when the document mixes a rate sweep with fixed-rate rows.
+    """
+    if knee is None:
+        knee = detect_knee(rows)
+    context.setdefault("bench", "load")
+    return {
+        "schema": BENCH_LOAD_SCHEMA,
+        "name": name,
+        "title": title,
+        "rows": rows,
+        "knee": knee,
+        "context": context,
+        "total_queries": sum(int(r.get("queries", 0)) for r in rows),
+        "total_completed": sum(int(r.get("completed", 0)) for r in rows),
+    }

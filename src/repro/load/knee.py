@@ -1,0 +1,86 @@
+"""Saturation-knee detection over an offered-rate sweep.
+
+Open-loop queueing has a characteristic shape: below capacity the
+achieved rate tracks the offered rate and tail latency is flat; past
+capacity the queue grows without bound, achieved throughput pins at the
+service capacity, and p99 latency departs by orders of magnitude.  The
+*knee* is the lowest offered rate at which either symptom shows:
+
+* **throughput**: achieved falls below ``sat_ratio`` of offered (the
+  service can no longer keep up, or the bounded queue is shedding);
+* **latency**: p99 end-to-end latency exceeds ``latency_factor`` times
+  the sweep's lowest-rate p99 (queueing has taken over the tail).
+
+Reingold-Vardi-style probe-complexity bounds predict where the knee
+must sit — per-query probe cost times offered rate cannot exceed the
+worker pool's probe throughput — which is what makes the detected knee
+a standing regression check rather than a curiosity: a cost regression
+in the warm path moves the knee left, and ``repro obs-diff`` sees the
+moved tail latencies.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = ["detect_knee"]
+
+
+def detect_knee(
+    rows: list[dict],
+    *,
+    sat_ratio: float = 0.9,
+    latency_factor: float = 4.0,
+    rate_key: str = "offered_qps",
+    achieved_key: str = "achieved_qps",
+    p99_key: str = "p99_latency_ms",
+) -> dict:
+    """Locate the saturation knee in a sweep of ``bench-load/v1`` rows.
+
+    ``rows`` need not be sorted; they are ordered by offered rate first.
+    Returns a JSON-ready verdict: ``detected``, the estimated
+    ``knee_rate`` (midpoint of the last sub-saturation rate and the
+    first saturated one, or the first rate itself when the sweep starts
+    saturated), the triggering ``reason`` (``"throughput"`` or
+    ``"latency"``), the saturated row's ``index`` in rate order, and the
+    thresholds used.  An all-sub-saturation sweep returns
+    ``detected=False`` with ``knee_rate=None`` — the knee lies beyond
+    the swept range.
+    """
+    if not 0.0 < sat_ratio <= 1.0:
+        raise ReproError(f"sat_ratio must lie in (0, 1], got {sat_ratio}")
+    if latency_factor <= 1.0:
+        raise ReproError(f"latency_factor must be > 1, got {latency_factor}")
+    ordered = sorted(rows, key=lambda r: float(r[rate_key]))
+    verdict = {
+        "detected": False,
+        "knee_rate": None,
+        "reason": None,
+        "index": None,
+        "sat_ratio": sat_ratio,
+        "latency_factor": latency_factor,
+        "base_p99_ms": None,
+        "rates": [float(r[rate_key]) for r in ordered],
+    }
+    if not ordered:
+        return verdict
+    base_p99 = float(ordered[0][p99_key])
+    verdict["base_p99_ms"] = base_p99
+    for i, row in enumerate(ordered):
+        offered = float(row[rate_key])
+        achieved = float(row[achieved_key])
+        reason = None
+        if offered > 0 and achieved < sat_ratio * offered:
+            reason = "throughput"
+        elif base_p99 > 0 and float(row[p99_key]) > latency_factor * base_p99:
+            reason = "latency"
+        if reason is not None:
+            prev = float(ordered[i - 1][rate_key]) if i > 0 else offered
+            verdict.update(
+                detected=True,
+                knee_rate=round((prev + offered) / 2.0, 4),
+                reason=reason,
+                index=i,
+            )
+            return verdict
+    return verdict

@@ -17,10 +17,18 @@ splits metrics into three families with different comparison rules:
   mismatch is flagged as ``drift`` — not slower, but a reproducibility
   break, which is worse.
 
-Rows are matched by ``(mode, n, family)``.  In ``relative_only`` mode
-(fresh quick run vs. a committed document recorded on other hardware)
-absolute timings are meaningless, so only dimensionless relative
-metrics are compared.
+Load rows (``bench-load/v1``) ride the same machinery: their tail
+latencies (``p50/p95/p99_queueing_ms``, ``p50/p95/p99_latency_ms``)
+join the timing family (relative threshold plus the ms-scaled absolute
+floor), ``achieved_qps`` joins the rate family, and ``availability``
+is both a rate metric and dimensionless — a load shed or a degradation
+cliff is comparable across hardware, so it survives ``relative_only``.
+
+Rows are matched by ``(mode, n, family, rate, clock)`` — the two extra
+coordinates are ``None`` for classic bench rows, so old documents keep
+their keys.  In ``relative_only`` mode (fresh quick run vs. a committed
+document recorded on other hardware) absolute timings are meaningless,
+so only dimensionless relative metrics are compared.
 
 The output is a ``bench-diff/v1`` document; ``ok`` is False iff any
 regression or drift was found — ``repro obs-diff`` turns that into its
@@ -40,30 +48,56 @@ __all__ = [
 
 BENCH_DIFF_SCHEMA = "bench-diff/v1"
 
-#: Timing metrics: candidate bigger is worse.
-LOWER_IS_BETTER = ("wall_clock_s", "latency_ms")
+#: Timing metrics: candidate bigger is worse.  ``*_ms`` metrics get the
+#: absolute floor scaled to milliseconds.
+LOWER_IS_BETTER = (
+    "wall_clock_s",
+    "latency_ms",
+    "p50_queueing_ms",
+    "p95_queueing_ms",
+    "p99_queueing_ms",
+    "p50_latency_ms",
+    "p95_latency_ms",
+    "p99_latency_ms",
+)
 
 #: Rate metrics: candidate smaller is worse.
-HIGHER_IS_BETTER = ("qps", "speedup", "speedup_vs_per_query")
+HIGHER_IS_BETTER = (
+    "qps",
+    "speedup",
+    "speedup_vs_per_query",
+    "achieved_qps",
+    "availability",
+)
 
 #: Deterministic counts: any mismatch is a reproducibility drift.
 EXACT_COUNTS = ("queries", "samples", "blocks", "pipelines_run", "cache_hits")
 
 #: Dimensionless metrics still comparable across different hardware.
-RELATIVE_METRICS = ("speedup", "speedup_vs_per_query")
+RELATIVE_METRICS = ("speedup", "speedup_vs_per_query", "availability")
 
 
 def _row_key(row: dict) -> tuple:
-    return (row.get("mode"), row.get("n"), row.get("family"))
+    return (
+        row.get("mode"),
+        row.get("n"),
+        row.get("family"),
+        row.get("rate"),
+        row.get("clock"),
+    )
 
 
 def _key_label(key: tuple) -> str:
-    mode, n, family = key
+    mode, n, family, rate, clock = key
     parts = [str(mode)]
     if n is not None:
         parts.append(f"n={n}")
     if family is not None:
         parts.append(str(family))
+    if rate is not None:
+        parts.append(f"rate={rate:g}")
+    if clock is not None:
+        parts.append(str(clock))
     return " ".join(parts)
 
 
@@ -97,7 +131,7 @@ def _compare_row(
         if metric not in base or metric not in cand:
             continue
         b, c = float(base[metric]), float(cand[metric])
-        floor = abs_floor_s * (1000.0 if metric == "latency_ms" else 1.0)
+        floor = abs_floor_s * (1000.0 if metric.endswith("_ms") else 1.0)
         if b > 0 and c > b * threshold and (c - b) > floor:
             findings.append(
                 finding(metric, "regression", b, c, f"{c / b:.2f}x slower")

@@ -24,6 +24,7 @@ re-stamps ``seq`` so the merged log has one total order.
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -81,9 +82,19 @@ class FlightRecorder:
     oldest events fall off and ``dropped`` counts them.  ``seq`` is
     assigned under the lock, so events from concurrent shard threads
     interleave into one total order.
+
+    With a **spill** configured (:meth:`set_spill` or the ``spill_path``
+    constructor argument), each event evicted from the ring is appended
+    to a JSONL file before it is forgotten — long chaos runs keep a
+    complete timeline on disk while memory stays bounded.  ``dropped``
+    keeps counting ring evictions regardless (it reports what the
+    *in-memory* view shed); ``spilled`` counts how many of those made it
+    to disk.  The spill file is truncated when (re)configured and on
+    :meth:`clear`, so a cleared recorder still replays a seeded scenario
+    byte-identically, spill file included.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, *, spill_path=None) -> None:
         if capacity < 1:
             raise ValueError("flight recorder capacity must be >= 1")
         self._capacity = capacity
@@ -91,6 +102,42 @@ class FlightRecorder:
         self._ring: deque[Event] = deque(maxlen=capacity)
         self._seq = 0
         self._dropped = 0
+        self._spilled = 0
+        self._spill_path: str | None = None
+        self._spill_fh = None
+        if spill_path is not None:
+            self.set_spill(spill_path)
+
+    # ------------------------------------------------------------------
+    def set_spill(self, path) -> None:
+        """(Re)configure the eviction spill file; ``None`` disables.
+
+        The file is opened truncated: a spill is a per-run artifact,
+        and a stale tail from a previous run would corrupt the
+        deterministic-replay contract."""
+        with self._lock:
+            if self._spill_fh is not None:
+                self._spill_fh.close()
+                self._spill_fh = None
+            self._spill_path = None
+            self._spilled = 0
+            if path is not None:
+                self._spill_path = str(path)
+                self._spill_fh = open(self._spill_path, "w", encoding="utf-8")
+
+    def _evict_locked(self) -> None:
+        """Ring is full: count (and optionally spill) the oldest event.
+
+        Caller holds the lock; the subsequent ``append`` performs the
+        actual eviction via the deque's ``maxlen``."""
+        self._dropped += 1
+        if self._spill_fh is not None:
+            victim = self._ring[0]
+            self._spill_fh.write(
+                json.dumps(victim.to_dict(), sort_keys=True) + "\n"
+            )
+            self._spill_fh.flush()
+            self._spilled += 1
 
     # ------------------------------------------------------------------
     def record(
@@ -112,7 +159,7 @@ class FlightRecorder:
                 attrs=attrs,
             )
             if len(self._ring) == self._capacity:
-                self._dropped += 1
+                self._evict_locked()
             self._ring.append(event)
             return event
 
@@ -136,7 +183,7 @@ class FlightRecorder:
                     attrs=dict(event.attrs),
                 )
                 if len(self._ring) == self._capacity:
-                    self._dropped += 1
+                    self._evict_locked()
                 self._ring.append(restamped)
                 n += 1
         return n
@@ -148,12 +195,17 @@ class FlightRecorder:
             return list(self._ring)
 
     def clear(self) -> None:
-        """Forget everything, including ``seq`` and the drop counter —
-        a cleared recorder replays a seeded scenario identically."""
+        """Forget everything, including ``seq``, the drop counter, and
+        the spill file's contents — a cleared recorder replays a seeded
+        scenario identically, spill included."""
         with self._lock:
             self._ring.clear()
             self._seq = 0
             self._dropped = 0
+            self._spilled = 0
+            if self._spill_fh is not None:
+                self._spill_fh.close()
+                self._spill_fh = open(self._spill_path, "w", encoding="utf-8")
 
     @property
     def capacity(self) -> int:
@@ -165,6 +217,18 @@ class FlightRecorder:
         """Events shed because the ring was full."""
         with self._lock:
             return self._dropped
+
+    @property
+    def spilled(self) -> int:
+        """Evicted events appended to the spill file."""
+        with self._lock:
+            return self._spilled
+
+    @property
+    def spill_path(self) -> str | None:
+        """The configured spill file (``None`` when spilling is off)."""
+        with self._lock:
+            return self._spill_path
 
     def __len__(self) -> int:
         with self._lock:

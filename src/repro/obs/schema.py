@@ -22,6 +22,7 @@ __all__ = [
     "validate_trace",
     "validate_metrics_snapshot",
     "validate_bench_result",
+    "validate_bench_load",
     "validate_bench_observability",
     "validate_chaos_report",
     "validate_events",
@@ -154,6 +155,132 @@ def validate_bench_result(doc: dict) -> dict:
     _require(doc, "total_samples", int, problems)
     if problems:
         raise SchemaError("bench-result/v1", problems)
+    return doc
+
+
+_LOAD_CLOCKS = ("wall", "virtual")
+_LOAD_QUANTILES = ("p50", "p95", "p99")
+_KNEE_REASONS = ("throughput", "latency")
+
+
+def validate_bench_load(doc: dict) -> dict:
+    """Validate a ``bench-load/v1`` document (open-loop load sweep).
+
+    Beyond shape, checks the arithmetic the load sentinel relies on:
+    per-row ``completed + dropped <= queries``, ``availability`` must
+    equal ``(completed - degraded) / queries`` to the row's rounding,
+    quantiles must be monotone (p50 <= p95 <= p99, and queueing must
+    not exceed end-to-end — the partition invariant's quantile shadow),
+    the knee verdict must be internally consistent, and the totals must
+    sum over the rows.
+    """
+    problems: list[str] = []
+    if doc.get("schema") != "bench-load/v1":
+        problems.append(f"schema must be 'bench-load/v1', got {doc.get('schema')!r}")
+    _require(doc, "name", str, problems)
+    _require(doc, "title", str, problems)
+    rows_ok = _require(doc, "rows", list, problems)
+    if rows_ok:
+        for i, row in enumerate(doc["rows"]):
+            where = f"rows[{i}]"
+            if not isinstance(row, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            counts_ok = True
+            for key in ("queries", "completed", "dropped", "degraded"):
+                if _require(row, key, int, problems, where + "."):
+                    if row[key] < 0:
+                        problems.append(f"{where}.{key} must be non-negative")
+                        counts_ok = False
+                else:
+                    counts_ok = False
+            if counts_ok and row["completed"] + row["dropped"] > row["queries"]:
+                problems.append(
+                    f"{where}: completed + dropped = "
+                    f"{row['completed'] + row['dropped']} exceeds "
+                    f"queries = {row['queries']}"
+                )
+            for key in ("offered_qps", "achieved_qps"):
+                if _require(row, key, _NUM, problems, where + ".") and row[key] < 0:
+                    problems.append(f"{where}.{key} must be non-negative")
+            avail_ok = _require(row, "availability", _NUM, problems, where + ".")
+            if avail_ok and counts_ok and row["queries"] > 0:
+                expected = round(
+                    (row["completed"] - row["degraded"]) / row["queries"], 6
+                )
+                if abs(row["availability"] - expected) > 1e-9:
+                    problems.append(
+                        f"{where}.availability is {row['availability']}, but "
+                        f"(completed - degraded) / queries = {expected}"
+                    )
+            if _require(row, "clock", str, problems, where + ".") \
+                    and row["clock"] not in _LOAD_CLOCKS:
+                problems.append(
+                    f"{where}.clock must be one of {_LOAD_CLOCKS}, "
+                    f"got {row['clock']!r}"
+                )
+            _require(row, "arrival", str, problems, where + ".")
+            for phase in ("queueing", "latency"):
+                prev = None
+                for q in _LOAD_QUANTILES:
+                    key = f"{q}_{phase}_ms"
+                    if not _require(row, key, _NUM, problems, where + "."):
+                        prev = None
+                        continue
+                    if row[key] < 0:
+                        problems.append(f"{where}.{key} must be non-negative")
+                    if prev is not None and row[key] < prev - 1e-9:
+                        problems.append(
+                            f"{where}.{key} is {row[key]}, below the lower "
+                            f"quantile {prev} — quantiles must be monotone"
+                        )
+                    prev = row[key]
+            for q in _LOAD_QUANTILES:
+                lo, hi = row.get(f"{q}_queueing_ms"), row.get(f"{q}_latency_ms")
+                if isinstance(lo, _NUM) and isinstance(hi, _NUM) \
+                        and hi < lo - 1e-9:
+                    problems.append(
+                        f"{where}: {q} end-to-end latency {hi} is below its "
+                        f"queueing component {lo}"
+                    )
+    if _require(doc, "knee", dict, problems):
+        knee = doc["knee"]
+        detected_ok = _require(knee, "detected", bool, problems, "knee.")
+        _require(knee, "rates", list, problems, "knee.")
+        if detected_ok and knee["detected"]:
+            if _require(knee, "knee_rate", _NUM, problems, "knee.") \
+                    and knee["knee_rate"] <= 0:
+                problems.append("knee.knee_rate must be > 0 when detected")
+            if _require(knee, "reason", str, problems, "knee.") \
+                    and knee["reason"] not in _KNEE_REASONS:
+                problems.append(
+                    f"knee.reason must be one of {_KNEE_REASONS}, "
+                    f"got {knee['reason']!r}"
+                )
+            _require(knee, "index", int, problems, "knee.")
+        elif detected_ok:
+            if knee.get("knee_rate") is not None:
+                problems.append(
+                    "knee.knee_rate must be null when no knee was detected"
+                )
+    if _require(doc, "context", dict, problems):
+        if doc["context"].get("bench") != "load":
+            problems.append(
+                f"context.bench must be 'load', got {doc['context'].get('bench')!r}"
+            )
+    if rows_ok:
+        rows = [r for r in doc["rows"] if isinstance(r, dict)]
+        for key in ("total_queries", "total_completed"):
+            field = key.removeprefix("total_")
+            expected = sum(
+                r[field] for r in rows if isinstance(r.get(field), int)
+            )
+            if _require(doc, key, int, problems) and doc[key] != expected:
+                problems.append(
+                    f"{key} is {doc[key]}, but the rows sum to {expected}"
+                )
+    if problems:
+        raise SchemaError("bench-load/v1", problems)
     return doc
 
 
@@ -374,6 +501,7 @@ _VALIDATORS = {
     "chaos": validate_chaos_report,
     "metrics": validate_metrics_snapshot,
     "bench-result": validate_bench_result,
+    "bench-load": validate_bench_load,
     "bench-observability": validate_bench_observability,
     "events": validate_events,
     "bench-diff": validate_bench_diff,

@@ -251,26 +251,44 @@ def cold_sweep_rows(
     return rows
 
 
-def bench_cold_document(rows: list[dict], *, name: str = "cold_pipeline") -> dict:
-    """Wrap cold-path rows as a ``bench-result/v1`` document."""
+def bench_cold_document(
+    rows: list[dict], *, name: str = "cold_pipeline", **context
+) -> dict:
+    """Wrap cold-path rows as a ``bench-result/v1`` document.
+
+    ``context`` keys (family, n or sizes, epsilon, seeds, ...) are
+    embedded under ``"context"`` with ``bench="cold"``, which is what
+    lets ``repro obs-diff --fresh`` reconstruct the rerun configuration
+    from the committed baseline itself.
+    """
+    context.setdefault("bench", "cold")
     return {
         "schema": "bench-result/v1",
         "name": name,
         "title": "Cold-pipeline latency: columnar block path vs per-object path",
         "rows": rows,
+        "context": context,
         "wall_clock_s": sum(r["wall_clock_s"] for r in rows),
         "total_queries": sum(r["queries"] for r in rows),
         "total_samples": sum(r["samples"] for r in rows),
     }
 
 
-def bench_serve_document(rows: list[dict], *, name: str = "serve_throughput") -> dict:
-    """Wrap throughput rows as a ``bench-result/v1`` document."""
+def bench_serve_document(
+    rows: list[dict], *, name: str = "serve_throughput", **context
+) -> dict:
+    """Wrap throughput rows as a ``bench-result/v1`` document.
+
+    ``context`` works as in :func:`bench_cold_document`, with
+    ``bench="serve"``.
+    """
+    context.setdefault("bench", "serve")
     return {
         "schema": "bench-result/v1",
         "name": name,
         "title": "Serving-layer throughput: cached vs uncached, serial vs parallel",
         "rows": rows,
+        "context": context,
         "wall_clock_s": sum(r["wall_clock_s"] for r in rows),
         "total_queries": sum(r["queries"] for r in rows),
         "total_samples": sum(r["samples"] for r in rows),

@@ -209,8 +209,10 @@ def _first_result(futures: list) -> tuple:
 
     First-result-wins with a deterministic tie-break: among futures
     completed at the same wait wake-up, the earliest submission (the
-    primary) is preferred.  Returns ``(result, None)`` on success or
-    ``(None, last_error)`` when every attempt failed.
+    primary) is preferred.  Returns ``(result, winner_future, None)`` on
+    success or ``(None, None, last_error)`` when every attempt failed —
+    the winner identity is what lets ``merge_losers`` harvest the
+    *other* futures without double-counting the winner.
     """
     pending = set(futures)
     err: Exception | None = None
@@ -219,10 +221,10 @@ def _first_result(futures: list) -> tuple:
         for fut in futures:  # submission order = deterministic tie-break
             if fut in done:
                 try:
-                    return fut.result(), None
+                    return fut.result(), fut, None
                 except Exception as exc:  # worker death, pickling, ...
                     err = exc
-    return None, err
+    return None, None, err
 
 
 @dataclass(frozen=True)
@@ -363,6 +365,21 @@ class KnapsackService:
         :class:`~repro.errors.CorruptProbeError` instead of being
         trusted.  Requires ``retry_policy`` — detection without recovery
         would just turn corruption into an outage.
+    merge_losers:
+        Opt-in telemetry completeness for hedged/requeued process-pool
+        shards.  By default only the *winning* attempt's observability
+        ships home (matching how losing cost bills are discarded, so
+        merged telemetry reconciles with the budget).  With
+        ``merge_losers=True`` the obs state of losing attempts that
+        still ran to completion is merged too — their trace roots
+        renamed with an ``.abandoned`` suffix and their events tagged
+        ``abandoned=true`` — and their probe bills are accumulated in
+        separate ``abandoned_*`` counters (:meth:`stats`), never in
+        ``samples_used``/``queries_used``.  Attributed work then
+        legitimately *exceeds* billed work: that surplus is exactly the
+        cluster-wide cost of hedging, which is the thing this flag
+        exists to measure.  Answer values and budget accounting are
+        unchanged either way.
     """
 
     def __init__(
@@ -385,6 +402,7 @@ class KnapsackService:
         hedge: bool = False,
         max_staleness: int | None = None,
         probe_audit: bool = False,
+        merge_losers: bool = False,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ReproError(f"executor must be 'thread' or 'process', got {executor!r}")
@@ -409,6 +427,11 @@ class KnapsackService:
         self._strict = bool(strict)
         self._max_shard_retries = int(max_shard_retries)
         self._hedge = bool(hedge)
+        self._merge_losers = bool(merge_losers)
+        self._abandoned_samples = 0
+        self._abandoned_queries = 0
+        self._abandoned_blocks = 0
+        self._abandoned_shards = 0
         self._max_staleness = None if max_staleness is None else int(max_staleness)
         if probe_audit:
             dom = params.domain if params is not None else None
@@ -473,6 +496,11 @@ class KnapsackService:
     def seed(self) -> SeedChain:
         """The shared random string r."""
         return self._seed
+
+    @property
+    def instance(self):
+        """The knapsack instance (or access-only stand-in) served."""
+        return self._instance
 
     @property
     def params(self) -> LCAParameters:
@@ -552,6 +580,17 @@ class KnapsackService:
     def degraded_total(self) -> int:
         """Answers served off the degradation ladder so far."""
         return self._degraded_total
+
+    @property
+    def abandoned_work(self) -> dict[str, int]:
+        """Probe work done by losing shard attempts (only populated
+        under ``merge_losers=True``; never part of the budget bill)."""
+        return {
+            "shards": self._abandoned_shards,
+            "samples": self._abandoned_samples,
+            "queries": self._abandoned_queries,
+            "blocks": self._abandoned_blocks,
+        }
 
     @property
     def faults_injected(self) -> dict[str, int]:
@@ -913,13 +952,18 @@ class KnapsackService:
             self._audit_bounds,
         )
 
-    def _merge_worker_obs(self, obs: dict | None) -> None:
-        """Fold one winning shard's shipped observability state into the
+    def _merge_worker_obs(self, obs: dict | None, *, abandoned: bool = False) -> None:
+        """Fold one shard attempt's shipped observability state into the
         parent runtime: registry (exact bucket-wise histogram merge),
         trace subtree (grafted under the current batch span), and flight
-        events (re-stamped into the parent's total order).  Losing
-        hedge/requeue attempts are never merged, matching how their cost
-        bills are discarded.
+        events (re-stamped into the parent's total order).
+
+        By default only winning attempts are merged, matching how losing
+        cost bills are discarded.  Under ``merge_losers`` losing
+        attempts arrive with ``abandoned=True``: their trace root is
+        renamed with an ``.abandoned`` suffix and their events tagged,
+        so abandoned work is visible but never mistakable for the
+        serving path.
         """
         if not obs:
             return
@@ -930,10 +974,32 @@ class KnapsackService:
         if trace is not None:
             parent = _obs.TRACER.current()
             if parent is not None:
-                _obs.TRACER.graft(parent, span_from_payload(trace))
+                root = span_from_payload(trace)
+                if abandoned:
+                    root.name = f"{root.name}.abandoned"
+                _obs.TRACER.graft(parent, root)
         events = obs.get("events")
         if events:
+            if abandoned:
+                events = [
+                    {**e, "attrs": {**(e.get("attrs") or {}), "abandoned": True}}
+                    for e in events
+                ]
             _obs.RECORDER.ingest(events)
+
+    def _absorb_loser(self, res: tuple) -> None:
+        """Account one losing-but-completed shard attempt's telemetry.
+
+        Its probe bill goes to the ``abandoned_*`` counters — *not* to
+        ``samples_used``/``queries_used``, which stay reconciled with
+        the budget — and its obs state merges tagged as abandoned."""
+        self._abandoned_shards += 1
+        self._abandoned_samples += int(res[1])
+        self._abandoned_queries += int(res[2])
+        self._abandoned_blocks += int(res[3])
+        self._merge_worker_obs(
+            res[6] if len(res) > 6 else None, abandoned=True
+        )
 
     def _run_process(self, shards, nonces, w, strict) -> _ShardTotals:
         """Submit shards to a process pool with requeue-on-death.
@@ -973,16 +1039,29 @@ class KnapsackService:
                         _obs.record_hedges(1)
                         _obs.record_event("shard.hedge", shard=k, nonce=nonces[k])
                     futures[k] = subs
+                winners: dict[int, object] = {}
                 for k in todo:
-                    res, err = _first_result(futures[k])
+                    res, winner, err = _first_result(futures[k])
                     if err is None:
                         results[k] = res
+                        winners[k] = winner
                     else:
                         last_error[k] = err
                         failed.append(k)
             finally:
                 for pool in pools:
                     pool.shutdown(wait=True, cancel_futures=True)
+            if self._merge_losers:
+                # Post-shutdown the round's futures are settled: losing
+                # attempts that ran to completion (hedge runners-up, or
+                # late finishers the winner beat) are harvestable;
+                # cancelled-before-start ones are not — nothing ran.
+                for k, subs in futures.items():
+                    for fut in subs:
+                        if fut is winners.get(k) or fut.cancelled():
+                            continue
+                        if fut.done() and fut.exception() is None:
+                            self._absorb_loser(fut.result())
             todo = []
             for k in failed:
                 if requeues[k] >= self._max_shard_retries:
@@ -1052,5 +1131,6 @@ class KnapsackService:
             "retries_used": self.retries_used,
             "degraded_total": self.degraded_total,
             "faults_injected": self.faults_injected,
+            "abandoned_work": self.abandoned_work,
             "cache": self._cache.stats() if self._cache is not None else None,
         }

@@ -1,0 +1,96 @@
+"""The NDJSON endpoint: protocol logic and one socket round-trip.
+
+``handle_request`` is the whole protocol — the socket layer only frames
+lines — so most coverage goes there; a single asyncio round-trip pins
+the framing, the executor dispatch, and the ``ready`` handshake.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.load.endpoint import handle_request, serve_endpoint
+from repro.serve import KnapsackService
+
+
+@pytest.fixture(scope="module")
+def service(uniform_instance, fast_params):
+    return KnapsackService(
+        uniform_instance, 0.1, 42, params=fast_params, cache_capacity=8
+    )
+
+
+class TestHandleRequest:
+    def test_ping(self, service):
+        assert handle_request(service, {"op": "ping"}) == {
+            "ok": True,
+            "op": "ping",
+        }
+
+    def test_stats_snapshot(self, service):
+        out = handle_request(service, {"op": "stats"})
+        assert out["ok"] and "samples_used" in out["stats"]
+        json.dumps(out)  # must be JSON-ready as returned
+
+    def test_answer_matches_direct_service_call(self, service):
+        direct = service.answer(5, nonce=9)
+        out = handle_request(service, {"op": "answer", "index": 5, "nonce": 9})
+        assert out["ok"]
+        assert out["answer"]["index"] == 5
+        assert out["answer"]["include"] == bool(direct.include)
+        assert out["answer"]["degraded"] is False
+
+    def test_unknown_op_is_an_error_not_a_crash(self, service):
+        out = handle_request(service, {"op": "explode"})
+        assert out == {
+            "ok": False,
+            "op": "explode",
+            "error": "ReproError: unknown op 'explode'",
+        }
+
+    @pytest.mark.parametrize("bad", [None, "3", 2.5, True])
+    def test_non_integer_index_rejected(self, service, bad):
+        out = handle_request(service, {"op": "answer", "index": bad})
+        assert not out["ok"] and "integer 'index'" in out["error"]
+
+    def test_out_of_range_index_reports_the_service_error(self, service):
+        out = handle_request(service, {"op": "answer", "index": 10**9})
+        assert not out["ok"] and out["op"] == "answer"
+
+
+class TestSocketRoundTrip:
+    def test_ndjson_over_a_real_socket(self, service):
+        async def scenario():
+            ready = asyncio.Event()
+            server = await serve_endpoint(service, port=0, ready=ready)
+            await asyncio.wait_for(ready.wait(), timeout=5)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            requests = [
+                {"op": "ping"},
+                {"op": "answer", "index": 3},
+                {"op": "nope"},
+            ]
+            responses = []
+            for req in requests:
+                writer.write(json.dumps(req).encode() + b"\n")
+                await writer.drain()
+                responses.append(
+                    json.loads(await asyncio.wait_for(reader.readline(), timeout=10))
+                )
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            responses.append(
+                json.loads(await asyncio.wait_for(reader.readline(), timeout=10))
+            )
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return responses
+
+        ping, answer, bad_op, bad_json = asyncio.run(scenario())
+        assert ping == {"ok": True, "op": "ping"}
+        assert answer["ok"] and answer["answer"]["index"] == 3
+        assert not bad_op["ok"]
+        assert not bad_json["ok"] and "bad json" in bad_json["error"]

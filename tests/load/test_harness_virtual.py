@@ -1,0 +1,133 @@
+"""LoadHarness: virtual-clock determinism, knee on a real sweep, and a
+small wall-clock smoke.
+
+The virtual clock replays the exact bounded-queue discipline of the
+asyncio front-end as a discrete-event simulation, so CI can assert
+byte-identical documents; with ``batch_max=1`` the simulated capacity
+is ``workers / (base_s + per_query_s)`` exactly, which the knee tests
+exploit (2 workers at the default 2.5 ms per query => 800 q/s).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.load import LoadHarness, ServiceModel, bench_load_document
+from repro.obs.schema import validate_bench_load
+from repro.serve import KnapsackService
+
+
+@pytest.fixture(scope="module")
+def service(uniform_instance, fast_params):
+    return KnapsackService(
+        uniform_instance, 0.1, 42, params=fast_params, cache_capacity=8
+    )
+
+
+def make_harness(service, **kw):
+    kw.setdefault("clock", "virtual")
+    kw.setdefault("seed", 7)
+    return LoadHarness(service, **kw)
+
+
+class TestVirtualDeterminism:
+    def test_repeated_sweeps_are_byte_identical(self, service):
+        docs = []
+        for _ in range(2):
+            h = make_harness(service)
+            rows, knee = h.sweep([100.0, 400.0], 150)
+            docs.append(
+                json.dumps(
+                    bench_load_document(rows, knee=knee, n=service.instance.n),
+                    sort_keys=True,
+                )
+            )
+        assert docs[0] == docs[1]
+
+    def test_nonce_moves_the_schedule(self, service):
+        h = make_harness(service)
+        r0 = h.run_rate(200.0, 200, nonce=0)
+        r1 = h.run_rate(200.0, 200, nonce=1)
+        assert r0 != r1  # same law, different arrival stream
+
+    def test_document_validates(self, service):
+        h = make_harness(service)
+        rows, knee = h.sweep([100.0, 200.0], 120)
+        doc = bench_load_document(rows, knee=knee, n=service.instance.n)
+        validate_bench_load(doc)  # raises on any inconsistency
+
+    def test_row_shape_and_phase_order(self, service):
+        row = make_harness(service).run_rate(250.0, 200)
+        assert row["mode"] == "load" and row["clock"] == "virtual"
+        assert row["queries"] == 200
+        assert row["completed"] + row["dropped"] == row["queries"]
+        assert row["p99_latency_ms"] >= row["p99_queueing_ms"]
+        assert row["p50_latency_ms"] <= row["p95_latency_ms"] <= row["p99_latency_ms"]
+
+
+class TestVirtualQueueing:
+    def test_knee_detected_past_modelled_capacity(self, service):
+        # batch_max=1: capacity = 2 / (0.002 + 0.0005) = 800 q/s exactly.
+        h = make_harness(service, batch_max=1, arrival="constant")
+        rows, knee = h.sweep([200.0, 400.0, 700.0, 1600.0, 3200.0], 400)
+        assert knee["detected"]
+        assert knee["knee_rate"] > 700.0
+        sub = [r for r in rows if r["offered_qps"] <= 700.0]
+        sat = [r for r in rows if r["offered_qps"] >= 1600.0]
+        # Sub-saturation rows keep up; saturated rows pin near capacity.
+        for r in sub:
+            assert r["achieved_qps"] >= 0.95 * r["offered_qps"]
+        for r in sat:
+            assert r["achieved_qps"] < 0.9 * r["offered_qps"]
+            assert r["p99_latency_ms"] > 4 * sub[0]["p99_latency_ms"]
+
+    def test_tiny_queue_cap_sheds_load(self, service):
+        h = make_harness(service, batch_max=1, queue_cap=2, arrival="constant")
+        row = h.run_rate(3200.0, 300)
+        assert row["dropped"] > 0
+        assert row["completed"] + row["dropped"] == row["queries"]
+        # Shedding keeps the queue (hence the tail) bounded.
+        assert row["availability"] < 1.0
+
+    def test_jitter_is_seeded(self, service):
+        model = ServiceModel(jitter=0.3)
+        rows = [
+            make_harness(service, service_model=model).run_rate(200.0, 150)
+            for _ in range(2)
+        ]
+        assert rows[0] == rows[1]
+
+
+class TestValidation:
+    def test_bad_clock_rejected(self, service):
+        with pytest.raises(ReproError, match="clock"):
+            LoadHarness(service, clock="sundial")
+
+    def test_bad_arrival_rejected(self, service):
+        with pytest.raises(ReproError, match="arrival"):
+            LoadHarness(service, arrival="bursty")
+
+    @pytest.mark.parametrize(
+        "kw", [dict(workers=0), dict(queue_cap=0), dict(batch_max=0)]
+    )
+    def test_bad_sizes_rejected(self, service, kw):
+        with pytest.raises(ReproError):
+            LoadHarness(service, **kw)
+
+    def test_zero_queries_rejected(self, service):
+        with pytest.raises(ReproError, match="queries"):
+            make_harness(service).run_rate(100.0, 0)
+
+
+class TestWallSmoke:
+    def test_wall_mode_drives_the_real_service(self, service):
+        # Small and fast: the cache is warm after the untimed prefill,
+        # so 40 queries at 200 q/s finish in ~0.2 s.
+        h = LoadHarness(service, seed=7, clock="wall", workers=2)
+        row = h.run_rate(200.0, 40)
+        assert row["clock"] == "wall"
+        assert row["completed"] == 40 and row["dropped"] == 0
+        assert row["availability"] == 1.0
+        assert row["p99_latency_ms"] > 0
+        assert row["p99_latency_ms"] >= row["p99_queueing_ms"]

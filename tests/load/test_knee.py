@@ -1,0 +1,99 @@
+"""Saturation-knee detection on synthetic sweep curves.
+
+The synthetic rows follow the textbook M/D/1 shape around a capacity
+``mu``: below it achieved == offered and p99 grows as the smooth
+``1/(1-rho)`` queueing term; above it achieved pins at ``mu`` and p99
+explodes.  The detector must find the crossing from either symptom.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.load import detect_knee
+
+
+def md1_row(offered, mu=800.0, service_ms=2.5):
+    """One synthetic sweep row for offered rate vs capacity ``mu``."""
+    rho = offered / mu
+    if rho < 1.0:
+        achieved = offered
+        # Deterministic-service waiting time ~ rho/(2(1-rho)) * service.
+        p99 = service_ms * (1.0 + rho / (2.0 * (1.0 - rho)))
+    else:
+        achieved = mu
+        p99 = service_ms * 200.0  # unbounded queue: tail explodes
+    return {
+        "offered_qps": float(offered),
+        "achieved_qps": round(achieved, 3),
+        "p99_latency_ms": round(p99, 4),
+    }
+
+
+class TestDetection:
+    def test_throughput_knee_on_md1_curve(self):
+        rows = [md1_row(r) for r in (100, 200, 400, 800, 1200, 1600)]
+        verdict = detect_knee(rows)
+        assert verdict["detected"]
+        # First saturated rate is 1200 (achieved pins at 800 < 0.9*1200);
+        # at 800 exactly, achieved == 800 >= 0.9*800, but latency blows up.
+        assert verdict["reason"] in ("throughput", "latency")
+        assert 400 < verdict["knee_rate"] <= 1200
+        assert verdict["rates"] == [100.0, 200.0, 400.0, 800.0, 1200.0, 1600.0]
+
+    def test_latency_knee_fires_before_throughput_cliff(self):
+        # Achieved keeps up everywhere, but the tail departs: pure
+        # latency knee.
+        rows = [md1_row(r, mu=10_000.0) for r in (100, 200, 400)]
+        rows.append(
+            {"offered_qps": 800.0, "achieved_qps": 800.0,
+             "p99_latency_ms": 100.0}
+        )
+        verdict = detect_knee(rows)
+        assert verdict["detected"] and verdict["reason"] == "latency"
+        assert verdict["index"] == 3
+        assert verdict["knee_rate"] == pytest.approx((400 + 800) / 2)
+
+    def test_sub_saturation_sweep_reports_no_knee(self):
+        rows = [md1_row(r) for r in (50, 100, 200, 400)]
+        verdict = detect_knee(rows)
+        assert not verdict["detected"]
+        assert verdict["knee_rate"] is None and verdict["reason"] is None
+        assert verdict["base_p99_ms"] == rows[0]["p99_latency_ms"]
+
+    def test_sweep_saturated_from_the_start(self):
+        rows = [md1_row(r, mu=50.0) for r in (200, 400)]
+        verdict = detect_knee(rows)
+        assert verdict["detected"] and verdict["index"] == 0
+        # No sub-saturation point to its left: knee is the first rate.
+        assert verdict["knee_rate"] == 200.0
+
+    def test_rows_need_not_be_sorted(self):
+        rows = [md1_row(r) for r in (1600, 100, 800, 400, 1200, 200)]
+        verdict = detect_knee(rows)
+        assert verdict["detected"]
+        assert verdict["rates"] == sorted(verdict["rates"])
+
+    def test_empty_sweep(self):
+        verdict = detect_knee([])
+        assert not verdict["detected"] and verdict["rates"] == []
+
+
+class TestThresholds:
+    def test_sat_ratio_moves_the_knee(self):
+        rows = [md1_row(r) for r in (400, 800, 900, 1600)]
+        strict = detect_knee(rows, sat_ratio=0.999)
+        lax = detect_knee(rows, sat_ratio=0.4)
+        assert strict["detected"]
+        # Laxer ratio tolerates the 900-rate row (achieved 800 > 0.4*900)
+        # so only the deep-saturation row (or latency) triggers later.
+        assert lax["index"] >= strict["index"] or lax["reason"] == "latency"
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_bad_sat_ratio_rejected(self, bad):
+        with pytest.raises(ReproError, match="sat_ratio"):
+            detect_knee([], sat_ratio=bad)
+
+    @pytest.mark.parametrize("bad", [1.0, 0.5])
+    def test_bad_latency_factor_rejected(self, bad):
+        with pytest.raises(ReproError, match="latency_factor"):
+            detect_knee([], latency_factor=bad)

@@ -1,0 +1,114 @@
+"""LatencyRecorder: exact phase partition, availability, row shape.
+
+The recorder *defines* end-to-end as queueing + service, mirroring the
+tracer's count-partition invariant for time.  The hypothesis property
+below pins the consequences: counts partition exactly, sums partition
+to float-exactness of the defined addition, and because the histogram
+bucket map is monotone, every estimated end-to-end quantile dominates
+the matching queueing quantile.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.load import LatencyRecorder
+
+# (arrival, queueing-delay, service-time) triples with non-degenerate
+# magnitudes spanning several histogram decades.
+_phase = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+_lifecycles = st.lists(
+    st.tuples(_phase, _phase, _phase), min_size=1, max_size=60
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_lifecycles)
+def test_end_to_end_partitions_into_queueing_plus_service(lifecycles):
+    rec = LatencyRecorder()
+    for arrival, qd, sd in lifecycles:
+        rec.offer()
+        rec.record(arrival, arrival + qd, arrival + qd + sd)
+
+    # Count partition: every completion hit all three histograms.
+    n = len(lifecycles)
+    assert rec.queueing.count == rec.service.count == rec.end_to_end.count == n
+
+    # Sum partition: e2e observes the *defined* sum of the two phases,
+    # so the histogram sums agree to accumulated float addition error.
+    assert rec.end_to_end.sum == pytest.approx(
+        rec.queueing.sum + rec.service.sum, abs=1e-9 * max(1, n)
+    )
+
+    # Quantile dominance: per-sample e2e >= queueing and the geometric
+    # bucket map is monotone, so estimated quantiles inherit the order.
+    for q in (0.50, 0.95, 0.99):
+        assert rec.end_to_end.quantile(q) >= rec.queueing.quantile(q) - 1e-12
+        assert rec.end_to_end.quantile(q) >= rec.service.quantile(q) - 1e-12
+
+
+class TestGates:
+    def test_availability_counts_against_offered(self):
+        rec = LatencyRecorder()
+        rec.offer(10)
+        rec.drop(2)
+        for i in range(8):
+            rec.record(float(i), float(i) + 0.01, float(i) + 0.02,
+                       degraded=(i < 3))
+        # 8 completed, 3 degraded, 10 offered.
+        assert rec.availability == pytest.approx(5 / 10)
+        assert rec.completed == 8 and rec.dropped == 2 and rec.degraded == 3
+
+    def test_empty_recorder_is_all_zeros(self):
+        rec = LatencyRecorder()
+        assert rec.elapsed_s == 0.0
+        assert rec.achieved_qps == 0.0
+        assert rec.availability == 0.0
+        row = rec.row(rate=100.0)
+        assert row["p99_latency_ms"] == 0.0 and row["queries"] == 0
+
+    def test_negative_queueing_phase_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ReproError, match="non-negative"):
+            rec.record(1.0, 0.5, 2.0)
+
+    def test_negative_service_phase_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ReproError, match="non-negative"):
+            rec.record(1.0, 2.0, 1.5)
+
+
+class TestRow:
+    def test_row_fields_and_internal_consistency(self):
+        rec = LatencyRecorder()
+        rec.offer(6)
+        rec.drop(1)
+        for i in range(5):
+            rec.record(0.1 * i, 0.1 * i + 0.005, 0.1 * i + 0.015)
+        row = rec.row(rate=50.0)
+        assert row["rate"] == 50.0 and row["offered_qps"] == 50.0
+        assert row["queries"] == 6
+        assert row["completed"] + row["dropped"] <= row["queries"]
+        assert row["availability"] == round(5 / 6, 6)
+        # Elapsed spans first arrival to last finish.
+        assert row["elapsed_s"] == pytest.approx(0.415, abs=1e-6)
+        assert row["achieved_qps"] == pytest.approx(5 / 0.415, abs=1e-2)
+        for phase in ("queueing", "latency"):
+            p50 = row[f"p50_{phase}_ms"]
+            p95 = row[f"p95_{phase}_ms"]
+            p99 = row[f"p99_{phase}_ms"]
+            assert 0 <= p50 <= p95 <= p99
+        assert row["p99_latency_ms"] >= row["p99_queueing_ms"]
+
+    def test_elapsed_tracks_extremes_not_order(self):
+        rec = LatencyRecorder()
+        rec.offer(2)
+        rec.record(5.0, 5.0, 5.5)
+        rec.record(1.0, 1.0, 1.2)  # earlier arrival recorded later
+        assert rec.elapsed_s == pytest.approx(4.5)
+        assert math.isfinite(rec.achieved_qps)

@@ -1,0 +1,90 @@
+"""FlightRecorder JSONL spill: evicted ring entries land on disk.
+
+The ring stays bounded and ``dropped`` stays honest (it counts every
+eviction, spilled or not); ``spilled`` counts what reached disk.  Both
+``set_spill`` and ``clear`` truncate the file, so a seeded replay still
+produces byte-identical artifacts — the events/v1 document itself is
+untouched by spilling.
+"""
+
+import json
+
+from repro.obs.events import FlightRecorder, events_document
+
+
+def read_jsonl(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh]
+
+
+class TestSpill:
+    def test_evictions_append_to_the_spill_file(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        rec = FlightRecorder(capacity=3, spill_path=str(path))
+        for i in range(5):
+            rec.record("fault.probe_failure", i=i)
+        assert len(rec) == 3
+        assert rec.dropped == 2 and rec.spilled == 2
+        spilled = read_jsonl(path)
+        # Oldest two events, in eviction order, full payloads.
+        assert [e["seq"] for e in spilled] == [1, 2]
+        assert [e["attrs"]["i"] for e in spilled] == [0, 1]
+
+    def test_without_spill_dropped_counts_but_nothing_is_written(self):
+        rec = FlightRecorder(capacity=2)
+        for i in range(4):
+            rec.record("fault.timeout", i=i)
+        assert rec.dropped == 2 and rec.spilled == 0
+        assert rec.spill_path is None
+
+    def test_set_spill_truncates_and_resets_spilled(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        path.write_text('{"stale": true}\n')
+        rec = FlightRecorder(capacity=1)
+        rec.set_spill(str(path))
+        assert rec.spilled == 0
+        rec.record("a.b")
+        rec.record("a.b")  # evicts the first
+        assert read_jsonl(path)[0]["seq"] == 1
+        assert rec.spilled == 1
+
+    def test_clear_truncates_for_replay_byte_identity(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        rec = FlightRecorder(capacity=1, spill_path=str(path))
+
+        def scenario():
+            rec.clear()
+            for i in range(3):
+                rec.record("fault.corruption", i=i)
+            return path.read_bytes(), json.dumps(
+                events_document(rec), sort_keys=True
+            )
+
+        first = scenario()
+        second = scenario()
+        assert first == second  # spill file AND document replay identically
+        assert rec.spilled == 2  # per run, not cumulative across clears
+
+    def test_ingested_events_spill_too(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        rec = FlightRecorder(capacity=1, spill_path=str(path))
+        rec.record("parent.event")
+        rec.ingest(
+            [{"seq": 9, "kind": "child.event", "attrs": {"shard": 0}}] * 2
+        )
+        # Two evictions: the parent event, then the first ingested one.
+        spilled = read_jsonl(path)
+        assert [e["kind"] for e in spilled] == ["parent.event", "child.event"]
+        assert rec.dropped == 2 == rec.spilled
+
+    def test_events_document_unchanged_by_spilling(self, tmp_path):
+        bare = FlightRecorder(capacity=2)
+        spilling = FlightRecorder(
+            capacity=2, spill_path=str(tmp_path / "s.jsonl")
+        )
+        for rec in (bare, spilling):
+            for i in range(4):
+                rec.record("fault.probe_failure", i=i)
+        assert json.dumps(events_document(bare), sort_keys=True) == json.dumps(
+            events_document(spilling), sort_keys=True
+        )

@@ -1,0 +1,96 @@
+"""Opt-in "losers too" shard-telemetry merge (``merge_losers=True``).
+
+Hedged process-pool rounds race duplicate submissions; by default only
+the winner's telemetry is merged and the loser's work vanishes.  With
+``merge_losers=True`` losing attempts that ran to completion are
+absorbed into separate ``abandoned_*`` counters — attributed work can
+exceed billed work, and that surplus is the feature, not a leak.  The
+answers and the budget bill must not move either way.
+"""
+
+import pytest
+
+from repro.obs import runtime as rt
+from repro.serve import KnapsackService
+
+INDICES = list(range(0, 60, 3))
+
+
+def service(instance, params, **kw):
+    kw.setdefault("cache", False)
+    return KnapsackService(
+        instance, 0.1, seed=42, params=params, executor="process", **kw
+    )
+
+
+class TestDefaultWinnersOnly:
+    def test_abandoned_work_is_zero_without_the_flag(
+        self, tiers_instance, fast_params
+    ):
+        svc = KnapsackService(
+            tiers_instance, 0.1, seed=42, params=fast_params, cache=False
+        )
+        svc.answer_batch(INDICES, nonce=31, workers=2)
+        assert svc.abandoned_work == {
+            "shards": 0, "samples": 0, "queries": 0, "blocks": 0,
+        }
+
+    def test_stats_carries_the_abandoned_block(self, uniform_instance, fast_params):
+        svc = KnapsackService(
+            uniform_instance, 0.1, seed=42, params=fast_params, cache=False
+        )
+        assert svc.stats()["abandoned_work"]["shards"] == 0
+
+
+@pytest.mark.slow
+class TestHedgedHarvest:
+    def test_losers_are_harvested_and_answers_unchanged(
+        self, tiers_instance, fast_params
+    ):
+        merged = service(tiers_instance, fast_params, hedge=True, merge_losers=True)
+        plain = service(tiers_instance, fast_params, hedge=True)
+        a = merged.answer_batch(INDICES, nonce=31, workers=2)
+        b = plain.answer_batch(INDICES, nonce=31, workers=2)
+
+        # Parity: harvesting telemetry must not change a single answer.
+        assert [x.index for x in a.answers] == [x.index for x in b.answers]
+        assert [x.include for x in a.answers] == [x.include for x in b.answers]
+        assert a.hedges >= 1
+
+        # The hedge losers ran a full pipeline each: their bills land in
+        # abandoned_*, so attributed exceeds billed.
+        harvest = merged.abandoned_work
+        assert harvest["shards"] >= 1
+        assert harvest["samples"] > 0
+
+        # Billed budget is winners-only on both services.
+        assert merged.samples_used == plain.samples_used
+        assert harvest["samples"] not in (0,) and (
+            merged.samples_used + harvest["samples"] > plain.samples_used
+        )
+
+    def test_winners_only_hedge_leaves_counters_at_zero(
+        self, tiers_instance, fast_params
+    ):
+        plain = service(tiers_instance, fast_params, hedge=True)
+        plain.answer_batch(INDICES, nonce=31, workers=2)
+        assert plain.abandoned_work["shards"] == 0
+
+    def test_abandoned_traces_are_tagged_not_mixed(
+        self, tiers_instance, fast_params
+    ):
+        rt.REGISTRY.reset()
+        rt.TRACER.reset_worker()
+        rt.RECORDER.clear()
+        merged = service(tiers_instance, fast_params, hedge=True, merge_losers=True)
+        rt.TRACER.enable()
+        try:
+            with rt.span("repro.trace") as root:
+                merged.answer_batch(INDICES, nonce=31, workers=2)
+        finally:
+            rt.TRACER.disable()
+        names = [s.name for s, _ in root.walk()]
+        abandoned = [n for n in names if n.endswith(".abandoned")]
+        assert abandoned, f"no abandoned-trace roots in {names}"
+        # Winner spans keep their plain names alongside the tagged ones.
+        assert any(not n.endswith(".abandoned") for n in names)
