@@ -29,7 +29,7 @@ import pathlib
 
 from conftest import emit_json, run_once
 
-from repro.cli import _LOAD_DEFAULTS, _run_load_sweep
+from repro.load import LOAD_DEFAULTS, run_load_sweep
 from repro.core.parameters import LCAParameters
 from repro.knapsack import generate
 from repro.load import LoadHarness, bench_load_document
@@ -62,7 +62,7 @@ def _wall_rows():
 
 def _virtual_sweep():
     """The deterministic rate sweep ``obs-diff --fresh`` replays."""
-    return _run_load_sweep(dict(_LOAD_DEFAULTS))
+    return run_load_sweep(dict(LOAD_DEFAULTS))
 
 
 def test_load_latency(benchmark):
@@ -93,7 +93,7 @@ def test_load_latency(benchmark):
     doc = bench_load_document(
         virtual_rows + wall_rows,
         knee=knee,
-        **{**_LOAD_DEFAULTS, "rates": [float(r) for r in _LOAD_DEFAULTS["rates"]]},
+        **{**LOAD_DEFAULTS, "rates": [float(r) for r in LOAD_DEFAULTS["rates"]]},
     )
     validate_bench_load(doc)
     BENCH_LOAD_PATH.write_text(

@@ -253,6 +253,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_load.add_argument("--host", default="127.0.0.1", help="bind address for --listen")
     p_load.add_argument("--port", type=int, default=0, help="bind port for --listen (0 = ephemeral)")
+    p_load.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="drive a remote --listen endpoint instead of an in-process "
+        "service (implies --clock wall; rows are tagged transport=socket)",
+    )
+
+    p_suite = sub.add_parser(
+        "suite",
+        help="run a declarative scenario matrix and write suite-report/v1 "
+        "(pass a matrix file, or a previous report to rerun it "
+        "byte-identically from its embedded config)",
+    )
+    p_suite.add_argument(
+        "matrix",
+        help="path to a suite matrix JSON (benchmarks/suites/*.json) or a "
+        "suite-report/v1 document to rerun",
+    )
+    p_suite.add_argument(
+        "--filter", default=None, metavar="SUBSTR",
+        help="run only cells whose id contains this substring",
+    )
+    p_suite.add_argument(
+        "--cell", action="append", default=None, metavar="ID",
+        help="run only this cell id (repeatable)",
+    )
+    p_suite.add_argument(
+        "--out", metavar="PATH", default="suite_report.json",
+        help="where to write the suite-report/v1 document",
+    )
 
     p_bench = sub.add_parser(
         "bench", help="measure serving throughput and write BENCH_serve.json"
@@ -381,10 +410,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare relative metrics only)",
     )
     p_diff.add_argument(
-        "--fresh", default=None, choices=("cold", "serve", "load"),
+        "--fresh", default=None, choices=("cold", "serve", "load", "chaos", "suite"),
         help="which quick bench to run when no candidate is given "
         "(default: inferred from the baseline's own context block; "
-        "load baselines are rerun exactly from their context)",
+        "deterministic baselines — virtual-clock load, chaos, suite — "
+        "are rerun exactly from their context)",
     )
     p_diff.add_argument(
         "--threshold", type=float, default=1.75,
@@ -788,6 +818,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             args.epsilon, max_nrq=args.cap, max_m_large=args.cap
         )
     rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+    from .obs.context import RunContext
+
+    context = RunContext.build(
+        "chaos",
+        family=args.family,
+        n=args.n,
+        instance_seed=args.instance_seed,
+        epsilon=args.epsilon,
+        chaos_seed=args.seed,
+        lca_seed=args.lca_seed,
+        rates=list(rates),
+        queries=args.queries,
+        batches=args.batches,
+        availability_target=args.target,
+        retries=args.retries,
+        cap=args.cap,
+    )
     doc = chaos_sweep(
         inst,
         epsilon=args.epsilon,
@@ -799,6 +846,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         availability_target=args.target,
         params=params,
         retry=RetryPolicy(max_retries=args.retries, seed=args.seed),
+        context=context,
     )
     # Sorted keys + no timing fields: the same seed must produce the
     # same bytes (the CI chaos-smoke job diffs two runs).
@@ -914,99 +962,14 @@ def _cmd_flightrec(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Full default configuration of a load sweep; a baseline document's
-#: ``context`` block overrides any subset of these.
-_LOAD_DEFAULTS = {
-    "family": "uniform",
-    "n": 2000,
-    "seed": 0,
-    "epsilon": 0.1,
-    "lca_seed": 42,
-    "rates": (50.0, 100.0, 200.0, 400.0, 800.0),
-    "queries": 200,
-    "arrival": "poisson",
-    "workers": 2,
-    "queue_cap": 256,
-    "batch_max": 16,
-    "clock": "virtual",
-    "nonce": 0,
-    "base_s": 0.002,
-    "per_query_s": 0.0005,
-    "jitter": 0.0,
-    "fault_rate": 0.0,
-    "retries": 0,
-    "cap": 4_000,
-}
-
-
-def _run_load_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
-    """Run one open-loop load sweep from a plain config dict.
-
-    Shared by ``repro loadgen`` and the ``obs-diff --fresh`` rerun path:
-    the config is exactly what ``bench-load/v1`` stores under
-    ``context``, so a committed document fully describes its own rerun.
-    Returns ``(rows, knee, document)``.
-    """
-    from .core.parameters import LCAParameters
-    from .faults import FaultPlan, RetryPolicy
-    from .load import LoadHarness, ServiceModel, bench_load_document
-    from .serve import KnapsackService
-
-    cfg = {**_LOAD_DEFAULTS, **{k: v for k, v in cfg.items() if k in _LOAD_DEFAULTS}}
-    inst = generate(cfg["family"], int(cfg["n"]), seed=int(cfg["seed"]))
-    params = None
-    if cfg["cap"]:
-        params = LCAParameters.calibrated(
-            float(cfg["epsilon"]), max_nrq=int(cfg["cap"]), max_m_large=int(cfg["cap"])
-        )
-    plan = None
-    policy = None
-    if float(cfg["fault_rate"]) > 0.0:
-        plan = FaultPlan(
-            seed=int(cfg["lca_seed"]), probe_failure_rate=float(cfg["fault_rate"])
-        )
-        if int(cfg["retries"]) > 0:
-            policy = RetryPolicy(
-                max_retries=int(cfg["retries"]), seed=int(cfg["lca_seed"])
-            )
-    service = KnapsackService(
-        inst,
-        float(cfg["epsilon"]),
-        seed=int(cfg["lca_seed"]),
-        params=params,
-        fault_plan=plan,
-        retry_policy=policy,
-        strict=plan is None,
-    )
-    harness = LoadHarness(
-        service,
-        arrival=cfg["arrival"],
-        workers=int(cfg["workers"]),
-        queue_cap=int(cfg["queue_cap"]),
-        batch_max=int(cfg["batch_max"]),
-        clock=cfg["clock"],
-        service_model=ServiceModel(
-            base_s=float(cfg["base_s"]),
-            per_query_s=float(cfg["per_query_s"]),
-            jitter=float(cfg["jitter"]),
-        ),
-    )
-    rates = [float(r) for r in cfg["rates"]]
-    rows, knee = harness.sweep(rates, int(cfg["queries"]), nonce=int(cfg["nonce"]))
-    for row in rows:
-        row["n"] = inst.n
-        row["family"] = cfg["family"]
-    doc = bench_load_document(
-        rows, knee=knee, **{**cfg, "rates": rates, "n": inst.n}
-    )
-    return rows, knee, doc
-
-
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .load.sweep import run_load_sweep
     from .obs.export import write_json
 
     if args.listen:
         return _loadgen_listen(args)
+    if args.connect:
+        return _loadgen_connect(args)
     cfg = {
         "family": args.family,
         "n": args.n,
@@ -1034,7 +997,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "(the virtual clock simulates service time, not the service)",
             file=sys.stderr,
         )
-    rows, knee, doc = _run_load_sweep(cfg)
+    rows, knee, doc = run_load_sweep(cfg)
     shown = [
         {
             k: r[k]
@@ -1078,19 +1041,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 def _loadgen_listen(args: argparse.Namespace) -> int:
     import asyncio
 
+    from .core.parameters import LCAParameters
     from .load.endpoint import serve_endpoint
     from .serve import KnapsackService
 
     inst = generate(args.family, args.n, seed=args.seed)
-    service = KnapsackService(inst, args.epsilon, seed=args.lca_seed)
+    params = None
+    if args.cap:
+        params = LCAParameters.calibrated(
+            args.epsilon, max_nrq=args.cap, max_m_large=args.cap
+        )
+    service = KnapsackService(
+        inst, args.epsilon, seed=args.lca_seed, params=params, cache_capacity=8
+    )
 
     async def run() -> None:
         server = await serve_endpoint(
             service, host=args.host, port=args.port, nonce=args.nonce
         )
         host, port = server.sockets[0].getsockname()[:2]
-        print(f"loadgen endpoint listening on {host}:{port} (Ctrl-C to stop)")
-        print('protocol: one JSON object per line, e.g. {"op": "answer", "index": 0}')
+        print(f"loadgen endpoint listening on {host}:{port} (Ctrl-C to stop)", flush=True)
+        print('protocol: one JSON object per line, e.g. {"op": "answer", "index": 0}', flush=True)
         async with server:
             await server.serve_forever()
 
@@ -1101,51 +1072,83 @@ def _loadgen_listen(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fresh_bench_document(kind: str, context: dict | None = None) -> dict:
-    """Fresh candidate benchmark for candidate-less ``obs-diff`` runs.
+def _loadgen_connect(args: argparse.Namespace) -> int:
+    """Drive a remote ``--listen`` endpoint through the load harness.
 
-    ``context`` is the baseline document's own ``context`` block — the
-    rerun configuration travels *inside* the baseline, so a committed
-    document can be re-checked without knowing how it was produced.
-
-    For ``cold``/``serve`` baselines the rerun is deliberately tiny
-    (absolute timings from a quick run are noise; only the
-    dimensionless speedup columns are compared), keeping the baseline's
-    family/epsilon/seed so the relative shape is comparable.  For
-    ``load`` baselines the context *is* the full sweep configuration
-    and the virtual clock is deterministic, so the rerun is exact.
+    Wall clock only: the whole point of the socket face is that the
+    measured latency includes a real process boundary and wire, which a
+    virtual clock cannot simulate.  The rows are tagged
+    ``transport="socket"`` so they never silently diff against
+    in-process rows.
     """
-    from .serve.bench import (
-        bench_cold_document,
-        bench_serve_document,
-        cold_pipeline_rows,
-        serve_throughput_rows,
-    )
+    from .load import EndpointClient, LoadHarness
+    from .obs.export import write_json
 
-    ctx = context or {}
-    if kind == "load":
-        return _run_load_sweep(ctx)[2]
-    if kind == "cold":
-        family = ctx.get("family", "planted_lsg")
-        epsilon = float(ctx.get("epsilon", 0.1))
-        lca_seed = int(ctx.get("lca_seed", 7))
-        inst = generate(family, 2000, seed=int(ctx.get("seed", 0)))
-        rows = cold_pipeline_rows(inst, epsilon=epsilon, seed=lca_seed, queries=2)
-        return bench_cold_document(rows)
-    family = ctx.get("family", "uniform")
-    epsilon = float(ctx.get("epsilon", 0.1))
-    lca_seed = int(ctx.get("lca_seed", 7))
-    inst = generate(family, 2000, seed=int(ctx.get("seed", 0)))
-    rows = serve_throughput_rows(
-        inst, epsilon=epsilon, seed=lca_seed, queries=100, batch=50, workers=2,
-        baseline_queries=5,
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--connect needs HOST:PORT, got {args.connect!r}", file=sys.stderr)
+        return 2
+    if args.clock != "wall":
+        print(
+            "note: --connect implies --clock wall (a remote endpoint "
+            "cannot be virtually clocked)",
+            file=sys.stderr,
+        )
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    with EndpointClient(host, int(port)) as client:
+        harness = LoadHarness(
+            client,
+            seed=args.seed,
+            arrival=args.arrival,
+            workers=args.workers,
+            queue_cap=args.queue_cap,
+            batch_max=args.batch_max,
+            clock="wall",
+        )
+        rows, knee = harness.sweep(rates, args.queries, nonce=args.nonce)
+    for row in rows:
+        row["n"] = client.n
+        row["family"] = args.family
+        row["transport"] = "socket"
+    from .load import bench_load_document
+
+    doc = bench_load_document(
+        rows,
+        knee=knee,
+        name="load_latency_socket",
+        title="Open-loop load over the NDJSON endpoint (wall clock)",
+        bench="load",
+        clock="wall",
+        rates=rates,
+        queries=args.queries,
+        n=client.n,
+        epsilon=client.epsilon,
+        endpoint=f"{host}:{port}",
     )
-    return bench_serve_document(rows)
+    shown = [
+        {
+            k: r[k]
+            for k in (
+                "offered_qps", "achieved_qps", "completed", "dropped",
+                "degraded", "availability", "p50_latency_ms", "p99_latency_ms",
+            )
+        }
+        for r in rows
+    ]
+    print(
+        f"loadgen --connect {host}:{port}: n={client.n} "
+        f"epsilon={client.epsilon} (remote instance)"
+    )
+    print(format_row_dicts(shown, title="open-loop load sweep (socket)"))
+    write_json(args.out, doc)
+    print(f"wrote bench-load/v1 document to {args.out}")
+    return 0
 
 
 def _cmd_obs_diff(args: argparse.Namespace) -> int:
     import json
 
+    from .obs.context import RunContext
     from .obs.diff import diff_documents
     from .obs.export import write_json
 
@@ -1157,17 +1160,20 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
             candidate = json.load(fh)
         cand_label = args.candidate
     else:
-        context = baseline.get("context") or {}
-        kind = args.fresh or context.get("bench") or "cold"
-        candidate = _fresh_bench_document(kind, context)
-        source = "from baseline context" if context else "defaults"
-        cand_label = f"fresh {kind} run ({source})"
-        # A virtual-clock load rerun is deterministic, so the full
-        # comparison (tails, counts, knee inputs) is fair game; every
-        # other fresh run happens on unknown hardware => relative only.
-        relative_only = not (
-            kind == "load" and context.get("clock", "virtual") == "virtual"
-        )
+        # Candidate-less run: the baseline's own context block is the
+        # rerun recipe (see RunContext) — a committed document can be
+        # re-checked without knowing how it was produced.
+        ctx = RunContext.from_document(baseline, default_bench=args.fresh or "cold")
+        if args.fresh:
+            ctx = RunContext(bench=args.fresh, config=ctx.config)
+        candidate = ctx.rerun()
+        source = "from baseline context" if baseline.get("context") else "defaults"
+        cand_label = f"fresh {ctx.bench} run ({source})"
+        # A deterministic rerun (virtual-clock load, chaos, suite) owes
+        # the baseline identical numbers, so the full comparison (tails,
+        # counts, knee inputs) is fair game; every other fresh run
+        # happens on unknown hardware => relative metrics only.
+        relative_only = not ctx.deterministic
     doc = diff_documents(
         baseline,
         candidate,
@@ -1205,6 +1211,72 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     if args.out:
         write_json(args.out, doc)
         print(f"wrote bench-diff/v1 to {args.out}")
+    return 0 if doc["ok"] else 1
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .obs.schema import BenchDocument
+    from .suite import SuiteConfig, SuiteRunner
+
+    from .errors import ReproError
+
+    try:
+        config = SuiteConfig.from_file(args.matrix)
+        if args.filter or args.cell:
+            config = config.select(pattern=args.filter, ids=args.cell)
+    except ReproError as exc:
+        print(f"suite: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"suite {config.name!r}: {len(config.cells)} cell(s), "
+        f"seed {config.seed}"
+    )
+
+    def progress(result) -> None:
+        marker = {
+            "pass": "ok", "expected_failure": "ok (expected failure)",
+            "fail": "FAIL", "error": "ERROR",
+        }[result.outcome]
+        extra = f" [{result.error}]" if result.error else ""
+        print(f"  {result.cell.id:32s} {result.cell.kind:12s} {marker}{extra}")
+
+    result = SuiteRunner(config).run(progress=progress)
+    doc = result.document()
+    BenchDocument(
+        kind="suite-report", body=doc, deterministic=bool(doc["deterministic"])
+    ).write(args.out)
+    shown = [
+        {
+            "id": c["id"],
+            "kind": c["kind"],
+            "family": c["family"],
+            "n": c["n"],
+            "outcome": c["outcome"],
+            "checks": f"{sum(1 for ch in c['checks'] if ch['ok'])}"
+            f"/{len(c['checks'])}",
+        }
+        for c in doc["cells"]
+    ]
+    print(format_row_dicts(shown, title=f"suite {config.name}"))
+    failed = [
+        (c["id"], ch)
+        for c in doc["cells"]
+        for ch in c["checks"]
+        if not ch["ok"]
+    ]
+    for cell_id, ch in failed:
+        print(
+            f"failed check: {cell_id}.{ch['name']}: observed "
+            f"{ch['observed']} vs threshold {ch['threshold']} "
+            f"({ch.get('detail', '')})"
+        )
+    s = doc["summary"]
+    print(
+        f"{s['cells']} cells: {s['passed']} passed, "
+        f"{s['expected_failures']} expected failures, {s['failed']} failed, "
+        f"{s['errors']} errors -> " + ("OK" if doc["ok"] else "FAIL")
+    )
+    print(f"wrote suite-report/v1 to {args.out}")
     return 0 if doc["ok"] else 1
 
 
@@ -1314,6 +1386,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "flightrec": _cmd_flightrec,
         "obs-diff": _cmd_obs_diff,
+        "suite": _cmd_suite,
         "cluster": _cmd_cluster,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,

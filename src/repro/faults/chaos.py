@@ -53,6 +53,7 @@ def chaos_sweep(
     corruption_rate: float = 0.0,
     latency_spike_rate: float = 0.0,
     audit: bool = False,
+    context=None,
 ) -> dict:
     """Run the sweep; returns a ``chaos-report/v1`` document (pure data).
 
@@ -134,6 +135,11 @@ def chaos_sweep(
             "availability": round(availability, 6),
             "meets_target": bool(availability >= availability_target and aborts == 0),
         }
+        if retry.hedge_after_s is not None:
+            row["probe_hedges"] = int(getattr(service, "probe_hedges_used", 0))
+            row["hedge_latency_saved_s"] = round(
+                float(getattr(service, "hedge_latency_saved_s", 0.0)), 9
+            )
         if audit:
             row["corruptions_detected"] = service.faults_injected.get(
                 "corruptions_detected", 0
@@ -151,6 +157,7 @@ def chaos_sweep(
         availability_target=float(availability_target),
         retry=retry,
         fault_free_equivalence=fault_free_equivalence,
+        context=context,
     )
 
 
@@ -166,12 +173,18 @@ def chaos_document(
     availability_target: float,
     retry: RetryPolicy,
     fault_free_equivalence: bool,
+    context=None,
 ) -> dict:
-    """Assemble the deterministic ``chaos-report/v1`` document."""
-    return {
-        "schema": CHAOS_SCHEMA,
-        "name": "chaos_sweep",
-        "title": "Availability under injected probe faults (seeded, deterministic)",
+    """Assemble the deterministic ``chaos-report/v1`` document.
+
+    ``context`` (a :class:`~repro.obs.context.RunContext` or plain
+    mapping) makes the report self-rerunnable like every other bench
+    document; passing ``None`` keeps the historical context-free shape,
+    so old byte baselines stay reproducible.
+    """
+    from ..obs.schema import BenchDocument
+
+    fields = {
         "seed": chaos_seed,
         "lca_seed": lca_seed,
         "n": n,
@@ -184,8 +197,17 @@ def chaos_document(
             "backoff_base_s": retry.backoff_base_s,
             "backoff_factor": retry.backoff_factor,
             "jitter": retry.jitter,
+            "hedge_after_s": retry.hedge_after_s,
         },
         "fault_free_equivalence": bool(fault_free_equivalence),
-        "rows": rows,
         "all_meet_target": bool(all(r["meets_target"] for r in rows)),
     }
+    return BenchDocument.build(
+        "chaos",
+        name="chaos_sweep",
+        title="Availability under injected probe faults (seeded, deterministic)",
+        rows=rows,
+        context=context,
+        deterministic=True,
+        **fields,
+    ).body

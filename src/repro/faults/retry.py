@@ -39,6 +39,7 @@ from ..errors import (
     CorruptProbeError,
     ProbeFailureError,
     ProbeTimeoutError,
+    QueryBudgetExceededError,
     ReproError,
     RetriesExhaustedError,
 )
@@ -57,12 +58,19 @@ TRANSIENT_FAULTS = (ProbeFailureError, ProbeTimeoutError, CorruptProbeError)
 
 @dataclass(frozen=True)
 class RetryOutcome:
-    """Result plus the bill of one retried probe."""
+    """Result plus the bill of one retried (and possibly hedged) probe.
+
+    ``hedges`` counts backup probes fired by the hedging extension (each
+    one charged the budget like any probe); ``latency_saved_s`` is the
+    virtual tail-latency cut when a backup beat a slow primary.
+    """
 
     value: Any
     attempts: int
     retries: int
     backoff_s: float
+    hedges: int = 0
+    latency_saved_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -83,6 +91,16 @@ class RetryPolicy:
     probe_timeout_s:
         Per-probe timeout handed to the fault injectors (an injected
         latency spike above it is a transient timeout).
+    hedge_after_s:
+        Per-probe hedging: when set, a backup probe fires this many
+        (virtual) seconds after the primary instead of waiting for the
+        timeout verdict.  A timed-out primary re-probes after only
+        ``hedge_after_s`` (no backoff — the backup was already in
+        flight), and a slow-but-successful primary races one backup,
+        the earlier virtual finisher winning.  At most one hedge per
+        logical probe; every backup is a real charged probe (budget
+        honesty is untouched), and which probe wins is a deterministic
+        function of the seeded fault plan.  ``None`` disables.
     seed:
         Root of the jitter seed chain.
     sleep:
@@ -95,6 +113,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     jitter: float = 0.1
     probe_timeout_s: float | None = None
+    hedge_after_s: float | None = None
     seed: int = 0
     sleep: bool = False
 
@@ -105,6 +124,10 @@ class RetryPolicy:
             raise ReproError("backoff must use base >= 0 and factor >= 1")
         if not 0.0 <= self.jitter <= 1.0:
             raise ReproError(f"jitter must lie in [0, 1], got {self.jitter}")
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ReproError(
+                f"hedge_after_s must be > 0 (or None), got {self.hedge_after_s}"
+            )
 
     def backoff_s(self, labels: tuple, attempt: int) -> float:
         """Deterministic delay before re-probe number ``attempt`` (1-based)."""
@@ -118,19 +141,52 @@ class RetryPolicy:
         )
         return base * (1.0 + self.jitter * u)
 
-    def execute(self, fn: Callable[[], Any], *, labels: tuple = ()) -> RetryOutcome:
+    def execute(
+        self,
+        fn: Callable[[], Any],
+        *,
+        labels: tuple = (),
+        probe_latency: Callable[[], float] | None = None,
+    ) -> RetryOutcome:
         """Run ``fn`` under the policy; returns value plus the retry bill.
 
         Only :data:`TRANSIENT_FAULTS` are retried; anything else —
         including :class:`~repro.errors.QueryBudgetExceededError` raised
         by a re-probe that ran the budget dry — propagates unchanged.
+
+        ``probe_latency`` (when hedging is on) reads the cumulative
+        virtual latency the probe path has accrued — the fault
+        injectors' ``latency_injected_s`` — so the policy can tell a
+        slow primary from a fast one without a wall clock.
         """
         retries = 0
         backoff = 0.0
+        hedges = 0
+        saved = 0.0
+        hedge = self.hedge_after_s
         while True:
+            start = (
+                probe_latency()
+                if hedge is not None and probe_latency is not None
+                else None
+            )
             try:
                 value = fn()
             except TRANSIENT_FAULTS as exc:
+                if (
+                    hedge is not None
+                    and hedges == 0
+                    and isinstance(exc, ProbeTimeoutError)
+                ):
+                    # The backup fired hedge_after_s after the primary —
+                    # before the timeout verdict — so the re-probe costs
+                    # only the hedge delay, no backoff, and does not
+                    # consume the retry budget.  One hedge per probe.
+                    hedges += 1
+                    backoff += hedge
+                    if self.sleep:
+                        time.sleep(hedge)
+                    continue
                 retries += 1
                 if retries > self.max_retries:
                     raise RetriesExhaustedError(
@@ -141,8 +197,33 @@ class RetryPolicy:
                 if self.sleep:
                     time.sleep(delay)
                 continue
+            if start is not None and hedges == 0:
+                primary_latency = probe_latency() - start
+                if primary_latency > hedge:
+                    # Slow-but-successful primary: the backup had been
+                    # racing it since hedge_after_s.  Fire it (charged),
+                    # keep whichever would have finished first in
+                    # virtual time.  The primary's answer already exists,
+                    # so a failing backup — even one that drains the
+                    # budget — never loses the probe.
+                    hedges += 1
+                    b0 = probe_latency()
+                    try:
+                        backup = fn()
+                    except TRANSIENT_FAULTS + (QueryBudgetExceededError,):
+                        backup = None
+                    else:
+                        backup_latency = probe_latency() - b0
+                        if hedge + backup_latency < primary_latency:
+                            saved += primary_latency - (hedge + backup_latency)
+                            value = backup
             return RetryOutcome(
-                value=value, attempts=retries + 1, retries=retries, backoff_s=backoff
+                value=value,
+                attempts=retries + hedges + 1,
+                retries=retries,
+                backoff_s=backoff,
+                hedges=hedges,
+                latency_saved_s=saved,
             )
 
 
@@ -160,6 +241,14 @@ class _RetryingBase:
         self._calls = 0
         self._retries = 0
         self._backoff_s = 0.0
+        self._hedges = 0
+        self._latency_saved_s = 0.0
+        # Hedging reads the injector's cumulative virtual latency to
+        # tell slow probes from fast ones; without an injector below us
+        # there is no latency concept and hedging is inert.
+        self._probe_latency = None
+        if policy.hedge_after_s is not None and hasattr(inner, "latency_injected_s"):
+            self._probe_latency = lambda: float(inner.latency_injected_s)
 
     @property
     def inner(self):
@@ -186,10 +275,24 @@ class _RetryingBase:
         """Total (virtual or slept) backoff accumulated."""
         return self._backoff_s
 
+    @property
+    def hedges_used(self) -> int:
+        """Backup probes fired by the hedging extension (each charged)."""
+        return self._hedges
+
+    @property
+    def hedge_latency_saved_s(self) -> float:
+        """Virtual tail latency cut by backups that beat slow primaries."""
+        return self._latency_saved_s
+
     def _run(self, fn: Callable[[], Any], probe: str) -> Any:
         self._calls += 1
         try:
-            outcome = self._policy.execute(fn, labels=(self._kind, probe, self._calls))
+            outcome = self._policy.execute(
+                fn,
+                labels=(self._kind, probe, self._calls),
+                probe_latency=self._probe_latency,
+            )
         except RetriesExhaustedError as exc:
             _obs.record_event(
                 "retry.exhausted",
@@ -208,6 +311,18 @@ class _RetryingBase:
                 resource=self._kind,
                 probe=probe,
                 retries=outcome.retries,
+            )
+        if outcome.hedges:
+            self._hedges += outcome.hedges
+            self._latency_saved_s += outcome.latency_saved_s
+            if not outcome.retries:
+                self._backoff_s += outcome.backoff_s
+            _obs.record_probe_hedges(outcome.hedges)
+            _obs.record_event(
+                "retry.hedged",
+                resource=self._kind,
+                probe=probe,
+                hedges=outcome.hedges,
             )
         return outcome.value
 

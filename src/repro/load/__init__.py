@@ -38,20 +38,24 @@ availability cliff.  See ``docs/observability.md``.
 
 from .arrivals import ARRIVAL_KINDS, ArrivalProcess
 from .clock import ServiceModel, VirtualClock
-from .endpoint import serve_endpoint
+from .endpoint import EndpointClient, serve_endpoint
 from .harness import BENCH_LOAD_SCHEMA, LoadHarness, bench_load_document
 from .knee import detect_knee
 from .recorder import LatencyRecorder
+from .sweep import LOAD_DEFAULTS, run_load_sweep
 
 __all__ = [
     "ARRIVAL_KINDS",
     "ArrivalProcess",
     "BENCH_LOAD_SCHEMA",
+    "EndpointClient",
+    "LOAD_DEFAULTS",
     "LatencyRecorder",
     "LoadHarness",
     "ServiceModel",
     "VirtualClock",
     "bench_load_document",
     "detect_knee",
+    "run_load_sweep",
     "serve_endpoint",
 ]

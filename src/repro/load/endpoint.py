@@ -4,6 +4,12 @@ Newline-delimited JSON, one request object per line:
 
 * ``{"op": "answer", "index": 17}`` → the answer for item 17 (plus a
   ``degraded`` flag and reason when the service fell down its ladder);
+* ``{"op": "batch", "indices": [3, 5], "nonce": 9}`` → one answer per
+  index, served through the service's batch path (one amortized
+  pipeline, not one per index);
+* ``{"op": "config"}`` → the service's identity (``n``, ``epsilon``,
+  ``seed``) so a remote client can build arrival schedules without a
+  local copy of the instance;
 * ``{"op": "stats"}`` → the service's ``stats()`` snapshot;
 * ``{"op": "ping"}`` → ``{"ok": true, "op": "ping"}``.
 
@@ -11,15 +17,21 @@ Service calls run in a thread pool via ``run_in_executor``, so a slow
 cold-path pipeline never blocks the event loop — the same discipline
 the load harness's wall-clock mode uses.  This exists so ``repro
 loadgen --listen`` can expose a real socket for external load tools
-(wrk-style clients, or another ``repro`` process); the in-process
-harness does not go through it.
+(wrk-style clients, or another ``repro`` process); the matching
+in-repo client is :class:`EndpointClient`, which presents the same
+``answer``/``answer_batch`` face as :class:`~repro.serve.KnapsackService`
+so :class:`~repro.load.LoadHarness` can drive a remote service over the
+wire (``repro loadgen --connect``).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import socket as _socket
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from functools import partial
 
 from ..errors import ReproError
@@ -27,7 +39,25 @@ from ..obs import runtime as _obs
 from ..obs.export import jsonable
 from ..serve.degraded import DegradedAnswer
 
-__all__ = ["handle_request", "serve_endpoint"]
+__all__ = [
+    "EndpointClient",
+    "RemoteAnswer",
+    "RemoteBatchReport",
+    "handle_request",
+    "serve_endpoint",
+]
+
+
+def _answer_payload(answer) -> dict:
+    """One answer as wire JSON, degraded or not."""
+    if isinstance(answer, DegradedAnswer):
+        return answer.to_dict()
+    return {
+        "index": answer.index,
+        "include": bool(answer.include),
+        "reason": answer.reason,
+        "degraded": False,
+    }
 
 
 def handle_request(service, request: dict, *, nonce: int = 0) -> dict:
@@ -44,21 +74,37 @@ def handle_request(service, request: dict, *, nonce: int = 0) -> dict:
             return {"ok": True, "op": "ping"}
         if op == "stats":
             return {"ok": True, "op": "stats", "stats": jsonable(service.stats())}
+        if op == "config":
+            return {
+                "ok": True,
+                "op": "config",
+                "n": int(service.instance.n),
+                "epsilon": float(service.epsilon),
+                "seed_digest": service.seed.digest().hex()[:16],
+            }
         if op == "answer":
             index = request.get("index")
             if not isinstance(index, int) or isinstance(index, bool):
                 raise ReproError(f"'answer' needs an integer 'index', got {index!r}")
             answer = service.answer(index, nonce=int(request.get("nonce", nonce)))
-            if isinstance(answer, DegradedAnswer):
-                payload = answer.to_dict()
-            else:
-                payload = {
-                    "index": answer.index,
-                    "include": bool(answer.include),
-                    "reason": answer.reason,
-                    "degraded": False,
-                }
-            return {"ok": True, "op": "answer", "answer": jsonable(payload)}
+            return {"ok": True, "op": "answer", "answer": jsonable(_answer_payload(answer))}
+        if op == "batch":
+            indices = request.get("indices")
+            if not isinstance(indices, list) or not all(
+                isinstance(i, int) and not isinstance(i, bool) for i in indices
+            ):
+                raise ReproError(
+                    f"'batch' needs a list of integer 'indices', got {indices!r}"
+                )
+            report = service.answer_batch(
+                indices, nonce=int(request.get("nonce", nonce))
+            )
+            return {
+                "ok": True,
+                "op": "batch",
+                "answers": [jsonable(_answer_payload(a)) for a in report.answers],
+                "degraded": int(report.degraded),
+            }
         raise ReproError(f"unknown op {op!r}")
     except Exception as exc:  # noqa: BLE001 - protocol boundary
         return {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
@@ -107,3 +153,107 @@ async def serve_endpoint(
     if ready is not None:
         ready.set()
     return server
+
+
+# ----------------------------------------------------------------------
+# Client side: the service face, over a socket
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RemoteAnswer:
+    """One answer decoded off the wire (shape-compatible with
+    :class:`~repro.core.LCAAnswer` as far as the load harness reads it)."""
+
+    index: int
+    include: bool
+    reason: str
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class RemoteBatchReport:
+    """The slice of a ``BatchReport`` that crosses the wire."""
+
+    answers: tuple[RemoteAnswer, ...]
+    degraded: int = 0
+
+
+class EndpointClient:
+    """Blocking NDJSON client presenting the ``KnapsackService`` face.
+
+    Speaks the :func:`handle_request` protocol over one TCP connection
+    and exposes exactly what :class:`~repro.load.LoadHarness` needs
+    from a "service": ``n``, ``answer`` and ``answer_batch``.  The
+    harness's wall-clock workers call it from several pool threads, so
+    requests serialize on an internal lock — the endpoint itself
+    parallelizes across *connections*, and measured latency includes
+    the wire, which is the point of driving it from a second process.
+
+    Instance identity (``n``, ``epsilon``, the seed digest) is fetched
+    from the server's ``config`` op at connect time, so the client
+    never needs a local copy of the instance.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout_s: float = 30.0) -> None:
+        self._sock = _socket.create_connection((host, int(port)), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        config = self.request({"op": "config"})
+        self.n = int(config["n"])
+        self.epsilon = float(config["epsilon"])
+        self.seed_digest = str(config.get("seed_digest", ""))
+
+    def request(self, payload: dict) -> dict:
+        """One round trip; raises :class:`ReproError` on a protocol error."""
+        with self._lock:
+            self._file.write(json.dumps(payload).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        if not line:
+            raise ReproError("endpoint closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ReproError(
+                f"endpoint error for op {payload.get('op')!r}: "
+                f"{response.get('error')}"
+            )
+        return response
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"})["ok"])
+
+    def stats(self) -> dict:
+        return dict(self.request({"op": "stats"})["stats"])
+
+    def answer(self, index: int, *, nonce: int = 0) -> RemoteAnswer:
+        payload = self.request({"op": "answer", "index": int(index), "nonce": int(nonce)})
+        return self._decode(payload["answer"])
+
+    def answer_batch(self, indices, *, nonce: int = 0, **_ignored) -> RemoteBatchReport:
+        payload = self.request(
+            {"op": "batch", "indices": [int(i) for i in indices], "nonce": int(nonce)}
+        )
+        return RemoteBatchReport(
+            answers=tuple(self._decode(a) for a in payload["answers"]),
+            degraded=int(payload.get("degraded", 0)),
+        )
+
+    @staticmethod
+    def _decode(payload: dict) -> RemoteAnswer:
+        return RemoteAnswer(
+            index=int(payload["index"]),
+            include=bool(payload["include"]),
+            reason=str(payload.get("reason", "")),
+            degraded=bool(payload.get("degraded", False)),
+        )
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "EndpointClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

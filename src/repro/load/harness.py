@@ -114,7 +114,10 @@ class LoadHarness:
         self._clock = clock
         self._model = service_model or ServiceModel()
         self._warm = bool(warm)
-        self._n_items = int(service.instance.n)
+        # A remote EndpointClient presents `n` directly instead of a
+        # full instance object; both faces drive the same harness.
+        inst = getattr(service, "instance", None)
+        self._n_items = int(inst.n if inst is not None else service.n)
 
     # ------------------------------------------------------------------
     def run_rate(self, rate: float, queries: int, *, nonce: int = 0) -> dict:
@@ -209,7 +212,8 @@ class LoadHarness:
                         arrival,
                         start,
                         finish,
-                        degraded=isinstance(answer, DegradedAnswer),
+                        degraded=isinstance(answer, DegradedAnswer)
+                        or bool(getattr(answer, "degraded", False)),
                     )
 
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
@@ -284,16 +288,19 @@ def bench_load_document(
     defaults to detecting over ``rows`` directly — pass an explicit
     verdict when the document mixes a rate sweep with fixed-rate rows.
     """
+    from ..obs.context import RunContext
+    from ..obs.schema import BenchDocument
+
     if knee is None:
         knee = detect_knee(rows)
-    context.setdefault("bench", "load")
-    return {
-        "schema": BENCH_LOAD_SCHEMA,
-        "name": name,
-        "title": title,
-        "rows": rows,
-        "knee": knee,
-        "context": context,
-        "total_queries": sum(int(r.get("queries", 0)) for r in rows),
-        "total_completed": sum(int(r.get("completed", 0)) for r in rows),
-    }
+    bench = context.pop("bench", "load")
+    return BenchDocument.build(
+        "bench-load",
+        name=name,
+        title=title,
+        rows=rows,
+        knee=knee,
+        context=RunContext(bench=bench, config=context),
+        total_queries=sum(int(r.get("queries", 0)) for r in rows),
+        total_completed=sum(int(r.get("completed", 0)) for r in rows),
+    ).body

@@ -1,0 +1,102 @@
+"""One open-loop load sweep from a plain config dict.
+
+This is the public home of what used to be private CLI plumbing
+(``_run_load_sweep``/``_LOAD_DEFAULTS``): the config vocabulary *is*
+the ``context`` block a ``bench-load/v1`` document stores, so a
+committed document fully describes its own rerun.  Three callers share
+it — ``repro loadgen``, the ``obs-diff --fresh`` rerun path (via
+:meth:`~repro.obs.context.RunContext.rerun`), and the suite runner's
+load cells.
+"""
+
+from __future__ import annotations
+
+from ..core.parameters import LCAParameters
+from ..faults import FaultPlan, RetryPolicy
+from ..knapsack.generators import generate
+from ..serve import KnapsackService
+from .clock import ServiceModel
+from .harness import LoadHarness, bench_load_document
+
+__all__ = ["LOAD_DEFAULTS", "run_load_sweep"]
+
+#: Full default configuration of a load sweep; a baseline document's
+#: ``context`` block overrides any subset of these.
+LOAD_DEFAULTS = {
+    "family": "uniform",
+    "n": 2000,
+    "seed": 0,
+    "epsilon": 0.1,
+    "lca_seed": 42,
+    "rates": (50.0, 100.0, 200.0, 400.0, 800.0),
+    "queries": 200,
+    "arrival": "poisson",
+    "workers": 2,
+    "queue_cap": 256,
+    "batch_max": 16,
+    "clock": "virtual",
+    "nonce": 0,
+    "base_s": 0.002,
+    "per_query_s": 0.0005,
+    "jitter": 0.0,
+    "fault_rate": 0.0,
+    "retries": 0,
+    "cap": 4_000,
+}
+
+
+def run_load_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
+    """Run one open-loop load sweep from a plain config dict.
+
+    Unknown keys are ignored and missing keys fall back to
+    :data:`LOAD_DEFAULTS`, which is what keeps pre-``RunContext``
+    documents rerunnable.  Returns ``(rows, knee, document)``.
+    """
+    cfg = {**LOAD_DEFAULTS, **{k: v for k, v in cfg.items() if k in LOAD_DEFAULTS}}
+    inst = generate(cfg["family"], int(cfg["n"]), seed=int(cfg["seed"]))
+    params = None
+    if cfg["cap"]:
+        params = LCAParameters.calibrated(
+            float(cfg["epsilon"]), max_nrq=int(cfg["cap"]), max_m_large=int(cfg["cap"])
+        )
+    plan = None
+    policy = None
+    if float(cfg["fault_rate"]) > 0.0:
+        plan = FaultPlan(
+            seed=int(cfg["lca_seed"]), probe_failure_rate=float(cfg["fault_rate"])
+        )
+        if int(cfg["retries"]) > 0:
+            policy = RetryPolicy(
+                max_retries=int(cfg["retries"]), seed=int(cfg["lca_seed"])
+            )
+    service = KnapsackService(
+        inst,
+        float(cfg["epsilon"]),
+        seed=int(cfg["lca_seed"]),
+        params=params,
+        fault_plan=plan,
+        retry_policy=policy,
+        strict=plan is None,
+    )
+    harness = LoadHarness(
+        service,
+        arrival=cfg["arrival"],
+        workers=int(cfg["workers"]),
+        queue_cap=int(cfg["queue_cap"]),
+        batch_max=int(cfg["batch_max"]),
+        clock=cfg["clock"],
+        service_model=ServiceModel(
+            base_s=float(cfg["base_s"]),
+            per_query_s=float(cfg["per_query_s"]),
+            jitter=float(cfg["jitter"]),
+        ),
+    )
+    rates = [float(r) for r in cfg["rates"]]
+    rows, knee = harness.sweep(rates, int(cfg["queries"]), nonce=int(cfg["nonce"]))
+    for row in rows:
+        row["n"] = inst.n
+        row["family"] = cfg["family"]
+    doc = bench_load_document(
+        rows, knee=knee, **{**cfg, "rates": rates, "n": inst.n}
+    )
+    return rows, knee, doc

@@ -1,0 +1,171 @@
+"""First-class run contexts: the self-rerun convention as an API.
+
+Every bench document this repo emits carries a ``context`` block whose
+``bench`` key names the workload kind and whose remaining keys are the
+full rerun configuration — a committed baseline describes its own
+reproduction.  That convention grew up as private plumbing inside the
+CLI; :class:`RunContext` promotes it to a shared dataclass:
+
+* ``build`` — construct from a kind plus config kwargs;
+* ``embed()`` — the JSON ``context`` block to put in a document;
+* ``from_document()`` — reconstruct from any document that carries a
+  context block (old documents missing keys stay readable: absent
+  config keys fall back to each runner's defaults);
+* ``rerun()`` — produce a fresh document from the context alone, which
+  is what ``repro obs-diff --fresh`` and ``repro suite <report>`` run.
+
+The rerun dispatch imports lazily (load/serve/suite import the obs
+layer, not the other way round), so this module stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["RunContext"]
+
+#: Context kinds with a registered rerun recipe.
+RERUNNABLE_BENCHES = ("cold", "serve", "load", "chaos", "suite")
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """One run's kind (``bench``) plus its full configuration."""
+
+    bench: str
+    config: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, bench: str, **config: Any) -> "RunContext":
+        """Construct from a kind and config kwargs (skipping ``None``-valued
+        kwargs keeps embedded blocks minimal)."""
+        return cls(bench=bench, config={k: v for k, v in config.items()})
+
+    @classmethod
+    def from_document(
+        cls, doc: Mapping[str, Any], *, default_bench: str = "cold"
+    ) -> "RunContext":
+        """Reconstruct from a document's ``context`` block.
+
+        Pre-``RunContext`` documents (or hand-written ones) may miss the
+        ``bench`` key or the whole block; they reconstruct against
+        ``default_bench`` with whatever keys are present.
+        """
+        ctx = dict(doc.get("context") or {})
+        bench = ctx.pop("bench", None) or default_bench
+        return cls(bench=str(bench), config=ctx)
+
+    def embed(self, **extra: Any) -> dict:
+        """The JSON ``context`` block: ``bench`` plus the flat config."""
+        out = {"bench": self.bench}
+        out.update(self.config)
+        out.update(extra)
+        return out
+
+    @property
+    def deterministic(self) -> bool:
+        """True iff a rerun of this context must be byte-identical.
+
+        Virtual-clock load sweeps, chaos sweeps, and suite runs are
+        seeded end to end; cold/serve benches measure wall clock on
+        whatever hardware runs them.
+        """
+        if self.bench == "load":
+            return str(self.config.get("clock", "virtual")) == "virtual"
+        return self.bench in ("chaos", "suite")
+
+    def rerun(self) -> dict:
+        """Produce a fresh document from this context alone.
+
+        ``load``/``chaos``/``suite`` contexts carry their full sweep
+        configuration, so the rerun is exact (and, when
+        :attr:`deterministic`, byte-identical).  ``cold``/``serve``
+        contexts describe wall-clock benches: the rerun is a deliberately
+        tiny run keeping the baseline's family/epsilon/seed, meant for
+        relative-metric comparison only.
+        """
+        cfg = dict(self.config)
+        if self.bench == "load":
+            from ..load.sweep import run_load_sweep
+
+            return run_load_sweep(cfg)[2]
+        if self.bench == "suite":
+            from ..suite import SuiteConfig, SuiteRunner
+
+            suite_cfg = SuiteConfig.from_dict(cfg.get("suite") or cfg)
+            return SuiteRunner(suite_cfg).run().document()
+        if self.bench == "chaos":
+            from ..core.parameters import LCAParameters
+            from ..faults import RetryPolicy, chaos_sweep
+            from ..knapsack.generators import generate
+
+            inst = generate(
+                str(cfg.get("family", "uniform")),
+                int(cfg.get("n", 2000)),
+                seed=int(cfg.get("instance_seed", 0)),
+            )
+            cap = int(cfg.get("cap", 4_000))
+            params = (
+                LCAParameters.calibrated(
+                    float(cfg.get("epsilon", 0.1)), max_nrq=cap, max_m_large=cap
+                )
+                if cap
+                else None
+            )
+            chaos_seed = int(cfg.get("chaos_seed", 7))
+            return chaos_sweep(
+                inst,
+                epsilon=float(cfg.get("epsilon", 0.1)),
+                lca_seed=int(cfg.get("lca_seed", 42)),
+                chaos_seed=chaos_seed,
+                rates=tuple(float(r) for r in cfg.get("rates", (0.0, 0.05, 0.1))),
+                queries=int(cfg.get("queries", 40)),
+                batches=int(cfg.get("batches", 3)),
+                availability_target=float(cfg.get("availability_target", 0.99)),
+                params=params,
+                retry=RetryPolicy(
+                    max_retries=int(cfg.get("retries", 3)), seed=chaos_seed
+                ),
+                corruption_rate=float(cfg.get("corruption_rate", 0.0)),
+                latency_spike_rate=float(cfg.get("latency_spike_rate", 0.0)),
+                audit=bool(cfg.get("audit", False)),
+                context=self,
+            )
+        if self.bench == "cold":
+            from ..knapsack.generators import generate
+            from ..serve.bench import bench_cold_document, cold_pipeline_rows
+
+            inst = generate(
+                str(cfg.get("family", "planted_lsg")),
+                2000,
+                seed=int(cfg.get("seed", 0)),
+            )
+            rows = cold_pipeline_rows(
+                inst,
+                epsilon=float(cfg.get("epsilon", 0.1)),
+                seed=int(cfg.get("lca_seed", 7)),
+                queries=2,
+            )
+            return bench_cold_document(rows)
+        if self.bench == "serve":
+            from ..knapsack.generators import generate
+            from ..serve.bench import bench_serve_document, serve_throughput_rows
+
+            inst = generate(
+                str(cfg.get("family", "uniform")), 2000, seed=int(cfg.get("seed", 0))
+            )
+            rows = serve_throughput_rows(
+                inst,
+                epsilon=float(cfg.get("epsilon", 0.1)),
+                seed=int(cfg.get("lca_seed", 7)),
+                queries=100,
+                batch=50,
+                workers=2,
+                baseline_queries=5,
+            )
+            return bench_serve_document(rows)
+        raise ValueError(
+            f"no rerun recipe for bench kind {self.bench!r}; "
+            f"known: {RERUNNABLE_BENCHES}"
+        )

@@ -68,13 +68,14 @@ HIGHER_IS_BETTER = (
     "speedup_vs_per_query",
     "achieved_qps",
     "availability",
+    "ratio",
 )
 
 #: Deterministic counts: any mismatch is a reproducibility drift.
 EXACT_COUNTS = ("queries", "samples", "blocks", "pipelines_run", "cache_hits")
 
 #: Dimensionless metrics still comparable across different hardware.
-RELATIVE_METRICS = ("speedup", "speedup_vs_per_query", "availability")
+RELATIVE_METRICS = ("speedup", "speedup_vs_per_query", "availability", "ratio")
 
 
 def _row_key(row: dict) -> tuple:
@@ -82,7 +83,10 @@ def _row_key(row: dict) -> tuple:
         row.get("mode"),
         row.get("n"),
         row.get("family"),
-        row.get("rate"),
+        # chaos-report rows are keyed by their fault rate, not an
+        # offered-load rate; fold it into the same slot so a ladder of
+        # chaos rows never collapses onto one diff key.
+        row.get("rate", row.get("probe_failure_rate")),
         row.get("clock"),
     )
 

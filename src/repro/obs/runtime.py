@@ -145,6 +145,11 @@ def record_hedges(n: int = 1) -> None:
     _HEDGES.inc(n)
 
 
+def record_probe_hedges(n: int = 1) -> None:
+    """``n`` per-probe backup probes fired by a hedging retry policy."""
+    REGISTRY.counter("faults.probe_hedges").inc(n)
+
+
 def record_event(kind: str, **attrs) -> None:
     """Append one flight-recorder event, stamped with the active trace
     context (``(None, None)`` outside any span or with tracing off)."""

@@ -1,9 +1,18 @@
-"""Hand-rolled validators for the observability JSON schemas.
+"""Hand-rolled validators for the observability JSON schemas, plus the
+one bench-document build→validate→write API every emitter shares.
 
 The documented schemas (see ``docs/observability.md``) are small enough
 that a dependency-free structural check beats pulling in jsonschema:
 each validator walks the document, collects every problem, and raises
 :class:`SchemaError` listing all of them at once.
+
+:class:`BenchDocument` is the single code path for *producing* those
+documents: the four historical builders (cold/serve bench, load sweep,
+chaos report) and the suite runner all assemble through
+``BenchDocument.build(...)``, validate in place, and write with one of
+exactly two byte disciplines — deterministic (sorted keys, trailing
+newline; CI diffs two runs byte-for-byte) or pretty (insertion order,
+for wall-clock documents where bytes cannot be pinned anyway).
 
 Usable as a module CLI — this is what the CI smoke job runs::
 
@@ -16,9 +25,11 @@ import argparse
 import json
 import pathlib
 import sys
+from dataclasses import dataclass, field
 
 __all__ = [
     "SchemaError",
+    "BenchDocument",
     "validate_trace",
     "validate_metrics_snapshot",
     "validate_bench_result",
@@ -27,6 +38,7 @@ __all__ = [
     "validate_chaos_report",
     "validate_events",
     "validate_bench_diff",
+    "validate_suite_report",
     "validate",
     "main",
 ]
@@ -61,6 +73,91 @@ def _require(doc: dict, key: str, types, problems: list[str], where: str = "") -
 
 
 _NUM = (int, float)
+
+#: Validator kind -> the schema tag its documents carry.
+SCHEMA_TAGS = {
+    "bench-result": "bench-result/v1",
+    "bench-load": "bench-load/v1",
+    "chaos": "chaos-report/v1",
+    "events": "events/v1",
+    "suite-report": "suite-report/v1",
+}
+
+
+@dataclass
+class BenchDocument:
+    """One bench document: build → validate → write, one code path.
+
+    ``kind`` is a validator key (see :data:`SCHEMA_TAGS`); ``body`` is
+    the JSON-ready document.  ``deterministic`` selects the byte
+    discipline :meth:`write` uses: sorted keys plus a trailing newline
+    (so two runs of the same seeds are byte-identical — the contract CI
+    ``cmp``'s), versus the pretty insertion-order dump used for
+    wall-clock documents.
+    """
+
+    kind: str
+    body: dict
+    deterministic: bool = False
+    problems: list = field(default_factory=list, repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        kind: str,
+        *,
+        name: str | None = None,
+        title: str | None = None,
+        rows: list | None = None,
+        context=None,
+        deterministic: bool = False,
+        **fields,
+    ) -> "BenchDocument":
+        """Assemble a document of ``kind``.
+
+        ``context`` may be a :class:`~repro.obs.context.RunContext`
+        (embedded via its ``embed()``) or a plain mapping; extra
+        ``fields`` land at the top level in the order given.  The body
+        is passed through :func:`~repro.obs.export.jsonable`, so numpy
+        scalars and dataclasses are safe to hand in.
+        """
+        from .export import jsonable
+
+        if kind not in SCHEMA_TAGS:
+            raise ValueError(
+                f"unknown document kind {kind!r}; known: {sorted(SCHEMA_TAGS)}"
+            )
+        body: dict = {"schema": SCHEMA_TAGS[kind]}
+        if name is not None:
+            body["name"] = name
+        if title is not None:
+            body["title"] = title
+        if rows is not None:
+            body["rows"] = rows
+        body.update(fields)
+        if context is not None:
+            body["context"] = (
+                context.embed() if hasattr(context, "embed") else dict(context)
+            )
+        return cls(kind=kind, body=jsonable(body), deterministic=deterministic)
+
+    def validate(self) -> "BenchDocument":
+        """Validate the body against its schema; raises :class:`SchemaError`."""
+        validate(self.kind, self.body)
+        return self
+
+    def text(self) -> str:
+        """The exact bytes :meth:`write` would produce (as ``str``)."""
+        if self.deterministic:
+            return json.dumps(self.body, indent=2, sort_keys=True) + "\n"
+        return json.dumps(self.body, indent=2, sort_keys=False) + "\n"
+
+    def write(self, path) -> pathlib.Path:
+        """Write the document to ``path``; returns the path written."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.text())
+        return target
 
 
 def _check_span(node: object, problems: list[str], where: str) -> None:
@@ -496,6 +593,169 @@ def validate_bench_diff(doc: dict) -> dict:
     return doc
 
 
+_CELL_KINDS = ("approx", "load", "chaos", "adversarial")
+_CELL_OUTCOMES = ("pass", "fail", "expected_failure", "error")
+_CELL_EXPECTS = ("pass", "budget_failure")
+
+
+def validate_suite_report(doc: dict) -> dict:
+    """Validate a ``suite-report/v1`` document (scenario-matrix run).
+
+    Beyond shape, checks the outcome arithmetic the suite runner relies
+    on: a cell's ``outcome`` must follow from its checks and its
+    ``expect`` (all checks ok → ``pass``, or ``expected_failure`` for
+    ``budget_failure`` cells), the ``summary`` counters must match the
+    cells, and ``ok`` must mean exactly "no failures and no errors".
+    When ``deterministic`` is true, timing keys
+    (``wall_clock``/``timestamp``/``time_s``) are forbidden at the top
+    level and in the sentinel rows — a deterministic report must be a
+    pure function of its seeds.
+    """
+    problems: list[str] = []
+    if doc.get("schema") != "suite-report/v1":
+        problems.append(f"schema must be 'suite-report/v1', got {doc.get('schema')!r}")
+    _require(doc, "name", str, problems)
+    _require(doc, "title", str, problems)
+    det_ok = _require(doc, "deterministic", bool, problems)
+    if det_ok and doc["deterministic"]:
+        scopes: list[tuple[str, dict]] = [("", doc)]
+        if isinstance(doc.get("rows"), list):
+            scopes += [
+                (f"rows[{i}].", r)
+                for i, r in enumerate(doc["rows"])
+                if isinstance(r, dict)
+            ]
+        for where, scope in scopes:
+            for banned in ("wall_clock", "timestamp", "time_s"):
+                for key in scope:
+                    if banned in key:
+                        problems.append(
+                            f"deterministic report must not carry timing key "
+                            f"{where}{key!r}"
+                        )
+    counts = {"passed": 0, "failed": 0, "expected_failures": 0, "errors": 0}
+    seen_ids: set[str] = set()
+    if _require(doc, "cells", list, problems):
+        for i, cell in enumerate(doc["cells"]):
+            where = f"cells[{i}]"
+            if not isinstance(cell, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            if _require(cell, "id", str, problems, where + "."):
+                if cell["id"] in seen_ids:
+                    problems.append(f"{where}.id {cell['id']!r} is duplicated")
+                seen_ids.add(cell["id"])
+            if _require(cell, "kind", str, problems, where + ".") \
+                    and cell["kind"] not in _CELL_KINDS:
+                problems.append(
+                    f"{where}.kind must be one of {_CELL_KINDS}, got {cell['kind']!r}"
+                )
+            expect_ok = _require(cell, "expect", str, problems, where + ".")
+            if expect_ok and cell["expect"] not in _CELL_EXPECTS:
+                problems.append(
+                    f"{where}.expect must be one of {_CELL_EXPECTS}, "
+                    f"got {cell['expect']!r}"
+                )
+            outcome_ok = _require(cell, "outcome", str, problems, where + ".")
+            if outcome_ok and cell["outcome"] not in _CELL_OUTCOMES:
+                problems.append(
+                    f"{where}.outcome must be one of {_CELL_OUTCOMES}, "
+                    f"got {cell['outcome']!r}"
+                )
+            _require(cell, "metrics", dict, problems, where + ".")
+            checks_ok = _require(cell, "checks", list, problems, where + ".")
+            all_checks_ok = None
+            if checks_ok:
+                all_checks_ok = True
+                for j, check in enumerate(cell["checks"]):
+                    cw = f"{where}.checks[{j}]"
+                    if not isinstance(check, dict):
+                        problems.append(f"{cw} must be an object")
+                        all_checks_ok = None
+                        continue
+                    _require(check, "name", str, problems, cw + ".")
+                    if _require(check, "ok", bool, problems, cw + "."):
+                        all_checks_ok = all_checks_ok and check["ok"]
+                    else:
+                        all_checks_ok = None
+            if (
+                outcome_ok
+                and expect_ok
+                and cell["outcome"] != "error"
+                and all_checks_ok is not None
+                and cell["outcome"] in _CELL_OUTCOMES
+                and cell["expect"] in _CELL_EXPECTS
+            ):
+                expected_outcome = (
+                    ("expected_failure" if cell["expect"] == "budget_failure"
+                     else "pass")
+                    if all_checks_ok
+                    else "fail"
+                )
+                if cell["outcome"] != expected_outcome:
+                    problems.append(
+                        f"{where}.outcome is {cell['outcome']!r}, but the "
+                        f"checks/expect arithmetic says {expected_outcome!r}"
+                    )
+            if outcome_ok and cell["outcome"] in _CELL_OUTCOMES:
+                counts[
+                    {
+                        "pass": "passed",
+                        "fail": "failed",
+                        "expected_failure": "expected_failures",
+                        "error": "errors",
+                    }[cell["outcome"]]
+                ] += 1
+    if _require(doc, "rows", list, problems):
+        for i, row in enumerate(doc["rows"]):
+            where = f"rows[{i}]"
+            if not isinstance(row, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            mode_ok = _require(row, "mode", str, problems, where + ".")
+            if mode_ok and not row["mode"].startswith("suite:"):
+                problems.append(
+                    f"{where}.mode must start with 'suite:', got {row['mode']!r}"
+                )
+            if mode_ok and seen_ids and row["mode"].startswith("suite:") \
+                    and row["mode"][len("suite:"):] not in seen_ids:
+                problems.append(
+                    f"{where}.mode {row['mode']!r} names no cell in the report"
+                )
+    if _require(doc, "summary", dict, problems):
+        summary = doc["summary"]
+        if _require(summary, "cells", int, problems, "summary.") \
+                and isinstance(doc.get("cells"), list) \
+                and summary["cells"] != len(doc["cells"]):
+            problems.append(
+                f"summary.cells is {summary['cells']}, but the report "
+                f"holds {len(doc['cells'])} cells"
+            )
+        for key, expected in counts.items():
+            if _require(summary, key, int, problems, "summary.") \
+                    and isinstance(doc.get("cells"), list) \
+                    and summary[key] != expected:
+                problems.append(
+                    f"summary.{key} is {summary[key]}, but the cells "
+                    f"hold {expected}"
+                )
+    if _require(doc, "ok", bool, problems) and isinstance(doc.get("cells"), list):
+        expected_ok = counts["failed"] == 0 and counts["errors"] == 0
+        if doc["ok"] != expected_ok:
+            problems.append(
+                f"ok is {doc['ok']}, but the cell outcomes say {expected_ok}"
+            )
+    if _require(doc, "context", dict, problems):
+        if doc["context"].get("bench") != "suite":
+            problems.append(
+                f"context.bench must be 'suite', got "
+                f"{doc['context'].get('bench')!r}"
+            )
+    if problems:
+        raise SchemaError("suite-report/v1", problems)
+    return doc
+
+
 _VALIDATORS = {
     "trace": validate_trace,
     "chaos": validate_chaos_report,
@@ -505,6 +765,7 @@ _VALIDATORS = {
     "bench-observability": validate_bench_observability,
     "events": validate_events,
     "bench-diff": validate_bench_diff,
+    "suite-report": validate_suite_report,
 }
 
 

@@ -261,17 +261,13 @@ def bench_cold_document(
     lets ``repro obs-diff --fresh`` reconstruct the rerun configuration
     from the committed baseline itself.
     """
-    context.setdefault("bench", "cold")
-    return {
-        "schema": "bench-result/v1",
-        "name": name,
-        "title": "Cold-pipeline latency: columnar block path vs per-object path",
-        "rows": rows,
-        "context": context,
-        "wall_clock_s": sum(r["wall_clock_s"] for r in rows),
-        "total_queries": sum(r["queries"] for r in rows),
-        "total_samples": sum(r["samples"] for r in rows),
-    }
+    return _bench_result(
+        rows,
+        name=name,
+        title="Cold-pipeline latency: columnar block path vs per-object path",
+        bench="cold",
+        context=context,
+    )
 
 
 def bench_serve_document(
@@ -282,14 +278,28 @@ def bench_serve_document(
     ``context`` works as in :func:`bench_cold_document`, with
     ``bench="serve"``.
     """
-    context.setdefault("bench", "serve")
-    return {
-        "schema": "bench-result/v1",
-        "name": name,
-        "title": "Serving-layer throughput: cached vs uncached, serial vs parallel",
-        "rows": rows,
-        "context": context,
-        "wall_clock_s": sum(r["wall_clock_s"] for r in rows),
-        "total_queries": sum(r["queries"] for r in rows),
-        "total_samples": sum(r["samples"] for r in rows),
-    }
+    return _bench_result(
+        rows,
+        name=name,
+        title="Serving-layer throughput: cached vs uncached, serial vs parallel",
+        bench="serve",
+        context=context,
+    )
+
+
+def _bench_result(rows, *, name: str, title: str, bench: str, context: dict) -> dict:
+    """Shared ``bench-result/v1`` assembly via :class:`BenchDocument`."""
+    from ..obs.context import RunContext
+    from ..obs.schema import BenchDocument
+
+    bench = context.pop("bench", bench)
+    return BenchDocument.build(
+        "bench-result",
+        name=name,
+        title=title,
+        rows=rows,
+        context=RunContext(bench=bench, config=context),
+        wall_clock_s=sum(r["wall_clock_s"] for r in rows),
+        total_queries=sum(r["queries"] for r in rows),
+        total_samples=sum(r["samples"] for r in rows),
+    ).body

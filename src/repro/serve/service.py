@@ -577,6 +577,22 @@ class KnapsackService:
         return total
 
     @property
+    def probe_hedges_used(self) -> int:
+        """Backup probes fired by a hedging retry policy (serial path;
+        process-shard hedges surface via the merged metrics registry)."""
+        return getattr(self._sampler, "hedges_used", 0) + getattr(
+            self._oracle, "hedges_used", 0
+        )
+
+    @property
+    def hedge_latency_saved_s(self) -> float:
+        """Virtual tail latency cut by hedged backups beating slow
+        primaries (serial path)."""
+        return getattr(self._sampler, "hedge_latency_saved_s", 0.0) + getattr(
+            self._oracle, "hedge_latency_saved_s", 0.0
+        )
+
+    @property
     def degraded_total(self) -> int:
         """Answers served off the degradation ladder so far."""
         return self._degraded_total
@@ -1129,6 +1145,7 @@ class KnapsackService:
             "blocks_used": self.blocks_used,
             "cost_counter": self.cost_counter,
             "retries_used": self.retries_used,
+            "probe_hedges": self.probe_hedges_used,
             "degraded_total": self.degraded_total,
             "faults_injected": self.faults_injected,
             "abandoned_work": self.abandoned_work,

@@ -85,6 +85,90 @@ class TestRecovery:
         assert sampler.samples_used == 8 * (6 + sampler.retries_used)
 
 
+class TestHedging:
+    def hedged_stack(self, inst, plan, *, hedge=0.01, timeout=None, retries=4, budget=None):
+        inner = QueryOracle(inst, budget=budget)
+        policy = RetryPolicy(
+            max_retries=retries, seed=1, probe_timeout_s=timeout, hedge_after_s=hedge
+        )
+        faulty = FaultyOracle(inner, plan.stream("t", "o"), timeout_s=timeout)
+        return RetryingOracle(faulty, policy), inner
+
+    def test_timeout_hedge_reprobes_without_spending_retries(self, inst):
+        # Every spike exceeds the timeout, so every probe times out.
+        # With max_retries=0 the retry budget allows no re-probe at all,
+        # yet the oracle is charged *twice*: the extra probe was the
+        # hedge, fired outside the retry budget.
+        plan = FaultPlan(seed=3, latency_spike_rate=1.0, latency_spike_s=0.2)
+        oracle, inner = self.hedged_stack(inst, plan, timeout=0.05, retries=0)
+        with pytest.raises(RetriesExhaustedError) as err:
+            oracle.query(0)
+        assert err.value.attempts == 1  # no retries were spent
+        assert inner.queries_used == 2  # primary + charged hedge
+
+    def test_timeout_hedge_recovers_intermittent_spikes(self, inst):
+        plan = FaultPlan(seed=3, latency_spike_rate=0.5, latency_spike_s=0.2)
+        oracle, inner = self.hedged_stack(inst, plan, timeout=0.05, retries=8)
+        items = oracle.query_many(range(12))
+        assert [it.profit for it in items] == [
+            QueryOracle(inst).query(i).profit for i in range(12)
+        ]
+        assert oracle.hedges_used > 0
+        # Budget honesty: every hedge and retry re-charged the oracle.
+        assert inner.queries_used == 12 + oracle.retries_used + oracle.hedges_used
+
+    def test_slow_success_races_a_charged_backup(self, inst):
+        # Spikes stay under the timeout, so primaries succeed slowly;
+        # the policy fires a backup for each spiked primary and keeps
+        # the earlier virtual finisher.
+        plan = FaultPlan(seed=5, latency_spike_rate=0.6, latency_spike_s=0.05)
+        oracle, inner = self.hedged_stack(inst, plan, hedge=0.01, timeout=1.0)
+        items = oracle.query_many(range(12))
+        assert len(items) == 12
+        assert oracle.hedges_used > 0
+        assert oracle.hedge_latency_saved_s >= 0.0
+        assert inner.queries_used == 12 + oracle.retries_used + oracle.hedges_used
+
+    def test_backup_failure_keeps_the_primary_answer(self, inst):
+        # Backups may drain the budget; the primary's answer already
+        # exists, so the probe never degrades because of a hedge.  With
+        # every primary slow, probes 1-11 charge primary+backup (22),
+        # probe 12's primary takes the last unit and its backup hits the
+        # dry budget — which is caught, keeping the primary.
+        plan = FaultPlan(seed=5, latency_spike_rate=1.0, latency_spike_s=0.05)
+        oracle, inner = self.hedged_stack(inst, plan, hedge=0.01, timeout=1.0, budget=23)
+        items = oracle.query_many(range(12))
+        assert [it.profit for it in items] == [
+            QueryOracle(inst).query(i).profit for i in range(12)
+        ]
+        assert inner.queries_used == 23  # ran the budget dry, kept answering
+
+    def test_hedging_is_deterministic(self, inst):
+        def run():
+            plan = FaultPlan(seed=5, latency_spike_rate=0.6, latency_spike_s=0.05)
+            oracle, _ = self.hedged_stack(inst, plan, hedge=0.01, timeout=1.0)
+            oracle.query_many(range(12))
+            return oracle.hedges_used, oracle.hedge_latency_saved_s
+
+        assert run() == run()
+
+    def test_hedging_inert_without_an_injector(self, inst):
+        # No injector below the policy => no latency concept => the
+        # hedge never fires (and never spends budget).
+        policy = RetryPolicy(max_retries=2, seed=1, hedge_after_s=0.01)
+        inner = QueryOracle(inst)
+        oracle = RetryingOracle(inner, policy)
+        oracle.query_many(range(12))
+        assert oracle.hedges_used == 0
+        assert inner.queries_used == 12
+
+    def test_hedge_after_s_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(hedge_after_s=0.0)
+        with pytest.raises(ReproError):
+            RetryPolicy(hedge_after_s=-1.0)
+
+
 class TestBackoffDeterminism:
     def test_backoff_is_a_pure_function_of_labels_and_attempt(self):
         p = RetryPolicy(max_retries=3, backoff_base_s=0.01, seed=5)

@@ -1,0 +1,113 @@
+"""CLI integration: ``repro suite`` end to end.
+
+Pins the contract the CI ``suite-smoke`` job relies on: a schema-valid
+``suite-report/v1`` artifact, byte-identical reruns from the report's
+own embedded config, cell filtering, and a nonzero exit when any cell
+fails its checks (the doctored ``min_ratio`` tripwire).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import validate_suite_report
+
+MATRIX = {
+    "name": "cli-tiny",
+    "seed": 0,
+    "cells": [
+        {"id": "approx-small", "kind": "approx", "n": 160, "cap": 800, "runs": 1},
+        {
+            "id": "adv-32", "kind": "adversarial", "theorem": "3.2", "n": 128,
+            "budget_fraction": 0.1, "trials": 200, "expect": "budget_failure",
+        },
+    ],
+}
+
+
+@pytest.fixture()
+def matrix(tmp_path):
+    path = tmp_path / "matrix.json"
+    path.write_text(json.dumps(MATRIX))
+    return path
+
+
+def run_suite_cli(matrix, out, extra=()):
+    return main(["suite", str(matrix), *extra, "--out", str(out)])
+
+
+class TestSuiteCommand:
+    def test_matrix_in_valid_report_out(self, matrix, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert run_suite_cli(matrix, out) == 0
+        doc = json.loads(out.read_text())
+        validate_suite_report(doc)
+        assert doc["summary"] == {
+            "cells": 2,
+            "passed": 1,
+            "failed": 0,
+            "expected_failures": 1,
+            "errors": 0,
+        }
+        stdout = capsys.readouterr().out
+        assert "expected failure" in stdout
+        assert "suite 'cli-tiny'" in stdout
+
+    def test_rerunning_a_report_is_byte_identical(self, matrix, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        assert run_suite_cli(matrix, first) == 0
+        # Report in, report out: the rerun reads the config embedded in
+        # the report's own context block.
+        second = tmp_path / "b.json"
+        assert run_suite_cli(first, second) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_doctored_threshold_exits_nonzero(self, tmp_path, capsys):
+        doctored = dict(MATRIX, cells=[
+            dict(MATRIX["cells"][0], checks={"min_ratio": 0.999}),
+        ])
+        path = tmp_path / "doctored.json"
+        path.write_text(json.dumps(doctored))
+        out = tmp_path / "report.json"
+        assert run_suite_cli(path, out) == 1
+        stdout = capsys.readouterr().out
+        assert "FAIL" in stdout
+        assert "min_ratio" in stdout
+        doc = json.loads(out.read_text())  # the report is still written
+        assert doc["ok"] is False
+
+    def test_cell_and_filter_select_submatrices(self, matrix, tmp_path, capsys):
+        out = tmp_path / "one.json"
+        assert run_suite_cli(matrix, out, extra=["--cell", "adv-32"]) == 0
+        doc = json.loads(out.read_text())
+        assert [c["id"] for c in doc["cells"]] == ["adv-32"]
+        assert run_suite_cli(matrix, out, extra=["--filter", "approx"]) == 0
+        doc = json.loads(out.read_text())
+        assert [c["id"] for c in doc["cells"]] == ["approx-small"]
+
+    def test_no_matching_cell_is_a_clean_error(self, matrix, tmp_path, capsys):
+        rc = run_suite_cli(matrix, tmp_path / "x.json", extra=["--cell", "nope"])
+        assert rc != 0
+
+
+class TestObsDiffSuitePath:
+    def test_self_compare_via_fresh_context_rerun(self, matrix, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert run_suite_cli(matrix, out) == 0
+        # No candidate: obs-diff reruns the suite from the report's own
+        # context block; deterministic cells => full-strictness match.
+        assert main(["obs-diff", str(out)]) == 0
+        assert "ok" in capsys.readouterr().out.lower()
+
+    def test_doctored_ratio_row_diffs_nonzero(self, matrix, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert run_suite_cli(matrix, out) == 0
+        doc = json.loads(out.read_text())
+        for row in doc["rows"]:
+            if "ratio" in row:
+                row["ratio"] = round(row["ratio"] / 4.0, 9)
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(doc))
+        assert main(["obs-diff", str(out), str(doctored)]) == 1
+        assert "regression" in capsys.readouterr().out

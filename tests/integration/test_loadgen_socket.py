@@ -1,0 +1,89 @@
+"""Cross-process load: ``loadgen --listen`` driven by ``--connect``.
+
+A real second process serves the NDJSON endpoint; the connecting side
+drives it wall-clock through the load harness.  This is the one test
+where measured latency includes a process boundary and a wire, so
+assertions stay structural (document shape, transport tag, row counts)
+— never about timing values.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import validate_bench_load
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def endpoint_process():
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "loadgen", "--listen",
+            "--port", "0", "--family", "uniform", "--n", "300",
+            "--cap", "800",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+        cwd=str(REPO),
+    )
+    address = None
+    deadline = time.monotonic() + 30
+    try:
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            if "listening on" in line:
+                address = line.split("listening on", 1)[1].split()[0]
+                break
+        if address is None:
+            proc.kill()
+            raise RuntimeError("endpoint never reported its address")
+        yield address
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+class TestLoadgenSocket:
+    def test_connect_sweeps_the_remote_endpoint(
+        self, endpoint_process, tmp_path, capsys
+    ):
+        out = tmp_path / "socket_load.json"
+        rc = main([
+            "loadgen", "--connect", endpoint_process,
+            "--rates", "40,80", "--queries", "12", "--clock", "wall",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "remote instance" in stdout
+        doc = json.loads(out.read_text())
+        validate_bench_load(doc)
+        assert doc["name"] == "load_latency_socket"
+        assert doc["context"]["clock"] == "wall"  # real wire, no virtual clock
+        assert doc["context"]["endpoint"] == endpoint_process
+        assert doc["context"]["n"] == 300  # identity came over the wire
+        assert len(doc["rows"]) == 2
+        for row in doc["rows"]:
+            assert row["transport"] == "socket"
+            assert row["completed"] > 0
+
+    def test_connect_rejects_a_malformed_address(self, capsys):
+        assert main(["loadgen", "--connect", "nowhere"]) == 2

@@ -7,10 +7,12 @@ the framing, the executor dispatch, and the ``ready`` handshake.
 
 import asyncio
 import json
+import threading
 
 import pytest
 
-from repro.load.endpoint import handle_request, serve_endpoint
+from repro.errors import ReproError
+from repro.load.endpoint import EndpointClient, handle_request, serve_endpoint
 from repro.serve import KnapsackService
 
 
@@ -58,6 +60,29 @@ class TestHandleRequest:
         out = handle_request(service, {"op": "answer", "index": 10**9})
         assert not out["ok"] and out["op"] == "answer"
 
+    def test_config_reports_the_service_identity(self, service):
+        out = handle_request(service, {"op": "config"})
+        assert out["ok"]
+        assert out["n"] == service.instance.n
+        assert out["epsilon"] == service.epsilon
+        assert out["seed_digest"] == service.seed.digest().hex()[:16]
+        json.dumps(out)
+
+    def test_batch_matches_direct_service_call(self, service):
+        direct = service.answer_batch([2, 4, 6], nonce=11)
+        out = handle_request(service, {"op": "batch", "indices": [2, 4, 6], "nonce": 11})
+        assert out["ok"]
+        assert [a["index"] for a in out["answers"]] == [2, 4, 6]
+        assert [a["include"] for a in out["answers"]] == [
+            bool(a.include) for a in direct.answers
+        ]
+        assert out["degraded"] == int(direct.degraded)
+
+    @pytest.mark.parametrize("bad", [None, 3, "0,1", [0, "1"], [True]])
+    def test_batch_rejects_non_integer_indices(self, service, bad):
+        out = handle_request(service, {"op": "batch", "indices": bad})
+        assert not out["ok"] and "integer 'indices'" in out["error"]
+
 
 class TestSocketRoundTrip:
     def test_ndjson_over_a_real_socket(self, service):
@@ -94,3 +119,73 @@ class TestSocketRoundTrip:
         assert answer["ok"] and answer["answer"]["index"] == 3
         assert not bad_op["ok"]
         assert not bad_json["ok"] and "bad json" in bad_json["error"]
+
+
+@pytest.fixture()
+def live_endpoint(service):
+    """A real served socket on a background event loop; yields (host, port)."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    async def start():
+        return await serve_endpoint(service, port=0)
+
+    server = asyncio.run_coroutine_threadsafe(start(), loop).result(timeout=10)
+    host, port = server.sockets[0].getsockname()[:2]
+    async def shutdown():
+        server.close()
+        await server.wait_closed()
+        # Let per-connection handlers observe EOF before the loop dies.
+        await asyncio.sleep(0.05)
+
+    try:
+        yield host, port
+    finally:
+        asyncio.run_coroutine_threadsafe(shutdown(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        loop.close()
+
+
+class TestEndpointClient:
+    def test_client_presents_the_service_face(self, service, live_endpoint):
+        host, port = live_endpoint
+        with EndpointClient(host, port) as client:
+            # Identity fetched at connect time via the config op.
+            assert client.n == service.instance.n
+            assert client.epsilon == service.epsilon
+            assert client.seed_digest == service.seed.digest().hex()[:16]
+            assert client.ping()
+            direct = service.answer(5, nonce=9)
+            remote = client.answer(5, nonce=9)
+            assert remote.index == 5
+            assert remote.include == bool(direct.include)
+            assert remote.degraded is False
+            report = client.answer_batch([1, 2, 3], nonce=4)
+            assert [a.index for a in report.answers] == [1, 2, 3]
+            assert report.degraded == 0
+            assert "samples_used" in client.stats()
+
+    def test_protocol_errors_surface_as_repro_errors(self, live_endpoint):
+        host, port = live_endpoint
+        with EndpointClient(host, port) as client:
+            with pytest.raises(ReproError, match="endpoint error"):
+                client.request({"op": "explode"})
+
+    def test_client_is_thread_safe_under_concurrent_answers(self, live_endpoint):
+        # The harness's wall-clock workers share one client; requests
+        # must serialize on the internal lock, not interleave frames.
+        host, port = live_endpoint
+        with EndpointClient(host, port) as client:
+            results: dict[int, int] = {}
+
+            def probe(i: int) -> None:
+                results[i] = client.answer(i % client.n).index
+
+            threads = [threading.Thread(target=probe, args=(i,)) for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert results == {i: i % client.n for i in range(8)}

@@ -1,0 +1,97 @@
+"""Property tests over the scenario matrix (hypothesis, derandomized).
+
+Two families of properties:
+
+* **impossibility**: any adversarial cell at a clearly starved budget
+  must come back ``expected_failure`` — and in particular its
+  ``bound_respected`` check must hold, because a Wilson lower bound
+  above the theorem's criterion would mean an impossibility bound was
+  beaten, which no seed or axis combination may produce;
+* **approximation**: on instances small enough for an exact reference
+  optimum, every approx cell's ratio is a true ratio (≤ 1) and the
+  Theorem 4.1 check agrees with the arithmetic recomputed from the
+  cell's own metrics.
+
+``derandomize=True`` keeps CI meaningful: the examples are fixed, so
+a pass here is a reproducible fact about those matrices, not a lucky
+draw.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.suite import ScenarioCell, SuiteConfig, run_suite
+
+SLOW = settings(
+    derandomize=True,
+    deadline=None,
+    max_examples=5,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def by_name(checks):
+    return {c["name"]: c for c in checks}
+
+
+class TestImpossibilityProperties:
+    @SLOW
+    @given(
+        theorem=st.sampled_from(["3.2", "3.3", "3.4"]),
+        n=st.sampled_from([96, 128, 160]),
+        budget_fraction=st.floats(min_value=0.05, max_value=0.12),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_starved_cells_report_expected_failure(
+        self, theorem, n, budget_fraction, seed
+    ):
+        cell = ScenarioCell(
+            id="adv", kind="adversarial", theorem=theorem, n=n,
+            budget_fraction=budget_fraction, trials=400, expect="budget_failure",
+        )
+        res = run_suite(SuiteConfig(name="prop", seed=seed, cells=(cell,)))
+        (result,) = res.results
+        checks = by_name(result.checks)
+        # Beating the bound must never happen, for any seed or axis.
+        assert checks["bound_respected"]["ok"], result.metrics
+        assert checks["below_threshold"]["ok"], result.metrics
+        assert result.outcome == "expected_failure", result.metrics
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_success_rate_is_a_probability_with_a_sane_interval(self, seed):
+        cell = ScenarioCell(
+            id="adv", kind="adversarial", theorem="3.2", n=96,
+            budget_fraction=0.1, trials=150, expect="budget_failure",
+        )
+        res = run_suite(SuiteConfig(name="prop", seed=seed, cells=(cell,)))
+        m = res.results[0].metrics
+        assert 0.0 <= m["ci_lo"] <= m["success_rate"] <= m["ci_hi"] <= 1.0
+
+
+class TestApproximationProperties:
+    @SLOW
+    @given(
+        family=st.sampled_from(["uniform", "planted_lsg", "efficiency_tiers"]),
+        # n must clear the epsilon=0.1 validity floor (~150): below it
+        # the generators themselves reject the instance.
+        n=st.sampled_from([160, 200, 240]),
+        instance_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_ratio_against_the_exact_reference(self, family, n, instance_seed):
+        cell = ScenarioCell(
+            id="approx", kind="approx", family=family, n=n,
+            instance_seed=instance_seed, cap=800, runs=1,
+        )
+        res = run_suite(SuiteConfig(name="prop", cells=(cell,)))
+        (result,) = res.results
+        assert result.outcome == "pass", (result.error, result.checks)
+        m = result.metrics
+        # Small n: the branch-and-bound reference is exact, so the
+        # ratio is a true approximation ratio.
+        assert m["opt_exact"] is True
+        assert 0.0 <= m["ratio"] <= 1.0 + 1e-9
+        # The recorded check must agree with arithmetic recomputed from
+        # the cell's own metrics (Theorem 4.1's additive form).
+        bound = 0.5 * m["opt_ref"] - 6.0 * cell.epsilon
+        assert m["value_min"] >= bound - 1e-9

@@ -1,0 +1,100 @@
+"""The suite runner: outcome arithmetic, the report document, and the
+byte-determinism / cell-isolation contracts the CI job relies on."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import validate_suite_report
+from repro.suite import ScenarioCell, SuiteConfig, run_suite
+
+APPROX = ScenarioCell(id="approx-small", kind="approx", n=120, cap=800, runs=1)
+ADV = ScenarioCell(
+    id="adv-32", kind="adversarial", theorem="3.2", n=128,
+    budget_fraction=0.1, trials=200, expect="budget_failure",
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_suite(SuiteConfig(name="tiny", cells=(APPROX, ADV)))
+
+
+class TestOutcomes:
+    def test_positive_cell_passes_and_adversarial_expects_failure(self, result):
+        outcomes = {r.cell.id: r.outcome for r in result.results}
+        assert outcomes == {"approx-small": "pass", "adv-32": "expected_failure"}
+        assert result.ok
+
+    def test_summary_counts_every_outcome_class(self, result):
+        assert result.summary == {
+            "cells": 2,
+            "passed": 1,
+            "failed": 0,
+            "expected_failures": 1,
+            "errors": 0,
+        }
+
+    def test_failed_check_fails_the_cell_and_the_suite(self):
+        doctored = ScenarioCell(
+            id="approx-small", kind="approx", n=120, cap=800, runs=1,
+            checks={"min_ratio": 0.999},
+        )
+        res = run_suite(SuiteConfig(name="doctored", cells=(doctored,)))
+        assert res.results[0].outcome == "fail"
+        assert not res.ok
+
+    def test_raising_cell_is_an_error_not_an_abort(self):
+        # An unknown generator family raises inside the cell; the suite
+        # must record the error and keep running the remaining cells.
+        broken = ScenarioCell(id="broken", kind="approx", family="nope")
+        res = run_suite(SuiteConfig(name="erring", cells=(broken, ADV)))
+        by_id = {r.cell.id: r for r in res.results}
+        assert by_id["broken"].outcome == "error"
+        assert "nope" in by_id["broken"].error
+        assert by_id["adv-32"].outcome == "expected_failure"
+        assert not res.ok
+
+
+class TestDocument:
+    def test_document_validates_against_the_schema(self, result):
+        validate_suite_report(result.document())
+
+    def test_document_embeds_its_full_config(self, result):
+        doc = result.document()
+        embedded = SuiteConfig.from_dict(doc["context"]["suite"])
+        assert embedded == result.config
+
+    def test_rows_are_obs_diff_sentinels(self, result):
+        doc = result.document()
+        modes = [row["mode"] for row in doc["rows"]]
+        assert modes == ["suite:approx-small", "suite:adv-32"]
+        approx_row = doc["rows"][0]
+        assert "ratio" in approx_row and "availability" in approx_row
+
+    def test_deterministic_flag_tracks_the_cell_clocks(self, result):
+        assert result.document()["deterministic"] is True
+
+
+class TestDeterminism:
+    def test_reruns_are_byte_identical(self, result):
+        again = run_suite(SuiteConfig(name="tiny", cells=(APPROX, ADV)))
+        a = json.dumps(result.document(), indent=2, sort_keys=True)
+        b = json.dumps(again.document(), indent=2, sort_keys=True)
+        assert a == b
+
+    def test_cell_streams_are_isolated(self, result):
+        # Cell randomness derives from (suite seed, crc32(cell id)):
+        # running the adversarial cell alone must reproduce exactly the
+        # metrics it got inside the two-cell suite.
+        alone = run_suite(SuiteConfig(name="tiny", cells=(ADV,)))
+        packed = {r.cell.id: r.metrics for r in result.results}
+        assert alone.results[0].metrics == packed["adv-32"]
+
+    def test_seed_changes_the_adversarial_draw(self):
+        a = run_suite(SuiteConfig(name="t", seed=0, cells=(ADV,)))
+        b = run_suite(SuiteConfig(name="t", seed=1, cells=(ADV,)))
+        assert (
+            a.results[0].metrics["success_rate"]
+            != b.results[0].metrics["success_rate"]
+        )
