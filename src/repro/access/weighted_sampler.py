@@ -40,6 +40,21 @@ class AliasTable:
 
     Built once from a probability vector; ``draw(rng)`` returns an index
     distributed exactly according to it.
+
+    Construction runs the classic small/large worklist pairing, but as a
+    handful of numpy passes instead of an O(n) Python loop: with both
+    stacks popped in descending index order, the running deficit of the
+    small side (``D``, cumulative ``1 - scaled``) and the running surplus
+    of the large side (``E``, cumulative ``scaled - 1``) fully determine
+    every pairing — small ``j`` is absorbed by the first large whose
+    cumulative surplus covers the deficit accumulated before ``j``, and
+    large ``k`` demotes (takes an alias itself) exactly when some prefix
+    deficit exceeds ``E_k``, with residual probability
+    ``(1 + E_k) - D_j``.  Two ``np.searchsorted`` calls over the cumsums
+    replace the item-at-a-time stack walk.  :meth:`_build_reference` is
+    the same arithmetic as an explicit stack loop; a property test pins
+    the two bit-identical, since sampler RNG draw outcomes depend on the
+    table.
     """
 
     __slots__ = ("_prob", "_alias", "_n")
@@ -55,28 +70,115 @@ class AliasTable:
             raise OracleError("probabilities must not all be zero")
         p = p / total
         n = p.size
-        scaled = p * n
-        prob = np.zeros(n)
-        alias = np.zeros(n, dtype=np.int64)
-        small = [i for i in range(n) if scaled[i] < 1.0]
-        large = [i for i in range(n) if scaled[i] >= 1.0]
-        while small and large:
-            s = small.pop()
-            l = large.pop()
-            prob[s] = scaled[s]
-            alias[s] = l
-            scaled[l] = scaled[l] + scaled[s] - 1.0
-            if scaled[l] < 1.0:
-                small.append(l)
-            else:
-                large.append(l)
-        for i in large:
-            prob[i] = 1.0
-        for i in small:  # numerical leftovers
-            prob[i] = 1.0
+        prob, alias = self._build(p * n)
         self._prob = prob
         self._alias = alias
         self._n = n
+
+    @classmethod
+    def from_arrays(
+        cls, prob: np.ndarray, alias: np.ndarray
+    ) -> "AliasTable":
+        """Adopt prebuilt ``(prob, alias)`` columns zero-copy.
+
+        This is how shared-memory attachments skip the O(n) build: the
+        owner process constructs the table once and shares the two
+        columns; every attacher re-wraps them.  The arrays are taken as
+        given (read-only views are fine) — callers are responsible for
+        passing columns produced by a real construction.
+        """
+        prob = np.asarray(prob, dtype=float)
+        alias = np.asarray(alias, dtype=np.int64)
+        if prob.ndim != 1 or prob.size == 0 or prob.shape != alias.shape:
+            raise OracleError("alias table columns must be equal-length 1-D arrays")
+        table = cls.__new__(cls)
+        table._prob = prob
+        table._alias = alias
+        table._n = prob.size
+        return table
+
+    @property
+    def prob(self) -> np.ndarray:
+        """The acceptance-probability column (length n)."""
+        return self._prob
+
+    @property
+    def alias(self) -> np.ndarray:
+        """The alias-index column (length n, int64)."""
+        return self._alias
+
+    @staticmethod
+    def _build(scaled: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized worklist pairing over ``scaled = p * n``."""
+        n = scaled.size
+        prob = np.ones(n)
+        alias = np.zeros(n, dtype=np.int64)
+        small_mask = scaled < 1.0
+        # Pop order of the historical stacks: descending index.
+        smalls = np.nonzero(small_mask)[0][::-1]
+        larges = np.nonzero(~small_mask)[0][::-1]
+        if smalls.size == 0 or larges.size == 0:
+            return prob, alias
+        deficit = np.cumsum(1.0 - scaled[smalls])  # D_j after j smalls
+        surplus = np.cumsum(scaled[larges] - 1.0)  # E_k after k larges
+        # Small j is absorbed by the first large whose cumulative surplus
+        # reaches the deficit accumulated *before* j; smalls beyond the
+        # total surplus are never absorbed and stay at prob 1 (the
+        # "numerical leftovers" of the loop formulation).
+        prev_deficit = np.concatenate(([0.0], deficit[:-1]))
+        consumer = np.searchsorted(surplus, prev_deficit, side="left")
+        served = consumer < larges.size
+        s_served = smalls[served]
+        prob[s_served] = scaled[s_served]
+        alias[s_served] = larges[consumer[served]]
+        # Large k demotes when some prefix deficit exceeds E_k; its
+        # residual mass at that moment is (1 + E_k) - D_j for the first
+        # such j, and its alias is the next large popped.  A demoted
+        # *last* large has no successor: it keeps prob 1 / alias 0,
+        # exactly like the loop's leftover handling.
+        first_over = np.searchsorted(deficit, surplus, side="right")
+        dem = np.nonzero(first_over < smalls.size)[0]
+        dem = dem[dem < larges.size - 1]
+        l_dem = larges[dem]
+        prob[l_dem] = (1.0 + surplus[dem]) - deficit[first_over[dem]]
+        alias[l_dem] = larges[dem + 1]
+        return prob, alias
+
+    @staticmethod
+    def _build_reference(scaled: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stack-loop reference of :meth:`_build` (same FP operations).
+
+        Kept as the readable spelling of the worklist invariant and as
+        the bit-identity anchor for the vectorized construction: both
+        paths compute every comparison and every residual with the same
+        floating-point expressions (running cumulative deficit/surplus),
+        so the property test can require exact equality.
+        """
+        n = scaled.size
+        prob = np.ones(n)
+        alias = np.zeros(n, dtype=np.int64)
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        deficit = 0.0  # D: cumulative 1 - scaled over absorbed smalls
+        surplus = 0.0  # E: cumulative scaled - 1 over popped larges
+        pending: int | None = None  # demoted large awaiting its alias
+        pending_prob = 1.0
+        while large and (small or pending is not None):
+            l = large.pop()
+            surplus = surplus + (scaled[l] - 1.0)
+            if pending is not None:
+                alias[pending] = l
+                prob[pending] = pending_prob
+                pending = None
+            while small and deficit <= surplus:
+                s = small.pop()
+                prob[s] = scaled[s]
+                alias[s] = l
+                deficit = deficit + (1.0 - scaled[s])
+            if deficit > surplus:
+                pending = l
+                pending_prob = (1.0 + surplus) - deficit
+        return prob, alias
 
     def draw(self, rng: np.random.Generator) -> int:
         """One O(1) draw."""
@@ -106,15 +208,30 @@ class WeightedSampler:
     budget:
         Optional hard cap on the number of samples (the LCA query
         complexity the benches measure).
+    table:
+        Optional prebuilt :class:`AliasTable` over ``instance.profits``
+        (e.g. :meth:`AliasTable.from_arrays` over shared-memory columns),
+        skipping the O(n) construction.  Must match the instance size.
     """
 
-    def __init__(self, instance: KnapsackInstance, *, budget: int | None = None) -> None:
+    def __init__(
+        self,
+        instance: KnapsackInstance,
+        *,
+        budget: int | None = None,
+        table: AliasTable | None = None,
+    ) -> None:
         if budget is not None and budget < 0:
             raise OracleError(f"budget must be >= 0, got {budget}")
         if float(np.sum(instance.profits)) <= 0:
             raise OracleError("weighted sampling requires positive total profit")
+        if table is not None and table._n != instance.n:
+            raise OracleError(
+                f"prebuilt alias table has {table._n} rows for an "
+                f"instance of size {instance.n}"
+            )
         self._instance = instance
-        self._table = AliasTable(instance.profits)
+        self._table = table if table is not None else AliasTable(instance.profits)
         self._budget = budget
         self._samples = 0
         self._blocks = 0
@@ -210,6 +327,14 @@ class CustomSampler:
     profit-proportional law analytically (e.g. by inverse CDF over a
     closed-form profit sequence), plus the instance for attribute
     lookup.  Per-sample cost stays O(1) even for n = 10^9.
+
+    Families whose inverse CDF is array-expressible can additionally
+    pass ``draw_indices(m, rng) -> ndarray`` to vectorize block draws.
+    The vectorized law must consume the RNG identically to ``m``
+    successive scalar calls (PCG64 guarantees e.g. ``rng.random(m)``
+    matches ``m`` scalar ``rng.random()`` calls), so that
+    :class:`SampleBlock` contents stay byte-stable regardless of which
+    path ran — a property test pins this for the shipped families.
     """
 
     def __init__(
@@ -218,11 +343,13 @@ class CustomSampler:
         draw_index: Callable[[np.random.Generator], int],
         *,
         budget: int | None = None,
+        draw_indices: Callable[[int, np.random.Generator], np.ndarray] | None = None,
     ) -> None:
         if budget is not None and budget < 0:
             raise OracleError(f"budget must be >= 0, got {budget}")
         self._instance = instance
         self._draw_index = draw_index
+        self._draw_indices = draw_indices
         self._budget = budget
         self._samples = 0
         self._blocks = 0
@@ -245,23 +372,42 @@ class CustomSampler:
     def sample_block(self, m: int, rng: np.random.Generator) -> SampleBlock:
         """Draw ``m`` samples as one columnar :class:`SampleBlock`.
 
-        The index law is a scalar callable, so indices are drawn one at
-        a time (RNG consumption identical to the object path); attribute
-        lookup is vectorized for array-backed instances and falls back
-        to per-index ``profit(i)``/``weight(i)`` calls — in draw order,
-        duplicates included — for implicit ones, preserving any
-        side-effect accounting the instance's callables perform.
+        With only the scalar index law, indices are drawn one at a time
+        (RNG consumption identical to the object path); when the sampler
+        was built with a vectorized ``draw_indices`` law, one array call
+        replaces the loop — byte-stable by the law's RNG-lockstep
+        contract.  Attribute lookup is vectorized for array-backed
+        instances and falls back to per-index ``profit(i)``/``weight(i)``
+        calls — in draw order, duplicates included — for implicit ones,
+        preserving any side-effect accounting the instance's callables
+        perform.
         """
         if m < 0:
             raise OracleError("sample count must be >= 0")
         self._charge_block(m)
         n = self._instance.n
-        indices = np.empty(m, dtype=np.int64)
-        for k in range(m):
-            idx = int(self._draw_index(rng))
-            if not 0 <= idx < n:
-                raise OracleError(f"custom sampler returned out-of-range index {idx}")
-            indices[k] = idx
+        if self._draw_indices is not None:
+            indices = np.asarray(self._draw_indices(m, rng))
+            if indices.shape != (m,):
+                raise OracleError(
+                    f"vectorized sampler law returned shape {indices.shape}, "
+                    f"expected ({m},)"
+                )
+            indices = indices.astype(np.int64, copy=False)
+            if m and (indices.min() < 0 or indices.max() >= n):
+                bad = indices[(indices < 0) | (indices >= n)][0]
+                raise OracleError(
+                    f"custom sampler returned out-of-range index {int(bad)}"
+                )
+        else:
+            indices = np.empty(m, dtype=np.int64)
+            for k in range(m):
+                idx = int(self._draw_index(rng))
+                if not 0 <= idx < n:
+                    raise OracleError(
+                        f"custom sampler returned out-of-range index {idx}"
+                    )
+                indices[k] = idx
         if isinstance(self._instance, KnapsackInstance):
             profits = self._instance.profits[indices]
             weights = self._instance.weights[indices]

@@ -19,6 +19,11 @@ Subcommands
 ``bench``       measure serving throughput, write BENCH_serve.json;
 ``bench-cold``  measure cold-pipeline latency (columnar vs object path),
                 write BENCH_cold.json; ``--sweep`` adds an n-axis sweep;
+``bench-shm``   measure process-shard scaling with the shared-memory
+                instance tier (pickled vs zero-copy payloads, worker RSS,
+                spin-up time), write BENCH_shm.json;
+``shm-stats``   dump shared-memory tier lifecycle counters and scan for
+                orphaned segments (non-zero exit when any are found);
 ``chaos``       run a seeded fault-injection sweep, assert availability,
                 write a deterministic chaos-report/v1 document;
 ``experiment``  run one of the E1-E11 experiments and print its table;
@@ -324,6 +329,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sweep", metavar="NS", default=None,
         help="comma-separated instance sizes for an n-axis sweep "
         "(e.g. 10000,100000,1000000); overrides --n",
+    )
+
+    p_shm = sub.add_parser(
+        "bench-shm",
+        help="sweep the shared-memory instance tier across n (pickled vs "
+        "zero-copy process shards, RSS + spin-up columns) and write "
+        "BENCH_shm.json",
+    )
+    p_shm.add_argument("--family", default="planted_lsg", choices=sorted(FAMILIES))
+    p_shm.add_argument(
+        "--sizes", default="20000",
+        help="comma-separated instance sizes (e.g. 20000,10000000,100000000)",
+    )
+    p_shm.add_argument("--seed", type=int, default=0)
+    p_shm.add_argument("--epsilon", type=float, default=0.1)
+    p_shm.add_argument("--lca-seed", type=int, default=7)
+    p_shm.add_argument("--queries", type=int, default=32, help="queries per serving row")
+    p_shm.add_argument("--workers", type=int, default=2)
+    p_shm.add_argument(
+        "--pickled-max-n", type=int, default=10_000_000,
+        help="largest n still measured through the legacy pickled path",
+    )
+    p_shm.add_argument(
+        "--rerun-sizes", default=None,
+        help="sizes the committed baseline advertises for obs-diff reruns "
+        "(default: the sizes <= 100000 from --sizes)",
+    )
+    p_shm.add_argument(
+        "--out", metavar="PATH", default="BENCH_shm.json",
+        help="where to write the bench-result/v1 document",
+    )
+
+    p_shmstat = sub.add_parser(
+        "shm-stats",
+        help="print shared-memory tier accounting (owned segments, orphan "
+        "scan, counters, process memory)",
+    )
+    p_shmstat.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the stats object as JSON",
     )
 
     p_chaos = sub.add_parser(
@@ -802,6 +847,59 @@ def _cmd_bench_cold(args: argparse.Namespace) -> int:
     )
     write_json(args.out, doc)
     print(f"\nwrote bench-result/v1 document to {args.out}")
+    return 0
+
+
+def _cmd_bench_shm(args: argparse.Namespace) -> int:
+    from .obs.export import write_json
+    from .serve.bench import bench_shm_document, shm_scale_rows
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    if args.rerun_sizes:
+        rerun_sizes = [int(s) for s in args.rerun_sizes.split(",") if s.strip()]
+    else:
+        rerun_sizes = [s for s in sizes if s <= 100_000] or sizes[:1]
+    rows = shm_scale_rows(
+        sizes,
+        family=args.family,
+        instance_seed=args.seed,
+        epsilon=args.epsilon,
+        seed=args.lca_seed,
+        queries=args.queries,
+        workers=args.workers,
+        pickled_max_n=args.pickled_max_n,
+    )
+    print(format_row_dicts(rows, title="shared-memory instance tier, n-axis sweep"))
+    doc = bench_shm_document(
+        rows,
+        family=args.family,
+        instance_seed=args.seed,
+        epsilon=args.epsilon,
+        lca_seed=args.lca_seed,
+        queries=args.queries,
+        workers=args.workers,
+        rerun_sizes=rerun_sizes,
+    )
+    write_json(args.out, doc)
+    print(f"\nwrote bench-result/v1 document to {args.out}")
+    return 0
+
+
+def _cmd_shm_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .knapsack.shm import shm_stats
+    from .obs.export import write_json
+
+    stats = shm_stats()
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    if args.json:
+        write_json(args.json, stats)
+        print(f"\nwrote shm stats to {args.json}")
+    leaked = stats["orphans"]
+    if leaked:
+        print(f"\nWARNING: {len(leaked)} orphaned segment(s): {leaked}")
+        return 1
     return 0
 
 
@@ -1392,6 +1490,8 @@ def main(argv: list[str] | None = None) -> int:
         "loadgen": _cmd_loadgen,
         "bench": _cmd_bench,
         "bench-cold": _cmd_bench_cold,
+        "bench-shm": _cmd_bench_shm,
+        "shm-stats": _cmd_shm_stats,
         "chaos": _cmd_chaos,
         "experiment": _cmd_experiment,
         "report": _cmd_report,

@@ -306,11 +306,21 @@ class LCAKP:
                         rho=params.rho,
                         beta=params.beta,
                     )
+                    # All t descents share the sample array, so they run
+                    # batched (one sort, one searchsorted per grid
+                    # level) — bit-identical to per-k quantile() calls.
+                    targets = [
+                        min(max(1.0 - k * run.q, 0.0), 1.0)
+                        for k in range(1, run.t + 1)
+                    ]
+                    nodes = [
+                        self._seed.child("rquantile").child(k)
+                        for k in range(1, run.t + 1)
+                    ]
+                    raw = estimator.quantiles(efficiencies, targets, nodes)
                     thresholds: list[float] = []
-                    for k in range(1, run.t + 1):
-                        target = min(max(1.0 - k * run.q, 0.0), 1.0)
-                        node = self._seed.child("rquantile").child(k)
-                        e_k = estimator.quantile(efficiencies, target, node)
+                    for e_k in raw:
+                        e_k = float(e_k)
                         if thresholds:
                             e_k = min(e_k, thresholds[-1])  # enforce monotonicity
                         thresholds.append(e_k)

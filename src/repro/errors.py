@@ -187,3 +187,56 @@ class ShardFailureError(FaultInjectionError):
         super().__init__(
             f"shard {shard} failed {attempts} attempt(s); last error: {last_error!r}"
         )
+
+
+class SharedMemoryError(ReproError):
+    """A shared-memory instance segment operation failed.
+
+    The shared-memory tier (:mod:`repro.knapsack.shm`) hands out
+    :class:`~repro.knapsack.shm.SharedInstanceHandle` tokens whose
+    validity the owner controls; every concrete failure carries a
+    machine-readable ``reason_code`` mirroring the fault hierarchy, so
+    degraded paths and obs counters can account for segment problems
+    without parsing messages.
+    """
+
+    reason_code = "shm-error"
+
+
+class SegmentMissingError(SharedMemoryError):
+    """An attach targeted a segment that no longer exists.
+
+    Raised when a handle outlives its segment — typically an
+    attach-after-unlink: the owning store was closed (or its process
+    exited) before a worker attached.  The attach fails *before* any
+    probe is billed; callers holding a stale handle must obtain a fresh
+    one from a live store.
+    """
+
+    reason_code = "segment-missing"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"shared-memory segment {name!r} does not exist (unlinked?)")
+
+
+class DigestMismatchError(SharedMemoryError):
+    """An attached segment's content digest does not match its handle.
+
+    The handle pins the instance identity (n, capacity and a content
+    digest over the profit/weight columns); a mismatch means the segment
+    was recycled or corrupted.  Verification happens at attach time,
+    before any query is billed, so a poisoned segment can never silently
+    serve answers for the wrong instance.
+    """
+
+    reason_code = "digest-mismatch"
+
+    def __init__(self, name: str, expected: str, actual: str) -> None:
+        self.name = name
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"segment {name!r} digest mismatch: handle pinned {expected!r}, "
+            f"segment holds {actual!r}"
+        )

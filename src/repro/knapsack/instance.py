@@ -157,6 +157,47 @@ class KnapsackInstance:
         return cls(profits, weights, capacity, normalize=normalize, validate=validate)
 
     @classmethod
+    def from_arrays_view(
+        cls,
+        profits: np.ndarray,
+        weights: np.ndarray,
+        capacity: float,
+        *,
+        validate: bool = False,
+    ) -> "KnapsackInstance":
+        """Adopt existing float64 arrays zero-copy (no normalization).
+
+        The shared-memory tier uses this to wrap segment-backed columns:
+        ``__init__`` copies its inputs (defensive ownership), which would
+        defeat the point of a shared segment.  The arrays are adopted
+        as-is and marked read-only *in the view metadata only* — the
+        underlying buffer is untouched, so shared-memory pages stay
+        shared.  ``validate`` defaults to off because the tier verifies
+        instance identity by content digest instead; pass ``True`` when
+        adopting arrays of unknown provenance.
+        """
+        profits = np.asarray(profits)
+        weights = np.asarray(weights)
+        if profits.dtype != np.float64 or weights.dtype != np.float64:
+            raise InvalidInstanceError(
+                "from_arrays_view requires float64 arrays (got "
+                f"{profits.dtype}, {weights.dtype})"
+            )
+        if profits.ndim != 1 or profits.shape != weights.shape:
+            raise InvalidInstanceError(
+                "profits and weights must be equal-length 1-D arrays"
+            )
+        instance = object.__new__(cls)
+        instance._profits = profits.view()
+        instance._weights = weights.view()
+        instance._capacity = float(capacity)
+        instance._profits.setflags(write=False)
+        instance._weights.setflags(write=False)
+        if validate:
+            instance.validate()
+        return instance
+
+    @classmethod
     def from_dict(cls, payload: dict) -> "KnapsackInstance":
         """Inverse of :meth:`to_dict` (no re-normalization: loads verbatim)."""
         return cls(

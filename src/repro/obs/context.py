@@ -26,7 +26,7 @@ from typing import Any, Mapping
 __all__ = ["RunContext"]
 
 #: Context kinds with a registered rerun recipe.
-RERUNNABLE_BENCHES = ("cold", "serve", "load", "chaos", "suite")
+RERUNNABLE_BENCHES = ("cold", "serve", "load", "chaos", "suite", "shm")
 
 
 @dataclass(frozen=True)
@@ -148,6 +148,20 @@ class RunContext:
                 queries=2,
             )
             return bench_cold_document(rows)
+        if self.bench == "shm":
+            from ..serve.bench import bench_shm_document, shm_scale_rows
+
+            sizes = [int(s) for s in cfg.get("rerun_sizes", (20_000,))]
+            rows = shm_scale_rows(
+                sizes,
+                family=str(cfg.get("family", "planted_lsg")),
+                instance_seed=int(cfg.get("instance_seed", 0)),
+                epsilon=float(cfg.get("epsilon", 0.1)),
+                seed=int(cfg.get("lca_seed", 7)),
+                queries=int(cfg.get("queries", 32)),
+                workers=int(cfg.get("workers", 2)),
+            )
+            return bench_shm_document(rows, **{**cfg, "rerun_sizes": sizes})
         if self.bench == "serve":
             from ..knapsack.generators import generate
             from ..serve.bench import bench_serve_document, serve_throughput_rows

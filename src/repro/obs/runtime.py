@@ -36,6 +36,7 @@ __all__ = [
     "record_degraded",
     "record_shard_retries",
     "record_hedges",
+    "record_shm",
     "record_event",
     "reset_worker_runtime",
     "snapshot",
@@ -148,6 +149,19 @@ def record_hedges(n: int = 1) -> None:
 def record_probe_hedges(n: int = 1) -> None:
     """``n`` per-probe backup probes fired by a hedging retry policy."""
     REGISTRY.counter("faults.probe_hedges").inc(n)
+
+
+def record_shm(kind: str, n: int = 1) -> None:
+    """``n`` shared-memory tier lifecycle events of ``kind``.
+
+    Kinds in use: ``segments_created``, ``segments_unlinked``,
+    ``attaches``, ``detaches``, ``attach_hits`` (per-process attach
+    cache), ``mmap_spills`` (POSIX shm unavailable, fell back to a
+    memmapped file).  Leak detection is the invariant
+    ``segments_created == segments_unlinked`` at rest; ``repro
+    shm-stats`` and the lifecycle tests assert it.
+    """
+    REGISTRY.counter(f"shm.{kind}").inc(n)
 
 
 def record_event(kind: str, **attrs) -> None:

@@ -58,6 +58,7 @@ from ..errors import ReproducibilityError
 __all__ = [
     "rmedian",
     "rquantile_descent",
+    "rquantile_descent_batch",
     "theoretical_sample_complexity",
     "practical_sample_complexity",
 ]
@@ -151,6 +152,128 @@ def rquantile_descent(
         round_idx += 1
 
     return int(lo)
+
+
+def rquantile_descent_batch(
+    samples,
+    domain_size: int,
+    seeds,
+    targets,
+    *,
+    tau: float = 0.05,
+    branching: int = 4,
+) -> np.ndarray:
+    """Batched :func:`rquantile_descent`: many targets over one sample set.
+
+    LCA-KP estimates ``t`` efficiency thresholds from the *same* sample
+    array, each with its own seed node and target quantile.  Running the
+    descents in lockstep shares the dominant costs — one ``np.sort`` of
+    the samples and one vectorized ``np.searchsorted`` per grid level
+    serving every threshold — while every per-threshold scalar
+    (``theta``, ``floor``, lattice offsets, rank arithmetic, mass decay)
+    is computed with the exact floating-point expressions of the scalar
+    path.  The result is bit-identical to calling
+    :func:`rquantile_descent` once per ``(seed, target)`` pair; a
+    hypothesis property test pins this, since run outputs (and therefore
+    pipeline reproducibility) depend on it.
+
+    Parameters
+    ----------
+    samples, domain_size, tau, branching:
+        As in :func:`rquantile_descent` (shared by all descents).
+    seeds:
+        Sequence of :class:`SeedChain` nodes, one per descent.
+    targets:
+        Sequence of quantile targets, same length as ``seeds``.
+
+    Returns
+    -------
+    numpy.ndarray
+        int64 array of surviving-interval left edges, one per target.
+    """
+    seeds = list(seeds)
+    targets = [float(p) for p in targets]
+    if len(seeds) != len(targets):
+        raise ReproducibilityError(
+            f"got {len(seeds)} seeds for {len(targets)} targets"
+        )
+    k = len(targets)
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    xs = np.sort(np.asarray(samples, dtype=np.int64))
+    if xs.size == 0:
+        raise ReproducibilityError("rquantile_descent needs at least one sample")
+    if domain_size < 1:
+        raise ReproducibilityError(f"domain_size must be >= 1, got {domain_size}")
+    if xs[0] < 0 or xs[-1] >= domain_size:
+        raise ReproducibilityError(
+            f"samples must lie in [0, {domain_size}); got range [{xs[0]}, {xs[-1]}]"
+        )
+    for p in targets:
+        if not 0 <= p <= 1:
+            raise ReproducibilityError(f"target quantile must lie in [0, 1], got {p}")
+    if not 0 < tau <= 1:
+        raise ReproducibilityError(f"tau must lie in (0, 1], got {tau}")
+    if branching < 2:
+        raise ReproducibilityError(f"branching must be >= 2, got {branching}")
+
+    t = np.empty(k)
+    floor = np.empty(k)
+    for i, (node, p) in enumerate(zip(seeds, targets)):
+        lo_t = max(0.0, p - tau / 2)
+        hi_t = min(1.0, p + tau / 2)
+        t[i] = node.child("theta").uniform(lo_t, hi_t)
+        floor[i] = node.child("floor").uniform(tau / 4, tau / 2)
+
+    lo = np.zeros(k, dtype=np.int64)
+    hi = np.full(k, domain_size, dtype=np.int64)
+    mass = np.ones(k)
+    active = np.ones(k, dtype=bool)
+    round_idx = 0
+    while True:
+        active &= (hi - lo > 1) & (mass > floor)
+        if not active.any():
+            break
+        width = np.maximum(1, np.ceil((hi - lo) / branching)).astype(np.int64)
+        offset = np.zeros(k, dtype=np.int64)
+        for i in np.nonzero(active)[0]:
+            offset[i] = seeds[i].child(f"offset-{round_idx}").integer(0, int(width[i]))
+        a = np.searchsorted(xs, lo, side="left")
+        b = np.searchsorted(xs, hi, side="left")
+        sz = b - a
+        # Empty interval: the quantile is unidentifiable; that descent
+        # stops and emits its current left edge (the scalar `break`).
+        active &= sz > 0
+        if not active.any():
+            break
+        sz_safe = np.maximum(sz, 1)
+        rank = np.minimum(
+            np.maximum(np.ceil(t * sz_safe).astype(np.int64) - 1, 0), sz_safe - 1
+        )
+        pivot = xs[np.minimum(a + rank, xs.size - 1)]
+        anchor = lo - offset
+        cell_start = anchor + ((pivot - anchor) // width) * width
+        new_lo = np.maximum(cell_start, lo)
+        new_hi = np.minimum(cell_start + width, hi)
+        # searchsorted over the full sorted array minus the interval
+        # offset equals searchsorted over the sub-interval slice, since
+        # new_lo/new_hi lie within [lo, hi).
+        below = (np.searchsorted(xs, new_lo, side="left") - a) / sz_safe
+        upto = (np.searchsorted(xs, new_hi, side="left") - a) / sz_safe
+        cell_frac = upto - below
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_desc = np.where(
+                cell_frac <= 0,
+                0.5,
+                np.minimum(np.maximum((t - below) / cell_frac, 0.0), 1.0),
+            )
+        t = np.where(active, t_desc, t)
+        mass = np.where(active, mass * np.maximum(cell_frac, 0.0), mass)
+        lo = np.where(active, new_lo, lo)
+        hi = np.where(active, new_hi, hi)
+        round_idx += 1
+
+    return lo
 
 
 def rmedian(

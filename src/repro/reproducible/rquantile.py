@@ -30,6 +30,7 @@ from .rmedian import (
     practical_sample_complexity,
     rmedian,
     rquantile_descent,
+    rquantile_descent_batch,
     theoretical_sample_complexity,
 )
 
@@ -204,6 +205,44 @@ class ReproducibleQuantileEstimator:
         return rquantile_direct(
             encoded, self.domain.size, p, seed, tau=self.tau, branching=self.branching
         )
+
+    def quantiles(self, values, targets, seeds) -> np.ndarray:
+        """Batched :meth:`quantile`: many targets over one value array.
+
+        Bit-identical to calling :meth:`quantile` once per
+        ``(target, seed)`` pair — LCA-KP's threshold loop depends on
+        that — but the values are encoded once and, for the default
+        ``method="direct"`` single-vote configuration, all descents run
+        in lockstep via :func:`rquantile_descent_batch`, sharing one
+        sort and one ``searchsorted`` per grid level.  Other methods and
+        ``vote > 1`` fall back to per-target calls (same outputs, no
+        sharing).
+        """
+        targets = [float(p) for p in targets]
+        seeds = list(seeds)
+        if len(targets) != len(seeds):
+            raise ReproducibilityError(
+                f"got {len(seeds)} seeds for {len(targets)} targets"
+            )
+        if not targets:
+            return np.empty(0)
+        if self.method != "direct" or self.vote > 1:
+            return np.asarray(
+                [self.quantile(values, p, s) for p, s in zip(targets, seeds)]
+            )
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            raise ReproducibilityError("quantile needs at least one sample")
+        encoded = self.domain.encode_many(arr)
+        indices = rquantile_descent_batch(
+            encoded,
+            self.domain.size,
+            seeds,
+            targets,
+            tau=self.tau,
+            branching=self.branching,
+        )
+        return np.asarray([self.domain.decode(int(i)) for i in indices])
 
     def median(self, values, seed: SeedChain) -> float:
         """Reproducible tau-approximate median of float ``values``."""

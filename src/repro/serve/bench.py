@@ -36,6 +36,8 @@ __all__ = [
     "cold_pipeline_rows",
     "cold_sweep_rows",
     "bench_cold_document",
+    "shm_scale_rows",
+    "bench_shm_document",
 ]
 
 
@@ -249,6 +251,135 @@ def cold_sweep_rows(
             row["family"] = family
             rows.append(row)
     return rows
+
+
+def shm_scale_rows(
+    sizes,
+    *,
+    family: str = "planted_lsg",
+    instance_seed: int = 0,
+    epsilon: float = 0.1,
+    seed: int = 7,
+    queries: int = 32,
+    workers: int = 2,
+    pickled_max_n: int = 10_000_000,
+    params=None,
+) -> list[dict]:
+    """n-axis sweep of the process-shard instance tiers, to 10^7–10^8.
+
+    Per size, three rows:
+
+    * ``store_create`` — one-time cost of laying the instance (plus
+      derived columns) into shared memory, with the segment size;
+    * ``process_pickled`` — the legacy path: the whole instance pickled
+      into every worker (skipped above ``pickled_max_n``, where the
+      copies stop being worth measuring);
+    * ``process_shm`` — handle-shipping path: workers attach zero-copy.
+
+    Both serving rows carry the per-worker RSS/private-memory and
+    access-setup columns (from the winning shards' shipped telemetry):
+    the tier's claim is that ``worker_private_mb`` and
+    ``shard_setup_s`` stay bounded as n grows — per-query resident
+    overhead is block-sized, not instance-sized — while the pickled
+    path grows linearly on both.  When both serving rows ran, the shm
+    row's answers are compared against the pickled row's and the result
+    recorded in ``bit_identical`` (a mismatch raises — this bench
+    refuses to advertise a tier that changes answers).
+    """
+    from ..core.parameters import LCAParameters
+    from ..knapsack.generators import generate
+    from ..knapsack.shm import SharedInstanceStore, process_memory
+    from .service import KnapsackService
+
+    if params is None:
+        # Cap the per-run sample sizes so the sweep measures the tier
+        # (setup + residency), not ever-growing estimator work.
+        params = LCAParameters.calibrated(epsilon, max_nrq=4000, max_m_large=4000)
+
+    def mb(kb):
+        return round(kb / 1024.0, 2) if kb is not None else None
+
+    def serve_row(mode, inst, n, shared):
+        svc = KnapsackService(
+            inst,
+            epsilon,
+            seed,
+            params=params,
+            cache=False,
+            executor="process",
+            shared_instance=shared,
+        )
+        idx = [i % inst.n for i in range(queries)]
+        t0 = time.perf_counter()
+        report = svc.answer_batch(idx, nonce=9_000, workers=workers)
+        wall = time.perf_counter() - t0
+        memories = svc.worker_memory
+        setups = svc.worker_setup_s
+        svc.close()
+        row = _row(mode, queries, report.pipelines_run, report.samples_spent, wall)
+        row.update(
+            n=int(n),
+            family=family,
+            rss_parent_mb=mb(process_memory()["rss_kb"]),
+            worker_rss_mb=mb(max((m.get("rss_kb") or 0) for m in memories))
+            if memories
+            else None,
+            worker_private_mb=mb(max((m.get("private_kb") or 0) for m in memories))
+            if memories and all(m.get("private_kb") is not None for m in memories)
+            else None,
+            shard_setup_s=round(max(setups), 6) if setups else None,
+        )
+        answers = [(a.index, a.include) for a in report.answers]
+        return row, answers
+
+    rows: list[dict] = []
+    for n in sizes:
+        n = int(n)
+        inst = generate(family, n, seed=instance_seed)
+
+        t0 = time.perf_counter()
+        store = SharedInstanceStore.create(inst)
+        create_wall = time.perf_counter() - t0
+        store_mb = round(store.handle.nbytes / 1024.0 / 1024.0, 2)
+        store.close()
+        row = _row("store_create", 0, 0, 0, create_wall)
+        row.update(n=n, family=family, store_mb=store_mb)
+        rows.append(row)
+
+        pickled_answers = None
+        if n <= pickled_max_n:
+            row, pickled_answers = serve_row("process_pickled", inst, n, False)
+            rows.append(row)
+
+        row, shm_answers = serve_row("process_shm", inst, n, True)
+        if pickled_answers is not None:
+            if shm_answers != pickled_answers:
+                raise AssertionError(
+                    f"shared-memory path diverged from pickled path at n={n}"
+                )
+            row["bit_identical"] = True
+        rows.append(row)
+    return rows
+
+
+def bench_shm_document(
+    rows: list[dict], *, name: str = "shm_scale", **context
+) -> dict:
+    """Wrap shared-memory sweep rows as a ``bench-result/v1`` document.
+
+    ``context`` works as in :func:`bench_cold_document`, with
+    ``bench="shm"`` — committed baselines carry ``rerun_sizes`` so
+    ``repro obs-diff`` can rerun the small rows on any machine (the
+    10^7–10^8 rows are machine-scale measurements; a rerun reports them
+    as missing rather than failing).
+    """
+    return _bench_result(
+        rows,
+        name=name,
+        title="Shared-memory instance tier: zero-copy process sharding across n",
+        bench="shm",
+        context=context,
+    )
 
 
 def bench_cold_document(

@@ -67,6 +67,12 @@ from ..faults.injectors import FaultyOracle, FaultySampler
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryingOracle, RetryingSampler, RetryPolicy
 from ..knapsack.instance import KnapsackInstance
+from ..knapsack.shm import (
+    SharedInstanceHandle,
+    SharedInstanceStore,
+    attach_cached,
+    process_memory,
+)
 from ..obs import runtime as _obs
 from ..obs.trace import span_from_payload, span_to_payload
 from .cache import CacheKey, PipelineCache, instance_fingerprint
@@ -134,6 +140,17 @@ def _serve_chunk(payload) -> tuple:
     kill itself *before* doing any work (``os._exit`` => the parent sees
     ``BrokenProcessPool`` — real worker death, not an exception), which
     is how the requeue/hedge path is exercised end to end.
+
+    Slot 0 of the payload is either the pickled instance (legacy path:
+    O(n) per shard) or a :class:`SharedInstanceHandle` (shared-memory
+    path: the worker attaches zero-copy views and re-wraps the
+    segment's prebuilt alias table — O(1) per shard in n).  The attach
+    — including its digest verification, which happens *before* any
+    access object exists, so no query is ever billed against a wrong
+    segment — runs before ``reset_worker_runtime`` so the worker's
+    shipped-home registry is identical between the two paths; the
+    parent-facing setup/memory measurements travel in dedicated
+    ``obs_state`` keys instead.
     """
     (
         instance, epsilon, seed, params, tie_breaking, mode, nonce, indices,
@@ -141,13 +158,22 @@ def _serve_chunk(payload) -> tuple:
     ) = payload
     if plan is not None and plan.shard_kill(nonce, attempt):
         os._exit(17)
+    shared_store = None
+    setup_start = time.perf_counter()
+    if isinstance(instance, SharedInstanceHandle):
+        shared_store = attach_cached(instance)
+        instance = shared_store.instance
     _obs.reset_worker_runtime()
     if trace_ctx is not None:
         _obs.TRACER.enable()
         _obs.TRACER.adopt(*trace_ctx)
     audit = ProbeAuditor(*audit_bounds) if audit_bounds is not None else None
-    sampler = WeightedSampler(instance)
+    if shared_store is not None:
+        sampler = shared_store.sampler()
+    else:
+        sampler = WeightedSampler(instance)
     oracle = QueryOracle(instance)
+    setup_s = time.perf_counter() - setup_start
     sampler, oracle = _wrap_access(
         sampler, oracle, plan, policy, ("shard", nonce, attempt), audit=audit
     )
@@ -192,6 +218,11 @@ def _serve_chunk(payload) -> tuple:
         "trace": span_to_payload(root) if root is not None else None,
         "events": [e.to_dict() for e in _obs.RECORDER.events()],
         "dropped_events": _obs.RECORDER.dropped,
+        # Parent-facing scale telemetry (not part of the merged registry,
+        # so thread-vs-process registry parity is unaffected).
+        "setup_s": setup_s,
+        "memory": process_memory(),
+        "shared": shared_store is not None,
     }
     return (
         answers,
@@ -380,6 +411,18 @@ class KnapsackService:
         cluster-wide cost of hedging, which is the thing this flag
         exists to measure.  Answer values and budget accounting are
         unchanged either way.
+    shared_instance:
+        When truthy, process-pool shards receive an O(1)
+        :class:`~repro.knapsack.shm.SharedInstanceHandle` instead of the
+        pickled instance and attach zero-copy views of one shared
+        segment (columns plus a prebuilt alias table), making per-shard
+        setup independent of n.  ``True`` creates the segment lazily on
+        the first process batch; pass an existing
+        :class:`~repro.knapsack.shm.SharedInstanceStore` to share one
+        segment between services (the caller keeps unlink ownership).
+        Answers, probe bills and per-phase obs totals are bit-identical
+        to the pickled path.  Call :meth:`close` (or use the service as
+        a context manager) to unlink a lazily-created segment.
     """
 
     def __init__(
@@ -403,9 +446,15 @@ class KnapsackService:
         max_staleness: int | None = None,
         probe_audit: bool = False,
         merge_losers: bool = False,
+        shared_instance: bool | SharedInstanceStore = False,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ReproError(f"executor must be 'thread' or 'process', got {executor!r}")
+        if shared_instance and not isinstance(instance, KnapsackInstance):
+            raise ReproError(
+                "shared_instance requires an explicit KnapsackInstance "
+                "(implicit instances have no columns to share)"
+            )
         if max_shard_retries < 0:
             raise ReproError(f"max_shard_retries must be >= 0, got {max_shard_retries}")
         if max_staleness is not None and max_staleness < 0:
@@ -416,6 +465,16 @@ class KnapsackService:
                 "is recovered by re-probing, not by raising"
             )
         self._instance = instance
+        if isinstance(shared_instance, SharedInstanceStore):
+            self._store: SharedInstanceStore | None = shared_instance
+            self._shared = True
+            self._owns_store = False
+        else:
+            self._store = None
+            self._shared = bool(shared_instance)
+            self._owns_store = True
+        self._worker_setup_s: list[float] = []
+        self._worker_memory: list[dict] = []
         self._epsilon = float(epsilon)
         self._seed = seed if isinstance(seed, SeedChain) else SeedChain(seed)
         self._tie_breaking = bool(tie_breaking)
@@ -945,14 +1004,25 @@ class KnapsackService:
             probe_retries=sum(r[6] for r in results),
         )
 
+    def _ensure_store(self) -> SharedInstanceStore:
+        """Lazily lay the instance into shared memory (first process batch)."""
+        if self._store is None or self._store.closed:
+            self._store = SharedInstanceStore.create(self._instance)
+            self._owns_store = True
+        return self._store
+
     def _chunk_payload(self, shard, shard_nonce, attempt, strict, slot):
         # Trace context crosses the process boundary as plain ids: the
         # child adopts (trace_id, "<batch-span>.s<slot>") so its subtree
         # slots into the parent tree at a deterministic position.
         trace_id, span_id = _obs.TRACER.current_ids()
         trace_ctx = None if trace_id is None else (trace_id, f"{span_id}.s{slot}")
+        # Shared mode ships the O(1) handle; workers attach zero-copy.
+        payload_instance = (
+            self._ensure_store().handle if self._shared else self._instance
+        )
         return (
-            self._instance,
+            payload_instance,
             self._epsilon,
             self._seed,
             self._lca.params,
@@ -1105,6 +1175,8 @@ class KnapsackService:
                     todo.append(k)
         answers: list = []
         samples = queries = blocks = degraded = retries = runs = 0
+        self._worker_setup_s = []
+        self._worker_memory = []
         for k in range(n_shards):
             res = results[k]
             if res is None:
@@ -1119,7 +1191,11 @@ class KnapsackService:
             blocks += res[3]
             degraded += res[4]
             retries += res[5]
-            self._merge_worker_obs(res[6] if len(res) > 6 else None)
+            obs_state = res[6] if len(res) > 6 else None
+            self._merge_worker_obs(obs_state)
+            if obs_state and "setup_s" in obs_state:
+                self._worker_setup_s.append(float(obs_state["setup_s"]))
+                self._worker_memory.append(obs_state.get("memory") or {})
             runs += 1
         # Child processes cannot see the parent cache: all misses.
         return _ShardTotals(
@@ -1150,4 +1226,59 @@ class KnapsackService:
             "faults_injected": self.faults_injected,
             "abandoned_work": self.abandoned_work,
             "cache": self._cache.stats() if self._cache is not None else None,
+            "shm": self.shm_stats(),
         }
+
+    @property
+    def worker_setup_s(self) -> list[float]:
+        """Per-winning-shard access-setup seconds, most recent process batch.
+
+        Covers segment attach (shared mode) or sampler construction
+        (pickled mode) — the per-shard cost the shared tier makes O(1)."""
+        return list(self._worker_setup_s)
+
+    @property
+    def worker_memory(self) -> list[dict]:
+        """Per-winning-shard :func:`~repro.knapsack.shm.process_memory`
+        snapshots, most recent process batch."""
+        return list(self._worker_memory)
+
+    def shm_stats(self) -> dict | None:
+        """Shared-memory tier accounting, or ``None`` when not in use.
+
+        ``worker_setup_s``/``worker_memory`` reflect the winning shards
+        of the most recent process batch: with the tier on, setup is
+        O(1) in n and per-worker *private* memory stays bounded by
+        block-size working state, not by the instance (shared pages are
+        excluded from ``private_kb``).
+        """
+        if not self._shared:
+            return None
+        out: dict = {
+            "store": self._store.stats()
+            if self._store is not None and not self._store.closed
+            else None,
+            "owns_store": self._owns_store,
+        }
+        if self._worker_setup_s:
+            out["worker_setup_s"] = list(self._worker_setup_s)
+            out["worker_memory"] = list(self._worker_memory)
+        return out
+
+    def close(self) -> None:
+        """Release the shared-memory segment, if this service owns one.
+
+        Idempotent; a no-op for non-shared services and for services
+        given a caller-owned :class:`SharedInstanceStore`.  After close,
+        the next process batch lazily creates a fresh segment.
+        """
+        if self._store is not None and self._owns_store:
+            self._store.close()
+        if self._owns_store:
+            self._store = None
+
+    def __enter__(self) -> "KnapsackService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,115 @@
+"""Bit-identity of the vectorized alias-table construction.
+
+The vectorized :meth:`AliasTable._build` replaced the historical
+item-at-a-time worklist loop; sampler RNG outcomes depend on the exact
+floating-point contents of the table, so the two spellings must agree
+*bit for bit*, not just approximately.  :meth:`AliasTable._build_reference`
+keeps the loop spelling with the same running-cumulative arithmetic;
+these tests pin the pair together and check the table's defining
+reconstruction law.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.weighted_sampler import AliasTable, WeightedSampler
+from repro.errors import OracleError
+from repro.knapsack.instance import KnapsackInstance
+
+positive_probs = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+).filter(lambda ps: sum(ps) > 0)
+
+
+def _scaled(probs):
+    p = np.asarray(probs, dtype=float)
+    p = p / p.sum()
+    return p * p.size
+
+
+@settings(max_examples=120, deadline=None)
+@given(probs=positive_probs)
+def test_vectorized_build_matches_reference_bit_for_bit(probs):
+    scaled = _scaled(probs)
+    prob_v, alias_v = AliasTable._build(scaled)
+    prob_r, alias_r = AliasTable._build_reference(scaled)
+    assert prob_v.tobytes() == prob_r.tobytes()
+    assert alias_v.tobytes() == alias_r.tobytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    dist=st.sampled_from(["uniform", "lognormal", "integers", "sparse"]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_vectorized_build_matches_reference_structured(n, dist, seed):
+    """Same pin over structured vectors (ties, zeros, integer profits)."""
+    rng = np.random.default_rng(seed)
+    if dist == "uniform":
+        p = rng.random(n)
+    elif dist == "lognormal":
+        p = rng.lognormal(0.0, 2.0, size=n)
+    elif dist == "integers":
+        p = rng.integers(0, 5, size=n).astype(float)
+    else:
+        p = np.where(rng.random(n) < 0.5, 0.0, rng.random(n))
+    if p.sum() <= 0:
+        p[0] = 1.0
+    scaled = _scaled(p)
+    prob_v, alias_v = AliasTable._build(scaled)
+    prob_r, alias_r = AliasTable._build_reference(scaled)
+    assert prob_v.tobytes() == prob_r.tobytes()
+    assert alias_v.tobytes() == alias_r.tobytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(probs=positive_probs)
+def test_alias_table_reconstruction_law(probs):
+    """Per-index mass implied by (prob, alias) equals the normalized input."""
+    table = AliasTable(probs)
+    n = len(probs)
+    mass = np.zeros(n)
+    for cell in range(n):
+        mass[cell] += table.prob[cell] / n
+        mass[int(table.alias[cell])] += (1.0 - table.prob[cell]) / n
+    target = np.asarray(probs, dtype=float)
+    assert np.allclose(mass, target / target.sum(), atol=1e-12)
+
+
+def test_from_arrays_adoption_draws_identically():
+    rng_p = np.random.default_rng(3)
+    probs = rng_p.lognormal(0.0, 1.5, size=512)
+    built = AliasTable(probs)
+    adopted = AliasTable.from_arrays(built.prob, built.alias)
+    a = built.draw_many(4096, np.random.default_rng(11))
+    b = adopted.draw_many(4096, np.random.default_rng(11))
+    assert a.tobytes() == b.tobytes()
+
+
+def test_from_arrays_rejects_mismatched_columns():
+    with pytest.raises(OracleError):
+        AliasTable.from_arrays(np.ones(3), np.zeros(4, dtype=np.int64))
+    with pytest.raises(OracleError):
+        AliasTable.from_arrays(np.empty(0), np.empty(0, dtype=np.int64))
+
+
+def test_weighted_sampler_rejects_wrong_size_table():
+    inst = KnapsackInstance(np.arange(1.0, 11.0), np.ones(10), 5.0)
+    table = AliasTable(np.ones(7))
+    with pytest.raises(OracleError, match="7 rows"):
+        WeightedSampler(inst, table=table)
+
+
+def test_weighted_sampler_prebuilt_table_identical_stream():
+    inst = KnapsackInstance(np.arange(1.0, 101.0), np.ones(100), 50.0)
+    fresh = WeightedSampler(inst)
+    reused = WeightedSampler(inst, table=AliasTable(inst.profits))
+    blk_a = fresh.sample_block(500, np.random.default_rng(9))
+    blk_b = reused.sample_block(500, np.random.default_rng(9))
+    assert blk_a.indices.tobytes() == blk_b.indices.tobytes()
+    assert fresh.samples_used == reused.samples_used == 500

@@ -1,0 +1,113 @@
+"""Vectorized ``draw_indices`` law on :class:`CustomSampler`.
+
+A family may ship an array-expressible inverse CDF; the contract is
+RNG lockstep — ``draw_indices(m, rng)`` must consume the generator
+exactly like ``m`` scalar ``draw_index(rng)`` calls (PCG64 guarantees
+``rng.random(m)`` matches ``m`` scalar ``rng.random()`` draws), so a
+:class:`SampleBlock` is byte-stable regardless of which path ran.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.weighted_sampler import CustomSampler
+from repro.errors import OracleError
+from repro.knapsack.instance import KnapsackInstance
+
+
+def _cdf_pair(profits):
+    """Scalar and vectorized inverse-CDF laws over one profit vector."""
+    cdf = np.cumsum(np.asarray(profits, dtype=float))
+    cdf = cdf / cdf[-1]
+    scalar = lambda rng: int(np.searchsorted(cdf, rng.random(), side="right"))
+    batch = lambda m, rng: np.searchsorted(cdf, rng.random(m), side="right")
+    return scalar, batch
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    m=st.integers(min_value=0, max_value=400),
+    inst_seed=st.integers(min_value=0, max_value=2**31),
+    rng_seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_vectorized_law_byte_stable_vs_scalar(n, m, inst_seed, rng_seed):
+    profits = np.random.default_rng(inst_seed).random(n) + 1e-9
+    inst = KnapsackInstance(profits, np.ones(n), float(n), validate=False)
+    scalar, batch = _cdf_pair(inst.profits)
+    cs_scalar = CustomSampler(inst, scalar)
+    cs_vector = CustomSampler(inst, scalar, draw_indices=batch)
+    blk_s = cs_scalar.sample_block(m, np.random.default_rng(rng_seed))
+    blk_v = cs_vector.sample_block(m, np.random.default_rng(rng_seed))
+    assert blk_s.indices.tobytes() == blk_v.indices.tobytes()
+    assert blk_s.profits.tobytes() == blk_v.profits.tobytes()
+    assert blk_s.weights.tobytes() == blk_v.weights.tobytes()
+
+
+def test_vectorized_law_rng_stream_advances_in_lockstep():
+    """After a block, both paths leave the generator in the same state."""
+    inst = KnapsackInstance(np.arange(1.0, 9.0), np.ones(8), 4.0)
+    scalar, batch = _cdf_pair(inst.profits)
+    rng_s, rng_v = np.random.default_rng(5), np.random.default_rng(5)
+    CustomSampler(inst, scalar).sample_block(37, rng_s)
+    CustomSampler(inst, scalar, draw_indices=batch).sample_block(37, rng_v)
+    assert rng_s.random() == rng_v.random()
+
+
+def test_vectorized_law_accounting_matches_scalar():
+    inst = KnapsackInstance(np.arange(1.0, 9.0), np.ones(8), 4.0)
+    scalar, batch = _cdf_pair(inst.profits)
+    cs = CustomSampler(inst, scalar, draw_indices=batch, budget=100)
+    cs.sample_block(60, np.random.default_rng(0))
+    assert cs.samples_used == 60 and cs.blocks_used == 1
+    from repro.errors import QueryBudgetExceededError
+
+    with pytest.raises(QueryBudgetExceededError):
+        cs.sample_block(41, np.random.default_rng(0))
+
+
+def test_vectorized_law_bad_shape_rejected():
+    inst = KnapsackInstance(np.arange(1.0, 9.0), np.ones(8), 4.0)
+    scalar, _ = _cdf_pair(inst.profits)
+    cs = CustomSampler(
+        inst, scalar, draw_indices=lambda m, rng: np.zeros((m, 2), dtype=np.int64)
+    )
+    with pytest.raises(OracleError, match="shape"):
+        cs.sample_block(3, np.random.default_rng(0))
+
+
+def test_vectorized_law_out_of_range_rejected():
+    inst = KnapsackInstance(np.arange(1.0, 9.0), np.ones(8), 4.0)
+    scalar, _ = _cdf_pair(inst.profits)
+    cs = CustomSampler(
+        inst, scalar, draw_indices=lambda m, rng: np.full(m, 8, dtype=np.int64)
+    )
+    with pytest.raises(OracleError, match="out-of-range"):
+        cs.sample_block(3, np.random.default_rng(0))
+
+
+def test_vectorized_law_on_implicit_instance():
+    """Non-array-backed instances still gather attributes in draw order."""
+
+    class Implicit:
+        n = 16
+        capacity = 4.0
+
+        def profit(self, i):
+            return float(i + 1)
+
+        def weight(self, i):
+            return 1.0
+
+    scalar = lambda rng: int(rng.integers(16))
+    batch = lambda m, rng: np.array([int(rng.integers(16)) for _ in range(m)])
+    blk_s = CustomSampler(Implicit(), scalar).sample_block(
+        50, np.random.default_rng(2)
+    )
+    blk_v = CustomSampler(Implicit(), scalar, draw_indices=batch).sample_block(
+        50, np.random.default_rng(2)
+    )
+    assert blk_s.indices.tobytes() == blk_v.indices.tobytes()
+    assert blk_s.profits.tobytes() == blk_v.profits.tobytes()

@@ -1,0 +1,126 @@
+"""Bit-identity of the batched grid descent.
+
+:func:`rquantile_descent_batch` serves all k thresholds with one
+``searchsorted`` per grid level; LCA-KP's threshold loop switched to it,
+so every output must equal the scalar :func:`rquantile_descent` run
+*exactly* — same seeds, same thresholds, same floating-point
+comparisons — or reproducibility across the two spellings breaks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.seeds import SeedChain
+from repro.errors import ReproducibilityError
+from repro.reproducible.rmedian import rquantile_descent, rquantile_descent_batch
+from repro.reproducible.rquantile import ReproducibleQuantileEstimator
+
+
+def _seeds(root, k):
+    node = SeedChain(root).child("rquantile")
+    return [node.child(i) for i in range(k)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    domain_bits=st.integers(min_value=3, max_value=12),
+    n=st.integers(min_value=1, max_value=2000),
+    k=st.integers(min_value=1, max_value=8),
+    dist=st.sampled_from(["uniform", "clustered", "geometric", "constant"]),
+    tau=st.sampled_from([0.01, 0.05, 0.2, 0.9]),
+    branching=st.sampled_from([2, 4, 7]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_batch_descent_matches_scalar_bit_for_bit(
+    domain_bits, n, k, dist, tau, branching, seed
+):
+    domain_size = 2**domain_bits
+    rng = np.random.default_rng(seed)
+    if dist == "uniform":
+        xs = rng.integers(0, domain_size, size=n)
+    elif dist == "clustered":
+        centers = rng.integers(0, domain_size, size=3)
+        xs = np.clip(
+            centers[rng.integers(0, 3, size=n)] + rng.integers(-2, 3, size=n),
+            0,
+            domain_size - 1,
+        )
+    elif dist == "geometric":
+        xs = np.minimum(rng.geometric(0.01, size=n) - 1, domain_size - 1)
+    else:
+        xs = np.full(n, int(rng.integers(0, domain_size)))
+    targets = [float(t) for t in rng.random(k)]
+    seeds = _seeds(seed, k)
+    batch = rquantile_descent_batch(
+        xs, domain_size, seeds, targets, tau=tau, branching=branching
+    )
+    scalar = [
+        rquantile_descent(xs, domain_size, s, target=t, tau=tau, branching=branching)
+        for s, t in zip(seeds, targets)
+    ]
+    assert batch.tolist() == scalar
+
+
+def test_batch_descent_edge_targets():
+    xs = np.arange(0, 256, 2)
+    seeds = _seeds(17, 2)
+    batch = rquantile_descent_batch(xs, 256, seeds, [0.0, 1.0])
+    scalar = [
+        rquantile_descent(xs, 256, s, target=t) for s, t in zip(seeds, [0.0, 1.0])
+    ]
+    assert batch.tolist() == scalar
+
+
+def test_batch_descent_validates_inputs():
+    xs = np.arange(10)
+    with pytest.raises(ReproducibilityError):
+        rquantile_descent_batch(xs, 16, _seeds(0, 2), [0.5])  # length mismatch
+    with pytest.raises(ReproducibilityError):
+        rquantile_descent_batch(xs, 16, _seeds(0, 1), [1.5])  # target out of range
+    with pytest.raises(ReproducibilityError):
+        rquantile_descent_batch(np.empty(0, dtype=np.int64), 16, _seeds(0, 1), [0.5])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=1500),
+    k=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_estimator_quantiles_matches_per_target_quantile(n, k, seed):
+    """The value-level batched face decodes to the same floats."""
+    rng = np.random.default_rng(seed)
+    values = rng.lognormal(0.0, 1.0, size=n)
+    est = ReproducibleQuantileEstimator()
+    targets = [float(t) for t in rng.random(k)]
+    seeds = _seeds(seed, k)
+    batched = est.quantiles(values, targets, seeds)
+    single = [est.quantile(values, t, s) for t, s in zip(targets, seeds)]
+    assert batched.tolist() == single
+
+
+def test_estimator_quantiles_fallback_paths_match_scalar():
+    values = np.random.default_rng(3).random(800)
+    targets = [0.25, 0.5, 0.75]
+    for est in (
+        ReproducibleQuantileEstimator(method="padding"),
+        ReproducibleQuantileEstimator(vote=3),
+    ):
+        seeds = _seeds(9, len(targets))
+        batched = est.quantiles(values, targets, seeds)
+        single = [est.quantile(values, t, s) for t, s in zip(targets, seeds)]
+        assert batched.tolist() == single
+
+
+def test_estimator_quantiles_empty_targets():
+    est = ReproducibleQuantileEstimator()
+    out = est.quantiles(np.arange(10.0), [], [])
+    assert out.size == 0
+
+
+def test_estimator_quantiles_length_mismatch():
+    est = ReproducibleQuantileEstimator()
+    with pytest.raises(ReproducibilityError):
+        est.quantiles(np.arange(10.0), [0.5], _seeds(0, 2))

@@ -18,13 +18,14 @@ INDICES = list(range(0, 60, 3))
 NONCE = 31
 
 
-def run_traced(instance, params, executor):
+def run_traced(instance, params, executor, shared=False):
     """One sharded batch under a fresh tracer/registry/recorder."""
     rt.REGISTRY.reset()
     rt.TRACER.reset_worker()
     rt.RECORDER.clear()
     svc = KnapsackService(
-        instance, 0.1, seed=42, params=params, cache=False, executor=executor
+        instance, 0.1, seed=42, params=params, cache=False,
+        executor=executor, shared_instance=shared,
     )
     rt.TRACER.enable()
     try:
@@ -32,6 +33,7 @@ def run_traced(instance, params, executor):
             report = svc.answer_batch(INDICES, nonce=NONCE, workers=2)
     finally:
         rt.TRACER.disable()
+        svc.close()
     counters = dict(rt.REGISTRY.state()["counters"])
     return svc, report, root, counters
 
@@ -70,6 +72,39 @@ class TestProcessObsParity:
         assert len(ids) == len(set(ids))
         # Shard roots slot in under namespaced ids, e.g. "0.0.s1".
         assert any(".s" in s.span_id for s in spans)
+
+    def test_shared_tier_counters_and_answers_match_thread_run(
+        self, tiers_instance, fast_params
+    ):
+        """The zero-copy payload changes transport, not telemetry."""
+        _, report_t, _, thread_counters = run_traced(
+            tiers_instance, fast_params, "thread"
+        )
+        _, report_s, _, shm_counters = run_traced(
+            tiers_instance, fast_params, "process", shared=True
+        )
+        # Registry reset keeps registered names at 0, so a thread run that
+        # follows any shm test still snapshots shm.* keys; compare cores.
+        def core(counters):
+            return {k: v for k, v in counters.items() if not k.startswith("shm.")}
+
+        assert core(shm_counters) == core(thread_counters)
+        assert [(a.index, a.include) for a in report_s.answers] == [
+            (a.index, a.include) for a in report_t.answers
+        ]
+        # The run's own lifecycle bookkeeping balanced (segment retired).
+        assert shm_counters["shm.segments_created"] == 1
+        assert shm_counters["shm.segments_unlinked"] == 1
+
+    def test_shared_tier_per_phase_totals_match_thread_bit_for_bit(
+        self, tiers_instance, fast_params
+    ):
+        *_, root_t, _ = [*run_traced(tiers_instance, fast_params, "thread")]
+        *_, root_s, _ = [
+            *run_traced(tiers_instance, fast_params, "process", shared=True)
+        ]
+        for key in ("queries", "samples", "sample_blocks"):
+            assert phase_counts(root_s, key) == phase_counts(root_t, key)
 
     def test_worker_events_ship_home(self, tiers_instance, fast_params):
         from repro.faults import FaultPlan, RetryPolicy
