@@ -16,6 +16,11 @@ Subcommands
 ``loadgen``     drive the service with seeded open-loop load across an
                 offered-rate sweep, report tail latency and the
                 saturation knee, write a bench-load/v1 document;
+``overload``    grade the overload governor: calibrate the knee, then
+                compare brownout on/off past it (deadline admission,
+                degradation ladder), write a bench-overload/v1 document
+                (non-zero exit when the governed availability floor is
+                missed or brownout buys nothing);
 ``bench``       measure serving throughput, write BENCH_serve.json;
 ``bench-cold``  measure cold-pipeline latency (columnar vs object path),
                 write BENCH_cold.json; ``--sweep`` adds an n-axis sweep;
@@ -248,6 +253,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap m_large / n_rq for speed (0 keeps the full calibrated sizes)",
     )
     p_load.add_argument(
+        "--shared-instance", action="store_true",
+        help="serve from the zero-copy shared-memory instance tier "
+        "(process executor; the n=10^7 tier of BENCH_load.json)",
+    )
+    p_load.add_argument(
+        "--service-workers", type=int, default=0,
+        help="wall clock only: shard each dispatched batch across this "
+        "many service workers (0 = the service's own default)",
+    )
+    p_load.add_argument(
         "--out", metavar="PATH", default="BENCH_load.json",
         help="where to write the bench-load/v1 document",
     )
@@ -262,6 +277,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "--connect", metavar="HOST:PORT", default=None,
         help="drive a remote --listen endpoint instead of an in-process "
         "service (implies --clock wall; rows are tagged transport=socket)",
+    )
+
+    p_overload = sub.add_parser(
+        "overload",
+        help="grade the overload governor around the saturation knee "
+        "(brownout on vs off); writes bench-overload/v1",
+    )
+    p_overload.add_argument("--family", default="uniform", choices=sorted(FAMILIES))
+    p_overload.add_argument("--n", type=int, default=2000)
+    p_overload.add_argument("--seed", type=int, default=0, help="instance seed")
+    p_overload.add_argument("--epsilon", type=float, default=0.1)
+    p_overload.add_argument(
+        "--lca-seed", type=int, default=42, help="the shared random string r"
+    )
+    p_overload.add_argument(
+        "--rates", default="100,200,400,800",
+        help="comma-separated offered rates (queries/sec) for the "
+        "calibration sweep that locates the knee",
+    )
+    p_overload.add_argument(
+        "--queries", type=int, default=300, help="arrivals offered per rate"
+    )
+    p_overload.add_argument(
+        "--workers", type=int, default=1,
+        help="dispatch slots (1 pins the virtual capacity at "
+        "1/(base_s + per_query_s) q/s)",
+    )
+    p_overload.add_argument("--queue-cap", type=int, default=256)
+    p_overload.add_argument("--batch-max", type=int, default=1)
+    p_overload.add_argument(
+        "--nonce", type=int, default=0,
+        help="arrival-schedule nonce (distinguishes replays of one config)",
+    )
+    p_overload.add_argument(
+        "--cap", type=int, default=4_000,
+        help="cap m_large / n_rq for speed (0 keeps the full calibrated sizes)",
+    )
+    p_overload.add_argument(
+        "--deadline-s", type=float, default=0.05,
+        help="per-query deadline; arrivals past it are shed at dispatch",
+    )
+    p_overload.add_argument(
+        "--overload-factor", type=float, default=2.0,
+        help="the comparison runs at this multiple of the detected knee",
+    )
+    p_overload.add_argument(
+        "--availability-floor", type=float, default=0.9,
+        help="governed goodput availability the brownout variant must "
+        "hold past the knee (exit 1 when missed)",
+    )
+    p_overload.add_argument(
+        "--out", metavar="PATH", default="BENCH_overload.json",
+        help="where to write the bench-overload/v1 document",
     )
 
     p_suite = sub.add_parser(
@@ -455,7 +523,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare relative metrics only)",
     )
     p_diff.add_argument(
-        "--fresh", default=None, choices=("cold", "serve", "load", "chaos", "suite"),
+        "--fresh", default=None,
+        choices=("cold", "serve", "load", "overload", "chaos", "suite"),
         help="which quick bench to run when no candidate is given "
         "(default: inferred from the baseline's own context block; "
         "deterministic baselines — virtual-clock load, chaos, suite — "
@@ -1088,6 +1157,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         "fault_rate": args.fault_rate,
         "retries": args.retries,
         "cap": args.cap,
+        "shared_instance": args.shared_instance,
+        "service_workers": args.service_workers,
     }
     if args.fault_rate > 0.0 and args.clock == "virtual":
         print(
@@ -1133,6 +1204,75 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     else:
         write_json(args.out, doc)
     print(f"wrote bench-load/v1 document to {args.out}")
+    return 0
+
+
+def _cmd_overload(args: argparse.Namespace) -> int:
+    import json
+
+    from .load.overload_sweep import run_overload_sweep
+
+    cfg = {
+        "family": args.family,
+        "n": args.n,
+        "seed": args.seed,
+        "epsilon": args.epsilon,
+        "lca_seed": args.lca_seed,
+        "rates": [float(r) for r in args.rates.split(",") if r.strip()],
+        "queries": args.queries,
+        "workers": args.workers,
+        "queue_cap": args.queue_cap,
+        "batch_max": args.batch_max,
+        "nonce": args.nonce,
+        "cap": args.cap,
+        "deadline_s": args.deadline_s,
+        "overload_factor": args.overload_factor,
+        "availability_floor": args.availability_floor,
+    }
+    rows, knee, doc = run_overload_sweep(cfg)
+    keys = (
+        "mode", "offered_qps", "completed", "dropped", "degraded",
+        "deadline_shed", "brownout_shed", "availability", "full_quality",
+        "p99_latency_ms",
+    )
+    shown = [{k: r.get(k, "") for k in keys} for r in rows]
+    print(
+        f"overload: family={args.family} n={args.n} eps={args.epsilon} "
+        f"deadline={args.deadline_s:g}s factor={args.overload_factor:g} "
+        f"(deterministic: same seeds => byte-identical document)"
+    )
+    print(format_row_dicts(shown, title="overload governor sweep"))
+    comp = doc["comparison"]
+    if knee.get("detected"):
+        print(f"saturation knee: ~{knee['knee_rate']:g} q/s (reason: {knee['reason']})")
+    else:
+        print("saturation knee: not reached inside the swept rates")
+    print(
+        f"at {comp['rate']:g} q/s: availability on={comp['availability_on']:g} "
+        f"off={comp['availability_off']:g} "
+        f"(floor {comp['floor']:g} {'met' if comp['floor_met'] else 'MISSED'}); "
+        f"full quality on={comp['full_quality_on']:g} "
+        f"off={comp['full_quality_off']:g}"
+    )
+    # Sorted keys + virtual timestamps: same seeds => same bytes (the
+    # CI overload-smoke job cmp's two runs).
+    with open(args.out, "w") as fh:
+        fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote bench-overload/v1 document to {args.out}")
+    if not comp["floor_met"]:
+        print(
+            f"FAIL: governed availability {comp['availability_on']:g} is "
+            f"below the floor {comp['floor']:g}",
+            file=sys.stderr,
+        )
+        return 1
+    if not comp["off_below_on"]:
+        print(
+            "FAIL: brownout bought nothing (availability off >= on); the "
+            "comparison rate is not past the knee",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1488,6 +1628,7 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": _cmd_cluster,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "overload": _cmd_overload,
         "bench": _cmd_bench,
         "bench-cold": _cmd_bench_cold,
         "bench-shm": _cmd_bench_shm,

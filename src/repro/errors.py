@@ -189,6 +189,65 @@ class ShardFailureError(FaultInjectionError):
         )
 
 
+class DeadlineExceededError(FaultInjectionError):
+    """A query's deadline passed before (or at) dispatch.
+
+    Raised by the overload governor's admission gate: serving an answer
+    nobody is waiting for wastes capacity the queue behind it needs, so
+    already-doomed work is shed *before* it touches the oracle.  No
+    probe is charged — the query never ran — which keeps shedding
+    honest with respect to Theorems 3.2-3.4: a deadline miss is an
+    availability loss, never a free query.
+    """
+
+    reason_code = "deadline-exceeded"
+
+    def __init__(self, deadline_s: float, now_s: float) -> None:
+        self.deadline_s = deadline_s
+        self.now_s = now_s
+        super().__init__(
+            f"deadline {deadline_s:.6g}s passed before dispatch (now {now_s:.6g}s)"
+        )
+
+
+class CircuitOpenError(FaultInjectionError):
+    """A circuit breaker refused a probe while open (fail-fast).
+
+    Raised *before* the probe executes, so nothing new is charged; the
+    probes whose failures tripped the breaker stay charged (tripping
+    never un-charges).  Not transient — retrying into an open breaker
+    would defeat its purpose — so the degradation ladder absorbs it.
+    """
+
+    reason_code = "breaker-open"
+
+    def __init__(self, resource: str, until_s: float) -> None:
+        self.resource = resource
+        self.until_s = until_s
+        super().__init__(
+            f"circuit open for {resource!r} until t={until_s:.6g}s (fail-fast)"
+        )
+
+
+class WatchdogTimeoutError(FaultInjectionError):
+    """A process-shard future blew its watchdog deadline (stuck shard).
+
+    The shard may still be running (wedged, not dead); the watchdog
+    treats it exactly like a killed worker — the attempt is abandoned
+    and the shard requeues through the existing worker-death path, its
+    already-charged probes staying charged.
+    """
+
+    reason_code = "watchdog-timeout"
+
+    def __init__(self, shard: int, deadline_s: float) -> None:
+        self.shard = shard
+        self.deadline_s = deadline_s
+        super().__init__(
+            f"shard {shard} exceeded its {deadline_s:.4g}s watchdog deadline"
+        )
+
+
 class SharedMemoryError(ReproError):
     """A shared-memory instance segment operation failed.
 

@@ -104,6 +104,15 @@ class FaultPlan:
         are eligible, so ``rate=1.0, attempts=1`` deterministically kills
         every first attempt and spares every requeue — the worker-death
         recovery scenario the resilience tests pin.
+    shard_stall_rate, shard_stall_s, shard_stall_attempts:
+        Probability that a process-pool shard attempt *wedges* — sleeps
+        ``shard_stall_s`` real seconds before doing any work, modeling a
+        stuck worker that is alive but not progressing.  Like kills,
+        only attempts below ``shard_stall_attempts`` are eligible, so
+        ``rate=1.0, attempts=1`` deterministically stalls every first
+        attempt and spares every requeue — the stuck-shard-watchdog
+        scenario.  A stall long enough to blow the service's shard
+        deadline surfaces as a watchdog timeout and requeue.
     """
 
     seed: int = 0
@@ -114,10 +123,13 @@ class FaultPlan:
     corruption_scale: float = 0.01
     shard_kill_rate: float = 0.0
     shard_kill_attempts: int = 1
+    shard_stall_rate: float = 0.0
+    shard_stall_s: float = 0.25
+    shard_stall_attempts: int = 1
 
     def __post_init__(self) -> None:
         for name in ("probe_failure_rate", "latency_spike_rate", "corruption_rate",
-                     "shard_kill_rate"):
+                     "shard_kill_rate", "shard_stall_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ReproError(f"{name} must lie in [0, 1], got {rate}")
@@ -131,6 +143,14 @@ class FaultPlan:
             raise ReproError(
                 f"shard_kill_attempts must be >= 0, got {self.shard_kill_attempts}"
             )
+        if self.shard_stall_s < 0:
+            raise ReproError(
+                f"shard_stall_s must be >= 0, got {self.shard_stall_s}"
+            )
+        if self.shard_stall_attempts < 0:
+            raise ReproError(
+                f"shard_stall_attempts must be >= 0, got {self.shard_stall_attempts}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -141,6 +161,7 @@ class FaultPlan:
             and self.latency_spike_rate == 0.0
             and self.corruption_rate == 0.0
             and self.shard_kill_rate == 0.0
+            and self.shard_stall_rate == 0.0
         )
 
     def _chain(self) -> SeedChain:
@@ -165,3 +186,21 @@ class FaultPlan:
             return False
         coin = self._chain().child("shard-kill").child(int(nonce)).child(int(attempt)).uniform()
         return coin < self.shard_kill_rate
+
+    def shard_stall(self, nonce: int, attempt: int) -> float:
+        """Deterministic stall (seconds) for shard ``(nonce, attempt)``.
+
+        Label-derived like :meth:`shard_kill` — stateless, so the
+        watchdog's requeue re-evaluates its own coin.  Returns ``0.0``
+        when the attempt is spared.
+        """
+        if self.shard_stall_rate <= 0.0 or attempt >= self.shard_stall_attempts:
+            return 0.0
+        coin = (
+            self._chain()
+            .child("shard-stall")
+            .child(int(nonce))
+            .child(int(attempt))
+            .uniform()
+        )
+        return self.shard_stall_s if coin < self.shard_stall_rate else 0.0

@@ -41,6 +41,7 @@ from .clock import ServiceModel, VirtualClock
 from .endpoint import EndpointClient, serve_endpoint
 from .harness import BENCH_LOAD_SCHEMA, LoadHarness, bench_load_document
 from .knee import detect_knee
+from .overload_sweep import BENCH_OVERLOAD_SCHEMA, OVERLOAD_DEFAULTS, run_overload_sweep
 from .recorder import LatencyRecorder
 from .sweep import LOAD_DEFAULTS, run_load_sweep
 
@@ -48,14 +49,17 @@ __all__ = [
     "ARRIVAL_KINDS",
     "ArrivalProcess",
     "BENCH_LOAD_SCHEMA",
+    "BENCH_OVERLOAD_SCHEMA",
     "EndpointClient",
     "LOAD_DEFAULTS",
     "LatencyRecorder",
     "LoadHarness",
+    "OVERLOAD_DEFAULTS",
     "ServiceModel",
     "VirtualClock",
     "bench_load_document",
     "detect_knee",
     "run_load_sweep",
+    "run_overload_sweep",
     "serve_endpoint",
 ]

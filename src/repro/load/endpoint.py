@@ -132,13 +132,41 @@ async def serve_endpoint(
         _obs.REGISTRY.counter("endpoint.connections").inc()
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError) as exc:
+                    # A line past the stream limit: the tail of the line
+                    # is unframed, so answer once and drop the client —
+                    # resyncing mid-line would misparse the remainder.
+                    _obs.REGISTRY.counter("endpoint.oversized_lines").inc()
+                    writer.write(
+                        json.dumps(
+                            {
+                                "ok": False,
+                                "error": f"oversized request line: {exc}",
+                                "reason_code": "oversized-line",
+                            },
+                            sort_keys=True,
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 try:
                     request = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    response = {"ok": False, "error": f"bad json: {exc}"}
+                    if not isinstance(request, dict):
+                        raise json.JSONDecodeError(
+                            "request must be a JSON object", line.decode(errors="replace"), 0
+                        )
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    _obs.REGISTRY.counter("endpoint.bad_requests").inc()
+                    response = {
+                        "ok": False,
+                        "error": f"bad json: {exc}",
+                        "reason_code": "bad-json",
+                    }
                 else:
                     response = await loop.run_in_executor(
                         pool, partial(handle_request, service, request, nonce=nonce)
@@ -146,8 +174,16 @@ async def serve_endpoint(
                 _obs.REGISTRY.counter("endpoint.requests").inc()
                 writer.write(json.dumps(response, sort_keys=True).encode() + b"\n")
                 await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # Mid-request disconnect: the client is gone, the server
+            # task must not crash — account for it and tear down.
+            _obs.REGISTRY.counter("endpoint.disconnects").inc()
         finally:
             writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
 
     server = await asyncio.start_server(on_client, host, port)
     if ready is not None:
@@ -194,20 +230,47 @@ class EndpointClient:
     """
 
     def __init__(self, host: str, port: int, *, timeout_s: float = 30.0) -> None:
-        self._sock = _socket.create_connection((host, int(port)), timeout=timeout_s)
-        self._file = self._sock.makefile("rwb")
+        self._host = str(host)
+        self._port = int(port)
+        self._timeout_s = float(timeout_s)
         self._lock = threading.Lock()
+        self._connect()
         config = self.request({"op": "config"})
         self.n = int(config["n"])
         self.epsilon = float(config["epsilon"])
         self.seed_digest = str(config.get("seed_digest", ""))
 
+    def _connect(self) -> None:
+        self._sock = _socket.create_connection(
+            (self._host, self._port), timeout=self._timeout_s
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def _round_trip(self, data: bytes) -> bytes:
+        self._file.write(data)
+        self._file.flush()
+        return self._file.readline()
+
     def request(self, payload: dict) -> dict:
-        """One round trip; raises :class:`ReproError` on a protocol error."""
+        """One round trip; raises :class:`ReproError` on a protocol error.
+
+        A half-closed socket (the server restarted, or an idle
+        connection was reaped) gets exactly one reconnect-and-resend —
+        every op in the protocol is idempotent against a deterministic
+        service, so the retry is safe.  A second failure is real and
+        propagates.
+        """
+        data = json.dumps(payload).encode() + b"\n"
         with self._lock:
-            self._file.write(json.dumps(payload).encode() + b"\n")
-            self._file.flush()
-            line = self._file.readline()
+            try:
+                line = self._round_trip(data)
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                line = b""
+            if not line:
+                _obs.REGISTRY.counter("endpoint.client_reconnects").inc()
+                self.close()
+                self._connect()
+                line = self._round_trip(data)
         if not line:
             raise ReproError("endpoint closed the connection")
         response = json.loads(line)
@@ -228,7 +291,16 @@ class EndpointClient:
         payload = self.request({"op": "answer", "index": int(index), "nonce": int(nonce)})
         return self._decode(payload["answer"])
 
-    def answer_batch(self, indices, *, nonce: int = 0, **_ignored) -> RemoteBatchReport:
+    def answer_batch(self, indices, *, nonce: int = 0, **kwargs) -> RemoteBatchReport:
+        if kwargs:
+            # A silently swallowed kwarg (workers=, deadline_s=, ...)
+            # would make a remote run *look* like a local one while
+            # measuring something else entirely.
+            raise ReproError(
+                f"EndpointClient.answer_batch got unsupported kwarg(s) "
+                f"{sorted(kwargs)}; the wire protocol carries only "
+                f"'indices' and 'nonce'"
+            )
         payload = self.request(
             {"op": "batch", "indices": [int(i) for i in indices], "nonce": int(nonce)}
         )
@@ -249,6 +321,8 @@ class EndpointClient:
     def close(self) -> None:
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
             self._sock.close()
 

@@ -37,6 +37,7 @@ from ..access.seeds import SeedChain
 from ..errors import ReproError
 from ..obs import runtime as _obs
 from ..serve.degraded import DegradedAnswer
+from ..serve.overload import BrownoutConfig, BrownoutController
 from .arrivals import ARRIVAL_KINDS, ArrivalProcess
 from .clock import ServiceModel, VirtualClock
 from .knee import detect_knee
@@ -45,6 +46,12 @@ from .recorder import LatencyRecorder
 __all__ = ["BENCH_LOAD_SCHEMA", "LoadHarness", "bench_load_document"]
 
 BENCH_LOAD_SCHEMA = "bench-load/v1"
+
+#: Virtual service-time multiplier per brownout rung.  Rung 1 answers
+#: off the memoized cache (one point query, no pipeline); rungs 2-3
+#: apply a precomputed greedy mask — the shed rung still drains its
+#: backlog at greedy cost while refusing new admissions.
+_RUNG_FACTORS = (1.0, 0.25, 0.1, 0.1)
 
 
 class LoadHarness:
@@ -76,6 +83,28 @@ class LoadHarness:
     warm:
         Wall mode: run one untimed query first so the measured rows see
         the warm (cached) path, not a one-off cold pipeline.
+    deadline_s:
+        Optional per-query deadline (seconds after arrival).  A query
+        whose deadline has already passed when a worker would dispatch
+        it is *shed* at dispatch — counted in ``dropped`` and in the
+        row's ``deadline_shed`` — instead of being served to nobody.
+        Queue order means the head always has the longest wait, so a
+        batch's members never outlive a head that was admitted.
+    brownout:
+        Optional :class:`~repro.serve.overload.BrownoutConfig`: a fresh
+        :class:`~repro.serve.overload.BrownoutController` per rate
+        observes ``(queue fraction, head-of-queue wait)`` at every
+        dispatch and steps the degradation ladder.  Rungs >= 1 serve at
+        the rung's (cheaper) service time and are recorded degraded;
+        rung 3 sheds new arrivals at admission while the backlog drains
+        at greedy cost.  Virtual clock only — the controller is part of
+        the byte-deterministic simulation.
+    service_workers:
+        Wall mode: shard each dispatched microbatch across this many
+        service workers (``answer_batch(..., workers=...)``).  0 (the
+        default) keeps the historical serial dispatch.  This is what
+        lets the shared-memory process tier carry open-loop load: each
+        dispatch fans out across pool workers attaching one segment.
     """
 
     def __init__(
@@ -90,6 +119,9 @@ class LoadHarness:
         clock: str = "wall",
         service_model: ServiceModel | None = None,
         warm: bool = True,
+        deadline_s: float | None = None,
+        brownout: BrownoutConfig | None = None,
+        service_workers: int = 0,
     ) -> None:
         if arrival not in ARRIVAL_KINDS:
             raise ReproError(
@@ -103,6 +135,20 @@ class LoadHarness:
             raise ReproError(f"queue_cap must be >= 1, got {queue_cap}")
         if batch_max < 1:
             raise ReproError(f"batch_max must be >= 1, got {batch_max}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ReproError(f"deadline_s must be > 0, got {deadline_s}")
+        if brownout is not None and clock != "virtual":
+            raise ReproError(
+                "brownout requires clock='virtual': the controller is part "
+                "of the deterministic simulation, not a wall-clock heuristic"
+            )
+        if service_workers < 0:
+            raise ReproError(
+                f"service_workers must be >= 0, got {service_workers}"
+            )
+        self._deadline_s = None if deadline_s is None else float(deadline_s)
+        self._brownout = brownout
+        self._service_workers = int(service_workers)
         self._service = service
         if seed is None:
             seed = service.seed
@@ -130,19 +176,48 @@ class LoadHarness:
         )
         times, indices = process.stream(queries, self._n_items)
         recorder = LatencyRecorder()
+        controller = (
+            BrownoutController(self._brownout) if self._brownout is not None else None
+        )
         if self._clock == "virtual":
-            self._run_virtual(rate, times, indices, nonce, recorder)
+            shed = self._run_virtual(
+                rate, times, indices, nonce, recorder, controller
+            )
         else:
             if self._warm:
                 # Untimed cache prefill: the rows measure the warm path.
-                self._service.answer(int(indices[0]), nonce=nonce)
-            asyncio.run(self._run_wall(times, indices, nonce, recorder))
+                # Warm through the same dispatch shape the timed run
+                # uses — sharded batches pay a one-time *worker-side*
+                # cold cost (pool spin-up, segment attach, per-process
+                # pipeline) that a parent-side point query never touches.
+                if self._service_workers > 1:
+                    self._service.answer_batch(
+                        [int(i) for i in indices[: self._service_workers]],
+                        nonce=nonce,
+                        workers=self._service_workers,
+                    )
+                else:
+                    self._service.answer(int(indices[0]), nonce=nonce)
+            shed = asyncio.run(self._run_wall(times, indices, nonce, recorder))
         _obs.REGISTRY.counter("load.offered").inc(recorder.offered)
         _obs.REGISTRY.counter("load.completed").inc(recorder.completed)
         if recorder.dropped:
             _obs.REGISTRY.counter("load.dropped").inc(recorder.dropped)
             _obs.record_event(
                 "load.queue_full", rate=float(rate), dropped=recorder.dropped
+            )
+        if shed["deadline"]:
+            _obs.REGISTRY.counter("overload.deadline_shed").inc(shed["deadline"])
+            _obs.record_event(
+                "overload.deadline_shed",
+                rate=float(rate),
+                queries=shed["deadline"],
+                deadline_s=self._deadline_s,
+            )
+        if shed["brownout"]:
+            _obs.REGISTRY.counter("overload.brownout_shed").inc(shed["brownout"])
+            _obs.record_event(
+                "overload.brownout_shed", rate=float(rate), queries=shed["brownout"]
             )
         row = recorder.row(rate=rate)
         row.update(
@@ -153,6 +228,21 @@ class LoadHarness:
             queue_cap=self._queue_cap,
             batch_max=self._batch_max,
         )
+        if self._deadline_s is not None or self._brownout is not None:
+            # Overload-governor accounting rides only on governed rows so
+            # plain bench-load/v1 documents stay byte-identical.
+            row.update(
+                deadline_s=self._deadline_s,
+                brownout=self._brownout is not None,
+                deadline_shed=shed["deadline"],
+                brownout_shed=shed["brownout"],
+                brownout_max_level=(
+                    controller.max_level_seen if controller is not None else 0
+                ),
+                brownout_transitions=(
+                    controller.transitions if controller is not None else 0
+                ),
+            )
         return row
 
     def sweep(
@@ -166,10 +256,12 @@ class LoadHarness:
     # ------------------------------------------------------------------
     # Wall clock: asyncio bounded queue + worker pool
     # ------------------------------------------------------------------
-    async def _run_wall(self, times, indices, nonce, recorder) -> None:
+    async def _run_wall(self, times, indices, nonce, recorder) -> dict:
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue = asyncio.Queue(maxsize=self._queue_cap)
         answer_batch = self._service.answer_batch
+        deadline = self._deadline_s
+        shed = {"deadline": 0, "brownout": 0}
 
         async def arrive() -> None:
             t0 = loop.time()
@@ -202,10 +294,22 @@ class LoadHarness:
                         break
                     batch.append(nxt)
                 start = loop.time()
-                report = await loop.run_in_executor(
-                    pool,
-                    partial(answer_batch, [b[1] for b in batch], nonce=nonce),
-                )
+                if deadline is not None:
+                    # Admission gate: already-doomed queries are shed at
+                    # dispatch, not served to nobody.
+                    kept = [b for b in batch if start - b[0] < deadline]
+                    doomed = len(batch) - len(kept)
+                    if doomed:
+                        shed["deadline"] += doomed
+                        for _ in range(doomed):
+                            recorder.drop()
+                    batch = kept
+                    if not batch:
+                        continue
+                dispatch = partial(answer_batch, [b[1] for b in batch], nonce=nonce)
+                if self._service_workers > 1:
+                    dispatch = partial(dispatch, workers=self._service_workers)
+                report = await loop.run_in_executor(pool, dispatch)
                 finish = loop.time()
                 for (arrival, _), answer in zip(batch, report.answers):
                     recorder.record(
@@ -218,11 +322,14 @@ class LoadHarness:
 
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
             await asyncio.gather(arrive(), *(work(pool) for _ in range(self._workers)))
+        return shed
 
     # ------------------------------------------------------------------
     # Virtual clock: discrete-event simulation, byte-deterministic
     # ------------------------------------------------------------------
-    def _run_virtual(self, rate, times, indices, nonce, recorder) -> None:
+    def _run_virtual(
+        self, rate, times, indices, nonce, recorder, controller=None
+    ) -> dict:
         model = self._model
         jitter_rng = (
             self._seed.child("__load__")
@@ -238,6 +345,8 @@ class LoadHarness:
         servers = [(0.0, w) for w in range(self._workers)]
         heapq.heapify(servers)
         pending: deque[tuple[float, int]] = deque()
+        deadline = self._deadline_s
+        shed = {"deadline": 0, "brownout": 0}
 
         def drain(limit: float) -> None:
             """Let workers consume the queue up to virtual time ``limit``."""
@@ -246,8 +355,25 @@ class LoadHarness:
                 start = max(free, pending[0][0])
                 if start >= limit:
                     return
+                if deadline is not None and start - pending[0][0] >= deadline:
+                    # Admission gate: the head is already doomed at its
+                    # dispatch instant — shed it without occupying the
+                    # worker.  FIFO order means the head always has the
+                    # longest wait, so admitted batch members never
+                    # outlive an admitted head.
+                    pending.popleft()
+                    recorder.drop()
+                    shed["deadline"] += 1
+                    continue
                 heapq.heappop(servers)
                 clock.advance_to(start)
+                # The brownout controller sees exactly what a real
+                # dispatcher would: occupancy and head-of-queue wait.
+                level = 0
+                if controller is not None:
+                    level = controller.observe(
+                        len(pending) / self._queue_cap, start - pending[0][0]
+                    )
                 batch = [pending.popleft()]
                 # A real worker only sees what had arrived by dispatch.
                 while (
@@ -256,20 +382,30 @@ class LoadHarness:
                     and pending[0][0] <= start
                 ):
                     batch.append(pending.popleft())
-                finish = start + model.batch_time(len(batch), jitter_rng)
+                finish = start + model.batch_time(len(batch), jitter_rng) * (
+                    _RUNG_FACTORS[min(level, len(_RUNG_FACTORS) - 1)]
+                )
                 for arrival, _idx in batch:
-                    recorder.record(arrival, start, finish)
+                    recorder.record(arrival, start, finish, degraded=level >= 1)
                 heapq.heappush(servers, (finish, slot))
 
         for t, idx in zip(times, indices):
             t = float(t)
             recorder.offer()
             drain(t)
+            if controller is not None and controller.level >= 3:
+                # Shed rung: refuse new admissions while the backlog
+                # drains (the controller keeps observing dispatches, so
+                # relief steps it back down deterministically).
+                recorder.drop()
+                shed["brownout"] += 1
+                continue
             if len(pending) >= self._queue_cap:
                 recorder.drop()
             else:
                 pending.append((t, int(idx)))
         drain(float("inf"))
+        return shed
 
 
 def bench_load_document(

@@ -42,6 +42,13 @@ LOAD_DEFAULTS = {
     "fault_rate": 0.0,
     "retries": 0,
     "cap": 4_000,
+    # Shared-memory instance tier (ROADMAP item: pin the n=10^7 shared
+    # tier under open-loop load).  ``shared_instance`` switches the
+    # service to process shards attaching one zero-copy segment;
+    # ``service_workers`` > 1 shards each dispatched batch across that
+    # pool (0 keeps the historical serial dispatch).
+    "shared_instance": False,
+    "service_workers": 0,
 }
 
 
@@ -69,6 +76,7 @@ def run_load_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
             policy = RetryPolicy(
                 max_retries=int(cfg["retries"]), seed=int(cfg["lca_seed"])
             )
+    shared = bool(cfg["shared_instance"])
     service = KnapsackService(
         inst,
         float(cfg["epsilon"]),
@@ -77,6 +85,8 @@ def run_load_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
         fault_plan=plan,
         retry_policy=policy,
         strict=plan is None,
+        executor="process" if shared else "thread",
+        shared_instance=shared,
     )
     harness = LoadHarness(
         service,
@@ -90,12 +100,20 @@ def run_load_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
             per_query_s=float(cfg["per_query_s"]),
             jitter=float(cfg["jitter"]),
         ),
+        service_workers=int(cfg["service_workers"]),
     )
     rates = [float(r) for r in cfg["rates"]]
-    rows, knee = harness.sweep(rates, int(cfg["queries"]), nonce=int(cfg["nonce"]))
+    try:
+        rows, knee = harness.sweep(
+            rates, int(cfg["queries"]), nonce=int(cfg["nonce"])
+        )
+    finally:
+        service.close()
     for row in rows:
         row["n"] = inst.n
         row["family"] = cfg["family"]
+        if shared:
+            row["shared_instance"] = True
     doc = bench_load_document(
         rows, knee=knee, **{**cfg, "rates": rates, "n": inst.n}
     )

@@ -26,7 +26,7 @@ from typing import Any, Mapping
 __all__ = ["RunContext"]
 
 #: Context kinds with a registered rerun recipe.
-RERUNNABLE_BENCHES = ("cold", "serve", "load", "chaos", "suite", "shm")
+RERUNNABLE_BENCHES = ("cold", "serve", "load", "overload", "chaos", "suite", "shm")
 
 
 @dataclass(frozen=True)
@@ -71,7 +71,7 @@ class RunContext:
         seeded end to end; cold/serve benches measure wall clock on
         whatever hardware runs them.
         """
-        if self.bench == "load":
+        if self.bench in ("load", "overload"):
             return str(self.config.get("clock", "virtual")) == "virtual"
         return self.bench in ("chaos", "suite")
 
@@ -90,6 +90,10 @@ class RunContext:
             from ..load.sweep import run_load_sweep
 
             return run_load_sweep(cfg)[2]
+        if self.bench == "overload":
+            from ..load.overload_sweep import run_overload_sweep
+
+            return run_overload_sweep(cfg)[2]
         if self.bench == "suite":
             from ..suite import SuiteConfig, SuiteRunner
 

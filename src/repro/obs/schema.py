@@ -34,6 +34,7 @@ __all__ = [
     "validate_metrics_snapshot",
     "validate_bench_result",
     "validate_bench_load",
+    "validate_bench_overload",
     "validate_bench_observability",
     "validate_chaos_report",
     "validate_events",
@@ -78,6 +79,7 @@ _NUM = (int, float)
 SCHEMA_TAGS = {
     "bench-result": "bench-result/v1",
     "bench-load": "bench-load/v1",
+    "bench-overload": "bench-overload/v1",
     "chaos": "chaos-report/v1",
     "events": "events/v1",
     "suite-report": "suite-report/v1",
@@ -381,6 +383,184 @@ def validate_bench_load(doc: dict) -> dict:
     return doc
 
 
+_OVERLOAD_MODES = ("overload-base", "overload-off", "overload-on")
+
+
+def validate_bench_overload(doc: dict) -> dict:
+    """Validate a ``bench-overload/v1`` document (overload governor).
+
+    Beyond shape, checks the two-ledger arithmetic the overload sentinel
+    relies on: calibration rows (``mode="overload-base"``) carry the
+    load ledger (``availability = (completed - degraded) / queries``);
+    governed rows carry the goodput ledger (``availability = completed
+    / queries``) plus ``full_quality = (completed - degraded) /
+    queries`` with ``full_quality <= availability`` — brownout may buy
+    goodput, never full quality.  The ``comparison`` block's verdicts
+    must follow from its own numbers (``floor_met``/``off_below_on``),
+    quantiles must be monotone, and the totals must sum over the rows.
+    """
+    problems: list[str] = []
+    if doc.get("schema") != "bench-overload/v1":
+        problems.append(
+            f"schema must be 'bench-overload/v1', got {doc.get('schema')!r}"
+        )
+    _require(doc, "name", str, problems)
+    _require(doc, "title", str, problems)
+    rows_ok = _require(doc, "rows", list, problems)
+    if rows_ok:
+        for i, row in enumerate(doc["rows"]):
+            where = f"rows[{i}]"
+            if not isinstance(row, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            mode_ok = _require(row, "mode", str, problems, where + ".")
+            if mode_ok and row["mode"] not in _OVERLOAD_MODES:
+                problems.append(
+                    f"{where}.mode must be one of {_OVERLOAD_MODES}, "
+                    f"got {row['mode']!r}"
+                )
+            counts_ok = True
+            for key in ("queries", "completed", "dropped", "degraded"):
+                if _require(row, key, int, problems, where + "."):
+                    if row[key] < 0:
+                        problems.append(f"{where}.{key} must be non-negative")
+                        counts_ok = False
+                else:
+                    counts_ok = False
+            if counts_ok and row["completed"] + row["dropped"] > row["queries"]:
+                problems.append(
+                    f"{where}: completed + dropped = "
+                    f"{row['completed'] + row['dropped']} exceeds "
+                    f"queries = {row['queries']}"
+                )
+            governed = mode_ok and row["mode"] in ("overload-off", "overload-on")
+            avail_ok = _require(row, "availability", _NUM, problems, where + ".")
+            if avail_ok and counts_ok and row["queries"] > 0:
+                if governed:
+                    expected = round(row["completed"] / row["queries"], 6)
+                else:
+                    expected = round(
+                        (row["completed"] - row["degraded"]) / row["queries"], 6
+                    )
+                if abs(row["availability"] - expected) > 1e-9:
+                    problems.append(
+                        f"{where}.availability is {row['availability']}, but "
+                        f"the {'goodput' if governed else 'load'} ledger "
+                        f"says {expected}"
+                    )
+            if governed:
+                fq_ok = _require(row, "full_quality", _NUM, problems, where + ".")
+                if fq_ok and counts_ok and row["queries"] > 0:
+                    expected = round(
+                        (row["completed"] - row["degraded"]) / row["queries"], 6
+                    )
+                    if abs(row["full_quality"] - expected) > 1e-9:
+                        problems.append(
+                            f"{where}.full_quality is {row['full_quality']}, "
+                            f"but (completed - degraded) / queries = {expected}"
+                        )
+                if fq_ok and avail_ok \
+                        and row["full_quality"] > row["availability"] + 1e-9:
+                    problems.append(
+                        f"{where}.full_quality {row['full_quality']} exceeds "
+                        f"availability {row['availability']}"
+                    )
+                for key in ("deadline_shed", "brownout_shed"):
+                    if _require(row, key, int, problems, where + ".") \
+                            and row[key] < 0:
+                        problems.append(f"{where}.{key} must be non-negative")
+                _require(row, "brownout", bool, problems, where + ".")
+                if mode_ok and row["mode"] == "overload-off" \
+                        and row.get("brownout") is True:
+                    problems.append(
+                        f"{where}: mode 'overload-off' must not run brownout"
+                    )
+            if _require(row, "clock", str, problems, where + ".") \
+                    and row["clock"] not in _LOAD_CLOCKS:
+                problems.append(
+                    f"{where}.clock must be one of {_LOAD_CLOCKS}, "
+                    f"got {row['clock']!r}"
+                )
+            for phase in ("queueing", "latency"):
+                prev = None
+                for q in _LOAD_QUANTILES:
+                    key = f"{q}_{phase}_ms"
+                    if not _require(row, key, _NUM, problems, where + "."):
+                        prev = None
+                        continue
+                    if row[key] < 0:
+                        problems.append(f"{where}.{key} must be non-negative")
+                    if prev is not None and row[key] < prev - 1e-9:
+                        problems.append(
+                            f"{where}.{key} is {row[key]}, below the lower "
+                            f"quantile {prev} — quantiles must be monotone"
+                        )
+                    prev = row[key]
+    if _require(doc, "knee", dict, problems):
+        knee = doc["knee"]
+        detected_ok = _require(knee, "detected", bool, problems, "knee.")
+        _require(knee, "rates", list, problems, "knee.")
+        if detected_ok and knee["detected"]:
+            if _require(knee, "knee_rate", _NUM, problems, "knee.") \
+                    and knee["knee_rate"] <= 0:
+                problems.append("knee.knee_rate must be > 0 when detected")
+            if _require(knee, "reason", str, problems, "knee.") \
+                    and knee["reason"] not in _KNEE_REASONS:
+                problems.append(
+                    f"knee.reason must be one of {_KNEE_REASONS}, "
+                    f"got {knee['reason']!r}"
+                )
+    if _require(doc, "comparison", dict, problems):
+        cmp_block = doc["comparison"]
+        if _require(cmp_block, "rate", _NUM, problems, "comparison.") \
+                and cmp_block["rate"] <= 0:
+            problems.append("comparison.rate must be > 0")
+        nums_ok = True
+        for key in ("availability_on", "availability_off",
+                    "full_quality_on", "full_quality_off", "floor"):
+            nums_ok = _require(
+                cmp_block, key, _NUM, problems, "comparison."
+            ) and nums_ok
+        floor_ok = _require(cmp_block, "floor_met", bool, problems, "comparison.")
+        below_ok = _require(cmp_block, "off_below_on", bool, problems, "comparison.")
+        if nums_ok and floor_ok:
+            expected = bool(cmp_block["availability_on"] >= cmp_block["floor"])
+            if cmp_block["floor_met"] != expected:
+                problems.append(
+                    f"comparison.floor_met is {cmp_block['floor_met']}, but "
+                    f"the availability/floor arithmetic says {expected}"
+                )
+        if nums_ok and below_ok:
+            expected = bool(
+                cmp_block["availability_off"] < cmp_block["availability_on"]
+            )
+            if cmp_block["off_below_on"] != expected:
+                problems.append(
+                    f"comparison.off_below_on is {cmp_block['off_below_on']}, "
+                    f"but the availability arithmetic says {expected}"
+                )
+    if _require(doc, "context", dict, problems):
+        if doc["context"].get("bench") != "overload":
+            problems.append(
+                f"context.bench must be 'overload', got "
+                f"{doc['context'].get('bench')!r}"
+            )
+    if rows_ok:
+        rows = [r for r in doc["rows"] if isinstance(r, dict)]
+        for key in ("total_queries", "total_completed"):
+            field = key.removeprefix("total_")
+            expected = sum(
+                r[field] for r in rows if isinstance(r.get(field), int)
+            )
+            if _require(doc, key, int, problems) and doc[key] != expected:
+                problems.append(
+                    f"{key} is {doc[key]}, but the rows sum to {expected}"
+                )
+    if problems:
+        raise SchemaError("bench-overload/v1", problems)
+    return doc
+
+
 def validate_bench_observability(doc: dict) -> dict:
     """Validate the top-level ``bench-observability/v1`` summary."""
     problems: list[str] = []
@@ -593,7 +773,7 @@ def validate_bench_diff(doc: dict) -> dict:
     return doc
 
 
-_CELL_KINDS = ("approx", "load", "chaos", "adversarial")
+_CELL_KINDS = ("approx", "load", "chaos", "adversarial", "overload")
 _CELL_OUTCOMES = ("pass", "fail", "expected_failure", "error")
 _CELL_EXPECTS = ("pass", "budget_failure")
 
@@ -762,6 +942,7 @@ _VALIDATORS = {
     "metrics": validate_metrics_snapshot,
     "bench-result": validate_bench_result,
     "bench-load": validate_bench_load,
+    "bench-overload": validate_bench_overload,
     "bench-observability": validate_bench_observability,
     "events": validate_events,
     "bench-diff": validate_bench_diff,

@@ -45,6 +45,10 @@ DEGRADED_REASON_CODES = (
     "retries-exhausted",
     "shard-failure",
     "fault-injected",
+    "deadline-exceeded",
+    "breaker-open",
+    "brownout",
+    "watchdog-timeout",
     "unrecoverable",
 )
 
@@ -71,7 +75,7 @@ class DegradedAnswer:
     index: int
     include: bool
     reason_code: str
-    source: str  # "cache" | "greedy" | "trivial"
+    source: str  # "cache" | "greedy" | "trivial" | "shed"
     detail: str = ""
     degraded: bool = True
     #: Batches the answering pipeline was off the warm path when the

@@ -1,0 +1,439 @@
+"""Overload governor: graded, deterministic responses to sustained load.
+
+Under sustained overload the Section 3 impossibility results apply at
+system scale: past the saturation knee the service *cannot* answer
+every query at full quality — the only question is what it does
+instead.  Binary shedding (the load harness's bounded queue) answers
+"drop the excess"; this module makes the response graded and
+deterministic, in the repo's seeded/virtual-clock idiom:
+
+* **deadline admission control** — queries carry deadlines; work whose
+  deadline has already passed at dispatch is shed (reason-coded, never
+  billed) instead of being served to nobody;
+* :class:`BrownoutController` — a hysteresis state machine over queue
+  depth and recent dispatch wait that steps the existing degradation
+  ladder (full → any-nonce cache → greedy → shed) *before* the queue
+  overflows, trading bounded quality for availability exactly as
+  Section 4 trades approximation slack for probe complexity;
+* :class:`CircuitBreaker` — closed/open/half-open fail-fast around
+  faulty oracles/samplers with a virtual-time cool-down.  Budget-honest
+  by construction: tripping never un-charges the probes whose failures
+  tripped it, and an open breaker refuses probes *before* they are
+  billed (:class:`~repro.errors.CircuitOpenError` is absorbed by the
+  degradation ladder, never retried).
+
+The stuck-shard watchdog — the fourth mechanism — lives in
+:mod:`repro.serve.service` (it needs the process-pool internals); the
+state machines here are what ``docs/robustness.md`` documents.
+
+Every state machine is a pure function of its observation sequence —
+no wall clock, no RNG — so a virtual-clock overload sweep replays
+byte-identically (the CI ``overload-smoke`` contract).  The brownout
+controller is additionally *monotone*: an observation sequence that is
+pointwise at least as pressured never yields a lower degradation level
+(the hypothesis property test in ``tests/load/test_overload.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import (
+    CircuitOpenError,
+    FaultInjectionError,
+    QueryBudgetExceededError,
+    ReproError,
+)
+from ..obs import runtime as _obs
+
+__all__ = [
+    "BROWNOUT_LEVELS",
+    "BreakerConfig",
+    "BrownoutConfig",
+    "BrownoutController",
+    "CircuitBreaker",
+    "GuardedOracle",
+    "GuardedSampler",
+    "guard_access",
+]
+
+#: The degradation ladder as brownout rungs, mildest first.  Level 0
+#: serves the honest Theorem 4.1 path; levels 1-2 reuse the reason-coded
+#: ladder (:mod:`repro.serve.degraded`); level 3 sheds new arrivals at
+#: admission — the paper's "fail visibly" posture once even greedy
+#: quality cannot keep up.
+BROWNOUT_LEVELS = ("full", "cache", "greedy", "shed")
+
+
+# ----------------------------------------------------------------------
+# Brownout: hysteresis over queue depth / dispatch wait
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Thresholds of the brownout hysteresis state machine.
+
+    Parameters
+    ----------
+    high_fraction, low_fraction:
+        Queue-occupancy fractions: at or above ``high_fraction`` the
+        observation counts as *pressure*, at or below ``low_fraction``
+        (with wait under target) as *relief*; in between is neutral
+        (both patience counters reset — hysteresis, not averaging).
+    wait_target_s:
+        Dispatch-wait budget: a dispatch whose head-of-queue query
+        waited at least this long counts as pressure regardless of
+        occupancy (the queue may be shallow but slow).
+    patience:
+        Consecutive pressure (relief) observations required before the
+        level steps up (down).  One observation per admission/dispatch,
+        so reaction time scales with traffic, not wall time.
+    max_level:
+        Highest rung the controller may reach (3 = shed).
+    """
+
+    high_fraction: float = 0.5
+    low_fraction: float = 0.125
+    wait_target_s: float = 0.025
+    patience: int = 3
+    max_level: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_fraction < self.high_fraction <= 1.0:
+            raise ReproError(
+                "need 0 <= low_fraction < high_fraction <= 1, got "
+                f"low={self.low_fraction}, high={self.high_fraction}"
+            )
+        if self.wait_target_s <= 0:
+            raise ReproError(
+                f"wait_target_s must be > 0, got {self.wait_target_s}"
+            )
+        if self.patience < 1:
+            raise ReproError(f"patience must be >= 1, got {self.patience}")
+        if not 0 <= self.max_level < len(BROWNOUT_LEVELS):
+            raise ReproError(
+                f"max_level must lie in [0, {len(BROWNOUT_LEVELS) - 1}], "
+                f"got {self.max_level}"
+            )
+
+
+class BrownoutController:
+    """Deterministic hysteresis over ``(queue fraction, dispatch wait)``.
+
+    State is ``(level, hot, cool)``: ``hot`` counts consecutive
+    pressure observations, ``cool`` consecutive relief observations; a
+    neutral observation resets both.  ``hot`` reaching ``patience``
+    steps the level up (and resets ``hot``); ``cool`` reaching
+    ``patience`` steps it down.  At the boundary levels the counters
+    saturate instead of resetting, which is what makes the machine
+    monotone: if sequence A is pointwise at least as pressured as
+    sequence B (``queue_fraction`` and ``wait_s`` both no smaller at
+    every step), then A's level never falls below B's.
+    """
+
+    __slots__ = ("_config", "_level", "_hot", "_cool", "transitions", "max_level_seen")
+
+    def __init__(self, config: BrownoutConfig | None = None) -> None:
+        self._config = config or BrownoutConfig()
+        self._level = 0
+        self._hot = 0
+        self._cool = 0
+        self.transitions = 0
+        self.max_level_seen = 0
+
+    @property
+    def config(self) -> BrownoutConfig:
+        """The thresholds in force."""
+        return self._config
+
+    @property
+    def level(self) -> int:
+        """Current degradation level (index into :data:`BROWNOUT_LEVELS`)."""
+        return self._level
+
+    @property
+    def rung(self) -> str:
+        """Current rung name."""
+        return BROWNOUT_LEVELS[self._level]
+
+    def observe(self, queue_fraction: float, wait_s: float) -> int:
+        """Feed one observation; returns the (possibly stepped) level."""
+        cfg = self._config
+        pressure = (
+            queue_fraction >= cfg.high_fraction or wait_s >= cfg.wait_target_s
+        )
+        relief = (
+            queue_fraction <= cfg.low_fraction and wait_s < cfg.wait_target_s
+        )
+        if pressure:
+            self._cool = 0
+            self._hot = min(self._hot + 1, cfg.patience)
+            if self._hot >= cfg.patience and self._level < cfg.max_level:
+                self._level += 1
+                self._hot = 0
+                self.transitions += 1
+                if self._level > self.max_level_seen:
+                    self.max_level_seen = self._level
+                _obs.record_event(
+                    "overload.brownout",
+                    direction="up",
+                    level=self._level,
+                    rung=self.rung,
+                )
+        elif relief:
+            self._hot = 0
+            self._cool = min(self._cool + 1, cfg.patience)
+            if self._cool >= cfg.patience and self._level > 0:
+                self._level -= 1
+                self._cool = 0
+                self.transitions += 1
+                _obs.record_event(
+                    "overload.brownout",
+                    direction="down",
+                    level=self._level,
+                    rung=self.rung,
+                )
+        else:
+            self._hot = 0
+            self._cool = 0
+        return self._level
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker: closed / open / half-open, virtual-time cool-down
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds of the circuit breaker (frozen, picklable: process
+    shards ship the config across the pool boundary and build their own
+    breaker — breaker state, like fault coins, is per-attempt).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive unrecovered probe failures (a retried-then-recovered
+        probe resets the streak) that trip the breaker open.
+    cooldown_s:
+        Virtual seconds the breaker stays open before admitting one
+        half-open trial probe.
+    tick_s:
+        Without an external clock the breaker keeps its own virtual
+        time, advancing ``tick_s`` per admission attempt — cool-down is
+        then measured in probe traffic, deterministic by construction.
+    """
+
+    failure_threshold: int = 5
+    cooldown_s: float = 0.05
+    tick_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_s <= 0:
+            raise ReproError(f"cooldown_s must be > 0, got {self.cooldown_s}")
+        if self.tick_s <= 0:
+            raise ReproError(f"tick_s must be > 0, got {self.tick_s}")
+
+
+class CircuitBreaker:
+    """Fail-fast gate over one unreliable probe resource.
+
+    Closed: probes pass; each unrecovered failure grows a streak, and
+    ``failure_threshold`` consecutive failures trip the breaker open.
+    Open: probes are refused *before* executing
+    (:class:`~repro.errors.CircuitOpenError`; nothing billed) until
+    ``cooldown_s`` of (virtual) time passes.  Half-open: exactly one
+    trial probe is admitted — success closes the breaker, failure
+    re-opens it for another cool-down.
+
+    Budget honesty: the breaker never un-charges anything.  Probes that
+    failed while closed were charged (charge-then-lose, like every
+    fault); probes refused while open were never issued, so nothing is
+    charged — an open breaker converts probe spend into fast
+    reason-coded degradation, it does not refund it.
+    """
+
+    __slots__ = (
+        "_config", "_resource", "_clock", "_now",
+        "_state", "_failures", "_open_until", "opens", "shed",
+    )
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        *,
+        resource: str = "probe",
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self._config = config or BreakerConfig()
+        self._resource = resource
+        self._clock = clock
+        self._now = 0.0
+        self._state = "closed"
+        self._failures = 0
+        self._open_until = 0.0
+        self.opens = 0
+        self.shed = 0
+
+    @property
+    def config(self) -> BreakerConfig:
+        """The thresholds in force."""
+        return self._config
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"``."""
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Current consecutive-failure streak."""
+        return self._failures
+
+    @property
+    def now_s(self) -> float:
+        """The breaker's current (virtual) time."""
+        return self._now
+
+    def _tick(self) -> float:
+        if self._clock is not None:
+            t = float(self._clock())
+            if t > self._now:
+                self._now = t
+        else:
+            self._now += self._config.tick_s
+        return self._now
+
+    def admit(self) -> None:
+        """Gate one probe; raises :class:`CircuitOpenError` while open."""
+        now = self._tick()
+        if self._state != "open":
+            return
+        if now < self._open_until:
+            self.shed += 1
+            _obs.REGISTRY.counter("overload.breaker_shed").inc()
+            raise CircuitOpenError(self._resource, self._open_until)
+        self._state = "half_open"
+        _obs.record_event("breaker.half_open", resource=self._resource)
+
+    def record_success(self) -> None:
+        """The admitted probe succeeded: close and clear the streak."""
+        if self._state == "half_open":
+            _obs.record_event("breaker.closed", resource=self._resource)
+        self._state = "closed"
+        self._failures = 0
+
+    def stats(self) -> dict:
+        """JSON-ready breaker accounting."""
+        return {
+            "resource": self._resource,
+            "state": self._state,
+            "failures": self._failures,
+            "opens": self.opens,
+            "shed": self.shed,
+        }
+
+    def record_failure(self) -> None:
+        """The admitted probe failed (after its own retries, if any)."""
+        self._failures += 1
+        if self._state == "half_open" or self._failures >= self._config.failure_threshold:
+            self._state = "open"
+            self._failures = 0
+            self._open_until = self._now + self._config.cooldown_s
+            self.opens += 1
+            _obs.REGISTRY.counter("overload.breaker_open").inc()
+            _obs.record_event(
+                "breaker.open",
+                resource=self._resource,
+                until_s=round(self._open_until, 6),
+            )
+
+
+class _GuardedBase:
+    """Shared plumbing: breaker gate around every probe of a wrapped
+    access object (typically the retry wrapper — retries happen *inside*
+    one admitted probe, so a recovered retry is a breaker success and an
+    exhausted one is a single breaker failure)."""
+
+    def __init__(self, inner, breaker: CircuitBreaker) -> None:
+        self._inner = inner
+        self._breaker = breaker
+
+    @property
+    def inner(self):
+        """The wrapped access object."""
+        return self._inner
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The shared circuit breaker."""
+        return self._breaker
+
+    def _run(self, fn: Callable[[], object]):
+        self._breaker.admit()
+        try:
+            value = fn()
+        except QueryBudgetExceededError:
+            # Budget exhaustion is the caller's resource running dry,
+            # not the backend misbehaving — it never trips the breaker.
+            raise
+        except FaultInjectionError:
+            self._breaker.record_failure()
+            raise
+        self._breaker.record_success()
+        return value
+
+    def __getattr__(self, name: str):
+        # Accounting and configuration faces pass through untouched
+        # (cost_counter, retries_used, budget, reset, ...).
+        return getattr(self._inner, name)
+
+
+class GuardedOracle(_GuardedBase):
+    """Circuit-break every probe of a (possibly retrying) oracle."""
+
+    def query(self, i: int):
+        return self._run(lambda: self._inner.query(i))
+
+    def query_many(self, indices) -> list:
+        return [self.query(int(i)) for i in indices]
+
+    def query_block(self, indices):
+        idx = [int(i) for i in indices]
+        return self._run(lambda: self._inner.query_block(idx))
+
+    def profit(self, i: int) -> float:
+        return self.query(i).profit
+
+    def weight(self, i: int) -> float:
+        return self.query(i).weight
+
+
+class GuardedSampler(_GuardedBase):
+    """Circuit-break every probe of a (possibly retrying) sampler."""
+
+    def sample(self, rng):
+        return self._run(lambda: self._inner.sample(rng))
+
+    def sample_block(self, m: int, rng):
+        return self._run(lambda: self._inner.sample_block(m, rng))
+
+    def sample_many(self, m: int, rng) -> list:
+        return self.sample_block(m, rng).to_samples()
+
+
+def guard_access(sampler, oracle, config: BreakerConfig | None, labels: tuple = ()):
+    """Wrap an access pair in one shared circuit breaker.
+
+    The sampler and oracle share a breaker because they front the same
+    backend: a backend sick enough to trip on samples is not worth
+    querying either.  Returns ``(sampler, oracle, breaker)`` —
+    ``(sampler, oracle, None)`` untouched when ``config`` is ``None``.
+    """
+    if config is None:
+        return sampler, oracle, None
+    resource = "/".join(str(x) for x in labels) or "probe"
+    breaker = CircuitBreaker(config, resource=resource)
+    return GuardedSampler(sampler, breaker), GuardedOracle(oracle, breaker), breaker

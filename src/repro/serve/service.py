@@ -57,10 +57,12 @@ from ..access.weighted_sampler import WeightedSampler
 from ..core.lca_kp import LCAKP, LCAAnswer, PipelineResult
 from ..core.parameters import LCAParameters
 from ..errors import (
+    DeadlineExceededError,
     FaultInjectionError,
     QueryBudgetExceededError,
     ReproError,
     ShardFailureError,
+    WatchdogTimeoutError,
 )
 from ..faults.audit import ProbeAuditor
 from ..faults.injectors import FaultyOracle, FaultySampler
@@ -77,6 +79,7 @@ from ..obs import runtime as _obs
 from ..obs.trace import span_from_payload, span_to_payload
 from .cache import CacheKey, PipelineCache, instance_fingerprint
 from .degraded import DegradedAnswer, GreedyFallback, reason_code_for
+from .overload import BreakerConfig, guard_access
 
 __all__ = ["BatchReport", "KnapsackService", "derive_worker_nonce"]
 
@@ -154,10 +157,16 @@ def _serve_chunk(payload) -> tuple:
     """
     (
         instance, epsilon, seed, params, tie_breaking, mode, nonce, indices,
-        plan, policy, attempt, strict, trace_ctx, audit_bounds,
+        plan, policy, attempt, strict, trace_ctx, audit_bounds, breaker_cfg,
     ) = payload
     if plan is not None and plan.shard_kill(nonce, attempt):
         os._exit(17)
+    if plan is not None:
+        # A stalled shard is alive but not progressing: it sleeps through
+        # its deadline and the parent's watchdog requeues it.
+        stall = plan.shard_stall(nonce, attempt)
+        if stall > 0.0:
+            time.sleep(stall)
     shared_store = None
     setup_start = time.perf_counter()
     if isinstance(instance, SharedInstanceHandle):
@@ -176,6 +185,9 @@ def _serve_chunk(payload) -> tuple:
     setup_s = time.perf_counter() - setup_start
     sampler, oracle = _wrap_access(
         sampler, oracle, plan, policy, ("shard", nonce, attempt), audit=audit
+    )
+    sampler, oracle, _breaker = guard_access(
+        sampler, oracle, breaker_cfg, ("shard", nonce, attempt)
     )
     lca = LCAKP(
         sampler,
@@ -235,7 +247,9 @@ def _serve_chunk(payload) -> tuple:
     )
 
 
-def _first_result(futures: list) -> tuple:
+def _first_result(
+    futures: list, *, timeout_s: float | None = None, shard: int = -1
+) -> tuple:
     """First successful result of a (possibly hedged) future list.
 
     First-result-wins with a deterministic tie-break: among futures
@@ -244,11 +258,27 @@ def _first_result(futures: list) -> tuple:
     success or ``(None, None, last_error)`` when every attempt failed —
     the winner identity is what lets ``merge_losers`` harvest the
     *other* futures without double-counting the winner.
+
+    ``timeout_s`` is the stuck-shard watchdog: when no attempt settles
+    within the deadline the verdict is a
+    :class:`~repro.errors.WatchdogTimeoutError` — the caller treats it
+    exactly like a dead worker (requeue or give up), because a wedged
+    shard and a killed one look identical from out here.
     """
     pending = set(futures)
     err: Exception | None = None
+    deadline = None if timeout_s is None else time.monotonic() + float(timeout_s)
     while pending:
-        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None, None, WatchdogTimeoutError(shard, float(timeout_s))
+        done, pending = wait(
+            pending, timeout=remaining, return_when=FIRST_COMPLETED
+        )
+        if not done and deadline is not None and time.monotonic() >= deadline:
+            return None, None, WatchdogTimeoutError(shard, float(timeout_s))
         for fut in futures:  # submission order = deterministic tie-break
             if fut in done:
                 try:
@@ -289,7 +319,7 @@ class BatchReport:
     """
 
     answers: tuple[LCAAnswer, ...]
-    mode: str  # "serial", "thread" or "process"
+    mode: str  # "serial", "thread", "process" or "shed"
     workers: int
     cache_hits: int
     cache_misses: int
@@ -423,6 +453,25 @@ class KnapsackService:
         Answers, probe bills and per-phase obs totals are bit-identical
         to the pickled path.  Call :meth:`close` (or use the service as
         a context manager) to unlink a lazily-created segment.
+    breaker:
+        Optional :class:`~repro.serve.overload.BreakerConfig` (or
+        ``True`` for defaults): wraps every access stack — the service's
+        own and each shard's — in one shared
+        :class:`~repro.serve.overload.CircuitBreaker` per stack.  A
+        streak of injected-fault failures opens the circuit and
+        subsequent probes fail fast with
+        :class:`~repro.errors.CircuitOpenError` (absorbed by the
+        degradation ladder under ``strict=False``) until the virtual
+        cool-down lapses.  Budget-honest: tripping never un-charges the
+        probes that tripped it.
+    shard_deadline_s:
+        Optional stuck-shard watchdog deadline (seconds) on process-pool
+        shard futures.  A shard that neither finishes nor dies within
+        the deadline is abandoned as a
+        :class:`~repro.errors.WatchdogTimeoutError` and requeued through
+        the existing worker-death path; the wedged pool is torn down
+        without waiting so its shared-memory attachments release (the
+        parent keeps unlink ownership — no segment leaks).
     """
 
     def __init__(
@@ -447,9 +496,15 @@ class KnapsackService:
         probe_audit: bool = False,
         merge_losers: bool = False,
         shared_instance: bool | SharedInstanceStore = False,
+        breaker: BreakerConfig | bool | None = None,
+        shard_deadline_s: float | None = None,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ReproError(f"executor must be 'thread' or 'process', got {executor!r}")
+        if shard_deadline_s is not None and shard_deadline_s <= 0:
+            raise ReproError(
+                f"shard_deadline_s must be > 0, got {shard_deadline_s}"
+            )
         if shared_instance and not isinstance(instance, KnapsackInstance):
             raise ReproError(
                 "shared_instance requires an explicit KnapsackInstance "
@@ -487,6 +542,17 @@ class KnapsackService:
         self._max_shard_retries = int(max_shard_retries)
         self._hedge = bool(hedge)
         self._merge_losers = bool(merge_losers)
+        if breaker is True:
+            self._breaker_cfg: BreakerConfig | None = BreakerConfig()
+        elif breaker is False:
+            self._breaker_cfg = None
+        else:
+            self._breaker_cfg = breaker
+        self._shard_deadline_s = (
+            None if shard_deadline_s is None else float(shard_deadline_s)
+        )
+        self._deadline_shed = 0
+        self._watchdog_timeouts = 0
         self._abandoned_samples = 0
         self._abandoned_queries = 0
         self._abandoned_blocks = 0
@@ -515,6 +581,12 @@ class KnapsackService:
             self._faulty_oracle = (
                 oracle.inner if retry_policy is not None else oracle
             )
+        # The breaker sits OUTSIDE the retry wrapper: retries happen inside
+        # one admitted probe, and a streak of retries-exhausted failures is
+        # exactly the signal that should trip the circuit.
+        sampler, oracle, self._breaker = guard_access(
+            sampler, oracle, self._breaker_cfg, ("serve",)
+        )
         self._sampler = sampler
         self._oracle = oracle
         self._lca = LCAKP(
@@ -824,6 +896,8 @@ class KnapsackService:
         nonce: int | None = None,
         workers: int | None = None,
         strict: bool | None = None,
+        deadline_s: float | None = None,
+        clock=None,
     ) -> BatchReport:
         """Answer a batch, optionally sharded across a worker pool.
 
@@ -834,12 +908,26 @@ class KnapsackService:
         Process-pool shards whose workers die are requeued (and
         optionally hedged); queries that cannot be answered the honest
         way are degraded rather than aborted unless ``strict``.
+
+        ``deadline_s`` is the overload governor's admission gate: an
+        absolute deadline on ``clock``'s timeline (``time.monotonic``
+        when ``clock`` is ``None``).  A batch whose deadline has already
+        passed at dispatch is *shed* — no probe is charged, no pipeline
+        runs — raising :class:`~repro.errors.DeadlineExceededError`
+        under strict and returning a ``mode="shed"`` report of
+        reason-coded answers otherwise.
         """
         idx = [int(i) for i in indices]
         if not idx:
             raise ReproError("answer_batch needs at least one index")
         resolved_strict = self._resolve_strict(strict)
         w = 1 if workers is None else int(workers)
+        if deadline_s is not None:
+            now = float(clock() if clock is not None else time.monotonic())
+            if now >= float(deadline_s):
+                return self._shed_batch(
+                    idx, float(deadline_s), now, resolved_strict
+                )
         if self._cache is not None:
             self._cache.advance_batch()
         start = time.perf_counter()
@@ -854,6 +942,55 @@ class KnapsackService:
         self._batch_size.observe(len(idx))
         self._batch_latency.observe(report.wall_clock_s)
         return report
+
+    def _shed_batch(
+        self, idx: list[int], deadline_s: float, now: float, strict: bool
+    ) -> BatchReport:
+        """Refuse an already-doomed batch at the admission gate.
+
+        Nothing runs and nothing is billed — serving an answer nobody is
+        waiting for only starves the queue behind it.  The shed is
+        honestly accounted: ``overload.deadline_shed`` counts queries,
+        the flight recorder keeps the event, and every answer is a
+        reason-coded :class:`DegradedAnswer` (``source="shed"``) that can
+        never be mistaken for a Theorem 4.1 answer.
+        """
+        if strict:
+            raise DeadlineExceededError(deadline_s, now)
+        self._deadline_shed += len(idx)
+        _obs.REGISTRY.counter("overload.deadline_shed").inc(len(idx))
+        _obs.record_event(
+            "overload.deadline_shed",
+            queries=len(idx),
+            deadline_s=deadline_s,
+            now_s=now,
+        )
+        self._note_degraded(len(idx))
+        detail = f"deadline {deadline_s:.6g}s passed at dispatch (now {now:.6g}s)"
+        answers = tuple(
+            DegradedAnswer(
+                index=int(i),
+                include=False,
+                reason_code="deadline-exceeded",
+                source="shed",
+                detail=detail,
+            )
+            for i in idx
+        )
+        self._requests.inc(len(idx))
+        self._batch_size.observe(len(idx))
+        return BatchReport(
+            answers=answers,
+            mode="shed",
+            workers=0,
+            cache_hits=0,
+            cache_misses=0,
+            pipelines_run=0,
+            samples_spent=0,
+            queries_spent=0,
+            wall_clock_s=0.0,
+            degraded=len(idx),
+        )
 
     @staticmethod
     def _count_stale(answers) -> int:
@@ -949,6 +1086,9 @@ class KnapsackService:
                 sampler, oracle, self._fault_plan, self._retry_policy,
                 ("shard", shard_nonce, 0), audit=self._audit,
             )
+            sampler, oracle, _breaker = guard_access(
+                sampler, oracle, self._breaker_cfg, ("shard", shard_nonce, 0)
+            )
             lca = LCAKP(
                 sampler,
                 oracle,
@@ -1036,6 +1176,10 @@ class KnapsackService:
             strict,
             trace_ctx,
             self._audit_bounds,
+            # Config only, never breaker *state*: each shard attempt
+            # builds its own breaker in the child, because a circuit is
+            # a per-process health verdict, not shared global state.
+            self._breaker_cfg,
         )
 
     def _merge_worker_obs(self, obs: dict | None, *, abandoned: bool = False) -> None:
@@ -1096,6 +1240,15 @@ class KnapsackService:
         a requeue is a genuinely new roll, not a replay of its killer).
         Hedged mode mirrors every submission into a second, independent
         pool — first result wins, primaries break ties.
+
+        Under ``shard_deadline_s`` a stuck-shard watchdog bounds each
+        shard's wait: an attempt that neither finishes nor dies in time
+        is abandoned (``WatchdogTimeoutError``) and rides the same
+        requeue path as a dead worker.  A round that fired the watchdog
+        tears its pools down without waiting — the wedged worker is
+        terminated, not joined — so a stall can never hold the batch
+        hostage, and the parent (which owns any shared-memory segment)
+        still unlinks on close: no segment leaks.
         """
         n_shards = len(shards)
         results: dict[int, tuple | None] = {}
@@ -1107,6 +1260,7 @@ class KnapsackService:
         todo = list(range(n_shards))
         while todo:
             failed: list[int] = []
+            watchdog_fired = False
             pools = [ProcessPoolExecutor(max_workers=w)]
             if self._hedge:
                 pools.append(ProcessPoolExecutor(max_workers=w))
@@ -1127,16 +1281,44 @@ class KnapsackService:
                     futures[k] = subs
                 winners: dict[int, object] = {}
                 for k in todo:
-                    res, winner, err = _first_result(futures[k])
+                    res, winner, err = _first_result(
+                        futures[k], timeout_s=self._shard_deadline_s, shard=k
+                    )
                     if err is None:
                         results[k] = res
                         winners[k] = winner
                     else:
+                        if isinstance(err, WatchdogTimeoutError):
+                            watchdog_fired = True
+                            self._watchdog_timeouts += 1
+                            _obs.REGISTRY.counter(
+                                "overload.watchdog_timeouts"
+                            ).inc()
+                            _obs.record_event(
+                                "overload.watchdog",
+                                shard=k,
+                                nonce=nonces[k],
+                                deadline_s=self._shard_deadline_s,
+                            )
                         last_error[k] = err
                         failed.append(k)
             finally:
-                for pool in pools:
-                    pool.shutdown(wait=True, cancel_futures=True)
+                if watchdog_fired:
+                    # A wedged worker would make shutdown(wait=True) hang
+                    # for the stall's full duration; escalate instead —
+                    # cancel what never started, terminate what wedged.
+                    for pool in pools:
+                        procs = list(
+                            (getattr(pool, "_processes", None) or {}).values()
+                        )
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        for proc in procs:
+                            proc.terminate()
+                        for proc in procs:
+                            proc.join(5.0)
+                else:
+                    for pool in pools:
+                        pool.shutdown(wait=True, cancel_futures=True)
             if self._merge_losers:
                 # Post-shutdown the round's futures are settled: losing
                 # attempts that ran to completion (hedge runners-up, or
@@ -1225,6 +1407,13 @@ class KnapsackService:
             "degraded_total": self.degraded_total,
             "faults_injected": self.faults_injected,
             "abandoned_work": self.abandoned_work,
+            "overload": {
+                "deadline_shed": self._deadline_shed,
+                "watchdog_timeouts": self._watchdog_timeouts,
+                "breaker": self._breaker.stats()
+                if self._breaker is not None
+                else None,
+            },
             "cache": self._cache.stats() if self._cache is not None else None,
             "shm": self.shm_stats(),
         }

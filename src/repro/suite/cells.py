@@ -37,7 +37,7 @@ __all__ = [
     "SuiteConfig",
 ]
 
-CELL_KINDS = ("approx", "load", "chaos", "adversarial")
+CELL_KINDS = ("approx", "load", "chaos", "adversarial", "overload")
 CELL_EXPECTS = ("pass", "budget_failure")
 ORACLE_MODELS = ("ideal", "faulty", "faulty_hedged")
 EXECUTORS = ("inline", "thread", "process")
@@ -81,6 +81,13 @@ class ScenarioCell:
     alpha: float = 0.5
     budget_fraction: float = 0.1
     trials: int = 400
+    # Load axis: shared-memory instance tier (process shards attach one
+    # zero-copy segment; service_workers > 1 shards each dispatch).
+    shared_instance: bool = False
+    service_workers: int = 0
+    # Overload axis: deadline admission + brownout comparison.
+    deadline_s: float = 0.05
+    overload_factor: float = 2.0
     expect: str = "pass"
     checks: Mapping[str, float] = field(default_factory=dict)
 
@@ -133,8 +140,36 @@ class ScenarioCell:
                 raise ReproError(
                     f"cell {self.id!r}: trials must be >= 1, got {self.trials}"
                 )
-        if self.kind == "load" and not self.rates:
-            raise ReproError(f"cell {self.id!r}: load cells need rates")
+        if self.kind in ("load", "overload") and not self.rates:
+            raise ReproError(f"cell {self.id!r}: {self.kind} cells need rates")
+        if self.kind == "overload":
+            if self.clock != "virtual":
+                raise ReproError(
+                    f"cell {self.id!r}: overload cells need clock='virtual' "
+                    f"(the governed sweep is a deterministic simulation)"
+                )
+            if self.deadline_s <= 0:
+                raise ReproError(
+                    f"cell {self.id!r}: deadline_s must be > 0, "
+                    f"got {self.deadline_s}"
+                )
+            if self.overload_factor <= 1.0:
+                raise ReproError(
+                    f"cell {self.id!r}: overload_factor must be > 1 "
+                    f"(the comparison must sit past the knee), "
+                    f"got {self.overload_factor}"
+                )
+            if self.expect == "budget_failure" and self.theorem not in THEOREMS:
+                raise ReproError(
+                    f"cell {self.id!r}: a budget_failure overload cell pins "
+                    f"an impossibility bound and needs theorem in {THEOREMS}, "
+                    f"got {self.theorem!r}"
+                )
+        if self.service_workers < 0:
+            raise ReproError(
+                f"cell {self.id!r}: service_workers must be >= 0, "
+                f"got {self.service_workers}"
+            )
         if self.n < 2:
             raise ReproError(f"cell {self.id!r}: n must be >= 2, got {self.n}")
         if self.oracle == "faulty_hedged" and self.hedge_after_s is None:

@@ -30,6 +30,7 @@ __all__ = [
     "load_checks",
     "chaos_checks",
     "adversarial_checks",
+    "overload_checks",
     "success_criterion",
 ]
 
@@ -219,4 +220,74 @@ def adversarial_checks(cell, ev) -> list[dict]:
                 "closed-form success must lie in the 99% Wilson interval",
             )
         )
+    return out
+
+
+def overload_checks(cell, comparison: dict, knee: dict) -> list[dict]:
+    """The governed-overload verdict at ``overload_factor`` x the knee.
+
+    Pass cells grade the governor's promise: with brownout on, goodput
+    availability stays above the floor past the knee, and switching
+    brownout off must cost availability (otherwise the ladder bought
+    nothing).  ``budget_failure`` cells pin the Section 3 impossibility
+    results at system scale: past the knee the **full-quality** fraction
+    must sit below the theorem's success criterion for *both* variants —
+    brownout is allowed to buy goodput, never to beat the bound.
+    """
+    out = [
+        check(
+            "knee_detected",
+            bool(knee.get("detected")),
+            bool(knee.get("detected")),
+            True,
+            "the comparison rate must be anchored at a detected "
+            "saturation knee, not the sweep's top rate",
+        )
+    ]
+    if cell.expect == "budget_failure":
+        criterion = success_criterion(cell.theorem)
+        out.append(
+            check(
+                "full_quality_must_fail",
+                float(comparison["full_quality_off"]) < criterion,
+                float(comparison["full_quality_off"]),
+                criterion,
+                f"Theorem {cell.theorem}: past the knee, the ungoverned "
+                f"full-quality fraction must sit below the success criterion",
+            )
+        )
+        out.append(
+            check(
+                "bound_respected",
+                float(comparison["full_quality_on"]) < criterion,
+                float(comparison["full_quality_on"]),
+                criterion,
+                "brownout must not beat the impossibility bound: its "
+                "full-quality fraction stays below the criterion too",
+            )
+        )
+        return out
+    # Goodput floor: overload cells default to 0.9 regardless of oracle
+    # model (past the knee even an ideal oracle degrades by design).
+    floor = float(cell.checks.get("min_availability", 0.9))
+    out.append(
+        check(
+            "availability_floor",
+            float(comparison["availability_on"]) >= floor - 1e-9,
+            float(comparison["availability_on"]),
+            floor,
+            f"goodput availability with brownout on at "
+            f"{float(comparison['rate']):g} q/s (past the knee)",
+        )
+    )
+    out.append(
+        check(
+            "brownout_off_sheds",
+            float(comparison["availability_off"])
+            < float(comparison["availability_on"]),
+            float(comparison["availability_off"]),
+            float(comparison["availability_on"]),
+            "switching brownout off past the knee must cost availability",
+        )
+    )
     return out

@@ -38,6 +38,7 @@ from .checks import (
     approx_checks,
     chaos_checks,
     load_checks,
+    overload_checks,
 )
 
 __all__ = ["SUITE_SCHEMA", "CellResult", "SuiteResult", "SuiteRunner", "run_suite"]
@@ -50,6 +51,13 @@ _ROW_METRICS = {
     "load": ("availability", "achieved_qps", "p99_latency_ms"),
     "chaos": ("availability", "probe_retries"),
     "adversarial": ("success_rate",),
+    "overload": (
+        "availability_on",
+        "availability_off",
+        "full_quality_on",
+        "full_quality_off",
+        "overload_rate",
+    ),
 }
 
 
@@ -209,6 +217,8 @@ class SuiteRunner:
             return self._run_chaos(cell)
         if cell.kind == "adversarial":
             return self._run_adversarial(cell)
+        if cell.kind == "overload":
+            return self._run_overload(cell)
         raise ReproError(f"cell {cell.id!r}: unknown kind {cell.kind!r}")
 
     # ------------------------------------------------------------------
@@ -318,6 +328,8 @@ class SuiteRunner:
                 "fault_rate": cell.fault_rate,
                 "retries": cell.retries,
                 "cap": cell.cap,
+                "shared_instance": cell.shared_instance,
+                "service_workers": cell.service_workers,
             }
         )
         lowest, highest = rows[0], rows[-1]
@@ -331,6 +343,47 @@ class SuiteRunner:
             "dropped": sum(int(r["dropped"]) for r in rows),
         }
         return metrics, load_checks(cell, rows, knee)
+
+    def _run_overload(self, cell: ScenarioCell) -> tuple[dict, list]:
+        """Grade the overload governor past the knee.
+
+        Pass cells pin the availability floor with brownout on;
+        ``budget_failure`` cells pin a Section 3 theorem — past the knee
+        the full-quality fraction must fail for both variants."""
+        from ..load.overload_sweep import run_overload_sweep
+
+        rows, knee, doc = run_overload_sweep(
+            {
+                "family": cell.family,
+                "n": cell.n,
+                "seed": cell.instance_seed,
+                "epsilon": cell.epsilon,
+                "lca_seed": cell.lca_seed,
+                "rates": list(cell.rates),
+                "queries": cell.queries,
+                "workers": cell.workers,
+                "cap": cell.cap,
+                "deadline_s": cell.deadline_s,
+                "overload_factor": cell.overload_factor,
+                "availability_floor": float(
+                    cell.checks.get("min_availability", 0.9)
+                ),
+            }
+        )
+        comparison = doc["comparison"]
+        metrics = {
+            "rates": [float(r) for r in cell.rates],
+            "knee_detected": bool(knee.get("detected")),
+            "knee_rate": float(knee["knee_rate"]) if knee.get("detected") else None,
+            "overload_rate": float(comparison["rate"]),
+            "availability_on": float(comparison["availability_on"]),
+            "availability_off": float(comparison["availability_off"]),
+            "full_quality_on": float(comparison["full_quality_on"]),
+            "full_quality_off": float(comparison["full_quality_off"]),
+            "deadline_shed": sum(int(r.get("deadline_shed", 0)) for r in rows),
+            "brownout_shed": sum(int(r.get("brownout_shed", 0)) for r in rows),
+        }
+        return metrics, overload_checks(cell, comparison, knee)
 
     def _run_chaos(self, cell: ScenarioCell) -> tuple[dict, list]:
         from ..faults import RetryPolicy, chaos_sweep

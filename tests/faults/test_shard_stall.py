@@ -1,0 +1,54 @@
+"""``FaultPlan.shard_stall``: seeded, attempt-keyed stall coins.
+
+Mirrors the ``shard_kill`` discipline: label-derived and stateless, so
+the watchdog's requeued attempt re-evaluates its *own* coin rather than
+inheriting its predecessor's verdict.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+
+
+class TestShardStall:
+    def test_null_plan_never_stalls(self):
+        plan = FaultPlan(seed=1)
+        assert plan.is_null
+        assert plan.shard_stall(0, 0) == 0.0
+
+    def test_stall_rate_breaks_is_null(self):
+        assert not FaultPlan(seed=1, shard_stall_rate=0.5).is_null
+
+    def test_certain_stall_hits_first_attempt_and_spares_requeues(self):
+        plan = FaultPlan(
+            seed=5, shard_stall_rate=1.0, shard_stall_s=0.4,
+            shard_stall_attempts=1,
+        )
+        for nonce in range(8):
+            assert plan.shard_stall(nonce, 0) == 0.4
+            assert plan.shard_stall(nonce, 1) == 0.0  # past the window
+
+    def test_coins_are_deterministic_per_label(self):
+        plan = FaultPlan(seed=9, shard_stall_rate=0.5, shard_stall_attempts=4)
+        draws = [plan.shard_stall(n, a) for n in range(6) for a in range(4)]
+        again = [plan.shard_stall(n, a) for n in range(6) for a in range(4)]
+        assert draws == again
+        assert 0 < sum(1 for d in draws if d > 0) < len(draws)  # seeded, not constant
+
+    def test_stall_and_kill_coins_are_independent_streams(self):
+        plan = FaultPlan(
+            seed=9, shard_kill_rate=0.5, shard_stall_rate=0.5,
+            shard_kill_attempts=4, shard_stall_attempts=4,
+        )
+        kills = [plan.shard_kill(n, 0) for n in range(32)]
+        stalls = [plan.shard_stall(n, 0) > 0 for n in range(32)]
+        assert kills != stalls  # distinct label subtrees
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FaultPlan(shard_stall_rate=1.5)
+        with pytest.raises(ReproError):
+            FaultPlan(shard_stall_s=-1.0)
+        with pytest.raises(ReproError):
+            FaultPlan(shard_stall_attempts=-1)

@@ -1,0 +1,349 @@
+"""Overload governor: brownout hysteresis, circuit breaker, governed sweeps.
+
+Every state machine here is a pure function of its observation sequence
+(no wall clock, no RNG), so the tests assert exact trajectories; the
+sweep tests assert byte-identical replay, the CI ``overload-smoke``
+contract.  The hypothesis test pins the monotonicity claim from
+``repro.serve.overload``: a pointwise more-pressured observation
+sequence never yields a lower degradation level.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    CircuitOpenError,
+    ProbeFailureError,
+    QueryBudgetExceededError,
+    ReproError,
+)
+from repro.load import LoadHarness, ServiceModel, run_overload_sweep
+from repro.obs.schema import validate_bench_overload
+from repro.serve import KnapsackService
+from repro.serve.overload import (
+    BROWNOUT_LEVELS,
+    BreakerConfig,
+    BrownoutConfig,
+    BrownoutController,
+    CircuitBreaker,
+    guard_access,
+)
+
+
+class TestBrownoutController:
+    def test_steps_up_after_patience_pressure_observations(self):
+        ctl = BrownoutController(BrownoutConfig(patience=2))
+        assert ctl.observe(0.9, 0.0) == 0  # hot=1
+        assert ctl.observe(0.9, 0.0) == 1  # hot=2 -> step
+        assert ctl.rung == BROWNOUT_LEVELS[1] == "cache"
+        assert ctl.observe(0.9, 0.0) == 1
+        assert ctl.observe(0.9, 0.0) == 2
+        assert ctl.transitions == 2 and ctl.max_level_seen == 2
+
+    def test_wait_alone_counts_as_pressure(self):
+        ctl = BrownoutController(BrownoutConfig(patience=1, wait_target_s=0.01))
+        assert ctl.observe(0.0, 0.02) == 1  # shallow queue, slow head
+
+    def test_neutral_resets_both_counters(self):
+        cfg = BrownoutConfig(patience=2, low_fraction=0.1, high_fraction=0.5)
+        ctl = BrownoutController(cfg)
+        for _ in range(10):
+            ctl.observe(0.9, 0.0)   # pressure
+            ctl.observe(0.3, 0.0)   # neutral: between low and high
+        assert ctl.level == 0 and ctl.transitions == 0
+
+    def test_relief_steps_back_down(self):
+        ctl = BrownoutController(BrownoutConfig(patience=1))
+        ctl.observe(1.0, 1.0)
+        assert ctl.level == 1
+        ctl.observe(0.0, 0.0)
+        assert ctl.level == 0
+        assert ctl.transitions == 2 and ctl.max_level_seen == 1
+
+    def test_max_level_caps_the_ladder(self):
+        ctl = BrownoutController(BrownoutConfig(patience=1, max_level=2))
+        for _ in range(20):
+            ctl.observe(1.0, 1.0)
+        assert ctl.level == 2
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ReproError):
+            BrownoutConfig(high_fraction=0.2, low_fraction=0.3)
+        with pytest.raises(ReproError):
+            BrownoutConfig(patience=0)
+        with pytest.raises(ReproError):
+            BrownoutConfig(max_level=4)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        obs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=0.0, max_value=0.1),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        bumps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=0.0, max_value=0.1),
+            ),
+            min_size=60,
+            max_size=60,
+        ),
+    )
+    def test_monotone_under_pointwise_dominance(self, obs, bumps):
+        """A pointwise more-pressured sequence never degrades *less*."""
+        cfg = BrownoutConfig(patience=2)
+        calm, hot = BrownoutController(cfg), BrownoutController(cfg)
+        for (qf, wait), (dq, dw) in zip(obs, bumps):
+            lo = calm.observe(qf, wait)
+            hi = hot.observe(min(qf + dq, 1.0), wait + dw)
+            assert hi >= lo
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_sheds_while_open(self):
+        br = CircuitBreaker(BreakerConfig(failure_threshold=3, cooldown_s=1.0))
+        for _ in range(3):
+            br.admit()
+            br.record_failure()
+        assert br.state == "open" and br.opens == 1
+        with pytest.raises(CircuitOpenError):
+            br.admit()
+        assert br.shed == 1
+
+    def test_cooldown_measured_in_virtual_ticks(self):
+        br = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, cooldown_s=0.05, tick_s=0.02)
+        )
+        br.admit()
+        br.record_failure()  # open until now + 0.05
+        refused = 0
+        for _ in range(10):
+            try:
+                br.admit()
+            except CircuitOpenError:
+                refused += 1
+            else:
+                break
+        assert refused == 2  # two 0.02s ticks inside the 0.05s window
+        assert br.state == "half_open"
+        br.record_success()
+        assert br.state == "closed" and br.failures == 0
+
+    def test_half_open_failure_reopens(self):
+        br = CircuitBreaker(
+            BreakerConfig(failure_threshold=5, cooldown_s=0.01, tick_s=0.02)
+        )
+        br.admit()
+        for _ in range(5):
+            br.record_failure()
+        assert br.state == "open"
+        br.admit()  # cooled down: half-open trial
+        assert br.state == "half_open"
+        br.record_failure()  # one failure suffices in half-open
+        assert br.state == "open" and br.opens == 2
+
+    def test_success_clears_the_streak(self):
+        br = CircuitBreaker(BreakerConfig(failure_threshold=2))
+        br.admit(); br.record_failure()
+        br.admit(); br.record_success()
+        br.admit(); br.record_failure()
+        assert br.state == "closed"  # never two *consecutive* failures
+
+    def test_external_clock_is_monotonic_max(self):
+        times = iter([5.0, 1.0, 6.0])
+        br = CircuitBreaker(BreakerConfig(), clock=lambda: next(times))
+        br.admit()
+        assert br.now_s == 5.0
+        br.admit()
+        assert br.now_s == 5.0  # a rewinding clock never rewinds the breaker
+        br.admit()
+        assert br.now_s == 6.0
+
+    def test_stats_snapshot(self):
+        br = CircuitBreaker(BreakerConfig(failure_threshold=1), resource="x/y")
+        br.admit(); br.record_failure()
+        assert br.stats() == {
+            "resource": "x/y", "state": "open",
+            "failures": 0, "opens": 1, "shed": 0,
+        }
+
+
+class _FlakyOracle:
+    """Fails the first ``fail`` queries, then recovers."""
+
+    def __init__(self, fail: int) -> None:
+        self.fail = fail
+        self.calls = 0
+        self.budget_mode = False
+
+    def query(self, i: int):
+        self.calls += 1
+        if self.budget_mode:
+            raise QueryBudgetExceededError(budget=1, attempted=2)
+        if self.fail > 0:
+            self.fail -= 1
+            raise ProbeFailureError("oracle", attempt=1)
+        return i
+
+
+class _QuietSampler:
+    def sample(self, rng):
+        return 0
+
+
+class TestGuardAccess:
+    def test_none_config_is_the_identity(self):
+        s, o, br = guard_access("s", "o", None)
+        assert (s, o, br) == ("s", "o", None)
+
+    def test_shared_breaker_trips_on_oracle_failures(self):
+        oracle = _FlakyOracle(fail=10)
+        sampler, guarded, br = guard_access(
+            _QuietSampler(), oracle, BreakerConfig(failure_threshold=2),
+            ("serve",),
+        )
+        assert sampler.breaker is br and guarded.breaker is br
+        for _ in range(2):
+            with pytest.raises(ProbeFailureError):
+                guarded.query(0)
+        # The shared breaker now refuses the *sampler* too.
+        with pytest.raises(CircuitOpenError):
+            sampler.sample(None)
+        assert br.stats()["resource"] == "serve"
+
+    def test_budget_exhaustion_never_trips_the_breaker(self):
+        oracle = _FlakyOracle(fail=0)
+        oracle.budget_mode = True
+        _, guarded, br = guard_access(
+            _QuietSampler(), oracle, BreakerConfig(failure_threshold=1),
+        )
+        for _ in range(5):
+            with pytest.raises(QueryBudgetExceededError):
+                guarded.query(0)
+        assert br.state == "closed" and br.opens == 0
+
+    def test_recovery_closes_via_half_open(self):
+        oracle = _FlakyOracle(fail=1)
+        _, guarded, br = guard_access(
+            _QuietSampler(), oracle,
+            BreakerConfig(failure_threshold=1, cooldown_s=0.001, tick_s=0.01),
+        )
+        with pytest.raises(ProbeFailureError):
+            guarded.query(0)
+        assert br.state == "open"
+        assert guarded.query(7) == 7  # cooled down, trial succeeds
+        assert br.state == "closed"
+
+    def test_accounting_faces_pass_through(self):
+        oracle = _FlakyOracle(fail=0)
+        _, guarded, _ = guard_access(_QuietSampler(), oracle, BreakerConfig())
+        assert guarded.calls == 0  # __getattr__ delegation
+        assert guarded.inner is oracle
+
+
+@pytest.fixture(scope="module")
+def service(uniform_instance, fast_params):
+    return KnapsackService(
+        uniform_instance, 0.1, 42, params=fast_params, cache_capacity=8
+    )
+
+
+def governed_harness(service, **kw):
+    kw.setdefault("clock", "virtual")
+    kw.setdefault("seed", 7)
+    kw.setdefault("workers", 1)
+    kw.setdefault("batch_max", 1)
+    kw.setdefault("service_model", ServiceModel(base_s=0.002, per_query_s=0.0005))
+    return LoadHarness(service, **kw)
+
+
+class TestGovernedHarness:
+    OVERLOADED = 800.0  # 2x the 1-worker modelled capacity of 400 q/s
+
+    def test_plain_rows_carry_no_governor_keys(self, service):
+        row = governed_harness(service).run_rate(100.0, 40)
+        assert "deadline_shed" not in row and "brownout" not in row
+
+    def test_deadline_sheds_doomed_work_at_dispatch(self, service):
+        row = governed_harness(service, deadline_s=0.05).run_rate(
+            self.OVERLOADED, 120
+        )
+        assert row["deadline_shed"] > 0
+        assert row["dropped"] >= row["deadline_shed"]
+        assert row["completed"] + row["dropped"] == row["queries"]
+        # Every served query met its deadline: latency < deadline + one
+        # batch service time.
+        assert row["p99_latency_ms"] <= (0.05 + 0.0025) * 1000 + 1e-6
+
+    def test_brownout_buys_goodput_over_deadline_alone(self, service):
+        off = governed_harness(service, deadline_s=0.05).run_rate(
+            self.OVERLOADED, 120
+        )
+        on = governed_harness(
+            service, deadline_s=0.05, brownout=BrownoutConfig()
+        ).run_rate(self.OVERLOADED, 120)
+        assert on["completed"] > off["completed"]
+        assert on["degraded"] > 0  # the extra completions are reason-coded
+        assert on["brownout_max_level"] >= 1
+        assert on["brownout_transitions"] >= 1
+
+    def test_brownout_requires_virtual_clock(self, service):
+        with pytest.raises(ReproError, match="virtual"):
+            LoadHarness(service, clock="wall", brownout=BrownoutConfig())
+
+    def test_bad_governor_knobs_rejected(self, service):
+        with pytest.raises(ReproError):
+            LoadHarness(service, deadline_s=0.0)
+        with pytest.raises(ReproError):
+            LoadHarness(service, service_workers=-1)
+
+    def test_governed_run_is_deterministic(self, service):
+        kw = dict(deadline_s=0.05, brownout=BrownoutConfig())
+        a = governed_harness(service, **kw).run_rate(self.OVERLOADED, 120)
+        b = governed_harness(service, **kw).run_rate(self.OVERLOADED, 120)
+        assert a == b
+
+
+class TestOverloadSweep:
+    CFG = {"n": 300, "queries": 120, "cap": 2_000}
+
+    def test_document_validates_and_replays_byte_identically(self):
+        rows_a, knee_a, doc_a = run_overload_sweep(dict(self.CFG))
+        validate_bench_overload(doc_a)
+        _, _, doc_b = run_overload_sweep(dict(self.CFG))
+        assert json.dumps(doc_a, sort_keys=True) == json.dumps(doc_b, sort_keys=True)
+
+    def test_comparison_block_verdict(self):
+        _, knee, doc = run_overload_sweep(dict(self.CFG))
+        comp = doc["comparison"]
+        assert knee["detected"]
+        assert comp["rate"] == pytest.approx(2.0 * knee["knee_rate"])
+        assert comp["floor_met"] and comp["off_below_on"]
+        assert comp["availability_on"] >= comp["floor"]
+        assert comp["availability_off"] < comp["availability_on"]
+
+    def test_two_ledgers_never_conflate(self):
+        rows, _, _ = run_overload_sweep(dict(self.CFG))
+        for row in rows:
+            if row["mode"] == "overload-base":
+                assert "full_quality" not in row
+            else:
+                assert row["full_quality"] <= row["availability"] + 1e-9
+
+    def test_rerun_from_context_matches(self):
+        from repro.obs.context import RunContext
+
+        _, _, doc = run_overload_sweep(dict(self.CFG))
+        fresh = RunContext.from_document(doc).rerun()
+        assert json.dumps(fresh, sort_keys=True) == json.dumps(doc, sort_keys=True)
+
+    def test_unknown_config_keys_ignored(self):
+        _, _, doc = run_overload_sweep({**self.CFG, "no_such_knob": 1})
+        assert "no_such_knob" not in doc["context"]

@@ -1,0 +1,129 @@
+"""Overload cells in the scenario matrix: vocabulary, checks, runner.
+
+The check-level tests grade fabricated comparison blocks (no sweep), so
+the verdict arithmetic is pinned independently of the simulator; one
+runner test drives a real (small) governed sweep end to end.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.suite import ScenarioCell, SuiteConfig, SuiteRunner
+from repro.suite.checks import overload_checks, success_criterion
+
+RATES = (100.0, 200.0, 400.0, 800.0)
+
+
+def cell(**kw):
+    kw.setdefault("id", "ov")
+    kw.setdefault("kind", "overload")
+    kw.setdefault("clock", "virtual")
+    kw.setdefault("rates", RATES)
+    return ScenarioCell(**kw)
+
+
+KNEE = {"detected": True, "knee_rate": 300.0}
+GOOD = {
+    "rate": 600.0,
+    "availability_on": 0.99, "availability_off": 0.71,
+    "full_quality_on": 0.58, "full_quality_off": 0.49,
+    "floor": 0.9, "floor_met": True, "off_below_on": True,
+}
+
+
+class TestCellVocabulary:
+    def test_overload_cells_need_rates(self):
+        with pytest.raises(ReproError, match="rates"):
+            cell(rates=())
+
+    def test_overload_cells_need_virtual_clock(self):
+        with pytest.raises(ReproError, match="virtual"):
+            cell(clock="wall")
+
+    @pytest.mark.parametrize(
+        "kw", [{"deadline_s": 0.0}, {"overload_factor": 1.0}]
+    )
+    def test_bad_governor_knobs_rejected(self, kw):
+        with pytest.raises(ReproError):
+            cell(**kw)
+
+    def test_budget_failure_needs_a_theorem(self):
+        with pytest.raises(ReproError, match="theorem"):
+            cell(expect="budget_failure")
+        c = cell(expect="budget_failure", theorem="3.2", overload_factor=3.0)
+        assert c.deterministic
+
+    def test_round_trips_through_dicts(self):
+        c = cell(deadline_s=0.03, overload_factor=2.5, shared_instance=True)
+        again = ScenarioCell.from_dict(c.to_dict())
+        assert again == c
+
+
+class TestOverloadChecks:
+    def test_pass_cell_verdict(self):
+        out = overload_checks(cell(), GOOD, KNEE)
+        assert [c["name"] for c in out] == [
+            "knee_detected", "availability_floor", "brownout_off_sheds",
+        ]
+        assert all(c["ok"] for c in out)
+
+    def test_floor_miss_fails(self):
+        bad = {**GOOD, "availability_on": 0.5}
+        out = overload_checks(cell(), bad, KNEE)
+        floor = next(c for c in out if c["name"] == "availability_floor")
+        assert not floor["ok"]
+
+    def test_min_availability_override_is_the_doctoring_knob(self):
+        strict = cell(checks={"min_availability": 0.999})
+        out = overload_checks(strict, GOOD, KNEE)
+        floor = next(c for c in out if c["name"] == "availability_floor")
+        assert not floor["ok"] and floor["threshold"] == 0.999
+
+    def test_undetected_knee_fails(self):
+        out = overload_checks(cell(), GOOD, {"detected": False})
+        assert not out[0]["ok"]
+
+    @pytest.mark.parametrize("theorem", ["3.2", "3.3", "3.4"])
+    def test_theorem_cell_requires_full_quality_failure(self, theorem):
+        c = cell(expect="budget_failure", theorem=theorem, overload_factor=3.0)
+        out = overload_checks(c, GOOD, KNEE)
+        names = [r["name"] for r in out]
+        assert names == ["knee_detected", "full_quality_must_fail", "bound_respected"]
+        assert all(r["ok"] for r in out)
+        assert out[1]["threshold"] == pytest.approx(success_criterion(theorem))
+
+    def test_beating_the_bound_is_a_hard_failure(self):
+        c = cell(expect="budget_failure", theorem="3.2", overload_factor=3.0)
+        beaten = {**GOOD, "full_quality_on": 0.9, "full_quality_off": 0.9}
+        out = overload_checks(c, beaten, KNEE)
+        assert not out[1]["ok"] and not out[2]["ok"]
+
+
+class TestRunnerIntegration:
+    def test_overload_cell_end_to_end(self):
+        config = SuiteConfig.from_dict(
+            {
+                "name": "ov",
+                "seed": 0,
+                "cells": [
+                    {
+                        "id": "overload-governed", "kind": "overload",
+                        "family": "uniform", "n": 300, "clock": "virtual",
+                        "workers": 1, "rates": list(RATES), "queries": 120,
+                        "cap": 2000, "deadline_s": 0.05,
+                        "overload_factor": 2.0,
+                    }
+                ],
+            }
+        )
+        result = SuiteRunner(config).run()
+        (res,) = result.results
+        assert res.outcome == "pass", res.error or res.checks
+        assert res.metrics["availability_on"] >= 0.9
+        assert res.metrics["availability_off"] < res.metrics["availability_on"]
+        assert res.metrics["full_quality_on"] <= res.metrics["availability_on"]
+        row = res.to_row()
+        assert row["mode"] == "suite:overload-governed"
+        assert "availability_on" in row and "overload_rate" in row
+        doc = result.document()
+        assert doc["deterministic"] is True
