@@ -1,0 +1,106 @@
+"""Timeline sampler overhead on the fixed-rate wall row.
+
+The live introspection plane only earns its keep if watching the
+service does not bend the service: with the wall-clock
+:class:`~repro.obs.timeline.TimelineSampler` ticking in the
+background, the warm serving path's p50 latency at the standard
+200 q/s wall rate must stay within 5% of the unsampled baseline.
+
+Both measurements use the same service, the same seeded arrival
+schedule, and best-of-3 sweeps (the flat-latency discipline from
+``bench_load_latency``: the claim is about the sampler, not about
+background load on the bench box).  The verdict lands in
+``BENCH_observability.json`` as a ``sampler_overhead`` block whose
+arithmetic ``validate_bench_observability`` re-checks — a doctored
+overhead number fails schema validation, which is the CI tripwire.
+"""
+
+from conftest import emit_json, run_once
+
+from repro.core.parameters import LCAParameters
+from repro.knapsack import generate
+from repro.load import LoadHarness
+from repro.serve import KnapsackService
+
+RATE = 200.0
+QUERIES = 600
+SWEEPS = 3
+N = 100_000
+BUDGET_FRAC = 0.05
+
+
+def _quietest(harness, sweeps=SWEEPS):
+    """Best-of-``sweeps`` run: max availability, then lowest p50."""
+    return min(
+        (harness.run_rate(RATE, QUERIES) for _ in range(sweeps)),
+        key=lambda r: (-r["availability"], r["p50_latency_ms"]),
+    )
+
+
+def _measure():
+    params = LCAParameters.calibrated(0.1, max_nrq=4_000, max_m_large=4_000)
+    inst = generate("uniform", N, seed=0)
+    service = KnapsackService(
+        inst, 0.1, seed=42, params=params, cache_capacity=8
+    )
+    baseline = _quietest(
+        LoadHarness(service, seed=7, clock="wall", workers=2)
+    )
+    sampled = _quietest(
+        LoadHarness(service, seed=7, clock="wall", workers=2, timeline=True)
+    )
+    return baseline, sampled
+
+
+def test_obs_sampler_overhead(benchmark):
+    baseline, sampled = run_once(benchmark, _measure)
+    fragment = sampled.pop("timeline")
+    overhead = round(
+        sampled["p50_latency_ms"] / baseline["p50_latency_ms"] - 1.0, 6
+    )
+    block = {
+        "rate": RATE,
+        "baseline_p50_latency_ms": baseline["p50_latency_ms"],
+        "sampled_p50_latency_ms": sampled["p50_latency_ms"],
+        "overhead_frac": overhead,
+        "budget_frac": BUDGET_FRAC,
+        "within_budget": bool(overhead <= BUDGET_FRAC),
+    }
+    rows = []
+    for mode, row in (("baseline", baseline), ("sampled", sampled)):
+        rows.append(
+            {
+                "mode": mode,
+                "rate": RATE,
+                "queries": QUERIES,
+                "availability": row["availability"],
+                "p50_latency_ms": row["p50_latency_ms"],
+                "p99_latency_ms": row["p99_latency_ms"],
+                "timeline_ticks": fragment["count"] if mode == "sampled" else 0,
+            }
+        )
+    rows.append(
+        {
+            "mode": "verdict",
+            "rate": RATE,
+            "queries": 2 * QUERIES,
+            "availability": 1.0,
+            "p50_latency_ms": 0.0,
+            "p99_latency_ms": 0.0,
+            "timeline_ticks": fragment["count"],
+            "overhead_frac": overhead,
+            "budget_frac": BUDGET_FRAC,
+            "within_budget": block["within_budget"],
+        }
+    )
+    emit_json(
+        "E_obs_sampler_overhead",
+        rows,
+        "Timeline sampler overhead at the 200 q/s wall row",
+        extra_entry={"sampler_overhead": block},
+    )
+    assert fragment["count"] >= 1, "wall sampler never ticked"
+    assert block["within_budget"], (
+        f"sampler overhead {overhead:+.1%} exceeds the "
+        f"{BUDGET_FRAC:.0%} budget"
+    )

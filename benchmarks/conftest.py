@@ -62,7 +62,7 @@ def emit(name: str, rows, title: str) -> str:
     return table
 
 
-def emit_json(name: str, rows, title: str) -> str:
+def emit_json(name: str, rows, title: str, extra_entry: dict | None = None) -> str:
     """Like :func:`emit`, plus machine-readable telemetry.
 
     Writes ``results/<name>.json`` (``bench-result/v1``) and merges this
@@ -70,7 +70,9 @@ def emit_json(name: str, rows, title: str) -> str:
     (``bench-observability/v1``).  Resource numbers come from the last
     :func:`run_once` call; the batch-size histogram is the process-
     cumulative ``sampler.batch_size`` snapshot (documented as such in
-    docs/observability.md).
+    docs/observability.md).  ``extra_entry`` adds extra keys to the
+    summary entry (e.g. the ``sampler_overhead`` verdict block, whose
+    arithmetic ``validate_bench_observability`` enforces).
     """
     table = emit(name, rows, title)
     document = {
@@ -100,6 +102,8 @@ def emit_json(name: str, rows, title: str) -> str:
         "total_samples": _LAST_RUN["total_samples"],
         "sample_batch_histogram": REGISTRY.histogram("sampler.batch_size").snapshot(),
     }
+    if extra_entry:
+        summary["experiments"][name].update(jsonable(extra_entry))
     write_json(SUMMARY_PATH, summary)
     return table
 

@@ -6,7 +6,15 @@ Subcommands
 ``lca``         answer membership queries with LCA-KP;
 ``trace``       run one LCA query (or a sharded batch) under the tracer,
                 print its span tree and verify the phase partition;
+                ``--chrome`` also exports Chrome trace-event JSON
+                (load it in Perfetto / chrome://tracing);
 ``metrics``     run a small workload, dump the metrics registry as JSON;
+                ``--prom`` also writes the Prometheus text exposition;
+``top``         live terminal view of a running endpoint: poll
+                ``{"op": "metrics"}``/``{"op": "timeline"}`` on a
+                ``loadgen --listen`` server (``--connect HOST:PORT``)
+                or a self-spawned one, render counters and
+                queue/brownout sparklines, refreshing in place;
 ``flightrec``   replay a seeded faulty workload, print the flight-recorder
                 timeline, write a deterministic events/v1 document;
 ``obs-diff``    compare two bench documents (or a fresh quick run,
@@ -114,7 +122,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--nonce", type=int, default=1, help="fresh-randomness nonce (fixed for replayability)"
     )
     p_trace.add_argument(
-        "--json", metavar="PATH", default=None, help="also write the trace/v1 document to PATH"
+        "--json", metavar="PATH", default=None, help="also write the trace/v2 document to PATH"
+    )
+    p_trace.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="also export the span tree as Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing)",
     )
     p_trace.add_argument(
         "--batch", type=int, default=None, metavar="N",
@@ -141,6 +154,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--queries", type=int, default=8, help="how many LCA queries to run")
     p_metrics.add_argument(
         "--out", metavar="PATH", default=None, help="write the snapshot here (default: stdout)"
+    )
+    p_metrics.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="also write the registry as Prometheus text exposition "
+        "('-' for stdout)",
     )
 
     p_cluster = sub.add_parser(
@@ -263,6 +281,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "many service workers (0 = the service's own default)",
     )
     p_load.add_argument(
+        "--timeline", action="store_true",
+        help="sample a timeline/v1 trajectory per rate (deterministic "
+        "tick grid on --clock virtual; live wall sampler otherwise)",
+    )
+    p_load.add_argument(
+        "--timeline-tick-s", type=float, default=None, metavar="S",
+        help="timeline tick spacing (default 0.05 virtual, 0.25 wall)",
+    )
+    p_load.add_argument(
         "--out", metavar="PATH", default="BENCH_load.json",
         help="where to write the bench-load/v1 document",
     )
@@ -328,8 +355,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "hold past the knee (exit 1 when missed)",
     )
     p_overload.add_argument(
+        "--timeline", action="store_true",
+        help="sample a timeline/v1 trajectory per rate (the brownout-"
+        "level staircase, byte-identical on replay)",
+    )
+    p_overload.add_argument(
+        "--timeline-tick-s", type=float, default=None, metavar="S",
+        help="timeline tick spacing in virtual seconds (default 0.05)",
+    )
+    p_overload.add_argument(
         "--out", metavar="PATH", default="BENCH_overload.json",
         help="where to write the bench-overload/v1 document",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal view of a serving endpoint: poll metrics "
+        "and timeline ops, render counters and queue/brownout "
+        "sparklines (like top(1) for the knapsack service)",
+    )
+    p_top.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="poll a running 'loadgen --listen' endpoint (default: "
+        "spawn an in-process endpoint and drive it with light traffic)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between polls / screen refreshes",
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N refreshes (0 = run until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (for logs "
+        "and tests)",
+    )
+    p_top.add_argument("--family", default="uniform", choices=sorted(FAMILIES))
+    p_top.add_argument("--n", type=int, default=2000, help="spawned endpoint: instance size")
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.add_argument("--epsilon", type=float, default=0.1)
+    p_top.add_argument("--lca-seed", type=int, default=42)
+    p_top.add_argument(
+        "--cap", type=int, default=4_000,
+        help="spawned endpoint: cap m_large / n_rq for speed",
     )
 
     p_suite = sub.add_parser(
@@ -676,7 +746,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             sampler_samples=s_used,
         )
         write_json(args.json, doc)
-        print(f"\nwrote trace/v1 document to {args.json}")
+        print(f"\nwrote trace/v2 document to {args.json}")
+    if args.chrome:
+        from .obs.export import chrome_trace_document
+
+        write_json(args.chrome, chrome_trace_document(root))
+        print(
+            f"wrote Chrome trace-event JSON to {args.chrome} "
+            "(open in Perfetto or chrome://tracing)"
+        )
     return 0 if (q_attr == q_used and s_attr == s_used and b_attr == b_used) else 1
 
 
@@ -756,7 +834,15 @@ def _trace_batch(args: argparse.Namespace) -> int:
             sampler_samples=s_used,
         )
         write_json(args.json, doc)
-        print(f"\nwrote trace/v1 document to {args.json}")
+        print(f"\nwrote trace/v2 document to {args.json}")
+    if args.chrome:
+        from .obs.export import chrome_trace_document
+
+        write_json(args.chrome, chrome_trace_document(root))
+        print(
+            f"wrote Chrome trace-event JSON to {args.chrome} "
+            "(open in Perfetto or chrome://tracing)"
+        )
     return 0 if (q_attr == q_used and s_attr == s_used and b_attr == b_used) else 1
 
 
@@ -789,9 +875,19 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
-        print(f"wrote metrics-snapshot/v1 to {args.out}")
+        print(f"wrote metrics-snapshot/v2 to {args.out}")
     else:
         print(text)
+    if args.prom:
+        from .obs.export import render_prometheus
+
+        exposition = render_prometheus(REGISTRY)
+        if args.prom == "-":
+            print(exposition, end="")
+        else:
+            with open(args.prom, "w") as fh:
+                fh.write(exposition)
+            print(f"wrote Prometheus exposition to {args.prom}")
     return 0
 
 
@@ -1159,7 +1255,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         "cap": args.cap,
         "shared_instance": args.shared_instance,
         "service_workers": args.service_workers,
+        "timeline": args.timeline,
     }
+    if args.timeline_tick_s is not None:
+        cfg["timeline_tick_s"] = args.timeline_tick_s
     if args.fault_rate > 0.0 and args.clock == "virtual":
         print(
             "note: --fault-rate only bites under --clock wall "
@@ -1228,7 +1327,10 @@ def _cmd_overload(args: argparse.Namespace) -> int:
         "deadline_s": args.deadline_s,
         "overload_factor": args.overload_factor,
         "availability_floor": args.availability_floor,
+        "timeline": args.timeline,
     }
+    if args.timeline_tick_s is not None:
+        cfg["timeline_tick_s"] = args.timeline_tick_s
     rows, knee, doc = run_overload_sweep(cfg)
     keys = (
         "mode", "offered_qps", "completed", "dropped", "degraded",
@@ -1295,11 +1397,22 @@ def _loadgen_listen(args: argparse.Namespace) -> int:
 
     async def run() -> None:
         server = await serve_endpoint(
-            service, host=args.host, port=args.port, nonce=args.nonce
+            service,
+            host=args.host,
+            port=args.port,
+            nonce=args.nonce,
+            timeline=args.timeline,
+            timeline_tick_s=args.timeline_tick_s,
         )
         host, port = server.sockets[0].getsockname()[:2]
         print(f"loadgen endpoint listening on {host}:{port} (Ctrl-C to stop)", flush=True)
         print('protocol: one JSON object per line, e.g. {"op": "answer", "index": 0}', flush=True)
+        if args.timeline:
+            print(
+                "live timeline sampler on: poll it with "
+                '{"op": "timeline"} or `repro top --connect`',
+                flush=True,
+            )
         async with server:
             await server.serve_forever()
 
@@ -1381,6 +1494,170 @@ def _loadgen_connect(args: argparse.Namespace) -> int:
     write_json(args.out, doc)
     print(f"wrote bench-load/v1 document to {args.out}")
     return 0
+
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values, width: int = 40) -> str:
+    """Render the most recent ``width`` values as a unicode sparkline."""
+    vals = [max(0.0, float(v)) for v in values][-width:]
+    if not vals:
+        return ""
+    hi = max(vals)
+    if hi <= 0:
+        return _SPARK_GLYPHS[0] * len(vals)
+    top = len(_SPARK_GLYPHS) - 1
+    return "".join(_SPARK_GLYPHS[min(top, round(v / hi * top))] for v in vals)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a serving endpoint (``repro top``).
+
+    Polls the NDJSON ``metrics`` and ``timeline`` ops on an interval
+    and redraws: headline counters with per-interval rates, latency
+    summaries, and queue-depth / brownout-level sparklines from the
+    endpoint's live timeline (or from its own poll history when the
+    endpoint runs without a sampler).
+    """
+    import threading
+    import time as _time
+
+    from .load.endpoint import EndpointClient
+
+    if args.interval <= 0:
+        print("--interval must be > 0", file=sys.stderr)
+        return 2
+    spawned = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"--connect needs HOST:PORT, got {args.connect!r}", file=sys.stderr)
+            return 2
+        port = int(port)
+        endpoint_label = f"{host}:{port}"
+    else:
+        # Self-spawned endpoint: serve in a daemon thread, drive it with
+        # light traffic from the poll loop so there is motion to watch.
+        import asyncio
+
+        from .core.parameters import LCAParameters
+        from .load.endpoint import serve_endpoint
+        from .serve import KnapsackService
+
+        inst = generate(args.family, args.n, seed=args.seed)
+        params = None
+        if args.cap:
+            params = LCAParameters.calibrated(
+                args.epsilon, max_nrq=args.cap, max_m_large=args.cap
+            )
+        service = KnapsackService(
+            inst, args.epsilon, seed=args.lca_seed, params=params, cache_capacity=8
+        )
+        bound: dict = {}
+        ready = threading.Event()
+
+        def _serve() -> None:
+            async def run() -> None:
+                server = await serve_endpoint(
+                    service,
+                    host="127.0.0.1",
+                    port=0,
+                    timeline=True,
+                    timeline_tick_s=args.interval,
+                )
+                bound["addr"] = server.sockets[0].getsockname()[:2]
+                ready.set()
+                async with server:
+                    await server.serve_forever()
+
+            try:
+                asyncio.run(run())
+            except Exception:  # noqa: BLE001 - daemon teardown
+                ready.set()
+
+        spawned = threading.Thread(target=_serve, daemon=True)
+        spawned.start()
+        if not ready.wait(timeout=30) or "addr" not in bound:
+            print("spawned endpoint failed to start", file=sys.stderr)
+            return 1
+        host, port = bound["addr"][0], int(bound["addr"][1])
+        endpoint_label = f"{host}:{port} (spawned)"
+
+    depth_history: list[float] = []
+    level_history: list[float] = []
+    rate_history: list[float] = []
+    prev_counters: dict[str, float] = {}
+    iteration = 0
+    client = EndpointClient(host, port)
+    try:
+        while True:
+            iteration += 1
+            if spawned is not None:
+                # Light self-drive: a few real answers per refresh.
+                for k in range(3):
+                    client.answer((iteration * 3 + k) % client.n, nonce=iteration)
+            snap = client.metrics()
+            fragment = client.timeline()
+            counters = dict(snap.get("counters", {}))
+            requests = float(counters.get("endpoint.requests", 0))
+            prev_requests = float(prev_counters.get("endpoint.requests", requests))
+            rate_history.append((requests - prev_requests) / args.interval)
+            ticks = (fragment or {}).get("ticks", [])
+            if ticks:
+                last = ticks[-1]
+                depth_history.append(float(last.get("queue_depth", 0)))
+                level_history.append(float(last.get("brownout_level", 0)))
+            lines = [
+                f"repro top — {endpoint_label}  interval={args.interval:g}s  "
+                f"frame {iteration}" + (f"/{args.iterations}" if args.iterations else ""),
+                "",
+                f"  requests/s  {_sparkline(rate_history)}  "
+                f"{rate_history[-1]:.1f} now, {requests:.0f} total",
+            ]
+            if depth_history:
+                summary = (fragment or {}).get("summary", {})
+                lines.append(
+                    f"  queue depth {_sparkline(depth_history)}  "
+                    f"{depth_history[-1]:.0f} now, "
+                    f"{summary.get('max_queue_depth', 0)} max"
+                )
+                lines.append(
+                    f"  brownout    {_sparkline(level_history)}  "
+                    f"level {level_history[-1]:.0f} now, "
+                    f"{summary.get('max_brownout_level', 0)} max"
+                )
+            else:
+                lines.append("  (endpoint has no live timeline sampler; "
+                             "start it with --timeline for queue/brownout rows)")
+            lines.append("")
+            top_counters = sorted(
+                counters.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:10]
+            for name, value in top_counters:
+                delta = value - prev_counters.get(name, 0)
+                lines.append(f"  {name:32s} {value:>12g}  (+{delta:g})")
+            hists = snap.get("histograms", {})
+            for name in sorted(hists)[:4]:
+                h = hists[name]
+                lines.append(
+                    f"  {name:32s} p50={h.get('p50', 0):.4g} "
+                    f"p99={h.get('p99', 0):.4g} n={h.get('count', 0):g}"
+                )
+            frame = "\n".join(lines)
+            if args.no_clear:
+                print(frame + "\n")
+            else:
+                print("\x1b[2J\x1b[H" + frame, flush=True)
+            prev_counters = counters
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("\nstopped")
+        return 0
+    finally:
+        client.close()
 
 
 def _cmd_obs_diff(args: argparse.Namespace) -> int:
@@ -1629,6 +1906,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "overload": _cmd_overload,
+        "top": _cmd_top,
         "bench": _cmd_bench,
         "bench-cold": _cmd_bench_cold,
         "bench-shm": _cmd_bench_shm,

@@ -11,6 +11,11 @@ Newline-delimited JSON, one request object per line:
   ``seed``) so a remote client can build arrival schedules without a
   local copy of the instance;
 * ``{"op": "stats"}`` → the service's ``stats()`` snapshot;
+* ``{"op": "metrics"}`` → the process-global registry's
+  ``metrics-snapshot/v2`` maps (what ``repro top`` and the Prometheus
+  exposition poll);
+* ``{"op": "timeline"}`` → the endpoint's live ``timeline/v1``
+  fragment (``null`` unless the server was started with a sampler);
 * ``{"op": "ping"}`` → ``{"ok": true, "op": "ping"}``.
 
 Service calls run in a thread pool via ``run_in_executor``, so a slow
@@ -60,13 +65,15 @@ def _answer_payload(answer) -> dict:
     }
 
 
-def handle_request(service, request: dict, *, nonce: int = 0) -> dict:
+def handle_request(service, request: dict, *, nonce: int = 0, sampler=None) -> dict:
     """Dispatch one decoded request against ``service`` (blocking).
 
     Pure request→response logic, split out from the socket plumbing so
     tests can cover the protocol without opening a port.  Errors come
     back as ``{"ok": false, "error": ...}`` rather than raising: a bad
-    request must not take the endpoint down.
+    request must not take the endpoint down.  ``sampler`` is the
+    server's live :class:`~repro.obs.timeline.TimelineSampler`, if any
+    — the ``timeline`` op answers ``null`` without one.
     """
     op = request.get("op")
     try:
@@ -74,6 +81,18 @@ def handle_request(service, request: dict, *, nonce: int = 0) -> dict:
             return {"ok": True, "op": "ping"}
         if op == "stats":
             return {"ok": True, "op": "stats", "stats": jsonable(service.stats())}
+        if op == "metrics":
+            return {
+                "ok": True,
+                "op": "metrics",
+                "metrics": jsonable(_obs.REGISTRY.snapshot()),
+            }
+        if op == "timeline":
+            return {
+                "ok": True,
+                "op": "timeline",
+                "timeline": jsonable(sampler.fragment()) if sampler is not None else None,
+            }
         if op == "config":
             return {
                 "ok": True,
@@ -118,15 +137,44 @@ async def serve_endpoint(
     nonce: int = 0,
     ready: asyncio.Event | None = None,
     max_workers: int = 4,
+    timeline: bool = False,
+    timeline_tick_s: float | None = None,
 ):
     """Serve newline-delimited JSON requests until cancelled.
 
     Returns the ``asyncio.AbstractServer``; the bound address is in its
     ``sockets``.  ``ready`` (if given) is set once the socket is
     listening — test harnesses wait on it instead of polling.
+
+    With ``timeline=True`` a wall-clock
+    :class:`~repro.obs.timeline.TimelineSampler` ticks in the
+    background (interval ``timeline_tick_s``, default 0.25 s) and the
+    ``{"op": "timeline"}`` request serves its live fragment; the
+    sampler and its task are stashed on the returned server object
+    (``_repro_timeline``) so callers can read or cancel them.
     """
     loop = asyncio.get_running_loop()
     pool = ThreadPoolExecutor(max_workers=max_workers)
+    sampler = None
+    live = {"inflight": 0, "offered": 0, "completed": 0}
+    if timeline:
+        from ..obs.timeline import TimelineSampler
+
+        sampler = TimelineSampler(
+            clock="wall", tick_s=timeline_tick_s, registry=_obs.REGISTRY
+        )
+
+    async def sample_forever() -> None:
+        t0 = loop.time()
+        while True:
+            await asyncio.sleep(sampler.tick_s)
+            sampler.tick(
+                loop.time() - t0,
+                queue_depth=live["inflight"],
+                inflight=live["inflight"],
+                offered=live["offered"],
+                completed=live["completed"],
+            )
 
     async def on_client(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         _obs.REGISTRY.counter("endpoint.connections").inc()
@@ -168,9 +216,22 @@ async def serve_endpoint(
                         "reason_code": "bad-json",
                     }
                 else:
-                    response = await loop.run_in_executor(
-                        pool, partial(handle_request, service, request, nonce=nonce)
-                    )
+                    live["offered"] += 1
+                    live["inflight"] += 1
+                    try:
+                        response = await loop.run_in_executor(
+                            pool,
+                            partial(
+                                handle_request,
+                                service,
+                                request,
+                                nonce=nonce,
+                                sampler=sampler,
+                            ),
+                        )
+                    finally:
+                        live["inflight"] -= 1
+                    live["completed"] += 1
                 _obs.REGISTRY.counter("endpoint.requests").inc()
                 writer.write(json.dumps(response, sort_keys=True).encode() + b"\n")
                 await writer.drain()
@@ -186,6 +247,13 @@ async def serve_endpoint(
                 pass
 
     server = await asyncio.start_server(on_client, host, port)
+    if sampler is not None:
+        # Keep strong references on the server so the tick task isn't
+        # garbage-collected while the endpoint serves.
+        server._repro_timeline = sampler  # type: ignore[attr-defined]
+        server._repro_timeline_task = asyncio.ensure_future(  # type: ignore[attr-defined]
+            sample_forever()
+        )
     if ready is not None:
         ready.set()
     return server
@@ -286,6 +354,15 @@ class EndpointClient:
 
     def stats(self) -> dict:
         return dict(self.request({"op": "stats"})["stats"])
+
+    def metrics(self) -> dict:
+        """The server's live ``metrics-snapshot/v2`` registry maps."""
+        return dict(self.request({"op": "metrics"})["metrics"])
+
+    def timeline(self) -> dict | None:
+        """The server's live ``timeline/v1`` fragment (``None`` when the
+        endpoint runs without a sampler)."""
+        return self.request({"op": "timeline"}).get("timeline")
 
     def answer(self, index: int, *, nonce: int = 0) -> RemoteAnswer:
         payload = self.request({"op": "answer", "index": int(index), "nonce": int(nonce)})

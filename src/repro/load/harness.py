@@ -36,6 +36,7 @@ from functools import partial
 from ..access.seeds import SeedChain
 from ..errors import ReproError
 from ..obs import runtime as _obs
+from ..obs.timeline import TimelineSampler
 from ..serve.degraded import DegradedAnswer
 from ..serve.overload import BrownoutConfig, BrownoutController
 from .arrivals import ARRIVAL_KINDS, ArrivalProcess
@@ -105,6 +106,21 @@ class LoadHarness:
         default) keeps the historical serial dispatch.  This is what
         lets the shared-memory process tier carry open-loop load: each
         dispatch fans out across pool workers attaching one segment.
+    timeline:
+        Record a ``timeline/v1`` trajectory per rate.  Virtual clock:
+        ticks sit on the deterministic ``timeline_tick_s`` grid inside
+        the simulation, so the timeline replays byte-identically with
+        the row it rides on.  Wall clock: an asyncio sampler coroutine
+        ticks every ``timeline_tick_s`` wall seconds, and the sampler is
+        activated process-globally for the run so forked service shards
+        capture and ship their local ticks home (winners only).  Off by
+        default — and when off, rows carry no timeline key at all, so
+        existing documents stay bit-identical.
+    timeline_tick_s:
+        Tick grid / sampling interval; defaults per clock (0.05 virtual,
+        0.25 wall).
+    timeline_capacity:
+        Per-rate ring bound (oldest ticks evicted, counted).
     """
 
     def __init__(
@@ -122,6 +138,9 @@ class LoadHarness:
         deadline_s: float | None = None,
         brownout: BrownoutConfig | None = None,
         service_workers: int = 0,
+        timeline: bool = False,
+        timeline_tick_s: float | None = None,
+        timeline_capacity: int = 512,
     ) -> None:
         if arrival not in ARRIVAL_KINDS:
             raise ReproError(
@@ -146,6 +165,17 @@ class LoadHarness:
             raise ReproError(
                 f"service_workers must be >= 0, got {service_workers}"
             )
+        if timeline_tick_s is not None and timeline_tick_s <= 0:
+            raise ReproError(f"timeline_tick_s must be > 0, got {timeline_tick_s}")
+        if timeline_capacity < 1:
+            raise ReproError(
+                f"timeline_capacity must be >= 1, got {timeline_capacity}"
+            )
+        self._timeline = bool(timeline)
+        self._timeline_tick_s = (
+            None if timeline_tick_s is None else float(timeline_tick_s)
+        )
+        self._timeline_capacity = int(timeline_capacity)
         self._deadline_s = None if deadline_s is None else float(deadline_s)
         self._brownout = brownout
         self._service_workers = int(service_workers)
@@ -179,26 +209,45 @@ class LoadHarness:
         controller = (
             BrownoutController(self._brownout) if self._brownout is not None else None
         )
-        if self._clock == "virtual":
-            shed = self._run_virtual(
-                rate, times, indices, nonce, recorder, controller
+        sampler = None
+        previous_timeline = None
+        if self._timeline:
+            # One fresh ring per rate: each row carries its own
+            # trajectory.  Activated globally for the run so forked
+            # service shards inherit it and ship local ticks home.
+            sampler = TimelineSampler(
+                clock=self._clock,
+                tick_s=self._timeline_tick_s,
+                capacity=self._timeline_capacity,
+                registry=_obs.REGISTRY,
             )
-        else:
-            if self._warm:
-                # Untimed cache prefill: the rows measure the warm path.
-                # Warm through the same dispatch shape the timed run
-                # uses — sharded batches pay a one-time *worker-side*
-                # cold cost (pool spin-up, segment attach, per-process
-                # pipeline) that a parent-side point query never touches.
-                if self._service_workers > 1:
-                    self._service.answer_batch(
-                        [int(i) for i in indices[: self._service_workers]],
-                        nonce=nonce,
-                        workers=self._service_workers,
-                    )
-                else:
-                    self._service.answer(int(indices[0]), nonce=nonce)
-            shed = asyncio.run(self._run_wall(times, indices, nonce, recorder))
+            previous_timeline = _obs.activate_timeline(sampler)
+        try:
+            if self._clock == "virtual":
+                shed = self._run_virtual(
+                    rate, times, indices, nonce, recorder, controller, sampler
+                )
+            else:
+                if self._warm:
+                    # Untimed cache prefill: the rows measure the warm path.
+                    # Warm through the same dispatch shape the timed run
+                    # uses — sharded batches pay a one-time *worker-side*
+                    # cold cost (pool spin-up, segment attach, per-process
+                    # pipeline) that a parent-side point query never touches.
+                    if self._service_workers > 1:
+                        self._service.answer_batch(
+                            [int(i) for i in indices[: self._service_workers]],
+                            nonce=nonce,
+                            workers=self._service_workers,
+                        )
+                    else:
+                        self._service.answer(int(indices[0]), nonce=nonce)
+                shed = asyncio.run(
+                    self._run_wall(times, indices, nonce, recorder, sampler)
+                )
+        finally:
+            if self._timeline:
+                _obs.activate_timeline(previous_timeline)
         _obs.REGISTRY.counter("load.offered").inc(recorder.offered)
         _obs.REGISTRY.counter("load.completed").inc(recorder.completed)
         if recorder.dropped:
@@ -243,6 +292,10 @@ class LoadHarness:
                     controller.transitions if controller is not None else 0
                 ),
             )
+        if sampler is not None:
+            # Opt-in only: sampler-off rows carry no timeline key, so
+            # pre-existing documents stay bit-identical.
+            row["timeline"] = sampler.fragment()
         return row
 
     def sweep(
@@ -256,12 +309,36 @@ class LoadHarness:
     # ------------------------------------------------------------------
     # Wall clock: asyncio bounded queue + worker pool
     # ------------------------------------------------------------------
-    async def _run_wall(self, times, indices, nonce, recorder) -> dict:
+    async def _run_wall(self, times, indices, nonce, recorder, sampler=None) -> dict:
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue = asyncio.Queue(maxsize=self._queue_cap)
         answer_batch = self._service.answer_batch
         deadline = self._deadline_s
         shed = {"deadline": 0, "brownout": 0}
+        # Governor state the sampler coroutine reads between dispatches.
+        inflight = [0]
+        head_wait = [0.0]
+        stop = asyncio.Event()
+
+        async def sample() -> None:
+            t0 = loop.time()
+            while True:
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=sampler.tick_s)
+                except asyncio.TimeoutError:
+                    pass
+                sampler.tick(
+                    loop.time() - t0,
+                    queue_depth=queue.qsize(),
+                    queue_wait_s=head_wait[0],
+                    inflight=inflight[0],
+                    offered=recorder.offered,
+                    completed=recorder.completed,
+                    dropped=recorder.dropped,
+                    degraded=recorder.degraded,
+                )
+                if stop.is_set():
+                    return
 
         async def arrive() -> None:
             t0 = loop.time()
@@ -309,7 +386,12 @@ class LoadHarness:
                 dispatch = partial(answer_batch, [b[1] for b in batch], nonce=nonce)
                 if self._service_workers > 1:
                     dispatch = partial(dispatch, workers=self._service_workers)
-                report = await loop.run_in_executor(pool, dispatch)
+                head_wait[0] = start - batch[0][0]
+                inflight[0] += 1
+                try:
+                    report = await loop.run_in_executor(pool, dispatch)
+                finally:
+                    inflight[0] -= 1
                 finish = loop.time()
                 for (arrival, _), answer in zip(batch, report.answers):
                     recorder.record(
@@ -321,14 +403,24 @@ class LoadHarness:
                     )
 
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
-            await asyncio.gather(arrive(), *(work(pool) for _ in range(self._workers)))
+            sampler_task = (
+                asyncio.ensure_future(sample()) if sampler is not None else None
+            )
+            try:
+                await asyncio.gather(
+                    arrive(), *(work(pool) for _ in range(self._workers))
+                )
+            finally:
+                stop.set()
+                if sampler_task is not None:
+                    await sampler_task
         return shed
 
     # ------------------------------------------------------------------
     # Virtual clock: discrete-event simulation, byte-deterministic
     # ------------------------------------------------------------------
     def _run_virtual(
-        self, rate, times, indices, nonce, recorder, controller=None
+        self, rate, times, indices, nonce, recorder, controller=None, sampler=None
     ) -> dict:
         model = self._model
         jitter_rng = (
@@ -347,12 +439,52 @@ class LoadHarness:
         pending: deque[tuple[float, int]] = deque()
         deadline = self._deadline_s
         shed = {"deadline": 0, "brownout": 0}
+        tick_s = sampler.tick_s if sampler is not None else 0.0
+        next_grid = [0]
+
+        def governor_tick(now: float) -> None:
+            """Emit every grid tick tau = k * tick_s with tau <= now.
+
+            Grid times are a pure function of ``tick_s`` and the seeded
+            schedule, and the sampled state is read from the same
+            deterministic simulation structures the dispatcher uses — so
+            the timeline replays byte-identically with its row.  Each
+            grid point is emitted exactly once, in order.
+            """
+            if sampler is None:
+                return
+            while True:
+                tau = round(next_grid[0] * tick_s, 9)
+                if tau > now + 1e-12:
+                    return
+                wait = 0.0
+                depth = 0
+                if pending:
+                    head = pending[0][0]
+                    if head <= tau:
+                        wait = tau - head
+                    depth = sum(1 for a, _ in pending if a <= tau)
+                sampler.tick(
+                    tau,
+                    queue_depth=depth,
+                    queue_wait_s=wait,
+                    inflight=sum(1 for free, _ in servers if free > tau),
+                    brownout_level=(
+                        controller.level if controller is not None else 0
+                    ),
+                    offered=recorder.offered,
+                    completed=recorder.completed,
+                    dropped=recorder.dropped,
+                    degraded=recorder.degraded,
+                )
+                next_grid[0] += 1
 
         def drain(limit: float) -> None:
             """Let workers consume the queue up to virtual time ``limit``."""
             while pending:
                 free, slot = servers[0]
                 start = max(free, pending[0][0])
+                governor_tick(min(start, limit))
                 if start >= limit:
                     return
                 if deadline is not None and start - pending[0][0] >= deadline:
@@ -393,6 +525,7 @@ class LoadHarness:
             t = float(t)
             recorder.offer()
             drain(t)
+            governor_tick(t)
             if controller is not None and controller.level >= 3:
                 # Shed rung: refuse new admissions while the backlog
                 # drains (the controller keeps observing dispatches, so
@@ -405,6 +538,13 @@ class LoadHarness:
             else:
                 pending.append((t, int(idx)))
         drain(float("inf"))
+        # Trailing ticks cover the drain-down to the last worker idle,
+        # then one closing tick past it so the timeline always ends
+        # with the drained end-of-run ledgers (the wall sampler's final
+        # flush-on-stop gives the same guarantee).
+        if sampler is not None and servers:
+            governor_tick(max(free for free, _ in servers))
+            governor_tick(round(next_grid[0] * tick_s, 9))
         return shed
 
 

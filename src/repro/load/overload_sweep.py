@@ -105,6 +105,11 @@ def run_overload_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
     the document's ``comparison`` block is the governed verdict at
     ``overload_factor`` times the detected knee.
     """
+    # Timeline knobs ride outside OVERLOAD_DEFAULTS (read raw, before
+    # the known-keys filter) so sampler-off documents keep their exact
+    # pre-timeline bytes; see run_load_sweep for the same discipline.
+    timeline = bool(cfg.get("timeline", False))
+    timeline_tick_s = cfg.get("timeline_tick_s")
     cfg = {
         **OVERLOAD_DEFAULTS,
         **{k: v for k, v in cfg.items() if k in OVERLOAD_DEFAULTS},
@@ -133,6 +138,10 @@ def run_overload_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
             batch_max=int(cfg["batch_max"]),
             clock=cfg["clock"],
             service_model=model,
+            timeline=timeline,
+            timeline_tick_s=(
+                None if timeline_tick_s is None else float(timeline_tick_s)
+            ),
             **overload_kwargs,
         )
 
@@ -187,6 +196,11 @@ def run_overload_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
     from ..obs.context import RunContext
     from ..obs.schema import BenchDocument
 
+    context = {**cfg, "rates": rates, "n": inst.n}
+    if timeline:
+        context["timeline"] = True
+        if timeline_tick_s is not None:
+            context["timeline_tick_s"] = float(timeline_tick_s)
     doc = BenchDocument.build(
         "bench-overload",
         name="overload_governor",
@@ -194,9 +208,7 @@ def run_overload_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
         rows=rows,
         knee=knee,
         comparison=comparison,
-        context=RunContext(
-            bench="overload", config={**cfg, "rates": rates, "n": inst.n}
-        ),
+        context=RunContext(bench="overload", config=context),
         total_queries=sum(int(r.get("queries", 0)) for r in rows),
         total_completed=sum(int(r.get("completed", 0)) for r in rows),
     ).body

@@ -59,6 +59,12 @@ def run_load_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
     :data:`LOAD_DEFAULTS`, which is what keeps pre-``RunContext``
     documents rerunnable.  Returns ``(rows, knee, document)``.
     """
+    # Timeline knobs ride *outside* LOAD_DEFAULTS on purpose: they are
+    # read from the raw config before the known-keys filter, and they
+    # re-enter the document context only when enabled — so sampler-off
+    # documents stay bit-identical to pre-timeline output.
+    timeline = bool(cfg.get("timeline", False))
+    timeline_tick_s = cfg.get("timeline_tick_s")
     cfg = {**LOAD_DEFAULTS, **{k: v for k, v in cfg.items() if k in LOAD_DEFAULTS}}
     inst = generate(cfg["family"], int(cfg["n"]), seed=int(cfg["seed"]))
     params = None
@@ -101,6 +107,10 @@ def run_load_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
             jitter=float(cfg["jitter"]),
         ),
         service_workers=int(cfg["service_workers"]),
+        timeline=timeline,
+        timeline_tick_s=(
+            None if timeline_tick_s is None else float(timeline_tick_s)
+        ),
     )
     rates = [float(r) for r in cfg["rates"]]
     try:
@@ -114,7 +124,10 @@ def run_load_sweep(cfg: dict) -> tuple[list[dict], dict, dict]:
         row["family"] = cfg["family"]
         if shared:
             row["shared_instance"] = True
-    doc = bench_load_document(
-        rows, knee=knee, **{**cfg, "rates": rates, "n": inst.n}
-    )
+    context = {**cfg, "rates": rates, "n": inst.n}
+    if timeline:
+        context["timeline"] = True
+        if timeline_tick_s is not None:
+            context["timeline_tick_s"] = float(timeline_tick_s)
+    doc = bench_load_document(rows, knee=knee, **context)
     return rows, knee, doc

@@ -13,6 +13,9 @@ post-hoc.  Three layers:
   one unified tree;
 * :mod:`repro.obs.events` — the flight recorder: a bounded structured
   event log for fault/retry/hedge/degradation incidents;
+* :mod:`repro.obs.timeline` — deterministic time-series sampling: the
+  ``timeline/v1`` plane recording counter deltas and governor state on
+  a tick grid (byte-identical on the virtual clock, live on wall);
 * :mod:`repro.obs.diff` — the perf-regression sentinel comparing two
   ``bench-result/v1`` documents;
 * :mod:`repro.obs.export` / :mod:`repro.obs.schema` — machine-readable
@@ -27,8 +30,10 @@ from .diff import BENCH_DIFF_SCHEMA, diff_documents
 from .events import EVENTS_SCHEMA, Event, FlightRecorder, events_document, render_timeline
 from .export import (
     append_jsonl,
+    chrome_trace_document,
     jsonable,
     read_json,
+    render_prometheus,
     render_span_tree,
     snapshot_document,
     trace_document,
@@ -39,13 +44,17 @@ from .runtime import (
     RECORDER,
     REGISTRY,
     TRACER,
+    activate_timeline,
+    deactivate_timeline,
     record_event,
     record_oracle_queries,
     record_samples,
     reset_worker_runtime,
     snapshot,
     span,
+    timeline_state,
 )
+from .timeline import TIMELINE_SCHEMA, TimelineSampler, merge_timeline_states
 from .trace import Span, Tracer, phase_counts, span_from_payload, span_to_payload
 
 # NOTE: repro.obs.schema is intentionally not imported here so that
@@ -84,5 +93,13 @@ __all__ = [
     "read_json",
     "snapshot_document",
     "trace_document",
+    "chrome_trace_document",
+    "render_prometheus",
     "render_span_tree",
+    "TIMELINE_SCHEMA",
+    "TimelineSampler",
+    "merge_timeline_states",
+    "activate_timeline",
+    "deactivate_timeline",
+    "timeline_state",
 ]

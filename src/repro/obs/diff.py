@@ -24,6 +24,21 @@ floor), ``achieved_qps`` joins the rate family, and ``availability``
 is both a rate metric and dimensionless — a load shed or a degradation
 cliff is comparable across hardware, so it survives ``relative_only``.
 
+Rows carrying a ``timeline/v1`` fragment contribute trajectory
+sentinels: ``timeline_ticks``, ``timeline_max_brownout_level``, and
+``timeline_max_queue_depth`` are exact counts (a changed staircase on
+the same seeds is a reproducibility drift), while the per-level
+``timeline_time_at_level_{L}_ratio`` fractions are dimensionless and
+ride the rate family — so a governor that suddenly spends its run two
+rungs deeper trips the sentinel even across hardware.
+
+Gauges are compared too, not ignored: names ending in
+:data:`EXACT_GAUGE_SUFFIXES` (``.size``, ``.level``, ``.depth``, ...)
+are deterministic state and drift on any mismatch; other gauges are
+measurements and only flag past the relative ``threshold``.  Document-
+level ``gauges`` maps (``metrics-snapshot/v2``) are diffed the same
+way.
+
 Rows are matched by ``(mode, n, family, rate, clock)`` — the two extra
 coordinates are ``None`` for classic bench rows, so old documents keep
 their keys.  In ``relative_only`` mode (fresh quick run vs. a committed
@@ -43,6 +58,8 @@ __all__ = [
     "HIGHER_IS_BETTER",
     "EXACT_COUNTS",
     "RELATIVE_METRICS",
+    "TIMELINE_EXACT",
+    "EXACT_GAUGE_SUFFIXES",
     "diff_documents",
 ]
 
@@ -76,6 +93,74 @@ EXACT_COUNTS = ("queries", "samples", "blocks", "pipelines_run", "cache_hits")
 
 #: Dimensionless metrics still comparable across different hardware.
 RELATIVE_METRICS = ("speedup", "speedup_vs_per_query", "availability", "ratio")
+
+#: Timeline trajectory counts: deterministic on the virtual clock, so
+#: any mismatch is a drift (skipped under ``relative_only``).
+TIMELINE_EXACT = (
+    "timeline_ticks",
+    "timeline_max_brownout_level",
+    "timeline_max_queue_depth",
+)
+
+#: Gauge name suffixes holding deterministic state rather than a
+#: measurement; these drift on any mismatch instead of thresholding.
+EXACT_GAUGE_SUFFIXES = (".size", ".level", ".depth", ".state", ".inflight")
+
+
+def _timeline_metrics(row: dict) -> dict:
+    """Flatten a row's ``timeline/v1`` fragment into sentinel metrics."""
+    fragment = row.get("timeline")
+    if not isinstance(fragment, dict):
+        return {}
+    summary = fragment.get("summary") or {}
+    out = {
+        "timeline_ticks": int(summary.get("ticks", 0)),
+        "timeline_max_brownout_level": int(summary.get("max_brownout_level", 0)),
+        "timeline_max_queue_depth": int(summary.get("max_queue_depth", 0)),
+    }
+    for level, fraction in (summary.get("time_at_level") or {}).items():
+        out[f"timeline_time_at_level_{level}_ratio"] = float(fraction)
+    return out
+
+
+def _gauge_findings(
+    label: str,
+    base_gauges: dict,
+    cand_gauges: dict,
+    *,
+    threshold: float,
+    relative_only: bool,
+) -> list[dict]:
+    """Compare two gauge maps name-by-name.
+
+    Exact-family gauges (state the determinism contract covers) drift
+    on any mismatch; measurement gauges flag only past ``threshold`` in
+    either direction — a gauge has no universal better-direction, so an
+    excursion is reported as drift, not regression.
+    """
+    findings: list[dict] = []
+    for name in sorted(set(base_gauges) & set(cand_gauges)):
+        b, c = float(base_gauges[name]), float(cand_gauges[name])
+        if name.endswith(EXACT_GAUGE_SUFFIXES):
+            if relative_only:
+                continue
+            status = "ok" if b == c else "drift"
+            note = "" if b == c else "deterministic gauge changed"
+        elif b > 0 and (c > b * threshold or c < b / threshold):
+            status, note = "drift", f"gauge moved {c / b:.2f}x"
+        else:
+            status, note = "ok", ""
+        findings.append(
+            {
+                "row": label,
+                "metric": f"gauge:{name}",
+                "status": status,
+                "baseline": b,
+                "candidate": c,
+                "note": note,
+            }
+        )
+    return findings
 
 
 def _row_key(row: dict) -> tuple:
@@ -173,6 +258,48 @@ def _compare_row(
         else:
             findings.append(finding(metric, "ok", b, c, ""))
 
+    # Timeline trajectory sentinels (rows carrying a timeline fragment).
+    base_tl = _timeline_metrics(base)
+    cand_tl = _timeline_metrics(cand)
+    if base_tl and cand_tl:
+        if not relative_only:
+            for metric in TIMELINE_EXACT:
+                b, c = int(base_tl[metric]), int(cand_tl[metric])
+                if b != c:
+                    findings.append(
+                        finding(metric, "drift", b, c, "trajectory changed")
+                    )
+                else:
+                    findings.append(finding(metric, "ok", b, c, ""))
+        for metric in sorted(set(base_tl) & set(cand_tl)):
+            # Dimensionless time-at-level fractions: rate-family rules,
+            # comparable across hardware (survive relative_only).
+            if not metric.endswith("_ratio"):
+                continue
+            b, c = float(base_tl[metric]), float(cand_tl[metric])
+            if b > 0 and c < b / threshold:
+                findings.append(
+                    finding(metric, "regression", b, c, f"{b / c:.2f}x lower")
+                )
+            elif c > 0 and b > 0 and c > b * threshold:
+                findings.append(
+                    finding(metric, "improvement", b, c, f"{c / b:.2f}x higher")
+                )
+            else:
+                findings.append(finding(metric, "ok", b, c, ""))
+
+    # Row-level gauge maps (timeline rows and future per-row gauges).
+    if isinstance(base.get("gauges"), dict) and isinstance(cand.get("gauges"), dict):
+        findings.extend(
+            _gauge_findings(
+                label,
+                base["gauges"],
+                cand["gauges"],
+                threshold=threshold,
+                relative_only=relative_only,
+            )
+        )
+
     return findings
 
 
@@ -219,6 +346,20 @@ def diff_documents(
     for key in cand_rows:
         if key not in base_rows:
             rows_missing.append(_key_label(key) + " (candidate only)")
+
+    # Document-level gauge maps (metrics-snapshot/v2 documents).
+    if isinstance(baseline.get("gauges"), dict) and isinstance(
+        candidate.get("gauges"), dict
+    ):
+        findings.extend(
+            _gauge_findings(
+                "gauges",
+                baseline["gauges"],
+                candidate["gauges"],
+                threshold=threshold,
+                relative_only=relative_only,
+            )
+        )
 
     regressions = sum(1 for f in findings if f["status"] == "regression")
     improvements = sum(1 for f in findings if f["status"] == "improvement")

@@ -24,7 +24,10 @@ from typing import Iterable
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
-SNAPSHOT_SCHEMA = "metrics-snapshot/v1"
+# v2: snapshots ride the BenchDocument/RunContext envelope (name,
+# title, context.bench="metrics") when emitted by the CLI; the bare
+# registry snapshot carries the tag plus the three metric maps.
+SNAPSHOT_SCHEMA = "metrics-snapshot/v2"
 
 
 class Counter:
@@ -330,6 +333,23 @@ class MetricsRegistry:
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
+        }
+
+    def counter_values(self) -> dict[str, int]:
+        """Current counter values only — the cheap per-tick read the
+        timeline sampler diffs (no histogram summarization)."""
+        return {
+            name: m.value
+            for name, m in sorted(self._metrics.items())
+            if isinstance(m, Counter)
+        }
+
+    def gauge_values(self) -> dict[str, float]:
+        """Current gauge levels only (see :meth:`counter_values`)."""
+        return {
+            name: m.value
+            for name, m in sorted(self._metrics.items())
+            if isinstance(m, Gauge)
         }
 
     def reset(self) -> None:

@@ -20,12 +20,17 @@ from __future__ import annotations
 
 from .events import FlightRecorder
 from .metrics import MetricsRegistry
+from .timeline import TimelineSampler
 from .trace import Tracer
 
 __all__ = [
     "REGISTRY",
     "TRACER",
     "RECORDER",
+    "TIMELINE",
+    "activate_timeline",
+    "deactivate_timeline",
+    "timeline_state",
     "span",
     "record_oracle_queries",
     "record_samples",
@@ -50,6 +55,42 @@ TRACER = Tracer()
 
 #: The process-global flight recorder (always on; events are rare).
 RECORDER = FlightRecorder()
+
+#: The process-global timeline sampler (``None`` unless activated).
+#: Forked shard workers inherit the activated sampler through this
+#: module global — that inheritance *is* the capture opt-in signal —
+#: and swap in a ``fresh()`` copy during :func:`reset_worker_runtime`
+#: so shard-local ticks never alias the parent's ring.  Spawn-based
+#: pools start with ``None`` and simply don't capture.
+TIMELINE: TimelineSampler | None = None
+
+
+def activate_timeline(sampler: TimelineSampler | None) -> TimelineSampler | None:
+    """Install ``sampler`` as the process-global timeline (or clear it
+    with ``None``).  Returns the previously active sampler so callers
+    can restore it."""
+    global TIMELINE
+    previous = TIMELINE
+    TIMELINE = sampler
+    return previous
+
+
+def deactivate_timeline() -> None:
+    """Clear the process-global timeline sampler."""
+    activate_timeline(None)
+
+
+def timeline_state() -> dict | None:
+    """Mergeable state of the active timeline, or ``None`` when off.
+
+    Takes one final registry-only capture first so short-lived shard
+    workers ship their counter deltas home even if no grid tick fired
+    during their lifetime.
+    """
+    if TIMELINE is None:
+        return None
+    TIMELINE.capture()
+    return TIMELINE.state()
 
 _ORACLE_QUERIES = REGISTRY.counter("oracle.queries")
 _SAMPLER_SAMPLES = REGISTRY.counter("sampler.samples")
@@ -179,13 +220,20 @@ def reset_worker_runtime() -> None:
     or its shipped-home state would double-count the parent's.  Resets
     the registry *in place* (module-level cached counter objects keep
     their identity), gives the tracer fresh thread-local state and
-    locks, and clears the recorder.
+    locks, clears the recorder, and — when the parent had a timeline
+    active — replaces the inherited sampler with an empty ``fresh()``
+    copy so shard-local capture starts from zero.
     """
+    global TIMELINE
     REGISTRY.reset()
     TRACER.reset_worker()
     RECORDER.clear()
+    if TIMELINE is not None:
+        TIMELINE = TIMELINE.fresh()
 
 
 def snapshot() -> dict:
-    """The global registry's ``metrics-snapshot/v1`` document."""
+    """The global registry's bare ``metrics-snapshot/v2`` tagged
+    snapshot (the CLI wraps it in the BenchDocument envelope via
+    :func:`repro.obs.export.snapshot_document`)."""
     return REGISTRY.snapshot()

@@ -32,6 +32,7 @@ __all__ = [
     "BenchDocument",
     "validate_trace",
     "validate_metrics_snapshot",
+    "validate_timeline",
     "validate_bench_result",
     "validate_bench_load",
     "validate_bench_overload",
@@ -83,6 +84,9 @@ SCHEMA_TAGS = {
     "chaos": "chaos-report/v1",
     "events": "events/v1",
     "suite-report": "suite-report/v1",
+    "trace": "trace/v2",
+    "metrics": "metrics-snapshot/v2",
+    "timeline": "timeline/v1",
 }
 
 
@@ -180,13 +184,31 @@ def _check_span(node: object, problems: list[str], where: str) -> None:
             _check_span(child, problems, f"{where}.children[{i}]")
 
 
+def _check_envelope(doc: dict, bench: str, problems: list[str]) -> None:
+    """The BenchDocument envelope (``name``/``title``/``context``) the
+    v2 observability documents carry.  Optional for bare in-process
+    snapshots; type-checked — and pinned to ``context.bench`` — when
+    present."""
+    if "name" in doc:
+        _require(doc, "name", str, problems)
+    if "title" in doc:
+        _require(doc, "title", str, problems)
+    if "context" in doc and _require(doc, "context", dict, problems):
+        if doc["context"].get("bench") != bench:
+            problems.append(
+                f"context.bench must be {bench!r}, got "
+                f"{doc['context'].get('bench')!r}"
+            )
+
+
 def validate_trace(doc: dict) -> dict:
-    """Validate a ``trace/v1`` document, including the partition
+    """Validate a ``trace/v2`` document, including the partition
     invariant: for every counted key, the per-phase counts sum to the
     recorded total."""
     problems: list[str] = []
-    if doc.get("schema") != "trace/v1":
-        problems.append(f"schema must be 'trace/v1', got {doc.get('schema')!r}")
+    if doc.get("schema") != "trace/v2":
+        problems.append(f"schema must be 'trace/v2', got {doc.get('schema')!r}")
+    _check_envelope(doc, "trace", problems)
     if _require(doc, "root", dict, problems):
         _check_span(doc["root"], problems, "root")
     if _require(doc, "totals", dict, problems):
@@ -205,17 +227,18 @@ def validate_trace(doc: dict) -> dict:
                         f"but total is {entry['total']}"
                     )
     if problems:
-        raise SchemaError("trace/v1", problems)
+        raise SchemaError("trace/v2", problems)
     return doc
 
 
 def validate_metrics_snapshot(doc: dict) -> dict:
-    """Validate a ``metrics-snapshot/v1`` document."""
+    """Validate a ``metrics-snapshot/v2`` document."""
     problems: list[str] = []
-    if doc.get("schema") != "metrics-snapshot/v1":
+    if doc.get("schema") != "metrics-snapshot/v2":
         problems.append(
-            f"schema must be 'metrics-snapshot/v1', got {doc.get('schema')!r}"
+            f"schema must be 'metrics-snapshot/v2', got {doc.get('schema')!r}"
         )
+    _check_envelope(doc, "metrics", problems)
     if _require(doc, "counters", dict, problems):
         for name, value in doc["counters"].items():
             if not isinstance(value, int) or value < 0:
@@ -234,7 +257,151 @@ def validate_metrics_snapshot(doc: dict) -> dict:
                 for stat in ("sum", "min", "max", "mean", "p50", "p90", "p99"):
                     _require(hist, stat, _NUM, problems, f"histograms[{name!r}].")
     if problems:
-        raise SchemaError("metrics-snapshot/v1", problems)
+        raise SchemaError("metrics-snapshot/v2", problems)
+    return doc
+
+
+_TIMELINE_CLOCKS = ("wall", "virtual")
+_TIMELINE_TICK_INTS = (
+    "queue_depth", "inflight", "brownout_level",
+    "offered", "completed", "dropped", "degraded",
+)
+_BREAKER_STATES = (None, "closed", "half_open", "open")
+
+
+def validate_timeline(doc: dict) -> dict:
+    """Validate a ``timeline/v1`` document (or row-embedded fragment).
+
+    Beyond shape, checks the trajectory arithmetic the diff sentinel
+    relies on: ``count`` must equal the retained ticks, tick indices
+    and times must be strictly/weakly monotone, counter deltas must be
+    non-negative ints, the cumulative ledgers must be monotone, and the
+    ``summary`` block (max level, time-at-level fractions) must follow
+    from the ticks it summarizes.
+    """
+    problems: list[str] = []
+    if doc.get("schema") != "timeline/v1":
+        problems.append(f"schema must be 'timeline/v1', got {doc.get('schema')!r}")
+    _check_envelope(doc, "timeline", problems)
+    clock_ok = _require(doc, "clock", str, problems)
+    if clock_ok and doc["clock"] not in _TIMELINE_CLOCKS:
+        problems.append(
+            f"clock must be one of {_TIMELINE_CLOCKS}, got {doc['clock']!r}"
+        )
+    if _require(doc, "tick_s", _NUM, problems) and doc["tick_s"] <= 0:
+        problems.append("tick_s must be > 0")
+    if _require(doc, "capacity", int, problems) and doc["capacity"] < 1:
+        problems.append("capacity must be >= 1")
+    if _require(doc, "dropped_ticks", int, problems) and doc["dropped_ticks"] < 0:
+        problems.append("dropped_ticks must be non-negative")
+    count_ok = _require(doc, "count", int, problems)
+    ticks_ok = _require(doc, "ticks", list, problems)
+    levels_seen: dict[int, int] = {}
+    max_depth = max_inflight = 0
+    if ticks_ok:
+        if count_ok and doc["count"] != len(doc["ticks"]):
+            problems.append(
+                f"count is {doc['count']} but ticks holds {len(doc['ticks'])}"
+            )
+        last_tick = None
+        last_t = None
+        last_ledger: dict[str, int] = {}
+        for i, entry in enumerate(doc["ticks"]):
+            where = f"ticks[{i}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            if _require(entry, "tick", int, problems, where + "."):
+                if last_tick is not None and entry["tick"] <= last_tick:
+                    problems.append(
+                        f"{where}.tick is {entry['tick']}, must exceed the "
+                        f"previous tick {last_tick}"
+                    )
+                last_tick = entry["tick"]
+            if _require(entry, "t", _NUM, problems, where + "."):
+                if last_t is not None and entry["t"] < last_t - 1e-9:
+                    problems.append(
+                        f"{where}.t is {entry['t']}, below the previous "
+                        f"tick's t {last_t} — times must be monotone"
+                    )
+                last_t = entry["t"]
+            if _require(entry, "counters", dict, problems, where + "."):
+                for name, delta in entry["counters"].items():
+                    if not isinstance(delta, int) or delta < 0:
+                        problems.append(
+                            f"{where}.counters[{name!r}] must be a "
+                            f"non-negative int (counters are monotone)"
+                        )
+            if _require(entry, "gauges", dict, problems, where + "."):
+                for name, value in entry["gauges"].items():
+                    if not isinstance(value, _NUM):
+                        problems.append(f"{where}.gauges[{name!r}] must be numeric")
+            for key in _TIMELINE_TICK_INTS:
+                if _require(entry, key, int, problems, where + ".") \
+                        and entry[key] < 0:
+                    problems.append(f"{where}.{key} must be non-negative")
+            if _require(entry, "queue_wait_ms", _NUM, problems, where + ".") \
+                    and entry["queue_wait_ms"] < 0:
+                problems.append(f"{where}.queue_wait_ms must be non-negative")
+            if entry.get("breaker_state") not in _BREAKER_STATES:
+                problems.append(
+                    f"{where}.breaker_state must be one of {_BREAKER_STATES}, "
+                    f"got {entry.get('breaker_state')!r}"
+                )
+            for key in ("offered", "completed", "dropped", "degraded"):
+                value = entry.get(key)
+                if isinstance(value, int):
+                    prev = last_ledger.get(key)
+                    if prev is not None and value < prev:
+                        problems.append(
+                            f"{where}.{key} is {value}, below the previous "
+                            f"tick's {prev} — ledgers are cumulative"
+                        )
+                    last_ledger[key] = value
+            level = entry.get("brownout_level")
+            if isinstance(level, int) and level >= 0:
+                levels_seen[level] = levels_seen.get(level, 0) + 1
+            if isinstance(entry.get("queue_depth"), int):
+                max_depth = max(max_depth, entry["queue_depth"])
+            if isinstance(entry.get("inflight"), int):
+                max_inflight = max(max_inflight, entry["inflight"])
+    if _require(doc, "summary", dict, problems) and ticks_ok:
+        summary = doc["summary"]
+        checks = [
+            ("ticks", len(doc["ticks"])),
+            ("max_brownout_level", max(levels_seen) if levels_seen else 0),
+            ("max_queue_depth", max_depth),
+            ("max_inflight", max_inflight),
+        ]
+        for key, expected in checks:
+            if _require(summary, key, int, problems, "summary.") \
+                    and summary[key] != expected:
+                problems.append(
+                    f"summary.{key} is {summary[key]}, but the ticks say "
+                    f"{expected}"
+                )
+        if _require(summary, "time_at_level", dict, problems, "summary."):
+            total = len(doc["ticks"])
+            expected_tal = {
+                str(level): round(n / total, 6)
+                for level, n in sorted(levels_seen.items())
+            } if total else {}
+            tal = summary["time_at_level"]
+            if set(tal) != set(expected_tal):
+                problems.append(
+                    f"summary.time_at_level covers levels {sorted(tal)}, "
+                    f"but the ticks hold {sorted(expected_tal)}"
+                )
+            else:
+                for level, frac in expected_tal.items():
+                    got = tal[level]
+                    if not isinstance(got, _NUM) or abs(got - frac) > 1e-9:
+                        problems.append(
+                            f"summary.time_at_level[{level!r}] is {got}, but "
+                            f"the ticks say {frac}"
+                        )
+    if problems:
+        raise SchemaError("timeline/v1", problems)
     return doc
 
 
@@ -342,6 +509,11 @@ def validate_bench_load(doc: dict) -> dict:
                         f"{where}: {q} end-to-end latency {hi} is below its "
                         f"queueing component {lo}"
                     )
+            if "timeline" in row:
+                try:
+                    validate_timeline(row["timeline"])
+                except SchemaError as exc:
+                    problems.extend(f"{where}.timeline: {p}" for p in exc.problems)
     if _require(doc, "knee", dict, problems):
         knee = doc["knee"]
         detected_ok = _require(knee, "detected", bool, problems, "knee.")
@@ -496,6 +668,11 @@ def validate_bench_overload(doc: dict) -> dict:
                             f"quantile {prev} — quantiles must be monotone"
                         )
                     prev = row[key]
+            if "timeline" in row:
+                try:
+                    validate_timeline(row["timeline"])
+                except SchemaError as exc:
+                    problems.extend(f"{where}.timeline: {p}" for p in exc.problems)
     if _require(doc, "knee", dict, problems):
         knee = doc["knee"]
         detected_ok = _require(knee, "detected", bool, problems, "knee.")
@@ -562,7 +739,15 @@ def validate_bench_overload(doc: dict) -> dict:
 
 
 def validate_bench_observability(doc: dict) -> dict:
-    """Validate the top-level ``bench-observability/v1`` summary."""
+    """Validate the top-level ``bench-observability/v1`` summary.
+
+    An experiment entry may carry a ``sampler_overhead`` block (the
+    timeline sampler's cost on the fixed-rate wall row).  Its verdict
+    arithmetic is enforced: ``overhead_frac`` must follow from the two
+    recorded latencies and ``within_budget`` must follow from
+    ``overhead_frac <= budget_frac`` — a doctored overhead row fails
+    validation, which is the CI tripwire.
+    """
     problems: list[str] = []
     if doc.get("schema") != "bench-observability/v1":
         problems.append(
@@ -579,6 +764,40 @@ def validate_bench_observability(doc: dict) -> dict:
             _require(entry, "total_queries", int, problems, where + ".")
             _require(entry, "total_samples", int, problems, where + ".")
             _require(entry, "sample_batch_histogram", dict, problems, where + ".")
+            if "sampler_overhead" not in entry:
+                continue
+            block = entry["sampler_overhead"]
+            bw = where + ".sampler_overhead"
+            if not isinstance(block, dict):
+                problems.append(f"{bw} must be an object")
+                continue
+            nums_ok = True
+            for key in ("rate", "baseline_p50_latency_ms",
+                        "sampled_p50_latency_ms", "overhead_frac",
+                        "budget_frac"):
+                nums_ok = _require(block, key, _NUM, problems, bw + ".") and nums_ok
+            budget_ok = _require(block, "within_budget", bool, problems, bw + ".")
+            if nums_ok and block["baseline_p50_latency_ms"] > 0:
+                expected = round(
+                    block["sampled_p50_latency_ms"]
+                    / block["baseline_p50_latency_ms"]
+                    - 1.0,
+                    6,
+                )
+                if abs(block["overhead_frac"] - expected) > 1e-6:
+                    problems.append(
+                        f"{bw}.overhead_frac is {block['overhead_frac']}, but "
+                        f"the recorded latencies say {expected}"
+                    )
+            if nums_ok and budget_ok:
+                expected_verdict = bool(
+                    block["overhead_frac"] <= block["budget_frac"]
+                )
+                if block["within_budget"] != expected_verdict:
+                    problems.append(
+                        f"{bw}.within_budget is {block['within_budget']}, but "
+                        f"the overhead/budget arithmetic says {expected_verdict}"
+                    )
     if problems:
         raise SchemaError("bench-observability/v1", problems)
     return doc
@@ -940,6 +1159,7 @@ _VALIDATORS = {
     "trace": validate_trace,
     "chaos": validate_chaos_report,
     "metrics": validate_metrics_snapshot,
+    "timeline": validate_timeline,
     "bench-result": validate_bench_result,
     "bench-load": validate_bench_load,
     "bench-overload": validate_bench_overload,

@@ -44,7 +44,9 @@ __all__ = [
     "span_to_payload",
 ]
 
-TRACE_SCHEMA = "trace/v1"
+# v2: trace documents ride the BenchDocument/RunContext envelope (name,
+# title, context.bench="trace"); node shape is unchanged from v1.
+TRACE_SCHEMA = "trace/v2"
 
 
 class Span:
@@ -101,7 +103,7 @@ class Span:
                 stack.append((child, depth + 1))
 
     def to_dict(self) -> dict:
-        """JSON-ready form of the subtree (schema ``trace/v1`` node)."""
+        """JSON-ready form of the subtree (a ``trace/v2`` node)."""
         return {
             "name": self.name,
             "span_id": self.span_id,

@@ -230,6 +230,9 @@ def _serve_chunk(payload) -> tuple:
         "trace": span_to_payload(root) if root is not None else None,
         "events": [e.to_dict() for e in _obs.RECORDER.events()],
         "dropped_events": _obs.RECORDER.dropped,
+        # Shard-local timeline ticks (None unless the parent had an
+        # active sampler at fork time — spawn pools never capture).
+        "timeline": _obs.timeline_state(),
         # Parent-facing scale telemetry (not part of the merged registry,
         # so thread-vs-process registry parity is unaffected).
         "setup_s": setup_s,
@@ -1216,6 +1219,12 @@ class KnapsackService:
                     for e in events
                 ]
             _obs.RECORDER.ingest(events)
+        # Winners only: an abandoned attempt's trajectory would
+        # double-count ticks the winning attempt already represents,
+        # the same reason losing cost bills never reach the budget.
+        timeline = obs.get("timeline")
+        if timeline and not abandoned and _obs.TIMELINE is not None:
+            _obs.TIMELINE.merge_state(timeline)
 
     def _absorb_loser(self, res: tuple) -> None:
         """Account one losing-but-completed shard attempt's telemetry.

@@ -1,0 +1,160 @@
+"""CLI integration: the introspection plane.
+
+``repro trace`` (span tree + trace/v2 + Chrome export), ``repro
+metrics`` (metrics-snapshot/v2 + Prometheus exposition), ``repro
+loadgen --timeline`` (row-embedded ``timeline/v1`` fragments with the
+byte-identity contract), and ``repro top`` (live terminal view against
+a self-spawned endpoint).
+"""
+
+import json
+import re
+
+from repro.cli import main
+from repro.obs.schema import (
+    validate_bench_load,
+    validate_metrics_snapshot,
+    validate_timeline,
+    validate_trace,
+)
+
+TRACE_FAST = [
+    "trace", "--family", "uniform", "--n", "400",
+    "--epsilon", "0.2", "--query", "3",
+]
+
+
+class TestTraceCommand:
+    def test_rendered_tree_includes_sample_blocks(self, capsys):
+        assert main(TRACE_FAST) == 0
+        out = capsys.readouterr().out
+        # The block ledger is a default render column now, alongside
+        # queries= and samples=.
+        assert "sample_blocks=" in out
+        assert "queries=" in out
+        assert "sample blocks:" in out and "span-attributed" in out
+
+    def test_json_writes_trace_v2_document(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main([*TRACE_FAST, "--json", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "trace/v2"
+        assert doc["context"]["bench"] == "trace"
+        validate_trace(doc)
+        assert "trace/v2" in capsys.readouterr().out
+
+    def test_chrome_export_is_trace_event_json(self, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert main([*TRACE_FAST, "--chrome", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        assert events and all(e["ph"] == "X" for e in events)
+        for event in events:
+            assert event["dur"] >= 0
+            assert "span_id" in event["args"]
+        # One complete event per span; the root spans the whole trace.
+        assert events[0]["ts"] == 0
+        assert "Perfetto" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    FAST = ["metrics", "--family", "uniform", "--n", "400",
+            "--epsilon", "0.2", "--queries", "3"]
+
+    def test_snapshot_document_is_v2(self, capsys):
+        assert main(self.FAST) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "metrics-snapshot/v2"
+        assert doc["context"]["bench"] == "metrics"
+        validate_metrics_snapshot(doc)
+
+    def test_prometheus_exposition_format(self, capsys):
+        assert main([*self.FAST, "--prom", "-"]) == 0
+        out = capsys.readouterr().out
+        exposition = out[out.index("# HELP"):]
+        assert "# TYPE" in exposition
+        assert re.search(r"^repro_[a-z0-9_]+_total \d", exposition, re.M)
+        # Histograms render as summaries with quantile labels.
+        assert 'quantile="0.99"' in exposition
+        # Every non-comment line is `name[{labels}] value`.
+        for line in exposition.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            assert re.match(
+                r'^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? \S+$', line
+            ), line
+
+    def test_prometheus_file_output(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        assert main([*self.FAST, "--prom", str(prom)]) == 0
+        assert "# HELP" in prom.read_text()
+        assert "Prometheus exposition" in capsys.readouterr().out
+
+
+class TestLoadgenTimeline:
+    FAST = [
+        "loadgen", "--family", "uniform", "--n", "300", "--rates", "50,100",
+        "--queries", "40", "--clock", "virtual", "--timeline",
+    ]
+
+    def run(self, tmp_path, name, extra=()):
+        out = tmp_path / name
+        assert main([*self.FAST, *extra, "--out", str(out)]) == 0
+        return out
+
+    def test_rows_carry_valid_fragments(self, tmp_path, capsys):
+        doc = json.loads(self.run(tmp_path, "load.json").read_text())
+        validate_bench_load(doc)
+        assert doc["context"]["timeline"] is True
+        for row in doc["rows"]:
+            frag = row["timeline"]
+            validate_timeline(frag)
+            assert frag["clock"] == "virtual"
+            assert frag["count"] > 0
+
+    def test_timeline_runs_are_byte_identical(self, tmp_path, capsys):
+        a = self.run(tmp_path, "a.json")
+        b = self.run(tmp_path, "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_custom_tick_changes_resolution(self, tmp_path, capsys):
+        coarse = json.loads(
+            self.run(
+                tmp_path, "coarse.json", extra=["--timeline-tick-s", "0.2"]
+            ).read_text()
+        )
+        fine = json.loads(
+            self.run(
+                tmp_path, "fine.json", extra=["--timeline-tick-s", "0.02"]
+            ).read_text()
+        )
+        assert (
+            fine["rows"][0]["timeline"]["count"]
+            > coarse["rows"][0]["timeline"]["count"]
+        )
+
+
+class TestTopCommand:
+    def test_spawned_endpoint_renders_frames(self, capsys):
+        # The spawned endpoint snapshots the process-global registry;
+        # a real `repro top` starts in a fresh process, so clear any
+        # counters earlier tests accumulated (they would crowd
+        # endpoint.requests out of the top-10 list).
+        from repro.obs import runtime as rt
+
+        rt.REGISTRY.reset()
+        # Four frames at 0.35 s: even on a loaded box the background
+        # wall sampler (tick = interval) lands several ticks, so the
+        # later frames render the governor sparklines.
+        rc = main([
+            "top", "--iterations", "4", "--no-clear", "--interval", "0.35",
+            "--family", "uniform", "--n", "400", "--epsilon", "0.2",
+            "--cap", "1000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "endpoint.requests" in out
+        assert "queue depth" in out
+        assert "brownout" in out

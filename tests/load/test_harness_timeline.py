@@ -1,0 +1,98 @@
+"""LoadHarness timeline capture: virtual grid ticks and the wall-clock
+background sampler.
+
+The virtual rows are pinned byte-identical elsewhere (the loadgen CLI
+tests and CI ``cmp``); here we pin the harness-level contract: the grid
+covers the whole run, ledgers are cumulative, governed runs show the
+brownout staircase, and the wall sampler ticks concurrently with real
+load without perturbing the row schema.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.load import LoadHarness
+from repro.obs.schema import validate_timeline
+from repro.serve import KnapsackService
+from repro.serve.overload import BrownoutConfig
+
+
+@pytest.fixture(scope="module")
+def service(uniform_instance, fast_params):
+    return KnapsackService(
+        uniform_instance, 0.1, 42, params=fast_params, cache_capacity=8
+    )
+
+
+def make_harness(service, **kw):
+    kw.setdefault("clock", "virtual")
+    kw.setdefault("seed", 7)
+    kw.setdefault("timeline", True)
+    return LoadHarness(service, **kw)
+
+
+class TestVirtualTimeline:
+    def test_grid_covers_the_run(self, service):
+        h = make_harness(service, timeline_tick_s=0.05)
+        row = h.run_rate(200.0, 100)
+        frag = row["timeline"]
+        validate_timeline(frag)
+        assert frag["clock"] == "virtual" and frag["tick_s"] == 0.05
+        ticks = frag["ticks"]
+        # Grid points are exact multiples of tick_s from t=0.
+        for i, tick in enumerate(ticks):
+            assert tick["t"] == round(i * 0.05, 9)
+        # The grid reaches the end of the simulated run (~0.5 s of
+        # arrivals plus drain), and ledgers end at the row's totals.
+        assert ticks[-1]["offered"] == row["queries"]
+        assert ticks[-1]["completed"] == row["completed"]
+        assert ticks[-1]["dropped"] == row["dropped"]
+
+    def test_sampler_off_row_has_no_timeline_key(self, service):
+        row = LoadHarness(service, clock="virtual", seed=7).run_rate(200.0, 50)
+        assert "timeline" not in row
+
+    def test_governed_run_shows_brownout_staircase(self, service):
+        # One slow worker at 2.5 ms/query saturates at 400 q/s; offering
+        # 1200 q/s with the hysteresis controller must step the level up.
+        h = make_harness(
+            service,
+            workers=1,
+            batch_max=1,
+            timeline_tick_s=0.02,
+            deadline_s=0.05,
+            brownout=BrownoutConfig(
+                high_fraction=0.5, low_fraction=0.125,
+                wait_target_s=0.025, patience=2,
+            ),
+        )
+        frag = h.run_rate(1200.0, 150)["timeline"]
+        validate_timeline(frag)
+        summary = frag["summary"]
+        assert summary["max_brownout_level"] >= 1
+        # The staircase: time split across at least two levels, with the
+        # peak level accounted for.
+        assert len(summary["time_at_level"]) >= 2
+        assert str(summary["max_brownout_level"]) in summary["time_at_level"]
+        assert summary["max_queue_depth"] > 0
+
+    def test_bad_timeline_config_rejected(self, service):
+        with pytest.raises(ReproError, match="timeline_tick_s"):
+            make_harness(service, timeline_tick_s=0.0)
+        with pytest.raises(ReproError, match="timeline_capacity"):
+            make_harness(service, timeline_capacity=0)
+
+
+class TestWallTimeline:
+    def test_wall_sampler_ticks_during_live_load(self, service):
+        h = make_harness(
+            service, clock="wall", workers=2, timeline_tick_s=0.05
+        )
+        row = h.run_rate(300.0, 45)
+        frag = row["timeline"]
+        validate_timeline(frag)
+        assert frag["clock"] == "wall"
+        # The run lasts ~0.15 s of arrivals plus service: the background
+        # sampler gets at least one tick in, including the final flush.
+        assert frag["count"] >= 1
+        assert frag["ticks"][-1]["completed"] == row["completed"]

@@ -127,3 +127,123 @@ class TestDiffDocuments:
         out = diff_documents(base, cand)
         assert out["ok"] == (out["regressions"] == 0 and out["drifts"] == 0)
         validate_bench_diff(out)
+
+
+def timeline_fragment(*, ticks=4, max_level=1, max_depth=3, time_at_level=None):
+    return {
+        "schema": "timeline/v1",
+        "clock": "virtual",
+        "tick_s": 0.05,
+        "capacity": 512,
+        "count": ticks,
+        "dropped_ticks": 0,
+        "ticks": [],  # the sentinel reads the summary, not raw ticks
+        "summary": {
+            "ticks": ticks,
+            "max_brownout_level": max_level,
+            "max_queue_depth": max_depth,
+            "max_inflight": 1,
+            "time_at_level": time_at_level or {"0": 0.75, "1": 0.25},
+        },
+    }
+
+
+class TestTimelineSentinels:
+    """Timeline-derived metrics: trajectory counts are exact (drift on
+    any mismatch), time-at-level fractions follow rate-family rules and
+    survive ``relative_only``."""
+
+    def test_identical_timelines_are_ok(self):
+        doc = bench_doc([row(timeline=timeline_fragment())])
+        out = diff_documents(doc, doc)
+        assert out["ok"] is True
+        assert any(f["metric"] == "timeline_ticks" for f in out["findings"])
+        validate_bench_diff(out)
+
+    def test_trajectory_change_is_drift(self):
+        base = bench_doc([row(timeline=timeline_fragment(max_level=1))])
+        cand = bench_doc([row(timeline=timeline_fragment(max_level=2))])
+        out = diff_documents(base, cand)
+        assert out["ok"] is False
+        (drift,) = [f for f in out["findings"] if f["status"] == "drift"]
+        assert drift["metric"] == "timeline_max_brownout_level"
+
+    def test_relative_only_skips_exact_trajectory_counts(self):
+        base = bench_doc([row(timeline=timeline_fragment(ticks=4))])
+        cand = bench_doc([row(timeline=timeline_fragment(ticks=9))])
+        out = diff_documents(base, cand, relative_only=True)
+        assert not any(
+            f["metric"] == "timeline_ticks" for f in out["findings"]
+        )
+
+    def test_time_at_level_collapse_regresses_even_relative_only(self):
+        # Brownout engagement collapsing 5x is a behavior change the
+        # cross-hardware diff must still see.
+        base = bench_doc(
+            [row(timeline=timeline_fragment(
+                time_at_level={"0": 0.5, "1": 0.5}))]
+        )
+        cand = bench_doc(
+            [row(timeline=timeline_fragment(
+                time_at_level={"0": 0.95, "1": 0.05}))]
+        )
+        out = diff_documents(base, cand, relative_only=True)
+        assert any(
+            f["metric"] == "timeline_time_at_level_1_ratio"
+            and f["status"] == "regression"
+            for f in out["findings"]
+        )
+
+    def test_rows_without_timelines_are_unaffected(self):
+        out = diff_documents(bench_doc([row()]), bench_doc([row()]))
+        assert not any(
+            f["metric"].startswith("timeline") for f in out["findings"]
+        )
+
+
+class TestGaugeFamilies:
+    """Gauges are no longer invisible to the sentinel: deterministic
+    state gauges (.size/.level/.depth/.state/.inflight) drift on any
+    mismatch; measurement gauges threshold in either direction."""
+
+    def test_doctored_exact_gauge_trips_sentinel(self):
+        base = bench_doc([row(gauges={"serve.cache.size": 64.0})])
+        cand = bench_doc([row(gauges={"serve.cache.size": 65.0})])
+        out = diff_documents(base, cand)
+        assert out["ok"] is False
+        (drift,) = [f for f in out["findings"] if f["status"] == "drift"]
+        assert drift["metric"] == "gauge:serve.cache.size"
+        assert "deterministic gauge" in drift["note"]
+        validate_bench_diff(out)
+
+    def test_measurement_gauge_within_threshold_is_ok(self):
+        base = bench_doc([row(gauges={"pool.temp_c": 50.0})])
+        cand = bench_doc([row(gauges={"pool.temp_c": 60.0})])
+        assert diff_documents(base, cand)["ok"] is True
+
+    def test_measurement_gauge_excursion_is_drift_both_directions(self):
+        for doctored in (500.0, 5.0):
+            base = bench_doc([row(gauges={"pool.temp_c": 50.0})])
+            cand = bench_doc([row(gauges={"pool.temp_c": doctored})])
+            out = diff_documents(base, cand)
+            assert out["ok"] is False
+            (drift,) = [f for f in out["findings"] if f["status"] == "drift"]
+            assert drift["metric"] == "gauge:pool.temp_c"
+            assert "gauge moved" in drift["note"]
+
+    def test_relative_only_skips_exact_gauges(self):
+        base = bench_doc([row(gauges={"serve.cache.size": 64.0})])
+        cand = bench_doc([row(gauges={"serve.cache.size": 65.0})])
+        out = diff_documents(base, cand, relative_only=True)
+        assert out["ok"] is True
+
+    def test_document_level_gauges_compared(self):
+        # metrics-snapshot/v2 documents carry gauges at the top level.
+        base = {"schema": "metrics-snapshot/v2", "name": "m", "rows": [],
+                "gauges": {"serve.queue.depth": 0.0}}
+        cand = {"schema": "metrics-snapshot/v2", "name": "m", "rows": [],
+                "gauges": {"serve.queue.depth": 7.0}}
+        out = diff_documents(base, cand)
+        assert out["ok"] is False
+        (drift,) = [f for f in out["findings"] if f["status"] == "drift"]
+        assert drift["row"] == "gauges"

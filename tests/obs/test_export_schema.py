@@ -82,7 +82,7 @@ class TestTraceDocument:
 
     def test_validator_catches_missing_keys(self):
         with pytest.raises(SchemaError) as err:
-            validate_trace({"schema": "trace/v1"})
+            validate_trace({"schema": "trace/v2"})
         assert "missing key" in str(err.value)
 
     def test_render_span_tree(self):
@@ -100,11 +100,11 @@ class TestSnapshotDocument:
         reg.histogram("h").observe(1.0)
         doc = snapshot_document(reg, run="t")
         validate_metrics_snapshot(doc)
-        assert doc["context"] == {"run": "t"}
+        assert doc["context"] == {"bench": "metrics", "run": "t"}
 
     def test_bad_counter_type_rejected(self):
         doc = {
-            "schema": "metrics-snapshot/v1",
+            "schema": "metrics-snapshot/v2",
             "counters": {"c": -1},
             "gauges": {},
             "histograms": {},

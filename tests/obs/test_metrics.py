@@ -123,7 +123,7 @@ class TestMetricsRegistry:
         reg.gauge("g").set(1.5)
         reg.histogram("h").observe(3.0)
         snap = reg.snapshot()
-        assert snap["schema"] == "metrics-snapshot/v1"
+        assert snap["schema"] == "metrics-snapshot/v2"
         assert snap["counters"] == {"c": 2}
         assert snap["gauges"] == {"g": 1.5}
         assert snap["histograms"]["h"]["count"] == 1
